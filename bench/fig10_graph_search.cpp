@@ -1,0 +1,87 @@
+// Fig. 10 (extension) — out-of-sample similarity search over the built
+// graph, the application the abstract motivates first.
+//
+// Beam sweep of the GNNS search (core/graph_search.hpp): recall@10 versus
+// the fraction of the base visited per query. The point of a K-NNG-backed
+// search service is the left end of this curve: high recall touching a few
+// percent of the data.
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/graph_search.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+constexpr std::size_t kQueries = 128;
+const data::DatasetSpec kSpec = clustered(16384, 32);
+
+struct SearchFixture {
+  FloatMatrix queries;
+  KnnGraph graph;
+  KnnGraph truth;
+
+  SearchFixture() {
+    const FloatMatrix& base = dataset(kSpec);
+    queries.resize(kQueries, kSpec.dim);
+    Rng rng(77);
+    for (std::size_t qi = 0; qi < kQueries; ++qi) {
+      const auto src = base.row(rng.next_below(base.rows()));
+      auto dst = queries.row(qi);
+      for (std::size_t d = 0; d < kSpec.dim; ++d) {
+        dst[d] = src[d] + 0.02f * rng.next_gaussian();
+      }
+    }
+    core::BuildParams params;
+    params.k = 16;
+    params.num_trees = 8;
+    params.refine_iters = 2;
+    graph = core::build_knng(pool(), base, params).graph;
+    truth = exact::brute_force_knn(pool(), base, queries, kK);
+  }
+};
+
+SearchFixture& fixture() {
+  static SearchFixture f;
+  return f;
+}
+
+void BM_BeamSweep(benchmark::State& state) {
+  const auto beam = static_cast<std::size_t>(state.range(0));
+  SearchFixture& f = fixture();
+  const FloatMatrix& base = dataset(kSpec);
+
+  core::SearchParams sp;
+  sp.k = kK;
+  sp.beam = beam;
+  double recall = 0.0;
+  core::SearchStats stats;
+  for (auto _ : state) {
+    stats = core::SearchStats{};
+    const KnnGraph found =
+        core::graph_search(pool(), base, f.graph, f.queries, sp, &stats);
+    recall = exact::recall(found, f.truth);
+  }
+  state.SetLabel("gnns");
+  state.counters["beam"] = static_cast<double>(beam);
+  state.counters["recall"] = recall;
+  state.counters["visited_pct"] =
+      100.0 * static_cast<double>(stats.points_visited) /
+      static_cast<double>(stats.queries) / static_cast<double>(base.rows());
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+
+void register_all() {
+  for (long beam : {8, 16, 32, 64, 128, 256}) {
+    benchmark::RegisterBenchmark("Fig10/BeamSweep", BM_BeamSweep)
+        ->Arg(beam)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Fig. 3 — recall/time trade-off curves.
+//
+// Each system sweeps its accuracy knob; plotting (real_time, recall) per row
+// regenerates the curves behind the paper's "equivalent accuracy"
+// comparisons: w-KNNG sweeps forest size and refinement rounds, IVF-Flat
+// sweeps nprobe, NN-Descent sweeps iteration budget.
+
+#include "bench_common.hpp"
+#include "ivf/ivf_flat.hpp"
+#include "nndescent/nn_descent.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+const data::DatasetSpec kSpec = clustered(4096, 32);
+
+void BM_WknngCurve(benchmark::State& state) {
+  const auto trees = static_cast<std::size_t>(state.range(0));
+  const auto refine = static_cast<std::size_t>(state.range(1));
+  const FloatMatrix& pts = dataset(kSpec);
+  core::BuildParams params;
+  params.k = kK;
+  params.num_trees = trees;
+  params.refine_iters = refine;
+  params.leaf_size = 64;
+
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), pts, params);
+  }
+  state.SetLabel("w-KNNG");
+  state.counters["recall"] = sampled_recall(last.graph, kSpec, kK);
+  state.counters["dist_evals"] = static_cast<double>(last.stats.distance_evals);
+}
+
+void BM_IvfCurve(benchmark::State& state) {
+  const auto nprobe = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  ivf::IvfParams params;
+  params.nlist = 64;
+
+  double recall = 0.0;
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    ivf::IvfCost cost;
+    const auto index = ivf::IvfFlatIndex::build(pool(), pts, params, &cost);
+    const KnnGraph g = index.build_knng(pool(), pts, kK, nprobe, &cost);
+    recall = sampled_recall(g, kSpec, kK);
+    evals = cost.distance_evals;
+  }
+  state.SetLabel("IVF-Flat");
+  state.counters["recall"] = recall;
+  state.counters["dist_evals"] = static_cast<double>(evals);
+}
+
+void BM_NnDescentCurve(benchmark::State& state) {
+  const auto iters = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  nndescent::NnDescentParams params;
+  params.k = kK;
+  params.max_iters = iters;
+  params.delta = 0.0;  // run the full budget: the sweep *is* the knob
+
+  double recall = 0.0;
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    nndescent::NnDescentCost cost;
+    const KnnGraph g = nndescent::nn_descent(pool(), pts, params, &cost);
+    recall = sampled_recall(g, kSpec, kK);
+    evals = cost.distance_evals;
+  }
+  state.SetLabel("NN-Descent");
+  state.counters["recall"] = recall;
+  state.counters["dist_evals"] = static_cast<double>(evals);
+}
+
+void register_all() {
+  for (long trees : {1, 2, 4, 8, 16}) {
+    for (long refine : {0, 1}) {
+      benchmark::RegisterBenchmark("Fig3/wKNNG", BM_WknngCurve)
+          ->Args({trees, refine})
+          ->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+  for (long nprobe : {1, 2, 4, 8, 16, 32, 64}) {
+    benchmark::RegisterBenchmark("Fig3/IvfFlat", BM_IvfCurve)
+        ->Arg(nprobe)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  for (long iters : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("Fig3/NnDescent", BM_NnDescentCurve)
+        ->Arg(iters)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Fig. 4 — scaling with dataset size.
+//
+// Abstract motivation: "some applications require the processing of large
+// datasets ... massively parallel GPU methods can be applied to ... reduce
+// the execution time". Series: total build time and time per point as N
+// grows, tiled strategy, fixed dimensionality and K.
+
+#include "bench_common.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+constexpr std::size_t kDim = 32;
+
+void BM_ScalingN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const data::DatasetSpec spec = clustered(n, kDim);
+  const FloatMatrix& pts = dataset(spec);
+  core::BuildParams params;
+  params.k = kK;
+  params.num_trees = 8;
+  params.leaf_size = 64;
+  params.refine_iters = 1;
+
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), pts, params);
+  }
+  state.SetLabel("tiled");
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["recall"] = sampled_recall(last.graph, spec, kK);
+  state.counters["us_per_point"] = last.total_seconds * 1e6 / static_cast<double>(n);
+  state.counters["dist_evals_per_point"] =
+      static_cast<double>(last.stats.distance_evals) / static_cast<double>(n);
+}
+
+void register_all() {
+  for (long n : {2048, 4096, 8192, 16384, 32768}) {
+    benchmark::RegisterBenchmark("Fig4/ScalingN", BM_ScalingN)
+        ->Arg(n)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

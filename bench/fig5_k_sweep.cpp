@@ -1,0 +1,56 @@
+// Fig. 5 — K sweep: the cost of *maintaining* larger k-NN sets per strategy.
+//
+// The paper's contribution is the maintenance of k-NN sets in global memory;
+// the per-candidate cost of every strategy grows with K (scan length for
+// basic/atomic, merge length for tiled), so sweeping K at fixed n and dim
+// isolates the maintenance overhead from the distance work.
+
+#include "bench_common.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kN = 2048;
+constexpr std::size_t kDim = 32;
+const data::DatasetSpec kSpec = clustered(kN, kDim);
+
+void BM_KSweep(benchmark::State& state) {
+  const auto strategy = static_cast<core::Strategy>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const FloatMatrix& pts = dataset(kSpec);
+  core::BuildParams params;
+  params.k = k;
+  params.strategy = strategy;
+  params.num_trees = 4;
+  params.leaf_size = 128;  // leaves must exceed k for a meaningful sweep
+  params.refine_iters = 0;
+
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), pts, params);
+  }
+  state.SetLabel(core::strategy_name(strategy));
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["leaf_ms"] = last.leaf_seconds * 1e3;
+  state.counters["gmem_rd_MB"] =
+      static_cast<double>(last.stats.global_reads) / 1e6;
+  state.counters["collectives"] =
+      static_cast<double>(last.stats.warp_collectives);
+  state.counters["recall"] = sampled_recall(last.graph, kSpec, k, 100);
+}
+
+void register_all() {
+  for (int strategy = 0; strategy < 3; ++strategy) {
+    for (long k : {5, 10, 20, 40, 80}) {
+      benchmark::RegisterBenchmark("Fig5/KSweep", BM_KSweep)
+          ->Args({strategy, k})->Unit(benchmark::kMillisecond)->Iterations(1);
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

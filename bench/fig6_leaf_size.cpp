@@ -1,0 +1,48 @@
+// Fig. 6 — RP-forest leaf-size sweep: the quality/cost knob of the forest.
+//
+// Bigger leaves mean more brute-force pairs per bucket (cost grows
+// quadratically in leaf size) but higher per-tree recall; smaller leaves
+// shift the burden to more trees or refinement. The sweep exposes the
+// sweet spot the builder defaults target.
+
+#include "bench_common.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+const data::DatasetSpec kSpec = clustered(4096, 32);
+
+void BM_LeafSize(benchmark::State& state) {
+  const auto leaf = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  core::BuildParams params;
+  params.k = kK;
+  params.num_trees = 4;
+  params.leaf_size = leaf;
+  params.refine_iters = 0;
+
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), pts, params);
+  }
+  state.SetLabel("tiled");
+  state.counters["leaf_size"] = static_cast<double>(leaf);
+  state.counters["recall"] = sampled_recall(last.graph, kSpec, kK);
+  state.counters["dist_evals"] = static_cast<double>(last.stats.distance_evals);
+  state.counters["buckets"] = static_cast<double>(last.num_buckets);
+}
+
+void register_all() {
+  for (long leaf : {16, 32, 64, 128, 256, 512}) {
+    benchmark::RegisterBenchmark("Fig6/LeafSize", BM_LeafSize)
+        ->Arg(leaf)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Fig. 9 (extension) — metric reductions and dimensionality sketching.
+//
+// Two pipelines the transforms module enables:
+//   * cosine K-NNG via row normalisation (same kernel, same cost — the row
+//     verifies the reduction is free);
+//   * Johnson–Lindenstrauss random projection before building: sweep the
+//     sketch dimension on a high-dimensional input and report build time
+//     against recall measured in the ORIGINAL space (the only recall that
+//     matters to a user).
+
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "data/transforms.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+// High ambient dimension with low intrinsic dimension: the regime where
+// sketching wins.
+const data::DatasetSpec kHighDim = [] {
+  data::DatasetSpec spec;
+  spec.kind = data::DatasetKind::kManifold;
+  spec.n = 4096;
+  spec.dim = 512;
+  spec.intrinsic_dim = 16;
+  spec.seed = 4242;
+  return spec;
+}();
+
+core::BuildParams base_params() {
+  core::BuildParams params;
+  params.k = kK;
+  params.num_trees = 8;
+  params.refine_iters = 1;
+  return params;
+}
+
+void BM_ProjectedBuild(benchmark::State& state) {
+  const auto sketch_dim = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kHighDim);
+
+  core::BuildResult last;
+  double project_ms = 0.0;
+  for (auto _ : state) {
+    Timer t;
+    const FloatMatrix sketched =
+        sketch_dim < pts.cols() ? data::random_project(pts, sketch_dim, 99)
+                                : pts;
+    project_ms = t.elapsed_ms();
+    last = core::build_knng(pool(), sketched, base_params());
+  }
+  // Recall in the original space: neighbor ids from the sketched build
+  // scored against the original ground truth.
+  state.SetLabel("jl-project");
+  state.counters["sketch_dim"] = static_cast<double>(sketch_dim);
+  state.counters["recall_orig"] = sampled_recall(last.graph, kHighDim, kK);
+  state.counters["project_ms"] = project_ms;
+  state.counters["dist_evals"] = static_cast<double>(last.stats.distance_evals);
+}
+
+void BM_CosineBuild(benchmark::State& state) {
+  // Cosine via normalisation: cost must match the plain L2 build bit for
+  // bit (the reduction happens entirely in preprocessing).
+  const data::DatasetSpec spec = clustered(4096, 64);
+  FloatMatrix normed = dataset(spec);  // copy
+  data::normalize_rows(normed);
+
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), normed, base_params());
+  }
+  state.SetLabel("cosine");
+  state.counters["dist_evals"] = static_cast<double>(last.stats.distance_evals);
+}
+
+void BM_PlainL2Build(benchmark::State& state) {
+  const data::DatasetSpec spec = clustered(4096, 64);
+  const FloatMatrix& pts = dataset(spec);
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), pts, base_params());
+  }
+  state.SetLabel("l2");
+  state.counters["dist_evals"] = static_cast<double>(last.stats.distance_evals);
+}
+
+void register_all() {
+  for (long dim : {16, 32, 64, 128, 256, 512}) {
+    benchmark::RegisterBenchmark("Fig9/ProjectedBuild", BM_ProjectedBuild)
+        ->Arg(dim)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  benchmark::RegisterBenchmark("Fig9/CosineBuild", BM_CosineBuild)
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+  benchmark::RegisterBenchmark("Fig9/PlainL2Build", BM_PlainL2Build)
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

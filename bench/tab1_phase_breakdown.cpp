@@ -1,0 +1,53 @@
+// Tab. 1 — per-phase time breakdown of the w-KNNG pipeline, per strategy.
+//
+// Rows: forest build / leaf brute force / refinement / extraction seconds
+// for each of the three k-NN-set maintenance strategies on a common
+// workload. This is the table behind the abstract's framing of the three
+// approaches as alternatives for "search and maintain" of k-NN sets.
+
+#include "bench_common.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+const data::DatasetSpec kSpec = clustered(4096, 64);
+
+void BM_PhaseBreakdown(benchmark::State& state) {
+  const auto strategy = static_cast<core::Strategy>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  core::BuildParams params;
+  params.k = kK;
+  params.strategy = strategy;
+  params.num_trees = 8;
+  params.leaf_size = 64;
+  params.refine_iters = 1;
+
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), pts, params);
+  }
+  state.SetLabel(core::strategy_name(strategy));
+  state.counters["forest_ms"] = last.forest_seconds * 1e3;
+  state.counters["leaf_ms"] = last.leaf_seconds * 1e3;
+  state.counters["refine_ms"] = last.refine_seconds * 1e3;
+  state.counters["extract_ms"] = last.extract_seconds * 1e3;
+  state.counters["recall"] = sampled_recall(last.graph, kSpec, kK);
+  state.counters["buckets"] = static_cast<double>(last.num_buckets);
+  state.counters["cas_retries"] = static_cast<double>(last.stats.cas_retries);
+  state.counters["lock_spins"] = static_cast<double>(last.stats.lock_spins);
+}
+
+void register_all() {
+  for (int strategy = 0; strategy < 3; ++strategy) {
+    benchmark::RegisterBenchmark("Tab1/PhaseBreakdown", BM_PhaseBreakdown)
+        ->Arg(strategy)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

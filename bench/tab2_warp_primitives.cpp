@@ -1,0 +1,156 @@
+// Tab. 2 — substrate microbenchmarks (ablation of the enabling machinery).
+//
+// Throughput of the warp collectives, the in-register bitonic sort, the
+// sorted-run merge, and the packed atomic-min under single- and multi-warp
+// contention. These are the primitive costs the three strategies are built
+// from; their ratios explain the strategy crossovers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "simt/launch.hpp"
+#include "simt/memory.hpp"
+#include "simt/packed.hpp"
+#include "simt/sort.hpp"
+#include "simt/warp_distance.hpp"
+
+namespace wknng::simt {
+namespace {
+
+class Fixture {
+ public:
+  Fixture() : warp_(0, scratch_, stats_) {}
+  WarpScratch scratch_;
+  Stats stats_;
+  Warp warp_;
+};
+
+void BM_ReduceSum(benchmark::State& state) {
+  Fixture f;
+  auto v = make_lanes<float>([](int l) { return static_cast<float>(l); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.warp_.reduce_sum(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReduceSum);
+
+void BM_Ballot(benchmark::State& state) {
+  Fixture f;
+  auto pred = make_lanes<bool>([](int l) { return (l & 1) != 0; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.warp_.ballot(pred));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Ballot);
+
+void BM_InclusiveScan(benchmark::State& state) {
+  Fixture f;
+  auto v = make_lanes<int>([](int l) { return l; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.warp_.inclusive_scan_sum(v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InclusiveScan);
+
+void BM_BitonicSort32(benchmark::State& state) {
+  Fixture f;
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = make_lanes<std::uint64_t>([&](int) { return rng.next_u64(); });
+    state.ResumeTiming();
+    bitonic_sort_lanes(f.warp_, v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * kWarpSize);
+}
+BENCHMARK(BM_BitonicSort32);
+
+void BM_MergeSortedRun(benchmark::State& state) {
+  Fixture f;
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<std::uint64_t> list(k), tmp(k);
+  for (auto& x : list) x = rng.next_below(1U << 30);
+  std::sort(list.begin(), list.end());
+  for (auto _ : state) {
+    auto run = make_lanes<std::uint64_t>([&](int) { return rng.next_below(1U << 30); });
+    std::sort(run.begin(), run.end());
+    merge_sorted_run<std::uint64_t>(f.warp_, list, run, tmp, Packed::kEmpty);
+    benchmark::DoNotOptimize(list.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kWarpSize);
+}
+BENCHMARK(BM_MergeSortedRun)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_WarpL2Dims(benchmark::State& state) {
+  Fixture f;
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<float> x(dim), y(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    x[d] = rng.next_float();
+    y[d] = rng.next_float();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(warp_l2_dims(f.warp_, x, y));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["dim"] = static_cast<double>(dim);
+}
+BENCHMARK(BM_WarpL2Dims)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_AtomicMinUncontended(benchmark::State& state) {
+  Stats stats;
+  std::uint64_t cell = ~0ULL;
+  std::uint64_t v = 1ULL << 62;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atomic_min_u64(cell, --v, stats));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AtomicMinUncontended);
+
+void BM_AtomicMinContended(benchmark::State& state) {
+  // Many warps racing on a handful of cells; reports CAS retry rate.
+  static ThreadPool pool;
+  const std::size_t warps = static_cast<std::size_t>(state.range(0));
+  DeviceBuffer<std::uint64_t> cells(8, ~0ULL);
+  StatsAccumulator acc;
+  for (auto _ : state) {
+    launch_warps(pool, warps, &acc, [&](Warp& w) {
+      Rng rng(9, w.id());
+      for (int i = 0; i < 1000; ++i) {
+        atomic_min_u64(cells[rng.next_below(8)], rng.next_u64() >> 1,
+                       w.stats());
+      }
+    });
+  }
+  const Stats s = acc.total();
+  state.counters["cas_retry_rate"] =
+      s.atomic_ops > 0
+          ? static_cast<double>(s.cas_retries) / static_cast<double>(s.atomic_ops)
+          : 0.0;
+  state.SetItemsProcessed(state.iterations() * warps * 1000);
+}
+BENCHMARK(BM_AtomicMinContended)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_SpinLockRoundTrip(benchmark::State& state) {
+  Stats stats;
+  SpinLockArray locks(1);
+  for (auto _ : state) {
+    locks.acquire(0, stats);
+    locks.release(0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpinLockRoundTrip);
+
+}  // namespace
+}  // namespace wknng::simt
+
+BENCHMARK_MAIN();

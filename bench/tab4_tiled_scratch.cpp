@@ -1,0 +1,53 @@
+// Tab. 4 (ablation) — the tiled strategy's scratch budget.
+//
+// The tiled kernel stages coordinate chunks of both point tiles in per-warp
+// scratch; the chunk width is derived from the scratch ("shared memory")
+// budget (leaf_knn.cpp: tiled_chunk_dims). Sweeping the budget at high
+// dimensionality quantifies the design choice DESIGN.md calls out: staging
+// amortises global reads only while the chunks are wide enough.
+
+#include "bench_common.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+const data::DatasetSpec kSpec = clustered(2048, 256);
+
+void BM_ScratchBudget(benchmark::State& state) {
+  const auto scratch_kib = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  core::BuildParams params;
+  params.k = kK;
+  params.strategy = core::Strategy::kTiled;
+  params.num_trees = 4;
+  params.refine_iters = 0;
+  params.scratch_bytes = scratch_kib * 1024;
+
+  core::BuildResult last;
+  for (auto _ : state) {
+    last = core::build_knng(pool(), pts, params);
+  }
+  state.SetLabel("tiled");
+  state.counters["scratch_KiB"] = static_cast<double>(scratch_kib);
+  state.counters["leaf_ms"] = last.leaf_seconds * 1e3;
+  state.counters["gmem_rd_MB"] =
+      static_cast<double>(last.stats.global_reads) / 1e6;
+  state.counters["scratch_peak_KiB"] =
+      static_cast<double>(last.stats.scratch_bytes_peak) / 1024.0;
+  state.counters["recall"] = sampled_recall(last.graph, kSpec, kK);
+}
+
+void register_all() {
+  for (long kib : {8, 16, 32, 48, 96, 192}) {
+    benchmark::RegisterBenchmark("Tab4/ScratchBudget", BM_ScratchBudget)
+        ->Arg(kib)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Tab. 6 (extension) — scalar quantization of the FAISS-surrogate baseline.
+//
+// IVF-SQ8 (8-bit codes, asymmetric distances, optional exact rescoring)
+// versus IVF-Flat at an nprobe ladder: recall / time / vector-payload
+// memory. Quantization quarters the scan footprint — the trade every
+// production ANN deployment weighs — and rescoring buys the lost recall
+// back for a few exact distances per query.
+
+#include "bench_common.hpp"
+#include "ivf/ivf_sq8.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+const data::DatasetSpec kSpec = clustered(4096, 64);
+
+void BM_IvfFlatLadder(benchmark::State& state) {
+  const auto nprobe = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  ivf::IvfParams params;
+  params.nlist = 64;
+  static const auto index = ivf::IvfFlatIndex::build(pool(), pts, params);
+
+  double recall = 0.0;
+  ivf::IvfCost cost;
+  for (auto _ : state) {
+    cost = ivf::IvfCost{};
+    recall = sampled_recall(index.build_knng(pool(), pts, kK, nprobe, &cost),
+                            kSpec, kK);
+  }
+  state.SetLabel("ivf-flat");
+  state.counters["nprobe"] = static_cast<double>(nprobe);
+  state.counters["recall"] = recall;
+  state.counters["payload_MB"] =
+      static_cast<double>(pts.size() * sizeof(float)) / 1e6;
+  state.counters["dist_evals"] = static_cast<double>(cost.distance_evals);
+}
+
+void BM_IvfSq8Ladder(benchmark::State& state) {
+  const auto nprobe = static_cast<std::size_t>(state.range(0));
+  const auto rescore = static_cast<std::size_t>(state.range(1));
+  const FloatMatrix& pts = dataset(kSpec);
+  ivf::IvfParams params;
+  params.nlist = 64;
+  static const auto index = ivf::IvfSq8Index::build(pool(), pts, params);
+
+  double recall = 0.0;
+  ivf::IvfCost cost;
+  for (auto _ : state) {
+    cost = ivf::IvfCost{};
+    recall = sampled_recall(
+        index.build_knng(pool(), pts, kK, nprobe, rescore, &cost), kSpec, kK);
+  }
+  state.SetLabel(rescore == 0 ? "ivf-sq8" : "ivf-sq8+rescore");
+  state.counters["nprobe"] = static_cast<double>(nprobe);
+  state.counters["rescore"] = static_cast<double>(rescore);
+  state.counters["recall"] = recall;
+  state.counters["payload_MB"] = static_cast<double>(index.code_bytes()) / 1e6;
+  state.counters["dist_evals"] = static_cast<double>(cost.distance_evals);
+}
+
+void register_all() {
+  for (long nprobe : {1, 2, 4, 8, 16}) {
+    benchmark::RegisterBenchmark("Tab6/IvfFlat", BM_IvfFlatLadder)
+        ->Arg(nprobe)->Unit(benchmark::kMillisecond)->Iterations(1);
+    benchmark::RegisterBenchmark("Tab6/IvfSq8", BM_IvfSq8Ladder)
+        ->Args({nprobe, 0})->Unit(benchmark::kMillisecond)->Iterations(1);
+    benchmark::RegisterBenchmark("Tab6/IvfSq8", BM_IvfSq8Ladder)
+        ->Args({nprobe, 40})->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

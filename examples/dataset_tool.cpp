@@ -1,0 +1,109 @@
+// Dataset utility: generate synthetic sets, convert to/from the texmex
+// .fvecs format, and precompute exact ground truth as .ivecs — the three
+// chores every KNNG evaluation pipeline needs.
+//
+//   ./dataset_tool gen <kind> <n> <dim> <seed> <out.fvecs>
+//   ./dataset_tool truth <in.fvecs> <k> <out.ivecs>
+//   ./dataset_tool info <file.fvecs>
+//
+// kinds: uniform | clusters | sphere | manifold
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+
+namespace {
+
+using namespace wknng;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dataset_tool gen <kind> <n> <dim> <seed> <out.fvecs>\n"
+               "  dataset_tool truth <in.fvecs> <k> <out.ivecs>\n"
+               "  dataset_tool info <file.fvecs>\n"
+               "kinds: uniform | clusters | sphere | manifold\n");
+  return 2;
+}
+
+data::DatasetKind parse_kind(const std::string& s) {
+  if (s == "uniform") return data::DatasetKind::kUniform;
+  if (s == "clusters") return data::DatasetKind::kClusters;
+  if (s == "sphere") return data::DatasetKind::kSphere;
+  if (s == "manifold") return data::DatasetKind::kManifold;
+  throw Error("unknown dataset kind: " + s);
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 7) return usage();
+  data::DatasetSpec spec;
+  spec.kind = parse_kind(argv[2]);
+  spec.n = std::strtoull(argv[3], nullptr, 10);
+  spec.dim = std::strtoull(argv[4], nullptr, 10);
+  spec.seed = std::strtoull(argv[5], nullptr, 10);
+  const FloatMatrix m = data::generate(spec);
+  data::write_fvecs(argv[6], m);
+  std::printf("wrote %s: %s (%zu x %zu)\n", argv[6],
+              data::describe(spec).c_str(), m.rows(), m.cols());
+  return 0;
+}
+
+int cmd_truth(int argc, char** argv) {
+  if (argc != 5) return usage();
+  const FloatMatrix m = data::read_fvecs(argv[2]);
+  const std::size_t k = std::strtoull(argv[3], nullptr, 10);
+  ThreadPool pool;
+  const KnnGraph g = exact::brute_force_knng(pool, m, k);
+  Matrix<std::int32_t> ids(m.rows(), k);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto row = g.row(i);
+    for (std::size_t s = 0; s < k; ++s) {
+      ids(i, s) = row[s].id == KnnGraph::kInvalid
+                      ? -1
+                      : static_cast<std::int32_t>(row[s].id);
+    }
+  }
+  data::write_ivecs(argv[4], ids);
+  std::printf("wrote %s: exact %zu-NN ids for %zu points\n", argv[4], k,
+              m.rows());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const FloatMatrix m = data::read_fvecs(argv[2]);
+  double min_v = m.data()[0], max_v = m.data()[0], sum = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const float v = m.data()[i];
+    min_v = std::min<double>(min_v, v);
+    max_v = std::max<double>(max_v, v);
+    sum += v;
+  }
+  std::printf("%s: %zu vectors x %zu dims, range [%.4f, %.4f], mean %.4f\n",
+              argv[2], m.rows(), m.cols(), min_v, max_v,
+              sum / static_cast<double>(m.size()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "truth") return cmd_truth(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,333 @@
+// wknng_cli — the full command-line front end of the library: build K-NN
+// graphs from .fvecs files (or synthetic specs), with every paper knob
+// exposed, optional cosine/MIPS metric reductions, quality evaluation, and
+// graph export.
+//
+//   ./wknng_cli --input base.fvecs --k 10 --out graph.knng
+//   ./wknng_cli --synthetic clusters:20000:64 --k 10 --strategy atomic
+//   ./wknng_cli --input base.fvecs --metric cosine --trees 12 --refine 2 \
+//               --truth gt.ivecs --report
+//
+// Flags (all optional unless noted):
+//   --input PATH         .fvecs base file (or use --synthetic)
+//   --synthetic SPEC     kind:n:dim[:seed], kind in uniform|clusters|sphere|manifold
+//   --k N                neighbors per point (default 10)
+//   --strategy S         basic|atomic|tiled|auto (default auto)
+//   --trees N            RP-forest size (default 8)
+//   --leaf N             leaf size (default 64)
+//   --refine N           refinement rounds (default 1)
+//   --spill F            spill-tree overlap fraction in [0, 0.45) (default 0)
+//   --refine-mode M      expand|local-join (default expand)
+//   --metric M           l2|cosine|ip (default l2; cosine normalises rows,
+//                        ip applies the MIPS->L2 augmentation)
+//   --project D          random-project input to D dims before building
+//   --seed N             RNG seed (default 1234)
+//   --out PATH           write the graph (WKNNG1 binary)
+//   --out-ivecs PATH     write neighbor ids as .ivecs
+//   --truth PATH         exact ids (.ivecs) for recall evaluation
+//   --sample N           sampled self-evaluation when no truth given (default 200)
+//   --tune R             auto-tune trees/refine to sampled recall >= R
+//                        (overrides --trees / --refine)
+//   --load PATH          load a prebuilt .knng instead of building
+//   --queries PATH       answer .fvecs queries by graph search after
+//                        building/loading; prints per-query timing
+//   --beam N             graph-search frontier width (default 48)
+//   --out-results PATH   write per-query neighbor ids as .ivecs
+//   --report             print graph quality metrics (components, degrees, ...)
+//   --threads N          worker threads (default: hardware)
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/timer.hpp"
+#include "wknng.hpp"
+
+namespace {
+
+using namespace wknng;
+
+struct Options {
+  std::string input;
+  std::string synthetic;
+  std::size_t k = 10;
+  std::string strategy = "auto";
+  std::size_t trees = 8;
+  std::size_t leaf = 64;
+  std::size_t refine = 1;
+  float spill = 0.0f;
+  std::string refine_mode = "expand";
+  std::string metric = "l2";
+  std::size_t project = 0;
+  std::uint64_t seed = 1234;
+  std::string out;
+  std::string out_ivecs;
+  std::string truth;
+  std::size_t sample = 200;
+  bool report = false;
+  std::size_t threads = 0;
+  double tune = 0.0;
+  std::string load;          // read a prebuilt graph instead of building
+  std::string queries;       // .fvecs of out-of-sample queries to answer
+  std::size_t beam = 48;     // graph-search frontier width
+  std::string out_results;   // .ivecs of per-query neighbor ids  // >0: tune trees/refine to this sampled-recall target
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--input base.fvecs | --synthetic kind:n:dim[:seed])"
+               " [--k N] [--strategy basic|atomic|tiled|auto] [--trees N]"
+               " [--leaf N] [--refine N] [--metric l2|cosine|ip]"
+               " [--project D] [--seed N] [--out g.knng]"
+               " [--out-ivecs g.ivecs] [--truth gt.ivecs] [--sample N]"
+               " [--report] [--threads N]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      WKNNG_CHECK_MSG(i + 1 < argc, "missing value for " << flag);
+      return argv[++i];
+    };
+    if (flag == "--input") opt.input = value();
+    else if (flag == "--synthetic") opt.synthetic = value();
+    else if (flag == "--k") opt.k = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--strategy") opt.strategy = value();
+    else if (flag == "--trees") opt.trees = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--leaf") opt.leaf = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--refine") opt.refine = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--spill") opt.spill = std::strtof(value(), nullptr);
+    else if (flag == "--refine-mode") opt.refine_mode = value();
+    else if (flag == "--metric") opt.metric = value();
+    else if (flag == "--project") opt.project = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--out") opt.out = value();
+    else if (flag == "--out-ivecs") opt.out_ivecs = value();
+    else if (flag == "--truth") opt.truth = value();
+    else if (flag == "--sample") opt.sample = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--tune") opt.tune = std::strtod(value(), nullptr);
+    else if (flag == "--load") opt.load = value();
+    else if (flag == "--queries") opt.queries = value();
+    else if (flag == "--beam") opt.beam = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--out-results") opt.out_results = value();
+    else if (flag == "--report") opt.report = true;
+    else if (flag == "--threads") opt.threads = std::strtoull(value(), nullptr, 10);
+    else return std::nullopt;
+  }
+  if (opt.input.empty() == opt.synthetic.empty()) return std::nullopt;
+  return opt;
+}
+
+FloatMatrix load_points(const Options& opt) {
+  if (!opt.input.empty()) return data::read_fvecs(opt.input);
+  // kind:n:dim[:seed]
+  data::DatasetSpec spec;
+  std::string s = opt.synthetic;
+  auto next_field = [&]() {
+    const auto pos = s.find(':');
+    std::string field = s.substr(0, pos);
+    s = pos == std::string::npos ? "" : s.substr(pos + 1);
+    return field;
+  };
+  const std::string kind = next_field();
+  if (kind == "uniform") spec.kind = data::DatasetKind::kUniform;
+  else if (kind == "clusters") spec.kind = data::DatasetKind::kClusters;
+  else if (kind == "sphere") spec.kind = data::DatasetKind::kSphere;
+  else if (kind == "manifold") spec.kind = data::DatasetKind::kManifold;
+  else throw Error("unknown synthetic kind: " + kind);
+  spec.n = std::strtoull(next_field().c_str(), nullptr, 10);
+  spec.dim = std::strtoull(next_field().c_str(), nullptr, 10);
+  if (!s.empty()) spec.seed = std::strtoull(next_field().c_str(), nullptr, 10);
+  std::printf("dataset: %s\n", data::describe(spec).c_str());
+  return data::generate(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Options> opt = parse(argc, argv);
+  if (!opt) return usage(argv[0]);
+
+  try {
+    FloatMatrix points = load_points(*opt);
+    std::printf("loaded %zu points x %zu dims\n", points.rows(), points.cols());
+
+    // Metric reductions (DESIGN.md: the kernels are L2-only, like the paper;
+    // cosine and inner product arrive via data transforms).
+    if (opt->metric == "cosine") {
+      data::normalize_rows(points);
+      std::printf("metric: cosine (rows normalised)\n");
+    } else if (opt->metric == "ip") {
+      points = data::mips_augment_base(points, data::max_row_norm(points));
+      std::printf("metric: inner product (MIPS->L2 augmentation, dim now %zu)\n",
+                  points.cols());
+    } else if (opt->metric != "l2") {
+      throw Error("unknown metric: " + opt->metric);
+    }
+    if (opt->project > 0 && opt->project < points.cols()) {
+      points = data::random_project(points, opt->project, opt->seed ^ 0xA5A5);
+      std::printf("random-projected to %zu dims\n", points.cols());
+    }
+
+    ThreadPool pool(opt->threads);
+    core::BuildParams params;
+    params.k = opt->k;
+    params.strategy = opt->strategy == "auto"
+                          ? core::recommended_strategy(points.cols())
+                          : core::strategy_from_name(opt->strategy);
+    params.num_trees = opt->trees;
+    params.leaf_size = opt->leaf;
+    params.refine_iters = opt->refine;
+    params.spill = opt->spill;
+    if (opt->refine_mode == "expand") {
+      params.refine_mode = core::RefineMode::kExpand;
+    } else if (opt->refine_mode == "local-join") {
+      params.refine_mode = core::RefineMode::kLocalJoin;
+    } else {
+      throw Error("unknown refine mode: " + opt->refine_mode);
+    }
+    params.seed = opt->seed;
+
+    if (opt->tune > 0.0) {
+      tuner::TuneOptions topt;
+      topt.target_recall = opt->tune;
+      topt.sample = opt->sample;
+      const tuner::TuneResult tuned = tuner::tune_wknng(pool, points, params, topt);
+      params = tuned.params;
+      std::printf("tuned to recall %.3f (target %.3f, %zu configs, %s): "
+                  "trees=%zu refine=%zu\n",
+                  tuned.achieved_recall, opt->tune, tuned.configs_tried,
+                  tuned.reached_target ? "hit" : "best effort",
+                  params.num_trees, params.refine_iters);
+    }
+
+    if (opt->load.empty()) {
+      std::printf("building: k=%zu strategy=%s trees=%zu leaf=%zu refine=%zu\n",
+                  params.k, core::strategy_name(params.strategy),
+                  params.num_trees, params.leaf_size, params.refine_iters);
+    }
+
+    core::BuildResult result;
+    if (!opt->load.empty()) {
+      result.graph = data::read_knng(opt->load);
+      WKNNG_CHECK_MSG(result.graph.num_points() == points.rows(),
+                      "loaded graph has " << result.graph.num_points()
+                                          << " points, data has "
+                                          << points.rows());
+      std::printf("loaded graph %s (k=%zu)\n", opt->load.c_str(),
+                  result.graph.k());
+    } else {
+      result = core::build_knng(pool, points, params);
+      std::printf("built in %.1f ms (forest %.1f | leaf %.1f | refine %.1f | "
+                  "extract %.1f), %llu distance evals\n",
+                  result.total_seconds * 1e3, result.forest_seconds * 1e3,
+                  result.leaf_seconds * 1e3, result.refine_seconds * 1e3,
+                  result.extract_seconds * 1e3,
+                  static_cast<unsigned long long>(result.stats.distance_evals));
+    }
+
+    // Evaluation.
+    if (!opt->truth.empty()) {
+      const auto gt = data::read_ivecs(opt->truth);
+      WKNNG_CHECK_MSG(gt.rows() == points.rows(),
+                      "truth rows != points: " << gt.rows());
+      const std::size_t gk = std::min<std::size_t>(gt.cols(), opt->k);
+      double hits = 0.0;
+      for (std::size_t i = 0; i < gt.rows(); ++i) {
+        auto row = result.graph.row(i);
+        for (std::size_t s = 0; s < gk; ++s) {
+          const auto want = static_cast<std::uint32_t>(gt(i, s));
+          for (const Neighbor& nb : row) {
+            if (nb.id == want) {
+              hits += 1.0;
+              break;
+            }
+          }
+        }
+      }
+      std::printf("recall@%zu vs %s: %.4f\n", gk, opt->truth.c_str(),
+                  hits / static_cast<double>(gt.rows() * gk));
+    } else if (opt->sample > 0) {
+      const auto truth =
+          exact::sampled_ground_truth(pool, points, opt->k, opt->sample, 777);
+      std::printf("sampled recall@%zu (%zu points): %.4f\n", opt->k,
+                  truth.ids.size(), exact::recall(result.graph, truth));
+    }
+
+    if (opt->report) {
+      const auto comps = core::connected_components(result.graph);
+      const auto degs = core::summarize_degrees(core::in_degrees(result.graph));
+      std::printf("graph report:\n");
+      std::printf("  components: %zu (largest %zu of %zu)\n", comps.count,
+                  comps.largest, points.rows());
+      std::printf("  in-degree: min %u / mean %.2f / max %u (stddev %.2f)\n",
+                  degs.min, degs.mean, degs.max, degs.stddev);
+      std::printf("  symmetry rate: %.3f\n",
+                  core::symmetry_rate(result.graph));
+      std::printf("  mean edge distance: %.6f\n",
+                  core::mean_edge_distance(result.graph));
+    }
+
+    if (!opt->out.empty()) {
+      data::write_knng(opt->out, result.graph);
+      std::printf("wrote %s\n", opt->out.c_str());
+    }
+    if (!opt->queries.empty()) {
+      const FloatMatrix queries = data::read_fvecs(opt->queries);
+      WKNNG_CHECK_MSG(queries.cols() == points.cols(),
+                      "query dim " << queries.cols() << " != base dim "
+                                   << points.cols());
+      core::SearchParams sp;
+      sp.k = opt->k;
+      sp.beam = opt->beam;
+      core::SearchStats sstats;
+      Timer stimer;
+      const KnnGraph found =
+          core::graph_search(pool, points, result.graph, queries, sp, &sstats);
+      std::printf("answered %zu queries in %.2f ms (%.3f ms/query, "
+                  "visited %.2f%% of base per query)\n",
+                  queries.rows(), stimer.elapsed_ms(),
+                  stimer.elapsed_ms() / static_cast<double>(queries.rows()),
+                  100.0 * static_cast<double>(sstats.points_visited) /
+                      static_cast<double>(sstats.queries) /
+                      static_cast<double>(points.rows()));
+      if (!opt->out_results.empty()) {
+        Matrix<std::int32_t> ids(queries.rows(), opt->k);
+        for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+          auto row = found.row(qi);
+          for (std::size_t s_i = 0; s_i < opt->k; ++s_i) {
+            ids(qi, s_i) = row[s_i].id == KnnGraph::kInvalid
+                               ? -1
+                               : static_cast<std::int32_t>(row[s_i].id);
+          }
+        }
+        data::write_ivecs(opt->out_results, ids);
+        std::printf("wrote %s\n", opt->out_results.c_str());
+      }
+    }
+
+    if (!opt->out_ivecs.empty()) {
+      Matrix<std::int32_t> ids(points.rows(), opt->k);
+      for (std::size_t i = 0; i < points.rows(); ++i) {
+        auto row = result.graph.row(i);
+        for (std::size_t s = 0; s < opt->k; ++s) {
+          ids(i, s) = row[s].id == KnnGraph::kInvalid
+                          ? -1
+                          : static_cast<std::int32_t>(row[s].id);
+        }
+      }
+      data::write_ivecs(opt->out_ivecs, ids);
+      std::printf("wrote %s\n", opt->out_ivecs.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Rebuilds everything and regenerates every figure/table of EXPERIMENTS.md.
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+for b in "$BUILD"/bench/*; do
+  echo "=== $(basename "$b") ==="
+  "$b" --benchmark_min_warmup_time=0
+done

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wknng {
+
+/// Exception type thrown by all WKNNG_CHECK* failures. Carries the failed
+/// condition text and the file:line of the check site.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace wknng
+
+/// Always-on invariant check (library public API boundary). Throws wknng::Error.
+#define WKNNG_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::wknng::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");   \
+    }                                                                        \
+  } while (0)
+
+/// Check with a streamed message: WKNNG_CHECK_MSG(k > 0, "k=" << k).
+#define WKNNG_CHECK_MSG(cond, stream_expr)                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream wknng_os_;                                          \
+      wknng_os_ << stream_expr;                                              \
+      ::wknng::detail::throw_check_failure(#cond, __FILE__, __LINE__,        \
+                                           wknng_os_.str());                 \
+    }                                                                        \
+  } while (0)

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/topk.hpp"
+
+namespace wknng {
+
+/// The product every builder in this repo emits: for each of n points, its
+/// (up to) k nearest neighbors sorted ascending by (distance, id). Rows may
+/// hold fewer than k valid entries (approximate builders on tiny or
+/// degenerate inputs); invalid tail slots have id == kInvalid.
+class KnnGraph {
+ public:
+  static constexpr std::uint32_t kInvalid = ~std::uint32_t{0};
+
+  KnnGraph() = default;
+
+  KnnGraph(std::size_t n, std::size_t k)
+      : n_(n), k_(k),
+        flat_(n * k, Neighbor{std::numeric_limits<float>::infinity(), kInvalid}) {}
+
+  std::size_t num_points() const { return n_; }
+  std::size_t k() const { return k_; }
+
+  std::span<Neighbor> row(std::size_t i) {
+    return {flat_.data() + i * k_, k_};
+  }
+  std::span<const Neighbor> row(std::size_t i) const {
+    return {flat_.data() + i * k_, k_};
+  }
+
+  /// Number of valid (id != kInvalid) entries in row i. Valid entries are
+  /// always a prefix of the row.
+  std::size_t row_size(std::size_t i) const {
+    auto r = row(i);
+    std::size_t c = 0;
+    while (c < r.size() && r[c].id != kInvalid) ++c;
+    return c;
+  }
+
+  /// Checks the container invariants; used by tests and debug assertions.
+  ///  - every row sorted ascending by (dist, id)
+  ///  - no duplicate ids within a row
+  ///  - no self-loops (row i never contains id i)
+  ///  - valid entries form a prefix
+  bool check_invariants() const {
+    for (std::size_t i = 0; i < n_; ++i) {
+      auto r = row(i);
+      bool seen_invalid = false;
+      for (std::size_t j = 0; j < r.size(); ++j) {
+        if (r[j].id == kInvalid) {
+          seen_invalid = true;
+          continue;
+        }
+        if (seen_invalid) return false;          // hole in the prefix
+        if (r[j].id == i) return false;          // self-loop
+        if (j > 0 && r[j - 1].id != kInvalid && !(r[j - 1] < r[j])) {
+          return false;                          // unsorted or duplicate
+        }
+        for (std::size_t l = 0; l < j; ++l) {
+          if (r[l].id == r[j].id) return false;  // duplicate id
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t k_ = 0;
+  std::vector<Neighbor> flat_;
+};
+
+}  // namespace wknng

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace wknng {
+
+/// Row-major dense matrix of trivially-copyable elements with 64-byte aligned
+/// storage. This is the canonical layout for point sets throughout the repo:
+/// `rows()` points, each a contiguous `cols()`-dimensional vector, so a warp
+/// striding the dimensions of one point reads one cache-friendly row
+/// (Core Guidelines Per.19: access memory predictably).
+template <typename T>
+class Matrix {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols) { resize(rows, cols); }
+
+  Matrix(const Matrix& other) : Matrix(other.rows_, other.cols_) {
+    if (size() != 0) std::memcpy(data_.get(), other.data_.get(), size() * sizeof(T));
+  }
+
+  Matrix& operator=(const Matrix& other) {
+    if (this == &other) return *this;
+    Matrix tmp(other);
+    *this = std::move(tmp);
+    return *this;
+  }
+
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// Reallocates to rows x cols; contents are zero-initialised.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    const std::size_t bytes = round_up(rows * cols * sizeof(T), kAlign);
+    if (bytes == 0) {
+      data_.reset();
+      return;
+    }
+    void* p = std::aligned_alloc(kAlign, bytes);
+    WKNNG_CHECK_MSG(p != nullptr, "aligned_alloc of " << bytes << " bytes failed");
+    std::memset(p, 0, bytes);
+    data_.reset(static_cast<T*>(p));
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+
+  /// Contiguous view of row `r`.
+  std::span<T> row(std::size_t r) {
+    return {data_.get() + r * cols_, cols_};
+  }
+  std::span<const T> row(std::size_t r) const {
+    return {data_.get() + r * cols_, cols_};
+  }
+
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  static constexpr std::size_t kAlign = 64;
+
+  static constexpr std::size_t round_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) / a * a;
+  }
+
+  struct FreeDeleter {
+    void operator()(T* p) const { std::free(p); }
+  };
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::unique_ptr<T[], FreeDeleter> data_;
+};
+
+using FloatMatrix = Matrix<float>;
+
+}  // namespace wknng

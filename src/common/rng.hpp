@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace wknng {
+
+/// SplitMix64 — used to expand a single user seed into stream seeds.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the repo's workhorse PRNG. Deterministic across platforms
+/// (unlike std::mt19937 distributions), cheap, and splittable via jump-free
+/// SplitMix64 reseeding: every logical stream (tree, warp, dataset) derives
+/// its own Rng from (seed, stream_id).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) {
+    SplitMix64 sm(seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+    for (auto& s : s_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [0, 1).
+  float next_float() { return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f; }
+
+  /// Uniform integer in [0, bound). Lemire widening-multiply with debiasing
+  /// rejection (Lemire, "Fast random integer generation in an interval", 2019).
+  std::uint64_t next_below(std::uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(next_u64()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(next_u64()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box–Muller (cached second value).
+  float next_gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    float u1 = next_float();
+    while (u1 <= 1e-12f) u1 = next_float();
+    const float u2 = next_float();
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 2.0f * std::numbers::pi_v<float> * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  float cached_ = 0.0f;
+  bool has_cached_ = false;
+};
+
+}  // namespace wknng

@@ -1,0 +1,97 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace wknng {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in every parallel_for, so spawn n-1.
+  if (n > 1) workers_.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_job(Job& job) {
+  while (true) {
+    const std::size_t begin = job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    const std::size_t end = std::min(begin + job.grain, job.n);
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.done.fetch_add(end - begin, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && epoch_ != seen_epoch); });
+      if (stop_) return;
+      job = job_;
+      seen_epoch = epoch_;
+      job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    run_job(*job);
+    // The Job lives on the submitter's stack; it may only be destroyed once
+    // `active` drops to zero, which the submitter waits for under mutex_.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job->active.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(1, grain);
+
+  Job job;
+  job.n = n;
+  job.grain = grain;
+  job.body = &body;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  run_job(job);  // the calling thread works too
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = nullptr;  // stop new workers from picking the job up
+    done_cv_.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == n &&
+             job.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace wknng

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wknng {
+
+/// Fixed-size worker pool exposing a single primitive: `parallel_for`, a
+/// dynamically load-balanced index loop. Dynamic chunk claiming (an atomic
+/// cursor) is deliberate: the workloads here (warps over variable-size
+/// RP-forest leaves) are irregular, and static partitioning would idle
+/// workers on skewed buckets.
+///
+/// The pool is also the repo's stand-in for a GPU's warp scheduler: the SIMT
+/// substrate (src/simt) maps "resident warps" onto these workers.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs body(i) for every i in [0, n), distributing chunks of `grain`
+  /// consecutive indices dynamically across all workers plus the calling
+  /// thread. Blocks until every index is done. Exceptions thrown by `body`
+  /// are rethrown (the first one) on the calling thread.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Convenience overload with grain 1.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+    parallel_for(n, 1, body);
+  }
+
+ private:
+  struct Job {
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<int> active{0};  // workers currently inside run_job
+    std::exception_ptr error;  // first exception; guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  void worker_loop();
+  static void run_job(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;       // current job visible to workers (guarded by mutex_)
+  std::uint64_t epoch_ = 0;  // bumps every submitted job
+  bool stop_ = false;
+};
+
+}  // namespace wknng

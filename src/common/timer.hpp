@@ -1,0 +1,39 @@
+#pragma once
+
+#include <chrono>
+
+namespace wknng {
+
+/// Monotonic wall-clock stopwatch. `elapsed_s()` may be called repeatedly;
+/// `lap_s()` returns time since the previous lap (or construction).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()), lap_(start_) {}
+
+  void reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
+
+  double elapsed_s() const { return seconds_since(start_); }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+  double lap_s() {
+    const auto now = Clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  double seconds_since(Clock::time_point t) const {
+    return std::chrono::duration<double>(Clock::now() - t).count();
+  }
+
+  Clock::time_point start_;
+  Clock::time_point lap_;
+};
+
+}  // namespace wknng

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace wknng {
+
+/// A (distance, id) candidate as used by every KNN component in the repo.
+/// Ordering is by distance, with id as deterministic tiebreak.
+struct Neighbor {
+  float dist = 0.0f;
+  std::uint32_t id = 0;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.dist == b.dist && a.id == b.id;
+  }
+};
+
+/// Bounded max-heap keeping the k smallest (distance, id) pairs seen.
+/// Host-side counterpart of the SIMT k-NN-set strategies; used by the exact
+/// brute-force baseline, IVF search, and ground-truth computation.
+class TopK {
+ public:
+  explicit TopK(std::size_t k) : k_(k) { heap_.reserve(k); }
+
+  std::size_t k() const { return k_; }
+  std::size_t size() const { return heap_.size(); }
+  bool full() const { return heap_.size() == k_; }
+
+  /// Largest (worst) distance currently kept; +inf while not full.
+  float worst() const {
+    return full() ? heap_.front().dist : std::numeric_limits<float>::infinity();
+  }
+
+  /// Offers a candidate; O(log k) when it displaces, O(1) when rejected.
+  void push(float dist, std::uint32_t id) {
+    if (heap_.size() < k_) {
+      heap_.push_back({dist, id});
+      std::push_heap(heap_.begin(), heap_.end());
+      return;
+    }
+    if (Neighbor{dist, id} < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = {dist, id};
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  /// Destructively extracts contents sorted ascending by (dist, id).
+  std::vector<Neighbor> take_sorted() {
+    std::sort_heap(heap_.begin(), heap_.end());
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace wknng

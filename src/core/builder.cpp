@@ -1,0 +1,94 @@
+#include "core/builder.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/knn_set.hpp"
+#include "core/leaf_knn.hpp"
+#include "core/refine.hpp"
+#include "core/rp_forest.hpp"
+
+namespace wknng::core {
+
+const char* refine_mode_name(RefineMode m) {
+  switch (m) {
+    case RefineMode::kExpand: return "expand";
+    case RefineMode::kLocalJoin: return "local-join";
+  }
+  return "?";
+}
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kBasic: return "basic";
+    case Strategy::kAtomic: return "atomic";
+    case Strategy::kTiled: return "tiled";
+    case Strategy::kShared: return "shared";
+  }
+  return "?";
+}
+
+Strategy strategy_from_name(const std::string& name) {
+  if (name == "basic") return Strategy::kBasic;
+  if (name == "atomic") return Strategy::kAtomic;
+  if (name == "tiled") return Strategy::kTiled;
+  if (name == "shared") return Strategy::kShared;
+  throw Error("unknown strategy: " + name);
+}
+
+Strategy recommended_strategy(std::size_t dim) {
+  return dim <= 16 ? Strategy::kAtomic : Strategy::kTiled;
+}
+
+KnngBuilder::KnngBuilder(ThreadPool& pool, BuildParams params)
+    : pool_(&pool), params_(params) {
+  WKNNG_CHECK_MSG(params_.k > 0, "k must be positive");
+  WKNNG_CHECK_MSG(params_.num_trees > 0, "need at least one tree");
+  WKNNG_CHECK_MSG(params_.leaf_size >= 2, "leaf_size must be >= 2");
+}
+
+BuildResult KnngBuilder::build(const FloatMatrix& points) const {
+  const std::size_t n = points.rows();
+  WKNNG_CHECK_MSG(n > params_.k,
+                  "need more points than k: n=" << n << " k=" << params_.k);
+
+  BuildResult result;
+  simt::StatsAccumulator acc;
+  Timer total;
+  Timer phase;
+
+  // Phase 1: random-projection forest.
+  const Buckets forest =
+      build_rp_forest(*pool_, points, params_.num_trees, params_.leaf_size,
+                      params_.seed, &acc, params_.spill);
+  result.num_buckets = forest.num_buckets();
+  result.forest_seconds = phase.lap_s();
+
+  // Phase 2: warp-centric brute force over every bucket.
+  KnnSetArray sets(n, params_.k);
+  leaf_knn(*pool_, points, forest, params_.strategy, sets, &acc,
+           params_.scratch_bytes);
+  result.leaf_seconds = phase.lap_s();
+
+  // Phase 3: neighbor-of-neighbor refinement rounds.
+  for (std::size_t round = 0; round < params_.refine_iters; ++round) {
+    const Adjacency adj =
+        snapshot_adjacency(*pool_, sets, params_.reverse_cap);
+    refine_round(*pool_, points, adj, params_, sets, &acc);
+  }
+  result.refine_seconds = phase.lap_s();
+
+  // Phase 4: normalise into the output graph.
+  result.graph = sets.extract(*pool_);
+  result.extract_seconds = phase.lap_s();
+
+  result.total_seconds = total.elapsed_s();
+  result.stats = acc.total();
+  return result;
+}
+
+BuildResult build_knng(ThreadPool& pool, const FloatMatrix& points,
+                       const BuildParams& params) {
+  return KnngBuilder(pool, params).build(points);
+}
+
+}  // namespace wknng::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/params.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::core {
+
+/// Everything a build produces: the graph, per-phase wall-clock timings, and
+/// the aggregated device work counters. Phase timings are the rows of the
+/// phase-breakdown experiment (Tab. 1 in DESIGN.md).
+struct BuildResult {
+  KnnGraph graph;
+
+  double forest_seconds = 0.0;   ///< RP-forest construction
+  double leaf_seconds = 0.0;     ///< warp-centric brute force over buckets
+  double refine_seconds = 0.0;   ///< all neighbor-of-neighbor rounds
+  double extract_seconds = 0.0;  ///< k-set normalisation into KnnGraph
+  double total_seconds = 0.0;
+
+  simt::Stats stats;             ///< aggregated over every launch
+  std::size_t num_buckets = 0;   ///< forest leaves processed
+};
+
+/// w-KNNG: the paper's all-points approximate K-NN graph builder.
+///
+/// Pipeline: RP forest -> warp-per-bucket brute force into global-memory
+/// k-NN sets (maintained by the configured Strategy) -> optional
+/// neighbor-of-neighbor refinement rounds -> extraction.
+///
+/// Usage:
+///   ThreadPool pool;
+///   core::BuildParams params;              // k, strategy, trees, ...
+///   core::KnngBuilder builder(pool, params);
+///   core::BuildResult r = builder.build(points);
+///   // r.graph.row(i) = point i's neighbors, sorted by distance
+class KnngBuilder {
+ public:
+  KnngBuilder(ThreadPool& pool, BuildParams params);
+
+  const BuildParams& params() const { return params_; }
+
+  /// Builds the graph for `points` (rows = points). Thread-compatible: one
+  /// build at a time per builder, but distinct builders are independent.
+  BuildResult build(const FloatMatrix& points) const;
+
+ private:
+  ThreadPool* pool_;
+  BuildParams params_;
+};
+
+/// One-call convenience wrapper.
+BuildResult build_knng(ThreadPool& pool, const FloatMatrix& points,
+                       const BuildParams& params);
+
+}  // namespace wknng::core

@@ -1,0 +1,148 @@
+#include "core/graph_metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace wknng::core {
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+}  // namespace
+
+Components connected_components(const KnnGraph& g) {
+  const std::size_t n = g.num_points();
+  UnionFind uf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : g.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      uf.unite(static_cast<std::uint32_t>(i), nb.id);
+    }
+  }
+  Components out;
+  out.label.assign(n, 0);
+  std::vector<std::uint32_t> root_to_label(n, ~0u);
+  std::vector<std::size_t> sizes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = uf.find(static_cast<std::uint32_t>(i));
+    if (root_to_label[root] == ~0u) {
+      root_to_label[root] = static_cast<std::uint32_t>(sizes.size());
+      sizes.push_back(0);
+    }
+    out.label[i] = root_to_label[root];
+    ++sizes[out.label[i]];
+  }
+  out.count = sizes.size();
+  out.largest = sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return out;
+}
+
+std::vector<std::uint32_t> in_degrees(const KnnGraph& g) {
+  std::vector<std::uint32_t> deg(g.num_points(), 0);
+  for (std::size_t i = 0; i < g.num_points(); ++i) {
+    for (const Neighbor& nb : g.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      ++deg[nb.id];
+    }
+  }
+  return deg;
+}
+
+DegreeSummary summarize_degrees(const std::vector<std::uint32_t>& degrees) {
+  DegreeSummary s;
+  if (degrees.empty()) return s;
+  s.min = *std::min_element(degrees.begin(), degrees.end());
+  s.max = *std::max_element(degrees.begin(), degrees.end());
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::uint32_t d : degrees) {
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+  }
+  s.mean = sum / static_cast<double>(degrees.size());
+  s.stddev = std::sqrt(
+      std::max(0.0, sum_sq / static_cast<double>(degrees.size()) - s.mean * s.mean));
+  return s;
+}
+
+double mean_edge_distance(const KnnGraph& g) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < g.num_points(); ++i) {
+    for (const Neighbor& nb : g.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      sum += nb.dist;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double edge_agreement(const KnnGraph& a, const KnnGraph& b) {
+  WKNNG_CHECK(a.num_points() == b.num_points());
+  std::size_t shared = 0, total = 0;
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    auto brow = b.row(i);
+    for (const Neighbor& nb : a.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      ++total;
+      shared += std::any_of(brow.begin(), brow.end(),
+                            [&](const Neighbor& other) {
+                              return other.id == nb.id;
+                            })
+                    ? 1
+                    : 0;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(shared) / static_cast<double>(total);
+}
+
+double symmetry_rate(const KnnGraph& g) {
+  std::size_t symmetric = 0, total = 0;
+  for (std::size_t i = 0; i < g.num_points(); ++i) {
+    for (const Neighbor& nb : g.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      ++total;
+      auto rrow = g.row(nb.id);
+      symmetric += std::any_of(rrow.begin(), rrow.end(),
+                               [&](const Neighbor& other) {
+                                 return other.id == i;
+                               })
+                       ? 1
+                       : 0;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(symmetric) / static_cast<double>(total);
+}
+
+}  // namespace wknng::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/knn_graph.hpp"
+
+namespace wknng::core {
+
+/// Structural quality measures of a K-NN graph, beyond recall. These matter
+/// to downstream users: t-SNE needs connected affinity graphs, and
+/// graph-based search (similarity_search example) degrades sharply when the
+/// graph fragments into components.
+
+/// Weakly-connected component decomposition (edges treated as undirected).
+struct Components {
+  std::size_t count = 0;
+  std::vector<std::uint32_t> label;  ///< per point, in [0, count)
+  std::size_t largest = 0;           ///< size of the biggest component
+};
+Components connected_components(const KnnGraph& g);
+
+/// In-degree (reverse-edge count) of every point. Hub formation — a few
+/// points with huge in-degree — is the classic pathology of high-dimensional
+/// K-NN graphs and what reverse-edge caps in refinement guard against.
+std::vector<std::uint32_t> in_degrees(const KnnGraph& g);
+
+struct DegreeSummary {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+DegreeSummary summarize_degrees(const std::vector<std::uint32_t>& degrees);
+
+/// Mean edge distance over all valid edges (lower = tighter graph at equal
+/// connectivity; equal-recall graphs can still differ here).
+double mean_edge_distance(const KnnGraph& g);
+
+/// Fraction of directed edges of `a` also present in `b` (id match). Both
+/// graphs must have the same number of points. Used to compare strategy
+/// outputs and to measure build-to-build stability.
+double edge_agreement(const KnnGraph& a, const KnnGraph& b);
+
+/// Fraction of edges (i -> j) whose reverse (j -> i) is also present —
+/// symmetric neighborhoods indicate locally consistent graphs.
+double symmetry_rate(const KnnGraph& g);
+
+}  // namespace wknng::core

@@ -1,0 +1,73 @@
+#include "core/graph_ops.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/topk.hpp"
+
+namespace wknng::core {
+
+KnnGraph with_k(const KnnGraph& g, std::size_t new_k) {
+  WKNNG_CHECK_MSG(new_k > 0, "new_k must be positive");
+  KnnGraph out(g.num_points(), new_k);
+  for (std::size_t i = 0; i < g.num_points(); ++i) {
+    auto src = g.row(i);
+    auto dst = out.row(i);
+    const std::size_t n = std::min(new_k, g.k());
+    for (std::size_t s = 0; s < n; ++s) dst[s] = src[s];
+  }
+  return out;
+}
+
+KnnGraph merge_graphs(const KnnGraph& a, const KnnGraph& b) {
+  WKNNG_CHECK(a.num_points() == b.num_points());
+  const std::size_t k = std::max(a.k(), b.k());
+  KnnGraph out(a.num_points(), k);
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    TopK heap(k);
+    std::vector<std::uint32_t> seen;
+    auto offer = [&](const Neighbor& nb) {
+      if (nb.id == KnnGraph::kInvalid) return;
+      if (std::find(seen.begin(), seen.end(), nb.id) != seen.end()) return;
+      seen.push_back(nb.id);
+      heap.push(nb.dist, nb.id);
+    };
+    for (const Neighbor& nb : a.row(i)) offer(nb);
+    for (const Neighbor& nb : b.row(i)) offer(nb);
+    const auto sorted = heap.take_sorted();
+    std::copy(sorted.begin(), sorted.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+KnnGraph symmetrized(const KnnGraph& g) {
+  const std::size_t n = g.num_points();
+  const std::size_t k = g.k();
+  // Collect each point's own edges plus all reverse edges, keep k best.
+  std::vector<TopK> heaps;
+  heaps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) heaps.emplace_back(k);
+  std::vector<std::vector<std::uint32_t>> seen(n);
+  auto offer = [&](std::size_t dst, float dist, std::uint32_t id) {
+    auto& ids = seen[dst];
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) return;
+    ids.push_back(id);
+    heaps[dst].push(dist, id);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : g.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      offer(i, nb.dist, nb.id);
+      offer(nb.id, nb.dist, static_cast<std::uint32_t>(i));
+    }
+  }
+  KnnGraph out(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto sorted = heaps[i].take_sorted();
+    std::copy(sorted.begin(), sorted.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace wknng::core

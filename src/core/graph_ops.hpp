@@ -1,0 +1,26 @@
+#pragma once
+
+#include "common/knn_graph.hpp"
+
+namespace wknng::core {
+
+/// Structural graph utilities consumers need around a builder:
+/// re-sizing k and ensembling independently built graphs.
+
+/// Returns a copy of `g` truncated (or padded with invalid slots) to
+/// `new_k` neighbors per row. Truncation keeps the nearest entries — rows
+/// are sorted, so this is exact.
+KnnGraph with_k(const KnnGraph& g, std::size_t new_k);
+
+/// Union-merge: for each point, the k best distinct neighbors across both
+/// graphs (k = max of the two). Ensembling two cheap builds (different
+/// seeds, different metrics after a transform, or w-KNNG + NN-Descent)
+/// often beats one expensive build — see MergeBeatsEitherInput in the tests.
+KnnGraph merge_graphs(const KnnGraph& a, const KnnGraph& b);
+
+/// Makes the graph symmetric by adding every reverse edge that fits: if
+/// (i -> j) exists but (j -> i) does not, offer (j, dist) to row j. Some
+/// consumers (spectral methods, t-SNE) want symmetric adjacency.
+KnnGraph symmetrized(const KnnGraph& g);
+
+}  // namespace wknng::core

@@ -1,0 +1,135 @@
+#include "core/graph_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/topk.hpp"
+#include "simt/launch.hpp"
+#include "simt/warp_distance.hpp"
+
+namespace wknng::core {
+
+using simt::kWarpSize;
+using simt::Lanes;
+using simt::Warp;
+
+namespace {
+
+struct MinHeapCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const { return b < a; }
+};
+
+}  // namespace
+
+KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
+                      const KnnGraph& graph, const FloatMatrix& queries,
+                      const SearchParams& params, SearchStats* stats,
+                      simt::StatsAccumulator* acc) {
+  WKNNG_CHECK(base.cols() == queries.cols());
+  WKNNG_CHECK(graph.num_points() == base.rows());
+  WKNNG_CHECK_MSG(params.k > 0 && params.k <= base.rows(),
+                  "k=" << params.k << " base=" << base.rows());
+  const std::size_t n = base.rows();
+  const std::size_t nq = queries.rows();
+
+  KnnGraph out(nq, params.k);
+  std::atomic<std::uint64_t> visited_total{0};
+
+  simt::launch_warps(pool, nq, acc, [&](Warp& w) {
+    const std::size_t qi = w.id();
+    const auto query = queries.row(qi);
+    Rng rng(params.seed, 0x5EA5C000ULL + qi);
+
+    std::vector<char> visited(n, 0);
+    std::uint64_t visits = 0;
+    std::priority_queue<Neighbor, std::vector<Neighbor>, MinHeapCmp> frontier;
+    TopK best(std::max(params.k, params.beam));
+
+    // Entry scoring: warp evaluates the sample in candidate-parallel tiles.
+    auto score_ids = [&](const std::vector<std::uint32_t>& ids,
+                         TopK& sink) {
+      for (std::size_t t0 = 0; t0 < ids.size(); t0 += kWarpSize) {
+        const std::size_t cnt = std::min<std::size_t>(kWarpSize, ids.size() - t0);
+        Lanes<std::uint32_t> lane_ids{};
+        Lanes<bool> active{};
+        for (std::size_t l = 0; l < cnt; ++l) {
+          lane_ids[l] = ids[t0 + l];
+          active[l] = true;
+        }
+        const Lanes<float> d = simt::warp_l2_batch(
+            w, query, lane_ids, active,
+            [&](std::uint32_t p) { return base.row(p); });
+        for (std::size_t l = 0; l < cnt; ++l) sink.push(d[l], lane_ids[l]);
+      }
+      visits += ids.size();
+    };
+
+    std::vector<std::uint32_t> sample;
+    sample.reserve(params.entry_sample);
+    for (std::size_t e = 0; e < params.entry_sample && sample.size() < n; ++e) {
+      const auto id = static_cast<std::uint32_t>(rng.next_below(n));
+      if (visited[id]) continue;
+      visited[id] = 1;
+      sample.push_back(id);
+    }
+    TopK entries(std::max<std::size_t>(1, params.entry_keep));
+    score_ids(sample, entries);
+    for (const Neighbor& e : entries.take_sorted()) {
+      frontier.push(e);
+      best.push(e.dist, e.id);
+    }
+
+    // Best-first descent over the graph.
+    std::vector<std::uint32_t> expand;
+    while (!frontier.empty()) {
+      const Neighbor cur = frontier.top();
+      frontier.pop();
+      if (cur.dist > best.worst()) break;
+      expand.clear();
+      for (const Neighbor& nb : graph.row(cur.id)) {
+        if (nb.id == KnnGraph::kInvalid) break;
+        if (visited[nb.id]) continue;
+        visited[nb.id] = 1;
+        expand.push_back(nb.id);
+      }
+      w.count_read(graph.k() * sizeof(Neighbor));
+      for (std::size_t t0 = 0; t0 < expand.size(); t0 += kWarpSize) {
+        const std::size_t cnt = std::min<std::size_t>(kWarpSize, expand.size() - t0);
+        Lanes<std::uint32_t> lane_ids{};
+        Lanes<bool> active{};
+        for (std::size_t l = 0; l < cnt; ++l) {
+          lane_ids[l] = expand[t0 + l];
+          active[l] = true;
+        }
+        const Lanes<float> d = simt::warp_l2_batch(
+            w, query, lane_ids, active,
+            [&](std::uint32_t p) { return base.row(p); });
+        for (std::size_t l = 0; l < cnt; ++l) {
+          if (d[l] < best.worst()) {
+            frontier.push({d[l], lane_ids[l]});
+            best.push(d[l], lane_ids[l]);
+          }
+        }
+        visits += cnt;
+      }
+    }
+
+    auto found = best.take_sorted();
+    if (found.size() > params.k) found.resize(params.k);
+    auto row = out.row(qi);
+    std::copy(found.begin(), found.end(), row.begin());
+    visited_total.fetch_add(visits, std::memory_order_relaxed);
+  });
+
+  if (stats != nullptr) {
+    stats->points_visited += visited_total.load();
+    stats->queries += nq;
+  }
+  return out;
+}
+
+}  // namespace wknng::core

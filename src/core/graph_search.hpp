@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::core {
+
+/// Out-of-sample query answering over a built K-NN graph (GNNS-style
+/// best-first descent; Hajebi et al., IJCAI 2011) — the "similarity search"
+/// application the abstract motivates, as a library facility.
+///
+/// A K-NN graph is only weakly navigable across cluster boundaries, so the
+/// search seeds itself from the best of a scored random sample
+/// (`entry_sample`) instead of raw random entries, then descends greedily
+/// with a bounded frontier (`beam`).
+struct SearchParams {
+  std::size_t k = 10;             ///< results per query
+  std::size_t entry_sample = 256; ///< random base points scored for entry
+  std::size_t entry_keep = 8;     ///< best entries that seed the frontier
+  std::size_t beam = 48;          ///< result/frontier width during descent
+  std::uint64_t seed = 7;         ///< entry sampling seed
+};
+
+struct SearchStats {
+  std::uint64_t points_visited = 0;   ///< distance evaluations, total
+  std::uint64_t queries = 0;
+};
+
+/// Answers every query against `base` using `graph` for navigation; one
+/// warp per query on the SIMT substrate. Returns a KnnGraph with one row per
+/// query (ids refer to base points).
+KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
+                      const KnnGraph& graph, const FloatMatrix& queries,
+                      const SearchParams& params,
+                      SearchStats* stats = nullptr,
+                      simt::StatsAccumulator* acc = nullptr);
+
+}  // namespace wknng::core

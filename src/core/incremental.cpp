@@ -1,0 +1,162 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/topk.hpp"
+#include "core/leaf_knn.hpp"
+#include "core/refine.hpp"
+#include "core/rp_forest.hpp"
+#include "simt/launch.hpp"
+#include "simt/packed.hpp"
+#include "simt/warp_distance.hpp"
+
+namespace wknng::core {
+
+using simt::kWarpSize;
+using simt::Lanes;
+using simt::Packed;
+using simt::Warp;
+
+namespace {
+
+/// Appends rows of `extra` to `base` (reallocating copy — points are
+/// immutable once stored, so this happens between kernel launches only).
+FloatMatrix append_rows(const FloatMatrix& base, const FloatMatrix& extra) {
+  WKNNG_CHECK(base.cols() == extra.cols());
+  FloatMatrix out(base.rows() + extra.rows(), base.cols());
+  std::memcpy(out.data(), base.data(), base.size() * sizeof(float));
+  std::memcpy(out.data() + base.size(), extra.data(),
+              extra.size() * sizeof(float));
+  return out;
+}
+
+struct MinHeapCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const { return b < a; }
+};
+
+}  // namespace
+
+IncrementalKnng::IncrementalKnng(ThreadPool& pool, BuildParams params,
+                                 FloatMatrix initial_points,
+                                 InsertParams insert)
+    : pool_(&pool),
+      params_(params),
+      insert_(insert),
+      points_(std::move(initial_points)),
+      sets_(points_.rows(), params.k) {
+  WKNNG_CHECK_MSG(points_.rows() > params_.k,
+                  "need more initial points than k");
+  // Initial build: the standard w-KNNG pipeline feeding our own set array.
+  const Buckets forest =
+      build_rp_forest(*pool_, points_, params_.num_trees, params_.leaf_size,
+                      params_.seed, &acc_, params_.spill);
+  leaf_knn(*pool_, points_, forest, params_.strategy, sets_, &acc_,
+           params_.scratch_bytes);
+  for (std::size_t round = 0; round < params_.refine_iters; ++round) {
+    const Adjacency adj = snapshot_adjacency(*pool_, sets_, params_.reverse_cap);
+    refine_round(*pool_, points_, adj, params_, sets_, &acc_);
+  }
+}
+
+void IncrementalKnng::add_batch(const FloatMatrix& batch) {
+  WKNNG_CHECK(batch.cols() == points_.cols());
+  if (batch.rows() == 0) return;
+
+  const std::size_t old_n = points_.rows();
+  points_ = append_rows(points_, batch);
+  sets_.grow(points_.rows());
+
+  const std::size_t k = params_.k;
+  const Strategy strategy = params_.strategy;
+  const InsertParams ins = insert_;
+
+  simt::LaunchConfig config;
+  config.scratch_bytes = params_.scratch_bytes;
+  simt::launch_warps(*pool_, batch.rows(), config, &acc_, [&](Warp& w) {
+    const auto id = static_cast<std::uint32_t>(old_n + w.id());
+    const auto query = points_.row(id);
+    Rng rng(params_.seed, 0xABCD0000ULL + id);
+
+    // Per-warp private search state (registers / local memory on hardware).
+    std::vector<char> visited(points_.rows(), 0);
+    visited[id] = 1;
+    std::priority_queue<Neighbor, std::vector<Neighbor>, MinHeapCmp> frontier;
+    TopK best(std::max(k, ins.beam));
+    std::size_t visits = 0;
+
+    auto score_tile = [&](const std::vector<std::uint32_t>& ids) {
+      for (std::size_t t0 = 0; t0 < ids.size(); t0 += kWarpSize) {
+        const std::size_t cnt = std::min<std::size_t>(kWarpSize, ids.size() - t0);
+        Lanes<std::uint32_t> lane_ids{};
+        Lanes<bool> active{};
+        for (std::size_t l = 0; l < cnt; ++l) {
+          lane_ids[l] = ids[t0 + l];
+          active[l] = true;
+        }
+        const Lanes<float> d = simt::warp_l2_batch(
+            w, query, lane_ids, active,
+            [&](std::uint32_t p) { return points_.row(p); });
+        for (std::size_t l = 0; l < cnt; ++l) {
+          if (d[l] < best.worst()) {
+            frontier.push({d[l], lane_ids[l]});
+            best.push(d[l], lane_ids[l]);
+          }
+        }
+      }
+    };
+
+    // Entry sample over the pre-batch graph.
+    std::vector<std::uint32_t> entries;
+    entries.reserve(ins.entry_sample);
+    for (std::size_t e = 0; e < ins.entry_sample && e < old_n; ++e) {
+      const auto p = static_cast<std::uint32_t>(rng.next_below(old_n));
+      if (visited[p]) continue;
+      visited[p] = 1;
+      ++visits;
+      entries.push_back(p);
+    }
+    score_tile(entries);
+
+    // Best-first descent.
+    std::vector<std::uint32_t> neighbor_ids(k);
+    std::vector<std::uint32_t> expand;
+    while (!frontier.empty() && visits < ins.max_visits) {
+      const Neighbor cur = frontier.top();
+      frontier.pop();
+      if (cur.dist > best.worst()) break;
+      const std::size_t cnt = sets_.snapshot_ids(cur.id, neighbor_ids.data());
+      w.count_read(k * sizeof(std::uint64_t));
+      expand.clear();
+      for (std::size_t s = 0; s < cnt; ++s) {
+        const std::uint32_t nb = neighbor_ids[s];
+        if (nb >= points_.rows() || visited[nb]) continue;
+        visited[nb] = 1;
+        ++visits;
+        expand.push_back(nb);
+      }
+      score_tile(expand);
+    }
+
+    // Adopt the k best as forward neighbors; push reverse edges.
+    auto found = best.take_sorted();
+    if (found.size() > k) found.resize(k);
+    for (const Neighbor& nb : found) {
+      sets_.insert(w, strategy, id, Packed::make(nb.dist, nb.id));
+      sets_.insert(w, strategy, nb.id, Packed::make(nb.dist, id));
+    }
+  });
+}
+
+void IncrementalKnng::refine() {
+  const Adjacency adj = snapshot_adjacency(*pool_, sets_, params_.reverse_cap);
+  refine_round(*pool_, points_, adj, params_, sets_, &acc_);
+}
+
+KnnGraph IncrementalKnng::graph() const { return sets_.extract(*pool_); }
+
+}  // namespace wknng::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/builder.hpp"
+#include "core/knn_set.hpp"
+#include "core/params.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::core {
+
+/// Knobs of the graph-descent insertion used for new points.
+struct InsertParams {
+  std::size_t entry_sample = 64;  ///< random existing points scored as entries
+  std::size_t beam = 32;          ///< best-first frontier width (ef)
+  std::size_t max_visits = 512;   ///< hard cap on points expanded per insert
+};
+
+/// Online (incremental) K-NN graph — an extension beyond the paper's batch
+/// construction: the initial graph is built with the w-KNNG pipeline, and
+/// subsequent batches of points are inserted by warp-centric graph descent:
+/// each new point's warp scores a random entry sample, best-first descends
+/// the current graph to gather candidates, keeps the k best as forward
+/// neighbors, and pushes itself into those neighbors' sets through the
+/// configured maintenance strategy (the same concurrent-update machinery
+/// the leaf kernel uses).
+///
+/// Quality: recall of inserted points tracks the base build closely on
+/// clustered data (see tests/core/test_incremental.cpp and the fig7 bench).
+class IncrementalKnng {
+ public:
+  /// Builds the initial graph over `initial_points` with `params`.
+  IncrementalKnng(ThreadPool& pool, BuildParams params,
+                  FloatMatrix initial_points,
+                  InsertParams insert = InsertParams{});
+
+  std::size_t size() const { return points_.rows(); }
+  std::size_t k() const { return params_.k; }
+  const FloatMatrix& points() const { return points_; }
+
+  /// Inserts a batch; the new points receive ids [size(), size() + batch).
+  /// Dimensions must match the initial points.
+  void add_batch(const FloatMatrix& batch);
+
+  /// Runs one neighbor-of-neighbor refinement round over the whole graph
+  /// (recommended every few batches to repair reverse-edge quality).
+  void refine();
+
+  /// Snapshot of the current graph.
+  KnnGraph graph() const;
+
+  /// Aggregated device work since construction.
+  simt::Stats stats() const { return acc_.total(); }
+
+ private:
+  ThreadPool* pool_;
+  BuildParams params_;
+  InsertParams insert_;
+  FloatMatrix points_;
+  KnnSetArray sets_;
+  mutable simt::StatsAccumulator acc_;
+};
+
+}  // namespace wknng::core

@@ -1,0 +1,173 @@
+#include "core/knn_set.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simt/sort.hpp"
+
+namespace wknng::core {
+
+using simt::Packed;
+
+KnnSetArray::KnnSetArray(std::size_t n, std::size_t k)
+    : n_(n), k_(k), sets_(n * k, Packed::kEmpty), locks_(n) {
+  WKNNG_CHECK_MSG(k > 0, "k must be positive");
+  WKNNG_CHECK_MSG(n > 0, "n must be positive");
+}
+
+namespace {
+
+/// Result of the lane-parallel slot scan every strategy starts with.
+struct ScanResult {
+  bool duplicate = false;      ///< cand's id already present
+  std::size_t worst_slot = 0;  ///< index of the largest packed value
+  std::uint64_t worst_value = 0;
+};
+
+/// Scans k slots in ceil(k/32) lane-parallel rounds, looking for a duplicate
+/// of cand's id and for the worst slot. `atomic` selects load discipline.
+/// Charges the modelled costs: k*8 bytes of global reads, one ballot per
+/// round, one argmax-reduce at the end.
+ScanResult scan_slots(simt::Warp& w, const std::uint64_t* slots, std::size_t k,
+                      std::uint64_t cand, bool atomic) {
+  const std::uint32_t cand_id = Packed::id(cand);
+  ScanResult r;
+  r.worst_value = 0;
+
+  const std::size_t rounds = (k + simt::kWarpSize - 1) / simt::kWarpSize;
+  w.stats().warp_collectives += rounds;  // per-round duplicate ballot
+  w.count_read(k * sizeof(std::uint64_t));
+
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::uint64_t v =
+        atomic ? simt::atomic_load(slots[s]) : slots[s];
+    if (!Packed::is_empty(v) && Packed::id(v) == cand_id) {
+      r.duplicate = true;
+      return r;
+    }
+    if (s == 0 || v > r.worst_value) {
+      r.worst_value = v;
+      r.worst_slot = s;
+    }
+  }
+  w.stats().warp_collectives += 5;  // argmax reduction
+  return r;
+}
+
+}  // namespace
+
+void KnnSetArray::insert_basic(simt::Warp& w, std::uint32_t dst,
+                               std::uint64_t cand) {
+  locks_.acquire(dst, w.stats());
+  std::uint64_t* slots = row(dst);
+  const ScanResult scan = scan_slots(w, slots, k_, cand, /*atomic=*/false);
+  if (!scan.duplicate && cand < scan.worst_value) {
+    slots[scan.worst_slot] = cand;
+    w.count_write(sizeof(std::uint64_t));
+  }
+  locks_.release(dst);
+}
+
+void KnnSetArray::insert_atomic(simt::Warp& w, std::uint32_t dst,
+                                std::uint64_t cand) {
+  std::uint64_t* slots = row(dst);
+  while (true) {
+    const ScanResult scan = scan_slots(w, slots, k_, cand, /*atomic=*/true);
+    if (scan.duplicate) return;
+    if (cand >= scan.worst_value) return;  // not better than the current worst
+    std::uint64_t expected = scan.worst_value;
+    if (simt::atomic_cas(slots[scan.worst_slot], expected, cand, w.stats())) {
+      w.count_write(sizeof(std::uint64_t));
+      return;
+    }
+    // Lost the race: the slot changed under us; rescan and retry.
+  }
+}
+
+std::uint64_t KnnSetArray::peek_worst_sorted(simt::Warp& w,
+                                             std::uint32_t dst) const {
+  w.count_read(sizeof(std::uint64_t));
+  return simt::atomic_load(row(dst)[k_ - 1]);
+}
+
+void KnnSetArray::merge_sorted_tile(simt::Warp& w, std::uint32_t dst,
+                                    const simt::Lanes<std::uint64_t>& sorted_run) {
+  // Monotonic-bound prune: the k-th best only ever improves, so a candidate
+  // that fails against the current worst can never be admitted later.
+  if (sorted_run[0] >= peek_worst_sorted(w, dst)) return;
+
+  const std::size_t mark = w.scratch().mark();
+  auto tmp = w.scratch().alloc<std::uint64_t>(k_);
+  locks_.acquire(dst, w.stats());
+  std::span<std::uint64_t> list(row(dst), k_);
+  w.count_read(k_ * sizeof(std::uint64_t));
+  simt::merge_sorted_run(w, list, sorted_run, tmp, Packed::kEmpty);
+  w.count_write(k_ * sizeof(std::uint64_t));
+  locks_.release(dst);
+  w.scratch().release(mark);
+}
+
+void KnnSetArray::insert_tiled_single(simt::Warp& w, std::uint32_t dst,
+                                      std::uint64_t cand) {
+  simt::Lanes<std::uint64_t> run;
+  run.fill(Packed::kEmpty);
+  run[0] = cand;
+  merge_sorted_tile(w, dst, run);
+}
+
+std::size_t KnnSetArray::snapshot_ids(std::uint32_t p, std::uint32_t* out) const {
+  const std::uint64_t* slots = row(p);
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < k_; ++s) {
+    const std::uint64_t v = simt::atomic_load(slots[s]);
+    if (!Packed::is_empty(v)) out[count++] = Packed::id(v);
+  }
+  return count;
+}
+
+bool KnnSetArray::contains(simt::Warp& w, std::uint32_t p,
+                           std::uint32_t id) const {
+  const std::uint64_t* slots = row(p);
+  w.count_read(k_ * sizeof(std::uint64_t));
+  w.stats().warp_collectives += (k_ + simt::kWarpSize - 1) / simt::kWarpSize;
+  for (std::size_t s = 0; s < k_; ++s) {
+    const std::uint64_t v = simt::atomic_load(slots[s]);
+    if (!Packed::is_empty(v) && Packed::id(v) == id) return true;
+  }
+  return false;
+}
+
+void KnnSetArray::grow(std::size_t new_n) {
+  WKNNG_CHECK_MSG(new_n >= n_, "grow cannot shrink: " << new_n << " < " << n_);
+  if (new_n == n_) return;
+  sets_.resize_preserving(new_n * k_, Packed::kEmpty);
+  locks_.assign(new_n);  // all locks idle by precondition
+  n_ = new_n;
+}
+
+KnnGraph KnnSetArray::extract(ThreadPool& pool) const {
+  KnnGraph g(n_, k_);
+  pool.parallel_for(n_, 64, [&](std::size_t p) {
+    std::vector<std::uint64_t> vals(row(p), row(p) + k_);
+    std::sort(vals.begin(), vals.end());
+    auto out = g.row(p);
+    std::size_t count = 0;
+    for (const std::uint64_t v : vals) {
+      if (Packed::is_empty(v)) break;
+      const std::uint32_t id = Packed::id(v);
+      bool dup = false;
+      for (std::size_t j = 0; j < count; ++j) {
+        if (out[j].id == id) {
+          dup = true;  // racing duplicate insert (atomic strategy): keep best
+          break;
+        }
+      }
+      if (dup || id == p) continue;
+      out[count++] = Neighbor{Packed::dist(v), id};
+    }
+  });
+  return g;
+}
+
+}  // namespace wknng::core

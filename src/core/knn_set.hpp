@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/knn_graph.hpp"
+#include "common/thread_pool.hpp"
+#include "core/params.hpp"
+#include "simt/memory.hpp"
+#include "simt/packed.hpp"
+#include "simt/warp.hpp"
+
+namespace wknng::core {
+
+/// The global-memory k-NN sets of all n points, plus the three maintenance
+/// strategies that operate on them. This is the heart of the paper: k-NN
+/// sets of high-dimensional points do not fit in shared memory, so they live
+/// in global memory as n*k packed 64-bit (distance,id) words, and the three
+/// strategies differ in how concurrent warps update them.
+///
+/// Slot-order invariants differ by strategy:
+///  * kBasic / kAtomic rows are unordered slot arrays (insertion replaces
+///    the current worst slot).
+///  * kTiled rows are kept sorted ascending (merge-based updates).
+/// Extraction normalises both into a sorted, deduplicated KnnGraph.
+class KnnSetArray {
+ public:
+  KnnSetArray(std::size_t n, std::size_t k);
+
+  std::size_t num_points() const { return n_; }
+  std::size_t k() const { return k_; }
+
+  /// Raw row access (packed words). Concurrent use must go through the
+  /// strategy member functions.
+  std::uint64_t* row(std::size_t p) { return sets_.data() + p * k_; }
+  const std::uint64_t* row(std::size_t p) const { return sets_.data() + p * k_; }
+
+  // --- Strategy: basic (per-point lock, scan & replace) -------------------
+
+  /// Inserts `cand` into point `dst`'s set under dst's spin lock. The warp
+  /// scans the k slots in lane-parallel rounds for (a) a duplicate id and
+  /// (b) the worst slot, then overwrites the worst if cand beats it.
+  void insert_basic(simt::Warp& w, std::uint32_t dst, std::uint64_t cand);
+
+  // --- Strategy: atomic (lock-free CAS on the worst slot) -----------------
+
+  /// Lock-free insert: scan (atomic loads) for duplicate/worst, then CAS the
+  /// worst slot; on a lost race, rescan and retry. cas_retries in the warp
+  /// stats measures contention.
+  void insert_atomic(simt::Warp& w, std::uint32_t dst, std::uint64_t cand);
+
+  // --- Strategy: tiled (sorted rows, merge of sorted scratch runs) --------
+
+  /// Returns the current worst (k-th best) packed value of dst's set without
+  /// synchronisation. The worst value decreases monotonically over a build,
+  /// so it is always safe to prune candidates that are >= this bound.
+  std::uint64_t peek_worst_sorted(simt::Warp& w, std::uint32_t dst) const;
+
+  /// Merges a *sorted ascending* run of 32 packed candidates (kEmpty-padded)
+  /// into dst's sorted row, keeping the k best, under dst's lock. Candidates
+  /// equal to an existing packed word are collapsed (same pair submitted by
+  /// two trees). Scratch is used for the merge buffer.
+  void merge_sorted_tile(simt::Warp& w, std::uint32_t dst,
+                         const simt::Lanes<std::uint64_t>& sorted_run);
+
+  // --- Uniform entry point -------------------------------------------------
+
+  /// Strategy-dispatched single-candidate insert (used by kernels that do
+  /// not batch; kTiled callers should prefer merge_sorted_tile).
+  void insert(simt::Warp& w, Strategy s, std::uint32_t dst, std::uint64_t cand) {
+    switch (s) {
+      case Strategy::kBasic: insert_basic(w, dst, cand); return;
+      case Strategy::kAtomic: insert_atomic(w, dst, cand); return;
+      case Strategy::kTiled: insert_tiled_single(w, dst, cand); return;
+      // kShared has no per-candidate *global* insert of its own (its sets
+      // live in scratch during the bucket pass and are merged at the end);
+      // out-of-kernel callers get the sorted-merge path, which preserves
+      // the sorted-row invariant the bucket-end merge relies on.
+      case Strategy::kShared: insert_tiled_single(w, dst, cand); return;
+    }
+  }
+
+  /// Reads the current neighbor ids of point p into `out` (up to k entries,
+  /// unsynchronised snapshot); returns the count. Used by the refinement
+  /// phase to enumerate adjacency.
+  std::size_t snapshot_ids(std::uint32_t p, std::uint32_t* out) const;
+
+  /// True if id is currently present in p's set (unsynchronised; callers use
+  /// it as a cheap pre-distance skip, false negatives are harmless).
+  bool contains(simt::Warp& w, std::uint32_t p, std::uint32_t id) const;
+
+  /// Normalises all sets into a KnnGraph: per row sort ascending, drop
+  /// duplicates by id (keep best), drop empties. Runs on the pool.
+  KnnGraph extract(ThreadPool& pool) const;
+
+  /// Grows the array to `new_n` points (existing sets preserved, new sets
+  /// empty). Host-side only — must not race with running kernels. Used by
+  /// the incremental builder when a batch of points arrives.
+  void grow(std::size_t new_n);
+
+ private:
+  /// Degenerate single-candidate path for kTiled (wraps the candidate into a
+  /// one-element run).
+  void insert_tiled_single(simt::Warp& w, std::uint32_t dst, std::uint64_t cand);
+
+  std::size_t n_;
+  std::size_t k_;
+  simt::DeviceBuffer<std::uint64_t> sets_;
+  simt::SpinLockArray locks_;
+};
+
+}  // namespace wknng::core

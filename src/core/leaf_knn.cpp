@@ -1,0 +1,158 @@
+#include "core/leaf_knn.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/tiled_block.hpp"
+#include "simt/launch.hpp"
+#include "simt/packed.hpp"
+#include "simt/sort.hpp"
+#include "simt/warp_distance.hpp"
+
+namespace wknng::core {
+
+using simt::kWarpSize;
+using simt::Lanes;
+using simt::Packed;
+using simt::Warp;
+
+namespace {
+
+/// Pair-at-a-time bucket kernel shared by kBasic and kAtomic: one distance
+/// per step (dimension-parallel lanes), immediate strategy insert of both
+/// directions.
+void bucket_pairwise(Warp& w, const FloatMatrix& points,
+                     std::span<const std::uint32_t> ids, Strategy strategy,
+                     KnnSetArray& sets) {
+  const std::size_t m = ids.size();
+  for (std::size_t a = 0; a + 1 < m; ++a) {
+    const std::uint32_t ia = ids[a];
+    auto xa = points.row(ia);
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const std::uint32_t ib = ids[b];
+      const float dist = simt::warp_l2_dims(w, xa, points.row(ib));
+      sets.insert(w, strategy, ia, Packed::make(dist, ib));
+      sets.insert(w, strategy, ib, Packed::make(dist, ia));
+    }
+  }
+}
+
+/// GEMM-style tiled bucket kernel (strategy kTiled): the bucket is swept as
+/// pairs of 32-point tiles through the shared tile-pair kernel
+/// (core/tiled_block.hpp), which stages coordinates in scratch so each
+/// global coordinate is read once per tile pair — the coalesced,
+/// reuse-friendly pattern that makes this strategy win at high
+/// dimensionality.
+void bucket_tiled(Warp& w, const FloatMatrix& points,
+                  std::span<const std::uint32_t> ids, KnnSetArray& sets) {
+  const std::size_t m = ids.size();
+  if (m < 2) return;
+  const detail::TileBuffers buf =
+      detail::alloc_tile_buffers(w, points.cols(), sets.k());
+
+  const std::size_t num_tiles = (m + kWarpSize - 1) / kWarpSize;
+  for (std::size_t ta = 0; ta < num_tiles; ++ta) {
+    const std::size_t a0 = ta * kWarpSize;
+    const std::size_t na = std::min<std::size_t>(kWarpSize, m - a0);
+    for (std::size_t tb = ta; tb < num_tiles; ++tb) {
+      const std::size_t b0 = tb * kWarpSize;
+      const std::size_t nb = std::min<std::size_t>(kWarpSize, m - b0);
+      detail::process_tile_pair(
+          w, points, [&](std::size_t i) { return ids[a0 + i]; }, na,
+          [&](std::size_t j) { return ids[b0 + j]; }, nb,
+          /*diagonal=*/ta == tb, sets, buf);
+    }
+  }
+}
+
+/// Shared-memory bucket kernel (strategy kShared — the baseline the paper
+/// improves on): the bucket's k-NN sets are scratch-resident for the whole
+/// pass. Pairwise distances update the scratch sets with zero global-memory
+/// traffic and zero synchronisation (one warp owns the bucket); at bucket
+/// end every point's scratch set is sorted and merged into its global set.
+/// Throws when leaf_size * k exceeds the scratch budget — the limitation
+/// that motivates the three global-memory strategies.
+void bucket_shared(Warp& w, const FloatMatrix& points,
+                   std::span<const std::uint32_t> ids, KnnSetArray& sets) {
+  const std::size_t m = ids.size();
+  if (m < 2) return;
+  const std::size_t k = sets.k();
+
+  WKNNG_CHECK_MSG(
+      m * k * sizeof(std::uint64_t) + 1024 <= w.scratch().capacity(),
+      "shared-memory strategy infeasible: bucket of " << m << " points x k="
+          << k << " needs " << m * k * sizeof(std::uint64_t)
+          << " B of scratch (capacity " << w.scratch().capacity()
+          << " B) — use a global-memory strategy (this is the limitation "
+             "the paper's w-KNNG strategies remove)");
+  auto local = w.scratch().alloc<std::uint64_t>(m * k);
+  std::fill(local.begin(), local.end(), Packed::kEmpty);
+
+  // Scratch-set insert: replace-worst scan, no locks, no global traffic.
+  auto insert_local = [&](std::size_t slot_owner, std::uint64_t cand) {
+    std::uint64_t* row = &local[slot_owner * k];
+    std::size_t worst = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (row[s] == cand) return;  // duplicate pair
+      if (row[s] > row[worst]) worst = s;
+    }
+    w.stats().warp_collectives += (k + kWarpSize - 1) / kWarpSize + 5;
+    if (cand < row[worst]) row[worst] = cand;
+  };
+
+  for (std::size_t a = 0; a + 1 < m; ++a) {
+    auto xa = points.row(ids[a]);
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const float dist = simt::warp_l2_dims(w, xa, points.row(ids[b]));
+      insert_local(a, Packed::make(dist, ids[b]));
+      insert_local(b, Packed::make(dist, ids[a]));
+    }
+  }
+
+  // Bucket-end writeback: sort each scratch set, merge into the global set
+  // in 32-candidate runs.
+  for (std::size_t a = 0; a < m; ++a) {
+    std::span<std::uint64_t> row = local.subspan(a * k, k);
+    simt::sort_scratch(w, row);
+    for (std::size_t c0 = 0; c0 < k; c0 += kWarpSize) {
+      const std::size_t cnt = std::min<std::size_t>(kWarpSize, k - c0);
+      if (Packed::is_empty(row[c0])) break;  // rest of the row is empty
+      Lanes<std::uint64_t> run;
+      run.fill(Packed::kEmpty);
+      for (std::size_t c = 0; c < cnt; ++c) run[c] = row[c0 + c];
+      sets.merge_sorted_tile(w, ids[a], run);
+    }
+  }
+}
+
+}  // namespace
+
+void process_bucket(simt::Warp& w, const FloatMatrix& points,
+                    std::span<const std::uint32_t> ids, Strategy strategy,
+                    KnnSetArray& sets) {
+  switch (strategy) {
+    case Strategy::kTiled:
+      bucket_tiled(w, points, ids, sets);
+      return;
+    case Strategy::kShared:
+      bucket_shared(w, points, ids, sets);
+      return;
+    case Strategy::kBasic:
+    case Strategy::kAtomic:
+      bucket_pairwise(w, points, ids, strategy, sets);
+      return;
+  }
+}
+
+void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
+              const Buckets& buckets, Strategy strategy, KnnSetArray& sets,
+              simt::StatsAccumulator* acc, std::size_t scratch_bytes) {
+  simt::LaunchConfig config;
+  config.scratch_bytes = scratch_bytes;
+  simt::launch_warps(pool, buckets.num_buckets(), config, acc, [&](Warp& w) {
+    process_bucket(w, points, buckets.bucket(w.id()), strategy, sets);
+  });
+}
+
+}  // namespace wknng::core

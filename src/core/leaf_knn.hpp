@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/knn_set.hpp"
+#include "core/params.hpp"
+#include "core/rp_forest.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::core {
+
+/// Runs the warp-centric brute-force pass over every forest bucket, feeding
+/// the global k-NN sets with the selected maintenance strategy. One warp
+/// processes one bucket.
+///
+/// Kernel shapes (see DESIGN.md):
+///  * kBasic / kAtomic — pair-at-a-time: the warp walks ordered pairs (a,b),
+///    computes one distance with dimension-parallel lanes, and submits both
+///    directions through the strategy's insert.
+///  * kTiled — GEMM-style: the warp computes 32x32 distance blocks with
+///    dimension-chunked coordinate staging in scratch (each coordinate is
+///    read from global memory once per tile pair instead of once per pair),
+///    then merges sorted 32-candidate runs into the k-sets.
+void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
+              const Buckets& buckets, Strategy strategy, KnnSetArray& sets,
+              simt::StatsAccumulator* acc, std::size_t scratch_bytes);
+
+/// Brute-forces one id list as a bucket with the given strategy, feeding the
+/// global k-NN sets: every unordered pair is evaluated once and submitted to
+/// both endpoints. This is the leaf pass's inner kernel; the local-join
+/// refinement mode reuses it on per-point candidate neighborhoods.
+void process_bucket(simt::Warp& w, const FloatMatrix& points,
+                    std::span<const std::uint32_t> ids, Strategy strategy,
+                    KnnSetArray& sets);
+
+}  // namespace wknng::core

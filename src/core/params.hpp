@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wknng::core {
+
+/// The paper's three warp-centric k-NN-set maintenance strategies.
+enum class Strategy {
+  /// "w-KNNG": per-point spin lock; the warp scans the k slots, replaces the
+  /// current worst. Simple, serialises concurrent updaters of one point.
+  kBasic,
+  /// "w-KNNG atomic": lock-free — packed (dist,id) words updated by CAS on
+  /// the worst slot. Wins when distances are cheap (low dimensionality) and
+  /// update rate dominates.
+  kAtomic,
+  /// "tiled w-KNNG": candidates staged and sorted in per-warp scratch tiles,
+  /// distance blocks computed GEMM-style with coordinate reuse, sorted runs
+  /// merged into the k-set in one short critical section. Wins for higher
+  /// dimensional points.
+  kTiled,
+  /// Shared-memory baseline — the approach the paper argues *against*: the
+  /// whole bucket's k-NN sets live in per-warp scratch during the leaf pass
+  /// (zero global-memory traffic for set maintenance) and are merged into
+  /// global memory once at bucket end. Only feasible while
+  /// leaf_size * k * 8 bytes fit the scratch budget; the builder throws
+  /// otherwise — which is exactly the "space limitation in maintaining
+  /// these sets in high speed shared memory" the abstract motivates the
+  /// three global-memory strategies with.
+  kShared,
+};
+
+/// How a refinement round generates and scores candidates.
+enum class RefineMode {
+  /// Each point scores its neighbors' neighbors against *itself* only
+  /// (contention-free: a warp writes its own point's set). Cheap rounds;
+  /// information propagates one hop per round.
+  kExpand,
+  /// Classic NN-Descent local join: each point brute-forces its combined
+  /// forward+reverse neighborhood as a bucket, so every candidate pair is
+  /// submitted to *both* endpoints. Fewer rounds needed, but the k-NN sets
+  /// see concurrent updates — the maintenance strategies earn their keep.
+  kLocalJoin,
+};
+
+const char* refine_mode_name(RefineMode m);
+
+const char* strategy_name(Strategy s);
+
+/// Parse "basic" / "atomic" / "tiled" (throws wknng::Error otherwise).
+Strategy strategy_from_name(const std::string& name);
+
+/// The paper's conclusion as a policy: atomic for a smaller number of
+/// dimensions, tiled for higher-dimensional points. The threshold comes
+/// from the Fig. 1 crossover measured on this substrate (see
+/// EXPERIMENTS.md); callers with unusual workloads should sweep
+/// bench/fig1_dim_crossover themselves.
+Strategy recommended_strategy(std::size_t dim);
+
+/// All knobs of the w-KNNG builder. Defaults give a reasonable
+/// recall/time point for clustered data in the tens-of-thousands range.
+struct BuildParams {
+  std::size_t k = 10;            ///< neighbors per point in the output graph
+  Strategy strategy = Strategy::kTiled;
+
+  // Random-projection forest.
+  std::size_t num_trees = 8;     ///< independent RP trees; more = higher recall
+  std::size_t leaf_size = 64;    ///< max bucket size; brute-forced by one warp
+  float spill = 0.0f;            ///< spill-tree overlap fraction in [0, 0.45);
+                                 ///< boundary points enter both children
+
+  // Neighbor-of-neighbor refinement.
+  std::size_t refine_iters = 1;      ///< rounds after the forest pass (0 = off)
+  std::size_t refine_sample = 512;   ///< max candidates examined per point/round
+  std::size_t reverse_cap = 0;       ///< reverse edges kept per point (0 = k)
+  RefineMode refine_mode = RefineMode::kExpand;
+
+  std::uint64_t seed = 1234;     ///< drives tree directions and sampling
+
+  /// Scratch ("shared memory") budget per warp in bytes.
+  std::size_t scratch_bytes = 48 * 1024;
+};
+
+}  // namespace wknng::core

@@ -1,0 +1,205 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/leaf_knn.hpp"
+#include "simt/launch.hpp"
+#include "simt/packed.hpp"
+#include "simt/sort.hpp"
+#include "simt/warp_distance.hpp"
+
+namespace wknng::core {
+
+using simt::kWarpSize;
+using simt::Lanes;
+using simt::Packed;
+using simt::Warp;
+
+Adjacency snapshot_adjacency(ThreadPool& pool, const KnnSetArray& sets,
+                             std::size_t reverse_cap) {
+  const std::size_t n = sets.num_points();
+  const std::size_t k = sets.k();
+  if (reverse_cap == 0) reverse_cap = k;
+
+  Adjacency adj;
+  adj.n = n;
+  adj.k = k;
+  adj.fwd.assign(n * k, Adjacency::kInvalidId);
+  adj.fwd_count.assign(n, 0);
+
+  pool.parallel_for(n, 256, [&](std::size_t p) {
+    adj.fwd_count[p] = static_cast<std::uint32_t>(
+        sets.snapshot_ids(static_cast<std::uint32_t>(p), adj.fwd.data() + p * k));
+  });
+
+  // Reverse edges: count (capped), prefix-sum, fill. Serial counting pass —
+  // O(nk), negligible next to the distance work it enables.
+  std::vector<std::uint32_t> count(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::uint32_t q : adj.forward(static_cast<std::uint32_t>(p))) {
+      if (count[q] < reverse_cap) ++count[q];
+    }
+  }
+  adj.rev_offsets.assign(n + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    adj.rev_offsets[p + 1] = adj.rev_offsets[p] + count[p];
+  }
+  adj.rev.assign(adj.rev_offsets[n], 0);
+  std::vector<std::uint32_t> cursor(adj.rev_offsets.begin(),
+                                    adj.rev_offsets.end() - 1);
+  std::vector<std::uint32_t> filled(n, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::uint32_t q : adj.forward(static_cast<std::uint32_t>(p))) {
+      if (filled[q] < reverse_cap) {
+        adj.rev[cursor[q]++] = static_cast<std::uint32_t>(p);
+        ++filled[q];
+      }
+    }
+  }
+  return adj;
+}
+
+namespace {
+
+/// Gathers, dedups and prunes the candidate ids for point p into scratch.
+/// Returns the candidate span (possibly empty). Candidate order — and hence
+/// the sampled subset — is deterministic: a sorted-unique set minus current
+/// neighbors, truncated to the sample budget.
+std::span<std::uint32_t> gather_candidates(Warp& w, const Adjacency& adj,
+                                           std::uint32_t p,
+                                           std::size_t sample_cap) {
+  const auto fwd_p = adj.forward(p);
+  const auto rev_p = adj.reverse(p);
+
+  // Upper bound on raw candidates: every base neighbor contributes up to k.
+  const std::size_t base = fwd_p.size() + rev_p.size();
+  const std::size_t raw_cap = base * adj.k;
+  auto buf = w.scratch().alloc<std::uint32_t>(raw_cap);
+
+  std::size_t count = 0;
+  auto push_neighbors_of = [&](std::uint32_t q) {
+    for (std::uint32_t r : adj.forward(q)) {
+      if (r != p) buf[count++] = r;
+    }
+    w.count_read(adj.forward(q).size() * sizeof(std::uint32_t));
+  };
+  for (std::uint32_t q : fwd_p) push_neighbors_of(q);
+  for (std::uint32_t q : rev_p) push_neighbors_of(q);
+  w.count_read((fwd_p.size() + rev_p.size()) * sizeof(std::uint32_t));
+
+  // Dedup (warp sort + unique in scratch).
+  std::span<std::uint32_t> cands(buf.data(), count);
+  simt::sort_scratch(w, cands);
+  auto new_end = std::unique(cands.begin(), cands.end());
+  count = static_cast<std::size_t>(new_end - cands.begin());
+
+  // Remove p's current forward neighbors (already in the set; scanning here
+  // is cheaper than burning a distance evaluation on them).
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t r = cands[i];
+    const bool known = std::find(fwd_p.begin(), fwd_p.end(), r) != fwd_p.end();
+    if (!known) cands[kept++] = r;
+  }
+  count = std::min(kept, sample_cap);
+  return cands.subspan(0, count);
+}
+
+void refine_point_pairwise(Warp& w, const FloatMatrix& points,
+                           std::span<const std::uint32_t> cands,
+                           std::uint32_t p, Strategy strategy,
+                           KnnSetArray& sets) {
+  auto xp = points.row(p);
+  for (std::uint32_t r : cands) {
+    const float dist = simt::warp_l2_dims(w, xp, points.row(r));
+    sets.insert(w, strategy, p, Packed::make(dist, r));
+  }
+}
+
+void refine_point_tiled(Warp& w, const FloatMatrix& points,
+                        std::span<const std::uint32_t> cands, std::uint32_t p,
+                        KnnSetArray& sets) {
+  auto xp = points.row(p);
+  for (std::size_t t0 = 0; t0 < cands.size(); t0 += kWarpSize) {
+    const std::size_t cnt = std::min<std::size_t>(kWarpSize, cands.size() - t0);
+    Lanes<std::uint32_t> ids{};
+    Lanes<bool> active{};
+    for (std::size_t l = 0; l < cnt; ++l) {
+      ids[l] = cands[t0 + l];
+      active[l] = true;
+    }
+    const Lanes<float> dists = simt::warp_l2_batch(
+        w, xp, ids, active,
+        [&](std::uint32_t id) { return points.row(id); });
+    Lanes<std::uint64_t> run;
+    run.fill(Packed::kEmpty);
+    for (std::size_t l = 0; l < cnt; ++l) {
+      run[l] = Packed::make(dists[l], ids[l]);
+    }
+    simt::bitonic_sort_lanes(w, run);
+    sets.merge_sorted_tile(w, p, run);
+  }
+}
+
+}  // namespace
+
+void refine_round(ThreadPool& pool, const FloatMatrix& points,
+                  const Adjacency& adj, const BuildParams& params,
+                  KnnSetArray& sets, simt::StatsAccumulator* acc) {
+  const std::size_t n = sets.num_points();
+  WKNNG_CHECK(adj.n == n);
+
+  // Scratch needs room for the raw candidate gather plus the tiled kernel's
+  // merge buffer. The gather bound is (max fwd+rev degree) * k ids.
+  std::size_t max_rev = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    max_rev = std::max<std::size_t>(
+        max_rev, adj.rev_offsets[p + 1] - adj.rev_offsets[p]);
+  }
+  const std::size_t gather_bytes =
+      (adj.k + max_rev) * adj.k * sizeof(std::uint32_t) + 4096;
+  simt::LaunchConfig config;
+  config.scratch_bytes = std::max(params.scratch_bytes, gather_bytes);
+  config.grain = 16;
+
+  if (params.refine_mode == RefineMode::kLocalJoin) {
+    // Local join: each warp brute-forces its point's combined neighborhood
+    // as a bucket. Joined ids include p itself so the pairs (p, q) are also
+    // refreshed.
+    simt::launch_warps(pool, n, config, acc, [&](Warp& w) {
+      const auto p = static_cast<std::uint32_t>(w.id());
+      const auto fwd = adj.forward(p);
+      const auto rev = adj.reverse(p);
+      auto join = w.scratch().alloc<std::uint32_t>(fwd.size() + rev.size() + 1);
+      std::size_t count = 0;
+      join[count++] = p;
+      for (std::uint32_t q : fwd) join[count++] = q;
+      for (std::uint32_t q : rev) join[count++] = q;
+      std::span<std::uint32_t> ids(join.data(), count);
+      simt::sort_scratch(w, ids);
+      auto end = std::unique(ids.begin(), ids.end());
+      const std::size_t unique_count =
+          std::min<std::size_t>(end - ids.begin(), params.refine_sample);
+      process_bucket(w, points, ids.subspan(0, unique_count), params.strategy,
+                     sets);
+    });
+    return;
+  }
+
+  simt::launch_warps(pool, n, config, acc, [&](Warp& w) {
+    const auto p = static_cast<std::uint32_t>(w.id());
+    auto cands = gather_candidates(w, adj, p, params.refine_sample);
+    if (cands.empty()) return;
+    if (params.strategy == Strategy::kTiled ||
+        params.strategy == Strategy::kShared) {
+      // kShared refines like kTiled: candidates scored in scratch, one
+      // merge per tile — the natural scratch-first discipline.
+      refine_point_tiled(w, points, cands, p, sets);
+    } else {
+      refine_point_pairwise(w, points, cands, p, params.strategy, sets);
+    }
+  });
+}
+
+}  // namespace wknng::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/knn_set.hpp"
+#include "core/params.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::core {
+
+/// Adjacency snapshot taken between refinement rounds: forward edges are the
+/// current k-NN sets; reverse edges are their transpose, capped per point so
+/// hub points do not blow up candidate generation (the standard NN-Descent
+/// sampling discipline).
+struct Adjacency {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  std::vector<std::uint32_t> fwd;        ///< n * k, kInvalidId padded
+  std::vector<std::uint32_t> fwd_count;  ///< valid entries per row
+  std::vector<std::uint32_t> rev;        ///< CSR payload
+  std::vector<std::uint32_t> rev_offsets;///< CSR offsets (n + 1)
+
+  static constexpr std::uint32_t kInvalidId = ~std::uint32_t{0};
+
+  std::span<const std::uint32_t> forward(std::uint32_t p) const {
+    return {fwd.data() + static_cast<std::size_t>(p) * k, fwd_count[p]};
+  }
+  std::span<const std::uint32_t> reverse(std::uint32_t p) const {
+    return {rev.data() + rev_offsets[p], rev.data() + rev_offsets[p + 1]};
+  }
+};
+
+/// Builds the forward/reverse adjacency snapshot from the current k-NN sets.
+/// `reverse_cap` limits reverse edges kept per point (0 means k).
+Adjacency snapshot_adjacency(ThreadPool& pool, const KnnSetArray& sets,
+                             std::size_t reverse_cap);
+
+/// One neighbor-of-neighbor refinement round (NN-Descent-style local join):
+/// one warp per point p gathers the neighbors of p's forward+reverse
+/// neighbors, dedups them in scratch, drops p's current neighbors, then
+/// scores at most `params.refine_sample` candidates with the strategy's
+/// kernel shape and submits them to p's k-NN set.
+///
+/// Updates flow only into p's own set, so a round is deterministic for the
+/// lock-based strategies regardless of warp scheduling.
+void refine_round(ThreadPool& pool, const FloatMatrix& points,
+                  const Adjacency& adj, const BuildParams& params,
+                  KnnSetArray& sets, simt::StatsAccumulator* acc);
+
+}  // namespace wknng::core

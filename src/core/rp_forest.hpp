@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::core {
+
+/// Leaf buckets of one or more random-projection trees, in CSR layout:
+/// bucket b holds point ids ids[offsets[b] .. offsets[b+1]).
+/// Every tree contributes a complete partition of the point set, so a forest
+/// of T trees yields buckets whose sizes sum to T * n.
+struct Buckets {
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint32_t> offsets{0};
+
+  std::size_t num_buckets() const { return offsets.size() - 1; }
+
+  std::span<const std::uint32_t> bucket(std::size_t b) const {
+    return {ids.data() + offsets[b], ids.data() + offsets[b + 1]};
+  }
+
+  std::size_t max_bucket_size() const {
+    std::size_t m = 0;
+    for (std::size_t b = 0; b < num_buckets(); ++b) {
+      m = std::max<std::size_t>(m, offsets[b + 1] - offsets[b]);
+    }
+    return m;
+  }
+
+  /// Appends all buckets of `other` (used to concatenate trees into a forest).
+  void append(const Buckets& other);
+};
+
+/// Builds one random-projection tree over `points` and returns its leaves.
+///
+/// Construction is level-synchronous, mirroring the GPU formulation: at each
+/// level every oversized node draws a random Gaussian direction, a single
+/// SIMT launch computes the projections of all points of all active nodes
+/// (one warp per 32-point chunk, candidate-parallel dot products), and the
+/// host splits each node at its median projection (exact balanced split via
+/// nth_element). Nodes at or below `leaf_size` become buckets.
+///
+/// Determinism: directions depend only on (seed, tree_index, level, node),
+/// so the same inputs always give the same tree.
+Buckets build_rp_tree(ThreadPool& pool, const FloatMatrix& points,
+                      std::size_t leaf_size, std::uint64_t seed,
+                      std::size_t tree_index,
+                      simt::StatsAccumulator* acc = nullptr);
+
+/// Spill-tree variant: at every split, the `spill` fraction of the node's
+/// points nearest the median plane (on each side) is copied into *both*
+/// children, so near-boundary neighbor pairs are not separated. Leaves
+/// overlap — a point appears in up to (1 + 2*spill)^depth leaves — trading
+/// memory and brute-force work for recall per tree (Liu et al., "An
+/// investigation of practical approximate nearest neighbor algorithms",
+/// NIPS 2004). `spill` must be in [0, 0.45); 0 reduces to build_rp_tree.
+Buckets build_rp_tree_spill(ThreadPool& pool, const FloatMatrix& points,
+                            std::size_t leaf_size, float spill,
+                            std::uint64_t seed, std::size_t tree_index,
+                            simt::StatsAccumulator* acc = nullptr);
+
+/// Builds `num_trees` independent trees and concatenates their leaves.
+/// `spill > 0` selects the spill-tree variant.
+Buckets build_rp_forest(ThreadPool& pool, const FloatMatrix& points,
+                        std::size_t num_trees, std::size_t leaf_size,
+                        std::uint64_t seed,
+                        simt::StatsAccumulator* acc = nullptr,
+                        float spill = 0.0f);
+
+}  // namespace wknng::core

@@ -1,0 +1,146 @@
+#pragma once
+
+// Internal shared kernel of the tiled strategy: computes one 32x32 distance
+// block between two point tiles with scratch-staged coordinate chunks, then
+// merges the block's sorted row/column runs into the k-NN sets. Used by the
+// leaf kernel (tiles within an RP-forest bucket) and by the warp-centric
+// exact brute force (tiles over the whole dataset).
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "core/knn_set.hpp"
+#include "simt/packed.hpp"
+#include "simt/sort.hpp"
+#include "simt/warp.hpp"
+
+namespace wknng::core::detail {
+
+/// Scratch plan of the tiled kernel; allocate once per warp task.
+struct TileBuffers {
+  std::span<float> block;    ///< 32 x 32 distance accumulator
+  std::span<float> a_stage;  ///< 32 x chunk_dims coordinates of tile A
+  std::span<float> b_stage;  ///< 32 x chunk_dims coordinates of tile B
+  std::size_t chunk_dims = 0;
+};
+
+/// Chooses how many dimensions one staging chunk holds so that the working
+/// set (A-stage + B-stage + distance block + merge buffer) fits the budget.
+inline std::size_t tiled_chunk_dims(std::size_t scratch_capacity,
+                                    std::size_t dim, std::size_t k) {
+  const std::size_t reserve =
+      simt::kWarpSize * simt::kWarpSize * sizeof(float)  // distance block
+      + k * sizeof(std::uint64_t)                        // merge buffer
+      + 512;                                             // alignment slack
+  WKNNG_CHECK_MSG(
+      scratch_capacity > reserve + 2 * simt::kWarpSize * sizeof(float) * 8,
+      "scratch too small for tiled kernel: " << scratch_capacity);
+  const std::size_t dc =
+      (scratch_capacity - reserve) / (2 * simt::kWarpSize * sizeof(float));
+  return std::clamp<std::size_t>(dc, 8, dim);
+}
+
+/// Allocates the kernel's scratch buffers out of the warp's arena.
+inline TileBuffers alloc_tile_buffers(simt::Warp& w, std::size_t dim,
+                                      std::size_t k) {
+  TileBuffers buf;
+  buf.chunk_dims = tiled_chunk_dims(w.scratch().capacity(), dim, k);
+  buf.block = w.scratch().alloc<float>(simt::kWarpSize * simt::kWarpSize);
+  buf.a_stage = w.scratch().alloc<float>(simt::kWarpSize * buf.chunk_dims);
+  buf.b_stage = w.scratch().alloc<float>(simt::kWarpSize * buf.chunk_dims);
+  return buf;
+}
+
+/// Processes one tile pair: accumulates the squared-distance block (staging
+/// coordinate chunks so each global coordinate is read once per tile pair),
+/// then submits each block row to the A-side point and each block column to
+/// the B-side point as sorted 32-candidate runs. Diagonal pairs (the same
+/// tile on both sides) use the upper triangle for rows and its mirror for
+/// columns, so every ordered pair is submitted exactly once.
+///
+/// `a_id(i)` / `b_id(j)` map tile-local indices to point ids; `na`, `nb`
+/// are the tile occupancies (<= 32).
+template <typename AIdFn, typename BIdFn>
+void process_tile_pair(simt::Warp& w, const FloatMatrix& points, AIdFn&& a_id,
+                       std::size_t na, BIdFn&& b_id, std::size_t nb,
+                       bool diagonal, KnnSetArray& sets,
+                       const TileBuffers& buf) {
+  using simt::kWarpSize;
+  using simt::Lanes;
+  using simt::Packed;
+
+  const std::size_t dim = points.cols();
+  const std::size_t dc = buf.chunk_dims;
+  std::fill(buf.block.begin(), buf.block.end(), 0.0f);
+
+  for (std::size_t d0 = 0; d0 < dim; d0 += dc) {
+    const std::size_t cd = std::min(dc, dim - d0);
+    for (std::size_t i = 0; i < na; ++i) {
+      auto src = points.row(a_id(i)).subspan(d0, cd);
+      std::memcpy(&buf.a_stage[i * dc], src.data(), cd * sizeof(float));
+    }
+    w.count_read(na * cd * sizeof(float));
+    std::span<const float> b_src = buf.a_stage;
+    if (!diagonal) {
+      for (std::size_t j = 0; j < nb; ++j) {
+        auto src = points.row(b_id(j)).subspan(d0, cd);
+        std::memcpy(&buf.b_stage[j * dc], src.data(), cd * sizeof(float));
+      }
+      w.count_read(nb * cd * sizeof(float));
+      b_src = buf.b_stage;
+    }
+    // Per-cell accumulation is serial in dimension order, so a pair's
+    // distance is bit-identical to any other serial evaluation of the same
+    // pair (tile dedup in the merge relies on this).
+    for (std::size_t i = 0; i < na; ++i) {
+      const float* xa = &buf.a_stage[i * dc];
+      const std::size_t j_begin = diagonal ? i + 1 : 0;
+      for (std::size_t j = j_begin; j < nb; ++j) {
+        const float* xb = &b_src[j * dc];
+        float acc = buf.block[i * kWarpSize + j];
+        for (std::size_t t = 0; t < cd; ++t) {
+          const float diff = xa[t] - xb[t];
+          acc += diff * diff;
+        }
+        buf.block[i * kWarpSize + j] = acc;
+      }
+    }
+  }
+
+  const std::size_t pairs = diagonal ? na * (na - 1) / 2 : na * nb;
+  w.stats().distance_evals += pairs;
+  w.stats().flops += 3 * dim * pairs;
+
+  // Row runs: candidates for A-side points.
+  for (std::size_t i = 0; i < na; ++i) {
+    Lanes<std::uint64_t> run;
+    run.fill(Packed::kEmpty);
+    const std::size_t j_begin = diagonal ? i + 1 : 0;
+    if (j_begin >= nb) continue;
+    for (std::size_t j = j_begin; j < nb; ++j) {
+      run[j] = Packed::make(buf.block[i * kWarpSize + j],
+                            static_cast<std::uint32_t>(b_id(j)));
+    }
+    simt::bitonic_sort_lanes(w, run);
+    sets.merge_sorted_tile(w, static_cast<std::uint32_t>(a_id(i)), run);
+  }
+
+  // Column runs: candidates for B-side points (mirror of the block).
+  for (std::size_t j = 0; j < nb; ++j) {
+    Lanes<std::uint64_t> run;
+    run.fill(Packed::kEmpty);
+    const std::size_t i_end = diagonal ? j : na;
+    if (i_end == 0) continue;
+    for (std::size_t i = 0; i < i_end; ++i) {
+      run[i] = Packed::make(buf.block[i * kWarpSize + j],
+                            static_cast<std::uint32_t>(a_id(i)));
+    }
+    simt::bitonic_sort_lanes(w, run);
+    sets.merge_sorted_tile(w, static_cast<std::uint32_t>(b_id(j)), run);
+  }
+}
+
+}  // namespace wknng::core::detail

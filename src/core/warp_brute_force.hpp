@@ -1,0 +1,27 @@
+#pragma once
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/params.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::core {
+
+/// Exact all-pairs K-NN graph on the SIMT substrate: the whole dataset is
+/// processed as a 2-D grid of 32x32 tile pairs, one warp per tile pair, each
+/// computing its distance block with scratch-staged coordinates (the tiled
+/// strategy's kernel shape) and merging sorted runs into the global k-NN
+/// sets. This is the substrate's equivalent of a GPU brute-force baseline
+/// (what FAISS's GpuIndexFlat does), and doubles as an exact reference that
+/// exercises the concurrent k-NN-set machinery at maximum contention —
+/// every point's set is updated by ~n/32 different warps.
+///
+/// Cost is O(n^2 d / 32) per warp-step; use for baselines and tests, not
+/// for large n.
+KnnGraph warp_brute_force_knng(ThreadPool& pool, const FloatMatrix& points,
+                               std::size_t k,
+                               simt::StatsAccumulator* acc = nullptr,
+                               std::size_t scratch_bytes = 48 * 1024);
+
+}  // namespace wknng::core

@@ -1,0 +1,75 @@
+#include "data/graph_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace wknng::data {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'K', 'N', 'N', 'G', '1', '\0', '\0'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+void write_knng(const std::string& path, const KnnGraph& g) {
+  File f(std::fopen(path.c_str(), "wb"));
+  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
+
+  WKNNG_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) == sizeof(kMagic));
+  const std::uint64_t n = g.num_points();
+  const std::uint64_t k = g.k();
+  WKNNG_CHECK(std::fwrite(&n, sizeof(n), 1, f.get()) == 1);
+  WKNNG_CHECK(std::fwrite(&k, sizeof(k), 1, f.get()) == 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = g.row(i);
+    static_assert(sizeof(Neighbor) == 8);
+    WKNNG_CHECK(std::fwrite(row.data(), sizeof(Neighbor), k, f.get()) == k);
+  }
+}
+
+KnnGraph read_knng(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path);
+
+  char magic[8] = {};
+  WKNNG_CHECK_MSG(std::fread(magic, 1, sizeof(magic), f.get()) == sizeof(magic),
+                  path << ": truncated header");
+  WKNNG_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                  path << ": not a WKNNG1 file");
+
+  std::uint64_t n = 0, k = 0;
+  WKNNG_CHECK(std::fread(&n, sizeof(n), 1, f.get()) == 1);
+  WKNNG_CHECK(std::fread(&k, sizeof(k), 1, f.get()) == 1);
+  WKNNG_CHECK_MSG(k > 0 && n > 0 && k < (1ULL << 32) && n < (1ULL << 32),
+                  path << ": implausible header n=" << n << " k=" << k);
+
+  // Validate payload size before reading.
+  const long header = 8 + 2 * static_cast<long>(sizeof(std::uint64_t));
+  WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
+  const long bytes = std::ftell(f.get());
+  WKNNG_CHECK_MSG(
+      bytes == header + static_cast<long>(n * k * sizeof(Neighbor)),
+      path << ": size " << bytes << " does not match header (n=" << n
+           << ", k=" << k << ")");
+  WKNNG_CHECK(std::fseek(f.get(), header, SEEK_SET) == 0);
+
+  KnnGraph g(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = g.row(i);
+    WKNNG_CHECK(std::fread(row.data(), sizeof(Neighbor), k, f.get()) == k);
+  }
+  WKNNG_CHECK_MSG(g.check_invariants(), path << ": graph invariants violated");
+  return g;
+}
+
+}  // namespace wknng::data

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "common/knn_graph.hpp"
+
+namespace wknng::data {
+
+/// Binary K-NN graph serialization, so expensive builds can be computed once
+/// and consumed by downstream pipelines (t-SNE, search services).
+///
+/// Format (little-endian):
+///   magic   "WKNNG1\0\0"  (8 bytes)
+///   n       uint64
+///   k       uint64
+///   entries n*k x { float dist; uint32 id }   (id 0xFFFFFFFF = empty slot)
+///
+/// read_knng validates the magic, the header against the file size, and the
+/// graph invariants (sorted rows, no self loops/duplicates), throwing
+/// wknng::Error on any mismatch — a corrupted cache must never flow silently
+/// into a pipeline.
+void write_knng(const std::string& path, const KnnGraph& g);
+
+KnnGraph read_knng(const std::string& path);
+
+}  // namespace wknng::data

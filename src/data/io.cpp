@@ -1,0 +1,92 @@
+#include "data/io.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace wknng::data {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_or_throw(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path << " (mode " << mode << ")");
+  return f;
+}
+
+long file_size(std::FILE* f) {
+  WKNNG_CHECK(std::fseek(f, 0, SEEK_END) == 0);
+  const long size = std::ftell(f);
+  WKNNG_CHECK(size >= 0);
+  WKNNG_CHECK(std::fseek(f, 0, SEEK_SET) == 0);
+  return size;
+}
+
+/// Shared reader: .fvecs and .ivecs differ only in element type, and both
+/// use 4-byte elements.
+template <typename T>
+Matrix<T> read_xvecs(const std::string& path) {
+  static_assert(sizeof(T) == 4);
+  File f = open_or_throw(path, "rb");
+  const long bytes = file_size(f.get());
+
+  std::int32_t dim = 0;
+  WKNNG_CHECK_MSG(std::fread(&dim, sizeof(dim), 1, f.get()) == 1,
+                  path << ": empty file");
+  WKNNG_CHECK_MSG(dim > 0, path << ": bad dimension " << dim);
+
+  const long record = static_cast<long>(sizeof(std::int32_t)) + dim * 4L;
+  WKNNG_CHECK_MSG(bytes % record == 0,
+                  path << ": size " << bytes << " not a multiple of record "
+                       << record);
+  const std::size_t n = static_cast<std::size_t>(bytes / record);
+
+  WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_SET) == 0);
+  Matrix<T> m(n, static_cast<std::size_t>(dim));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t row_dim = 0;
+    WKNNG_CHECK(std::fread(&row_dim, sizeof(row_dim), 1, f.get()) == 1);
+    WKNNG_CHECK_MSG(row_dim == dim, path << ": row " << i << " has dim "
+                                         << row_dim << ", expected " << dim);
+    WKNNG_CHECK(std::fread(m.row(i).data(), 4, static_cast<std::size_t>(dim),
+                           f.get()) == static_cast<std::size_t>(dim));
+  }
+  return m;
+}
+
+template <typename T>
+void write_xvecs(const std::string& path, const Matrix<T>& m) {
+  static_assert(sizeof(T) == 4);
+  File f = open_or_throw(path, "wb");
+  const auto dim = static_cast<std::int32_t>(m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    WKNNG_CHECK(std::fwrite(&dim, sizeof(dim), 1, f.get()) == 1);
+    WKNNG_CHECK(std::fwrite(m.row(i).data(), 4, m.cols(), f.get()) == m.cols());
+  }
+}
+
+}  // namespace
+
+FloatMatrix read_fvecs(const std::string& path) { return read_xvecs<float>(path); }
+
+void write_fvecs(const std::string& path, const FloatMatrix& m) {
+  write_xvecs(path, m);
+}
+
+Matrix<std::int32_t> read_ivecs(const std::string& path) {
+  return read_xvecs<std::int32_t>(path);
+}
+
+void write_ivecs(const std::string& path, const Matrix<std::int32_t>& m) {
+  write_xvecs(path, m);
+}
+
+}  // namespace wknng::data

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace wknng::data {
+
+/// Texmex `.fvecs` / `.ivecs` I/O — the on-disk format of the standard ANN
+/// benchmark datasets (SIFT1M, GIST1M, ...). Each vector is stored as a
+/// little-endian int32 dimension followed by `dim` 4-byte elements. Having
+/// this reader means the bench harness accepts the paper's real datasets
+/// unchanged whenever they are available; the synthetic generators are the
+/// offline stand-in.
+
+/// Reads an entire .fvecs file. Throws wknng::Error on malformed input or
+/// inconsistent dimensions.
+FloatMatrix read_fvecs(const std::string& path);
+
+/// Writes a matrix as .fvecs (one vector per row).
+void write_fvecs(const std::string& path, const FloatMatrix& m);
+
+/// Reads an .ivecs file (e.g. ground-truth neighbor ids) as a row-major
+/// int32 matrix.
+Matrix<std::int32_t> read_ivecs(const std::string& path);
+
+/// Writes int32 rows as .ivecs.
+void write_ivecs(const std::string& path, const Matrix<std::int32_t>& m);
+
+}  // namespace wknng::data

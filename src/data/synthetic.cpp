@@ -1,0 +1,138 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wknng::data {
+
+namespace {
+
+FloatMatrix gen_uniform(const DatasetSpec& spec) {
+  FloatMatrix m(spec.n, spec.dim);
+  Rng rng(spec.seed, 1);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.next_float();
+  return m;
+}
+
+FloatMatrix gen_clusters(const DatasetSpec& spec) {
+  WKNNG_CHECK(spec.clusters > 0);
+  Rng centre_rng(spec.seed, 2);
+  FloatMatrix centres(spec.clusters, spec.dim);
+  for (std::size_t i = 0; i < centres.size(); ++i) {
+    centres.data()[i] = centre_rng.next_float();
+  }
+
+  FloatMatrix m(spec.n, spec.dim);
+  Rng rng(spec.seed, 3);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    const std::size_t c = i % spec.clusters;  // balanced assignment
+    auto centre = centres.row(c);
+    auto row = m.row(i);
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      row[d] = centre[d] + spec.cluster_spread * rng.next_gaussian();
+    }
+  }
+  return m;
+}
+
+FloatMatrix gen_sphere(const DatasetSpec& spec) {
+  FloatMatrix m(spec.n, spec.dim);
+  Rng rng(spec.seed, 4);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    auto row = m.row(i);
+    double norm_sq = 0.0;
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      row[d] = rng.next_gaussian();
+      norm_sq += static_cast<double>(row[d]) * row[d];
+    }
+    const float radius = 1.0f + spec.radial_noise * rng.next_gaussian();
+    const float scale =
+        norm_sq > 0.0 ? radius / static_cast<float>(std::sqrt(norm_sq)) : 0.0f;
+    for (std::size_t d = 0; d < spec.dim; ++d) row[d] *= scale;
+  }
+  return m;
+}
+
+FloatMatrix gen_manifold(const DatasetSpec& spec) {
+  WKNNG_CHECK(spec.intrinsic_dim > 0);
+  // Random linear embedding: x = B z + noise, z ~ N(0, I_m), B is dim x m.
+  Rng basis_rng(spec.seed, 5);
+  FloatMatrix basis(spec.dim, spec.intrinsic_dim);
+  const float col_scale = 1.0f / std::sqrt(static_cast<float>(spec.intrinsic_dim));
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    basis.data()[i] = col_scale * basis_rng.next_gaussian();
+  }
+
+  FloatMatrix m(spec.n, spec.dim);
+  Rng rng(spec.seed, 6);
+  std::vector<float> z(spec.intrinsic_dim);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (auto& v : z) v = rng.next_gaussian();
+    auto row = m.row(i);
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      float acc = 0.0f;
+      auto b = basis.row(d);
+      for (std::size_t j = 0; j < spec.intrinsic_dim; ++j) acc += b[j] * z[j];
+      row[d] = acc + spec.ambient_noise * rng.next_gaussian();
+    }
+  }
+  return m;
+}
+
+const char* kind_name(DatasetKind k) {
+  switch (k) {
+    case DatasetKind::kUniform: return "uniform";
+    case DatasetKind::kClusters: return "clusters";
+    case DatasetKind::kSphere: return "sphere";
+    case DatasetKind::kManifold: return "manifold";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FloatMatrix generate(const DatasetSpec& spec) {
+  WKNNG_CHECK_MSG(spec.n > 0 && spec.dim > 0,
+                  "n=" << spec.n << " dim=" << spec.dim);
+  switch (spec.kind) {
+    case DatasetKind::kUniform: return gen_uniform(spec);
+    case DatasetKind::kClusters: return gen_clusters(spec);
+    case DatasetKind::kSphere: return gen_sphere(spec);
+    case DatasetKind::kManifold: return gen_manifold(spec);
+  }
+  throw Error("unknown DatasetKind");
+}
+
+std::string describe(const DatasetSpec& spec) {
+  std::ostringstream os;
+  os << kind_name(spec.kind) << "-n" << spec.n << "-d" << spec.dim << "-s"
+     << spec.seed;
+  return os.str();
+}
+
+FloatMatrix make_uniform(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kUniform;
+  spec.n = n;
+  spec.dim = dim;
+  spec.seed = seed;
+  return generate(spec);
+}
+
+FloatMatrix make_clusters(std::size_t n, std::size_t dim, std::size_t clusters,
+                          float spread, std::uint64_t seed) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kClusters;
+  spec.n = n;
+  spec.dim = dim;
+  spec.clusters = clusters;
+  spec.cluster_spread = spread;
+  spec.seed = seed;
+  return generate(spec);
+}
+
+}  // namespace wknng::data

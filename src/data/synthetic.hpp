@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/matrix.hpp"
+
+namespace wknng::data {
+
+/// Families of seeded synthetic point sets. These stand in for the
+/// SIFT/GIST-class public datasets of the paper's evaluation (see DESIGN.md,
+/// substitutions table): each family controls the property that drives a
+/// KNNG experiment — dimensionality, cluster structure, or intrinsic
+/// dimension — while remaining exactly reproducible from (spec, seed).
+enum class DatasetKind {
+  kUniform,   ///< i.i.d. uniform in [0,1]^dim — worst case for partitioning trees
+  kClusters,  ///< Gaussian mixture — the structure real feature sets exhibit
+  kSphere,    ///< unit-sphere shell with radial noise — constant-norm regime
+  kManifold,  ///< low intrinsic dimension embedded in high ambient dimension
+};
+
+/// Full description of a synthetic dataset; equality of specs implies
+/// bit-identical data.
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kClusters;
+  std::size_t n = 10000;
+  std::size_t dim = 32;
+  std::uint64_t seed = 42;
+
+  // kClusters parameters.
+  std::size_t clusters = 32;      ///< number of mixture components
+  float cluster_spread = 0.05f;   ///< component std-dev (centres live in [0,1]^d)
+
+  // kSphere parameter.
+  float radial_noise = 0.02f;     ///< std-dev of radius jitter around 1.0
+
+  // kManifold parameters.
+  std::size_t intrinsic_dim = 8;  ///< latent dimensionality
+  float ambient_noise = 0.01f;    ///< i.i.d. noise added in ambient space
+};
+
+/// Generates the dataset described by `spec` (rows = points).
+FloatMatrix generate(const DatasetSpec& spec);
+
+/// Short human-readable tag, e.g. "clusters-n10000-d32-s42" — used by the
+/// bench harness to label series.
+std::string describe(const DatasetSpec& spec);
+
+// Convenience constructors for the common cases.
+FloatMatrix make_uniform(std::size_t n, std::size_t dim, std::uint64_t seed);
+FloatMatrix make_clusters(std::size_t n, std::size_t dim, std::size_t clusters,
+                          float spread, std::uint64_t seed);
+
+}  // namespace wknng::data

@@ -1,0 +1,87 @@
+#include "data/transforms.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wknng::data {
+
+void normalize_rows(FloatMatrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto row = m.row(i);
+    double norm_sq = 0.0;
+    for (float v : row) norm_sq += static_cast<double>(v) * v;
+    if (norm_sq <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (float& v : row) v *= inv;
+  }
+}
+
+float max_row_norm(const FloatMatrix& m) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double norm_sq = 0.0;
+    for (float v : m.row(i)) norm_sq += static_cast<double>(v) * v;
+    best = std::max(best, norm_sq);
+  }
+  return static_cast<float>(std::sqrt(best));
+}
+
+FloatMatrix mips_augment_base(const FloatMatrix& m, float radius) {
+  const double r_sq = static_cast<double>(radius) * radius;
+  FloatMatrix out(m.rows(), m.cols() + 1);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto src = m.row(i);
+    auto dst = out.row(i);
+    double norm_sq = 0.0;
+    for (std::size_t d = 0; d < src.size(); ++d) {
+      dst[d] = src[d];
+      norm_sq += static_cast<double>(src[d]) * src[d];
+    }
+    WKNNG_CHECK_MSG(norm_sq <= r_sq * (1.0 + 1e-6),
+                    "row " << i << " norm exceeds radius " << radius);
+    dst[src.size()] =
+        static_cast<float>(std::sqrt(std::max(0.0, r_sq - norm_sq)));
+  }
+  return out;
+}
+
+FloatMatrix mips_augment_queries(const FloatMatrix& m) {
+  FloatMatrix out(m.rows(), m.cols() + 1);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto src = m.row(i);
+    auto dst = out.row(i);
+    for (std::size_t d = 0; d < src.size(); ++d) dst[d] = src[d];
+    dst[src.size()] = 0.0f;
+  }
+  return out;
+}
+
+FloatMatrix random_project(const FloatMatrix& m, std::size_t out_dim,
+                           std::uint64_t seed) {
+  WKNNG_CHECK_MSG(out_dim > 0, "out_dim must be positive");
+  const std::size_t in_dim = m.cols();
+  // Projection matrix: out_dim x in_dim, entries N(0, 1/out_dim).
+  FloatMatrix proj(out_dim, in_dim);
+  Rng rng(seed, 101);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(out_dim));
+  for (std::size_t i = 0; i < proj.size(); ++i) {
+    proj.data()[i] = scale * rng.next_gaussian();
+  }
+
+  FloatMatrix out(m.rows(), out_dim);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto src = m.row(i);
+    auto dst = out.row(i);
+    for (std::size_t o = 0; o < out_dim; ++o) {
+      auto p = proj.row(o);
+      float acc = 0.0f;
+      for (std::size_t d = 0; d < in_dim; ++d) acc += p[d] * src[d];
+      dst[o] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace wknng::data

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+
+namespace wknng::data {
+
+/// Metric-reduction and preprocessing transforms. The w-KNNG kernels compute
+/// squared Euclidean distance only (like the paper); other similarity
+/// measures are supported the standard way — by transforming the data so
+/// that L2 nearest neighbors coincide with the desired measure's neighbors:
+///
+///   cosine        -> normalize_rows(): ||x'-y'||^2 = 2 - 2 cos(x, y)
+///   inner product -> mips_augment_*(): Shrivastava & Li's asymmetric L2
+///                    reduction (NIPS 2014, simplified symmetric variant)
+///   too many dims -> random_project(): Johnson–Lindenstrauss sketch
+
+/// Scales every row to unit L2 norm (rows with zero norm are left
+/// unchanged). After this, an L2 K-NN graph is exactly a cosine K-NN graph.
+void normalize_rows(FloatMatrix& m);
+
+/// Returns the largest row L2 norm of m (the MIPS augmentation radius).
+float max_row_norm(const FloatMatrix& m);
+
+/// MIPS -> L2 reduction, base side: appends one coordinate
+/// sqrt(radius^2 - ||x||^2) to every row (radius must be >= every row norm,
+/// e.g. max_row_norm()). With queries augmented by a zero coordinate,
+///   argmin_y ||q' - y'||^2 = argmax_y <q, y>.
+FloatMatrix mips_augment_base(const FloatMatrix& m, float radius);
+
+/// MIPS -> L2 reduction, query side: appends a zero coordinate.
+FloatMatrix mips_augment_queries(const FloatMatrix& m);
+
+/// Johnson–Lindenstrauss random projection to `out_dim` dimensions using a
+/// seeded Gaussian matrix scaled by 1/sqrt(out_dim); pairwise squared
+/// distances are preserved within (1 +- eps) for out_dim = O(log n / eps^2).
+/// Used to accelerate very high-dimensional builds at a small recall cost.
+FloatMatrix random_project(const FloatMatrix& m, std::size_t out_dim,
+                           std::uint64_t seed);
+
+}  // namespace wknng::data

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+
+namespace wknng::exact {
+
+/// Scalar squared Euclidean distance (the host reference used by every
+/// baseline and by recall ground truth).
+inline float l2_sq(std::span<const float> x, std::span<const float> y) {
+  float acc = 0.0f;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const float diff = x[d] - y[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Exact all-points K-NN graph by cache-blocked brute force: O(n^2 d).
+/// This is both the recall ground truth and the "exact" baseline of the
+/// speed-versus-accuracy experiments. `block` controls the j-tile size kept
+/// hot in cache while a stripe of query rows streams over it.
+KnnGraph brute_force_knng(ThreadPool& pool, const FloatMatrix& points,
+                          std::size_t k, std::size_t block = 256);
+
+/// Exact k-NN sets of `queries` against `base` (queries need not be rows of
+/// base). Self-matches are excluded only when `exclude_id` maps a query to
+/// its base row (pass kNoExclude entries otherwise).
+inline constexpr std::uint32_t kNoExclude = ~std::uint32_t{0};
+KnnGraph brute_force_knn(ThreadPool& pool, const FloatMatrix& base,
+                         const FloatMatrix& queries, std::size_t k,
+                         std::span<const std::uint32_t> exclude_id = {});
+
+/// Ground truth for a deterministic sample of `sample_size` point ids:
+/// returns (sampled ids, exact KnnGraph rows for those ids against the full
+/// set). Large-N experiments use this so that recall evaluation stays
+/// O(sample * n) instead of O(n^2).
+struct SampledTruth {
+  std::vector<std::uint32_t> ids;
+  KnnGraph graph;  ///< row j corresponds to point ids[j]
+};
+SampledTruth sampled_ground_truth(ThreadPool& pool, const FloatMatrix& points,
+                                  std::size_t k, std::size_t sample_size,
+                                  std::uint64_t seed);
+
+}  // namespace wknng::exact

@@ -1,0 +1,50 @@
+#include "exact/recall.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace wknng::exact {
+
+double row_recall(std::span<const Neighbor> approx,
+                  std::span<const Neighbor> exact) {
+  if (exact.empty()) return 1.0;
+  // An exact entry counts as recalled when the approximate row contains its
+  // id, or contains some neighbor at exactly the same distance (distance
+  // ties are interchangeable — the ANN-benchmarks convention, which stops
+  // tie-breaking noise from depressing recall on gridded/synthetic data).
+  std::size_t hits = 0;
+  for (const Neighbor& e : exact) {
+    if (e.id == KnnGraph::kInvalid) continue;
+    const bool found =
+        std::any_of(approx.begin(), approx.end(), [&](const Neighbor& a) {
+          return a.id == e.id ||
+                 (a.id != KnnGraph::kInvalid && a.dist == e.dist);
+        });
+    hits += found ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(exact.size());
+}
+
+double recall(const KnnGraph& approx, const KnnGraph& truth) {
+  WKNNG_CHECK(approx.num_points() == truth.num_points());
+  WKNNG_CHECK(approx.k() >= truth.k());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.num_points(); ++i) {
+    acc += row_recall(approx.row(i).subspan(0, truth.k()), truth.row(i));
+  }
+  return acc / static_cast<double>(truth.num_points());
+}
+
+double recall(const KnnGraph& approx, const SampledTruth& truth) {
+  WKNNG_CHECK(approx.k() >= truth.graph.k());
+  double acc = 0.0;
+  for (std::size_t j = 0; j < truth.ids.size(); ++j) {
+    acc += row_recall(approx.row(truth.ids[j]).subspan(0, truth.graph.k()),
+                      truth.graph.row(j));
+  }
+  return truth.ids.empty() ? 1.0
+                           : acc / static_cast<double>(truth.ids.size());
+}
+
+}  // namespace wknng::exact

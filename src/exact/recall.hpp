@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/knn_graph.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::exact {
+
+/// recall@k of one approximate row against its exact row: fraction of the
+/// exact k ids present in the approximate row. Distance ties in the exact
+/// set are handled by id-match (the standard ANN-benchmarks convention:
+/// an approximate neighbor at exactly the tie distance also counts).
+double row_recall(std::span<const Neighbor> approx,
+                  std::span<const Neighbor> exact);
+
+/// Mean recall@k over all points: `approx` and `truth` must have identical
+/// shape (truth from brute_force_knng).
+double recall(const KnnGraph& approx, const KnnGraph& truth);
+
+/// Mean recall@k over a ground-truth sample: truth.row(j) corresponds to
+/// point truth.ids[j] of `approx`.
+double recall(const KnnGraph& approx, const SampledTruth& truth);
+
+}  // namespace wknng::exact

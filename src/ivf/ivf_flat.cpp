@@ -1,0 +1,111 @@
+#include "ivf/ivf_flat.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/topk.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::ivf {
+
+IvfFlatIndex IvfFlatIndex::build(ThreadPool& pool, const FloatMatrix& points,
+                                 const IvfParams& params, IvfCost* cost) {
+  WKNNG_CHECK_MSG(params.nlist > 0 && params.nlist <= points.rows(),
+                  "nlist=" << params.nlist << " n=" << points.rows());
+  Timer timer;
+
+  KMeansParams km;
+  km.clusters = params.nlist;
+  km.iterations = params.kmeans_iters;
+  km.seed_sample = params.seed_sample;
+  km.seed = params.seed;
+  KMeansResult trained = kmeans(pool, points, km);
+
+  IvfFlatIndex index;
+  index.params_ = params;
+  index.centroids_ = std::move(trained.centroids);
+
+  // Counting sort of point ids into inverted lists.
+  const std::size_t n = points.rows();
+  std::vector<std::uint32_t> counts(params.nlist, 0);
+  for (std::uint32_t c : trained.assignment) ++counts[c];
+  index.list_offsets_.assign(params.nlist + 1, 0);
+  for (std::size_t c = 0; c < params.nlist; ++c) {
+    index.list_offsets_[c + 1] = index.list_offsets_[c] + counts[c];
+  }
+  index.list_ids_.assign(n, 0);
+  std::vector<std::uint32_t> cursor(index.list_offsets_.begin(),
+                                    index.list_offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    index.list_ids_[cursor[trained.assignment[i]]++] =
+        static_cast<std::uint32_t>(i);
+  }
+
+  if (cost != nullptr) {
+    cost->distance_evals += trained.distance_evals;
+    cost->train_seconds += timer.elapsed_s();
+  }
+  return index;
+}
+
+KnnGraph IvfFlatIndex::search(ThreadPool& pool, const FloatMatrix& points,
+                              const FloatMatrix& queries, std::size_t k,
+                              std::size_t nprobe,
+                              std::span<const std::uint32_t> exclude_self,
+                              IvfCost* cost) const {
+  const std::size_t nq = queries.rows();
+  const std::size_t nl = params_.nlist;
+  nprobe = std::clamp<std::size_t>(nprobe, 1, nl);
+  WKNNG_CHECK(exclude_self.empty() || exclude_self.size() == nq);
+  Timer timer;
+
+  KnnGraph g(nq, k);
+  std::atomic<std::uint64_t> evals{0};
+  pool.parallel_for(nq, 16, [&](std::size_t qi) {
+    auto q = queries.row(qi);
+    std::uint64_t local_evals = 0;
+
+    // Rank the coarse centroids.
+    TopK coarse(nprobe);
+    for (std::size_t c = 0; c < nl; ++c) {
+      coarse.push(exact::l2_sq(q, centroids_.row(c)),
+                  static_cast<std::uint32_t>(c));
+    }
+    local_evals += nl;
+    const auto probes = coarse.take_sorted();
+
+    const std::uint32_t skip = exclude_self.empty()
+                                   ? exact::kNoExclude
+                                   : exclude_self[qi];
+    TopK heap(k);
+    for (const Neighbor& probe : probes) {
+      for (std::uint32_t id : list(probe.id)) {
+        if (id == skip) continue;
+        heap.push(exact::l2_sq(q, points.row(id)), id);
+        ++local_evals;
+      }
+    }
+    const auto sorted = heap.take_sorted();
+    std::copy(sorted.begin(), sorted.end(), g.row(qi).begin());
+    evals.fetch_add(local_evals, std::memory_order_relaxed);
+  });
+
+  if (cost != nullptr) {
+    cost->distance_evals += evals.load();
+    cost->search_seconds += timer.elapsed_s();
+  }
+  return g;
+}
+
+KnnGraph IvfFlatIndex::build_knng(ThreadPool& pool, const FloatMatrix& points,
+                                  std::size_t k, std::size_t nprobe,
+                                  IvfCost* cost) const {
+  std::vector<std::uint32_t> self(points.rows());
+  std::iota(self.begin(), self.end(), 0u);
+  return search(pool, points, points, k, nprobe, self, cost);
+}
+
+}  // namespace wknng::ivf

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "ivf/kmeans.hpp"
+
+namespace wknng::ivf {
+
+/// IVF-Flat index configuration — the FAISS-surrogate baseline of the
+/// speed-versus-accuracy experiments (DESIGN.md, Fig. 2/3). nlist plays
+/// FAISS's `nlist`, nprobe its `nprobe`; construction is k-means on the full
+/// point set followed by inverted-list assignment.
+struct IvfParams {
+  std::size_t nlist = 64;         ///< coarse clusters (inverted lists)
+  std::size_t kmeans_iters = 10;
+  std::size_t seed_sample = 0;    ///< k-means++ seeding sample (0 = all points)
+  std::uint64_t seed = 99;
+};
+
+/// Cost counters for work accounting (comparable to simt::Stats fields).
+struct IvfCost {
+  std::uint64_t distance_evals = 0;
+  double train_seconds = 0.0;
+  double search_seconds = 0.0;
+};
+
+/// Inverted-file index with exact (flat) residual scan.
+class IvfFlatIndex {
+ public:
+  /// Trains the coarse quantizer and builds the inverted lists.
+  static IvfFlatIndex build(ThreadPool& pool, const FloatMatrix& points,
+                            const IvfParams& params, IvfCost* cost = nullptr);
+
+  std::size_t nlist() const { return params_.nlist; }
+  const FloatMatrix& centroids() const { return centroids_; }
+
+  /// Points in inverted list `c`.
+  std::span<const std::uint32_t> list(std::size_t c) const {
+    return {list_ids_.data() + list_offsets_[c],
+            list_ids_.data() + list_offsets_[c + 1]};
+  }
+
+  /// k-NN of each query among the points of the `nprobe` closest lists.
+  /// `exclude_self` (same length as queries) removes a base id per query —
+  /// used when queries are base points, as in KNNG extraction.
+  KnnGraph search(ThreadPool& pool, const FloatMatrix& points,
+                  const FloatMatrix& queries, std::size_t k,
+                  std::size_t nprobe,
+                  std::span<const std::uint32_t> exclude_self = {},
+                  IvfCost* cost = nullptr) const;
+
+  /// All-points K-NN graph — how FAISS is driven to build a KNNG: every base
+  /// point queries the index, excluding itself.
+  KnnGraph build_knng(ThreadPool& pool, const FloatMatrix& points,
+                      std::size_t k, std::size_t nprobe,
+                      IvfCost* cost = nullptr) const;
+
+ private:
+  IvfParams params_;
+  FloatMatrix centroids_;
+  std::vector<std::uint32_t> list_ids_;
+  std::vector<std::uint32_t> list_offsets_;
+};
+
+}  // namespace wknng::ivf

@@ -1,0 +1,171 @@
+#include "ivf/kmeans.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::ivf {
+
+namespace {
+
+/// k-means++ seeding over a (possibly sampled) subset: each next centre is
+/// drawn with probability proportional to squared distance from the chosen
+/// set (Arthur & Vassilvitskii, SODA 2007).
+FloatMatrix seed_centroids(const FloatMatrix& points,
+                           const KMeansParams& params,
+                           std::uint64_t* dist_evals) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  const std::size_t kc = params.clusters;
+
+  // Deterministic seeding sample.
+  Rng rng(params.seed, 11);
+  std::vector<std::uint32_t> pool_ids(n);
+  for (std::size_t i = 0; i < n; ++i) pool_ids[i] = static_cast<std::uint32_t>(i);
+  std::size_t sample = params.seed_sample == 0
+                           ? n
+                           : std::min<std::size_t>(params.seed_sample, n);
+  sample = std::max(sample, kc);
+  for (std::size_t i = 0; i < sample; ++i) {
+    const std::size_t j = i + rng.next_below(n - i);
+    std::swap(pool_ids[i], pool_ids[j]);
+  }
+  pool_ids.resize(sample);
+
+  FloatMatrix centroids(kc, dim);
+  std::vector<float> best_d(sample, std::numeric_limits<float>::max());
+
+  // First centre: uniform.
+  std::uint32_t first = pool_ids[rng.next_below(sample)];
+  std::copy(points.row(first).begin(), points.row(first).end(),
+            centroids.row(0).begin());
+
+  for (std::size_t c = 1; c <= kc; ++c) {
+    // Refresh distances against the newest centre.
+    auto newest = centroids.row(c - 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < sample; ++i) {
+      const float d = exact::l2_sq(points.row(pool_ids[i]), newest);
+      ++*dist_evals;
+      best_d[i] = std::min(best_d[i], d);
+      total += best_d[i];
+    }
+    if (c == kc) break;
+
+    // Sample the next centre ~ D^2. Degenerate total (all points identical
+    // to chosen centres) falls back to uniform.
+    std::size_t pick = 0;
+    if (total > 0.0) {
+      double r = rng.next_double() * total;
+      for (std::size_t i = 0; i < sample; ++i) {
+        r -= best_d[i];
+        if (r <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng.next_below(sample);
+    }
+    std::copy(points.row(pool_ids[pick]).begin(),
+              points.row(pool_ids[pick]).end(), centroids.row(c).begin());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(ThreadPool& pool, const FloatMatrix& points,
+                    const KMeansParams& params) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  const std::size_t kc = params.clusters;
+  WKNNG_CHECK_MSG(kc > 0 && kc <= n, "clusters=" << kc << " n=" << n);
+
+  KMeansResult result;
+  result.centroids = seed_centroids(points, params, &result.distance_evals);
+  result.assignment.assign(n, 0);
+
+  std::vector<double> sums(kc * dim);
+  std::vector<std::uint32_t> counts(kc);
+
+  for (std::size_t iter = 0; iter < params.iterations; ++iter) {
+    // Assign (parallel).
+    std::atomic<std::uint64_t> evals{0};
+    pool.parallel_for(n, 64, [&](std::size_t i) {
+      auto x = points.row(i);
+      float best = std::numeric_limits<float>::max();
+      std::uint32_t best_c = 0;
+      for (std::size_t c = 0; c < kc; ++c) {
+        const float d = exact::l2_sq(x, result.centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = static_cast<std::uint32_t>(c);
+        }
+      }
+      result.assignment[i] = best_c;
+      evals.fetch_add(kc, std::memory_order_relaxed);
+    });
+    result.distance_evals += evals.load();
+
+    // Update (serial accumulation; O(n*dim), cheap next to assignment).
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = result.assignment[i];
+      auto x = points.row(i);
+      double* s = sums.data() + static_cast<std::size_t>(c) * dim;
+      for (std::size_t d = 0; d < dim; ++d) s[d] += x[d];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (counts[c] == 0) continue;  // handled below
+      auto row = result.centroids.row(c);
+      const double* s = sums.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] = static_cast<float>(s[d] / counts[c]);
+      }
+    }
+
+    // Empty-cluster repair: steal the point farthest from its centroid in
+    // the biggest cluster (FAISS's strategy, simplified).
+    for (std::size_t c = 0; c < kc; ++c) {
+      if (counts[c] != 0) continue;
+      std::size_t big = static_cast<std::size_t>(
+          std::max_element(counts.begin(), counts.end()) - counts.begin());
+      float far_d = -1.0f;
+      std::size_t far_i = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (result.assignment[i] != big) continue;
+        const float d = exact::l2_sq(points.row(i), result.centroids.row(big));
+        ++result.distance_evals;
+        if (d > far_d) {
+          far_d = d;
+          far_i = i;
+        }
+      }
+      std::copy(points.row(far_i).begin(), points.row(far_i).end(),
+                result.centroids.row(c).begin());
+      result.assignment[far_i] = static_cast<std::uint32_t>(c);
+      --counts[big];
+      ++counts[c];
+    }
+  }
+
+  // Final inertia.
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inertia += exact::l2_sq(points.row(i),
+                            result.centroids.row(result.assignment[i]));
+    ++result.distance_evals;
+  }
+  result.inertia = inertia;
+  return result;
+}
+
+}  // namespace wknng::ivf

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+
+namespace wknng::ivf {
+
+/// Lloyd k-means configuration for the IVF coarse quantizer.
+struct KMeansParams {
+  std::size_t clusters = 64;
+  std::size_t iterations = 10;    ///< Lloyd rounds after seeding
+  std::size_t seed_sample = 0;    ///< points used for k-means++ seeding (0 = all)
+  std::uint64_t seed = 99;
+};
+
+struct KMeansResult {
+  FloatMatrix centroids;                  ///< clusters x dim
+  std::vector<std::uint32_t> assignment;  ///< per point, nearest centroid
+  double inertia = 0.0;                   ///< sum of squared distances
+  std::uint64_t distance_evals = 0;       ///< work-accounting counter
+};
+
+/// k-means++ seeding followed by Lloyd iterations. Deterministic in
+/// (points, params). Empty clusters are re-seeded from the farthest points
+/// of the largest cluster, so exactly `clusters` non-empty centroids come
+/// back whenever n >= clusters.
+KMeansResult kmeans(ThreadPool& pool, const FloatMatrix& points,
+                    const KMeansParams& params);
+
+}  // namespace wknng::ivf

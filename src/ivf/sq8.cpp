@@ -1,0 +1,76 @@
+#include "ivf/sq8.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wknng::ivf {
+
+Sq8Matrix sq8_encode(const FloatMatrix& points) {
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  WKNNG_CHECK_MSG(n > 0 && dim > 0, "cannot train SQ8 on an empty set");
+
+  Sq8Matrix out;
+  out.codebook.bias.assign(dim, 0.0f);
+  out.codebook.scale.assign(dim, 0.0f);
+
+  // Per-dimension range.
+  std::vector<float> lo(dim, std::numeric_limits<float>::max());
+  std::vector<float> hi(dim, std::numeric_limits<float>::lowest());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = points.row(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      lo[d] = std::min(lo[d], row[d]);
+      hi[d] = std::max(hi[d], row[d]);
+    }
+  }
+  for (std::size_t d = 0; d < dim; ++d) {
+    out.codebook.bias[d] = lo[d];
+    // Degenerate (constant) dimensions quantize to code 0 with a tiny scale
+    // so dequantization reproduces the constant exactly enough.
+    out.codebook.scale[d] = std::max((hi[d] - lo[d]) / 255.0f, 1e-20f);
+  }
+
+  out.codes.resize(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto src = points.row(i);
+    auto dst = out.codes.row(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float normalized =
+          (src[d] - out.codebook.bias[d]) / out.codebook.scale[d];
+      dst[d] = static_cast<std::uint8_t>(
+          std::clamp(std::lround(normalized), 0L, 255L));
+    }
+  }
+  return out;
+}
+
+FloatMatrix sq8_decode(const Sq8Matrix& m) {
+  FloatMatrix out(m.rows(), m.dim());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    auto src = m.row(i);
+    auto dst = out.row(i);
+    for (std::size_t d = 0; d < m.dim(); ++d) {
+      dst[d] = m.codebook.bias[d] +
+               m.codebook.scale[d] * static_cast<float>(src[d]);
+    }
+  }
+  return out;
+}
+
+float sq8_l2_sq(std::span<const float> query,
+                std::span<const std::uint8_t> code,
+                const Sq8Codebook& codebook) {
+  float acc = 0.0f;
+  for (std::size_t d = 0; d < query.size(); ++d) {
+    const float decoded =
+        codebook.bias[d] + codebook.scale[d] * static_cast<float>(code[d]);
+    const float diff = query[d] - decoded;
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace wknng::ivf

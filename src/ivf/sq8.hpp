@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace wknng::ivf {
+
+/// 8-bit scalar quantization (FAISS's SQ8): each dimension is affinely
+/// mapped onto [0, 255] using its own min/max over the training set. Cuts
+/// vector memory 4x; distances are computed asymmetrically (float query vs
+/// dequantized code) so the query loses no precision.
+struct Sq8Codebook {
+  std::vector<float> bias;   ///< per-dimension minimum
+  std::vector<float> scale;  ///< per-dimension (max - min) / 255, >= epsilon
+
+  std::size_t dim() const { return bias.size(); }
+};
+
+/// A quantized point set: n x dim uint8 codes plus the codebook.
+struct Sq8Matrix {
+  Matrix<std::uint8_t> codes;
+  Sq8Codebook codebook;
+
+  std::size_t rows() const { return codes.rows(); }
+  std::size_t dim() const { return codes.cols(); }
+  std::span<const std::uint8_t> row(std::size_t i) const { return codes.row(i); }
+};
+
+/// Trains the per-dimension codebook on `points` and encodes every row.
+Sq8Matrix sq8_encode(const FloatMatrix& points);
+
+/// Dequantizes every code back to floats (reconstruction, for tests and
+/// rescoring caches). Reconstruction error per dimension is <= scale/2.
+FloatMatrix sq8_decode(const Sq8Matrix& m);
+
+/// Asymmetric squared L2: float query against one dequantized code row.
+float sq8_l2_sq(std::span<const float> query, std::span<const std::uint8_t> code,
+                const Sq8Codebook& codebook);
+
+}  // namespace wknng::ivf

@@ -1,0 +1,192 @@
+#include "nndescent/nn_descent.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::nndescent {
+
+namespace {
+
+/// Host-side spin locks for per-point update serialisation.
+class HostLocks {
+ public:
+  explicit HostLocks(std::size_t n)
+      : locks_(std::make_unique<std::atomic_flag[]>(n)) {}
+
+  void acquire(std::size_t i) {
+    while (locks_[i].test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void release(std::size_t i) { locks_[i].clear(std::memory_order_release); }
+
+ private:
+  std::unique_ptr<std::atomic_flag[]> locks_;
+};
+
+/// The mutable neighbor table: k slots per point, replace-worst updates,
+/// NN-Descent "new" flags.
+struct NeighborTable {
+  std::size_t n;
+  std::size_t k;
+  std::vector<Neighbor> slots;  // n * k
+  std::vector<char> is_new;     // n * k
+
+  NeighborTable(std::size_t n_, std::size_t k_)
+      : n(n_), k(k_),
+        slots(n * k, Neighbor{std::numeric_limits<float>::infinity(),
+                              KnnGraph::kInvalid}),
+        is_new(n * k, 0) {}
+
+  /// Replace-worst insert under the caller's lock. Returns true if the
+  /// table changed (the NN-Descent convergence signal).
+  bool insert(std::uint32_t p, float dist, std::uint32_t id) {
+    Neighbor* row = slots.data() + static_cast<std::size_t>(p) * k;
+    char* flags = is_new.data() + static_cast<std::size_t>(p) * k;
+    std::size_t worst = 0;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (row[s].id == id) return false;  // duplicate
+      if (row[worst] < row[s]) worst = s;
+    }
+    if (!(Neighbor{dist, id} < row[worst])) return false;
+    row[worst] = {dist, id};
+    flags[worst] = 1;
+    return true;
+  }
+};
+
+}  // namespace
+
+KnnGraph nn_descent(ThreadPool& pool, const FloatMatrix& points,
+                    const NnDescentParams& params, NnDescentCost* cost) {
+  const std::size_t n = points.rows();
+  const std::size_t k = params.k;
+  WKNNG_CHECK_MSG(k > 0 && k < n, "need 0 < k < n; k=" << k << " n=" << n);
+  Timer timer;
+
+  NeighborTable table(n, k);
+  HostLocks locks(n);
+  std::atomic<std::uint64_t> evals{0};
+
+  // Random initialisation: k distinct non-self neighbors per point.
+  pool.parallel_for(n, 128, [&](std::size_t p) {
+    Rng rng(params.seed, 0x10000u + p);
+    std::uint64_t local_evals = 0;
+    std::size_t placed = 0;
+    while (placed < k) {
+      const auto id = static_cast<std::uint32_t>(rng.next_below(n));
+      if (id == p) continue;
+      const float d = exact::l2_sq(points.row(p), points.row(id));
+      ++local_evals;
+      if (table.insert(static_cast<std::uint32_t>(p), d, id)) ++placed;
+      // Duplicate draws do not advance `placed` but always terminate for
+      // n > k (expected O(k) draws).
+    }
+    evals.fetch_add(local_evals, std::memory_order_relaxed);
+  });
+
+  std::size_t iters_done = 0;
+  for (std::size_t iter = 0; iter < params.max_iters; ++iter) {
+    ++iters_done;
+
+    // Phase 1: sample new/old forward candidates, clearing sampled flags.
+    std::vector<std::vector<std::uint32_t>> fwd_new(n), fwd_old(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      Neighbor* row = table.slots.data() + p * k;
+      char* flags = table.is_new.data() + p * k;
+      auto& nw = fwd_new[p];
+      auto& od = fwd_old[p];
+      for (std::size_t s = 0; s < k; ++s) {
+        if (row[s].id == KnnGraph::kInvalid) continue;
+        if (flags[s] != 0 && nw.size() < params.max_candidates) {
+          nw.push_back(row[s].id);
+          flags[s] = 0;
+        } else if (flags[s] == 0 && od.size() < params.max_candidates) {
+          od.push_back(row[s].id);
+        }
+      }
+    }
+
+    // Phase 2: reverse candidates (capped, deterministically subsampled by
+    // arrival order — adequate for a baseline).
+    std::vector<std::vector<std::uint32_t>> rev_new(n), rev_old(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::uint32_t q : fwd_new[p]) {
+        if (rev_new[q].size() < params.max_candidates) {
+          rev_new[q].push_back(static_cast<std::uint32_t>(p));
+        }
+      }
+      for (std::uint32_t q : fwd_old[p]) {
+        if (rev_old[q].size() < params.max_candidates) {
+          rev_old[q].push_back(static_cast<std::uint32_t>(p));
+        }
+      }
+    }
+
+    // Phase 3: local join.
+    std::atomic<std::uint64_t> updates{0};
+    pool.parallel_for(n, 32, [&](std::size_t p) {
+      std::vector<std::uint32_t> join_new = fwd_new[p];
+      join_new.insert(join_new.end(), rev_new[p].begin(), rev_new[p].end());
+      std::vector<std::uint32_t> join_old = fwd_old[p];
+      join_old.insert(join_old.end(), rev_old[p].begin(), rev_old[p].end());
+
+      std::uint64_t local_updates = 0;
+      std::uint64_t local_evals = 0;
+      auto submit = [&](std::uint32_t u, std::uint32_t v) {
+        if (u == v) return;
+        const float d = exact::l2_sq(points.row(u), points.row(v));
+        ++local_evals;
+        locks.acquire(u);
+        local_updates += table.insert(u, d, v) ? 1 : 0;
+        locks.release(u);
+        locks.acquire(v);
+        local_updates += table.insert(v, d, u) ? 1 : 0;
+        locks.release(v);
+      };
+
+      for (std::size_t a = 0; a < join_new.size(); ++a) {
+        for (std::size_t b = a + 1; b < join_new.size(); ++b) {
+          submit(join_new[a], join_new[b]);
+        }
+        for (std::uint32_t v : join_old) submit(join_new[a], v);
+      }
+      updates.fetch_add(local_updates, std::memory_order_relaxed);
+      evals.fetch_add(local_evals, std::memory_order_relaxed);
+    });
+
+    if (updates.load() <= static_cast<std::uint64_t>(
+                              params.delta * static_cast<double>(n) * k)) {
+      break;
+    }
+  }
+
+  // Extract.
+  KnnGraph g(n, k);
+  pool.parallel_for(n, 128, [&](std::size_t p) {
+    std::vector<Neighbor> row(table.slots.begin() + p * k,
+                              table.slots.begin() + (p + 1) * k);
+    std::sort(row.begin(), row.end());
+    auto out = g.row(p);
+    std::size_t count = 0;
+    for (const Neighbor& nb : row) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      out[count++] = nb;
+    }
+  });
+
+  if (cost != nullptr) {
+    cost->distance_evals += evals.load();
+    cost->iterations = iters_done;
+    cost->seconds += timer.elapsed_s();
+  }
+  return g;
+}
+
+}  // namespace wknng::nndescent

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+
+namespace wknng::nndescent {
+
+/// Classic CPU NN-Descent (Dong, Moses & Li, WWW 2011) — the second
+/// comparator of the speed-versus-accuracy experiments, and the family the
+/// paper's refinement phase descends from.
+struct NnDescentParams {
+  std::size_t k = 10;
+  std::size_t max_iters = 12;
+  std::size_t max_candidates = 50;  ///< sampled new/old candidates per point
+  double delta = 0.001;             ///< stop when updates < delta * n * k
+  std::uint64_t seed = 7;
+};
+
+struct NnDescentCost {
+  std::uint64_t distance_evals = 0;
+  std::size_t iterations = 0;  ///< rounds actually executed
+  double seconds = 0.0;
+};
+
+/// Builds an approximate K-NN graph by iterative local joins: initialise
+/// with random neighbors, then repeatedly let each point's neighborhood
+/// propose candidate pairs among themselves until convergence.
+KnnGraph nn_descent(ThreadPool& pool, const FloatMatrix& points,
+                    const NnDescentParams& params,
+                    NnDescentCost* cost = nullptr);
+
+}  // namespace wknng::nndescent

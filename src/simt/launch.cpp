@@ -1,0 +1,35 @@
+#include "simt/launch.hpp"
+
+namespace wknng::simt {
+
+namespace {
+
+/// One scratch arena per worker thread, reused across launches.
+WarpScratch& thread_scratch(std::size_t capacity) {
+  thread_local WarpScratch scratch;
+  scratch.set_budget(capacity);  // exact budget: small launches must not
+                                 // inherit a previous launch's headroom
+  return scratch;
+}
+
+}  // namespace
+
+void launch_warps(ThreadPool& pool, std::size_t num_warps,
+                  const LaunchConfig& config, StatsAccumulator* acc,
+                  const std::function<void(Warp&)>& body) {
+  pool.parallel_for(num_warps, config.grain, [&](std::size_t warp_id) {
+    WarpScratch& scratch = thread_scratch(config.scratch_bytes);
+    scratch.reset();
+    scratch.reset_peak();
+
+    Stats local;
+    Warp warp(static_cast<std::uint32_t>(warp_id), scratch, local);
+    body(warp);
+
+    local.warps_executed = 1;
+    local.scratch_bytes_peak = scratch.peak_used();
+    if (acc != nullptr) acc->flush(local);
+  });
+}
+
+}  // namespace wknng::simt

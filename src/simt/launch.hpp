@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/thread_pool.hpp"
+#include "simt/scratch.hpp"
+#include "simt/stats.hpp"
+#include "simt/warp.hpp"
+
+namespace wknng::simt {
+
+/// Launch-time configuration of a warp grid — the substrate's analogue of
+/// CUDA's <<<grid, block, smem>>> triple, reduced to what a warp-centric
+/// kernel needs: how many warps, how much scratch each owns, and how many
+/// warp tasks one worker claims at a time (scheduling granularity).
+struct LaunchConfig {
+  std::size_t scratch_bytes = WarpScratch::kDefaultBytes;
+  std::size_t grain = 1;  ///< consecutive warp ids claimed per scheduling step
+};
+
+/// Executes `body(warp)` for warp ids [0, num_warps) on the thread pool.
+///
+/// Scheduling model: the pool's workers are the SM's warp slots; warps are
+/// claimed dynamically (like greedy-then-oldest hardware scheduling, this
+/// absorbs the skewed leaf sizes of an RP forest). Each worker thread owns a
+/// persistent WarpScratch (its shared-memory partition) that is reset before
+/// every warp task. Per-warp Stats are accumulated locally and flushed once
+/// per warp into `acc` (if non-null), so instrumentation does not perturb
+/// the measured kernels.
+///
+/// Kernels requiring a device-wide barrier are expressed as consecutive
+/// launches, exactly as on real hardware.
+void launch_warps(ThreadPool& pool, std::size_t num_warps,
+                  const LaunchConfig& config, StatsAccumulator* acc,
+                  const std::function<void(Warp&)>& body);
+
+/// Overload with default config.
+inline void launch_warps(ThreadPool& pool, std::size_t num_warps,
+                         StatsAccumulator* acc,
+                         const std::function<void(Warp&)>& body) {
+  launch_warps(pool, num_warps, LaunchConfig{}, acc, body);
+}
+
+}  // namespace wknng::simt

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace wknng::simt {
+
+/// 64-bit packed (distance, id) candidate: the unit every k-NN-set strategy
+/// stores in global memory.
+///
+/// Layout: [ distance bits (high 32) | point id (low 32) ].
+/// For non-negative IEEE-754 floats the raw bit pattern is monotonic under
+/// unsigned comparison, so a single 64-bit unsigned compare orders candidates
+/// by distance with id as deterministic tiebreak — which is exactly what the
+/// lock-free atomic-min strategy needs (one CAS replaces the whole pair).
+///
+/// kEmpty (all ones) is larger than any real candidate, so empty slots lose
+/// every comparison and never need special-casing on the insert path.
+struct Packed {
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  /// Packs a squared distance (must be >= 0 or +inf) and a point id.
+  static std::uint64_t make(float dist, std::uint32_t id) {
+    // Normalise -0.0f so the encoding stays monotonic.
+    if (dist == 0.0f) dist = 0.0f;
+    const auto bits = std::bit_cast<std::uint32_t>(dist);
+    return (static_cast<std::uint64_t>(bits) << 32) | id;
+  }
+
+  static float dist(std::uint64_t packed) {
+    return std::bit_cast<float>(static_cast<std::uint32_t>(packed >> 32));
+  }
+
+  static std::uint32_t id(std::uint64_t packed) {
+    return static_cast<std::uint32_t>(packed & 0xFFFFFFFFULL);
+  }
+
+  static bool is_empty(std::uint64_t packed) { return packed == kEmpty; }
+};
+
+}  // namespace wknng::simt

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wknng::simt {
+
+/// Per-warp scratch arena — the substrate's model of the shared-memory
+/// partition a resident warp owns on a GPU SM.
+///
+/// Kernels allocate typed spans out of it with `alloc<T>(n)` and must call
+/// `reset()` between logical phases (allocation is bump-pointer, there is no
+/// free). Capacity defaults to 48 KiB, the per-SM shared-memory size of the
+/// Pascal/Volta-class GPUs contemporary with the paper; kernels that need a
+/// different configuration call `require()` up front, which mirrors CUDA's
+/// dynamic shared-memory launch parameter.
+///
+/// The arena is reused across warp tasks on the same worker thread, so
+/// allocation costs nothing at steady state.
+class WarpScratch {
+ public:
+  static constexpr std::size_t kDefaultBytes = 48 * 1024;
+
+  explicit WarpScratch(std::size_t capacity_bytes = kDefaultBytes)
+      : buffer_(capacity_bytes), limit_(capacity_bytes) {}
+
+  /// Logical capacity: the launch-configured shared-memory budget. Physical
+  /// storage may be larger (arenas are reused across launches and never
+  /// shrink), but allocations and capacity() always respect the budget —
+  /// otherwise a small-budget experiment would silently borrow space from a
+  /// previous launch.
+  std::size_t capacity() const { return limit_; }
+  std::size_t used() const { return used_; }
+  std::size_t peak_used() const { return peak_used_; }
+
+  /// Grows the budget (and storage) to at least `capacity_bytes`.
+  void require(std::size_t capacity_bytes) {
+    if (buffer_.size() < capacity_bytes) buffer_.resize(capacity_bytes);
+    if (limit_ < capacity_bytes) limit_ = capacity_bytes;
+  }
+
+  /// Sets the budget exactly (launch-time configuration); storage grows if
+  /// needed but is kept when the budget shrinks.
+  void set_budget(std::size_t capacity_bytes) {
+    if (buffer_.size() < capacity_bytes) buffer_.resize(capacity_bytes);
+    limit_ = capacity_bytes;
+  }
+
+  /// Bump-allocates n elements of T, aligned to alignof(T).
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t align = alignof(T);
+    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t bytes = n * sizeof(T);
+    WKNNG_CHECK_MSG(offset + bytes <= limit_,
+                    "scratch overflow: want " << bytes << "B at offset "
+                                              << offset << ", capacity "
+                                              << limit_ << "B");
+    used_ = offset + bytes;
+    if (used_ > peak_used_) peak_used_ = used_;
+    return {reinterpret_cast<T*>(buffer_.data() + offset), n};
+  }
+
+  /// Releases all allocations (contents become indeterminate).
+  void reset() { used_ = 0; }
+
+  /// Stack-discipline partial release: `release(mark())` undoes every alloc
+  /// made after the mark. Lets helpers take temporary scratch without
+  /// growing the caller's footprint.
+  std::size_t mark() const { return used_; }
+  void release(std::size_t m) { used_ = m; }
+
+  /// Clears the peak-usage watermark (e.g. between benchmark repetitions).
+  void reset_peak() { peak_used_ = used_; }
+
+ private:
+  std::vector<std::byte> buffer_;
+  std::size_t limit_ = 0;
+  std::size_t used_ = 0;
+  std::size_t peak_used_ = 0;
+};
+
+}  // namespace wknng::simt

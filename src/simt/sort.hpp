@@ -1,0 +1,85 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "simt/warp.hpp"
+
+namespace wknng::simt {
+
+/// In-register bitonic sort of one value per lane, ascending across lanes
+/// (lane 0 ends with the minimum). This is the classic warp-level bitonic
+/// network built from __shfl_xor exchanges: log2(32)*(log2(32)+1)/2 = 15
+/// compare-exchange stages, each one shuffle plus a predicated min/max.
+///
+/// The tiled k-NN-set strategy uses it to sort a tile of 32 packed
+/// candidates before merging them into a point's k-set.
+template <typename T>
+inline void bitonic_sort_lanes(Warp& w, Lanes<T>& v) {
+  for (int k = 2; k <= kWarpSize; k <<= 1) {
+    for (int j = k >> 1; j > 0; j >>= 1) {
+      const Lanes<T> partner = w.shfl_xor(v, j);
+      for (int l = 0; l < kWarpSize; ++l) {
+        const bool lower = (l & j) == 0;
+        const bool ascending = (l & k) == 0;
+        const bool keep_min = (lower == ascending);
+        const T a = v[l];
+        const T b = partner[l];
+        v[l] = keep_min ? (b < a ? b : a) : (a < b ? b : a);
+      }
+    }
+  }
+}
+
+/// Merges a sorted ascending run of 32 lane values into a sorted ascending
+/// k-element list, keeping the k smallest. `list` is both input and output;
+/// `tmp` must have room for list.size() elements. Duplicate values (the same
+/// candidate submitted by two trees) collapse to one entry; when dedup
+/// shrinks the merged prefix the tail is filled with `pad` (the "empty slot"
+/// sentinel, which must compare greater-or-equal to every real value).
+///
+/// Modelled cost: the merge-path steps a warp would execute —
+/// ceil((k + 32) / 32) collective rounds — are charged to the stats.
+template <typename T>
+inline void merge_sorted_run(Warp& w, std::span<T> list, const Lanes<T>& run,
+                             std::span<T> tmp, T pad) {
+  const std::size_t k = list.size();
+  w.stats().warp_collectives += (k + kWarpSize * 2 - 1) / kWarpSize;
+
+  std::size_t li = 0;  // cursor in list
+  int ri = 0;          // cursor in run
+  std::size_t out = 0;
+  T prev{};
+  bool have_prev = false;
+  while (out < k && (li < k || ri < kWarpSize)) {
+    T next;
+    if (li < k && (ri >= kWarpSize || !(run[ri] < list[li]))) {
+      next = list[li++];
+    } else {
+      next = run[ri++];
+    }
+    if (have_prev && !(prev < next) && !(next < prev)) continue;  // dedupe equal
+    tmp[out++] = next;
+    prev = next;
+    have_prev = true;
+  }
+  while (out < k) tmp[out++] = pad;
+  for (std::size_t i = 0; i < k; ++i) list[i] = tmp[i];
+}
+
+/// Warp-cooperative sort of a scratch array (ascending). On hardware this
+/// is a bitonic sort over scratch with depth O(log^2 n); the modelled cost
+/// charged to the stats is that collective depth, while the simulator
+/// executes an ordinary introsort (the result is identical — sorting is
+/// deterministic up to equal elements, and all callers sort totally-ordered
+/// distinct-or-interchangeable keys).
+template <typename T>
+inline void sort_scratch(Warp& w, std::span<T> data) {
+  std::size_t depth = 1;
+  for (std::size_t n = 1; n < data.size(); n <<= 1) ++depth;
+  w.stats().warp_collectives += depth * depth * ((data.size() + kWarpSize - 1) / kWarpSize);
+  std::sort(data.begin(), data.end());
+}
+
+}  // namespace wknng::simt

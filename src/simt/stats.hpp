@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+
+namespace wknng::simt {
+
+/// Work-unit counters for one warp (or an aggregate of many warps).
+///
+/// The substrate runs on a CPU, so wall-clock alone cannot be compared
+/// directly against GPU numbers. These counters capture the quantities that
+/// *do* determine GPU performance — distance evaluations, global-memory
+/// traffic, atomic contention — and are the basis of the work-accounting
+/// experiment (Tab. 3 in DESIGN.md).
+struct Stats {
+  std::uint64_t distance_evals = 0;   ///< full point-to-point distance computations
+  std::uint64_t flops = 0;            ///< floating-point ops in distance kernels
+  std::uint64_t global_reads = 0;     ///< bytes read from "global memory"
+  std::uint64_t global_writes = 0;    ///< bytes written to "global memory"
+  std::uint64_t atomic_ops = 0;       ///< completed atomic RMW operations
+  std::uint64_t cas_retries = 0;      ///< failed CAS attempts (contention measure)
+  std::uint64_t lock_acquires = 0;    ///< spin-lock acquisitions
+  std::uint64_t lock_spins = 0;       ///< failed lock attempts while spinning
+  std::uint64_t warp_collectives = 0; ///< shuffles/ballots/reductions/scans executed
+  std::uint64_t scratch_bytes_peak = 0; ///< max per-warp scratch footprint observed
+  std::uint64_t warps_executed = 0;   ///< number of warp tasks accumulated here
+
+  Stats& operator+=(const Stats& o) {
+    distance_evals += o.distance_evals;
+    flops += o.flops;
+    global_reads += o.global_reads;
+    global_writes += o.global_writes;
+    atomic_ops += o.atomic_ops;
+    cas_retries += o.cas_retries;
+    lock_acquires += o.lock_acquires;
+    lock_spins += o.lock_spins;
+    warp_collectives += o.warp_collectives;
+    scratch_bytes_peak = scratch_bytes_peak > o.scratch_bytes_peak
+                             ? scratch_bytes_peak
+                             : o.scratch_bytes_peak;
+    warps_executed += o.warps_executed;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Stats& s) {
+    os << "dist_evals=" << s.distance_evals << " flops=" << s.flops
+       << " gmem_rd=" << s.global_reads << " gmem_wr=" << s.global_writes
+       << " atomics=" << s.atomic_ops << " cas_retry=" << s.cas_retries
+       << " locks=" << s.lock_acquires << " lock_spin=" << s.lock_spins
+       << " collectives=" << s.warp_collectives
+       << " warps=" << s.warps_executed;
+    return os;
+  }
+};
+
+/// Thread-safe sink that warp tasks flush their local Stats into at the end
+/// of their lifetime. One mutex-protected flush per warp task keeps the hot
+/// path (plain member increments on the local Stats) contention-free.
+class StatsAccumulator {
+ public:
+  void flush(const Stats& s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += s;
+  }
+
+  Stats total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ = Stats{};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Stats total_;
+};
+
+}  // namespace wknng::simt

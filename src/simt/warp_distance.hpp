@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "simt/warp.hpp"
+
+namespace wknng::simt {
+
+/// Dimension-parallel squared Euclidean distance: the 32 lanes stride the
+/// `dim` coordinates of one point pair and the partial sums are combined by
+/// a warp reduction. This is the access pattern the paper's leaf kernel
+/// uses when a warp examines one candidate pair at a time: consecutive lanes
+/// read consecutive floats, i.e. perfectly coalesced global loads.
+inline float warp_l2_dims(Warp& w, std::span<const float> x,
+                          std::span<const float> y) {
+  const std::size_t dim = x.size();
+  Lanes<float> partial{};
+  for (std::size_t d = 0; d < dim; ++d) {
+    const float diff = x[d] - y[d];
+    partial[d & (kWarpSize - 1)] += diff * diff;
+  }
+  Stats& s = w.stats();
+  ++s.distance_evals;
+  s.flops += 3 * dim + kWarpSize;
+  w.count_read(2 * dim * sizeof(float));
+  return w.reduce_sum(partial);
+}
+
+/// Candidate-parallel squared Euclidean distances: each active lane owns one
+/// candidate row and computes its full distance to the query `q`. The query
+/// is register/scratch-resident (read once), so global traffic is one row
+/// per active lane — the access pattern of the tiled strategy, where a warp
+/// scores a whole tile of candidates against one point.
+///
+/// `row(id)` must return the coordinates of point `id`; `active[l]` masks
+/// lanes without a candidate.
+template <typename RowFn>
+inline Lanes<float> warp_l2_batch(Warp& w, std::span<const float> q,
+                                  const Lanes<std::uint32_t>& ids,
+                                  const Lanes<bool>& active, RowFn&& row) {
+  const std::size_t dim = q.size();
+  Lanes<float> out{};
+  std::uint64_t n_active = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!active[l]) continue;
+    ++n_active;
+    std::span<const float> r = row(ids[l]);
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const float diff = q[d] - r[d];
+      acc += diff * diff;
+    }
+    out[l] = acc;
+  }
+  Stats& s = w.stats();
+  s.distance_evals += n_active;
+  s.flops += 3 * dim * n_active;
+  // Query row is charged once (scratch-resident), candidate rows per lane.
+  w.count_read((n_active + 1) * dim * sizeof(float));
+  return out;
+}
+
+}  // namespace wknng::simt

@@ -1,0 +1,73 @@
+#include "tuner/tuner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::tuner {
+
+double estimate_recall(ThreadPool& pool, const FloatMatrix& points,
+                       const KnnGraph& graph, std::size_t k,
+                       std::size_t sample, std::uint64_t seed) {
+  const exact::SampledTruth truth =
+      exact::sampled_ground_truth(pool, points, k, sample, seed);
+  return exact::recall(graph, truth);
+}
+
+TuneResult tune_wknng(ThreadPool& pool, const FloatMatrix& points,
+                      core::BuildParams base, const TuneOptions& options) {
+  WKNNG_CHECK_MSG(!options.tree_ladder.empty() && !options.refine_ladder.empty(),
+                  "empty tuning ladder");
+
+  // Ground truth once; every candidate configuration is scored against it.
+  const exact::SampledTruth truth = exact::sampled_ground_truth(
+      pool, points, base.k, options.sample, options.sample_seed);
+
+  TuneResult result;
+  result.params = base;
+
+  // Cost-ordered walk: configurations sorted by a work proxy
+  // (trees * (1 + refine)), so the first hit is near-cheapest.
+  struct Config {
+    std::size_t trees;
+    std::size_t refine;
+    std::size_t cost;
+  };
+  std::vector<Config> ladder;
+  for (std::size_t trees : options.tree_ladder) {
+    for (std::size_t refine : options.refine_ladder) {
+      ladder.push_back({trees, refine, trees * (1 + refine)});
+    }
+  }
+  std::stable_sort(ladder.begin(), ladder.end(),
+                   [](const Config& a, const Config& b) { return a.cost < b.cost; });
+
+  double best_recall = -1.0;
+  for (const Config& config : ladder) {
+    core::BuildParams params = base;
+    params.num_trees = config.trees;
+    params.refine_iters = config.refine;
+
+    const core::BuildResult built = core::build_knng(pool, points, params);
+    ++result.configs_tried;
+    result.tuning_distance_evals += built.stats.distance_evals;
+    const double recall = exact::recall(built.graph, truth);
+
+    if (recall > best_recall) {
+      best_recall = recall;
+      result.params = params;
+      result.achieved_recall = recall;
+    }
+    if (recall >= options.target_recall) {
+      result.params = params;
+      result.achieved_recall = recall;
+      result.reached_target = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace wknng::tuner

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/builder.hpp"
+#include "core/params.hpp"
+
+namespace wknng::tuner {
+
+/// The paper's "equivalent accuracy" protocol as a library facility: tune a
+/// system's knobs until a sampled-recall target is met, so different systems
+/// can be compared at matched quality. Recall is estimated against exact
+/// ground truth on a deterministic sample of points (O(sample * n * d), not
+/// O(n^2 d)).
+
+struct TuneOptions {
+  double target_recall = 0.9;
+  std::size_t sample = 200;        ///< ground-truth sample size
+  std::uint64_t sample_seed = 777;
+  /// Forest sizes tried, in order (each with every refine count below).
+  std::vector<std::size_t> tree_ladder = {2, 4, 8, 16};
+  std::vector<std::size_t> refine_ladder = {0, 1, 2};
+};
+
+struct TuneResult {
+  core::BuildParams params;      ///< cheapest configuration that hit target
+  double achieved_recall = 0.0;  ///< sampled recall of that configuration
+  bool reached_target = false;   ///< false => params is the best attempt
+  std::size_t configs_tried = 0;
+  std::uint64_t tuning_distance_evals = 0;  ///< work spent tuning (builds)
+};
+
+/// Estimates recall@k of `graph` on a deterministic point sample (the same
+/// estimator the tuner uses).
+double estimate_recall(ThreadPool& pool, const FloatMatrix& points,
+                       const KnnGraph& graph, std::size_t k,
+                       std::size_t sample = 200, std::uint64_t seed = 777);
+
+/// Walks the (trees x refine) ladder from cheapest to most expensive and
+/// returns the first configuration whose sampled recall reaches the target.
+/// `base` supplies every non-laddered knob (k, strategy, leaf size, ...).
+TuneResult tune_wknng(ThreadPool& pool, const FloatMatrix& points,
+                      core::BuildParams base, const TuneOptions& options = {});
+
+}  // namespace wknng::tuner

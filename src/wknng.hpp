@@ -1,0 +1,41 @@
+#pragma once
+
+/// Umbrella header: the complete public API of the w-KNNG library.
+///
+/// Typical flow:
+///   wknng::ThreadPool pool;
+///   wknng::FloatMatrix pts = wknng::data::read_fvecs("base.fvecs");
+///   wknng::core::BuildParams params;          // k, strategy, trees, ...
+///   auto result = wknng::core::build_knng(pool, pts, params);
+///   wknng::data::write_knng("base.knng", result.graph);
+///
+/// Subsystem map (see DESIGN.md):
+///   common/     containers, pool, RNG, KnnGraph
+///   simt/       the warp-execution substrate the kernels run on
+///   data/       synthetic sets, .fvecs/.ivecs and graph I/O, transforms
+///   exact/      brute force + recall (ground truth)
+///   core/       the w-KNNG builder, strategies, metrics, incremental mode
+///   ivf/        IVF-Flat baseline (FAISS surrogate)
+///   nndescent/  NN-Descent baseline
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "common/topk.hpp"
+#include "core/builder.hpp"
+#include "core/graph_metrics.hpp"
+#include "core/graph_ops.hpp"
+#include "core/graph_search.hpp"
+#include "core/incremental.hpp"
+#include "core/params.hpp"
+#include "core/warp_brute_force.hpp"
+#include "data/graph_io.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+#include "data/transforms.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+#include "ivf/ivf_flat.hpp"
+#include "ivf/ivf_sq8.hpp"
+#include "nndescent/nn_descent.hpp"
+#include "tuner/tuner.hpp"

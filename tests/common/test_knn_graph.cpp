@@ -1,0 +1,74 @@
+#include "common/knn_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wknng {
+namespace {
+
+TEST(KnnGraph, FreshGraphHasInvalidRows) {
+  KnnGraph g(4, 3);
+  EXPECT_EQ(g.num_points(), 4u);
+  EXPECT_EQ(g.k(), 3u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(g.row_size(i), 0u);
+    for (const Neighbor& nb : g.row(i)) {
+      EXPECT_EQ(nb.id, KnnGraph::kInvalid);
+    }
+  }
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(KnnGraph, RowSizeCountsValidPrefix) {
+  KnnGraph g(2, 3);
+  auto r = g.row(0);
+  r[0] = {1.0f, 1};
+  r[1] = {2.0f, 2};
+  EXPECT_EQ(g.row_size(0), 2u);
+}
+
+TEST(KnnGraph, InvariantsRejectSelfLoop) {
+  KnnGraph g(2, 2);
+  g.row(0)[0] = {1.0f, 0};  // self
+  EXPECT_FALSE(g.check_invariants());
+}
+
+TEST(KnnGraph, InvariantsRejectUnsorted) {
+  KnnGraph g(2, 2);
+  g.row(0)[0] = {2.0f, 1};
+  g.row(0)[1] = {1.0f, 1};
+  EXPECT_FALSE(g.check_invariants());
+}
+
+TEST(KnnGraph, InvariantsRejectDuplicateIds) {
+  KnnGraph g(3, 3);
+  g.row(0)[0] = {1.0f, 1};
+  g.row(0)[1] = {2.0f, 1};
+  EXPECT_FALSE(g.check_invariants());
+}
+
+TEST(KnnGraph, InvariantsRejectHoleInPrefix) {
+  KnnGraph g(2, 3);
+  g.row(0)[0] = {1.0f, 1};
+  // row(0)[1] stays invalid
+  g.row(0)[2] = {2.0f, 1};
+  EXPECT_FALSE(g.check_invariants());
+}
+
+TEST(KnnGraph, InvariantsAcceptWellFormed) {
+  KnnGraph g(3, 2);
+  g.row(0)[0] = {1.0f, 1};
+  g.row(0)[1] = {2.0f, 2};
+  g.row(1)[0] = {0.5f, 2};
+  g.row(2)[0] = {0.5f, 1};
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(KnnGraph, TiedDistancesSortedByIdAreValid) {
+  KnnGraph g(3, 2);
+  g.row(0)[0] = {1.0f, 1};
+  g.row(0)[1] = {1.0f, 2};
+  EXPECT_TRUE(g.check_invariants());
+}
+
+}  // namespace
+}  // namespace wknng

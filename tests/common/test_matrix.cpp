@@ -1,0 +1,93 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+namespace wknng {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  FloatMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ZeroInitialised) {
+  FloatMatrix m(7, 5);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Matrix, RowMajorIndexing) {
+  FloatMatrix m(3, 4);
+  float v = 0.0f;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m(r, c) = v++;
+  }
+  // Flat layout must be row-major.
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(m.data()[i], static_cast<float>(i));
+  }
+}
+
+TEST(Matrix, RowSpanViewsUnderlyingStorage) {
+  FloatMatrix m(4, 3);
+  auto row = m.row(2);
+  ASSERT_EQ(row.size(), 3u);
+  row[1] = 9.0f;
+  EXPECT_EQ(m(2, 1), 9.0f);
+}
+
+TEST(Matrix, StorageIsAligned) {
+  FloatMatrix m(5, 17);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % 64, 0u);
+}
+
+TEST(Matrix, CopyIsDeep) {
+  FloatMatrix a(2, 2);
+  a(0, 0) = 1.0f;
+  FloatMatrix b(a);
+  b(0, 0) = 2.0f;
+  EXPECT_EQ(a(0, 0), 1.0f);
+  EXPECT_EQ(b(0, 0), 2.0f);
+}
+
+TEST(Matrix, CopyAssignIsDeep) {
+  FloatMatrix a(2, 2);
+  a(1, 1) = 3.0f;
+  FloatMatrix b;
+  b = a;
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b(1, 1), 3.0f);
+  b(1, 1) = 4.0f;
+  EXPECT_EQ(a(1, 1), 3.0f);
+}
+
+TEST(Matrix, MoveTransfersStorage) {
+  FloatMatrix a(2, 2);
+  a(0, 1) = 5.0f;
+  const float* ptr = a.data();
+  FloatMatrix b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b(0, 1), 5.0f);
+}
+
+TEST(Matrix, ResizeReallocatesAndZeroes) {
+  FloatMatrix m(2, 2);
+  m(0, 0) = 1.0f;
+  m.resize(3, 3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Matrix, IntElementType) {
+  Matrix<std::int32_t> m(2, 3);
+  m(1, 2) = -7;
+  EXPECT_EQ(m(1, 2), -7);
+}
+
+}  // namespace
+}  // namespace wknng

@@ -1,0 +1,112 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace wknng {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 (Steele et al. / xoshiro.di.unimi.it).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(42, 3), b(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1, 0), b(2, 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(17);
+  std::array<int, 10> hist{};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++hist[rng.next_below(10)];
+  for (int count : hist) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);  // within 10% relative
+  }
+}
+
+TEST(Rng, GaussianMomentsPlausible) {
+  Rng rng(19);
+  const int draws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / draws;
+  const double var = sum_sq / draws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianProducesBothSigns) {
+  Rng rng(23);
+  bool pos = false, neg = false;
+  for (int i = 0; i < 100 && !(pos && neg); ++i) {
+    const float g = rng.next_gaussian();
+    pos |= g > 0;
+    neg |= g < 0;
+  }
+  EXPECT_TRUE(pos);
+  EXPECT_TRUE(neg);
+}
+
+}  // namespace
+}  // namespace wknng

@@ -1,0 +1,111 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace wknng {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, GrainedRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const std::size_t n = 9997;  // deliberately not a multiple of the grain
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, 64, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::size_t sum = 0;
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  const std::size_t n = 100000;
+  pool.parallel_for(n, 128, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::size_t i) {
+                          if (i == 123) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(100, [&](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedSequentialJobs) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, LargeGrainBeyondN) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, 1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+
+TEST(ThreadPool, NestedParallelForFromWorkerIsSafe) {
+  // A body that itself calls parallel_for must not deadlock: the inner loop
+  // degrades to (mostly) serial execution on the calling worker.
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(10, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+}  // namespace
+}  // namespace wknng

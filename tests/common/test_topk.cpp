@@ -1,0 +1,91 @@
+#include "common/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace wknng {
+namespace {
+
+TEST(Neighbor, OrderingByDistanceThenId) {
+  EXPECT_LT((Neighbor{1.0f, 5}), (Neighbor{2.0f, 1}));
+  EXPECT_LT((Neighbor{1.0f, 1}), (Neighbor{1.0f, 2}));
+  EXPECT_FALSE((Neighbor{1.0f, 2}) < (Neighbor{1.0f, 2}));
+}
+
+TEST(TopK, KeepsKSmallest) {
+  TopK t(3);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    t.push(static_cast<float>(10 - i), i);  // distances 10..1
+  }
+  const auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].dist, 1.0f);
+  EXPECT_EQ(sorted[1].dist, 2.0f);
+  EXPECT_EQ(sorted[2].dist, 3.0f);
+}
+
+TEST(TopK, WorstIsInfinityUntilFull) {
+  TopK t(2);
+  EXPECT_EQ(t.worst(), std::numeric_limits<float>::infinity());
+  t.push(1.0f, 0);
+  EXPECT_EQ(t.worst(), std::numeric_limits<float>::infinity());
+  t.push(2.0f, 1);
+  EXPECT_EQ(t.worst(), 2.0f);
+}
+
+TEST(TopK, RejectsWorseThanWorst) {
+  TopK t(2);
+  t.push(1.0f, 0);
+  t.push(2.0f, 1);
+  t.push(3.0f, 2);  // rejected
+  const auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[1].dist, 2.0f);
+}
+
+TEST(TopK, TieBreakById) {
+  TopK t(1);
+  t.push(1.0f, 9);
+  t.push(1.0f, 3);  // same distance, lower id wins
+  const auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 1u);
+  EXPECT_EQ(sorted[0].id, 3u);
+}
+
+TEST(TopK, FewerThanKItems) {
+  TopK t(5);
+  t.push(2.0f, 0);
+  t.push(1.0f, 1);
+  const auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 1u);
+}
+
+TEST(TopK, MatchesFullSortOnRandomInput) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t k = 1 + rng.next_below(16);
+    const std::size_t n = k + rng.next_below(500);
+    std::vector<Neighbor> all;
+    TopK t(k);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const float d = rng.next_float();
+      all.push_back({d, i});
+      t.push(d, i);
+    }
+    std::sort(all.begin(), all.end());
+    all.resize(k);
+    const auto got = t.take_sorted();
+    ASSERT_EQ(got.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(got[i], all[i]) << "trial " << trial << " slot " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wknng

@@ -1,0 +1,127 @@
+#include "core/graph_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "core/builder.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::core {
+namespace {
+
+KnnGraph tiny_graph(std::initializer_list<std::initializer_list<Neighbor>> rows,
+                    std::size_t k) {
+  KnnGraph g(rows.size(), k);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    std::size_t s = 0;
+    for (const Neighbor& nb : row) g.row(i)[s++] = nb;
+    ++i;
+  }
+  return g;
+}
+
+TEST(ConnectedComponents, TwoIslands) {
+  // 0-1 and 2-3, no cross edges.
+  const auto g = tiny_graph({{{1.0f, 1}}, {{1.0f, 0}}, {{1.0f, 3}}, {{1.0f, 2}}}, 1);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.largest, 2u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[2]);
+}
+
+TEST(ConnectedComponents, ChainIsOneComponent) {
+  const auto g =
+      tiny_graph({{{1.0f, 1}}, {{1.0f, 2}}, {{1.0f, 3}}, {{1.0f, 0}}}, 1);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_EQ(c.largest, 4u);
+}
+
+TEST(ConnectedComponents, IsolatedPointsAreSingletons) {
+  KnnGraph g(3, 2);  // no edges at all
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.largest, 1u);
+}
+
+TEST(InDegrees, CountsReverseEdges) {
+  const auto g = tiny_graph({{{1.0f, 2}}, {{1.0f, 2}}, {{1.0f, 0}}}, 1);
+  const auto deg = in_degrees(g);
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[1], 0u);
+  EXPECT_EQ(deg[2], 2u);
+}
+
+TEST(DegreeSummary, BasicMoments) {
+  const DegreeSummary s = summarize_degrees({1, 2, 3, 4});
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-9);
+}
+
+TEST(MeanEdgeDistance, AveragesValidEdges) {
+  const auto g = tiny_graph({{{1.0f, 1}, {3.0f, 2}}, {{2.0f, 0}}}, 2);
+  EXPECT_DOUBLE_EQ(mean_edge_distance(g), 2.0);
+}
+
+TEST(EdgeAgreement, IdenticalGraphsAgreeFully) {
+  const auto g = tiny_graph({{{1.0f, 1}}, {{1.0f, 0}}}, 1);
+  EXPECT_EQ(edge_agreement(g, g), 1.0);
+}
+
+TEST(EdgeAgreement, DisjointGraphsAgreeNever) {
+  const auto a = tiny_graph({{{1.0f, 1}}, {{1.0f, 2}}, {{1.0f, 0}}}, 1);
+  const auto b = tiny_graph({{{1.0f, 2}}, {{1.0f, 0}}, {{1.0f, 1}}}, 1);
+  EXPECT_EQ(edge_agreement(a, b), 0.0);
+}
+
+TEST(SymmetryRate, DetectsAsymmetry) {
+  const auto sym = tiny_graph({{{1.0f, 1}}, {{1.0f, 0}}}, 1);
+  EXPECT_EQ(symmetry_rate(sym), 1.0);
+  const auto asym = tiny_graph({{{1.0f, 1}}, {{1.0f, 2}}, {{1.0f, 1}}}, 1);
+  // edges: 0->1 (reverse 1->0 missing), 1->2 (reverse 2->1 present),
+  // 2->1 (reverse 1->2 present) => 2/3.
+  EXPECT_NEAR(symmetry_rate(asym), 2.0 / 3.0, 1e-9);
+}
+
+TEST(GraphMetrics, BuiltGraphOnClustersIsWellFormed) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(400, 12, 8, 0.1f, 5);
+  BuildParams params;
+  params.k = 8;
+  params.refine_iters = 1;
+  const KnnGraph g = build_knng(pool, pts, params).graph;
+
+  const Components c = connected_components(g);
+  // Dense k and clustered data: few components, each at least cluster-sized.
+  EXPECT_LE(c.count, 8u);
+  EXPECT_GE(c.largest, 50u);
+
+  const auto deg = in_degrees(g);
+  const DegreeSummary s = summarize_degrees(deg);
+  EXPECT_NEAR(s.mean, 8.0, 0.5);  // in-degree mean ~= k when rows are full
+  EXPECT_GT(symmetry_rate(g), 0.4);
+  EXPECT_GT(mean_edge_distance(g), 0.0);
+}
+
+TEST(GraphMetrics, ExactGraphBeatsApproximateOnEdgeDistance) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(300, 8, 7);
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, 6);
+  BuildParams params;
+  params.k = 6;
+  params.num_trees = 1;
+  params.refine_iters = 0;  // deliberately weak build
+  const KnnGraph approx = build_knng(pool, pts, params).graph;
+  EXPECT_LE(mean_edge_distance(truth), mean_edge_distance(approx));
+}
+
+}  // namespace
+}  // namespace wknng::core

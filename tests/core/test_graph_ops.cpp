@@ -1,0 +1,133 @@
+#include "core/graph_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/builder.hpp"
+#include "core/graph_metrics.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::core {
+namespace {
+
+KnnGraph small_graph() {
+  KnnGraph g(3, 3);
+  g.row(0)[0] = {1.0f, 1};
+  g.row(0)[1] = {2.0f, 2};
+  g.row(1)[0] = {1.0f, 0};
+  g.row(2)[0] = {2.0f, 0};
+  return g;
+}
+
+TEST(WithK, TruncationKeepsNearest) {
+  const KnnGraph g = small_graph();
+  const KnnGraph t = with_k(g, 1);
+  EXPECT_EQ(t.k(), 1u);
+  EXPECT_EQ(t.row(0)[0].id, 1u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(WithK, ExpansionPadsWithInvalid) {
+  const KnnGraph g = small_graph();
+  const KnnGraph e = with_k(g, 5);
+  EXPECT_EQ(e.k(), 5u);
+  EXPECT_EQ(e.row_size(0), 2u);
+  EXPECT_EQ(e.row(0)[4].id, KnnGraph::kInvalid);
+  EXPECT_TRUE(e.check_invariants());
+}
+
+TEST(WithK, RejectsZero) {
+  EXPECT_THROW(with_k(small_graph(), 0), Error);
+}
+
+TEST(WithK, ExactTruncationMatchesSmallerBruteForce) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(200, 6, 3);
+  const KnnGraph g10 = exact::brute_force_knng(pool, pts, 10);
+  const KnnGraph g4 = exact::brute_force_knng(pool, pts, 4);
+  EXPECT_EQ(exact::recall(with_k(g10, 4), g4), 1.0);
+}
+
+TEST(MergeGraphs, KeepsBestOfBoth) {
+  KnnGraph a(2, 2), b(2, 2);
+  a.row(0)[0] = {3.0f, 1};
+  b.row(0)[0] = {1.0f, 2};
+  b.row(0)[1] = {5.0f, 3};
+  const KnnGraph m = merge_graphs(a, b);
+  EXPECT_EQ(m.row(0)[0].id, 2u);
+  EXPECT_EQ(m.row(0)[1].id, 1u);
+  EXPECT_TRUE(m.check_invariants());
+}
+
+TEST(MergeGraphs, DedupesSharedEdges) {
+  KnnGraph a(2, 2), b(2, 2);
+  a.row(0)[0] = {1.0f, 1};
+  b.row(0)[0] = {1.0f, 1};  // same edge
+  const KnnGraph m = merge_graphs(a, b);
+  EXPECT_EQ(m.row_size(0), 1u);
+}
+
+TEST(MergeGraphs, RejectsMismatchedSizes) {
+  KnnGraph a(2, 2), b(3, 2);
+  EXPECT_THROW(merge_graphs(a, b), Error);
+}
+
+TEST(MergeGraphs, MergeBeatsEitherInput) {
+  // Two cheap single-tree builds with different seeds, merged, must reach
+  // at least the recall of the better input (and in practice much more).
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(500, 10, 7);
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, 8);
+  BuildParams params;
+  params.k = 8;
+  params.num_trees = 2;
+  params.refine_iters = 0;
+  params.seed = 1;
+  const KnnGraph a = build_knng(pool, pts, params).graph;
+  params.seed = 2;
+  const KnnGraph b = build_knng(pool, pts, params).graph;
+  const KnnGraph m = merge_graphs(a, b);
+  EXPECT_TRUE(m.check_invariants());
+  const double ra = exact::recall(a, truth);
+  const double rb = exact::recall(b, truth);
+  const double rm = exact::recall(m, truth);
+  EXPECT_GE(rm + 1e-9, std::max(ra, rb));
+  EXPECT_GT(rm, std::max(ra, rb) + 0.05);  // genuinely better, not a tie
+}
+
+TEST(Symmetrized, AddsReverseEdgesWhenRoomExists) {
+  KnnGraph g(2, 2);
+  g.row(0)[0] = {1.0f, 1};  // 0 -> 1, no reverse
+  const KnnGraph s = symmetrized(g);
+  EXPECT_EQ(s.row(1)[0].id, 0u);
+  EXPECT_EQ(s.row(1)[0].dist, 1.0f);
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Symmetrized, RaisesSymmetryRate) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(300, 10, 6, 0.1f, 11);
+  BuildParams params;
+  params.k = 6;
+  params.refine_iters = 0;
+  const KnnGraph g = build_knng(pool, pts, params).graph;
+  const KnnGraph s = symmetrized(g);
+  EXPECT_GE(symmetry_rate(s) + 1e-9, symmetry_rate(g));
+  EXPECT_TRUE(s.check_invariants());
+}
+
+TEST(Symmetrized, AlreadySymmetricIsFixedPoint) {
+  KnnGraph g(2, 2);
+  g.row(0)[0] = {1.0f, 1};
+  g.row(1)[0] = {1.0f, 0};
+  const KnnGraph s = symmetrized(g);
+  EXPECT_EQ(s.row(0)[0].id, 1u);
+  EXPECT_EQ(s.row(1)[0].id, 0u);
+  EXPECT_EQ(s.row_size(0), 1u);
+  EXPECT_EQ(s.row_size(1), 1u);
+}
+
+}  // namespace
+}  // namespace wknng::core

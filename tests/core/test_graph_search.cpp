@@ -1,0 +1,127 @@
+#include "core/graph_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::core {
+namespace {
+
+struct Fixture {
+  ThreadPool pool{2};
+  FloatMatrix base;
+  FloatMatrix queries;
+  KnnGraph graph;
+
+  explicit Fixture(std::size_t n = 2000, std::size_t dim = 16,
+                   std::size_t nq = 40) {
+    base = data::make_clusters(n, dim, 16, 0.08f, 3);
+    // Held-out queries: perturbed base points.
+    queries.resize(nq, dim);
+    Rng rng(17);
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      const auto src = base.row(rng.next_below(n));
+      auto dst = queries.row(qi);
+      for (std::size_t d = 0; d < dim; ++d) {
+        dst[d] = src[d] + 0.02f * rng.next_gaussian();
+      }
+    }
+    BuildParams params;
+    params.k = 16;
+    params.num_trees = 8;
+    params.refine_iters = 1;
+    graph = build_knng(pool, base, params).graph;
+  }
+};
+
+TEST(GraphSearch, HighRecallOnClusteredData) {
+  Fixture f;
+  SearchParams sp;
+  sp.k = 10;
+  SearchStats stats;
+  const KnnGraph got = graph_search(f.pool, f.base, f.graph, f.queries, sp, &stats);
+  const KnnGraph truth = exact::brute_force_knn(f.pool, f.base, f.queries, 10);
+  EXPECT_GT(exact::recall(got, truth), 0.9);
+  EXPECT_EQ(stats.queries, f.queries.rows());
+  // Navigation must touch far less than the whole base per query.
+  EXPECT_LT(static_cast<double>(stats.points_visited) /
+                static_cast<double>(stats.queries),
+            0.3 * static_cast<double>(f.base.rows()));
+}
+
+TEST(GraphSearch, ResultsAreSortedAndValid) {
+  Fixture f(500, 8, 10);
+  SearchParams sp;
+  sp.k = 5;
+  const KnnGraph got = graph_search(f.pool, f.base, f.graph, f.queries, sp);
+  EXPECT_TRUE(got.check_invariants());
+  for (std::size_t qi = 0; qi < got.num_points(); ++qi) {
+    EXPECT_EQ(got.row_size(qi), 5u);
+    for (const Neighbor& nb : got.row(qi)) {
+      const float expect = exact::l2_sq(f.queries.row(qi), f.base.row(nb.id));
+      EXPECT_FLOAT_EQ(nb.dist, expect);
+    }
+  }
+}
+
+TEST(GraphSearch, WiderBeamNeverHurtsRecall) {
+  Fixture f(1500, 12, 30);
+  const KnnGraph truth = exact::brute_force_knn(f.pool, f.base, f.queries, 10);
+  SearchParams narrow;
+  narrow.k = 10;
+  narrow.beam = 12;
+  SearchParams wide = narrow;
+  wide.beam = 96;
+  const double r_narrow = exact::recall(
+      graph_search(f.pool, f.base, f.graph, f.queries, narrow), truth);
+  const double r_wide = exact::recall(
+      graph_search(f.pool, f.base, f.graph, f.queries, wide), truth);
+  EXPECT_GE(r_wide + 1e-9, r_narrow);
+}
+
+TEST(GraphSearch, DeterministicForFixedSeed) {
+  Fixture f(800, 8, 10);
+  SearchParams sp;
+  sp.k = 6;
+  const KnnGraph a = graph_search(f.pool, f.base, f.graph, f.queries, sp);
+  const KnnGraph b = graph_search(f.pool, f.base, f.graph, f.queries, sp);
+  for (std::size_t qi = 0; qi < a.num_points(); ++qi) {
+    for (std::size_t s = 0; s < a.k(); ++s) {
+      ASSERT_EQ(a.row(qi)[s], b.row(qi)[s]);
+    }
+  }
+}
+
+TEST(GraphSearch, EntrySampleLargerThanBaseIsSafe) {
+  Fixture f(100, 6, 5);
+  SearchParams sp;
+  sp.k = 4;
+  sp.entry_sample = 10000;
+  EXPECT_NO_THROW(graph_search(f.pool, f.base, f.graph, f.queries, sp));
+}
+
+TEST(GraphSearch, RejectsMismatchedShapes) {
+  Fixture f(200, 6, 5);
+  SearchParams sp;
+  FloatMatrix wrong_dim(3, 7);
+  EXPECT_THROW(graph_search(f.pool, f.base, f.graph, wrong_dim, sp), Error);
+  KnnGraph wrong_graph(10, 4);
+  EXPECT_THROW(graph_search(f.pool, f.base, wrong_graph, f.queries, sp), Error);
+}
+
+TEST(GraphSearch, WorkCountersAccumulate) {
+  Fixture f(500, 8, 10);
+  SearchParams sp;
+  sp.k = 5;
+  simt::StatsAccumulator acc;
+  (void)graph_search(f.pool, f.base, f.graph, f.queries, sp, nullptr, &acc);
+  EXPECT_GT(acc.total().distance_evals, 0u);
+  EXPECT_EQ(acc.total().warps_executed, f.queries.rows());
+}
+
+}  // namespace
+}  // namespace wknng::core

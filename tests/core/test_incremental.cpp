@@ -1,0 +1,179 @@
+#include "core/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph_metrics.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::core {
+namespace {
+
+/// Splits a dataset into an initial prefix and a batch suffix.
+std::pair<FloatMatrix, FloatMatrix> split(const FloatMatrix& pts,
+                                          std::size_t initial) {
+  FloatMatrix a(initial, pts.cols());
+  FloatMatrix b(pts.rows() - initial, pts.cols());
+  for (std::size_t i = 0; i < initial; ++i) {
+    std::copy(pts.row(i).begin(), pts.row(i).end(), a.row(i).begin());
+  }
+  for (std::size_t i = initial; i < pts.rows(); ++i) {
+    std::copy(pts.row(i).begin(), pts.row(i).end(),
+              b.row(i - initial).begin());
+  }
+  return {std::move(a), std::move(b)};
+}
+
+class IncrementalTest : public ::testing::TestWithParam<Strategy> {};
+
+TEST_P(IncrementalTest, InitialBuildMatchesBatchBuilder) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(400, 10, 8, 0.1f, 3);
+  BuildParams params;
+  params.k = 6;
+  params.strategy = GetParam();
+  params.refine_iters = 1;
+
+  IncrementalKnng inc(pool, params, pts);
+  const KnnGraph a = inc.graph();
+  const KnnGraph b = build_knng(pool, pts, params).graph;
+  // Same pipeline, same seed: identical output for lock-based strategies,
+  // near-identical for atomic.
+  EXPECT_GT(edge_agreement(a, b), 0.99);
+}
+
+TEST_P(IncrementalTest, InsertedPointsGetGoodNeighbors) {
+  ThreadPool pool(2);
+  const FloatMatrix all = data::make_clusters(600, 12, 8, 0.1f, 7);
+  auto [initial, batch] = split(all, 500);
+
+  BuildParams params;
+  params.k = 8;
+  params.strategy = GetParam();
+  params.refine_iters = 1;
+  IncrementalKnng inc(pool, params, std::move(initial));
+  inc.add_batch(batch);
+  ASSERT_EQ(inc.size(), 600u);
+
+  const KnnGraph g = inc.graph();
+  EXPECT_TRUE(g.check_invariants());
+
+  // Recall of the inserted points against exact ground truth on the full set.
+  const KnnGraph truth = exact::brute_force_knng(pool, all, 8);
+  double recall_sum = 0.0;
+  for (std::size_t p = 500; p < 600; ++p) {
+    recall_sum += exact::row_recall(g.row(p), truth.row(p));
+  }
+  EXPECT_GT(recall_sum / 100.0, 0.75) << strategy_name(GetParam());
+}
+
+TEST_P(IncrementalTest, ExistingPointsLearnReverseEdges) {
+  ThreadPool pool(2);
+  const FloatMatrix all = data::make_clusters(300, 8, 4, 0.05f, 11);
+  auto [initial, batch] = split(all, 250);
+
+  BuildParams params;
+  params.k = 5;
+  params.strategy = GetParam();
+  IncrementalKnng inc(pool, params, std::move(initial));
+  inc.add_batch(batch);
+  const KnnGraph g = inc.graph();
+
+  // Some pre-existing point must now list a new point (id >= 250) among its
+  // neighbors — the reverse-edge push is what keeps the graph searchable.
+  bool any_reverse = false;
+  for (std::size_t p = 0; p < 250 && !any_reverse; ++p) {
+    for (const Neighbor& nb : g.row(p)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      any_reverse |= nb.id >= 250;
+    }
+  }
+  EXPECT_TRUE(any_reverse);
+}
+
+TEST_P(IncrementalTest, MultipleBatchesKeepInvariants) {
+  ThreadPool pool(2);
+  const FloatMatrix all = data::make_uniform(400, 6, 13);
+  auto [initial, rest] = split(all, 200);
+
+  BuildParams params;
+  params.k = 5;
+  params.strategy = GetParam();
+  IncrementalKnng inc(pool, params, std::move(initial));
+  for (std::size_t b = 0; b < 4; ++b) {
+    auto [chunk, remaining] = split(rest, 50);
+    inc.add_batch(chunk);
+    rest = std::move(remaining);
+    ASSERT_TRUE(inc.graph().check_invariants()) << "batch " << b;
+  }
+  EXPECT_EQ(inc.size(), 400u);
+}
+
+TEST_P(IncrementalTest, RefineImprovesInsertedRecall) {
+  ThreadPool pool(2);
+  const FloatMatrix all = data::make_clusters(500, 16, 8, 0.12f, 17);
+  auto [initial, batch] = split(all, 400);
+
+  BuildParams params;
+  params.k = 8;
+  params.strategy = GetParam();
+  params.refine_iters = 0;
+  IncrementalKnng inc(pool, params, std::move(initial));
+  inc.add_batch(batch);
+
+  const KnnGraph truth = exact::brute_force_knng(pool, all, 8);
+  auto batch_recall = [&](const KnnGraph& g) {
+    double acc = 0.0;
+    for (std::size_t p = 400; p < 500; ++p) {
+      acc += exact::row_recall(g.row(p), truth.row(p));
+    }
+    return acc / 100.0;
+  };
+  const double before = batch_recall(inc.graph());
+  inc.refine();
+  const double after = batch_recall(inc.graph());
+  EXPECT_GE(after + 1e-9, before);
+}
+
+TEST_P(IncrementalTest, EmptyBatchIsANoop) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(100, 4, 19);
+  BuildParams params;
+  params.k = 4;
+  params.strategy = GetParam();
+  IncrementalKnng inc(pool, params, pts);
+  const FloatMatrix empty(0, 4);
+  inc.add_batch(empty);
+  EXPECT_EQ(inc.size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, IncrementalTest,
+                         ::testing::Values(Strategy::kBasic, Strategy::kAtomic,
+                                           Strategy::kTiled),
+                         [](const auto& info) {
+                           return strategy_name(info.param);
+                         });
+
+TEST(Incremental, StatsAccumulateAcrossBatches) {
+  ThreadPool pool(2);
+  const FloatMatrix all = data::make_uniform(300, 6, 23);
+  auto [initial, batch] = split(all, 200);
+  BuildParams params;
+  params.k = 5;
+  IncrementalKnng inc(pool, params, std::move(initial));
+  const auto before = inc.stats().distance_evals;
+  EXPECT_GT(before, 0u);
+  inc.add_batch(batch);
+  EXPECT_GT(inc.stats().distance_evals, before);
+}
+
+TEST(Incremental, RecommendedStrategyFollowsDimensions) {
+  EXPECT_EQ(recommended_strategy(4), Strategy::kAtomic);
+  EXPECT_EQ(recommended_strategy(16), Strategy::kAtomic);
+  EXPECT_EQ(recommended_strategy(64), Strategy::kTiled);
+  EXPECT_EQ(recommended_strategy(960), Strategy::kTiled);
+}
+
+}  // namespace
+}  // namespace wknng::core

@@ -1,0 +1,221 @@
+#include "core/knn_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simt/launch.hpp"
+#include "simt/sort.hpp"
+
+namespace wknng::core {
+namespace {
+
+using simt::Packed;
+
+class KnnSetTest : public ::testing::TestWithParam<Strategy> {
+ protected:
+  simt::WarpScratch scratch_;
+  simt::Stats stats_;
+  simt::Warp warp_{0, scratch_, stats_};
+
+  /// Strategy-dispatched insert through the uniform entry point.
+  void insert(KnnSetArray& sets, std::uint32_t dst, float dist,
+              std::uint32_t id) {
+    sets.insert(warp_, GetParam(), dst, Packed::make(dist, id));
+  }
+
+  /// Reads back point p's set as sorted (dist, id) pairs.
+  std::vector<Neighbor> contents(const KnnSetArray& sets, std::uint32_t p) {
+    std::vector<std::uint64_t> vals(sets.row(p), sets.row(p) + sets.k());
+    std::sort(vals.begin(), vals.end());
+    std::vector<Neighbor> out;
+    for (std::uint64_t v : vals) {
+      if (!Packed::is_empty(v)) out.push_back({Packed::dist(v), Packed::id(v)});
+    }
+    return out;
+  }
+};
+
+TEST_P(KnnSetTest, InsertBelowCapacityKeepsAll) {
+  KnnSetArray sets(4, 5);
+  insert(sets, 0, 3.0f, 1);
+  insert(sets, 0, 1.0f, 2);
+  insert(sets, 0, 2.0f, 3);
+  const auto c = contents(sets, 0);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0].id, 2u);
+  EXPECT_EQ(c[1].id, 3u);
+  EXPECT_EQ(c[2].id, 1u);
+}
+
+TEST_P(KnnSetTest, EvictsWorstWhenFull) {
+  KnnSetArray sets(2, 3);
+  insert(sets, 0, 3.0f, 1);
+  insert(sets, 0, 2.0f, 2);
+  insert(sets, 0, 4.0f, 3);
+  insert(sets, 0, 1.0f, 4);  // must evict id 3 (dist 4)
+  const auto c = contents(sets, 0);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0].id, 4u);
+  EXPECT_EQ(c[1].id, 2u);
+  EXPECT_EQ(c[2].id, 1u);
+}
+
+TEST_P(KnnSetTest, RejectsWorseThanWorstWhenFull) {
+  KnnSetArray sets(2, 2);
+  insert(sets, 0, 1.0f, 1);
+  insert(sets, 0, 2.0f, 2);
+  insert(sets, 0, 9.0f, 3);
+  const auto c = contents(sets, 0);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].id, 1u);
+  EXPECT_EQ(c[1].id, 2u);
+}
+
+TEST_P(KnnSetTest, DuplicateIdIsIgnored) {
+  KnnSetArray sets(2, 3);
+  insert(sets, 0, 1.0f, 1);
+  insert(sets, 0, 1.0f, 1);
+  insert(sets, 0, 1.0f, 1);
+  const auto c = contents(sets, 0);
+  ASSERT_EQ(c.size(), 1u);
+}
+
+TEST_P(KnnSetTest, RowsAreIndependent) {
+  KnnSetArray sets(3, 2);
+  insert(sets, 0, 1.0f, 1);
+  insert(sets, 2, 2.0f, 5);
+  EXPECT_EQ(contents(sets, 0).size(), 1u);
+  EXPECT_EQ(contents(sets, 1).size(), 0u);
+  EXPECT_EQ(contents(sets, 2).size(), 1u);
+}
+
+TEST_P(KnnSetTest, MatchesReferenceTopKOnRandomStream) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t k = 1 + rng.next_below(12);
+    KnnSetArray sets(1, k);
+    TopK reference(k);
+    const std::size_t stream_len = 50 + rng.next_below(300);
+    for (std::size_t i = 0; i < stream_len; ++i) {
+      const float dist = rng.next_float() * 10.0f;
+      const auto id = static_cast<std::uint32_t>(1000 + i);  // distinct ids
+      insert(sets, 0, dist, id);
+      reference.push(dist, id);
+    }
+    const auto expect = reference.take_sorted();
+    const auto got = contents(sets, 0);
+    ASSERT_EQ(got.size(), expect.size()) << "trial " << trial;
+    for (std::size_t s = 0; s < expect.size(); ++s) {
+      EXPECT_EQ(got[s], expect[s]) << "trial " << trial << " slot " << s;
+    }
+  }
+}
+
+TEST_P(KnnSetTest, ConcurrentInsertsKeepKBest) {
+  // Many warps hammer the same destination point; the k best distinct
+  // candidates must survive for the lock-based strategies, and at least the
+  // k-th-best bound must hold for the lock-free one.
+  ThreadPool pool(4);
+  const std::size_t k = 8;
+  const std::size_t n_cands = 2000;
+  KnnSetArray sets(1, k);
+  const Strategy strategy = GetParam();
+  simt::launch_warps(pool, 64, nullptr, [&](simt::Warp& w) {
+    Rng rng(55, w.id());
+    for (std::size_t i = 0; i < n_cands / 64; ++i) {
+      const auto id = static_cast<std::uint32_t>(w.id() * 1000 + i + 1);
+      const float dist = 1.0f + static_cast<float>(id % 997);
+      sets.insert(w, strategy, 0, Packed::make(dist, id));
+    }
+  });
+  // All inserted candidates, reference top-k.
+  TopK reference(k);
+  for (std::uint32_t wid = 0; wid < 64; ++wid) {
+    for (std::size_t i = 0; i < n_cands / 64; ++i) {
+      const auto id = static_cast<std::uint32_t>(wid * 1000 + i + 1);
+      reference.push(1.0f + static_cast<float>(id % 997), id);
+    }
+  }
+  const auto expect = reference.take_sorted();
+
+  simt::WarpScratch scratch;
+  simt::Stats stats;
+  simt::Warp w(0, scratch, stats);
+  std::vector<std::uint64_t> vals(sets.row(0), sets.row(0) + k);
+  std::sort(vals.begin(), vals.end());
+  ASSERT_FALSE(Packed::is_empty(vals[0]));
+  EXPECT_EQ(Packed::dist(vals[0]), expect[0].dist);
+  // The worst kept distance can never exceed the reference k-th distance.
+  float worst_kept = 0.0f;
+  for (std::uint64_t v : vals) {
+    if (!Packed::is_empty(v)) worst_kept = Packed::dist(v);
+  }
+  EXPECT_LE(worst_kept, expect.back().dist);
+}
+
+TEST_P(KnnSetTest, ExtractProducesValidGraph) {
+  ThreadPool pool(2);
+  KnnSetArray sets(5, 3);
+  insert(sets, 0, 2.0f, 1);
+  insert(sets, 0, 1.0f, 2);
+  insert(sets, 1, 5.0f, 4);
+  const KnnGraph g = sets.extract(pool);
+  EXPECT_TRUE(g.check_invariants());
+  EXPECT_EQ(g.row_size(0), 2u);
+  EXPECT_EQ(g.row(0)[0].id, 2u);
+  EXPECT_EQ(g.row(0)[1].id, 1u);
+  EXPECT_EQ(g.row_size(1), 1u);
+  EXPECT_EQ(g.row_size(2), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, KnnSetTest,
+                         ::testing::Values(Strategy::kBasic, Strategy::kAtomic,
+                                           Strategy::kTiled),
+                         [](const auto& info) {
+                           return strategy_name(info.param);
+                         });
+
+TEST(KnnSetTiled, MergeSortedTileKeepsRowSorted) {
+  simt::WarpScratch scratch;
+  simt::Stats stats;
+  simt::Warp w(0, scratch, stats);
+  KnnSetArray sets(1, 6);
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    simt::Lanes<std::uint64_t> run;
+    run.fill(Packed::kEmpty);
+    const std::size_t cnt = 1 + rng.next_below(simt::kWarpSize);
+    for (std::size_t i = 0; i < cnt; ++i) {
+      run[i] = Packed::make(rng.next_float() * 5.0f,
+                            static_cast<std::uint32_t>(round * 100 + i + 1));
+    }
+    simt::bitonic_sort_lanes(w, run);
+    sets.merge_sorted_tile(w, 0, run);
+    // Row must stay sorted ascending after every merge.
+    const std::uint64_t* row = sets.row(0);
+    for (std::size_t s = 1; s < 6; ++s) {
+      ASSERT_LE(row[s - 1], row[s]) << "round " << round;
+    }
+  }
+}
+
+TEST(KnnSetAtomic, ContentionIsMeasured) {
+  ThreadPool pool(4);
+  if (pool.thread_count() < 2) GTEST_SKIP() << "needs >= 2 threads";
+  KnnSetArray sets(1, 4);
+  simt::StatsAccumulator acc;
+  simt::launch_warps(pool, 256, &acc, [&](simt::Warp& w) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      const auto id = w.id() * 64 + i + 1;
+      sets.insert_atomic(w, 0, Packed::make(1.0f / (id + 1), id));
+    }
+  });
+  EXPECT_GT(acc.total().atomic_ops, 0u);
+}
+
+}  // namespace
+}  // namespace wknng::core

@@ -1,0 +1,237 @@
+#include "core/rp_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/builder.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::core {
+namespace {
+
+/// Every tree must partition the point set: each id appears exactly once.
+void expect_partition(const Buckets& b, std::size_t n) {
+  std::vector<int> seen(n, 0);
+  for (std::uint32_t id : b.ids) {
+    ASSERT_LT(id, n);
+    ++seen[id];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i], 1) << "point " << i;
+  }
+}
+
+TEST(RpTree, LeavesPartitionThePointSet) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(500, 10, 8, 0.1f, 3);
+  const Buckets b = build_rp_tree(pool, pts, 32, 7, 0);
+  expect_partition(b, 500);
+}
+
+TEST(RpTree, RespectsLeafSize) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(777, 6, 5);
+  for (std::size_t leaf : {8u, 33u, 128u}) {
+    const Buckets b = build_rp_tree(pool, pts, leaf, 7, 0);
+    EXPECT_LE(b.max_bucket_size(), leaf) << "leaf_size " << leaf;
+    expect_partition(b, 777);
+  }
+}
+
+TEST(RpTree, BalancedSplitsGiveTightBucketRange) {
+  // Median splits halve exactly, so bucket sizes live in
+  // (leaf_size/2, leaf_size] for n > leaf_size.
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(1000, 4, 9);
+  const std::size_t leaf = 64;
+  const Buckets b = build_rp_tree(pool, pts, leaf, 11, 0);
+  for (std::size_t i = 0; i < b.num_buckets(); ++i) {
+    const std::size_t sz = b.bucket(i).size();
+    EXPECT_GT(sz, leaf / 2 - 1);
+    EXPECT_LE(sz, leaf);
+  }
+}
+
+TEST(RpTree, SmallInputIsSingleBucket) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(20, 3, 1);
+  const Buckets b = build_rp_tree(pool, pts, 32, 7, 0);
+  EXPECT_EQ(b.num_buckets(), 1u);
+  EXPECT_EQ(b.bucket(0).size(), 20u);
+  expect_partition(b, 20);
+}
+
+TEST(RpTree, DeterministicForSameSeed) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(300, 8, 2);
+  const Buckets a = build_rp_tree(pool, pts, 16, 42, 1);
+  const Buckets c = build_rp_tree(pool, pts, 16, 42, 1);
+  EXPECT_EQ(a.ids, c.ids);
+  EXPECT_EQ(a.offsets, c.offsets);
+}
+
+TEST(RpTree, DifferentTreeIndicesDiffer) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(300, 8, 2);
+  const Buckets a = build_rp_tree(pool, pts, 16, 42, 0);
+  const Buckets c = build_rp_tree(pool, pts, 16, 42, 1);
+  EXPECT_NE(a.ids, c.ids);
+}
+
+TEST(RpTree, DuplicatePointsDoNotBreakSplitting) {
+  // All-identical points make every projection equal; positional median
+  // splits must still terminate and produce a valid partition.
+  FloatMatrix pts(200, 5);
+  for (std::size_t i = 0; i < pts.size(); ++i) pts.data()[i] = 1.0f;
+  ThreadPool pool(2);
+  const Buckets b = build_rp_tree(pool, pts, 16, 3, 0);
+  expect_partition(b, 200);
+  EXPECT_LE(b.max_bucket_size(), 16u);
+}
+
+TEST(RpTree, GroupsNearbyPointsTogether) {
+  // With well-separated tight clusters smaller than the leaf size, most
+  // points should share a bucket with same-cluster points only.
+  ThreadPool pool(2);
+  data::DatasetSpec spec;
+  spec.kind = data::DatasetKind::kClusters;
+  spec.n = 256;
+  spec.dim = 8;
+  spec.clusters = 8;  // 32 points per cluster
+  spec.cluster_spread = 1e-3f;
+  spec.seed = 21;
+  const FloatMatrix pts = data::generate(spec);
+  const Buckets b = build_rp_tree(pool, pts, 64, 5, 0);
+
+  std::size_t pure_pairs = 0, total_pairs = 0;
+  for (std::size_t bi = 0; bi < b.num_buckets(); ++bi) {
+    const auto ids = b.bucket(bi);
+    for (std::size_t x = 0; x < ids.size(); ++x) {
+      for (std::size_t y = x + 1; y < ids.size(); ++y) {
+        ++total_pairs;
+        pure_pairs += (ids[x] % 8 == ids[y] % 8) ? 1 : 0;
+      }
+    }
+  }
+  // Random bucketing would give ~1/8 purity; a 64-point leaf drawn from a
+  // good tree holds ~2 whole clusters (purity ~0.49), so demand well above
+  // the random baseline.
+  EXPECT_GT(static_cast<double>(pure_pairs) / total_pairs, 0.3);
+}
+
+TEST(RpForest, ConcatenatesAllTrees) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(200, 5, 6);
+  const Buckets f = build_rp_forest(pool, pts, 4, 32, 9);
+  EXPECT_EQ(f.ids.size(), 4u * 200u);
+  // Each tree individually partitions the set.
+  std::vector<int> seen(200, 0);
+  for (std::uint32_t id : f.ids) ++seen[id];
+  for (int c : seen) EXPECT_EQ(c, 4);
+}
+
+TEST(RpForest, StatsAreAccumulated) {
+  ThreadPool pool(2);
+  simt::StatsAccumulator acc;
+  const FloatMatrix pts = data::make_uniform(300, 12, 6);
+  (void)build_rp_forest(pool, pts, 2, 32, 9, &acc);
+  const simt::Stats s = acc.total();
+  EXPECT_GT(s.flops, 0u);
+  EXPECT_GT(s.global_reads, 0u);
+  EXPECT_GT(s.warps_executed, 0u);
+}
+
+TEST(Buckets, AppendPreservesBucketBoundaries) {
+  Buckets a;
+  a.ids = {0, 1, 2};
+  a.offsets = {0, 2, 3};
+  Buckets b;
+  b.ids = {3, 4};
+  b.offsets = {0, 2};
+  a.append(b);
+  ASSERT_EQ(a.num_buckets(), 3u);
+  EXPECT_EQ(a.bucket(0).size(), 2u);
+  EXPECT_EQ(a.bucket(1).size(), 1u);
+  EXPECT_EQ(a.bucket(2).size(), 2u);
+  EXPECT_EQ(a.bucket(2)[0], 3u);
+}
+
+
+TEST(SpillTree, ZeroSpillMatchesPlainTree) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(300, 8, 2);
+  const Buckets plain = build_rp_tree(pool, pts, 32, 42, 0);
+  const Buckets spill = build_rp_tree_spill(pool, pts, 32, 0.0f, 42, 0);
+  EXPECT_EQ(plain.ids, spill.ids);
+  EXPECT_EQ(plain.offsets, spill.offsets);
+}
+
+TEST(SpillTree, EveryPointCoveredAtLeastOnce) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(400, 10, 8, 0.1f, 5);
+  const Buckets b = build_rp_tree_spill(pool, pts, 32, 0.15f, 7, 0);
+  std::vector<int> seen(400, 0);
+  for (std::uint32_t id : b.ids) {
+    ASSERT_LT(id, 400u);
+    ++seen[id];
+  }
+  std::size_t duplicated = 0;
+  for (int c : seen) {
+    EXPECT_GE(c, 1);
+    duplicated += c > 1 ? 1 : 0;
+  }
+  EXPECT_GT(duplicated, 0u);  // spill must actually duplicate someone
+}
+
+TEST(SpillTree, RespectsLeafSize) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(500, 6, 9);
+  const Buckets b = build_rp_tree_spill(pool, pts, 48, 0.2f, 11, 0);
+  EXPECT_LE(b.max_bucket_size(), 48u);
+}
+
+TEST(SpillTree, Deterministic) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(250, 8, 13);
+  const Buckets a = build_rp_tree_spill(pool, pts, 24, 0.1f, 3, 1);
+  const Buckets c = build_rp_tree_spill(pool, pts, 24, 0.1f, 3, 1);
+  EXPECT_EQ(a.ids, c.ids);
+  EXPECT_EQ(a.offsets, c.offsets);
+}
+
+TEST(SpillTree, RejectsExcessiveSpill) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(50, 4, 1);
+  EXPECT_THROW(build_rp_tree_spill(pool, pts, 16, 0.5f, 1, 0), Error);
+  EXPECT_THROW(build_rp_tree_spill(pool, pts, 16, -0.1f, 1, 0), Error);
+}
+
+TEST(SpillTree, ImprovesSingleTreeRecall) {
+  // One tree with spill must beat one tree without (same everything else):
+  // boundary-separated neighbor pairs are recovered.
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(600, 12, 17);
+  const std::size_t k = 8;
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, k);
+
+  auto recall_with_spill = [&](float spill) {
+    BuildParams params;
+    params.k = k;
+    params.num_trees = 1;
+    params.refine_iters = 0;
+    params.spill = spill;
+    return exact::recall(build_knng(pool, pts, params).graph, truth);
+  };
+  const double plain = recall_with_spill(0.0f);
+  const double spilled = recall_with_spill(0.25f);
+  EXPECT_GT(spilled, plain);
+}
+
+}  // namespace
+}  // namespace wknng::core

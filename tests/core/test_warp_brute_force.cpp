@@ -1,0 +1,79 @@
+#include "core/warp_brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::core {
+namespace {
+
+TEST(WarpBruteForce, ExactlyMatchesHostBruteForceIds) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(300, 16, 6, 0.1f, 3);
+  const std::size_t k = 7;
+  const KnnGraph got = warp_brute_force_knng(pool, pts, k);
+  const KnnGraph expect = exact::brute_force_knng(pool, pts, k);
+  ASSERT_TRUE(got.check_invariants());
+  EXPECT_EQ(exact::recall(got, expect), 1.0);
+}
+
+TEST(WarpBruteForce, WorksAcrossDimensions) {
+  ThreadPool pool(2);
+  for (std::size_t dim : {1u, 7u, 33u, 130u}) {
+    const FloatMatrix pts = data::make_uniform(150, dim, dim + 1);
+    const KnnGraph got = warp_brute_force_knng(pool, pts, 5);
+    const KnnGraph expect = exact::brute_force_knng(pool, pts, 5);
+    EXPECT_EQ(exact::recall(got, expect), 1.0) << "dim " << dim;
+  }
+}
+
+TEST(WarpBruteForce, NonMultipleOf32Sizes) {
+  ThreadPool pool(2);
+  for (std::size_t n : {33u, 63u, 65u, 100u}) {
+    const FloatMatrix pts = data::make_uniform(n, 6, n);
+    const KnnGraph got = warp_brute_force_knng(pool, pts, 4);
+    const KnnGraph expect = exact::brute_force_knng(pool, pts, 4);
+    EXPECT_EQ(exact::recall(got, expect), 1.0) << "n " << n;
+  }
+}
+
+TEST(WarpBruteForce, TinyInput) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(5, 3, 1);
+  const KnnGraph got = warp_brute_force_knng(pool, pts, 2);
+  const KnnGraph expect = exact::brute_force_knng(pool, pts, 2);
+  EXPECT_EQ(exact::recall(got, expect), 1.0);
+}
+
+TEST(WarpBruteForce, CountsEveryPairOnce) {
+  ThreadPool pool(2);
+  const std::size_t n = 200;
+  const FloatMatrix pts = data::make_uniform(n, 8, 9);
+  simt::StatsAccumulator acc;
+  (void)warp_brute_force_knng(pool, pts, 5, &acc);
+  EXPECT_EQ(acc.total().distance_evals, n * (n - 1) / 2);
+}
+
+TEST(WarpBruteForce, DeterministicAcrossThreadCounts) {
+  const FloatMatrix pts = data::make_clusters(150, 10, 4, 0.1f, 11);
+  ThreadPool pool1(1), pool4(4);
+  const KnnGraph a = warp_brute_force_knng(pool1, pts, 6);
+  const KnnGraph b = warp_brute_force_knng(pool4, pts, 6);
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    for (std::size_t s = 0; s < a.k(); ++s) {
+      ASSERT_EQ(a.row(i)[s], b.row(i)[s]);
+    }
+  }
+}
+
+TEST(WarpBruteForce, RejectsBadK) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(10, 3, 1);
+  EXPECT_THROW(warp_brute_force_knng(pool, pts, 0), Error);
+  EXPECT_THROW(warp_brute_force_knng(pool, pts, 10), Error);
+}
+
+}  // namespace
+}  // namespace wknng::core

@@ -1,0 +1,94 @@
+#include "data/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::data {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "wknng_graph_io";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+KnnGraph sample_graph() {
+  ThreadPool pool(2);
+  const FloatMatrix pts = make_clusters(80, 6, 4, 0.1f, 3);
+  return exact::brute_force_knng(pool, pts, 5);
+}
+
+TEST_F(GraphIoTest, RoundTripPreservesEverything) {
+  const KnnGraph g = sample_graph();
+  write_knng(path("g.knng"), g);
+  const KnnGraph r = read_knng(path("g.knng"));
+  ASSERT_EQ(r.num_points(), g.num_points());
+  ASSERT_EQ(r.k(), g.k());
+  for (std::size_t i = 0; i < g.num_points(); ++i) {
+    for (std::size_t s = 0; s < g.k(); ++s) {
+      ASSERT_EQ(r.row(i)[s], g.row(i)[s]) << "point " << i << " slot " << s;
+    }
+  }
+}
+
+TEST_F(GraphIoTest, PartialRowsSurvive) {
+  KnnGraph g(3, 4);
+  g.row(0)[0] = {1.0f, 1};
+  g.row(0)[1] = {2.0f, 2};
+  g.row(2)[0] = {0.5f, 0};
+  write_knng(path("p.knng"), g);
+  const KnnGraph r = read_knng(path("p.knng"));
+  EXPECT_EQ(r.row_size(0), 2u);
+  EXPECT_EQ(r.row_size(1), 0u);
+  EXPECT_EQ(r.row_size(2), 1u);
+}
+
+TEST_F(GraphIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_knng(path("missing.knng")), Error);
+}
+
+TEST_F(GraphIoTest, WrongMagicThrows) {
+  std::ofstream f(path("bad.knng"), std::ios::binary);
+  f << "NOTAGRAPHFILE___________________";
+  f.close();
+  EXPECT_THROW(read_knng(path("bad.knng")), Error);
+}
+
+TEST_F(GraphIoTest, TruncatedPayloadThrows) {
+  const KnnGraph g = sample_graph();
+  write_knng(path("t.knng"), g);
+  const auto size = std::filesystem::file_size(path("t.knng"));
+  std::filesystem::resize_file(path("t.knng"), size - 8);
+  EXPECT_THROW(read_knng(path("t.knng")), Error);
+}
+
+TEST_F(GraphIoTest, CorruptedInvariantsThrow) {
+  // Handcraft a file with a self-loop.
+  KnnGraph g(2, 2);
+  g.row(0)[0] = {1.0f, 1};
+  write_knng(path("c.knng"), g);
+  // Patch neighbor id 1 -> 0 (self loop) at the first payload entry's id.
+  std::fstream f(path("c.knng"),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8 + 16 + 4);  // magic + header + dist field
+  const std::uint32_t self = 0;
+  f.write(reinterpret_cast<const char*>(&self), 4);
+  f.close();
+  EXPECT_THROW(read_knng(path("c.knng")), Error);
+}
+
+}  // namespace
+}  // namespace wknng::data

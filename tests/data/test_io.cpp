@@ -1,0 +1,106 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace wknng::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "wknng_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, FvecsRoundTrip) {
+  const FloatMatrix m = make_uniform(37, 13, 3);
+  write_fvecs(path("a.fvecs"), m);
+  const FloatMatrix r = read_fvecs(path("a.fvecs"));
+  ASSERT_EQ(r.rows(), m.rows());
+  ASSERT_EQ(r.cols(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(r.data()[i], m.data()[i]) << i;
+  }
+}
+
+TEST_F(IoTest, IvecsRoundTrip) {
+  Matrix<std::int32_t> m(5, 4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<std::int32_t>(i * 7 - 3);
+  }
+  write_ivecs(path("b.ivecs"), m);
+  const auto r = read_ivecs(path("b.ivecs"));
+  ASSERT_EQ(r.rows(), 5u);
+  ASSERT_EQ(r.cols(), 4u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(r.data()[i], m.data()[i]) << i;
+  }
+}
+
+TEST_F(IoTest, SingleVectorFile) {
+  FloatMatrix m(1, 3);
+  m(0, 0) = 1.5f;
+  m(0, 2) = -2.5f;
+  write_fvecs(path("one.fvecs"), m);
+  const FloatMatrix r = read_fvecs(path("one.fvecs"));
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r(0, 0), 1.5f);
+  EXPECT_EQ(r(0, 2), -2.5f);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_fvecs(path("nope.fvecs")), Error);
+}
+
+TEST_F(IoTest, EmptyFileThrows) {
+  { std::ofstream f(path("empty.fvecs"), std::ios::binary); }
+  EXPECT_THROW(read_fvecs(path("empty.fvecs")), Error);
+}
+
+TEST_F(IoTest, TruncatedFileThrows) {
+  const FloatMatrix m = make_uniform(4, 8, 1);
+  write_fvecs(path("t.fvecs"), m);
+  std::filesystem::resize_file(path("t.fvecs"), 4 * (4 + 8 * 4) - 5);
+  EXPECT_THROW(read_fvecs(path("t.fvecs")), Error);
+}
+
+TEST_F(IoTest, InconsistentDimThrows) {
+  // Handcraft a file whose second record claims a different dimension.
+  std::ofstream f(path("bad.fvecs"), std::ios::binary);
+  auto put_i32 = [&](std::int32_t v) {
+    f.write(reinterpret_cast<const char*>(&v), 4);
+  };
+  auto put_f = [&](float v) { f.write(reinterpret_cast<const char*>(&v), 4); };
+  put_i32(2);
+  put_f(0.0f);
+  put_f(1.0f);
+  put_i32(1);  // should be 2
+  put_f(2.0f);
+  put_f(3.0f);
+  f.close();
+  EXPECT_THROW(read_fvecs(path("bad.fvecs")), Error);
+}
+
+TEST_F(IoTest, NegativeDimThrows) {
+  std::ofstream f(path("neg.fvecs"), std::ios::binary);
+  const std::int32_t dim = -4;
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.close();
+  EXPECT_THROW(read_fvecs(path("neg.fvecs")), Error);
+}
+
+}  // namespace
+}  // namespace wknng::data

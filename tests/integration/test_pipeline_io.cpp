@@ -1,0 +1,124 @@
+// Full pipeline integration: build -> serialize -> reload -> navigate.
+// This is the deployment shape of the library (offline build feeding an
+// online search service) and exercises core, data and search together.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "core/graph_metrics.hpp"
+#include "core/graph_search.hpp"
+#include "data/graph_io.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+#include "data/transforms.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "wknng_pipeline";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(PipelineTest, BuildSerializeReloadSearch) {
+  ThreadPool pool(2);
+  const FloatMatrix base = data::make_clusters(1500, 12, 10, 0.08f, 3);
+
+  // Offline: build and persist points + graph.
+  core::BuildParams params;
+  params.k = 12;
+  params.refine_iters = 1;
+  const KnnGraph built = core::build_knng(pool, base, params).graph;
+  data::write_fvecs(path("base.fvecs"), base);
+  data::write_knng(path("base.knng"), built);
+
+  // Online: reload both and answer out-of-sample queries.
+  const FloatMatrix reloaded_base = data::read_fvecs(path("base.fvecs"));
+  const KnnGraph reloaded_graph = data::read_knng(path("base.knng"));
+
+  FloatMatrix queries(25, 12);
+  Rng rng(9);
+  for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+    const auto src = reloaded_base.row(rng.next_below(reloaded_base.rows()));
+    auto dst = queries.row(qi);
+    for (std::size_t d = 0; d < 12; ++d) {
+      dst[d] = src[d] + 0.02f * rng.next_gaussian();
+    }
+  }
+
+  core::SearchParams sp;
+  sp.k = 10;
+  const KnnGraph found =
+      core::graph_search(pool, reloaded_base, reloaded_graph, queries, sp);
+  const KnnGraph truth =
+      exact::brute_force_knn(pool, reloaded_base, queries, 10);
+  EXPECT_GT(exact::recall(found, truth), 0.9);
+}
+
+TEST_F(PipelineTest, CosineGraphViaNormalisationMatchesDefinition) {
+  // Build a cosine K-NN graph through the transform pipeline and verify a
+  // sample of rows against a direct cosine-similarity scan.
+  ThreadPool pool(2);
+  FloatMatrix pts = data::make_clusters(400, 10, 8, 0.3f, 7);
+  // Shift away from the origin so cosine != L2 ranking.
+  for (std::size_t i = 0; i < pts.size(); ++i) pts.data()[i] += 0.5f;
+
+  FloatMatrix normed = pts;
+  data::normalize_rows(normed);
+  const KnnGraph g = exact::brute_force_knng(pool, normed, 5);
+
+  auto cosine = [&](std::size_t a, std::size_t b) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t d = 0; d < pts.cols(); ++d) {
+      dot += static_cast<double>(pts(a, d)) * pts(b, d);
+      na += static_cast<double>(pts(a, d)) * pts(a, d);
+      nb += static_cast<double>(pts(b, d)) * pts(b, d);
+    }
+    return dot / std::sqrt(na * nb);
+  };
+
+  for (std::size_t i = 0; i < 400; i += 57) {
+    // The graph's nearest neighbor must be the max-cosine point.
+    double best_cos = -2.0;
+    std::size_t best_id = 0;
+    for (std::size_t j = 0; j < 400; ++j) {
+      if (j == i) continue;
+      const double c = cosine(i, j);
+      if (c > best_cos) {
+        best_cos = c;
+        best_id = j;
+      }
+    }
+    EXPECT_EQ(g.row(i)[0].id, best_id) << "point " << i;
+  }
+}
+
+TEST_F(PipelineTest, GraphQualitySurvivesSerialization) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(600, 8, 6, 0.1f, 11);
+  core::BuildParams params;
+  params.k = 6;
+  const KnnGraph built = core::build_knng(pool, pts, params).graph;
+  data::write_knng(path("q.knng"), built);
+  const KnnGraph reloaded = data::read_knng(path("q.knng"));
+
+  EXPECT_EQ(core::edge_agreement(built, reloaded), 1.0);
+  EXPECT_EQ(core::connected_components(built).count,
+            core::connected_components(reloaded).count);
+  EXPECT_EQ(core::mean_edge_distance(built),
+            core::mean_edge_distance(reloaded));
+}
+
+}  // namespace
+}  // namespace wknng

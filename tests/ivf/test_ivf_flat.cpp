@@ -1,0 +1,124 @@
+#include "ivf/ivf_flat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::ivf {
+namespace {
+
+TEST(IvfFlat, ListsPartitionThePointSet) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(400, 8, 10, 0.1f, 3);
+  IvfParams params;
+  params.nlist = 16;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, pts, params);
+  std::vector<int> seen(400, 0);
+  for (std::size_t c = 0; c < index.nlist(); ++c) {
+    for (std::uint32_t id : index.list(c)) {
+      ASSERT_LT(id, 400u);
+      ++seen[id];
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(IvfFlat, FullProbeIsExact) {
+  // nprobe == nlist must return exactly the brute-force answer.
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(250, 6, 7);
+  IvfParams params;
+  params.nlist = 10;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, pts, params);
+  const KnnGraph ivf_g = index.build_knng(pool, pts, 5, /*nprobe=*/10);
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, 5);
+  EXPECT_EQ(exact::recall(ivf_g, truth), 1.0);
+}
+
+TEST(IvfFlat, RecallGrowsWithNprobe) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(800, 12, 20, 0.15f, 9);
+  IvfParams params;
+  params.nlist = 32;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, pts, params);
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, 6);
+  const double r1 = exact::recall(index.build_knng(pool, pts, 6, 1), truth);
+  const double r4 = exact::recall(index.build_knng(pool, pts, 6, 4), truth);
+  const double r32 = exact::recall(index.build_knng(pool, pts, 6, 32), truth);
+  EXPECT_LE(r1, r4 + 1e-9);
+  EXPECT_LE(r4, r32 + 1e-9);
+  EXPECT_EQ(r32, 1.0);
+}
+
+TEST(IvfFlat, KnngExcludesSelf) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(150, 5, 11);
+  IvfParams params;
+  params.nlist = 8;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, pts, params);
+  const KnnGraph g = index.build_knng(pool, pts, 4, 8);
+  for (std::size_t i = 0; i < 150; ++i) {
+    for (const Neighbor& nb : g.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      EXPECT_NE(nb.id, i);
+    }
+  }
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(IvfFlat, SeparateQueriesWork) {
+  ThreadPool pool(2);
+  const FloatMatrix base = data::make_clusters(300, 6, 6, 0.1f, 13);
+  const FloatMatrix queries = data::make_clusters(20, 6, 6, 0.1f, 14);
+  IvfParams params;
+  params.nlist = 12;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, base, params);
+  const KnnGraph g = index.search(pool, base, queries, 3, 12);
+  const KnnGraph truth = exact::brute_force_knn(pool, base, queries, 3);
+  EXPECT_EQ(exact::recall(g, truth), 1.0);
+}
+
+TEST(IvfFlat, CostCountersArePopulated) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(200, 5, 17);
+  IvfParams params;
+  params.nlist = 8;
+  IvfCost cost;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, pts, params, &cost);
+  EXPECT_GT(cost.distance_evals, 0u);
+  EXPECT_GT(cost.train_seconds, 0.0);
+  const std::uint64_t train_evals = cost.distance_evals;
+  (void)index.build_knng(pool, pts, 4, 2, &cost);
+  EXPECT_GT(cost.distance_evals, train_evals);
+  EXPECT_GT(cost.search_seconds, 0.0);
+}
+
+TEST(IvfFlat, NprobeIsClampedToNlist) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(100, 4, 19);
+  IvfParams params;
+  params.nlist = 4;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, pts, params);
+  EXPECT_NO_THROW((void)index.build_knng(pool, pts, 3, 1000));
+  EXPECT_NO_THROW((void)index.build_knng(pool, pts, 3, 0));
+}
+
+TEST(IvfFlat, FewerProbesScanFewerPoints) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(600, 8, 12, 0.1f, 23);
+  IvfParams params;
+  params.nlist = 24;
+  const IvfFlatIndex index = IvfFlatIndex::build(pool, pts, params);
+  IvfCost c1, c8;
+  (void)index.build_knng(pool, pts, 5, 1, &c1);
+  (void)index.build_knng(pool, pts, 5, 8, &c8);
+  EXPECT_LT(c1.distance_evals, c8.distance_evals);
+}
+
+}  // namespace
+}  // namespace wknng::ivf

@@ -1,0 +1,182 @@
+#include "ivf/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+
+namespace wknng::ivf {
+namespace {
+
+TEST(KMeans, ShapesAndAssignmentsAreValid) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(300, 8, 5, 0.05f, 3);
+  KMeansParams params;
+  params.clusters = 5;
+  const KMeansResult r = kmeans(pool, pts, params);
+  EXPECT_EQ(r.centroids.rows(), 5u);
+  EXPECT_EQ(r.centroids.cols(), 8u);
+  ASSERT_EQ(r.assignment.size(), 300u);
+  for (std::uint32_t a : r.assignment) EXPECT_LT(a, 5u);
+  EXPECT_GT(r.distance_evals, 0u);
+}
+
+TEST(KMeans, AssignmentIsNearestCentroid) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(200, 6, 7);
+  KMeansParams params;
+  params.clusters = 8;
+  const KMeansResult r = kmeans(pool, pts, params);
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    const float own = exact::l2_sq(pts.row(i), r.centroids.row(r.assignment[i]));
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_GE(exact::l2_sq(pts.row(i), r.centroids.row(c)) + 1e-5f, own)
+          << "point " << i << " cluster " << c;
+    }
+  }
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  ThreadPool pool(2);
+  data::DatasetSpec spec;
+  spec.kind = data::DatasetKind::kClusters;
+  spec.n = 400;
+  spec.dim = 8;
+  spec.clusters = 4;
+  spec.cluster_spread = 1e-3f;
+  spec.seed = 11;
+  const FloatMatrix pts = data::generate(spec);
+
+  KMeansParams params;
+  params.clusters = 4;
+  params.iterations = 15;
+  const KMeansResult r = kmeans(pool, pts, params);
+
+  // All points of one true cluster must map to the same centroid, and the
+  // four true clusters to four distinct centroids.
+  std::set<std::uint32_t> used;
+  for (std::size_t truec = 0; truec < 4; ++truec) {
+    const std::uint32_t rep = r.assignment[truec];  // point truec is in cluster truec
+    for (std::size_t i = truec; i < 400; i += 4) {
+      EXPECT_EQ(r.assignment[i], rep) << "point " << i;
+    }
+    used.insert(rep);
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(KMeans, InertiaDecreasesWithIterations) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(500, 10, 16, 0.2f, 13);
+  KMeansParams p1;
+  p1.clusters = 16;
+  p1.iterations = 1;
+  KMeansParams p10 = p1;
+  p10.iterations = 12;
+  EXPECT_LE(kmeans(pool, pts, p10).inertia, kmeans(pool, pts, p1).inertia);
+}
+
+TEST(KMeans, DeterministicForSameSeed) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(150, 5, 17);
+  KMeansParams params;
+  params.clusters = 6;
+  const KMeansResult a = kmeans(pool, pts, params);
+  const KMeansResult b = kmeans(pool, pts, params);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, NoEmptyClusters) {
+  ThreadPool pool(2);
+  // Heavily duplicated data tends to produce empty clusters; repair must fix.
+  FloatMatrix pts(100, 3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      pts(i, d) = (i < 95) ? 0.5f : static_cast<float>(i);
+    }
+  }
+  KMeansParams params;
+  params.clusters = 10;
+  params.iterations = 5;
+  const KMeansResult r = kmeans(pool, pts, params);
+  std::vector<int> count(10, 0);
+  for (std::uint32_t a : r.assignment) ++count[a];
+  for (int c : count) EXPECT_GT(c, 0);
+}
+
+TEST(KMeans, ClustersEqualsNIsValid) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(8, 3, 19);
+  KMeansParams params;
+  params.clusters = 8;
+  params.iterations = 3;
+  const KMeansResult r = kmeans(pool, pts, params);
+  std::set<std::uint32_t> used(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(KMeans, RejectsBadClusterCount) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(10, 3, 1);
+  KMeansParams params;
+  params.clusters = 0;
+  EXPECT_THROW(kmeans(pool, pts, params), Error);
+  params.clusters = 11;
+  EXPECT_THROW(kmeans(pool, pts, params), Error);
+}
+
+
+TEST(KMeans, SeedSampleSubsamplingStillCovers) {
+  // Seeding from a 50-point subsample must still give usable centroids.
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(400, 6, 8, 0.05f, 29);
+  KMeansParams params;
+  params.clusters = 8;
+  params.seed_sample = 50;
+  params.iterations = 10;
+  const KMeansResult r = kmeans(pool, pts, params);
+  std::vector<int> count(8, 0);
+  for (std::uint32_t a : r.assignment) ++count[a];
+  for (int c : count) EXPECT_GT(c, 0);
+  EXPECT_LT(r.inertia / 400.0, 0.1);  // tight clusters recovered
+}
+
+TEST(KMeans, SingleClusterIsTheMean) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(60, 4, 31);
+  KMeansParams params;
+  params.clusters = 1;
+  params.iterations = 3;
+  const KMeansResult r = kmeans(pool, pts, params);
+  for (std::size_t d = 0; d < 4; ++d) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < 60; ++i) mean += pts(i, d);
+    mean /= 60.0;
+    EXPECT_NEAR(r.centroids(0, d), mean, 1e-4);
+  }
+}
+
+TEST(KMeans, ZeroIterationsKeepsSeedCentroids) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(40, 3, 37);
+  KMeansParams params;
+  params.clusters = 4;
+  params.iterations = 0;
+  const KMeansResult r = kmeans(pool, pts, params);
+  EXPECT_EQ(r.centroids.rows(), 4u);
+  // Seeds are actual points.
+  for (std::size_t c = 0; c < 4; ++c) {
+    bool is_a_point = false;
+    for (std::size_t i = 0; i < 40 && !is_a_point; ++i) {
+      is_a_point = exact::l2_sq(r.centroids.row(c), pts.row(i)) == 0.0f;
+    }
+    EXPECT_TRUE(is_a_point) << "centroid " << c;
+  }
+}
+
+}  // namespace
+}  // namespace wknng::ivf

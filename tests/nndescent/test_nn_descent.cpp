@@ -1,0 +1,136 @@
+#include "nndescent/nn_descent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::nndescent {
+namespace {
+
+TEST(NnDescent, ProducesValidGraph) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(300, 10, 6, 0.1f, 3);
+  NnDescentParams params;
+  params.k = 8;
+  const KnnGraph g = nn_descent(pool, pts, params);
+  EXPECT_EQ(g.num_points(), 300u);
+  EXPECT_EQ(g.k(), 8u);
+  EXPECT_TRUE(g.check_invariants());
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(g.row_size(i), 8u) << "point " << i;
+  }
+}
+
+TEST(NnDescent, ConvergesToHighRecallOnClusteredData) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(500, 12, 10, 0.1f, 7);
+  NnDescentParams params;
+  params.k = 10;
+  params.max_iters = 15;
+  NnDescentCost cost;
+  const KnnGraph g = nn_descent(pool, pts, params, &cost);
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, 10);
+  EXPECT_GT(exact::recall(g, truth), 0.9);
+  EXPECT_GT(cost.distance_evals, 0u);
+  EXPECT_GT(cost.iterations, 0u);
+  EXPECT_GT(cost.seconds, 0.0);
+}
+
+TEST(NnDescent, DistancesMatchReportedIds) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(200, 8, 11);
+  NnDescentParams params;
+  params.k = 5;
+  const KnnGraph g = nn_descent(pool, pts, params);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (const Neighbor& nb : g.row(i)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      EXPECT_FLOAT_EQ(nb.dist, exact::l2_sq(pts.row(i), pts.row(nb.id)));
+    }
+  }
+}
+
+TEST(NnDescent, EarlyStopWithLooseDelta) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(300, 8, 6, 0.1f, 13);
+  NnDescentParams loose;
+  loose.k = 6;
+  loose.delta = 0.9;  // stop almost immediately
+  loose.max_iters = 50;
+  NnDescentCost cost;
+  (void)nn_descent(pool, pts, loose, &cost);
+  EXPECT_LT(cost.iterations, 5u);
+}
+
+TEST(NnDescent, MoreIterationsDoNotHurtRecall) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(400, 10, 17);
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, 6);
+  NnDescentParams p2;
+  p2.k = 6;
+  p2.max_iters = 2;
+  p2.delta = 0.0;
+  NnDescentParams p10 = p2;
+  p10.max_iters = 10;
+  const double r2 = exact::recall(nn_descent(pool, pts, p2), truth);
+  const double r10 = exact::recall(nn_descent(pool, pts, p10), truth);
+  EXPECT_GE(r10 + 0.02, r2);  // allow tiny nondeterministic jitter
+  EXPECT_GT(r10, 0.8);
+}
+
+TEST(NnDescent, RejectsBadK) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(10, 3, 1);
+  NnDescentParams params;
+  params.k = 0;
+  EXPECT_THROW(nn_descent(pool, pts, params), Error);
+  params.k = 10;
+  EXPECT_THROW(nn_descent(pool, pts, params), Error);
+}
+
+
+TEST(NnDescent, SmallKAndTinyDataset) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(20, 3, 23);
+  NnDescentParams params;
+  params.k = 1;
+  const KnnGraph g = nn_descent(pool, pts, params);
+  EXPECT_TRUE(g.check_invariants());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(g.row_size(i), 1u);
+}
+
+TEST(NnDescent, MaxCandidatesCapLimitsWork) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(300, 8, 6, 0.1f, 29);
+  NnDescentParams tight;
+  tight.k = 8;
+  tight.max_candidates = 4;
+  tight.max_iters = 3;
+  tight.delta = 0.0;
+  NnDescentParams loose = tight;
+  loose.max_candidates = 50;
+  NnDescentCost ct, cl;
+  (void)nn_descent(pool, pts, tight, &ct);
+  (void)nn_descent(pool, pts, loose, &cl);
+  EXPECT_LT(ct.distance_evals, cl.distance_evals);
+}
+
+TEST(NnDescent, ZeroIterationsGivesRandomInit) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(100, 4, 31);
+  NnDescentParams params;
+  params.k = 5;
+  params.max_iters = 0;
+  NnDescentCost cost;
+  const KnnGraph g = nn_descent(pool, pts, params, &cost);
+  EXPECT_TRUE(g.check_invariants());
+  EXPECT_EQ(cost.iterations, 0u);
+  // Random init still fills every row with k valid entries.
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(g.row_size(i), 5u);
+}
+
+}  // namespace
+}  // namespace wknng::nndescent

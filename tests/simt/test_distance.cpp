@@ -1,0 +1,107 @@
+#include "simt/warp_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "exact/brute_force.hpp"
+#include "simt/scratch.hpp"
+
+namespace wknng::simt {
+namespace {
+
+class DistanceTest : public ::testing::Test {
+ protected:
+  WarpScratch scratch_;
+  Stats stats_;
+  Warp warp_{0, scratch_, stats_};
+};
+
+FloatMatrix random_points(std::size_t n, std::size_t dim, std::uint64_t seed) {
+  FloatMatrix m(n, dim);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng.next_float() * 2.0f - 1.0f;
+  }
+  return m;
+}
+
+TEST_F(DistanceTest, DimsParallelMatchesScalarReference) {
+  for (std::size_t dim : std::vector<std::size_t>{1, 3, 31, 32, 33, 64, 100, 257}) {
+    FloatMatrix pts = random_points(2, dim, dim);
+    const float got = warp_l2_dims(warp_, pts.row(0), pts.row(1));
+    const float expect = exact::l2_sq(pts.row(0), pts.row(1));
+    EXPECT_NEAR(got, expect, 1e-4f * (expect + 1.0f)) << "dim=" << dim;
+  }
+}
+
+TEST_F(DistanceTest, DimsParallelZeroDistanceForIdenticalPoints) {
+  FloatMatrix pts = random_points(1, 77, 3);
+  EXPECT_EQ(warp_l2_dims(warp_, pts.row(0), pts.row(0)), 0.0f);
+}
+
+TEST_F(DistanceTest, DimsParallelCountsWork) {
+  FloatMatrix pts = random_points(2, 64, 5);
+  const Stats before = stats_;
+  (void)warp_l2_dims(warp_, pts.row(0), pts.row(1));
+  EXPECT_EQ(stats_.distance_evals - before.distance_evals, 1u);
+  EXPECT_EQ(stats_.global_reads - before.global_reads, 2u * 64u * 4u);
+  EXPECT_GT(stats_.flops, before.flops);
+}
+
+TEST_F(DistanceTest, BatchMatchesScalarReference) {
+  const std::size_t dim = 48;
+  FloatMatrix pts = random_points(40, dim, 7);
+  auto q = pts.row(0);
+
+  Lanes<std::uint32_t> ids{};
+  Lanes<bool> active{};
+  for (int l = 0; l < kWarpSize; ++l) {
+    ids[l] = static_cast<std::uint32_t>(l + 1);
+    active[l] = true;
+  }
+  const Lanes<float> d = warp_l2_batch(
+      warp_, q, ids, active, [&](std::uint32_t id) { return pts.row(id); });
+  for (int l = 0; l < kWarpSize; ++l) {
+    const float expect = exact::l2_sq(q, pts.row(ids[l]));
+    EXPECT_NEAR(d[l], expect, 1e-4f * (expect + 1.0f)) << "lane " << l;
+  }
+}
+
+TEST_F(DistanceTest, BatchRespectsActiveMask) {
+  FloatMatrix pts = random_points(5, 16, 9);
+  Lanes<std::uint32_t> ids{};
+  Lanes<bool> active{};
+  ids[0] = 1;
+  active[0] = true;  // only lane 0 active
+  const Stats before = stats_;
+  const Lanes<float> d = warp_l2_batch(
+      warp_, pts.row(0), ids, active,
+      [&](std::uint32_t id) { return pts.row(id); });
+  EXPECT_GT(d[0], 0.0f);
+  for (int l = 1; l < kWarpSize; ++l) EXPECT_EQ(d[l], 0.0f);
+  EXPECT_EQ(stats_.distance_evals - before.distance_evals, 1u);
+}
+
+TEST_F(DistanceTest, BatchAndDimsParallelAgree) {
+  // The two kernel shapes accumulate in different orders; their results must
+  // agree to float tolerance (bit-equality is *not* promised between them —
+  // dedup correctness never relies on cross-shape equality).
+  const std::size_t dim = 96;
+  FloatMatrix pts = random_points(3, dim, 11);
+  const float a = warp_l2_dims(warp_, pts.row(0), pts.row(1));
+  Lanes<std::uint32_t> ids{};
+  Lanes<bool> active{};
+  ids[0] = 1;
+  active[0] = true;
+  const Lanes<float> b = warp_l2_batch(
+      warp_, pts.row(0), ids, active,
+      [&](std::uint32_t id) { return pts.row(id); });
+  EXPECT_NEAR(a, b[0], 1e-4f * (a + 1.0f));
+}
+
+}  // namespace
+}  // namespace wknng::simt

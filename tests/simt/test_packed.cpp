@@ -1,0 +1,65 @@
+#include "simt/packed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace wknng::simt {
+namespace {
+
+TEST(Packed, RoundTripsDistanceAndId) {
+  const std::uint64_t p = Packed::make(3.5f, 1234567u);
+  EXPECT_EQ(Packed::dist(p), 3.5f);
+  EXPECT_EQ(Packed::id(p), 1234567u);
+}
+
+TEST(Packed, ZeroDistance) {
+  const std::uint64_t p = Packed::make(0.0f, 7);
+  EXPECT_EQ(Packed::dist(p), 0.0f);
+  EXPECT_EQ(Packed::id(p), 7u);
+}
+
+TEST(Packed, NegativeZeroNormalised) {
+  EXPECT_EQ(Packed::make(-0.0f, 7), Packed::make(0.0f, 7));
+}
+
+TEST(Packed, OrderingMatchesDistanceOrdering) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const float a = rng.next_float() * 100.0f;
+    const float b = rng.next_float() * 100.0f;
+    const auto pa = Packed::make(a, 1);
+    const auto pb = Packed::make(b, 1);
+    if (a < b) {
+      EXPECT_LT(pa, pb);
+    } else if (b < a) {
+      EXPECT_LT(pb, pa);
+    }
+  }
+}
+
+TEST(Packed, IdBreaksTies) {
+  const auto p1 = Packed::make(2.0f, 10);
+  const auto p2 = Packed::make(2.0f, 20);
+  EXPECT_LT(p1, p2);
+}
+
+TEST(Packed, EmptyBeatsEverything) {
+  EXPECT_LT(Packed::make(std::numeric_limits<float>::max(), 0xFFFFFFFEu),
+            Packed::kEmpty);
+  EXPECT_LT(Packed::make(std::numeric_limits<float>::infinity(), 0),
+            Packed::kEmpty);
+  EXPECT_TRUE(Packed::is_empty(Packed::kEmpty));
+  EXPECT_FALSE(Packed::is_empty(Packed::make(0.0f, 0)));
+}
+
+TEST(Packed, MaxIdPreserved) {
+  const std::uint32_t max_id = 0xFFFFFFFEu;
+  const auto p = Packed::make(1.0f, max_id);
+  EXPECT_EQ(Packed::id(p), max_id);
+}
+
+}  // namespace
+}  // namespace wknng::simt

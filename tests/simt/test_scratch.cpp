@@ -1,0 +1,108 @@
+#include "simt/scratch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace wknng::simt {
+namespace {
+
+TEST(WarpScratch, AllocReturnsRequestedSize) {
+  WarpScratch s(1024);
+  auto a = s.alloc<float>(10);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(s.used(), 40u);
+}
+
+TEST(WarpScratch, AllocationsAreDisjoint) {
+  WarpScratch s(1024);
+  auto a = s.alloc<std::uint32_t>(8);
+  auto b = s.alloc<std::uint32_t>(8);
+  a[7] = 1;
+  b[0] = 2;
+  EXPECT_EQ(a[7], 1u);
+  EXPECT_EQ(b[0], 2u);
+  EXPECT_GE(reinterpret_cast<std::uintptr_t>(b.data()),
+            reinterpret_cast<std::uintptr_t>(a.data() + 8));
+}
+
+TEST(WarpScratch, AlignsAllocations) {
+  WarpScratch s(1024);
+  (void)s.alloc<char>(3);
+  auto b = s.alloc<std::uint64_t>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % alignof(std::uint64_t),
+            0u);
+}
+
+TEST(WarpScratch, OverflowThrows) {
+  WarpScratch s(64);
+  EXPECT_THROW((void)s.alloc<std::uint64_t>(9), Error);
+}
+
+TEST(WarpScratch, ResetReleasesEverything) {
+  WarpScratch s(64);
+  (void)s.alloc<std::uint64_t>(8);
+  EXPECT_EQ(s.used(), 64u);
+  s.reset();
+  EXPECT_EQ(s.used(), 0u);
+  EXPECT_NO_THROW((void)s.alloc<std::uint64_t>(8));
+}
+
+TEST(WarpScratch, MarkReleaseIsStackDiscipline) {
+  WarpScratch s(128);
+  (void)s.alloc<std::uint32_t>(4);
+  const auto mark = s.mark();
+  (void)s.alloc<std::uint32_t>(16);
+  EXPECT_EQ(s.used(), 16 + 64u);
+  s.release(mark);
+  EXPECT_EQ(s.used(), 16u);
+}
+
+TEST(WarpScratch, PeakTracksHighWater) {
+  WarpScratch s(256);
+  (void)s.alloc<std::uint8_t>(100);
+  s.reset();
+  (void)s.alloc<std::uint8_t>(50);
+  EXPECT_EQ(s.peak_used(), 100u);
+  s.reset_peak();
+  EXPECT_EQ(s.peak_used(), 50u);
+}
+
+TEST(WarpScratch, RequireGrowsCapacity) {
+  WarpScratch s(64);
+  s.require(1024);
+  EXPECT_GE(s.capacity(), 1024u);
+  EXPECT_NO_THROW((void)s.alloc<std::uint8_t>(1000));
+}
+
+TEST(WarpScratch, RequireNeverShrinks) {
+  WarpScratch s(1024);
+  s.require(64);
+  EXPECT_EQ(s.capacity(), 1024u);
+}
+
+TEST(WarpScratch, DefaultCapacityIsSharedMemorySized) {
+  WarpScratch s;
+  EXPECT_EQ(s.capacity(), 48u * 1024u);
+}
+
+
+TEST(WarpScratch, SetBudgetShrinksLogicalCapacity) {
+  WarpScratch s(48 * 1024);
+  s.set_budget(8 * 1024);
+  EXPECT_EQ(s.capacity(), 8u * 1024u);
+  EXPECT_THROW((void)s.alloc<std::uint8_t>(9 * 1024), Error);
+  // Growing back works and keeps the storage.
+  s.set_budget(48 * 1024);
+  EXPECT_NO_THROW((void)s.alloc<std::uint8_t>(40 * 1024));
+}
+
+TEST(WarpScratch, AllocRespectsBudgetNotStorage) {
+  WarpScratch s(64 * 1024);
+  s.set_budget(1024);
+  EXPECT_NO_THROW((void)s.alloc<std::uint8_t>(1000));
+  EXPECT_THROW((void)s.alloc<std::uint8_t>(100), Error);
+}
+
+}  // namespace
+}  // namespace wknng::simt

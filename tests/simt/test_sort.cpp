@@ -1,0 +1,161 @@
+#include "simt/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "simt/packed.hpp"
+
+namespace wknng::simt {
+namespace {
+
+class SortTest : public ::testing::Test {
+ protected:
+  WarpScratch scratch_;
+  Stats stats_;
+  Warp warp_{0, scratch_, stats_};
+};
+
+TEST_F(SortTest, BitonicSortsReversedInput) {
+  auto v = make_lanes<std::uint64_t>([](int l) {
+    return static_cast<std::uint64_t>(kWarpSize - l);
+  });
+  bitonic_sort_lanes(warp_, v);
+  for (int l = 0; l < kWarpSize; ++l) {
+    EXPECT_EQ(v[l], static_cast<std::uint64_t>(l + 1));
+  }
+}
+
+TEST_F(SortTest, BitonicSortsRandomInputs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto v = make_lanes<std::uint64_t>([&](int) { return rng.next_u64(); });
+    auto expect = v;
+    bitonic_sort_lanes(warp_, v);
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(v, expect) << "trial " << trial;
+  }
+}
+
+TEST_F(SortTest, BitonicSortsWithDuplicates) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto v = make_lanes<std::uint64_t>([&](int) { return rng.next_below(4); });
+    auto expect = v;
+    bitonic_sort_lanes(warp_, v);
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(v, expect);
+  }
+}
+
+TEST_F(SortTest, BitonicHandlesEmptyPadding) {
+  auto v = make_lanes<std::uint64_t>([](int l) {
+    return l < 5 ? static_cast<std::uint64_t>(100 - l) : Packed::kEmpty;
+  });
+  bitonic_sort_lanes(warp_, v);
+  for (int l = 0; l < 5; ++l) EXPECT_LT(v[l], Packed::kEmpty);
+  for (int l = 5; l < kWarpSize; ++l) EXPECT_EQ(v[l], Packed::kEmpty);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST_F(SortTest, BitonicCountsCollectives) {
+  auto v = make_lanes<std::uint64_t>([](int l) { return l; });
+  const auto before = stats_.warp_collectives;
+  bitonic_sort_lanes(warp_, v);
+  // 15 compare-exchange stages, each one shuffle.
+  EXPECT_EQ(stats_.warp_collectives - before, 15u);
+}
+
+TEST_F(SortTest, MergeKeepsKSmallest) {
+  std::vector<std::uint64_t> list = {2, 4, 6, 8};
+  std::vector<std::uint64_t> tmp(4);
+  auto run = make_lanes<std::uint64_t>([](int l) {
+    return l < 3 ? static_cast<std::uint64_t>(2 * l + 1)  // 1, 3, 5
+                 : Packed::kEmpty;
+  });
+  merge_sorted_run<std::uint64_t>(warp_, list, run, tmp, Packed::kEmpty);
+  EXPECT_EQ(list, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST_F(SortTest, MergeDedupesEqualValues) {
+  std::vector<std::uint64_t> list = {2, 4, 6, 8};
+  std::vector<std::uint64_t> tmp(4);
+  auto run = make_lanes<std::uint64_t>([](int l) {
+    return l < 2 ? static_cast<std::uint64_t>(2 + 2 * l)  // 2, 4 (duplicates)
+                 : Packed::kEmpty;
+  });
+  merge_sorted_run<std::uint64_t>(warp_, list, run, tmp, Packed::kEmpty);
+  EXPECT_EQ(list, (std::vector<std::uint64_t>{2, 4, 6, 8}));
+}
+
+TEST_F(SortTest, MergeIntoEmptyList) {
+  std::vector<std::uint64_t> list(4, Packed::kEmpty);
+  std::vector<std::uint64_t> tmp(4);
+  auto run = make_lanes<std::uint64_t>([](int l) {
+    return l < 2 ? static_cast<std::uint64_t>(l + 1) : Packed::kEmpty;
+  });
+  merge_sorted_run<std::uint64_t>(warp_, list, run, tmp, Packed::kEmpty);
+  EXPECT_EQ(list[0], 1u);
+  EXPECT_EQ(list[1], 2u);
+  EXPECT_EQ(list[2], Packed::kEmpty);
+  EXPECT_EQ(list[3], Packed::kEmpty);
+}
+
+TEST_F(SortTest, MergeMatchesReferenceOnRandomInputs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 1 + rng.next_below(40);
+    // Random sorted list with kEmpty tail.
+    std::vector<std::uint64_t> list;
+    const std::size_t filled = rng.next_below(k + 1);
+    for (std::size_t i = 0; i < filled; ++i) list.push_back(rng.next_below(1000));
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    list.resize(k, Packed::kEmpty);
+
+    const std::size_t run_n = rng.next_below(kWarpSize + 1);
+    auto run = make_lanes<std::uint64_t>([&](int l) {
+      return static_cast<std::size_t>(l) < run_n ? rng.next_below(1000)
+                                                 : Packed::kEmpty;
+    });
+    std::sort(run.begin(), run.end());
+
+    // Reference: k smallest distinct values of the union.
+    std::set<std::uint64_t> uni(list.begin(), list.end());
+    uni.insert(run.begin(), run.end());
+    std::vector<std::uint64_t> expect(uni.begin(), uni.end());
+    // Remove the kEmpty sentinel before trimming, re-pad after.
+    expect.erase(std::remove(expect.begin(), expect.end(), Packed::kEmpty),
+                 expect.end());
+    if (expect.size() > k) expect.resize(k);
+    expect.resize(k, Packed::kEmpty);
+
+    std::vector<std::uint64_t> tmp(k);
+    merge_sorted_run<std::uint64_t>(warp_, list, run, tmp, Packed::kEmpty);
+    EXPECT_EQ(list, expect) << "trial " << trial << " k=" << k;
+  }
+}
+
+TEST_F(SortTest, SortScratchSortsSpan) {
+  Rng rng(8);
+  std::vector<std::uint32_t> v(137);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(50));
+  auto expect = v;
+  sort_scratch<std::uint32_t>(warp_, v);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(v, expect);
+}
+
+TEST_F(SortTest, SortScratchEmptyAndSingle) {
+  std::vector<std::uint32_t> empty;
+  sort_scratch<std::uint32_t>(warp_, empty);
+  std::vector<std::uint32_t> one = {42};
+  sort_scratch<std::uint32_t>(warp_, one);
+  EXPECT_EQ(one[0], 42u);
+}
+
+}  // namespace
+}  // namespace wknng::simt

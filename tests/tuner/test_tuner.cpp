@@ -1,0 +1,119 @@
+#include "tuner/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+
+namespace wknng::tuner {
+namespace {
+
+TEST(EstimateRecall, AgreesWithFullRecall) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(500, 12, 8, 0.1f, 3);
+  core::BuildParams params;
+  params.k = 8;
+  params.num_trees = 4;
+  const KnnGraph g = core::build_knng(pool, pts, params).graph;
+
+  const KnnGraph truth = exact::brute_force_knng(pool, pts, 8);
+  const double full = exact::recall(g, truth);
+  const double sampled = estimate_recall(pool, pts, g, 8, 250);
+  EXPECT_NEAR(sampled, full, 0.05);
+}
+
+TEST(EstimateRecall, ExactGraphScoresOne) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(200, 6, 5);
+  const KnnGraph g = exact::brute_force_knng(pool, pts, 5);
+  EXPECT_EQ(estimate_recall(pool, pts, g, 5, 100), 1.0);
+}
+
+TEST(TuneWknng, ReachesReachableTarget) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(800, 16, 10, 0.1f, 7);
+  core::BuildParams base;
+  base.k = 10;
+  TuneOptions options;
+  options.target_recall = 0.9;
+
+  const TuneResult r = tune_wknng(pool, pts, base, options);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_GE(r.achieved_recall, 0.9);
+  EXPECT_GT(r.configs_tried, 0u);
+  EXPECT_GT(r.tuning_distance_evals, 0u);
+
+  // The returned params must reproduce the target when built again.
+  const KnnGraph g = core::build_knng(pool, pts, r.params).graph;
+  EXPECT_GE(estimate_recall(pool, pts, g, base.k), 0.88);
+}
+
+TEST(TuneWknng, ReportsBestEffortOnUnreachableTarget) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_uniform(400, 10, 11);
+  core::BuildParams base;
+  base.k = 8;
+  TuneOptions options;
+  options.target_recall = 1.01;  // unreachable by definition
+  options.tree_ladder = {1, 2};
+  options.refine_ladder = {0};
+
+  const TuneResult r = tune_wknng(pool, pts, base, options);
+  EXPECT_FALSE(r.reached_target);
+  EXPECT_EQ(r.configs_tried, 2u);
+  EXPECT_GT(r.achieved_recall, 0.0);
+  EXPECT_LE(r.achieved_recall, 1.0);
+}
+
+TEST(TuneWknng, WalksLadderCheapestFirst) {
+  // An easy dataset must be satisfied by the cheapest configuration.
+  ThreadPool pool(2);
+  data::DatasetSpec spec;
+  spec.kind = data::DatasetKind::kClusters;
+  spec.n = 400;
+  spec.dim = 8;
+  spec.clusters = 4;
+  spec.cluster_spread = 1e-3f;  // trivially clustered
+  spec.seed = 13;
+  const FloatMatrix pts = data::generate(spec);
+
+  core::BuildParams base;
+  base.k = 5;
+  TuneOptions options;
+  options.target_recall = 0.8;
+  const TuneResult r = tune_wknng(pool, pts, base, options);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_EQ(r.configs_tried, 1u);
+  EXPECT_EQ(r.params.num_trees, 2u);
+  EXPECT_EQ(r.params.refine_iters, 0u);
+}
+
+TEST(TuneWknng, PreservesBaseKnobs) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(400, 12, 8, 0.1f, 17);
+  core::BuildParams base;
+  base.k = 6;
+  base.strategy = core::Strategy::kAtomic;
+  base.leaf_size = 48;
+  base.seed = 999;
+  const TuneResult r = tune_wknng(pool, pts, base);
+  EXPECT_EQ(r.params.strategy, core::Strategy::kAtomic);
+  EXPECT_EQ(r.params.leaf_size, 48u);
+  EXPECT_EQ(r.params.seed, 999u);
+  EXPECT_EQ(r.params.k, 6u);
+}
+
+TEST(TuneWknng, RejectsEmptyLadder) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(100, 4, 1);
+  core::BuildParams base;
+  base.k = 4;
+  TuneOptions options;
+  options.tree_ladder.clear();
+  EXPECT_THROW(tune_wknng(pool, pts, base, options), Error);
+}
+
+}  // namespace
+}  // namespace wknng::tuner
