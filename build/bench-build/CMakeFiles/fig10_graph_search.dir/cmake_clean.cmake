@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_graph_search"
+  "../bench/fig10_graph_search.pdb"
+  "CMakeFiles/fig10_graph_search.dir/fig10_graph_search.cpp.o"
+  "CMakeFiles/fig10_graph_search.dir/fig10_graph_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_graph_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

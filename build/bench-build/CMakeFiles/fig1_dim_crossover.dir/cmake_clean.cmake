@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_dim_crossover"
+  "../bench/fig1_dim_crossover.pdb"
+  "CMakeFiles/fig1_dim_crossover.dir/fig1_dim_crossover.cpp.o"
+  "CMakeFiles/fig1_dim_crossover.dir/fig1_dim_crossover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dim_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_speed_vs_ivf"
+  "../bench/fig2_speed_vs_ivf.pdb"
+  "CMakeFiles/fig2_speed_vs_ivf.dir/fig2_speed_vs_ivf.cpp.o"
+  "CMakeFiles/fig2_speed_vs_ivf.dir/fig2_speed_vs_ivf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_speed_vs_ivf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

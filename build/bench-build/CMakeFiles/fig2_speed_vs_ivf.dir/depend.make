@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_speed_vs_ivf.
+# This may be replaced when dependencies are built.

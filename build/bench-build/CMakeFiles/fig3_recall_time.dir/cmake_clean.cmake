@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_recall_time"
+  "../bench/fig3_recall_time.pdb"
+  "CMakeFiles/fig3_recall_time.dir/fig3_recall_time.cpp.o"
+  "CMakeFiles/fig3_recall_time.dir/fig3_recall_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_recall_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_scaling_n"
+  "../bench/fig4_scaling_n.pdb"
+  "CMakeFiles/fig4_scaling_n.dir/fig4_scaling_n.cpp.o"
+  "CMakeFiles/fig4_scaling_n.dir/fig4_scaling_n.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scaling_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_leaf_size"
+  "../bench/fig6_leaf_size.pdb"
+  "CMakeFiles/fig6_leaf_size.dir/fig6_leaf_size.cpp.o"
+  "CMakeFiles/fig6_leaf_size.dir/fig6_leaf_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_leaf_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

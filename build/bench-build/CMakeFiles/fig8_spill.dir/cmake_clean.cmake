@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_spill"
+  "../bench/fig8_spill.pdb"
+  "CMakeFiles/fig8_spill.dir/fig8_spill.cpp.o"
+  "CMakeFiles/fig8_spill.dir/fig8_spill.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_transforms"
+  "../bench/fig9_transforms.pdb"
+  "CMakeFiles/fig9_transforms.dir/fig9_transforms.cpp.o"
+  "CMakeFiles/fig9_transforms.dir/fig9_transforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab2_warp_primitives"
+  "../bench/tab2_warp_primitives.pdb"
+  "CMakeFiles/tab2_warp_primitives.dir/tab2_warp_primitives.cpp.o"
+  "CMakeFiles/tab2_warp_primitives.dir/tab2_warp_primitives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_warp_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

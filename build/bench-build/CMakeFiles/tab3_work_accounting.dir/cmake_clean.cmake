@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab3_work_accounting"
+  "../bench/tab3_work_accounting.pdb"
+  "CMakeFiles/tab3_work_accounting.dir/tab3_work_accounting.cpp.o"
+  "CMakeFiles/tab3_work_accounting.dir/tab3_work_accounting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_work_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

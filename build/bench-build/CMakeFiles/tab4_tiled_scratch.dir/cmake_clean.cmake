@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab4_tiled_scratch"
+  "../bench/tab4_tiled_scratch.pdb"
+  "CMakeFiles/tab4_tiled_scratch.dir/tab4_tiled_scratch.cpp.o"
+  "CMakeFiles/tab4_tiled_scratch.dir/tab4_tiled_scratch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_tiled_scratch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab4_tiled_scratch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab5_refine_ablation"
+  "../bench/tab5_refine_ablation.pdb"
+  "CMakeFiles/tab5_refine_ablation.dir/tab5_refine_ablation.cpp.o"
+  "CMakeFiles/tab5_refine_ablation.dir/tab5_refine_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_refine_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab6_quantization"
+  "../bench/tab6_quantization.pdb"
+  "CMakeFiles/tab6_quantization.dir/tab6_quantization.cpp.o"
+  "CMakeFiles/tab6_quantization.dir/tab6_quantization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataset_tool.cpp" "examples-build/CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o" "gcc" "examples-build/CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wknng_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivf/CMakeFiles/wknng_ivf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nndescent/CMakeFiles/wknng_nndescent.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/wknng_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wknng_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/wknng_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/wknng_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wknng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/knn_classifier"
+  "../examples/knn_classifier.pdb"
+  "CMakeFiles/knn_classifier.dir/knn_classifier.cpp.o"
+  "CMakeFiles/knn_classifier.dir/knn_classifier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/similarity_search"
+  "../examples/similarity_search.pdb"
+  "CMakeFiles/similarity_search.dir/similarity_search.cpp.o"
+  "CMakeFiles/similarity_search.dir/similarity_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

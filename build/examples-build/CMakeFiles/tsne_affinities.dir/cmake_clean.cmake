@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/tsne_affinities"
+  "../examples/tsne_affinities.pdb"
+  "CMakeFiles/tsne_affinities.dir/tsne_affinities.cpp.o"
+  "CMakeFiles/tsne_affinities.dir/tsne_affinities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsne_affinities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

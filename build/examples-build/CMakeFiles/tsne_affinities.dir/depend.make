@@ -1,0 +1,2 @@
+# Empty dependencies file for tsne_affinities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/wknng_cli"
+  "../examples/wknng_cli.pdb"
+  "CMakeFiles/wknng_cli.dir/wknng_cli.cpp.o"
+  "CMakeFiles/wknng_cli.dir/wknng_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

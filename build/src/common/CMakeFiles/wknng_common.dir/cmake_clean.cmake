@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/wknng_common.dir/thread_pool.cpp.o.d"
+  "libwknng_common.a"
+  "libwknng_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/wknng_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/graph_metrics.cpp" "src/core/CMakeFiles/wknng_core.dir/graph_metrics.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/graph_metrics.cpp.o.d"
+  "/root/repo/src/core/graph_ops.cpp" "src/core/CMakeFiles/wknng_core.dir/graph_ops.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/graph_ops.cpp.o.d"
+  "/root/repo/src/core/graph_search.cpp" "src/core/CMakeFiles/wknng_core.dir/graph_search.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/graph_search.cpp.o.d"
+  "/root/repo/src/core/incremental.cpp" "src/core/CMakeFiles/wknng_core.dir/incremental.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/core/knn_set.cpp" "src/core/CMakeFiles/wknng_core.dir/knn_set.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/knn_set.cpp.o.d"
+  "/root/repo/src/core/leaf_knn.cpp" "src/core/CMakeFiles/wknng_core.dir/leaf_knn.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/leaf_knn.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/core/CMakeFiles/wknng_core.dir/refine.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/refine.cpp.o.d"
+  "/root/repo/src/core/rp_forest.cpp" "src/core/CMakeFiles/wknng_core.dir/rp_forest.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/rp_forest.cpp.o.d"
+  "/root/repo/src/core/warp_brute_force.cpp" "src/core/CMakeFiles/wknng_core.dir/warp_brute_force.cpp.o" "gcc" "src/core/CMakeFiles/wknng_core.dir/warp_brute_force.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wknng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/wknng_simt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

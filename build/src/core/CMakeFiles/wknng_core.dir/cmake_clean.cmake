@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_core.dir/builder.cpp.o"
+  "CMakeFiles/wknng_core.dir/builder.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/graph_metrics.cpp.o"
+  "CMakeFiles/wknng_core.dir/graph_metrics.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/graph_ops.cpp.o"
+  "CMakeFiles/wknng_core.dir/graph_ops.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/graph_search.cpp.o"
+  "CMakeFiles/wknng_core.dir/graph_search.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/incremental.cpp.o"
+  "CMakeFiles/wknng_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/knn_set.cpp.o"
+  "CMakeFiles/wknng_core.dir/knn_set.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/leaf_knn.cpp.o"
+  "CMakeFiles/wknng_core.dir/leaf_knn.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/refine.cpp.o"
+  "CMakeFiles/wknng_core.dir/refine.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/rp_forest.cpp.o"
+  "CMakeFiles/wknng_core.dir/rp_forest.cpp.o.d"
+  "CMakeFiles/wknng_core.dir/warp_brute_force.cpp.o"
+  "CMakeFiles/wknng_core.dir/warp_brute_force.cpp.o.d"
+  "libwknng_core.a"
+  "libwknng_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_data.dir/graph_io.cpp.o"
+  "CMakeFiles/wknng_data.dir/graph_io.cpp.o.d"
+  "CMakeFiles/wknng_data.dir/io.cpp.o"
+  "CMakeFiles/wknng_data.dir/io.cpp.o.d"
+  "CMakeFiles/wknng_data.dir/synthetic.cpp.o"
+  "CMakeFiles/wknng_data.dir/synthetic.cpp.o.d"
+  "CMakeFiles/wknng_data.dir/transforms.cpp.o"
+  "CMakeFiles/wknng_data.dir/transforms.cpp.o.d"
+  "libwknng_data.a"
+  "libwknng_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_exact.dir/brute_force.cpp.o"
+  "CMakeFiles/wknng_exact.dir/brute_force.cpp.o.d"
+  "CMakeFiles/wknng_exact.dir/recall.cpp.o"
+  "CMakeFiles/wknng_exact.dir/recall.cpp.o.d"
+  "libwknng_exact.a"
+  "libwknng_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ivf/ivf_flat.cpp" "src/ivf/CMakeFiles/wknng_ivf.dir/ivf_flat.cpp.o" "gcc" "src/ivf/CMakeFiles/wknng_ivf.dir/ivf_flat.cpp.o.d"
+  "/root/repo/src/ivf/ivf_sq8.cpp" "src/ivf/CMakeFiles/wknng_ivf.dir/ivf_sq8.cpp.o" "gcc" "src/ivf/CMakeFiles/wknng_ivf.dir/ivf_sq8.cpp.o.d"
+  "/root/repo/src/ivf/kmeans.cpp" "src/ivf/CMakeFiles/wknng_ivf.dir/kmeans.cpp.o" "gcc" "src/ivf/CMakeFiles/wknng_ivf.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ivf/sq8.cpp" "src/ivf/CMakeFiles/wknng_ivf.dir/sq8.cpp.o" "gcc" "src/ivf/CMakeFiles/wknng_ivf.dir/sq8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wknng_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/wknng_exact.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_ivf.dir/ivf_flat.cpp.o"
+  "CMakeFiles/wknng_ivf.dir/ivf_flat.cpp.o.d"
+  "CMakeFiles/wknng_ivf.dir/ivf_sq8.cpp.o"
+  "CMakeFiles/wknng_ivf.dir/ivf_sq8.cpp.o.d"
+  "CMakeFiles/wknng_ivf.dir/kmeans.cpp.o"
+  "CMakeFiles/wknng_ivf.dir/kmeans.cpp.o.d"
+  "CMakeFiles/wknng_ivf.dir/sq8.cpp.o"
+  "CMakeFiles/wknng_ivf.dir/sq8.cpp.o.d"
+  "libwknng_ivf.a"
+  "libwknng_ivf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_ivf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_nndescent.dir/nn_descent.cpp.o"
+  "CMakeFiles/wknng_nndescent.dir/nn_descent.cpp.o.d"
+  "libwknng_nndescent.a"
+  "libwknng_nndescent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_nndescent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_simt.dir/launch.cpp.o"
+  "CMakeFiles/wknng_simt.dir/launch.cpp.o.d"
+  "libwknng_simt.a"
+  "libwknng_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

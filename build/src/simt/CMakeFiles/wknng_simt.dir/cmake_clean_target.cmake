@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwknng_simt.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for wknng_simt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wknng_tuner.dir/tuner.cpp.o"
+  "CMakeFiles/wknng_tuner.dir/tuner.cpp.o.d"
+  "libwknng_tuner.a"
+  "libwknng_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wknng_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_builder.cpp" "tests/core/CMakeFiles/test_core.dir/test_builder.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/core/test_graph_metrics.cpp" "tests/core/CMakeFiles/test_core.dir/test_graph_metrics.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_graph_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_graph_ops.cpp" "tests/core/CMakeFiles/test_core.dir/test_graph_ops.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_graph_ops.cpp.o.d"
+  "/root/repo/tests/core/test_graph_search.cpp" "tests/core/CMakeFiles/test_core.dir/test_graph_search.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_graph_search.cpp.o.d"
+  "/root/repo/tests/core/test_incremental.cpp" "tests/core/CMakeFiles/test_core.dir/test_incremental.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_incremental.cpp.o.d"
+  "/root/repo/tests/core/test_knn_set.cpp" "tests/core/CMakeFiles/test_core.dir/test_knn_set.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_knn_set.cpp.o.d"
+  "/root/repo/tests/core/test_leaf_knn.cpp" "tests/core/CMakeFiles/test_core.dir/test_leaf_knn.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_leaf_knn.cpp.o.d"
+  "/root/repo/tests/core/test_refine.cpp" "tests/core/CMakeFiles/test_core.dir/test_refine.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_refine.cpp.o.d"
+  "/root/repo/tests/core/test_rp_forest.cpp" "tests/core/CMakeFiles/test_core.dir/test_rp_forest.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_rp_forest.cpp.o.d"
+  "/root/repo/tests/core/test_tiled_block.cpp" "tests/core/CMakeFiles/test_core.dir/test_tiled_block.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_tiled_block.cpp.o.d"
+  "/root/repo/tests/core/test_warp_brute_force.cpp" "tests/core/CMakeFiles/test_core.dir/test_warp_brute_force.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_warp_brute_force.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wknng_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ivf/CMakeFiles/wknng_ivf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nndescent/CMakeFiles/wknng_nndescent.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wknng_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/exact/CMakeFiles/wknng_exact.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/wknng_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wknng_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

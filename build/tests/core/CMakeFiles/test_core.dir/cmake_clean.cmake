@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_builder.cpp.o"
+  "CMakeFiles/test_core.dir/test_builder.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_graph_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/test_graph_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_graph_ops.cpp.o"
+  "CMakeFiles/test_core.dir/test_graph_ops.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_graph_search.cpp.o"
+  "CMakeFiles/test_core.dir/test_graph_search.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_incremental.cpp.o"
+  "CMakeFiles/test_core.dir/test_incremental.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_knn_set.cpp.o"
+  "CMakeFiles/test_core.dir/test_knn_set.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_leaf_knn.cpp.o"
+  "CMakeFiles/test_core.dir/test_leaf_knn.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_refine.cpp.o"
+  "CMakeFiles/test_core.dir/test_refine.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_rp_forest.cpp.o"
+  "CMakeFiles/test_core.dir/test_rp_forest.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_tiled_block.cpp.o"
+  "CMakeFiles/test_core.dir/test_tiled_block.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_warp_brute_force.cpp.o"
+  "CMakeFiles/test_core.dir/test_warp_brute_force.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

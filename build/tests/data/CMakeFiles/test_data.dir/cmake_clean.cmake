@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/test_graph_io.cpp.o"
+  "CMakeFiles/test_data.dir/test_graph_io.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_io.cpp.o"
+  "CMakeFiles/test_data.dir/test_io.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_synthetic.cpp.o"
+  "CMakeFiles/test_data.dir/test_synthetic.cpp.o.d"
+  "CMakeFiles/test_data.dir/test_transforms.cpp.o"
+  "CMakeFiles/test_data.dir/test_transforms.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

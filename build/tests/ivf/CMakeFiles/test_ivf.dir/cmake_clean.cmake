@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ivf.dir/test_ivf_flat.cpp.o"
+  "CMakeFiles/test_ivf.dir/test_ivf_flat.cpp.o.d"
+  "CMakeFiles/test_ivf.dir/test_kmeans.cpp.o"
+  "CMakeFiles/test_ivf.dir/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_ivf.dir/test_sq8.cpp.o"
+  "CMakeFiles/test_ivf.dir/test_sq8.cpp.o.d"
+  "test_ivf"
+  "test_ivf.pdb"
+  "test_ivf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ivf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

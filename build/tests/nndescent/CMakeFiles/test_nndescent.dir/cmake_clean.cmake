@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nndescent.dir/test_nn_descent.cpp.o"
+  "CMakeFiles/test_nndescent.dir/test_nn_descent.cpp.o.d"
+  "test_nndescent"
+  "test_nndescent.pdb"
+  "test_nndescent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nndescent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simt.dir/test_distance.cpp.o"
+  "CMakeFiles/test_simt.dir/test_distance.cpp.o.d"
+  "CMakeFiles/test_simt.dir/test_launch.cpp.o"
+  "CMakeFiles/test_simt.dir/test_launch.cpp.o.d"
+  "CMakeFiles/test_simt.dir/test_memory.cpp.o"
+  "CMakeFiles/test_simt.dir/test_memory.cpp.o.d"
+  "CMakeFiles/test_simt.dir/test_packed.cpp.o"
+  "CMakeFiles/test_simt.dir/test_packed.cpp.o.d"
+  "CMakeFiles/test_simt.dir/test_scratch.cpp.o"
+  "CMakeFiles/test_simt.dir/test_scratch.cpp.o.d"
+  "CMakeFiles/test_simt.dir/test_sort.cpp.o"
+  "CMakeFiles/test_simt.dir/test_sort.cpp.o.d"
+  "CMakeFiles/test_simt.dir/test_warp.cpp.o"
+  "CMakeFiles/test_simt.dir/test_warp.cpp.o.d"
+  "test_simt"
+  "test_simt.pdb"
+  "test_simt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
