@@ -139,6 +139,38 @@ void BM_AtomicMinContended(benchmark::State& state) {
 }
 BENCHMARK(BM_AtomicMinContended)->Arg(1)->Arg(8)->Arg(64);
 
+// --- Race-instrumentation overhead guard ----------------------------------
+// plain_load/plain_store vs raw access with NO detector installed. The pair
+// must be indistinguishable (the hook is one relaxed atomic load and a
+// predicted branch) — if Instrumented ever diverges from Raw here, the
+// "zero-cost when disabled" contract of simt/race.hpp is broken.
+
+void BM_GlobalAccessRaw(benchmark::State& state) {
+  std::vector<std::uint64_t> cells(64, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::uint64_t v = cells[i & 63];
+    cells[(i + 7) & 63] = v + 1;
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_GlobalAccessRaw);
+
+void BM_GlobalAccessInstrumented(benchmark::State& state) {
+  std::vector<std::uint64_t> cells(64, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::uint64_t v = plain_load(cells[i & 63]);
+    plain_store(cells[(i + 7) & 63], v + 1);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_GlobalAccessInstrumented);
+
 void BM_SpinLockRoundTrip(benchmark::State& state) {
   Stats stats;
   SpinLockArray locks(1);

@@ -37,6 +37,7 @@
 //   --threads N          worker threads (default: hardware)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <optional>
@@ -230,6 +231,11 @@ int main(int argc, char** argv) {
                   result.leaf_seconds * 1e3, result.refine_seconds * 1e3,
                   result.extract_seconds * 1e3,
                   static_cast<unsigned long long>(result.stats.distance_evals));
+      const char* races_env = std::getenv("WKNNG_CHECK_RACES");
+      if (params.check_races || (races_env && *races_env && *races_env != '0')) {
+        std::printf("race check: %zu conflicts flagged\n",
+                    result.races_detected);
+      }
     }
 
     // Evaluation.

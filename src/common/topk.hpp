@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -40,7 +41,11 @@ class TopK {
   }
 
   /// Offers a candidate; O(log k) when it displaces, O(1) when rejected.
+  /// NaN distances are rejected outright: a NaN would poison the heap order
+  /// (every comparison false) and, downstream, the packed-u64 encoding the
+  /// SIMT k-NN sets key on.
   void push(float dist, std::uint32_t id) {
+    if (std::isnan(dist)) return;
     if (heap_.size() < k_) {
       heap_.push_back({dist, id});
       std::push_heap(heap_.begin(), heap_.end());

@@ -1,11 +1,15 @@
 #include "core/builder.hpp"
 
+#include <cstdlib>
+#include <optional>
+
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/knn_set.hpp"
 #include "core/leaf_knn.hpp"
 #include "core/refine.hpp"
 #include "core/rp_forest.hpp"
+#include "simt/race.hpp"
 
 namespace wknng::core {
 
@@ -44,6 +48,10 @@ KnngBuilder::KnngBuilder(ThreadPool& pool, BuildParams params)
   WKNNG_CHECK_MSG(params_.k > 0, "k must be positive");
   WKNNG_CHECK_MSG(params_.num_trees > 0, "need at least one tree");
   WKNNG_CHECK_MSG(params_.leaf_size >= 2, "leaf_size must be >= 2");
+  if (const char* env = std::getenv("WKNNG_CHECK_RACES");
+      env != nullptr && *env != '\0' && *env != '0') {
+    params_.check_races = true;
+  }
 }
 
 BuildResult KnngBuilder::build(const FloatMatrix& points) const {
@@ -56,6 +64,15 @@ BuildResult KnngBuilder::build(const FloatMatrix& points) const {
   Timer total;
   Timer phase;
 
+  // Opt-in shadow-state race checking for the whole build (one detector at
+  // a time process-wide; concurrent checked builds are not supported).
+  std::optional<simt::RaceDetector> detector;
+  std::optional<simt::ScopedRaceDetection> detection;
+  if (params_.check_races) {
+    detector.emplace();
+    detection.emplace(*detector);
+  }
+
   // Phase 1: random-projection forest.
   const Buckets forest =
       build_rp_forest(*pool_, points, params_.num_trees, params_.leaf_size,
@@ -65,8 +82,12 @@ BuildResult KnngBuilder::build(const FloatMatrix& points) const {
 
   // Phase 2: warp-centric brute force over every bucket.
   KnnSetArray sets(n, params_.k);
+  if (detector) {
+    detector->label_region(sets.row(0), n * params_.k * sizeof(std::uint64_t),
+                           "knn_sets");
+  }
   leaf_knn(*pool_, points, forest, params_.strategy, sets, &acc,
-           params_.scratch_bytes);
+           params_.scratch_bytes, params_.schedule);
   result.leaf_seconds = phase.lap_s();
 
   // Phase 3: neighbor-of-neighbor refinement rounds.
@@ -81,6 +102,10 @@ BuildResult KnngBuilder::build(const FloatMatrix& points) const {
   result.graph = sets.extract(*pool_);
   result.extract_seconds = phase.lap_s();
 
+  if (detector) {
+    detection.reset();
+    result.races_detected = detector->race_count();
+  }
   result.total_seconds = total.elapsed_s();
   result.stats = acc.total();
   return result;

@@ -22,6 +22,10 @@ struct BuildResult {
 
   simt::Stats stats;             ///< aggregated over every launch
   std::size_t num_buckets = 0;   ///< forest leaves processed
+
+  /// Conflicts flagged by the race detector; always 0 unless
+  /// BuildParams::check_races (or WKNNG_CHECK_RACES) enabled detection.
+  std::size_t races_detected = 0;
 };
 
 /// w-KNNG: the paper's all-points approximate K-NN graph builder.

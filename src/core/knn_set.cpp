@@ -41,7 +41,7 @@ ScanResult scan_slots(simt::Warp& w, const std::uint64_t* slots, std::size_t k,
 
   for (std::size_t s = 0; s < k; ++s) {
     const std::uint64_t v =
-        atomic ? simt::atomic_load(slots[s]) : slots[s];
+        atomic ? simt::atomic_load(slots[s]) : simt::plain_load(slots[s]);
     if (!Packed::is_empty(v) && Packed::id(v) == cand_id) {
       r.duplicate = true;
       return r;
@@ -63,7 +63,7 @@ void KnnSetArray::insert_basic(simt::Warp& w, std::uint32_t dst,
   std::uint64_t* slots = row(dst);
   const ScanResult scan = scan_slots(w, slots, k_, cand, /*atomic=*/false);
   if (!scan.duplicate && cand < scan.worst_value) {
-    slots[scan.worst_slot] = cand;
+    simt::plain_store(slots[scan.worst_slot], cand);
     w.count_write(sizeof(std::uint64_t));
   }
   locks_.release(dst);
@@ -101,9 +101,9 @@ void KnnSetArray::merge_sorted_tile(simt::Warp& w, std::uint32_t dst,
   auto tmp = w.scratch().alloc<std::uint64_t>(k_);
   locks_.acquire(dst, w.stats());
   std::span<std::uint64_t> list(row(dst), k_);
-  w.count_read(k_ * sizeof(std::uint64_t));
+  w.record_read(list.data(), k_);
   simt::merge_sorted_run(w, list, sorted_run, tmp, Packed::kEmpty);
-  w.count_write(k_ * sizeof(std::uint64_t));
+  w.record_write(list.data(), k_);
   locks_.release(dst);
   w.scratch().release(mark);
 }

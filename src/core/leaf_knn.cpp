@@ -147,9 +147,11 @@ void process_bucket(simt::Warp& w, const FloatMatrix& points,
 
 void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
               const Buckets& buckets, Strategy strategy, KnnSetArray& sets,
-              simt::StatsAccumulator* acc, std::size_t scratch_bytes) {
+              simt::StatsAccumulator* acc, std::size_t scratch_bytes,
+              const simt::ScheduleSpec& schedule) {
   simt::LaunchConfig config;
   config.scratch_bytes = scratch_bytes;
+  config.schedule = schedule;
   simt::launch_warps(pool, buckets.num_buckets(), config, acc, [&](Warp& w) {
     process_bucket(w, points, buckets.bucket(w.id()), strategy, sets);
   });

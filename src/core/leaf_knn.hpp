@@ -23,7 +23,8 @@ namespace wknng::core {
 ///    then merges sorted 32-candidate runs into the k-sets.
 void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
               const Buckets& buckets, Strategy strategy, KnnSetArray& sets,
-              simt::StatsAccumulator* acc, std::size_t scratch_bytes);
+              simt::StatsAccumulator* acc, std::size_t scratch_bytes,
+              const simt::ScheduleSpec& schedule = {});
 
 /// Brute-forces one id list as a bucket with the given strategy, feeding the
 /// global k-NN sets: every unordered pair is evaluated once and submitted to

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "simt/schedule.hpp"
+
 namespace wknng::core {
 
 /// The paper's three warp-centric k-NN-set maintenance strategies.
@@ -80,6 +82,19 @@ struct BuildParams {
 
   /// Scratch ("shared memory") budget per warp in bytes.
   std::size_t scratch_bytes = 48 * 1024;
+
+  /// Warp-scheduling policy for every kernel launch of the build. The
+  /// default (dynamic) is the performance path; deterministic policies
+  /// replay the build under a fixed warp interleaving — the schedule-fuzzing
+  /// hook used to prove strategies order-independent (simt/schedule.hpp).
+  simt::ScheduleSpec schedule;
+
+  /// Runs the whole build under the shadow-state race detector
+  /// (simt/race.hpp) and reports flagged conflicts in
+  /// BuildResult::races_detected. Also enabled by setting the
+  /// WKNNG_CHECK_RACES environment variable (CI hook). Expensive — debug
+  /// and CI only.
+  bool check_races = false;
 };
 
 }  // namespace wknng::core

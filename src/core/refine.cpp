@@ -162,6 +162,7 @@ void refine_round(ThreadPool& pool, const FloatMatrix& points,
   simt::LaunchConfig config;
   config.scratch_bytes = std::max(params.scratch_bytes, gather_bytes);
   config.grain = 16;
+  config.schedule = params.schedule;
 
   if (params.refine_mode == RefineMode::kLocalJoin) {
     // Local join: each warp brute-forces its point's combined neighborhood

@@ -1,5 +1,7 @@
 #include "simt/launch.hpp"
 
+#include "simt/race.hpp"
+
 namespace wknng::simt {
 
 namespace {
@@ -12,24 +14,59 @@ WarpScratch& thread_scratch(std::size_t capacity) {
   return scratch;
 }
 
+/// Binds/unbinds the running thread to a warp in the race detector, safely
+/// across exceptions thrown by the kernel body.
+class WarpBinding {
+ public:
+  WarpBinding(RaceDetector* det, std::uint32_t warp_id, Stats* stats)
+      : det_(det) {
+    if (det_ != nullptr) det_->enter_warp(warp_id, stats);
+  }
+  ~WarpBinding() {
+    if (det_ != nullptr) det_->exit_warp();
+  }
+
+ private:
+  RaceDetector* det_;
+};
+
 }  // namespace
 
 void launch_warps(ThreadPool& pool, std::size_t num_warps,
                   const LaunchConfig& config, StatsAccumulator* acc,
                   const std::function<void(Warp&)>& body) {
-  pool.parallel_for(num_warps, config.grain, [&](std::size_t warp_id) {
+  RaceDetector* det = active_race_detector();
+  if (det != nullptr) det->begin_epoch();  // a launch is a device-wide barrier
+
+  const auto run_one = [&](std::size_t warp_id) {
     WarpScratch& scratch = thread_scratch(config.scratch_bytes);
     scratch.reset();
     scratch.reset_peak();
 
     Stats local;
     Warp warp(static_cast<std::uint32_t>(warp_id), scratch, local);
-    body(warp);
+    {
+      WarpBinding binding(det, static_cast<std::uint32_t>(warp_id), &local);
+      body(warp);
+    }
 
     local.warps_executed = 1;
     local.scratch_bytes_peak = scratch.peak_used();
     if (acc != nullptr) acc->flush(local);
-  });
+  };
+
+  if (!is_deterministic(config.schedule)) {
+    pool.parallel_for(num_warps, config.grain, run_one);
+    return;
+  }
+  // Deterministic replay: the policy's order, one warp at a time on the
+  // calling thread. Shadow state still flags lock-discipline violations
+  // (detection is access-set based, not interleaving based), and any
+  // order-dependence of the kernel's result reproduces on every run.
+  for (const std::size_t warp_id :
+       schedule_order(num_warps, config.grain, config.schedule)) {
+    run_one(warp_id);
+  }
 }
 
 }  // namespace wknng::simt

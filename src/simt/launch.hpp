@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/thread_pool.hpp"
+#include "simt/schedule.hpp"
 #include "simt/scratch.hpp"
 #include "simt/stats.hpp"
 #include "simt/warp.hpp"
@@ -13,11 +14,13 @@ namespace wknng::simt {
 
 /// Launch-time configuration of a warp grid — the substrate's analogue of
 /// CUDA's <<<grid, block, smem>>> triple, reduced to what a warp-centric
-/// kernel needs: how many warps, how much scratch each owns, and how many
-/// warp tasks one worker claims at a time (scheduling granularity).
+/// kernel needs: how many warps, how much scratch each owns, how many
+/// warp tasks one worker claims at a time (scheduling granularity), and
+/// which schedule policy orders the warp tasks (see simt/schedule.hpp).
 struct LaunchConfig {
   std::size_t scratch_bytes = WarpScratch::kDefaultBytes;
   std::size_t grain = 1;  ///< consecutive warp ids claimed per scheduling step
+  ScheduleSpec schedule;  ///< kDynamic (default) or a deterministic replay
 };
 
 /// Executes `body(warp)` for warp ids [0, num_warps) on the thread pool.
@@ -29,6 +32,13 @@ struct LaunchConfig {
 /// every warp task. Per-warp Stats are accumulated locally and flushed once
 /// per warp into `acc` (if non-null), so instrumentation does not perturb
 /// the measured kernels.
+///
+/// With a deterministic SchedulePolicy the warps are instead replayed one at
+/// a time on the calling thread in the policy's order — the schedule fuzzer:
+/// running the same kernel under several policies/seeds surfaces
+/// order-dependent results deterministically. Either way, an installed
+/// RaceDetector (simt/race.hpp) is notified of the launch barrier and every
+/// warp task is bound to it.
 ///
 /// Kernels requiring a device-wide barrier are expressed as consecutive
 /// launches, exactly as on real hardware.

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "simt/race.hpp"
 #include "simt/stats.hpp"
 
 namespace wknng::simt {
@@ -66,6 +67,43 @@ class DeviceBuffer {
   std::unique_ptr<T[]> data_;
 };
 
+// --- Plain global-memory operations ----------------------------------------
+// Instrumented counterparts of an ordinary load/store. When no RaceDetector
+// is installed (the default) each hook is one relaxed load of a global plus
+// a predicted-not-taken branch — kernels pay nothing measurable. When a
+// detector is installed every access feeds the shadow state, so lock-
+// discipline violations between warps are flagged (see simt/race.hpp).
+
+/// Plain (non-atomic) load of a global cell. Racing with a concurrent plain
+/// write IS a data race and will be flagged by the detector; use the
+/// atomic_* helpers for intentionally concurrent cells.
+template <typename T>
+inline T plain_load(const T& cell) {
+  race_on_access(&cell, AccessKind::kPlainRead);
+  return cell;
+}
+
+/// Plain (non-atomic) store to a global cell.
+template <typename T>
+inline void plain_store(T& cell, T value) {
+  race_on_access(&cell, AccessKind::kPlainWrite);
+  cell = value;
+}
+
+/// Declares a plain read of `count` consecutive cells starting at `base`
+/// (for block transfers where per-element accessor calls would obscure the
+/// kernel). The data itself is accessed by the caller.
+template <typename T>
+inline void plain_read_range(const T* base, std::size_t count) {
+  race_on_range(base, sizeof(T), count, AccessKind::kPlainRead);
+}
+
+/// Declares a plain write of `count` consecutive cells starting at `base`.
+template <typename T>
+inline void plain_write_range(T* base, std::size_t count) {
+  race_on_range(base, sizeof(T), count, AccessKind::kPlainWrite);
+}
+
 // --- Atomic global-memory operations ---------------------------------------
 // Every helper takes the warp's Stats so contention is measurable; the
 // cas_retries counter is the substrate's proxy for the serialisation that
@@ -74,12 +112,14 @@ class DeviceBuffer {
 /// Relaxed atomic load (CUDA: plain global load of a volatile cell).
 template <typename T>
 inline T atomic_load(const T& cell) {
+  race_on_access(&cell, AccessKind::kAtomicRead);
   return std::atomic_ref<T>(const_cast<T&>(cell)).load(std::memory_order_relaxed);
 }
 
 /// Relaxed atomic store.
 template <typename T>
 inline void atomic_store(T& cell, T value) {
+  race_on_access(&cell, AccessKind::kAtomicWrite);
   std::atomic_ref<T>(cell).store(value, std::memory_order_relaxed);
 }
 
@@ -87,6 +127,7 @@ inline void atomic_store(T& cell, T value) {
 template <typename T>
 inline T atomic_add(T& cell, T delta, Stats& stats) {
   ++stats.atomic_ops;
+  race_on_access(&cell, AccessKind::kAtomicRmw);
   return std::atomic_ref<T>(cell).fetch_add(delta, std::memory_order_relaxed);
 }
 
@@ -95,6 +136,7 @@ inline T atomic_add(T& cell, T delta, Stats& stats) {
 inline bool atomic_cas(std::uint64_t& cell, std::uint64_t& expected,
                        std::uint64_t desired, Stats& stats) {
   ++stats.atomic_ops;
+  race_on_access(&cell, AccessKind::kAtomicRmw);
   const bool ok = std::atomic_ref<std::uint64_t>(cell).compare_exchange_strong(
       expected, desired, std::memory_order_acq_rel, std::memory_order_relaxed);
   if (!ok) ++stats.cas_retries;
@@ -105,8 +147,7 @@ inline bool atomic_cas(std::uint64_t& cell, std::uint64_t& expected,
 /// Returns the previous value. Loops CAS until the cell is <= `value`.
 inline std::uint64_t atomic_min_u64(std::uint64_t& cell, std::uint64_t value,
                                     Stats& stats) {
-  std::uint64_t observed =
-      std::atomic_ref<std::uint64_t>(cell).load(std::memory_order_relaxed);
+  std::uint64_t observed = atomic_load(cell);
   while (observed > value) {
     if (atomic_cas(cell, observed, value, stats)) return observed;
   }
@@ -133,7 +174,8 @@ class SpinLockArray {
 
   std::size_t size() const { return size_; }
 
-  /// Spins until lock i is acquired; every failed attempt is recorded.
+  /// Spins until lock i is acquired; every failed attempt is recorded. The
+  /// acquisition is reported to the race detector's lockset machinery.
   void acquire(std::size_t i, Stats& stats) {
     ++stats.lock_acquires;
     std::uint32_t expected = 0;
@@ -143,6 +185,7 @@ class SpinLockArray {
       ++stats.lock_spins;
       expected = 0;
     }
+    race_on_lock_acquire(&locks_[i]);
   }
 
   /// Non-blocking attempt; returns true on success.
@@ -152,13 +195,17 @@ class SpinLockArray {
                                           std::memory_order_acquire,
                                           std::memory_order_relaxed)) {
       ++stats.lock_acquires;
+      race_on_lock_acquire(&locks_[i]);
       return true;
     }
     ++stats.lock_spins;
     return false;
   }
 
-  void release(std::size_t i) { locks_[i].store(0, std::memory_order_release); }
+  void release(std::size_t i) {
+    race_on_lock_release(&locks_[i]);
+    locks_[i].store(0, std::memory_order_release);
+  }
 
  private:
   std::size_t size_ = 0;

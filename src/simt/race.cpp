@@ -1,0 +1,202 @@
+#include "simt/race.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wknng::simt {
+
+namespace {
+
+/// Per-thread warp binding. A warp task runs on exactly one pool worker, so
+/// its identity and held-lock set are thread-local; host-side accesses (no
+/// warp bound) are epoch-separated from kernels and are not recorded.
+struct WarpContext {
+  bool active = false;
+  std::uint32_t warp = 0;
+  Stats* stats = nullptr;
+  std::vector<const void*> locks;
+};
+
+thread_local WarpContext t_ctx;
+
+void intersect_lockset(std::vector<const void*>& target,
+                       const std::vector<const void*>& held) {
+  std::erase_if(target, [&](const void* l) {
+    return std::find(held.begin(), held.end(), l) == held.end();
+  });
+}
+
+}  // namespace
+
+const char* access_kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::kPlainRead: return "plain-read";
+    case AccessKind::kPlainWrite: return "plain-write";
+    case AccessKind::kAtomicRead: return "atomic-read";
+    case AccessKind::kAtomicWrite: return "atomic-write";
+    case AccessKind::kAtomicRmw: return "atomic-rmw";
+  }
+  return "?";
+}
+
+std::string RaceReport::to_string() const {
+  std::ostringstream os;
+  os << "race on cell " << cell;
+  if (!region.empty()) os << " (" << region << ")";
+  os << " epoch " << epoch << ": warp " << second_warp << " "
+     << access_kind_name(second_kind) << " conflicts with warp " << first_warp
+     << " (no common lock)";
+  return os.str();
+}
+
+RaceDetector::RaceDetector() : shards_(std::make_unique<Shard[]>(kShards)) {}
+
+RaceDetector::~RaceDetector() {
+  WKNNG_CHECK_MSG(active_race_detector() != this,
+                  "RaceDetector destroyed while still installed");
+}
+
+void RaceDetector::begin_epoch() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RaceDetector::label_region(const void* begin, std::size_t bytes,
+                                std::string name) {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  const char* b = static_cast<const char*>(begin);
+  regions_.push_back({b, b + bytes, std::move(name)});
+}
+
+std::size_t RaceDetector::race_count() const {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  return reports_.size();
+}
+
+std::vector<RaceReport> RaceDetector::reports() const {
+  std::lock_guard<std::mutex> lock(report_mutex_);
+  return reports_;
+}
+
+void RaceDetector::reset() {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    shards_[s].cells.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    reports_.clear();
+  }
+  plain_events_.store(0, std::memory_order_relaxed);
+  atomic_events_.store(0, std::memory_order_relaxed);
+}
+
+RaceDetector::Shard& RaceDetector::shard_for(const void* cell) {
+  // Cells are >= 4 bytes apart; fold the address down to a shard index.
+  const auto addr = reinterpret_cast<std::uintptr_t>(cell);
+  return shards_[(addr >> 3) % kShards];
+}
+
+std::string RaceDetector::region_of(const void* cell) const {
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  const char* c = static_cast<const char*>(cell);
+  for (const Region& r : regions_) {
+    if (c >= r.begin && c < r.end) return r.name;
+  }
+  return {};
+}
+
+void RaceDetector::record(const void* cell, AccessKind kind) {
+  WarpContext& ctx = t_ctx;
+  if (!ctx.active) return;  // host-side access: epoch-separated, not tracked
+
+  const bool atomic = kind == AccessKind::kAtomicRead ||
+                      kind == AccessKind::kAtomicWrite ||
+                      kind == AccessKind::kAtomicRmw;
+  if (ctx.stats != nullptr) ++ctx.stats->shadow_events;
+  if (atomic) {
+    // Atomic accesses are linearization points; they are counted but do not
+    // enter the lockset state machine (see class comment).
+    atomic_events_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  plain_events_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool is_write = kind == AccessKind::kPlainWrite;
+  const std::uint64_t ep = epoch_.load(std::memory_order_relaxed);
+
+  Shard& shard = shard_for(cell);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Shadow& s = shard.cells[cell];
+  if (s.epoch != ep) {
+    // First access this epoch: exclusive state, candidate lockset = held set.
+    s.epoch = ep;
+    s.first_warp = ctx.warp;
+    s.multi_warp = false;
+    s.had_write = is_write;
+    s.reported = false;
+    s.lockset = ctx.locks;
+    return;
+  }
+  if (ctx.warp != s.first_warp) s.multi_warp = true;
+  s.had_write = s.had_write || is_write;
+  intersect_lockset(s.lockset, ctx.locks);
+  if (s.multi_warp && s.had_write && s.lockset.empty() && !s.reported) {
+    s.reported = true;
+    RaceReport r;
+    r.cell = cell;
+    r.epoch = ep;
+    r.first_warp = s.first_warp;
+    r.second_warp = ctx.warp;
+    r.second_kind = kind;
+    r.region = region_of(cell);
+    std::lock_guard<std::mutex> report_lock(report_mutex_);
+    reports_.push_back(std::move(r));
+  }
+}
+
+void RaceDetector::record_range(const void* base, std::size_t stride,
+                                std::size_t count, AccessKind kind) {
+  const char* p = static_cast<const char*>(base);
+  for (std::size_t i = 0; i < count; ++i) record(p + i * stride, kind);
+}
+
+void RaceDetector::on_lock_acquire(const void* lock) {
+  if (!t_ctx.active) return;
+  t_ctx.locks.push_back(lock);
+}
+
+void RaceDetector::on_lock_release(const void* lock) {
+  if (!t_ctx.active) return;
+  auto& locks = t_ctx.locks;
+  const auto it = std::find(locks.rbegin(), locks.rend(), lock);
+  if (it != locks.rend()) locks.erase(std::next(it).base());
+}
+
+void RaceDetector::enter_warp(std::uint32_t warp_id, Stats* stats) {
+  t_ctx.active = true;
+  t_ctx.warp = warp_id;
+  t_ctx.stats = stats;
+  t_ctx.locks.clear();
+}
+
+void RaceDetector::exit_warp() {
+  t_ctx.active = false;
+  t_ctx.stats = nullptr;
+  t_ctx.locks.clear();
+}
+
+ScopedRaceDetection::ScopedRaceDetection(RaceDetector& d) {
+  RaceDetector* expected = nullptr;
+  const bool installed = race_detail::g_active.compare_exchange_strong(
+      expected, &d, std::memory_order_acq_rel);
+  WKNNG_CHECK_MSG(installed,
+                  "a RaceDetector is already installed (one at a time)");
+}
+
+ScopedRaceDetection::~ScopedRaceDetection() {
+  race_detail::g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace wknng::simt

@@ -1,0 +1,192 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simt/stats.hpp"
+
+namespace wknng::simt {
+
+/// Classification of one instrumented global-memory access. Plain accesses
+/// participate in the race state machine; atomic accesses are the substrate's
+/// linearization points (single hardware instructions on a GPU) and are
+/// recorded for accounting only.
+enum class AccessKind : std::uint8_t {
+  kPlainRead,
+  kPlainWrite,
+  kAtomicRead,
+  kAtomicWrite,
+  kAtomicRmw,
+};
+
+const char* access_kind_name(AccessKind k);
+
+/// One flagged conflict: two warps touched the same global cell inside the
+/// same launch epoch, at least one access was a plain write, and no spin
+/// lock was common to both access paths.
+struct RaceReport {
+  const void* cell = nullptr;
+  std::uint64_t epoch = 0;       ///< launch barrier interval of the conflict
+  std::uint32_t first_warp = 0;  ///< warp of the cell's first access this epoch
+  std::uint32_t second_warp = 0; ///< warp whose access completed the race
+  AccessKind second_kind = AccessKind::kPlainRead;
+  std::string region;            ///< label of the enclosing buffer, if any
+
+  std::string to_string() const;
+};
+
+/// Shadow-state data-race detector for the SIMT substrate — the analogue of
+/// TSan/Eraser for the repo's "global memory".
+///
+/// Model: every instrumented access is an event (warp id, launch epoch,
+/// kind, lockset). Kernels separated by a launch barrier cannot race, so
+/// shadow state is scoped to one epoch (`begin_epoch` is called by
+/// launch_warps). Within an epoch the detector runs the classic Eraser
+/// lockset discipline per cell:
+///
+///   * the first access initialises the cell's candidate lockset with the
+///     warp's currently-held spin locks;
+///   * every later plain access intersects the candidate lockset;
+///   * a race is flagged once the cell has been touched by two different
+///     warps, at least one plain write occurred, and the candidate lockset
+///     is empty.
+///
+/// Atomic accesses never race with anything (they model single-instruction
+/// atomics); mixed plain/atomic traffic on one cell is the substrate's
+/// documented "racy monotonic peek" idiom and is deliberately not flagged.
+///
+/// Detection is schedule-independent: conflicts are flagged from the access
+/// *sets*, not from physically observed interleavings, so even a fully
+/// sequential schedule replay (see simt/schedule.hpp) surfaces every
+/// lock-discipline violation deterministically.
+///
+/// At most one detector is installed process-wide at a time (see
+/// ScopedRaceDetection); the disabled fast path is a single relaxed load.
+class RaceDetector {
+ public:
+  RaceDetector();
+  ~RaceDetector();
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  /// Starts a new launch-barrier interval; shadow state from earlier epochs
+  /// becomes stale (lazily discarded).
+  void begin_epoch();
+
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  /// Names a buffer range so reports can say "knn_sets" instead of a bare
+  /// address. Call before launching kernels that touch the range.
+  void label_region(const void* begin, std::size_t bytes, std::string name);
+
+  /// Number of distinct racy cells flagged so far.
+  std::size_t race_count() const;
+  std::vector<RaceReport> reports() const;
+
+  std::uint64_t plain_events() const {
+    return plain_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t atomic_events() const {
+    return atomic_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears shadow state, reports and counters (epoch is preserved).
+  void reset();
+
+  // --- Recording entry points (called via the inline hooks below) ---------
+
+  void record(const void* cell, AccessKind kind);
+  void record_range(const void* base, std::size_t stride, std::size_t count,
+                    AccessKind kind);
+  void on_lock_acquire(const void* lock);
+  void on_lock_release(const void* lock);
+
+  /// Binds the calling thread to a warp for the duration of one warp task;
+  /// `stats` (may be null) receives shadow_events attribution.
+  void enter_warp(std::uint32_t warp_id, Stats* stats);
+  void exit_warp();
+
+ private:
+  struct Shadow {
+    std::uint64_t epoch = 0;
+    std::uint32_t first_warp = 0;
+    bool multi_warp = false;
+    bool had_write = false;
+    bool reported = false;
+    std::vector<const void*> lockset;  ///< candidate lockset (intersection)
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<const void*, Shadow> cells;
+  };
+  struct Region {
+    const char* begin;
+    const char* end;
+    std::string name;
+  };
+
+  static constexpr std::size_t kShards = 64;
+
+  Shard& shard_for(const void* cell);
+  std::string region_of(const void* cell) const;
+
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> plain_events_{0};
+  std::atomic<std::uint64_t> atomic_events_{0};
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::mutex report_mutex_;
+  std::vector<RaceReport> reports_;
+  mutable std::mutex region_mutex_;
+  std::vector<Region> regions_;
+};
+
+namespace race_detail {
+/// The process-wide active detector; nullptr (the default) disables every
+/// instrumentation hook at the cost of one relaxed load + predicted branch.
+inline std::atomic<RaceDetector*> g_active{nullptr};
+}  // namespace race_detail
+
+inline RaceDetector* active_race_detector() {
+  return race_detail::g_active.load(std::memory_order_acquire);
+}
+
+/// Installs `d` as the process-wide detector for the scope's lifetime.
+/// Nesting is rejected (one detector at a time keeps attribution unambiguous).
+class ScopedRaceDetection {
+ public:
+  explicit ScopedRaceDetection(RaceDetector& d);
+  ~ScopedRaceDetection();
+
+  ScopedRaceDetection(const ScopedRaceDetection&) = delete;
+  ScopedRaceDetection& operator=(const ScopedRaceDetection&) = delete;
+};
+
+// --- Inline hooks: the only code on the instrumented fast path -------------
+
+inline void race_on_access(const void* cell, AccessKind kind) {
+  if (RaceDetector* d = active_race_detector()) d->record(cell, kind);
+}
+
+inline void race_on_range(const void* base, std::size_t stride,
+                          std::size_t count, AccessKind kind) {
+  if (RaceDetector* d = active_race_detector()) {
+    d->record_range(base, stride, count, kind);
+  }
+}
+
+inline void race_on_lock_acquire(const void* lock) {
+  if (RaceDetector* d = active_race_detector()) d->on_lock_acquire(lock);
+}
+
+inline void race_on_lock_release(const void* lock) {
+  if (RaceDetector* d = active_race_detector()) d->on_lock_release(lock);
+}
+
+}  // namespace wknng::simt

@@ -1,0 +1,69 @@
+#include "simt/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wknng::simt {
+
+const char* schedule_policy_name(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kDynamic: return "dynamic";
+    case SchedulePolicy::kSequential: return "sequential";
+    case SchedulePolicy::kReverse: return "reverse";
+    case SchedulePolicy::kShuffled: return "shuffled";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> schedule_order(std::size_t num_warps,
+                                        std::size_t grain,
+                                        const ScheduleSpec& spec) {
+  WKNNG_CHECK_MSG(is_deterministic(spec),
+                  "schedule_order needs a deterministic policy");
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t num_blocks = (num_warps + grain - 1) / grain;
+  std::vector<std::size_t> blocks(num_blocks);
+  std::iota(blocks.begin(), blocks.end(), std::size_t{0});
+
+  switch (spec.policy) {
+    case SchedulePolicy::kSequential:
+      break;
+    case SchedulePolicy::kReverse:
+      std::reverse(blocks.begin(), blocks.end());
+      break;
+    case SchedulePolicy::kShuffled: {
+      Rng rng(spec.seed, /*stream=*/0x5C4EDULL);
+      for (std::size_t i = num_blocks; i > 1; --i) {
+        const std::size_t j = rng.next_below(i);
+        std::swap(blocks[i - 1], blocks[j]);
+      }
+      break;
+    }
+    case SchedulePolicy::kDynamic:
+      break;  // unreachable (checked above)
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(num_warps);
+  for (const std::size_t b : blocks) {
+    const std::size_t begin = b * grain;
+    const std::size_t end = std::min(begin + grain, num_warps);
+    for (std::size_t id = begin; id < end; ++id) order.push_back(id);
+  }
+  return order;
+}
+
+std::vector<ScheduleSpec> fuzzing_schedules(std::size_t num_seeds) {
+  std::vector<ScheduleSpec> specs;
+  specs.push_back({SchedulePolicy::kSequential, 0});
+  specs.push_back({SchedulePolicy::kReverse, 0});
+  for (std::size_t s = 1; s <= num_seeds; ++s) {
+    specs.push_back({SchedulePolicy::kShuffled, s});
+  }
+  return specs;
+}
+
+}  // namespace wknng::simt

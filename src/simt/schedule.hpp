@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wknng::simt {
+
+/// How launch_warps orders warp tasks — the substrate's handle on the one
+/// scheduling freedom a GPU has at warp granularity. The default is the
+/// performance path; the deterministic policies exist for the schedule
+/// fuzzer: replaying one kernel under many interleavings makes races and
+/// order-dependent results reproduce on every run instead of once a month.
+enum class SchedulePolicy : std::uint8_t {
+  /// Dynamic claiming on the thread pool (greedy-then-oldest hardware
+  /// scheduling analogue). Fast, nondeterministic interleaving.
+  kDynamic,
+  /// Warp ids executed in ascending order on the calling thread.
+  kSequential,
+  /// Warp ids executed in descending order on the calling thread.
+  kReverse,
+  /// Seeded Fisher–Yates permutation of grain-sized warp blocks, executed
+  /// on the calling thread. Different seeds are different interleavings.
+  kShuffled,
+};
+
+const char* schedule_policy_name(SchedulePolicy p);
+
+/// A concrete schedule choice; `seed` only matters for kShuffled.
+struct ScheduleSpec {
+  SchedulePolicy policy = SchedulePolicy::kDynamic;
+  std::uint64_t seed = 0;
+};
+
+inline bool is_deterministic(const ScheduleSpec& s) {
+  return s.policy != SchedulePolicy::kDynamic;
+}
+
+/// The execution order a deterministic policy induces: warp ids grouped into
+/// `grain`-sized blocks of consecutive ids (the scheduling granularity of
+/// LaunchConfig), blocks ordered by the policy, then flattened. Requires a
+/// deterministic policy.
+std::vector<std::size_t> schedule_order(std::size_t num_warps,
+                                        std::size_t grain,
+                                        const ScheduleSpec& spec);
+
+/// The standard fuzzing sweep: sequential, reverse, and `num_seeds` shuffled
+/// permutations (seeds 1..num_seeds). Run a kernel under every returned spec
+/// and compare results to surface order dependence.
+std::vector<ScheduleSpec> fuzzing_schedules(std::size_t num_seeds);
+
+}  // namespace wknng::simt

@@ -25,6 +25,8 @@ struct Stats {
   std::uint64_t warp_collectives = 0; ///< shuffles/ballots/reductions/scans executed
   std::uint64_t scratch_bytes_peak = 0; ///< max per-warp scratch footprint observed
   std::uint64_t warps_executed = 0;   ///< number of warp tasks accumulated here
+  std::uint64_t shadow_events = 0;    ///< race-detector accesses recorded (0 unless
+                                      ///< a detector is installed — see simt/race.hpp)
 
   Stats& operator+=(const Stats& o) {
     distance_evals += o.distance_evals;
@@ -40,6 +42,7 @@ struct Stats {
                              ? scratch_bytes_peak
                              : o.scratch_bytes_peak;
     warps_executed += o.warps_executed;
+    shadow_events += o.shadow_events;
     return *this;
   }
 
@@ -50,6 +53,7 @@ struct Stats {
        << " locks=" << s.lock_acquires << " lock_spin=" << s.lock_spins
        << " collectives=" << s.warp_collectives
        << " warps=" << s.warps_executed;
+    if (s.shadow_events != 0) os << " shadow=" << s.shadow_events;
     return os;
   }
 };

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "simt/race.hpp"
 #include "simt/scratch.hpp"
 #include "simt/stats.hpp"
 
@@ -60,6 +61,21 @@ class Warp {
   /// Counts `bytes` of global-memory reads (call sites annotate traffic).
   void count_read(std::uint64_t bytes) { stats_->global_reads += bytes; }
   void count_write(std::uint64_t bytes) { stats_->global_writes += bytes; }
+
+  /// Address-aware variants: count the traffic AND feed each cell into the
+  /// race detector's shadow state (no-ops beyond the byte count unless a
+  /// detector is installed). Use these for block transfers on cells other
+  /// warps may touch concurrently.
+  template <typename T>
+  void record_read(const T* base, std::size_t count) {
+    count_read(count * sizeof(T));
+    race_on_range(base, sizeof(T), count, AccessKind::kPlainRead);
+  }
+  template <typename T>
+  void record_write(T* base, std::size_t count) {
+    count_write(count * sizeof(T));
+    race_on_range(base, sizeof(T), count, AccessKind::kPlainWrite);
+  }
 
   // --- Collectives -------------------------------------------------------
   // Each models one warp-wide instruction (shfl/ballot/reduction step chain)

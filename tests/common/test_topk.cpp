@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -63,6 +65,49 @@ TEST(TopK, FewerThanKItems) {
   const auto sorted = t.take_sorted();
   ASSERT_EQ(sorted.size(), 2u);
   EXPECT_EQ(sorted[0].id, 1u);
+}
+
+TEST(TopK, KLargerThanInputKeepsEverything) {
+  TopK t(100);
+  for (std::uint32_t i = 0; i < 7; ++i) t.push(static_cast<float>(i), i);
+  EXPECT_FALSE(t.full());
+  EXPECT_EQ(t.worst(), std::numeric_limits<float>::infinity());
+  const auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(TopK, DuplicateDistancesAllKeptAndOrderedById) {
+  TopK t(4);
+  t.push(1.0f, 8);
+  t.push(1.0f, 2);
+  t.push(1.0f, 5);
+  t.push(1.0f, 1);
+  t.push(1.0f, 9);  // full at equal distance: id 9 loses to worst {1.0, 8}
+  const auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].id, 1u);
+  EXPECT_EQ(sorted[1].id, 2u);
+  EXPECT_EQ(sorted[2].id, 5u);
+  EXPECT_EQ(sorted[3].id, 8u);
+}
+
+TEST(TopK, NanDistancesRejected) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  TopK t(3);
+  t.push(nan, 0);  // rejected while not full
+  EXPECT_EQ(t.size(), 0u);
+  t.push(2.0f, 1);
+  t.push(1.0f, 2);
+  t.push(3.0f, 3);
+  t.push(nan, 4);  // rejected while full
+  const auto sorted = t.take_sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  for (const auto& nb : sorted) {
+    EXPECT_FALSE(std::isnan(nb.dist));
+  }
+  EXPECT_EQ(sorted[0].id, 2u);
+  EXPECT_EQ(sorted[2].id, 3u);
 }
 
 TEST(TopK, MatchesFullSortOnRandomInput) {

@@ -9,16 +9,14 @@
 #include "common/thread_pool.hpp"
 #include "data/synthetic.hpp"
 #include "exact/brute_force.hpp"
+#include "support/temp_dir.hpp"
 
 namespace wknng::data {
 namespace {
 
 class GraphIoTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "wknng_graph_io";
-    std::filesystem::create_directories(dir_);
-  }
+  void SetUp() override { dir_ = testing::unique_test_dir("wknng_graph_io"); }
   void TearDown() override { std::filesystem::remove_all(dir_); }
   std::string path(const std::string& name) const { return (dir_ / name).string(); }
 

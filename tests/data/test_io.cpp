@@ -8,16 +8,14 @@
 
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
+#include "support/temp_dir.hpp"
 
 namespace wknng::data {
 namespace {
 
 class IoTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "wknng_io_test";
-    std::filesystem::create_directories(dir_);
-  }
+  void SetUp() override { dir_ = testing::unique_test_dir("wknng_io_test"); }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   std::string path(const std::string& name) const { return (dir_ / name).string(); }

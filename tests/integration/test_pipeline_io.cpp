@@ -15,16 +15,14 @@
 #include "data/transforms.hpp"
 #include "exact/brute_force.hpp"
 #include "exact/recall.hpp"
+#include "support/temp_dir.hpp"
 
 namespace wknng {
 namespace {
 
 class PipelineTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "wknng_pipeline";
-    std::filesystem::create_directories(dir_);
-  }
+  void SetUp() override { dir_ = testing::unique_test_dir("wknng_pipeline"); }
   void TearDown() override { std::filesystem::remove_all(dir_); }
   std::string path(const std::string& name) const { return (dir_ / name).string(); }
 

@@ -104,6 +104,31 @@ TEST_F(SortTest, MergeIntoEmptyList) {
   EXPECT_EQ(list[3], Packed::kEmpty);
 }
 
+TEST_F(SortTest, BitonicAllEmptyIsStable) {
+  auto v = make_lanes<std::uint64_t>([](int) { return Packed::kEmpty; });
+  bitonic_sort_lanes(warp_, v);
+  for (int l = 0; l < kWarpSize; ++l) EXPECT_EQ(v[l], Packed::kEmpty);
+}
+
+TEST_F(SortTest, MergeRunEntirelyWorseLeavesListUnchanged) {
+  std::vector<std::uint64_t> list = {1, 2, 3, 4};
+  std::vector<std::uint64_t> tmp(4);
+  auto run = make_lanes<std::uint64_t>([](int l) {
+    return l < 4 ? static_cast<std::uint64_t>(100 + l) : Packed::kEmpty;
+  });
+  merge_sorted_run<std::uint64_t>(warp_, list, run, tmp, Packed::kEmpty);
+  EXPECT_EQ(list, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST_F(SortTest, MergeEmptyRunIsANoop) {
+  std::vector<std::uint64_t> list = {3, 7, Packed::kEmpty, Packed::kEmpty};
+  std::vector<std::uint64_t> tmp(4);
+  auto run = make_lanes<std::uint64_t>([](int) { return Packed::kEmpty; });
+  merge_sorted_run<std::uint64_t>(warp_, list, run, tmp, Packed::kEmpty);
+  EXPECT_EQ(list,
+            (std::vector<std::uint64_t>{3, 7, Packed::kEmpty, Packed::kEmpty}));
+}
+
 TEST_F(SortTest, MergeMatchesReferenceOnRandomInputs) {
   Rng rng(7);
   for (int trial = 0; trial < 100; ++trial) {

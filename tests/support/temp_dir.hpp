@@ -1,0 +1,33 @@
+#pragma once
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace wknng::testing {
+
+/// Creates (and returns) a temp directory unique to this process AND call
+/// site. ctest -j runs gtest cases of one binary as separate processes, so a
+/// fixed directory name lets one test's TearDown remove_all another test's
+/// files mid-run — the pid+counter suffix makes that impossible.
+inline std::filesystem::path unique_test_dir(const std::string& prefix) {
+  static std::atomic<unsigned> counter{0};
+#if defined(_WIN32)
+  const auto pid = _getpid();
+#else
+  const auto pid = ::getpid();
+#endif
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (prefix + "_" + std::to_string(pid) + "_" +
+                    std::to_string(counter.fetch_add(1)));
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace wknng::testing
