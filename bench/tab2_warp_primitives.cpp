@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "simt/fault.hpp"
 #include "simt/launch.hpp"
 #include "simt/memory.hpp"
 #include "simt/packed.hpp"
@@ -170,6 +171,39 @@ void BM_GlobalAccessInstrumented(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_GlobalAccessInstrumented);
+
+// --- Fault-hook overhead guard --------------------------------------------
+// Same contract as the race pair above, for simt/fault.hpp: with NO injector
+// installed, fault_maybe_throw / fault_corrupt_distance must cost one relaxed
+// load and a predicted branch. If Hooked ever diverges from Raw here, the
+// "zero-cost when disabled" promise of the fault campaign is broken.
+
+void BM_FaultPointRaw(benchmark::State& state) {
+  std::vector<float> dists(64, 1.5f);
+  std::size_t i = 0;
+  float acc = 0.0f;
+  for (auto _ : state) {
+    acc += dists[i & 63];
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointRaw);
+
+void BM_FaultPointHooked(benchmark::State& state) {
+  std::vector<float> dists(64, 1.5f);
+  std::size_t i = 0;
+  float acc = 0.0f;
+  for (auto _ : state) {
+    fault_maybe_throw(FaultSite::kWarpAbort);
+    acc += fault_corrupt_distance(dists[i & 63]);
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointHooked);
 
 void BM_SpinLockRoundTrip(benchmark::State& state) {
   Stats stats;

@@ -12,7 +12,7 @@
 //   --input PATH         .fvecs base file (or use --synthetic)
 //   --synthetic SPEC     kind:n:dim[:seed], kind in uniform|clusters|sphere|manifold
 //   --k N                neighbors per point (default 10)
-//   --strategy S         basic|atomic|tiled|auto (default auto)
+//   --strategy S         basic|atomic|tiled|shared|auto (default auto)
 //   --trees N            RP-forest size (default 8)
 //   --leaf N             leaf size (default 64)
 //   --refine N           refinement rounds (default 1)
@@ -35,6 +35,20 @@
 //   --out-results PATH   write per-query neighbor ids as .ivecs
 //   --report             print graph quality metrics (components, degrees, ...)
 //   --threads N          worker threads (default: hardware)
+//   --deadline S         soft build budget in seconds (0 = none); when hit,
+//                        refinement stops cleanly and the partial graph is kept
+//   --checkpoint PATH    write a resumable checkpoint after the leaf pass and
+//                        every refinement round
+//   --resume PATH        resume a build from a checkpoint (same params + data)
+//   --retries N          bucket/launch retries before recording a failure
+//                        (default 3)
+//   --inject SPEC        deterministic fault injection campaign,
+//                        site:seed[:probability[:max_faults]] with site in
+//                        scratch-alloc|warp-abort|lock-timeout|
+//                        corrupt-distance|launch-alloc
+//
+// Exit codes: 0 = ok, 1 = input/build error, 2 = usage,
+//             3 = build completed degraded (see the health report).
 
 #include <cstdio>
 #include <cstdlib>
@@ -73,17 +87,24 @@ struct Options {
   std::string load;          // read a prebuilt graph instead of building
   std::string queries;       // .fvecs of out-of-sample queries to answer
   std::size_t beam = 48;     // graph-search frontier width
-  std::string out_results;   // .ivecs of per-query neighbor ids  // >0: tune trees/refine to this sampled-recall target
+  std::string out_results;   // .ivecs of per-query neighbor ids
+  double deadline = 0.0;     // soft build budget in seconds (0 = none)
+  std::string checkpoint;    // write resumable checkpoints here
+  std::string resume;        // resume a build from this checkpoint
+  std::size_t retries = 3;   // bucket/launch retries before giving up
+  std::string inject;        // fault-injection spec (site:seed[:p[:max]])
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--input base.fvecs | --synthetic kind:n:dim[:seed])"
-               " [--k N] [--strategy basic|atomic|tiled|auto] [--trees N]"
+               " [--k N] [--strategy basic|atomic|tiled|shared|auto] [--trees N]"
                " [--leaf N] [--refine N] [--metric l2|cosine|ip]"
                " [--project D] [--seed N] [--out g.knng]"
                " [--out-ivecs g.ivecs] [--truth gt.ivecs] [--sample N]"
-               " [--report] [--threads N]\n",
+               " [--report] [--threads N] [--deadline S] [--checkpoint PATH]"
+               " [--resume PATH] [--retries N] [--inject site:seed[:p[:max]]]\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 degraded build\n",
                argv0);
   return 2;
 }
@@ -119,6 +140,11 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (flag == "--out-results") opt.out_results = value();
     else if (flag == "--report") opt.report = true;
     else if (flag == "--threads") opt.threads = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--deadline") opt.deadline = std::strtod(value(), nullptr);
+    else if (flag == "--checkpoint") opt.checkpoint = value();
+    else if (flag == "--resume") opt.resume = value();
+    else if (flag == "--retries") opt.retries = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--inject") opt.inject = value();
     else return std::nullopt;
   }
   if (opt.input.empty() == opt.synthetic.empty()) return std::nullopt;
@@ -155,6 +181,7 @@ int main(int argc, char** argv) {
   std::optional<Options> opt = parse(argc, argv);
   if (!opt) return usage(argv[0]);
 
+  bool degraded = false;
   try {
     FloatMatrix points = load_points(*opt);
     std::printf("loaded %zu points x %zu dims\n", points.rows(), points.cols());
@@ -194,6 +221,12 @@ int main(int argc, char** argv) {
       throw Error("unknown refine mode: " + opt->refine_mode);
     }
     params.seed = opt->seed;
+    params.deadline_seconds = opt->deadline;
+    params.checkpoint_path = opt->checkpoint;
+    params.max_bucket_retries = opt->retries;
+    if (!opt->inject.empty()) {
+      params.faults = simt::fault_spec_from_string(opt->inject);
+    }
 
     if (opt->tune > 0.0) {
       tuner::TuneOptions topt;
@@ -224,7 +257,13 @@ int main(int argc, char** argv) {
       std::printf("loaded graph %s (k=%zu)\n", opt->load.c_str(),
                   result.graph.k());
     } else {
-      result = core::build_knng(pool, points, params);
+      const core::KnngBuilder builder(pool, params);
+      if (!opt->resume.empty()) {
+        std::printf("resuming from %s\n", opt->resume.c_str());
+        result = builder.resume(points, opt->resume);
+      } else {
+        result = builder.build(points);
+      }
       std::printf("built in %.1f ms (forest %.1f | leaf %.1f | refine %.1f | "
                   "extract %.1f), %llu distance evals\n",
                   result.total_seconds * 1e3, result.forest_seconds * 1e3,
@@ -236,6 +275,27 @@ int main(int argc, char** argv) {
         std::printf("race check: %zu conflicts flagged\n",
                     result.races_detected);
       }
+
+      const core::BuildHealth& h = result.health;
+      const bool eventful = h.degraded || h.buckets_retried > 0 ||
+                            h.launches_retried > 0 || h.faults_injected > 0;
+      if (eventful) {
+        std::printf("health: %s\n", h.degraded ? "DEGRADED" : "ok");
+        if (!h.fallback_reason.empty()) {
+          std::printf("  fallback: %s\n", h.fallback_reason.c_str());
+        }
+        std::printf(
+            "  buckets retried %zu / failed %zu / degraded %zu, "
+            "launches retried %zu\n",
+            h.buckets_retried, h.buckets_failed, h.buckets_degraded,
+            h.launches_retried);
+        std::printf("  points quarantined %zu, refine points skipped %zu\n",
+                    h.points_quarantined, h.refine_points_skipped);
+        std::printf("  rounds completed %zu%s, faults injected %llu\n",
+                    h.rounds_completed, h.deadline_hit ? " (deadline hit)" : "",
+                    static_cast<unsigned long long>(h.faults_injected));
+      }
+      degraded = h.degraded;
     }
 
     // Evaluation.
@@ -331,7 +391,10 @@ int main(int argc, char** argv) {
       data::write_ivecs(opt->out_ivecs, ids);
       std::printf("wrote %s\n", opt->out_ivecs.c_str());
     }
-    return 0;
+    // A degraded build still produced a usable graph (and any requested
+    // outputs above), but scripted callers should know it was not the ideal
+    // run — hence the distinct exit code.
+    return degraded ? 3 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -13,6 +13,45 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// --- Typed failures --------------------------------------------------------
+// The recovery layer (core/builder, core/leaf_knn) distinguishes these to
+// pick a policy: retry the bucket, fall back to another strategy, or give
+// up. Each is thrown both by the real condition and by the matching
+// fault-injection site (simt/fault.hpp), so recovery code cannot tell a
+// simulated failure from a real one — which is the point.
+
+/// A warp's scratch ("shared memory") budget was exceeded — the space
+/// limitation that motivates the paper's global-memory strategies.
+class ScratchOverflowError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A warp task aborted mid-kernel (injected preemption/kill).
+class WarpAbortError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A spin-lock acquisition gave up (injected starvation/timeout).
+class LockTimeoutError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A kernel launch could not allocate its grid (injected device OOM).
+class LaunchAllocError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A build checkpoint does not match the parameters or data it is being
+/// resumed with.
+class CheckpointMismatchError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* cond, const char* file,

@@ -1,14 +1,23 @@
 #include "core/builder.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <optional>
+#include <span>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/knn_set.hpp"
 #include "core/leaf_knn.hpp"
 #include "core/refine.hpp"
+#include "core/resilience.hpp"
 #include "core/rp_forest.hpp"
+#include "simt/fault.hpp"
 #include "simt/race.hpp"
 
 namespace wknng::core {
@@ -36,11 +45,35 @@ Strategy strategy_from_name(const std::string& name) {
   if (name == "atomic") return Strategy::kAtomic;
   if (name == "tiled") return Strategy::kTiled;
   if (name == "shared") return Strategy::kShared;
-  throw Error("unknown strategy: " + name);
+  throw Error("unknown strategy: " + name +
+              " (valid: basic, atomic, tiled, shared)");
 }
 
 Strategy recommended_strategy(std::size_t dim) {
   return dim <= 16 ? Strategy::kAtomic : Strategy::kTiled;
+}
+
+std::uint64_t build_signature(const BuildParams& p, std::size_t n,
+                              std::size_t dim) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis as a start
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix(p.k);
+  mix(static_cast<std::uint64_t>(p.strategy));
+  mix(p.num_trees);
+  mix(p.leaf_size);
+  mix(std::bit_cast<std::uint32_t>(p.spill));
+  mix(p.refine_sample);
+  mix(p.reverse_cap);
+  mix(static_cast<std::uint64_t>(p.refine_mode));
+  mix(p.seed);
+  mix(p.scratch_bytes);
+  mix(static_cast<std::uint64_t>(p.schedule.policy));
+  mix(p.schedule.seed);
+  mix(n);
+  mix(dim);
+  return h;
 }
 
 KnngBuilder::KnngBuilder(ThreadPool& pool, BuildParams params)
@@ -48,13 +81,97 @@ KnngBuilder::KnngBuilder(ThreadPool& pool, BuildParams params)
   WKNNG_CHECK_MSG(params_.k > 0, "k must be positive");
   WKNNG_CHECK_MSG(params_.num_trees > 0, "need at least one tree");
   WKNNG_CHECK_MSG(params_.leaf_size >= 2, "leaf_size must be >= 2");
+  WKNNG_CHECK_MSG(params_.spill >= 0.0f && params_.spill < 0.45f,
+                  "spill must be in [0, 0.45): " << params_.spill);
+  WKNNG_CHECK_MSG(params_.refine_iters == 0 || params_.refine_sample > 0,
+                  "refine_sample must be positive when refine_iters > 0");
+  WKNNG_CHECK_MSG(params_.deadline_seconds >= 0.0,
+                  "deadline_seconds must be >= 0: " << params_.deadline_seconds);
   if (const char* env = std::getenv("WKNNG_CHECK_RACES");
       env != nullptr && *env != '\0' && *env != '0') {
     params_.check_races = true;
   }
+  if (const char* env = std::getenv("WKNNG_INJECT_FAULTS");
+      env != nullptr && *env != '\0') {
+    params_.faults = simt::fault_spec_from_string(env);
+  }
 }
 
+namespace {
+
+/// Finds the input rows containing a non-finite coordinate. Returns their
+/// ids, sorted ascending (parallel scan with a deterministic gather).
+std::vector<std::uint32_t> scan_nonfinite_rows(ThreadPool& pool,
+                                               const FloatMatrix& points) {
+  const std::size_t n = points.rows();
+  std::vector<std::uint8_t> bad(n, 0);
+  std::atomic<std::size_t> any{0};
+  pool.parallel_for(n, 256, [&](std::size_t p) {
+    for (const float v : points.row(p)) {
+      if (!std::isfinite(v)) {
+        bad[p] = 1;
+        any.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  });
+  std::vector<std::uint32_t> ids;
+  if (any.load(std::memory_order_relaxed) != 0) {
+    for (std::size_t p = 0; p < n; ++p) {
+      if (bad[p] != 0) ids.push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  return ids;
+}
+
+/// Gives every quarantined point a best-effort row: the k lowest-id healthy
+/// points at +inf distance. The row is valid under the graph invariants
+/// (+inf entries sort by ascending id) and unambiguously marked — a consumer
+/// can tell these are placeholders, but search code that walks the graph
+/// never falls off a hole.
+void fill_quarantined_rows(KnnGraph& g,
+                           std::span<const std::uint32_t> quarantined) {
+  const std::size_t k = g.k();
+  std::vector<std::uint32_t> healthy;
+  healthy.reserve(k + 1);
+  for (std::uint32_t id = 0; healthy.size() < k + 1 &&
+                             id < static_cast<std::uint32_t>(g.num_points());
+       ++id) {
+    if (!std::binary_search(quarantined.begin(), quarantined.end(), id)) {
+      healthy.push_back(id);
+    }
+  }
+  const float inf = std::numeric_limits<float>::infinity();
+  for (const std::uint32_t q : quarantined) {
+    auto row = g.row(q);
+    std::size_t out = 0;
+    for (const std::uint32_t id : healthy) {
+      if (out == k) break;
+      if (id == q) continue;
+      row[out++] = Neighbor{inf, id};
+    }
+  }
+}
+
+}  // namespace
+
 BuildResult KnngBuilder::build(const FloatMatrix& points) const {
+  return run(points, nullptr);
+}
+
+BuildResult KnngBuilder::resume(const FloatMatrix& points,
+                                const std::string& checkpoint_path) const {
+  const data::BuildCheckpoint ckpt = data::read_checkpoint(checkpoint_path);
+  return run(points, &ckpt);
+}
+
+BuildResult KnngBuilder::resume(const FloatMatrix& points,
+                                const data::BuildCheckpoint& checkpoint) const {
+  return run(points, &checkpoint);
+}
+
+BuildResult KnngBuilder::run(const FloatMatrix& points,
+                             const data::BuildCheckpoint* ckpt) const {
   const std::size_t n = points.rows();
   WKNNG_CHECK_MSG(n > params_.k,
                   "need more points than k: n=" << n << " k=" << params_.k);
@@ -63,6 +180,15 @@ BuildResult KnngBuilder::build(const FloatMatrix& points) const {
   simt::StatsAccumulator acc;
   Timer total;
   Timer phase;
+
+  // Opt-in deterministic fault injection for the whole build (one injector
+  // at a time process-wide, like the race detector below).
+  std::optional<simt::FaultInjector> injector;
+  std::optional<simt::ScopedFaultInjection> injection;
+  if (params_.faults.enabled) {
+    injector.emplace(params_.faults);
+    injection.emplace(*injector);
+  }
 
   // Opt-in shadow-state race checking for the whole build (one detector at
   // a time process-wide; concurrent checked builds are not supported).
@@ -73,39 +199,176 @@ BuildResult KnngBuilder::build(const FloatMatrix& points) const {
     detection.emplace(*detector);
   }
 
-  // Phase 1: random-projection forest.
-  const Buckets forest =
-      build_rp_forest(*pool_, points, params_.num_trees, params_.leaf_size,
-                      params_.seed, &acc, params_.spill);
-  result.num_buckets = forest.num_buckets();
-  result.forest_seconds = phase.lap_s();
+  // Phase 0: input quarantine. Non-finite rows are excluded from the entire
+  // build (a NaN coordinate would poison every distance it touches) and get
+  // best-effort placeholder neighbors at extraction.
+  const std::vector<std::uint32_t> quarantined =
+      scan_nonfinite_rows(*pool_, points);
+  result.quarantined_ids = quarantined;
+  result.health.points_quarantined = quarantined.size();
+  WKNNG_CHECK_MSG(n - quarantined.size() > params_.k,
+                  "quarantine left too few usable points: " << quarantined.size()
+                      << " of " << n << " rows are non-finite, need more than k="
+                      << params_.k << " healthy ones");
+  // The forest projects every row, so quarantined rows are zeroed in a
+  // sanitized copy (only taken when needed). They still land in buckets but
+  // are filtered out before any distance is computed.
+  std::optional<FloatMatrix> sanitized;
+  if (!quarantined.empty()) {
+    sanitized.emplace(points);
+    for (const std::uint32_t q : quarantined) {
+      auto row = sanitized->row(q);
+      std::fill(row.begin(), row.end(), 0.0f);
+    }
+  }
+  const FloatMatrix& pts = sanitized ? *sanitized : points;
 
-  // Phase 2: warp-centric brute force over every bucket.
+  const std::uint64_t signature =
+      build_signature(params_, n, points.cols());
+
+  // Resume path: verify the checkpoint belongs to this (params, points)
+  // pair, then restore the k-NN set state and skip the phases it embodies.
+  Strategy effective = params_.strategy;
+  std::size_t start_round = 0;
   KnnSetArray sets(n, params_.k);
+  if (ckpt != nullptr) {
+    if (ckpt->signature != signature || ckpt->n != n ||
+        ckpt->k != params_.k) {
+      std::ostringstream os;
+      os << "checkpoint does not match this build: signature "
+         << ckpt->signature << " vs " << signature << ", n=" << ckpt->n
+         << " vs " << n << ", k=" << ckpt->k << " vs " << params_.k;
+      throw CheckpointMismatchError(os.str());
+    }
+    if (!std::equal(ckpt->quarantined.begin(), ckpt->quarantined.end(),
+                    quarantined.begin(), quarantined.end())) {
+      throw CheckpointMismatchError(
+          "checkpoint quarantine list does not match the input data");
+    }
+    WKNNG_CHECK_MSG(ckpt->effective_strategy <=
+                        static_cast<std::uint32_t>(Strategy::kShared),
+                    "checkpoint has invalid strategy value "
+                        << ckpt->effective_strategy);
+    effective = static_cast<Strategy>(ckpt->effective_strategy);
+    start_round = ckpt->rounds_done;
+    sets.restore(ckpt->sets);
+    if (effective != params_.strategy) {
+      result.health.degraded = true;
+      result.health.fallback_reason =
+          std::string("resumed from a checkpoint built with the ") +
+          strategy_name(effective) + " strategy";
+    }
+  }
   if (detector) {
     detector->label_region(sets.row(0), n * params_.k * sizeof(std::uint64_t),
                            "knn_sets");
   }
-  leaf_knn(*pool_, points, forest, params_.strategy, sets, &acc,
-           params_.scratch_bytes, params_.schedule);
-  result.leaf_seconds = phase.lap_s();
 
-  // Phase 3: neighbor-of-neighbor refinement rounds.
-  for (std::size_t round = 0; round < params_.refine_iters; ++round) {
+  const auto write_ckpt = [&](std::uint32_t rounds_done) {
+    if (params_.checkpoint_path.empty()) return;
+    data::BuildCheckpoint c;
+    c.signature = signature;
+    c.n = n;
+    c.k = params_.k;
+    c.rounds_done = rounds_done;
+    c.effective_strategy = static_cast<std::uint32_t>(effective);
+    c.quarantined = quarantined;
+    c.sets.assign(sets.words().begin(), sets.words().end());
+    data::write_checkpoint(params_.checkpoint_path, c);
+  };
+
+  const auto deadline_exceeded = [&] {
+    return params_.deadline_seconds > 0.0 &&
+           total.elapsed_s() >= params_.deadline_seconds;
+  };
+
+  if (ckpt == nullptr) {
+    // Phase 1: random-projection forest.
+    const Buckets forest =
+        build_rp_forest(*pool_, pts, params_.num_trees, params_.leaf_size,
+                        params_.seed, &acc, params_.spill);
+    result.num_buckets = forest.num_buckets();
+    result.forest_seconds = phase.lap_s();
+
+    // kShared feasibility preflight: if the largest bucket cannot hold its
+    // scratch-resident k-NN sets, degrade the whole pass to kTiled up front
+    // instead of throwing — the paper's space limitation handled as policy.
+    if (effective == Strategy::kShared) {
+      const std::size_t need =
+          forest.max_bucket_size() * params_.k * sizeof(std::uint64_t) + 1024;
+      if (need > params_.scratch_bytes) {
+        effective = Strategy::kTiled;
+        std::ostringstream os;
+        os << "shared-memory strategy infeasible (largest bucket of "
+           << forest.max_bucket_size() << " points x k=" << params_.k
+           << " needs " << need << " B of scratch, budget "
+           << params_.scratch_bytes << " B); fell back to tiled";
+        result.health.fallback_reason = os.str();
+        result.health.degraded = true;
+      }
+    }
+
+    // Phase 2: warp-centric brute force over every bucket, with bucket-level
+    // retry/requeue and per-bucket kShared -> kTiled fallback.
+    LeafReport leaf;
+    leaf_knn_resilient(*pool_, pts, forest, effective, sets, &acc,
+                       params_.scratch_bytes, params_.schedule,
+                       params_.max_bucket_retries, quarantined, leaf);
+    result.health.buckets_retried = leaf.buckets_retried;
+    result.health.buckets_failed = leaf.buckets_failed;
+    result.health.buckets_degraded = leaf.buckets_degraded;
+    result.health.launches_retried = leaf.launches_retried;
+    result.leaf_seconds = phase.lap_s();
+    write_ckpt(0);
+  } else {
+    phase.lap_s();  // resumed builds report zero forest/leaf time
+  }
+
+  // Phase 3: neighbor-of-neighbor refinement rounds. The deadline is
+  // checked between rounds only — a round that started always finishes, so
+  // the sets are at a well-defined phase boundary when we stop.
+  BuildParams eff_params = params_;
+  eff_params.strategy = effective;
+  result.health.rounds_completed = start_round;
+  for (std::size_t round = start_round; round < params_.refine_iters; ++round) {
+    if (deadline_exceeded()) {
+      result.health.deadline_hit = true;
+      break;
+    }
     const Adjacency adj =
         snapshot_adjacency(*pool_, sets, params_.reverse_cap);
-    refine_round(*pool_, points, adj, params_, sets, &acc);
+    std::size_t skipped = 0;
+    with_launch_retry(params_.max_bucket_retries,
+                      result.health.launches_retried, [&] {
+                        skipped = refine_round(*pool_, pts, adj, eff_params,
+                                               sets, &acc);
+                      });
+    result.health.refine_points_skipped += skipped;
+    result.health.rounds_completed = round + 1;
+    write_ckpt(static_cast<std::uint32_t>(round + 1));
   }
   result.refine_seconds = phase.lap_s();
 
-  // Phase 4: normalise into the output graph.
+  // Phase 4: normalise into the output graph; quarantined rows get their
+  // placeholder neighbors.
   result.graph = sets.extract(*pool_);
+  if (!quarantined.empty()) {
+    fill_quarantined_rows(result.graph, quarantined);
+  }
   result.extract_seconds = phase.lap_s();
 
   if (detector) {
     detection.reset();
     result.races_detected = detector->race_count();
   }
+  if (injector) {
+    injection.reset();
+    result.health.faults_injected = injector->injected();
+  }
+  result.health.degraded =
+      result.health.degraded || !quarantined.empty() ||
+      result.health.buckets_failed > 0 ||
+      result.health.refine_points_skipped > 0 || result.health.deadline_hit;
   result.total_seconds = total.elapsed_s();
   result.stats = acc.total();
   return result;

@@ -1,12 +1,36 @@
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "core/params.hpp"
+#include "data/graph_io.hpp"
 #include "simt/stats.hpp"
 
 namespace wknng::core {
+
+/// What the build had to survive: the recovery ledger of one build. A build
+/// is `degraded` when its output may differ from the ideal run — points were
+/// quarantined or skipped, a strategy fallback happened, buckets failed for
+/// good, or the deadline shed refinement rounds. Successful retries alone do
+/// NOT degrade a build: retrying a partially processed bucket is idempotent,
+/// so the result is the one the ideal run would have produced.
+struct BuildHealth {
+  bool degraded = false;
+  std::string fallback_reason;         ///< e.g. kShared -> kTiled, with cause
+  std::size_t buckets_retried = 0;     ///< leaf bucket executions re-launched
+  std::size_t buckets_failed = 0;      ///< leaf buckets failed after all retries
+  std::size_t buckets_degraded = 0;    ///< kShared buckets re-run as kTiled
+  std::size_t launches_retried = 0;    ///< whole launches retried (alloc fail)
+  std::size_t points_quarantined = 0;  ///< non-finite input rows excluded
+  std::size_t refine_points_skipped = 0;  ///< point-rounds skipped in refine
+  std::size_t rounds_completed = 0;    ///< refine rounds actually finished
+  bool deadline_hit = false;           ///< soft budget stopped the build early
+  std::uint64_t faults_injected = 0;   ///< decisions fired by the fault campaign
+};
 
 /// Everything a build produces: the graph, per-phase wall-clock timings, and
 /// the aggregated device work counters. Phase timings are the rows of the
@@ -26,6 +50,13 @@ struct BuildResult {
   /// Conflicts flagged by the race detector; always 0 unless
   /// BuildParams::check_races (or WKNNG_CHECK_RACES) enabled detection.
   std::size_t races_detected = 0;
+
+  /// The recovery ledger: retries, fallbacks, quarantines, deadline.
+  BuildHealth health;
+
+  /// Ids of quarantined (non-finite) input rows, sorted ascending. Their
+  /// graph rows hold best-effort neighbors at +inf distance.
+  std::vector<std::uint32_t> quarantined_ids;
 };
 
 /// w-KNNG: the paper's all-points approximate K-NN graph builder.
@@ -50,7 +81,21 @@ class KnngBuilder {
   /// build at a time per builder, but distinct builders are independent.
   BuildResult build(const FloatMatrix& points) const;
 
+  /// Resumes a build from a checkpoint written by a previous run with the
+  /// same parameters and points (verified via build_signature — throws
+  /// CheckpointMismatchError otherwise). The forest and leaf phases are
+  /// skipped; refinement continues from the checkpointed round. Under a
+  /// deterministic schedule the result is bit-identical to the
+  /// uninterrupted build.
+  BuildResult resume(const FloatMatrix& points,
+                     const std::string& checkpoint_path) const;
+  BuildResult resume(const FloatMatrix& points,
+                     const data::BuildCheckpoint& checkpoint) const;
+
  private:
+  BuildResult run(const FloatMatrix& points,
+                  const data::BuildCheckpoint* checkpoint) const;
+
   ThreadPool* pool_;
   BuildParams params_;
 };

@@ -59,6 +59,10 @@ ScanResult scan_slots(simt::Warp& w, const std::uint64_t* slots, std::size_t k,
 
 void KnnSetArray::insert_basic(simt::Warp& w, std::uint32_t dst,
                                std::uint64_t cand) {
+  if (!Packed::is_finite(cand)) {
+    ++w.stats().nonfinite_dropped;
+    return;
+  }
   locks_.acquire(dst, w.stats());
   std::uint64_t* slots = row(dst);
   const ScanResult scan = scan_slots(w, slots, k_, cand, /*atomic=*/false);
@@ -71,6 +75,10 @@ void KnnSetArray::insert_basic(simt::Warp& w, std::uint32_t dst,
 
 void KnnSetArray::insert_atomic(simt::Warp& w, std::uint32_t dst,
                                 std::uint64_t cand) {
+  if (!Packed::is_finite(cand)) {
+    ++w.stats().nonfinite_dropped;
+    return;
+  }
   std::uint64_t* slots = row(dst);
   while (true) {
     const ScanResult scan = scan_slots(w, slots, k_, cand, /*atomic=*/true);
@@ -93,16 +101,35 @@ std::uint64_t KnnSetArray::peek_worst_sorted(simt::Warp& w,
 
 void KnnSetArray::merge_sorted_tile(simt::Warp& w, std::uint32_t dst,
                                     const simt::Lanes<std::uint64_t>& sorted_run) {
+  // Non-finite (corrupted) distances pack to bit patterns that sort after
+  // every valid candidate, so in the sorted run they form a suffix just
+  // before the kEmpty padding: truncate the run there instead of admitting
+  // them into the set.
+  simt::Lanes<std::uint64_t> cleaned;
+  const simt::Lanes<std::uint64_t>* run = &sorted_run;
+  for (int l = 0; l < simt::kWarpSize; ++l) {
+    if (Packed::is_finite(sorted_run[l])) continue;
+    if (Packed::is_empty(sorted_run[l])) break;  // only padding left
+    cleaned = sorted_run;
+    for (int m = l; m < simt::kWarpSize; ++m) {
+      if (Packed::is_empty(cleaned[m])) break;
+      ++w.stats().nonfinite_dropped;
+      cleaned[m] = Packed::kEmpty;
+    }
+    run = &cleaned;
+    break;
+  }
+
   // Monotonic-bound prune: the k-th best only ever improves, so a candidate
   // that fails against the current worst can never be admitted later.
-  if (sorted_run[0] >= peek_worst_sorted(w, dst)) return;
+  if ((*run)[0] >= peek_worst_sorted(w, dst)) return;
 
   const std::size_t mark = w.scratch().mark();
   auto tmp = w.scratch().alloc<std::uint64_t>(k_);
   locks_.acquire(dst, w.stats());
   std::span<std::uint64_t> list(row(dst), k_);
   w.record_read(list.data(), k_);
-  simt::merge_sorted_run(w, list, sorted_run, tmp, Packed::kEmpty);
+  simt::merge_sorted_run(w, list, *run, tmp, Packed::kEmpty);
   w.record_write(list.data(), k_);
   locks_.release(dst);
   w.scratch().release(mark);
@@ -138,6 +165,13 @@ bool KnnSetArray::contains(simt::Warp& w, std::uint32_t p,
   return false;
 }
 
+void KnnSetArray::restore(std::span<const std::uint64_t> words) {
+  WKNNG_CHECK_MSG(words.size() == n_ * k_,
+                  "checkpoint state has " << words.size() << " words, expected "
+                                          << n_ * k_);
+  std::copy(words.begin(), words.end(), sets_.data());
+}
+
 void KnnSetArray::grow(std::size_t new_n) {
   WKNNG_CHECK_MSG(new_n >= n_, "grow cannot shrink: " << new_n << " < " << n_);
   if (new_n == n_) return;
@@ -155,6 +189,7 @@ KnnGraph KnnSetArray::extract(ThreadPool& pool) const {
     std::size_t count = 0;
     for (const std::uint64_t v : vals) {
       if (Packed::is_empty(v)) break;
+      if (!Packed::is_finite(v)) continue;  // never emit a corrupt distance
       const std::uint32_t id = Packed::id(v);
       bool dup = false;
       for (std::size_t j = 0; j < count; ++j) {

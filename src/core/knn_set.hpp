@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/knn_graph.hpp"
 #include "common/thread_pool.hpp"
@@ -91,6 +92,14 @@ class KnnSetArray {
   /// Normalises all sets into a KnnGraph: per row sort ascending, drop
   /// duplicates by id (keep best), drop empties. Runs on the pool.
   KnnGraph extract(ThreadPool& pool) const;
+
+  /// The whole packed state as one flat span (n*k words) — the image the
+  /// checkpoint format serialises. Host-side only.
+  std::span<const std::uint64_t> words() const { return sets_.span(); }
+
+  /// Overwrites the packed state from a checkpoint image of exactly n*k
+  /// words (throws wknng::Error on size mismatch). Host-side only.
+  void restore(std::span<const std::uint64_t> words);
 
   /// Grows the array to `new_n` points (existing sets preserved, new sets
   /// empty). Host-side only — must not race with running kernels. Used by

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 #include "common/error.hpp"
+#include "core/resilience.hpp"
 #include "core/tiled_block.hpp"
+#include "simt/fault.hpp"
 #include "simt/launch.hpp"
 #include "simt/packed.hpp"
 #include "simt/sort.hpp"
@@ -27,6 +31,7 @@ void bucket_pairwise(Warp& w, const FloatMatrix& points,
                      KnnSetArray& sets) {
   const std::size_t m = ids.size();
   for (std::size_t a = 0; a + 1 < m; ++a) {
+    simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);  // mid-bucket kill
     const std::uint32_t ia = ids[a];
     auto xa = points.row(ia);
     for (std::size_t b = a + 1; b < m; ++b) {
@@ -56,6 +61,7 @@ void bucket_tiled(Warp& w, const FloatMatrix& points,
     const std::size_t a0 = ta * kWarpSize;
     const std::size_t na = std::min<std::size_t>(kWarpSize, m - a0);
     for (std::size_t tb = ta; tb < num_tiles; ++tb) {
+      simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);  // mid-bucket kill
       const std::size_t b0 = tb * kWarpSize;
       const std::size_t nb = std::min<std::size_t>(kWarpSize, m - b0);
       detail::process_tile_pair(
@@ -79,13 +85,15 @@ void bucket_shared(Warp& w, const FloatMatrix& points,
   if (m < 2) return;
   const std::size_t k = sets.k();
 
-  WKNNG_CHECK_MSG(
-      m * k * sizeof(std::uint64_t) + 1024 <= w.scratch().capacity(),
-      "shared-memory strategy infeasible: bucket of " << m << " points x k="
-          << k << " needs " << m * k * sizeof(std::uint64_t)
-          << " B of scratch (capacity " << w.scratch().capacity()
-          << " B) — use a global-memory strategy (this is the limitation "
-             "the paper's w-KNNG strategies remove)");
+  if (m * k * sizeof(std::uint64_t) + 1024 > w.scratch().capacity()) {
+    std::ostringstream os;
+    os << "shared-memory strategy infeasible: bucket of " << m << " points x k="
+       << k << " needs " << m * k * sizeof(std::uint64_t)
+       << " B of scratch (capacity " << w.scratch().capacity()
+       << " B) — use a global-memory strategy (this is the limitation "
+          "the paper's w-KNNG strategies remove)";
+    throw ScratchOverflowError(os.str());
+  }
   auto local = w.scratch().alloc<std::uint64_t>(m * k);
   std::fill(local.begin(), local.end(), Packed::kEmpty);
 
@@ -102,6 +110,7 @@ void bucket_shared(Warp& w, const FloatMatrix& points,
   };
 
   for (std::size_t a = 0; a + 1 < m; ++a) {
+    simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);  // mid-bucket kill
     auto xa = points.row(ids[a]);
     for (std::size_t b = a + 1; b < m; ++b) {
       const float dist = simt::warp_l2_dims(w, xa, points.row(ids[b]));
@@ -131,6 +140,7 @@ void bucket_shared(Warp& w, const FloatMatrix& points,
 void process_bucket(simt::Warp& w, const FloatMatrix& points,
                     std::span<const std::uint32_t> ids, Strategy strategy,
                     KnnSetArray& sets) {
+  simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);
   switch (strategy) {
     case Strategy::kTiled:
       bucket_tiled(w, points, ids, sets);
@@ -155,6 +165,114 @@ void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
   simt::launch_warps(pool, buckets.num_buckets(), config, acc, [&](Warp& w) {
     process_bucket(w, points, buckets.bucket(w.id()), strategy, sets);
   });
+}
+
+namespace {
+
+/// One failed bucket execution: which bucket, and whether the failure was a
+/// scratch overflow (the only failure kind with a dedicated fallback rung).
+struct BucketFailure {
+  std::uint32_t bucket = 0;
+  bool scratch_overflow = false;
+
+  friend bool operator<(const BucketFailure& a, const BucketFailure& b) {
+    return a.bucket != b.bucket ? a.bucket < b.bucket
+                                : a.scratch_overflow < b.scratch_overflow;
+  }
+};
+
+}  // namespace
+
+void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
+                        const Buckets& buckets, Strategy strategy,
+                        KnnSetArray& sets, simt::StatsAccumulator* acc,
+                        std::size_t scratch_bytes,
+                        const simt::ScheduleSpec& schedule,
+                        std::size_t max_retries,
+                        std::span<const std::uint32_t> quarantined,
+                        LeafReport& report) {
+  simt::LaunchConfig config;
+  config.scratch_bytes = scratch_bytes;
+  config.schedule = schedule;
+
+  std::mutex failures_mutex;
+  std::vector<BucketFailure> failures;
+
+  // Runs the buckets listed in `work` (all buckets when empty) with
+  // `strat`, catching per-bucket failures inside the warp body so one bad
+  // bucket never aborts the launch. The launch itself is retried on
+  // allocation failure (which fires before any warp has run).
+  const auto run = [&](std::span<const BucketFailure> work, Strategy strat) {
+    const std::size_t count = work.empty() ? buckets.num_buckets() : work.size();
+    if (count == 0) return;
+    with_launch_retry(max_retries, report.launches_retried, [&] {
+      simt::launch_warps(pool, count, config, acc, [&](Warp& w) {
+        const std::uint32_t b = work.empty()
+                                    ? static_cast<std::uint32_t>(w.id())
+                                    : work[w.id()].bucket;
+        std::span<const std::uint32_t> ids = buckets.bucket(b);
+        std::vector<std::uint32_t> kept;
+        if (!quarantined.empty()) {
+          kept.reserve(ids.size());
+          for (const std::uint32_t id : ids) {
+            if (!std::binary_search(quarantined.begin(), quarantined.end(), id)) {
+              kept.push_back(id);
+            }
+          }
+          ids = kept;
+        }
+        try {
+          process_bucket(w, points, ids, strat, sets);
+        } catch (const ScratchOverflowError&) {
+          std::lock_guard<std::mutex> lock(failures_mutex);
+          failures.push_back({b, /*scratch_overflow=*/true});
+        } catch (const WarpAbortError&) {
+          std::lock_guard<std::mutex> lock(failures_mutex);
+          failures.push_back({b, /*scratch_overflow=*/false});
+        } catch (const LockTimeoutError&) {
+          std::lock_guard<std::mutex> lock(failures_mutex);
+          failures.push_back({b, /*scratch_overflow=*/false});
+        }
+      });
+    });
+  };
+
+  run({}, strategy);
+
+  for (std::size_t attempt = 0; !failures.empty() && attempt < max_retries;
+       ++attempt) {
+    // Sorted retry list for a deterministic re-launch order; a retried
+    // bucket may have done partial work already, which is safe to repeat
+    // because k-NN-set inserts are idempotent (duplicates rejected,
+    // keep-k-best).
+    std::vector<BucketFailure> retry = std::move(failures);
+    failures.clear();
+    std::sort(retry.begin(), retry.end());
+    retry.erase(std::unique(retry.begin(), retry.end(),
+                            [](const BucketFailure& a, const BucketFailure& b) {
+                              return a.bucket == b.bucket;
+                            }),
+                retry.end());
+    report.buckets_retried += retry.size();
+    retry_backoff_sleep(attempt);
+
+    if (strategy == Strategy::kShared) {
+      // A kShared bucket that overflowed scratch will overflow again —
+      // degrade those to the kTiled kernel; retry the rest as kShared.
+      std::vector<BucketFailure> degrade;
+      std::vector<BucketFailure> same;
+      for (const BucketFailure& f : retry) {
+        (f.scratch_overflow ? degrade : same).push_back(f);
+      }
+      report.buckets_degraded += degrade.size();
+      // An empty span means "all buckets" to run(), so skip empty partitions.
+      if (!degrade.empty()) run(degrade, Strategy::kTiled);
+      if (!same.empty()) run(same, Strategy::kShared);
+    } else {
+      if (!retry.empty()) run(retry, strategy);
+    }
+  }
+  report.buckets_failed = failures.size();
 }
 
 }  // namespace wknng::core

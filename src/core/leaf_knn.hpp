@@ -26,6 +26,34 @@ void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
               simt::StatsAccumulator* acc, std::size_t scratch_bytes,
               const simt::ScheduleSpec& schedule = {});
 
+/// What the resilient leaf pass had to do beyond the happy path.
+struct LeafReport {
+  std::size_t buckets_retried = 0;   ///< bucket executions re-launched
+  std::size_t buckets_failed = 0;    ///< still failed after every retry
+  std::size_t buckets_degraded = 0;  ///< kShared buckets re-run as kTiled
+  std::size_t launches_retried = 0;  ///< whole launches retried (alloc fail)
+};
+
+/// Recovery-wrapped leaf pass used by the builder. Per-bucket failures
+/// (scratch overflow, warp abort, lock timeout — real or injected) are
+/// caught inside the warp body, recorded, and the affected buckets are
+/// re-launched up to `max_retries` times with capped backoff; a kShared
+/// bucket that overflowed its scratch budget is retried with the kTiled
+/// kernel instead (recorded as degraded). Retrying a partially processed
+/// bucket is safe because k-NN-set inserts are idempotent (duplicate ids
+/// rejected, keep-k-best). `quarantined` — a sorted id list — is filtered
+/// out of every bucket before processing. Buckets that fail every retry are
+/// counted in the report; their points simply keep whatever neighbors other
+/// buckets gave them.
+void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
+                        const Buckets& buckets, Strategy strategy,
+                        KnnSetArray& sets, simt::StatsAccumulator* acc,
+                        std::size_t scratch_bytes,
+                        const simt::ScheduleSpec& schedule,
+                        std::size_t max_retries,
+                        std::span<const std::uint32_t> quarantined,
+                        LeafReport& report);
+
 /// Brute-forces one id list as a bucket with the given strategy, feeding the
 /// global k-NN sets: every unordered pair is evaluated once and submitted to
 /// both endpoints. This is the leaf pass's inner kernel; the local-join

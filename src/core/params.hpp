@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "simt/fault.hpp"
 #include "simt/schedule.hpp"
 
 namespace wknng::core {
@@ -50,7 +51,8 @@ const char* refine_mode_name(RefineMode m);
 
 const char* strategy_name(Strategy s);
 
-/// Parse "basic" / "atomic" / "tiled" (throws wknng::Error otherwise).
+/// Parse "basic" / "atomic" / "tiled" / "shared" (throws wknng::Error listing
+/// the valid names otherwise).
 Strategy strategy_from_name(const std::string& name);
 
 /// The paper's conclusion as a policy: atomic for a smaller number of
@@ -95,6 +97,39 @@ struct BuildParams {
   /// WKNNG_CHECK_RACES environment variable (CI hook). Expensive — debug
   /// and CI only.
   bool check_races = false;
+
+  /// Deterministic fault-injection campaign for the whole build
+  /// (simt/fault.hpp). Also enabled via the WKNNG_INJECT_FAULTS environment
+  /// variable ("site:seed[:probability[:max_faults]]"). Injected failures
+  /// exercise the same recovery paths as real ones; outcomes are reported in
+  /// BuildResult::health.
+  simt::FaultSpec faults;
+
+  /// How many times a failed leaf bucket (or an allocation-failed launch) is
+  /// retried before being recorded as failed. Retries back off with a capped
+  /// exponential sleep.
+  std::size_t max_bucket_retries = 3;
+
+  /// Soft wall-clock budget for the build; 0 disables. When exceeded, the
+  /// build stops cleanly after the current phase / refinement round and
+  /// returns the partial (still valid) graph with health.deadline_hit set.
+  /// The forest and leaf phases always complete — the budget only sheds
+  /// refinement rounds.
+  double deadline_seconds = 0.0;
+
+  /// When non-empty, the builder writes a resumable checkpoint of the k-NN
+  /// set state to this path after the leaf pass and after every refinement
+  /// round (atomically, via a temp file + rename). KnngBuilder::resume picks
+  /// the build up from it.
+  std::string checkpoint_path;
 };
+
+/// Hash of every parameter (plus n and dim) that determines the k-NN set
+/// state at a phase boundary. Stored in checkpoints and verified on resume;
+/// deliberately excludes refine_iters (a checkpoint after round i is valid
+/// under any total round count), the deadline, the fault spec, and the
+/// checkpoint path itself.
+std::uint64_t build_signature(const BuildParams& p, std::size_t n,
+                              std::size_t dim);
 
 }  // namespace wknng::core

@@ -1,9 +1,11 @@
 #include "core/refine.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.hpp"
 #include "core/leaf_knn.hpp"
+#include "simt/fault.hpp"
 #include "simt/launch.hpp"
 #include "simt/packed.hpp"
 #include "simt/sort.hpp"
@@ -144,11 +146,28 @@ void refine_point_tiled(Warp& w, const FloatMatrix& points,
 
 }  // namespace
 
-void refine_round(ThreadPool& pool, const FloatMatrix& points,
-                  const Adjacency& adj, const BuildParams& params,
-                  KnnSetArray& sets, simt::StatsAccumulator* acc) {
+std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
+                         const Adjacency& adj, const BuildParams& params,
+                         KnnSetArray& sets, simt::StatsAccumulator* acc) {
   const std::size_t n = sets.num_points();
   WKNNG_CHECK(adj.n == n);
+
+  // Per-point recovery: a failed point keeps its current (valid) set for
+  // this round; the caller decides whether a skipped point degrades the
+  // build. Failures leave no lock held — the lock-timeout site fires before
+  // acquisition and scratch is allocated before the critical sections.
+  std::atomic<std::size_t> skipped{0};
+  const auto guarded = [&skipped](auto&& body) {
+    try {
+      body();
+    } catch (const ScratchOverflowError&) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+    } catch (const WarpAbortError&) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+    } catch (const LockTimeoutError&) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
 
   // Scratch needs room for the raw candidate gather plus the tiled kernel's
   // merge buffer. The gather bound is (max fwd+rev degree) * k ids.
@@ -169,38 +188,44 @@ void refine_round(ThreadPool& pool, const FloatMatrix& points,
     // as a bucket. Joined ids include p itself so the pairs (p, q) are also
     // refreshed.
     simt::launch_warps(pool, n, config, acc, [&](Warp& w) {
-      const auto p = static_cast<std::uint32_t>(w.id());
-      const auto fwd = adj.forward(p);
-      const auto rev = adj.reverse(p);
-      auto join = w.scratch().alloc<std::uint32_t>(fwd.size() + rev.size() + 1);
-      std::size_t count = 0;
-      join[count++] = p;
-      for (std::uint32_t q : fwd) join[count++] = q;
-      for (std::uint32_t q : rev) join[count++] = q;
-      std::span<std::uint32_t> ids(join.data(), count);
-      simt::sort_scratch(w, ids);
-      auto end = std::unique(ids.begin(), ids.end());
-      const std::size_t unique_count =
-          std::min<std::size_t>(end - ids.begin(), params.refine_sample);
-      process_bucket(w, points, ids.subspan(0, unique_count), params.strategy,
-                     sets);
+      guarded([&] {
+        const auto p = static_cast<std::uint32_t>(w.id());
+        const auto fwd = adj.forward(p);
+        const auto rev = adj.reverse(p);
+        auto join = w.scratch().alloc<std::uint32_t>(fwd.size() + rev.size() + 1);
+        std::size_t count = 0;
+        join[count++] = p;
+        for (std::uint32_t q : fwd) join[count++] = q;
+        for (std::uint32_t q : rev) join[count++] = q;
+        std::span<std::uint32_t> ids(join.data(), count);
+        simt::sort_scratch(w, ids);
+        auto end = std::unique(ids.begin(), ids.end());
+        const std::size_t unique_count =
+            std::min<std::size_t>(end - ids.begin(), params.refine_sample);
+        process_bucket(w, points, ids.subspan(0, unique_count), params.strategy,
+                       sets);
+      });
     });
-    return;
+    return skipped.load(std::memory_order_relaxed);
   }
 
   simt::launch_warps(pool, n, config, acc, [&](Warp& w) {
-    const auto p = static_cast<std::uint32_t>(w.id());
-    auto cands = gather_candidates(w, adj, p, params.refine_sample);
-    if (cands.empty()) return;
-    if (params.strategy == Strategy::kTiled ||
-        params.strategy == Strategy::kShared) {
-      // kShared refines like kTiled: candidates scored in scratch, one
-      // merge per tile — the natural scratch-first discipline.
-      refine_point_tiled(w, points, cands, p, sets);
-    } else {
-      refine_point_pairwise(w, points, cands, p, params.strategy, sets);
-    }
+    guarded([&] {
+      simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);
+      const auto p = static_cast<std::uint32_t>(w.id());
+      auto cands = gather_candidates(w, adj, p, params.refine_sample);
+      if (cands.empty()) return;
+      if (params.strategy == Strategy::kTiled ||
+          params.strategy == Strategy::kShared) {
+        // kShared refines like kTiled: candidates scored in scratch, one
+        // merge per tile — the natural scratch-first discipline.
+        refine_point_tiled(w, points, cands, p, sets);
+      } else {
+        refine_point_pairwise(w, points, cands, p, params.strategy, sets);
+      }
+    });
   });
+  return skipped.load(std::memory_order_relaxed);
 }
 
 }  // namespace wknng::core

@@ -46,8 +46,13 @@ Adjacency snapshot_adjacency(ThreadPool& pool, const KnnSetArray& sets,
 ///
 /// Updates flow only into p's own set, so a round is deterministic for the
 /// lock-based strategies regardless of warp scheduling.
-void refine_round(ThreadPool& pool, const FloatMatrix& points,
-                  const Adjacency& adj, const BuildParams& params,
-                  KnnSetArray& sets, simt::StatsAccumulator* acc);
+///
+/// Per-point failures (scratch overflow, warp abort, lock timeout — real or
+/// injected) are caught inside the warp body: the point keeps its current
+/// set for this round and is counted in the return value. Returns the
+/// number of points skipped that way (0 on a clean round).
+std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
+                         const Adjacency& adj, const BuildParams& params,
+                         KnnSetArray& sets, simt::StatsAccumulator* acc);
 
 }  // namespace wknng::core

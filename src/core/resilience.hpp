@@ -1,0 +1,46 @@
+#pragma once
+
+// Small shared helpers of the recovery layer: capped-backoff retry of
+// whole-launch failures. Bucket-level recovery lives in leaf_knn.cpp; the
+// degradation ladder (retry -> strategy fallback -> quarantine -> partial
+// result) is documented in DESIGN.md "Fault model and recovery".
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace wknng::core {
+
+/// Sleeps the capped exponential backoff for retry number `attempt`
+/// (1ms, 2ms, 4ms, ... capped at 50ms). Wall-clock only — never affects the
+/// deterministic replay of the work itself.
+inline void retry_backoff_sleep(std::size_t attempt) {
+  const std::uint64_t ms = std::min<std::uint64_t>(
+      std::uint64_t{1} << std::min<std::size_t>(attempt, 6), 50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Runs `fn`, retrying on LaunchAllocError (the "device OOM at grid setup"
+/// failure — launch_warps throws it before any warp has run, so a retry
+/// never repeats partial work). Each retry backs off and increments
+/// `retries_done`; after `max_retries` failed retries the error propagates
+/// to the caller as the typed wknng::Error it is.
+template <typename Fn>
+void with_launch_retry(std::size_t max_retries, std::size_t& retries_done,
+                       Fn&& fn) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      fn();
+      return;
+    } catch (const LaunchAllocError&) {
+      if (attempt >= max_retries) throw;
+      ++retries_done;
+      retry_backoff_sleep(attempt);
+    }
+  }
+}
+
+}  // namespace wknng::core

@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/matrix.hpp"
 #include "core/knn_set.hpp"
+#include "simt/fault.hpp"
 #include "simt/packed.hpp"
 #include "simt/sort.hpp"
 #include "simt/warp.hpp"
@@ -121,8 +122,9 @@ void process_tile_pair(simt::Warp& w, const FloatMatrix& points, AIdFn&& a_id,
     const std::size_t j_begin = diagonal ? i + 1 : 0;
     if (j_begin >= nb) continue;
     for (std::size_t j = j_begin; j < nb; ++j) {
-      run[j] = Packed::make(buf.block[i * kWarpSize + j],
-                            static_cast<std::uint32_t>(b_id(j)));
+      run[j] =
+          Packed::make(simt::fault_corrupt_distance(buf.block[i * kWarpSize + j]),
+                       static_cast<std::uint32_t>(b_id(j)));
     }
     simt::bitonic_sort_lanes(w, run);
     sets.merge_sorted_tile(w, static_cast<std::uint32_t>(a_id(i)), run);
@@ -135,8 +137,9 @@ void process_tile_pair(simt::Warp& w, const FloatMatrix& points, AIdFn&& a_id,
     const std::size_t i_end = diagonal ? j : na;
     if (i_end == 0) continue;
     for (std::size_t i = 0; i < i_end; ++i) {
-      run[i] = Packed::make(buf.block[i * kWarpSize + j],
-                            static_cast<std::uint32_t>(a_id(i)));
+      run[i] =
+          Packed::make(simt::fault_corrupt_distance(buf.block[i * kWarpSize + j]),
+                       static_cast<std::uint32_t>(a_id(i)));
     }
     simt::bitonic_sort_lanes(w, run);
     sets.merge_sorted_tile(w, static_cast<std::uint32_t>(b_id(j)), run);

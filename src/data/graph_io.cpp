@@ -6,11 +6,15 @@
 
 #include "common/error.hpp"
 
+// rename() lives in <cstdio>; no POSIX-only calls needed for the atomic
+// checkpoint write.
+
 namespace wknng::data {
 
 namespace {
 
 constexpr char kMagic[8] = {'W', 'K', 'N', 'N', 'G', '1', '\0', '\0'};
+constexpr char kCkptMagic[8] = {'W', 'K', 'N', 'N', 'G', 'C', 'P', '1'};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -70,6 +74,99 @@ KnnGraph read_knng(const std::string& path) {
   }
   WKNNG_CHECK_MSG(g.check_invariants(), path << ": graph invariants violated");
   return g;
+}
+
+void write_checkpoint(const std::string& path, const BuildCheckpoint& c) {
+  WKNNG_CHECK_MSG(c.shape_ok(), "checkpoint shape mismatch: " << c.sets.size()
+                                    << " words for n=" << c.n
+                                    << " k=" << c.k);
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    WKNNG_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
+
+    WKNNG_CHECK(std::fwrite(kCkptMagic, 1, sizeof(kCkptMagic), f.get()) ==
+                sizeof(kCkptMagic));
+    WKNNG_CHECK(std::fwrite(&c.signature, sizeof(c.signature), 1, f.get()) == 1);
+    WKNNG_CHECK(std::fwrite(&c.n, sizeof(c.n), 1, f.get()) == 1);
+    WKNNG_CHECK(std::fwrite(&c.k, sizeof(c.k), 1, f.get()) == 1);
+    WKNNG_CHECK(std::fwrite(&c.rounds_done, sizeof(c.rounds_done), 1, f.get()) ==
+                1);
+    WKNNG_CHECK(std::fwrite(&c.effective_strategy, sizeof(c.effective_strategy),
+                            1, f.get()) == 1);
+    const std::uint64_t nq = c.quarantined.size();
+    WKNNG_CHECK(std::fwrite(&nq, sizeof(nq), 1, f.get()) == 1);
+    if (nq != 0) {
+      WKNNG_CHECK(std::fwrite(c.quarantined.data(), sizeof(std::uint32_t), nq,
+                              f.get()) == nq);
+    }
+    WKNNG_CHECK(std::fwrite(c.sets.data(), sizeof(std::uint64_t), c.sets.size(),
+                            f.get()) == c.sets.size());
+  }
+  // Publish atomically so an interrupted build never leaves a torn file at
+  // the checkpoint path.
+  WKNNG_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot rename " << tmp << " to " << path);
+}
+
+BuildCheckpoint read_checkpoint(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path);
+
+  char magic[8] = {};
+  WKNNG_CHECK_MSG(std::fread(magic, 1, sizeof(magic), f.get()) == sizeof(magic),
+                  path << ": truncated checkpoint header");
+  WKNNG_CHECK_MSG(std::memcmp(magic, kCkptMagic, sizeof(kCkptMagic)) == 0,
+                  path << ": not a WKNNGCP1 checkpoint");
+
+  BuildCheckpoint c;
+  WKNNG_CHECK_MSG(std::fread(&c.signature, sizeof(c.signature), 1, f.get()) == 1,
+                  path << ": truncated checkpoint header");
+  WKNNG_CHECK_MSG(std::fread(&c.n, sizeof(c.n), 1, f.get()) == 1,
+                  path << ": truncated checkpoint header");
+  WKNNG_CHECK_MSG(std::fread(&c.k, sizeof(c.k), 1, f.get()) == 1,
+                  path << ": truncated checkpoint header");
+  WKNNG_CHECK_MSG(
+      std::fread(&c.rounds_done, sizeof(c.rounds_done), 1, f.get()) == 1,
+      path << ": truncated checkpoint header");
+  WKNNG_CHECK_MSG(std::fread(&c.effective_strategy,
+                             sizeof(c.effective_strategy), 1, f.get()) == 1,
+                  path << ": truncated checkpoint header");
+  std::uint64_t nq = 0;
+  WKNNG_CHECK_MSG(std::fread(&nq, sizeof(nq), 1, f.get()) == 1,
+                  path << ": truncated checkpoint header");
+  WKNNG_CHECK_MSG(c.n > 0 && c.k > 0 && c.n < (1ULL << 32) &&
+                      c.k < (1ULL << 32) && nq <= c.n,
+                  path << ": implausible checkpoint header n=" << c.n
+                       << " k=" << c.k << " quarantined=" << nq);
+
+  // Validate payload size before allocating anything header-sized.
+  const long header = static_cast<long>(
+      sizeof(kCkptMagic) + 3 * sizeof(std::uint64_t) +
+      2 * sizeof(std::uint32_t) + sizeof(std::uint64_t));
+  const long payload = static_cast<long>(nq * sizeof(std::uint32_t) +
+                                         c.n * c.k * sizeof(std::uint64_t));
+  WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
+  const long bytes = std::ftell(f.get());
+  WKNNG_CHECK_MSG(bytes == header + payload,
+                  path << ": size " << bytes
+                       << " does not match checkpoint header (n=" << c.n
+                       << ", k=" << c.k << ", quarantined=" << nq << ")");
+  WKNNG_CHECK(std::fseek(f.get(), header, SEEK_SET) == 0);
+
+  c.quarantined.resize(nq);
+  if (nq != 0) {
+    WKNNG_CHECK(std::fread(c.quarantined.data(), sizeof(std::uint32_t), nq,
+                           f.get()) == nq);
+  }
+  c.sets.resize(c.n * c.k);
+  WKNNG_CHECK(std::fread(c.sets.data(), sizeof(std::uint64_t), c.sets.size(),
+                         f.get()) == c.sets.size());
+  for (std::size_t i = 1; i < c.quarantined.size(); ++i) {
+    WKNNG_CHECK_MSG(c.quarantined[i - 1] < c.quarantined[i],
+                    path << ": quarantine list not sorted/unique");
+  }
+  return c;
 }
 
 }  // namespace wknng::data

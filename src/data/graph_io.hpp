@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/knn_graph.hpp"
 
@@ -22,5 +24,47 @@ namespace wknng::data {
 void write_knng(const std::string& path, const KnnGraph& g);
 
 KnnGraph read_knng(const std::string& path);
+
+/// A resumable snapshot of a build at a phase boundary: the packed k-NN set
+/// state after the leaf pass (rounds_done == 0) or after refinement round
+/// rounds_done. The builder's phases are Markovian in this state, so
+/// resuming from it reproduces the uninterrupted build bit for bit under a
+/// deterministic schedule.
+///
+/// `signature` is core::build_signature of the parameters and data the state
+/// was produced under; resume verifies it before trusting the words.
+/// `effective_strategy` is the core::Strategy enum value the build actually
+/// ran with (it differs from the requested one after a kShared -> kTiled
+/// degradation). `quarantined` lists the non-finite input rows excluded from
+/// the build, sorted ascending.
+struct BuildCheckpoint {
+  std::uint64_t signature = 0;
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  std::uint32_t rounds_done = 0;
+  std::uint32_t effective_strategy = 0;
+  std::vector<std::uint32_t> quarantined;
+  std::vector<std::uint64_t> sets;  ///< n*k packed (dist,id) words
+
+  bool shape_ok() const { return sets.size() == n * k; }
+};
+
+/// Binary checkpoint serialization (little-endian):
+///   magic        "WKNNGCP1"  (8 bytes)
+///   signature    uint64
+///   n, k         uint64 each
+///   rounds_done  uint32
+///   strategy     uint32
+///   n_quarantined uint64
+///   quarantined  n_quarantined x uint32
+///   sets         n*k x uint64
+///
+/// The write is atomic: the file is written to `path + ".tmp"` and renamed,
+/// so an interrupted writer never leaves a half-written checkpoint at
+/// `path`. read_checkpoint validates the magic, the header against the file
+/// size, and the shape, throwing wknng::Error on any mismatch.
+void write_checkpoint(const std::string& path, const BuildCheckpoint& c);
+
+BuildCheckpoint read_checkpoint(const std::string& path);
 
 }  // namespace wknng::data

@@ -43,10 +43,18 @@ Matrix<T> read_xvecs(const std::string& path) {
                   path << ": empty file");
   WKNNG_CHECK_MSG(dim > 0, path << ": bad dimension " << dim);
 
+  // Validate the header against the file size BEFORE sizing any allocation:
+  // a garbage dimension from a corrupt header must fail here with a clear
+  // message, not as a huge (or bogus) Matrix allocation below. `dim * 4L`
+  // cannot overflow: dim < 2^31 and long is 64-bit on every supported target.
   const long record = static_cast<long>(sizeof(std::int32_t)) + dim * 4L;
+  WKNNG_CHECK_MSG(record <= bytes,
+                  path << ": dimension " << dim << " implies a " << record
+                       << "B record, but the file holds only " << bytes
+                       << "B (truncated or corrupt header)");
   WKNNG_CHECK_MSG(bytes % record == 0,
                   path << ": size " << bytes << " not a multiple of record "
-                       << record);
+                       << record << " (truncated file?)");
   const std::size_t n = static_cast<std::size_t>(bytes / record);
 
   WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_SET) == 0);

@@ -1,0 +1,167 @@
+#include "simt/fault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace wknng::simt {
+
+namespace {
+
+/// Per-thread warp binding, mirroring the race detector's: a warp task runs
+/// on exactly one pool worker, so its opportunity counter is thread-local.
+/// Host-side opportunities (no warp bound) use the injector's own counter —
+/// launches are issued sequentially from the build thread.
+struct WarpContext {
+  bool active = false;
+  std::uint32_t warp = 0;
+  std::uint64_t opportunities = 0;
+};
+
+thread_local WarpContext t_ctx;
+
+constexpr std::uint64_t kHostTag = ~std::uint64_t{0};
+
+}  // namespace
+
+const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kScratchAlloc: return "scratch-alloc";
+    case FaultSite::kWarpAbort: return "warp-abort";
+    case FaultSite::kLockTimeout: return "lock-timeout";
+    case FaultSite::kCorruptDistance: return "corrupt-distance";
+    case FaultSite::kLaunchAlloc: return "launch-alloc";
+  }
+  return "?";
+}
+
+FaultSite fault_site_from_name(const std::string& name) {
+  for (const FaultSite s : all_fault_sites()) {
+    if (name == fault_site_name(s)) return s;
+  }
+  throw Error("unknown fault site: " + name +
+              " (valid: scratch-alloc, warp-abort, lock-timeout, "
+              "corrupt-distance, launch-alloc)");
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream os;
+  os << fault_site_name(site) << ":" << seed << ":" << probability;
+  if (max_faults != 0) os << ":" << max_faults;
+  return os.str();
+}
+
+FaultSpec fault_spec_from_string(const std::string& text) {
+  FaultSpec spec;
+  spec.enabled = true;
+
+  std::string rest = text;
+  auto next_field = [&]() {
+    const auto pos = rest.find(':');
+    std::string field = rest.substr(0, pos);
+    rest = pos == std::string::npos ? "" : rest.substr(pos + 1);
+    return field;
+  };
+
+  spec.site = fault_site_from_name(next_field());
+  const std::string seed_text = next_field();
+  WKNNG_CHECK_MSG(!seed_text.empty(),
+                  "fault spec needs a seed: \"" << text
+                      << "\" (format site:seed[:probability[:max_faults]])");
+  spec.seed = std::strtoull(seed_text.c_str(), nullptr, 10);
+  if (!rest.empty()) {
+    char* end = nullptr;
+    const std::string prob_text = next_field();
+    spec.probability = std::strtod(prob_text.c_str(), &end);
+    WKNNG_CHECK_MSG(end != prob_text.c_str() && spec.probability >= 0.0 &&
+                        spec.probability <= 1.0,
+                    "fault probability must be in [0, 1]: " << prob_text);
+  }
+  if (!rest.empty()) {
+    spec.max_faults = std::strtoull(next_field().c_str(), nullptr, 10);
+  }
+  return spec;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec) {
+  WKNNG_CHECK_MSG(spec_.probability >= 0.0 && spec_.probability <= 1.0,
+                  "fault probability must be in [0, 1]: " << spec_.probability);
+  // probability as a compare bound on a uniform 53-bit draw.
+  threshold_ = static_cast<std::uint64_t>(
+      spec_.probability * static_cast<double>(std::uint64_t{1} << 53));
+}
+
+FaultInjector::~FaultInjector() {
+  WKNNG_CHECK_MSG(active_fault_injector() != this,
+                  "FaultInjector destroyed while still installed");
+}
+
+void FaultInjector::enter_warp(std::uint32_t warp_id) {
+  t_ctx.active = true;
+  t_ctx.warp = warp_id;
+  t_ctx.opportunities = 0;
+}
+
+void FaultInjector::exit_warp() { t_ctx = WarpContext{}; }
+
+bool FaultInjector::should_fire(FaultSite site) {
+  if (!spec_.enabled || site != spec_.site) return false;
+
+  // One decision per opportunity, keyed by where we are — not by when we ran.
+  std::uint64_t warp_tag, opportunity;
+  if (t_ctx.active) {
+    warp_tag = t_ctx.warp;
+    opportunity = t_ctx.opportunities++;
+  } else {
+    warp_tag = kHostTag;
+    opportunity = host_opportunities_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t launch = launch_.load(std::memory_order_relaxed);
+
+  SplitMix64 sm(spec_.seed ^
+                (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(site) + 1)) ^
+                (0xBF58476D1CE4E5B9ULL * (launch + 1)) ^
+                (0x94D049BB133111EBULL * (warp_tag + 1)) ^
+                (0xD6E8FEB86659FD93ULL * (opportunity + 1)));
+  if ((sm.next() >> 11) >= threshold_) return false;
+
+  if (spec_.max_faults != 0) {
+    const std::uint64_t used =
+        budget_used_.fetch_add(1, std::memory_order_relaxed);
+    if (used >= spec_.max_faults) return false;  // campaign budget exhausted
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector& f) {
+  FaultInjector* expected = nullptr;
+  const bool installed = fault_detail::g_active.compare_exchange_strong(
+      expected, &f, std::memory_order_acq_rel);
+  WKNNG_CHECK_MSG(installed,
+                  "a FaultInjector is already installed (one at a time)");
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  fault_detail::g_active.store(nullptr, std::memory_order_release);
+}
+
+void throw_injected_fault(FaultSite site) {
+  const FaultInjector* f = active_fault_injector();
+  std::ostringstream os;
+  os << "injected fault at " << fault_site_name(site);
+  if (f != nullptr) os << " (spec " << f->spec().to_string() << ")";
+  switch (site) {
+    case FaultSite::kScratchAlloc: throw ScratchOverflowError(os.str());
+    case FaultSite::kWarpAbort: throw WarpAbortError(os.str());
+    case FaultSite::kLockTimeout: throw LockTimeoutError(os.str());
+    case FaultSite::kLaunchAlloc: throw LaunchAllocError(os.str());
+    case FaultSite::kCorruptDistance:
+      break;  // corruption returns a NaN, it does not throw
+  }
+  throw Error(os.str());
+}
+
+}  // namespace wknng::simt

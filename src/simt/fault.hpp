@@ -1,0 +1,160 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace wknng::simt {
+
+/// The failure modes the substrate can inject deterministically — each one
+/// models a real hazard of a production GPU k-NN build: shared memory
+/// exhaustion, a killed/preempted warp, lock starvation, silent data
+/// corruption in a distance unit, and device-allocation failure at launch.
+/// Sites are checked by inline hooks (fault_point / fault_maybe_throw /
+/// fault_corrupt_distance below) that cost one relaxed load and a predicted
+/// branch when no injector is installed — the same contract as the race
+/// hooks in simt/race.hpp.
+enum class FaultSite : std::uint8_t {
+  kScratchAlloc,     ///< WarpScratch::alloc throws ScratchOverflowError
+  kWarpAbort,        ///< the kernel body throws WarpAbortError mid-bucket
+  kLockTimeout,      ///< SpinLockArray::acquire throws LockTimeoutError
+  kCorruptDistance,  ///< a distance kernel returns NaN instead of the result
+  kLaunchAlloc,      ///< launch_warps throws LaunchAllocError before running
+};
+
+inline constexpr std::size_t kNumFaultSites = 5;
+
+/// All sites, for sweep loops (tests, CI).
+constexpr std::array<FaultSite, kNumFaultSites> all_fault_sites() {
+  return {FaultSite::kScratchAlloc, FaultSite::kWarpAbort,
+          FaultSite::kLockTimeout, FaultSite::kCorruptDistance,
+          FaultSite::kLaunchAlloc};
+}
+
+const char* fault_site_name(FaultSite s);
+
+/// Parses "scratch-alloc" / "warp-abort" / "lock-timeout" /
+/// "corrupt-distance" / "launch-alloc" (throws wknng::Error listing the
+/// valid names otherwise).
+FaultSite fault_site_from_name(const std::string& name);
+
+/// A concrete injection campaign: which site fails, how often, and the seed
+/// every decision derives from. Same shape as ScheduleSpec: a value in
+/// BuildParams, overridable from the environment (WKNNG_INJECT_FAULTS).
+///
+/// Decisions are a pure function of (seed, site, launch index, warp id,
+/// per-warp opportunity index) — independent of thread scheduling — so a
+/// failure observed once reproduces on every run with the same spec, even
+/// under the dynamic schedule. `max_faults` caps the campaign (0 = no cap):
+/// with probability 1 and a small cap, exactly the first N opportunities
+/// fail, which is how tests pin "fail once, then recover".
+struct FaultSpec {
+  bool enabled = false;
+  FaultSite site = FaultSite::kScratchAlloc;
+  std::uint64_t seed = 1;
+  double probability = 0.01;
+  std::uint64_t max_faults = 0;  ///< 0 = unlimited
+
+  std::string to_string() const;
+};
+
+/// Parses "site:seed[:probability[:max_faults]]" — the WKNNG_INJECT_FAULTS
+/// format, e.g. "lock-timeout:42:0.05" or "scratch-alloc:7:1:2". The result
+/// is enabled. Throws wknng::Error on malformed input.
+FaultSpec fault_spec_from_string(const std::string& text);
+
+/// The seeded decision engine. At most one injector is installed
+/// process-wide (ScopedFaultInjection); launch_warps registers launches and
+/// binds warp tasks, the site hooks ask should_fire(). Thread-safe: warp
+/// bindings are thread-local, counters are atomic.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Number of faults actually injected so far.
+  std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by launch_warps at every launch; the launch index feeds the
+  /// decision hash so retried launches draw fresh decisions instead of
+  /// deterministically re-failing forever.
+  void begin_launch() { launch_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Binds the calling thread to a warp for one warp task (resets the
+  /// warp-local opportunity counter).
+  void enter_warp(std::uint32_t warp_id);
+  void exit_warp();
+
+  /// The decision: does the next opportunity at `site` fail?
+  bool should_fire(FaultSite site);
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t threshold_;  ///< probability as a u64 compare bound
+  std::atomic<std::uint64_t> launch_{0};
+  std::atomic<std::uint64_t> injected_{0};
+  std::atomic<std::uint64_t> budget_used_{0};
+  std::atomic<std::uint64_t> host_opportunities_{0};
+};
+
+namespace fault_detail {
+/// The process-wide active injector; nullptr (the default) disables every
+/// hook at the cost of one relaxed load + predicted branch.
+inline std::atomic<FaultInjector*> g_active{nullptr};
+}  // namespace fault_detail
+
+inline FaultInjector* active_fault_injector() {
+  return fault_detail::g_active.load(std::memory_order_acquire);
+}
+
+/// Installs `f` as the process-wide injector for the scope's lifetime.
+/// Nesting is rejected (one campaign at a time keeps attribution unambiguous).
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector& f);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+/// Throws the typed error matching `site` with a message that names the
+/// site and seed, so a failure log alone is enough to reproduce the run.
+[[noreturn]] void throw_injected_fault(FaultSite site);
+
+// --- Inline hooks: the only code on the instrumented fast path -------------
+
+/// True iff an injector is installed and decides this opportunity fails.
+inline bool fault_point(FaultSite site) {
+  FaultInjector* f = active_fault_injector();
+  return f != nullptr && f->should_fire(site);
+}
+
+/// Checks the site and throws its typed error when the decision fires.
+inline void fault_maybe_throw(FaultSite site) {
+  if (fault_point(site)) throw_injected_fault(site);
+}
+
+/// Distance-corruption hook: passes `dist` through, or returns NaN when the
+/// kCorruptDistance decision fires (the k-NN-set insert paths reject
+/// non-finite candidates, so a corrupted value is dropped and counted, never
+/// silently admitted).
+inline float fault_corrupt_distance(float dist) {
+  if (fault_point(FaultSite::kCorruptDistance)) {
+    return std::numeric_limits<float>::quiet_NaN();
+  }
+  return dist;
+}
+
+}  // namespace wknng::simt

@@ -1,5 +1,6 @@
 #include "simt/launch.hpp"
 
+#include "simt/fault.hpp"
 #include "simt/race.hpp"
 
 namespace wknng::simt {
@@ -30,6 +31,21 @@ class WarpBinding {
   RaceDetector* det_;
 };
 
+/// Same, for the fault injector: bound warps draw per-warp fault decisions
+/// instead of sharing the host opportunity counter.
+class FaultWarpBinding {
+ public:
+  FaultWarpBinding(FaultInjector* inj, std::uint32_t warp_id) : inj_(inj) {
+    if (inj_ != nullptr) inj_->enter_warp(warp_id);
+  }
+  ~FaultWarpBinding() {
+    if (inj_ != nullptr) inj_->exit_warp();
+  }
+
+ private:
+  FaultInjector* inj_;
+};
+
 }  // namespace
 
 void launch_warps(ThreadPool& pool, std::size_t num_warps,
@@ -37,6 +53,14 @@ void launch_warps(ThreadPool& pool, std::size_t num_warps,
                   const std::function<void(Warp&)>& body) {
   RaceDetector* det = active_race_detector();
   if (det != nullptr) det->begin_epoch();  // a launch is a device-wide barrier
+
+  FaultInjector* inj = active_fault_injector();
+  if (inj != nullptr) {
+    // Register the launch before the allocation fault point: a retried
+    // launch gets a new launch index and thus fresh fault decisions.
+    inj->begin_launch();
+    fault_maybe_throw(FaultSite::kLaunchAlloc);  // "device OOM" at grid setup
+  }
 
   const auto run_one = [&](std::size_t warp_id) {
     WarpScratch& scratch = thread_scratch(config.scratch_bytes);
@@ -47,6 +71,8 @@ void launch_warps(ThreadPool& pool, std::size_t num_warps,
     Warp warp(static_cast<std::uint32_t>(warp_id), scratch, local);
     {
       WarpBinding binding(det, static_cast<std::uint32_t>(warp_id), &local);
+      FaultWarpBinding fault_binding(inj,
+                                     static_cast<std::uint32_t>(warp_id));
       body(warp);
     }
 

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "common/error.hpp"
+#include "simt/fault.hpp"
 #include "simt/race.hpp"
 #include "simt/stats.hpp"
 
@@ -175,8 +176,11 @@ class SpinLockArray {
   std::size_t size() const { return size_; }
 
   /// Spins until lock i is acquired; every failed attempt is recorded. The
-  /// acquisition is reported to the race detector's lockset machinery.
+  /// acquisition is reported to the race detector's lockset machinery. The
+  /// kLockTimeout fault site fires before the lock is taken, so an injected
+  /// LockTimeoutError never leaves a lock held.
   void acquire(std::size_t i, Stats& stats) {
+    fault_maybe_throw(FaultSite::kLockTimeout);
     ++stats.lock_acquires;
     std::uint32_t expected = 0;
     while (!locks_[i].compare_exchange_weak(expected, 1,

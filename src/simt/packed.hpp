@@ -37,6 +37,17 @@ struct Packed {
   }
 
   static bool is_empty(std::uint64_t packed) { return packed == kEmpty; }
+
+  /// True iff the packed distance is a finite non-negative float — i.e. a
+  /// candidate the k-NN set may admit. NaN/inf distances (a corrupted
+  /// distance unit) and negative floats pack to bit patterns that sort after
+  /// every valid candidate, so in a sorted run the invalid suffix can be
+  /// truncated at the first non-finite entry.
+  static bool is_finite(std::uint64_t packed) {
+    const auto bits = static_cast<std::uint32_t>(packed >> 32);
+    // sign bit clear and exponent not all-ones.
+    return (bits & 0x80000000U) == 0 && (bits & 0x7F800000U) != 0x7F800000U;
+  }
 };
 
 }  // namespace wknng::simt

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "simt/fault.hpp"
 
 namespace wknng::simt {
 
@@ -50,17 +51,23 @@ class WarpScratch {
     limit_ = capacity_bytes;
   }
 
-  /// Bump-allocates n elements of T, aligned to alignof(T).
+  /// Bump-allocates n elements of T, aligned to alignof(T). Overflowing the
+  /// budget throws ScratchOverflowError (a typed wknng::Error) so the
+  /// recovery layer can retry the bucket with a cheaper strategy; the
+  /// kScratchAlloc fault site simulates the same failure.
   template <typename T>
   std::span<T> alloc(std::size_t n) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_maybe_throw(FaultSite::kScratchAlloc);
     const std::size_t align = alignof(T);
     std::size_t offset = (used_ + align - 1) / align * align;
     const std::size_t bytes = n * sizeof(T);
-    WKNNG_CHECK_MSG(offset + bytes <= limit_,
-                    "scratch overflow: want " << bytes << "B at offset "
-                                              << offset << ", capacity "
-                                              << limit_ << "B");
+    if (offset + bytes > limit_) {
+      std::ostringstream os;
+      os << "scratch overflow: want " << bytes << "B at offset " << offset
+         << ", capacity " << limit_ << "B";
+      throw ScratchOverflowError(os.str());
+    }
     used_ = offset + bytes;
     if (used_ > peak_used_) peak_used_ = used_;
     return {reinterpret_cast<T*>(buffer_.data() + offset), n};

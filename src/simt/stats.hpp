@@ -27,6 +27,8 @@ struct Stats {
   std::uint64_t warps_executed = 0;   ///< number of warp tasks accumulated here
   std::uint64_t shadow_events = 0;    ///< race-detector accesses recorded (0 unless
                                       ///< a detector is installed — see simt/race.hpp)
+  std::uint64_t nonfinite_dropped = 0; ///< candidates rejected for NaN/inf distance
+                                       ///< (corrupt input or injected corruption)
 
   Stats& operator+=(const Stats& o) {
     distance_evals += o.distance_evals;
@@ -43,6 +45,7 @@ struct Stats {
                              : o.scratch_bytes_peak;
     warps_executed += o.warps_executed;
     shadow_events += o.shadow_events;
+    nonfinite_dropped += o.nonfinite_dropped;
     return *this;
   }
 
@@ -54,6 +57,7 @@ struct Stats {
        << " collectives=" << s.warp_collectives
        << " warps=" << s.warps_executed;
     if (s.shadow_events != 0) os << " shadow=" << s.shadow_events;
+    if (s.nonfinite_dropped != 0) os << " nonfinite=" << s.nonfinite_dropped;
     return os;
   }
 };

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 
+#include "simt/fault.hpp"
 #include "simt/warp.hpp"
 
 namespace wknng::simt {
@@ -24,7 +25,7 @@ inline float warp_l2_dims(Warp& w, std::span<const float> x,
   ++s.distance_evals;
   s.flops += 3 * dim + kWarpSize;
   w.count_read(2 * dim * sizeof(float));
-  return w.reduce_sum(partial);
+  return fault_corrupt_distance(w.reduce_sum(partial));
 }
 
 /// Candidate-parallel squared Euclidean distances: each active lane owns one
@@ -51,7 +52,7 @@ inline Lanes<float> warp_l2_batch(Warp& w, std::span<const float> q,
       const float diff = q[d] - r[d];
       acc += diff * diff;
     }
-    out[l] = acc;
+    out[l] = fault_corrupt_distance(acc);
   }
   Stats& s = w.stats();
   s.distance_evals += n_active;

@@ -123,8 +123,8 @@ TEST(Builder, RejectsTooFewPoints) {
 }
 
 TEST(Builder, StrategyNamesRoundTrip) {
-  for (Strategy s :
-       {Strategy::kBasic, Strategy::kAtomic, Strategy::kTiled}) {
+  for (Strategy s : {Strategy::kBasic, Strategy::kAtomic, Strategy::kTiled,
+                     Strategy::kShared}) {
     EXPECT_EQ(strategy_from_name(strategy_name(s)), s);
   }
   EXPECT_THROW(strategy_from_name("bogus"), Error);

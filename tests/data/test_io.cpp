@@ -92,6 +92,52 @@ TEST_F(IoTest, InconsistentDimThrows) {
   EXPECT_THROW(read_fvecs(path("bad.fvecs")), Error);
 }
 
+TEST_F(IoTest, HugeDimHeaderThrowsBeforeAllocating) {
+  // A corrupt header claiming a gigantic dimension must be rejected against
+  // the file size up front, not by attempting the implied allocation.
+  std::ofstream f(path("huge.fvecs"), std::ios::binary);
+  const std::int32_t dim = 1 << 28;
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  const float v = 1.0f;
+  for (int i = 0; i < 3; ++i) f.write(reinterpret_cast<const char*>(&v), 4);
+  f.close();
+  try {
+    read_fvecs(path("huge.fvecs"));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated or corrupt header"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(IoTest, MaxDimHeaderThrows) {
+  // The most adversarial garbage header: INT32_MAX. The record size math
+  // must not overflow on the way to the rejection.
+  std::ofstream f(path("max.fvecs"), std::ios::binary);
+  const std::int32_t dim = std::numeric_limits<std::int32_t>::max();
+  f.write(reinterpret_cast<const char*>(&dim), 4);
+  f.close();
+  EXPECT_THROW(read_fvecs(path("max.fvecs")), Error);
+}
+
+TEST_F(IoTest, GarbageContentAfterValidHeaderThrows) {
+  // First record parses, second one is cut short mid-payload.
+  std::ofstream f(path("cut.fvecs"), std::ios::binary);
+  auto put_i32 = [&](std::int32_t v) {
+    f.write(reinterpret_cast<const char*>(&v), 4);
+  };
+  auto put_f = [&](float v) { f.write(reinterpret_cast<const char*>(&v), 4); };
+  put_i32(3);
+  put_f(0.0f);
+  put_f(1.0f);
+  put_f(2.0f);
+  put_i32(3);
+  put_f(4.0f);  // record claims 3 floats, file ends after 1
+  f.close();
+  EXPECT_THROW(read_fvecs(path("cut.fvecs")), Error);
+}
+
 TEST_F(IoTest, NegativeDimThrows) {
   std::ofstream f(path("neg.fvecs"), std::ios::binary);
   const std::int32_t dim = -4;

@@ -1,0 +1,233 @@
+// Unit tests of the fault-injection engine itself (simt/fault.hpp): spec
+// parsing, the seeded decision function, scoped installation, and the inline
+// hooks. The end-to-end recovery behavior lives in test_resilience.cpp.
+#include "simt/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wknng::simt {
+namespace {
+
+TEST(FaultSite, NamesRoundTrip) {
+  for (const FaultSite s : all_fault_sites()) {
+    EXPECT_EQ(fault_site_from_name(fault_site_name(s)), s);
+  }
+}
+
+TEST(FaultSite, UnknownNameListsValidOnes) {
+  try {
+    fault_site_from_name("cosmic-ray");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::strstr(e.what(), "cosmic-ray"), nullptr);
+    EXPECT_NE(std::strstr(e.what(), "scratch-alloc"), nullptr);
+    EXPECT_NE(std::strstr(e.what(), "launch-alloc"), nullptr);
+  }
+}
+
+TEST(FaultSpec, ParseMinimal) {
+  const FaultSpec spec = fault_spec_from_string("lock-timeout:42");
+  EXPECT_TRUE(spec.enabled);
+  EXPECT_EQ(spec.site, FaultSite::kLockTimeout);
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.probability, 0.01);
+  EXPECT_EQ(spec.max_faults, 0u);
+}
+
+TEST(FaultSpec, ParseFull) {
+  const FaultSpec spec = fault_spec_from_string("scratch-alloc:7:1:2");
+  EXPECT_EQ(spec.site, FaultSite::kScratchAlloc);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_DOUBLE_EQ(spec.probability, 1.0);
+  EXPECT_EQ(spec.max_faults, 2u);
+}
+
+TEST(FaultSpec, ParseRejectsBadInput) {
+  EXPECT_THROW(fault_spec_from_string("warp-abort"), Error);  // missing seed
+  EXPECT_THROW(fault_spec_from_string("warp-abort:1:1.5"), Error);
+  EXPECT_THROW(fault_spec_from_string("warp-abort:1:-0.5"), Error);
+  EXPECT_THROW(fault_spec_from_string("no-such-site:1"), Error);
+}
+
+TEST(FaultSpec, ToStringRoundTrips) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kCorruptDistance;
+  spec.seed = 1234;
+  spec.probability = 0.25;
+  spec.max_faults = 9;
+  const FaultSpec back = fault_spec_from_string(spec.to_string());
+  EXPECT_EQ(back.site, spec.site);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_DOUBLE_EQ(back.probability, spec.probability);
+  EXPECT_EQ(back.max_faults, spec.max_faults);
+}
+
+/// Replays one (launch, warp) context against an injector and records the
+/// decision sequence.
+std::vector<bool> decisions(FaultInjector& inj, std::uint32_t warp,
+                            std::size_t count) {
+  inj.enter_warp(warp);
+  std::vector<bool> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(inj.should_fire(inj.spec().site));
+  }
+  inj.exit_warp();
+  return out;
+}
+
+TEST(FaultInjector, DecisionsAreDeterministic) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kWarpAbort;
+  spec.seed = 5;
+  spec.probability = 0.5;
+
+  FaultInjector a(spec);
+  FaultInjector b(spec);
+  a.begin_launch();
+  b.begin_launch();
+  EXPECT_EQ(decisions(a, 3, 64), decisions(b, 3, 64));
+  EXPECT_EQ(a.injected(), b.injected());
+  EXPECT_GT(a.injected(), 0u);       // p=0.5 over 64 draws: some fire
+  EXPECT_LT(a.injected(), 64u);      // ... and some do not
+}
+
+TEST(FaultInjector, DecisionsIndependentOfOtherWarps) {
+  // The decision for (warp 3, opportunity i) must not depend on whether
+  // warp 2 ran first — that is what makes a campaign schedule-independent.
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kScratchAlloc;
+  spec.seed = 11;
+  spec.probability = 0.5;
+
+  FaultInjector a(spec);
+  a.begin_launch();
+  (void)decisions(a, 2, 32);  // interleave another warp first
+  const std::vector<bool> with_neighbor = decisions(a, 3, 32);
+
+  FaultInjector b(spec);
+  b.begin_launch();
+  EXPECT_EQ(decisions(b, 3, 32), with_neighbor);
+}
+
+TEST(FaultInjector, LaunchIndexRefreshesDecisions) {
+  // A retried launch must draw fresh decisions, or a deterministic campaign
+  // at probability 1 would re-fail forever (livelock).
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kLockTimeout;
+  spec.seed = 21;
+  spec.probability = 0.5;
+
+  FaultInjector inj(spec);
+  inj.begin_launch();
+  const std::vector<bool> first = decisions(inj, 0, 64);
+  inj.begin_launch();
+  const std::vector<bool> second = decisions(inj, 0, 64);
+  EXPECT_NE(first, second);
+}
+
+TEST(FaultInjector, MaxFaultsCapsTheCampaign) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kWarpAbort;
+  spec.seed = 1;
+  spec.probability = 1.0;
+  spec.max_faults = 3;
+
+  FaultInjector inj(spec);
+  inj.begin_launch();
+  inj.enter_warp(0);
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (inj.should_fire(FaultSite::kWarpAbort)) ++fired;
+  }
+  inj.exit_warp();
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(inj.injected(), 3u);
+}
+
+TEST(FaultInjector, OtherSitesNeverFire) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kScratchAlloc;
+  spec.seed = 2;
+  spec.probability = 1.0;
+
+  FaultInjector inj(spec);
+  inj.begin_launch();
+  inj.enter_warp(0);
+  EXPECT_FALSE(inj.should_fire(FaultSite::kWarpAbort));
+  EXPECT_FALSE(inj.should_fire(FaultSite::kLaunchAlloc));
+  EXPECT_TRUE(inj.should_fire(FaultSite::kScratchAlloc));
+  inj.exit_warp();
+}
+
+TEST(ScopedFaultInjection, InstallsAndRejectsNesting) {
+  EXPECT_EQ(active_fault_injector(), nullptr);
+  FaultSpec spec;
+  spec.enabled = true;
+  FaultInjector inj(spec);
+  {
+    ScopedFaultInjection scope(inj);
+    EXPECT_EQ(active_fault_injector(), &inj);
+    FaultInjector other(spec);
+    EXPECT_THROW({ ScopedFaultInjection nested(other); }, Error);
+    EXPECT_EQ(active_fault_injector(), &inj);  // failed nest changed nothing
+  }
+  EXPECT_EQ(active_fault_injector(), nullptr);
+}
+
+TEST(FaultHooks, InertWithoutInjector) {
+  ASSERT_EQ(active_fault_injector(), nullptr);
+  EXPECT_FALSE(fault_point(FaultSite::kScratchAlloc));
+  EXPECT_NO_THROW(fault_maybe_throw(FaultSite::kLaunchAlloc));
+  EXPECT_EQ(fault_corrupt_distance(1.5f), 1.5f);
+}
+
+TEST(FaultHooks, CorruptDistanceReturnsNaN) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kCorruptDistance;
+  spec.seed = 3;
+  spec.probability = 1.0;
+  FaultInjector inj(spec);
+  ScopedFaultInjection scope(inj);
+  EXPECT_TRUE(std::isnan(fault_corrupt_distance(0.25f)));
+  EXPECT_GT(inj.injected(), 0u);
+}
+
+TEST(FaultHooks, ThrownErrorsAreTypedAndNameTheSpec) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.site = FaultSite::kScratchAlloc;
+  spec.seed = 77;
+  spec.probability = 1.0;
+  FaultInjector inj(spec);
+  ScopedFaultInjection scope(inj);
+  EXPECT_THROW(throw_injected_fault(FaultSite::kScratchAlloc),
+               ScratchOverflowError);
+  EXPECT_THROW(throw_injected_fault(FaultSite::kWarpAbort), WarpAbortError);
+  EXPECT_THROW(throw_injected_fault(FaultSite::kLockTimeout),
+               LockTimeoutError);
+  EXPECT_THROW(throw_injected_fault(FaultSite::kLaunchAlloc),
+               LaunchAllocError);
+  try {
+    throw_injected_fault(FaultSite::kScratchAlloc);
+  } catch (const Error& e) {
+    // The message alone must suffice to reproduce the run.
+    EXPECT_NE(std::strstr(e.what(), "scratch-alloc"), nullptr);
+    EXPECT_NE(std::strstr(e.what(), "77"), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace wknng::simt
