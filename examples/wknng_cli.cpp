@@ -46,6 +46,20 @@
 //                        site:seed[:probability[:max_faults]] with site in
 //                        scratch-alloc|warp-abort|lock-timeout|
 //                        corrupt-distance|launch-alloc
+//   --serve              serve queries through the micro-batching engine and
+//                        a deterministic load generator instead of a one-shot
+//                        search pass (query vectors: --queries file, or
+//                        perturbed base points when absent)
+//   --serve-requests N   requests the load generator issues (default 1000)
+//   --serve-mode M       closed|open (default closed): closed-loop fixed
+//                        concurrency, or open-loop Poisson arrivals
+//   --serve-rate QPS     open-loop offered load (default 10000)
+//   --serve-concurrency N closed-loop submitter threads (default 4)
+//   --serve-batch N      engine micro-batch flush size (default 32)
+//   --serve-delay-us N   engine partial-batch flush delay (default 200)
+//   --serve-deadline-us N per-request deadline, 0 = none (default 0)
+//   --serve-workers N    engine batch-executor threads (default 2)
+//   --serve-metrics PATH write the engine's metrics JSON here
 //
 // Exit codes: 0 = ok, 1 = input/build error, 2 = usage,
 //             3 = build completed degraded (see the health report).
@@ -53,10 +67,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "wknng.hpp"
 
@@ -93,6 +109,16 @@ struct Options {
   std::string resume;        // resume a build from this checkpoint
   std::size_t retries = 3;   // bucket/launch retries before giving up
   std::string inject;        // fault-injection spec (site:seed[:p[:max]])
+  bool serve = false;                  // run the serving engine + loadgen
+  std::size_t serve_requests = 1000;   // loadgen request count
+  std::string serve_mode = "closed";   // closed|open
+  double serve_rate = 10000.0;         // open-loop offered qps
+  std::size_t serve_concurrency = 4;   // closed-loop submitter threads
+  std::size_t serve_batch = 32;        // engine max_batch
+  std::uint64_t serve_delay_us = 200;  // engine partial-batch flush delay
+  std::uint64_t serve_deadline_us = 0; // per-request deadline (0 = none)
+  std::size_t serve_workers = 2;       // engine executor threads
+  std::string serve_metrics;           // metrics JSON output path
 };
 
 int usage(const char* argv0) {
@@ -103,7 +129,11 @@ int usage(const char* argv0) {
                " [--project D] [--seed N] [--out g.knng]"
                " [--out-ivecs g.ivecs] [--truth gt.ivecs] [--sample N]"
                " [--report] [--threads N] [--deadline S] [--checkpoint PATH]"
-               " [--resume PATH] [--retries N] [--inject site:seed[:p[:max]]]\n"
+               " [--resume PATH] [--retries N] [--inject site:seed[:p[:max]]]"
+               " [--serve] [--serve-requests N] [--serve-mode closed|open]"
+               " [--serve-rate QPS] [--serve-concurrency N] [--serve-batch N]"
+               " [--serve-delay-us N] [--serve-deadline-us N]"
+               " [--serve-workers N] [--serve-metrics PATH]\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 degraded build\n",
                argv0);
   return 2;
@@ -145,6 +175,16 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (flag == "--resume") opt.resume = value();
     else if (flag == "--retries") opt.retries = std::strtoull(value(), nullptr, 10);
     else if (flag == "--inject") opt.inject = value();
+    else if (flag == "--serve") opt.serve = true;
+    else if (flag == "--serve-requests") opt.serve_requests = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--serve-mode") opt.serve_mode = value();
+    else if (flag == "--serve-rate") opt.serve_rate = std::strtod(value(), nullptr);
+    else if (flag == "--serve-concurrency") opt.serve_concurrency = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--serve-batch") opt.serve_batch = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--serve-delay-us") opt.serve_delay_us = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--serve-deadline-us") opt.serve_deadline_us = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--serve-workers") opt.serve_workers = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--serve-metrics") opt.serve_metrics = value();
     else return std::nullopt;
   }
   if (opt.input.empty() == opt.synthetic.empty()) return std::nullopt;
@@ -344,7 +384,74 @@ int main(int argc, char** argv) {
       data::write_knng(opt->out, result.graph);
       std::printf("wrote %s\n", opt->out.c_str());
     }
-    if (!opt->queries.empty()) {
+    if (opt->serve) {
+      // Serving mode: pump the deterministic load generator through the
+      // micro-batching engine instead of running a one-shot search pass.
+      FloatMatrix squeries;
+      if (!opt->queries.empty()) {
+        squeries = data::read_fvecs(opt->queries);
+        WKNNG_CHECK_MSG(squeries.cols() == points.cols(),
+                        "query dim " << squeries.cols() << " != base dim "
+                                     << points.cols());
+      } else {
+        // No query file: perturbed base points, the standard held-out proxy.
+        const std::size_t nq = std::min<std::size_t>(256, points.rows());
+        squeries.resize(nq, points.cols());
+        Rng rng(opt->seed ^ 0x5E27EULL);
+        for (std::size_t qi = 0; qi < nq; ++qi) {
+          const auto src = points.row(rng.next_below(points.rows()));
+          auto dst = squeries.row(qi);
+          for (std::size_t d = 0; d < points.cols(); ++d) {
+            dst[d] = src[d] + 0.02f * rng.next_gaussian();
+          }
+        }
+      }
+
+      serve::ServeOptions so;
+      so.max_batch = opt->serve_batch;
+      so.max_delay_us = opt->serve_delay_us;
+      so.workers = opt->serve_workers;
+      so.default_deadline_us = opt->serve_deadline_us;
+      so.search.k = opt->k;
+      so.search.beam = opt->beam;
+      so.search.seed = opt->seed;
+      serve::ServeEngine engine(pool, so,
+                                serve::make_snapshot(1, points, result.graph));
+
+      serve::LoadGenConfig cfg;
+      if (opt->serve_mode == "closed") {
+        cfg.mode = serve::LoadGenConfig::Mode::kClosed;
+      } else if (opt->serve_mode == "open") {
+        cfg.mode = serve::LoadGenConfig::Mode::kOpen;
+      } else {
+        throw Error("unknown serve mode: " + opt->serve_mode);
+      }
+      cfg.seed = opt->seed;
+      cfg.requests = opt->serve_requests;
+      cfg.rate_qps = opt->serve_rate;
+      cfg.concurrency = opt->serve_concurrency;
+
+      std::printf("serving: mode=%s requests=%zu queries=%zu batch=%zu "
+                  "delay=%lluus workers=%zu deadline=%lluus\n",
+                  opt->serve_mode.c_str(), cfg.requests, squeries.rows(),
+                  so.max_batch,
+                  static_cast<unsigned long long>(so.max_delay_us),
+                  so.workers,
+                  static_cast<unsigned long long>(so.default_deadline_us));
+      const serve::LoadGenReport rep = serve::run_load(engine, squeries, cfg);
+      engine.stop();
+      std::printf("loadgen: %s\n", rep.to_json().c_str());
+      const std::string metrics_json = engine.metrics_json();
+      if (!opt->serve_metrics.empty()) {
+        std::ofstream out(opt->serve_metrics);
+        WKNNG_CHECK_MSG(out.good(),
+                        "cannot write " << opt->serve_metrics);
+        out << metrics_json << "\n";
+        std::printf("wrote %s\n", opt->serve_metrics.c_str());
+      } else {
+        std::printf("metrics: %s\n", metrics_json.c_str());
+      }
+    } else if (!opt->queries.empty()) {
       const FloatMatrix queries = data::read_fvecs(opt->queries);
       WKNNG_CHECK_MSG(queries.cols() == points.cols(),
                       "query dim " << queries.cols() << " != base dim "

@@ -6,7 +6,16 @@ BUILD="${1:-build}"
 cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
+RESULTS="$BUILD/bench-results"
+mkdir -p "$RESULTS"
 for b in "$BUILD"/bench/*; do
-  echo "=== $(basename "$b") ==="
-  "$b" --benchmark_min_warmup_time=0
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  "$b" --benchmark_min_warmup_time=0 \
+    --benchmark_out="$RESULTS/$name.json" --benchmark_out_format=json
 done
+# Serving metrics: a CLI serve run (fig11's engine, full request path) whose
+# engine metrics JSON lands next to the benchmark outputs.
+"$BUILD"/examples/wknng_cli --synthetic clusters:20000:32 --k 10 --serve \
+  --serve-requests 2000 --serve-metrics "$RESULTS/serving_metrics.json"

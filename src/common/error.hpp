@@ -52,6 +52,21 @@ class CheckpointMismatchError : public Error {
   using Error::Error;
 };
 
+/// A served query's deadline passed before its result could be delivered
+/// (src/serve): the request is answered with a typed timeout result instead
+/// of its neighbors.
+class DeadlineExceededError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A served query was rejected at admission because the request queue was
+/// full (src/serve load shedding) or the engine was shutting down.
+class OverloadShedError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* cond, const char* file,

@@ -40,16 +40,29 @@ void ThreadPool::run_job(Job& job) {
   }
 }
 
+ThreadPool::Job* ThreadPool::pick_job_locked() {
+  // Round-robin over the in-flight jobs so concurrent submitters share the
+  // workers instead of the newest job starving the others.
+  const std::size_t m = jobs_.size();
+  for (std::size_t off = 0; off < m; ++off) {
+    Job* j = jobs_[(rr_ + off) % m];
+    if (j->cursor.load(std::memory_order_relaxed) < j->n) {
+      rr_ = (rr_ + off + 1) % m;
+      return j;
+    }
+  }
+  return nullptr;
+}
+
 void ThreadPool::worker_loop() {
-  std::uint64_t seen_epoch = 0;
   while (true) {
     Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || (job_ != nullptr && epoch_ != seen_epoch); });
+      cv_.wait(lock, [&] { return stop_ || pick_job_locked() != nullptr; });
       if (stop_) return;
-      job = job_;
-      seen_epoch = epoch_;
+      job = pick_job_locked();
+      if (job == nullptr) continue;  // raced with another worker; wait again
       job->active.fetch_add(1, std::memory_order_relaxed);
     }
     run_job(*job);
@@ -75,8 +88,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &job;
-    ++epoch_;
+    jobs_.push_back(&job);
   }
   cv_.notify_all();
 
@@ -84,7 +96,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    job_ = nullptr;  // stop new workers from picking the job up
+    jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
     done_cv_.wait(lock, [&] {
       return job.done.load(std::memory_order_acquire) == n &&
              job.active.load(std::memory_order_acquire) == 0;

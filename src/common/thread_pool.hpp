@@ -16,6 +16,12 @@ namespace wknng {
 /// RP-forest leaves) are irregular, and static partitioning would idle
 /// workers on skewed buckets.
 ///
+/// `parallel_for` may be called from several threads at once: each submitter
+/// runs its own job to completion on its own thread, and idle workers are
+/// shared round-robin across all in-flight jobs. This is what lets the
+/// serving layer (src/serve) execute overlapping query batches on one pool —
+/// the substrate's analogue of concurrent kernels sharing an SM.
+///
 /// The pool is also the repo's stand-in for a GPU's warp scheduler: the SIMT
 /// substrate (src/simt) maps "resident warps" onto these workers.
 class ThreadPool {
@@ -55,13 +61,14 @@ class ThreadPool {
 
   void worker_loop();
   static void run_job(Job& job);
+  Job* pick_job_locked();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  Job* job_ = nullptr;       // current job visible to workers (guarded by mutex_)
-  std::uint64_t epoch_ = 0;  // bumps every submitted job
+  std::vector<Job*> jobs_;   // in-flight jobs (guarded by mutex_)
+  std::size_t rr_ = 0;       // round-robin pick cursor over jobs_
   bool stop_ = false;
 };
 

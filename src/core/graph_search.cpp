@@ -1,7 +1,6 @@
 #include "core/graph_search.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <queue>
 #include <vector>
 
@@ -25,29 +24,56 @@ struct MinHeapCmp {
 
 }  // namespace
 
-KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
-                      const KnnGraph& graph, const FloatMatrix& queries,
-                      const SearchParams& params, SearchStats* stats,
-                      simt::StatsAccumulator* acc) {
+SearchScratch::Slot& SearchScratch::local() {
+  const std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Slot>& slot = slots_[tid];
+  if (!slot) slot = std::make_unique<Slot>();
+  return *slot;
+}
+
+BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
+                                     const KnnGraph& graph,
+                                     const FloatMatrix& queries,
+                                     std::span<const std::uint64_t> tags,
+                                     const SearchParams& params,
+                                     SearchScratch* scratch,
+                                     simt::StatsAccumulator* acc) {
   WKNNG_CHECK(base.cols() == queries.cols());
   WKNNG_CHECK(graph.num_points() == base.rows());
-  WKNNG_CHECK_MSG(params.k > 0 && params.k <= base.rows(),
-                  "k=" << params.k << " base=" << base.rows());
+  WKNNG_CHECK_MSG(params.k > 0, "k must be positive");
+  WKNNG_CHECK_MSG(tags.empty() || tags.size() == queries.rows(),
+                  "tags size " << tags.size() << " != queries "
+                               << queries.rows());
   const std::size_t n = base.rows();
   const std::size_t nq = queries.rows();
 
-  KnnGraph out(nq, params.k);
-  std::atomic<std::uint64_t> visited_total{0};
+  BatchSearchResult out;
+  out.results = KnnGraph(nq, params.k);
+  out.visits.assign(nq, 0);
+  if (nq == 0 || n == 0) return out;  // nothing to search; no launch
+
+  // Degenerate-parameter clamps (see header): results never exceed the base,
+  // and the entry heap never outgrows the sample feeding it.
+  const std::size_t k_eff = std::min(params.k, n);
+  const std::size_t entry_keep = std::max<std::size_t>(
+      1, std::min(params.entry_keep, std::max<std::size_t>(
+                                         1, params.entry_sample)));
+
+  SearchScratch local_scratch;
+  SearchScratch& scr = scratch != nullptr ? *scratch : local_scratch;
 
   simt::launch_warps(pool, nq, acc, [&](Warp& w) {
     const std::size_t qi = w.id();
+    const std::uint64_t tag = tags.empty() ? qi : tags[qi];
     const auto query = queries.row(qi);
-    Rng rng(params.seed, 0x5EA5C000ULL + qi);
+    Rng rng(params.seed, 0x5EA5C000ULL + tag);
 
-    std::vector<char> visited(n, 0);
+    SearchScratch::Slot& slot = scr.local();
+    slot.begin(n);
     std::uint64_t visits = 0;
     std::priority_queue<Neighbor, std::vector<Neighbor>, MinHeapCmp> frontier;
-    TopK best(std::max(params.k, params.beam));
+    TopK best(std::max(k_eff, params.beam));
 
     // Entry scoring: warp evaluates the sample in candidate-parallel tiles.
     auto score_ids = [&](const std::vector<std::uint32_t>& ids,
@@ -68,15 +94,14 @@ KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
       visits += ids.size();
     };
 
-    std::vector<std::uint32_t> sample;
-    sample.reserve(params.entry_sample);
+    std::vector<std::uint32_t>& sample = slot.sample;
+    sample.clear();
     for (std::size_t e = 0; e < params.entry_sample && sample.size() < n; ++e) {
       const auto id = static_cast<std::uint32_t>(rng.next_below(n));
-      if (visited[id]) continue;
-      visited[id] = 1;
+      if (slot.test_and_set(id)) continue;
       sample.push_back(id);
     }
-    TopK entries(std::max<std::size_t>(1, params.entry_keep));
+    TopK entries(entry_keep);
     score_ids(sample, entries);
     for (const Neighbor& e : entries.take_sorted()) {
       frontier.push(e);
@@ -84,7 +109,7 @@ KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
     }
 
     // Best-first descent over the graph.
-    std::vector<std::uint32_t> expand;
+    std::vector<std::uint32_t>& expand = slot.expand;
     while (!frontier.empty()) {
       const Neighbor cur = frontier.top();
       frontier.pop();
@@ -92,8 +117,7 @@ KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
       expand.clear();
       for (const Neighbor& nb : graph.row(cur.id)) {
         if (nb.id == KnnGraph::kInvalid) break;
-        if (visited[nb.id]) continue;
-        visited[nb.id] = 1;
+        if (slot.test_and_set(nb.id)) continue;
         expand.push_back(nb.id);
       }
       w.count_read(graph.k() * sizeof(Neighbor));
@@ -119,17 +143,28 @@ KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
     }
 
     auto found = best.take_sorted();
-    if (found.size() > params.k) found.resize(params.k);
-    auto row = out.row(qi);
+    if (found.size() > k_eff) found.resize(k_eff);
+    auto row = out.results.row(qi);
     std::copy(found.begin(), found.end(), row.begin());
-    visited_total.fetch_add(visits, std::memory_order_relaxed);
+    out.visits[qi] = visits;  // this warp's slot only: no shared accumulator
   });
 
-  if (stats != nullptr) {
-    stats->points_visited += visited_total.load();
-    stats->queries += nq;
-  }
   return out;
+}
+
+KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
+                      const KnnGraph& graph, const FloatMatrix& queries,
+                      const SearchParams& params, SearchStats* stats,
+                      simt::StatsAccumulator* acc) {
+  BatchSearchResult batch =
+      graph_search_batch(pool, base, graph, queries, {}, params, nullptr, acc);
+  if (stats != nullptr) {
+    // Sequential index-order merge: the total is identical for every pool
+    // size and schedule, unlike a racing shared counter.
+    for (const std::uint64_t v : batch.visits) stats->points_visited += v;
+    stats->queries += queries.rows();
+  }
+  return std::move(batch.results);
 }
 
 }  // namespace wknng::core

@@ -1,6 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
@@ -30,9 +36,88 @@ struct SearchStats {
   std::uint64_t queries = 0;
 };
 
+/// Reusable per-worker search scratch — the arena a serving loop hands to
+/// every `graph_search_batch` call so the hot path stops paying an O(n)
+/// visited-array allocation+clear per query. Each worker thread lazily
+/// acquires a private slot (one mutex-protected lookup per query); inside a
+/// slot, visited marks are epoch-stamped so "clear" is a counter bump.
+class SearchScratch {
+ public:
+  struct Slot {
+    std::vector<std::uint32_t> mark;  ///< epoch stamp per base point
+    std::uint32_t epoch = 0;
+    std::vector<std::uint32_t> sample;
+    std::vector<std::uint32_t> expand;
+
+    /// Starts one query over a base of `n` points: grows `mark` if needed
+    /// and invalidates every previous mark by bumping the epoch.
+    void begin(std::size_t n) {
+      if (mark.size() < n) {
+        mark.assign(n, 0);
+        epoch = 0;
+      }
+      if (++epoch == 0) {  // epoch wrapped: hard-clear once every 2^32 queries
+        std::fill(mark.begin(), mark.end(), 0);
+        epoch = 1;
+      }
+    }
+
+    /// Returns whether `id` was already visited this query; marks it either way.
+    bool test_and_set(std::uint32_t id) {
+      if (mark[id] == epoch) return true;
+      mark[id] = epoch;
+      return false;
+    }
+  };
+
+  /// The calling thread's slot (created on first use).
+  Slot& local();
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::thread::id, std::unique_ptr<Slot>> slots_;
+};
+
+/// Result of a batched search: one KnnGraph row per query plus each query's
+/// distance-evaluation count. `visits` is written per query by its own warp
+/// (no shared accumulator), so summing it is deterministic regardless of
+/// worker count or schedule.
+struct BatchSearchResult {
+  KnnGraph results;
+  std::vector<std::uint64_t> visits;
+};
+
+/// Batched entry point used by the serving engine: answers every row of
+/// `queries` against `base` using `graph` for navigation, one warp per query.
+///
+/// `tags[i]` seeds query i's RNG stream (entry sampling). Results are a pure
+/// function of (base, graph, params, query vector, tag) — independent of how
+/// requests were batched together, which worker ran them, or what else was in
+/// the batch. This is the determinism contract `serve::ServeEngine` relies
+/// on: it tags each request once at admission, so replays and re-batched runs
+/// return bit-identical neighbors. An empty `tags` span means "use the row
+/// index", which reproduces the classic `graph_search` behavior.
+///
+/// Degenerate inputs are clamped, never UB:
+///  - zero queries → an empty result, no kernel launch
+///  - `k > base.rows()` → rows carry all base points, tail slots invalid
+///  - `entry_keep > entry_sample` → keep clamped to the sample size
+///  - `entry_sample` larger than the base → sampling stops at n points
+///
+/// `scratch` may be null (a private arena is used for the call).
+BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
+                                     const KnnGraph& graph,
+                                     const FloatMatrix& queries,
+                                     std::span<const std::uint64_t> tags,
+                                     const SearchParams& params,
+                                     SearchScratch* scratch = nullptr,
+                                     simt::StatsAccumulator* acc = nullptr);
+
 /// Answers every query against `base` using `graph` for navigation; one
 /// warp per query on the SIMT substrate. Returns a KnnGraph with one row per
-/// query (ids refer to base points).
+/// query (ids refer to base points). Thin wrapper over `graph_search_batch`
+/// with row-index tags; `stats` totals are merged per-query in index order
+/// (deterministic for any pool size).
 KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
                       const KnnGraph& graph, const FloatMatrix& queries,
                       const SearchParams& params,

@@ -1,0 +1,219 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace wknng::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(ThreadPool& pool, ServeOptions options,
+                         std::shared_ptr<const GraphSnapshot> initial)
+    : pool_(&pool),
+      options_(options),
+      slot_(std::move(initial)),
+      batcher_(options.max_batch, options.max_delay_us,
+               options.queue_capacity) {
+  WKNNG_CHECK_MSG(slot_.current() != nullptr,
+                  "ServeEngine needs an initial snapshot");
+  WKNNG_CHECK_MSG(options_.workers > 0, "ServeEngine needs >= 1 worker");
+  workers_.reserve(options_.workers);
+  for (std::size_t w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServeEngine::~ServeEngine() { stop(); }
+
+std::future<QueryResult> ServeEngine::submit(std::vector<float> query,
+                                             std::uint64_t deadline_us,
+                                             std::uint64_t tag) {
+  return submit_impl(std::move(query), deadline_us,
+                     next_id_.fetch_add(1, std::memory_order_relaxed), tag);
+}
+
+std::future<QueryResult> ServeEngine::submit(std::vector<float> query,
+                                             std::uint64_t deadline_us) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return submit_impl(std::move(query), deadline_us, id, /*tag=*/id);
+}
+
+std::future<QueryResult> ServeEngine::submit_impl(std::vector<float> query,
+                                                  std::uint64_t deadline_us,
+                                                  std::uint64_t id,
+                                                  std::uint64_t tag) {
+  const auto snap = slot_.current();
+  WKNNG_CHECK_MSG(query.size() == snap->base.cols(),
+                  "query dim " << query.size() << " != base dim "
+                               << snap->base.cols());
+
+  Request r;
+  r.id = id;
+  r.tag = tag;
+  r.query = std::move(query);
+  r.enqueued = Clock::now();
+  const std::uint64_t effective =
+      deadline_us != 0 ? deadline_us : options_.default_deadline_us;
+  if (effective != 0) {
+    r.deadline = r.enqueued + std::chrono::microseconds(effective);
+  }
+  std::future<QueryResult> fut = r.promise.get_future();
+
+  metrics_.enqueued.add();
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (stopped_.load(std::memory_order_acquire) || !batcher_.push(std::move(r))) {
+    QueryResult qr;
+    qr.status = QueryStatus::kShed;
+    std::ostringstream os;
+    os << "OverloadShed: request " << r.id << " rejected at admission ("
+       << (stopped_.load(std::memory_order_acquire) ? "engine stopped"
+                                                    : "queue full")
+       << ")";
+    qr.error = os.str();
+    metrics_.shed.add();
+    finish(r, std::move(qr), Clock::now());
+  }
+  return fut;
+}
+
+void ServeEngine::publish(std::shared_ptr<const GraphSnapshot> next) {
+  WKNNG_CHECK_MSG(next != nullptr, "cannot publish a null snapshot");
+  slot_.publish(std::move(next));
+  metrics_.snapshots_published.add();
+}
+
+void ServeEngine::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ServeEngine::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  batcher_.close();  // executors drain the backlog, then exit
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ServeEngine::worker_loop() {
+  while (true) {
+    std::vector<Request> batch = batcher_.next_batch();
+    if (batch.empty()) return;  // closed and drained
+    run_batch(std::move(batch));
+  }
+}
+
+void ServeEngine::finish(Request& r, QueryResult qr, Clock::time_point now) {
+  qr.request_id = r.id;
+  qr.tag = r.tag;
+  qr.total_us = us_between(r.enqueued, now);
+  metrics_.latency_us.record(qr.total_us);
+  metrics_.completed.add();
+  r.promise.set_value(std::move(qr));
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void ServeEngine::run_batch(std::vector<Request> batch) {
+  const auto dispatched = Clock::now();
+  metrics_.batches.add();
+  metrics_.batch_size.record(static_cast<double>(batch.size()));
+
+  // Deadline triage: expired requests get typed timeout results and are
+  // never executed — the engine sheds their work, not just their response.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& r : batch) {
+    if (dispatched > r.deadline) {
+      QueryResult qr;
+      qr.status = QueryStatus::kTimeout;
+      std::ostringstream os;
+      os << "DeadlineExceeded: request " << r.id
+         << " expired before dispatch (waited "
+         << us_between(r.enqueued, dispatched) << " us)";
+      qr.error = os.str();
+      qr.queue_us = us_between(r.enqueued, dispatched);
+      metrics_.queue_us.record(qr.queue_us);
+      metrics_.timed_out.add();
+      finish(r, std::move(qr), dispatched);
+    } else {
+      live.push_back(std::move(r));
+    }
+  }
+  if (live.empty()) return;
+
+  const std::shared_ptr<const GraphSnapshot> snap = slot_.current();
+  FloatMatrix queries(live.size(), snap->base.cols());
+  std::vector<std::uint64_t> tags(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    std::copy(live[i].query.begin(), live[i].query.end(),
+              queries.row(i).begin());
+    tags[i] = live[i].tag;
+  }
+
+  core::BatchSearchResult result;
+  try {
+    result = core::graph_search_batch(*pool_, snap->base, snap->graph,
+                                      queries, tags, options_.search,
+                                      &scratch_, nullptr);
+  } catch (const std::exception& e) {
+    // A failed batch (e.g. an injected LaunchAllocError) answers every
+    // request with a typed failure; the engine itself stays live.
+    const auto now = Clock::now();
+    for (Request& r : live) {
+      QueryResult qr;
+      qr.status = QueryStatus::kFailed;
+      qr.snapshot_version = snap->version;
+      qr.queue_us = us_between(r.enqueued, dispatched);
+      metrics_.queue_us.record(qr.queue_us);
+      qr.error = e.what();
+      metrics_.failed.add();
+      finish(r, std::move(qr), now);
+    }
+    return;
+  }
+
+  const auto done = Clock::now();
+  metrics_.queries.add(live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Request& r = live[i];
+    QueryResult qr;
+    qr.snapshot_version = snap->version;
+    qr.points_visited = result.visits[i];
+    qr.queue_us = us_between(r.enqueued, dispatched);
+    metrics_.queue_us.record(qr.queue_us);
+    metrics_.points_visited.add(result.visits[i]);
+    metrics_.visited.record(static_cast<double>(result.visits[i]));
+    const auto row = result.results.row(i);
+    const std::size_t valid = result.results.row_size(i);
+    qr.neighbors.assign(row.begin(), row.begin() + valid);
+    if (done > r.deadline) {
+      qr.status = QueryStatus::kTimeout;  // late result: neighbors included
+      std::ostringstream os;
+      os << "DeadlineExceeded: request " << r.id << " completed "
+         << us_between(r.deadline, done) << " us past its deadline";
+      qr.error = os.str();
+      metrics_.timed_out.add();
+    } else {
+      metrics_.ok.add();
+    }
+    finish(r, std::move(qr), done);
+  }
+}
+
+}  // namespace wknng::serve

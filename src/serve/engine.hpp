@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/graph_search.hpp"
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/snapshot.hpp"
+
+namespace wknng::serve {
+
+/// Engine policy knobs. The defaults serve interactively (small batches,
+/// sub-millisecond flush); throughput-oriented callers raise max_batch and
+/// max_delay_us (bench/fig11_serving sweeps exactly this trade-off).
+struct ServeOptions {
+  std::size_t max_batch = 32;          ///< flush threshold (queries per batch)
+  std::uint64_t max_delay_us = 200;    ///< flush timeout for a partial batch
+  std::size_t workers = 2;             ///< batch executor threads
+  std::size_t queue_capacity = 4096;   ///< pending requests before shedding
+  std::uint64_t default_deadline_us = 0;  ///< per-request default; 0 = none
+  core::SearchParams search;           ///< kernel parameters (k, beam, seed)
+};
+
+/// Batched, deadline-aware query serving over a K-NN graph.
+///
+/// Request path: `submit` assigns the request an id and a determinism tag,
+/// stamps its deadline, and enqueues it (or sheds, typed, when the queue is
+/// full). Executor threads form micro-batches (flush at `max_batch` or
+/// `max_delay_us`, whichever first), pin the current GraphSnapshot, and run
+/// the warp-per-query `core::graph_search_batch` kernel on the shared
+/// ThreadPool — several batches in flight use the pool's multi-job
+/// scheduling, the substrate's analogue of concurrent kernels on one device.
+///
+/// Snapshots: `publish` atomically swaps the graph (std::shared_ptr store);
+/// in-flight batches finish on the snapshot they pinned, new batches see the
+/// new one. `core::IncrementalKnng` can therefore insert and publish while
+/// the engine serves (tests/serve/test_snapshot_swap.cpp).
+///
+/// Deadlines: a request whose deadline passes before dispatch is answered
+/// with a typed timeout result (DeadlineExceededError vocabulary) and never
+/// executed — shed-load accounting, not silent drops. A batch that finishes
+/// past a request's deadline still returns the neighbors, marked kTimeout.
+///
+/// Determinism: a request's neighbors are a pure function of (snapshot,
+/// query vector, search params, tag). With caller-assigned tags (see the
+/// loadgen) the same seed and config reproduce bit-identical per-request
+/// results for any worker count, batching, or timing.
+class ServeEngine {
+ public:
+  ServeEngine(ThreadPool& pool, ServeOptions options,
+              std::shared_ptr<const GraphSnapshot> initial);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Enqueues one query (dimension must match the current snapshot).
+  /// `deadline_us` overrides the default (0 = use default); `tag` seeds the
+  /// query's RNG stream. The future always resolves — ok, timeout, shed, or
+  /// failed — it never throws on the serving path.
+  std::future<QueryResult> submit(std::vector<float> query,
+                                  std::uint64_t deadline_us, std::uint64_t tag);
+
+  /// Auto-tagged convenience: tag = the assigned request id.
+  std::future<QueryResult> submit(std::vector<float> query,
+                                  std::uint64_t deadline_us = 0);
+
+  /// Atomically swaps the served snapshot (never null).
+  void publish(std::shared_ptr<const GraphSnapshot> next);
+  std::shared_ptr<const GraphSnapshot> snapshot() const {
+    return slot_.current();
+  }
+
+  /// Blocks until every accepted request has been answered.
+  void drain();
+
+  /// Drains the queue, stops the executors, and joins them (idempotent; the
+  /// destructor calls it). Requests submitted after stop() are shed.
+  void stop();
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  std::string metrics_json() const { return metrics_.to_json(); }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  std::future<QueryResult> submit_impl(std::vector<float> query,
+                                       std::uint64_t deadline_us,
+                                       std::uint64_t id, std::uint64_t tag);
+  void worker_loop();
+  void run_batch(std::vector<Request> batch);
+  void finish(Request& r, QueryResult qr,
+              std::chrono::steady_clock::time_point now);
+
+  ThreadPool* pool_;
+  ServeOptions options_;
+  SnapshotSlot slot_;
+  MicroBatcher batcher_;
+  ServeMetrics metrics_;
+  core::SearchScratch scratch_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace wknng::serve

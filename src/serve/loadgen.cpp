@@ -1,0 +1,140 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wknng::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Stream-id base for arrival draws, disjoint from the kernel's query
+/// streams (0x5EA5C000 + tag) so the schedule never correlates with search.
+constexpr std::uint64_t kArrivalStream = 0x10AD6E4100000000ULL;
+
+/// One response folded to a 64-bit digest. Each request's digest is keyed by
+/// its tag, so the run-level commutative sum detects any per-request change
+/// (wrong neighbors, wrong visit count, wrong status) independent of the
+/// order responses happened to arrive in.
+std::uint64_t response_hash(const QueryResult& qr) {
+  SplitMix64 sm(qr.tag ^ 0x9E3779B97F4A7C15ULL);
+  std::uint64_t h = sm.next() ^ static_cast<std::uint64_t>(qr.status);
+  for (const Neighbor& nb : qr.neighbors) {
+    std::uint32_t dist_bits = 0;
+    std::memcpy(&dist_bits, &nb.dist, sizeof(dist_bits));
+    h = (h ^ nb.id) * 0xBF58476D1CE4E5B9ULL;
+    h = (h ^ dist_bits) * 0x94D049BB133111EBULL;
+    h ^= h >> 29;
+  }
+  h ^= qr.points_visited * 0x2545F4914F6CDD1DULL;
+  return h;
+}
+
+void fold(LoadGenReport& rep, const QueryResult& qr) {
+  switch (qr.status) {
+    case QueryStatus::kOk: ++rep.ok; break;
+    case QueryStatus::kTimeout: ++rep.timed_out; break;
+    case QueryStatus::kShed: ++rep.shed; break;
+    case QueryStatus::kFailed: ++rep.failed; break;
+  }
+  rep.points_visited += qr.points_visited;
+  rep.result_hash += response_hash(qr);  // commutative: order-independent
+}
+
+}  // namespace
+
+std::string LoadGenReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"requests\":" << requests << ",\"ok\":" << ok
+     << ",\"timed_out\":" << timed_out << ",\"shed\":" << shed
+     << ",\"failed\":" << failed << ",\"wall_seconds\":" << wall_seconds
+     << ",\"achieved_qps\":" << achieved_qps
+     << ",\"points_visited\":" << points_visited << ",\"result_hash\":\""
+     << std::hex << result_hash << "\"}";
+  return os.str();
+}
+
+std::vector<double> open_loop_schedule(std::uint64_t seed,
+                                       std::size_t requests, double rate_qps) {
+  WKNNG_CHECK_MSG(rate_qps > 0.0, "open-loop rate must be positive");
+  std::vector<double> offsets;
+  offsets.reserve(requests);
+  const double mean_gap_us = 1e6 / rate_qps;
+  double at = 0.0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    // Counter-hash: the i-th gap comes from its own (seed, i) stream, not a
+    // generator threaded through the loop, so draws never depend on how many
+    // requests precede them.
+    Rng rng(seed, kArrivalStream + i);
+    const double u = rng.next_double();  // [0, 1)
+    at += -std::log1p(-u) * mean_gap_us;
+    offsets.push_back(at);
+  }
+  return offsets;
+}
+
+LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
+                       const LoadGenConfig& config) {
+  WKNNG_CHECK_MSG(queries.rows() > 0, "loadgen needs at least one query row");
+  const std::size_t n = config.requests;
+  LoadGenReport rep;
+  rep.requests = n;
+  if (n == 0) return rep;
+
+  // Request i always carries tag i and query row i % rows: which requests
+  // exist, and what each one asks, is fixed before any clock is read.
+  auto query_row = [&](std::size_t i) {
+    const auto row = queries.row(i % queries.rows());
+    return std::vector<float>(row.begin(), row.end());
+  };
+
+  std::vector<QueryResult> results(n);
+  const auto t0 = Clock::now();
+
+  if (config.mode == LoadGenConfig::Mode::kOpen) {
+    const std::vector<double> offsets =
+        open_loop_schedule(config.seed, n, config.rate_qps);
+    std::vector<std::future<QueryResult>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::micro>(offsets[i])));
+      futures.push_back(engine.submit(query_row(i), config.deadline_us, i));
+    }
+    for (std::size_t i = 0; i < n; ++i) results[i] = futures[i].get();
+  } else {
+    const std::size_t c =
+        std::max<std::size_t>(1, std::min(config.concurrency, n));
+    std::vector<std::thread> threads;
+    threads.reserve(c);
+    for (std::size_t t = 0; t < c; ++t) {
+      threads.emplace_back([&, t] {
+        // One request outstanding per thread; distinct indices, no locking.
+        for (std::size_t i = t; i < n; i += c) {
+          results[i] =
+              engine.submit(query_row(i), config.deadline_us, i).get();
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  const auto t1 = Clock::now();
+  rep.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  rep.achieved_qps =
+      rep.wall_seconds > 0.0 ? static_cast<double>(n) / rep.wall_seconds : 0.0;
+  for (const QueryResult& qr : results) fold(rep, qr);
+  return rep;
+}
+
+}  // namespace wknng::serve

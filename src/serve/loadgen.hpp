@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "serve/engine.hpp"
+
+namespace wknng::serve {
+
+/// Deterministic load generator over a ServeEngine.
+///
+/// Two modes:
+///  - kClosed: `concurrency` submitter threads, each with exactly one request
+///    outstanding (thread t handles requests t, t+C, t+2C, ...). Measures the
+///    engine's saturated throughput at a given parallelism.
+///  - kOpen: requests arrive on a precomputed Poisson schedule at `rate_qps`.
+///    Inter-arrival gaps are exponential draws keyed by (seed, index) — a
+///    counter-hash, so the schedule is a pure function of the config and no
+///    wall-clock reading ever influences *which* requests exist or how they
+///    are tagged. Open-loop arrivals keep coming when the engine falls
+///    behind, which is what forces the deadline/shed paths under overload.
+///
+/// Determinism: request i always carries tag i and query row i % queries.rows.
+/// Tags key the kernel's RNG streams, so the neighbors in every response are
+/// a pure function of (snapshot, config) — identical across runs, worker
+/// counts, and batch compositions. `LoadGenReport::result_hash` folds every
+/// response with a commutative combine, so equal hashes mean equal per-request
+/// results regardless of completion order.
+struct LoadGenConfig {
+  enum class Mode : std::uint8_t { kClosed, kOpen };
+
+  Mode mode = Mode::kClosed;
+  std::uint64_t seed = 42;
+  std::size_t requests = 1024;
+  double rate_qps = 10000.0;      ///< open-loop arrival rate
+  std::size_t concurrency = 4;    ///< closed-loop submitter threads
+  std::uint64_t deadline_us = 0;  ///< per-request deadline; 0 = engine default
+};
+
+/// Aggregated outcome of one load-generation run. Counters and result_hash
+/// are deterministic for a fixed (snapshot, config) when no deadline forces
+/// timing-dependent statuses; wall_seconds / achieved_qps are measurements.
+struct LoadGenReport {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t timed_out = 0;
+  std::size_t shed = 0;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;
+  double achieved_qps = 0.0;
+  std::uint64_t points_visited = 0;  ///< summed over executed requests
+  std::uint64_t result_hash = 0;     ///< order-independent response digest
+  std::string to_json() const;
+};
+
+/// The open-loop arrival schedule: requests[i] arrives at offset_us[i] after
+/// the run starts. Exponential gaps with mean 1/rate_qps, each drawn from an
+/// Rng stream keyed by (seed, index) — no generator state threads through the
+/// schedule, so any prefix is stable under config.requests changes.
+std::vector<double> open_loop_schedule(std::uint64_t seed, std::size_t requests,
+                                       double rate_qps);
+
+/// Runs the configured load against `engine`, pulling query vectors
+/// round-robin from the rows of `queries`. Blocks until every response
+/// arrives (the engine is left running).
+LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
+                       const LoadGenConfig& config);
+
+}  // namespace wknng::serve

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wknng::serve {
+
+/// Monotonic event counter. Relaxed increments: the serving hot path only
+/// ever adds, and reports tolerate a momentarily stale read.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing bucket upper
+/// bounds (inclusive), with an implicit +inf overflow bucket. Recording is
+/// lock-free (one relaxed bucket increment plus count/sum updates);
+/// percentiles are extracted at report time by linear interpolation inside
+/// the covering bucket — the Prometheus model, embedded. Bucket layouts are
+/// fixed at construction so two runs of the same config produce structurally
+/// identical JSON.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double max_seen() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Value at percentile `p` in [0, 100]; 0 when the histogram is empty.
+  double percentile(double p) const;
+
+  /// {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..,
+  ///  "buckets":[{"le":bound,"count":n},...]}  (overflow bucket has "le":"inf")
+  std::string to_json() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// 1-2-5 geometric series from 1 µs to 10 s — the latency bucket layout every
+/// serving histogram shares.
+std::vector<double> latency_bounds_us();
+
+/// 1-2-5 geometric series from 1 to `max_value` (sizes, visit counts).
+std::vector<double> size_bounds(double max_value);
+
+/// The embedded metrics layer of one ServeEngine: monotonic counters plus
+/// fixed-bucket latency histograms, dumped as a single JSON object. All
+/// members are safe to update from any engine thread.
+struct ServeMetrics {
+  // Counters.
+  Counter enqueued;         ///< requests accepted into the queue
+  Counter completed;        ///< futures fulfilled (any status)
+  Counter ok;               ///< completed with neighbors in time
+  Counter timed_out;        ///< typed timeout results (deadline passed)
+  Counter shed;             ///< rejected at admission (queue full / shutdown)
+  Counter failed;           ///< batch execution failed with a typed error
+  Counter batches;          ///< micro-batches dispatched
+  Counter queries;          ///< queries actually executed by the kernel
+  Counter points_visited;   ///< distance evaluations across executed queries
+  Counter snapshots_published;
+
+  // Histograms.
+  Histogram latency_us{latency_bounds_us()};   ///< enqueue → future fulfilled
+  Histogram queue_us{latency_bounds_us()};     ///< enqueue → batch dispatch
+  Histogram batch_size{size_bounds(65536.0)};  ///< dispatched batch sizes
+  Histogram visited{size_bounds(1e9)};         ///< per-request points visited
+
+  std::string to_json() const;
+};
+
+}  // namespace wknng::serve

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+
+namespace wknng::serve {
+
+/// One immutable (base points, K-NN graph) pair served to queries. Builders
+/// (core::build_knng, core::IncrementalKnng) construct a snapshot off to the
+/// side and publish it whole; the serving path never sees a half-updated
+/// graph. `version` is the publisher's monotonic label — responses carry it
+/// so a client (or a test) can say exactly which graph answered them.
+struct GraphSnapshot {
+  std::uint64_t version = 0;
+  FloatMatrix base;
+  KnnGraph graph;
+
+  GraphSnapshot() = default;
+  GraphSnapshot(std::uint64_t v, FloatMatrix b, KnnGraph g)
+      : version(v), base(std::move(b)), graph(std::move(g)) {}
+};
+
+/// The single-slot atomic publication point between one writer (the build /
+/// incremental-insert side) and many readers (batch executors). Readers pin
+/// the current snapshot with a shared_ptr copy; a publish is one atomic
+/// store, after which new batches run on the new graph while in-flight
+/// batches finish on the old one — it stays alive until its last reader
+/// drops it. No locks, no reader/writer ordering requirements beyond the
+/// store/load pair.
+class SnapshotSlot {
+ public:
+  SnapshotSlot() = default;
+  explicit SnapshotSlot(std::shared_ptr<const GraphSnapshot> initial)
+      : slot_(std::move(initial)) {}
+
+  SnapshotSlot(const SnapshotSlot&) = delete;
+  SnapshotSlot& operator=(const SnapshotSlot&) = delete;
+
+  std::shared_ptr<const GraphSnapshot> current() const {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+  void publish(std::shared_ptr<const GraphSnapshot> next) {
+    slot_.store(std::move(next), std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const GraphSnapshot>> slot_;
+};
+
+/// Convenience: snapshot the current state of an already-built graph.
+inline std::shared_ptr<const GraphSnapshot> make_snapshot(
+    std::uint64_t version, const FloatMatrix& base, const KnnGraph& graph) {
+  return std::make_shared<const GraphSnapshot>(version, base, graph);
+}
+
+}  // namespace wknng::serve

@@ -17,6 +17,7 @@
 ///   core/       the w-KNNG builder, strategies, metrics, incremental mode
 ///   ivf/        IVF-Flat baseline (FAISS surrogate)
 ///   nndescent/  NN-Descent baseline
+///   serve/      batched, deadline-aware query serving over a built graph
 
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
@@ -38,4 +39,8 @@
 #include "ivf/ivf_flat.hpp"
 #include "ivf/ivf_sq8.hpp"
 #include "nndescent/nn_descent.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/metrics.hpp"
+#include "serve/snapshot.hpp"
 #include "tuner/tuner.hpp"

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace wknng {
@@ -93,6 +94,57 @@ TEST(ThreadPool, DefaultThreadCountPositive) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+
+TEST(ThreadPool, ConcurrentSubmittersEachCompleteTheirJob) {
+  // Several external threads submitting parallel_for at once (the serving
+  // layer's batch executors): every job must run every index exactly once,
+  // and no submitter may hang or lose work to another job.
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr std::size_t kN = 5000;
+  std::vector<std::vector<std::atomic<int>>> hits(kSubmitters);
+  for (auto& h : hits) {
+    h = std::vector<std::atomic<int>>(kN);
+  }
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 5; ++round) {
+        pool.parallel_for(kN, 16, [&, s](std::size_t i) {
+          hits[s][i].fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[s][i].load(), 5) << "submitter " << s << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ConcurrentSubmitterExceptionsStayWithTheirJob) {
+  ThreadPool pool(4);
+  std::atomic<int> ok_sum{0};
+  std::thread thrower([&] {
+    for (int round = 0; round < 20; ++round) {
+      EXPECT_THROW(pool.parallel_for(
+                       200, [&](std::size_t i) {
+                         if (i == 17) throw std::runtime_error("boom");
+                       }),
+                   std::runtime_error);
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(200, [&](std::size_t) {
+      ok_sum.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  thrower.join();
+  EXPECT_EQ(ok_sum.load(), 20 * 200);
+}
 
 TEST(ThreadPool, NestedParallelForFromWorkerIsSafe) {
   // A body that itself calls parallel_for must not deadlock: the inner loop

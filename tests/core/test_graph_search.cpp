@@ -113,6 +113,125 @@ TEST(GraphSearch, RejectsMismatchedShapes) {
   EXPECT_THROW(graph_search(f.pool, f.base, wrong_graph, f.queries, sp), Error);
 }
 
+// check_invariants() forbids row i containing id i (a self-loop in a K-NNG),
+// but a query result row legitimately may: query ids and base ids are
+// different spaces. Check the remaining row invariants directly.
+void expect_valid_result_rows(const KnnGraph& g) {
+  for (std::size_t qi = 0; qi < g.num_points(); ++qi) {
+    auto row = g.row(qi);
+    const std::size_t valid = g.row_size(qi);
+    for (std::size_t s = valid; s < row.size(); ++s) {
+      EXPECT_EQ(row[s].id, KnnGraph::kInvalid);  // valid prefix only
+    }
+    for (std::size_t s = 1; s < valid; ++s) {
+      EXPECT_TRUE(row[s - 1] < row[s]) << "row " << qi;  // sorted, no dups
+    }
+  }
+}
+
+TEST(GraphSearch, KLargerThanBaseReturnsClampedRows) {
+  // k beyond the base size must clamp, not throw or overrun: every row gets
+  // all base points except (possibly) none, with invalid tail slots.
+  ThreadPool pool(2);
+  FloatMatrix base = data::make_clusters(12, 6, 2, 0.1f, 5);
+  BuildParams bp;
+  bp.k = 4;
+  bp.num_trees = 2;
+  const KnnGraph graph = build_knng(pool, base, bp).graph;
+  FloatMatrix queries(3, 6);
+  SearchParams sp;
+  sp.k = 50;  // > 12 base points
+  sp.entry_sample = 64;
+  const KnnGraph got = graph_search(pool, base, graph, queries, sp);
+  expect_valid_result_rows(got);
+  for (std::size_t qi = 0; qi < got.num_points(); ++qi) {
+    EXPECT_LE(got.row_size(qi), base.rows());
+    EXPECT_GT(got.row_size(qi), 0u);
+    for (std::size_t s = 0; s < got.row_size(qi); ++s) {
+      EXPECT_LT(got.row(qi)[s].id, base.rows());
+    }
+  }
+}
+
+TEST(GraphSearch, ZeroQueriesReturnsEmptyResult) {
+  Fixture f(300, 8, 5);
+  FloatMatrix none(0, 8);
+  SearchParams sp;
+  sp.k = 5;
+  SearchStats stats;
+  const KnnGraph got = graph_search(f.pool, f.base, f.graph, none, sp, &stats);
+  EXPECT_EQ(got.num_points(), 0u);
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.points_visited, 0u);
+}
+
+TEST(GraphSearch, EntryKeepLargerThanSampleIsClamped) {
+  Fixture f(400, 8, 8);
+  SearchParams sp;
+  sp.k = 5;
+  sp.entry_sample = 4;
+  sp.entry_keep = 1000;  // > entry_sample
+  KnnGraph got;
+  ASSERT_NO_THROW(got = graph_search(f.pool, f.base, f.graph, f.queries, sp));
+  expect_valid_result_rows(got);
+  for (std::size_t qi = 0; qi < got.num_points(); ++qi) {
+    EXPECT_GT(got.row_size(qi), 0u);
+  }
+}
+
+TEST(GraphSearch, StatsDeterministicAcrossThreadCounts) {
+  // points_visited is merged per query in index order, so the totals (and
+  // the results) must be bit-identical for any pool size and across repeats.
+  Fixture f(1200, 12, 25);
+  SearchParams sp;
+  sp.k = 8;
+  SearchStats ref;
+  const KnnGraph expect =
+      graph_search(f.pool, f.base, f.graph, f.queries, sp, &ref);
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    ThreadPool other(threads);
+    for (int rep = 0; rep < 2; ++rep) {
+      SearchStats stats;
+      const KnnGraph got =
+          graph_search(other, f.base, f.graph, f.queries, sp, &stats);
+      ASSERT_EQ(stats.points_visited, ref.points_visited)
+          << "threads=" << threads << " rep=" << rep;
+      ASSERT_EQ(stats.queries, ref.queries);
+      for (std::size_t qi = 0; qi < expect.num_points(); ++qi) {
+        for (std::size_t s = 0; s < expect.k(); ++s) {
+          ASSERT_EQ(expect.row(qi)[s], got.row(qi)[s]);
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphSearch, TagKeyedResultsIndependentOfBatching) {
+  // The serving determinism contract: a query's result depends on its tag,
+  // not its position in the batch. Searching rows one at a time with their
+  // original row-index tags must reproduce the full-batch results.
+  Fixture f(900, 10, 12);
+  SearchParams sp;
+  sp.k = 6;
+  const BatchSearchResult full = graph_search_batch(
+      f.pool, f.base, f.graph, f.queries, {}, sp, nullptr, nullptr);
+  SearchScratch scratch;
+  for (std::size_t qi = 0; qi < f.queries.rows(); ++qi) {
+    FloatMatrix one(1, f.queries.cols());
+    std::copy(f.queries.row(qi).begin(), f.queries.row(qi).end(),
+              one.row(0).begin());
+    const std::uint64_t tag = qi;
+    const BatchSearchResult single = graph_search_batch(
+        f.pool, f.base, f.graph, one, std::span(&tag, 1), sp, &scratch,
+        nullptr);
+    ASSERT_EQ(single.visits[0], full.visits[qi]) << "query " << qi;
+    for (std::size_t s = 0; s < sp.k; ++s) {
+      ASSERT_EQ(single.results.row(0)[s], full.results.row(qi)[s])
+          << "query " << qi << " slot " << s;
+    }
+  }
+}
+
 TEST(GraphSearch, WorkCountersAccumulate) {
   Fixture f(500, 8, 10);
   SearchParams sp;

@@ -1,0 +1,82 @@
+#include "serve/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace wknng::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Request make_request(std::uint64_t id) {
+  Request r;
+  r.id = id;
+  r.tag = id;
+  r.query = {1.0f, 2.0f};
+  r.enqueued = Clock::now();
+  return r;
+}
+
+TEST(MicroBatcher, FlushesImmediatelyAtMaxBatch) {
+  MicroBatcher b(4, /*max_delay_us=*/10'000'000, /*capacity=*/64);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(b.push(make_request(i)));
+  }
+  const auto t0 = Clock::now();
+  const std::vector<Request> batch = b.next_batch();
+  const auto elapsed = Clock::now() - t0;
+  ASSERT_EQ(batch.size(), 4u);
+  // FIFO admission order survives into the batch.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].id, i);
+  // A full batch must not wait out the 10 s delay budget.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(MicroBatcher, FlushesPartialBatchAfterDelay) {
+  MicroBatcher b(100, /*max_delay_us=*/5000, /*capacity=*/64);
+  EXPECT_TRUE(b.push(make_request(7)));
+  EXPECT_TRUE(b.push(make_request(8)));
+  const std::vector<Request> batch = b.next_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, 7u);
+  EXPECT_EQ(batch[1].id, 8u);
+}
+
+TEST(MicroBatcher, PushRejectsAtCapacityLeavingRequestIntact) {
+  MicroBatcher b(8, 10'000'000, /*capacity=*/2);
+  EXPECT_TRUE(b.push(make_request(0)));
+  EXPECT_TRUE(b.push(make_request(1)));
+  Request rejected = make_request(2);
+  EXPECT_FALSE(b.push(std::move(rejected)));
+  // The caller still owns the request: id, payload, and a usable promise.
+  EXPECT_EQ(rejected.id, 2u);
+  EXPECT_EQ(rejected.query.size(), 2u);
+  auto fut = rejected.promise.get_future();
+  rejected.promise.set_value(QueryResult{});
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(b.depth(), 2u);
+}
+
+TEST(MicroBatcher, CloseDrainsBacklogThenReturnsEmpty) {
+  MicroBatcher b(2, 10'000'000, 64);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_TRUE(b.push(make_request(i)));
+  b.close();
+  EXPECT_TRUE(b.closed());
+  EXPECT_FALSE(b.push(make_request(9)));  // no admission after close
+
+  EXPECT_EQ(b.next_batch().size(), 2u);  // close flushes without delay
+  EXPECT_EQ(b.next_batch().size(), 1u);
+  EXPECT_TRUE(b.next_batch().empty());  // drained: executor exit signal
+}
+
+TEST(MicroBatcher, StatusNamesAreStable) {
+  EXPECT_STREQ(query_status_name(QueryStatus::kOk), "ok");
+  EXPECT_STREQ(query_status_name(QueryStatus::kTimeout), "timeout");
+  EXPECT_STREQ(query_status_name(QueryStatus::kShed), "shed");
+  EXPECT_STREQ(query_status_name(QueryStatus::kFailed), "failed");
+}
+
+}  // namespace
+}  // namespace wknng::serve

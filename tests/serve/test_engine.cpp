@@ -1,0 +1,258 @@
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "core/graph_search.hpp"
+#include "data/synthetic.hpp"
+#include "simt/fault.hpp"
+
+namespace wknng::serve {
+namespace {
+
+struct Fixture {
+  ThreadPool pool{4};
+  FloatMatrix base;
+  FloatMatrix queries;
+  KnnGraph graph;
+
+  explicit Fixture(std::size_t n = 600, std::size_t dim = 8,
+                   std::size_t nq = 24) {
+    base = data::make_clusters(n, dim, 8, 0.1f, 5);
+    queries.resize(nq, dim);
+    Rng rng(23);
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      const auto src = base.row(rng.next_below(n));
+      auto dst = queries.row(qi);
+      for (std::size_t d = 0; d < dim; ++d) {
+        dst[d] = src[d] + 0.02f * rng.next_gaussian();
+      }
+    }
+    core::BuildParams bp;
+    bp.k = 10;
+    bp.num_trees = 4;
+    bp.refine_iters = 1;
+    graph = core::build_knng(pool, base, bp).graph;
+  }
+
+  std::vector<float> query_vec(std::size_t qi) const {
+    const auto row = queries.row(qi);
+    return {row.begin(), row.end()};
+  }
+
+  ServeOptions options() const {
+    ServeOptions so;
+    so.max_batch = 8;
+    so.max_delay_us = 1000;
+    so.workers = 2;
+    so.search.k = 5;
+    return so;
+  }
+};
+
+TEST(ServeEngine, ServedResultsMatchDirectSearch) {
+  Fixture f;
+  const ServeOptions so = f.options();
+  ServeEngine engine(f.pool, so, make_snapshot(1, f.base, f.graph));
+
+  std::vector<std::future<QueryResult>> futs;
+  futs.reserve(f.queries.rows());
+  for (std::size_t qi = 0; qi < f.queries.rows(); ++qi) {
+    futs.push_back(engine.submit(f.query_vec(qi), 0, /*tag=*/qi));
+  }
+
+  // The wrapper seeds per-query streams by row index — identical to the tags
+  // above, so the engine must reproduce it bit-for-bit regardless of how the
+  // micro-batcher grouped the requests.
+  const KnnGraph direct =
+      core::graph_search(f.pool, f.base, f.graph, f.queries, so.search);
+
+  for (std::size_t qi = 0; qi < futs.size(); ++qi) {
+    const QueryResult qr = futs[qi].get();
+    ASSERT_EQ(qr.status, QueryStatus::kOk) << qr.error;
+    EXPECT_EQ(qr.tag, qi);
+    EXPECT_EQ(qr.snapshot_version, 1u);
+    EXPECT_GT(qr.points_visited, 0u);
+    const auto expect = direct.row(qi);
+    ASSERT_EQ(qr.neighbors.size(), expect.size());
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(qr.neighbors[j], expect[j]) << "query " << qi << " rank " << j;
+    }
+  }
+  EXPECT_EQ(engine.metrics().ok.value(), f.queries.rows());
+  EXPECT_EQ(engine.metrics().queries.value(), f.queries.rows());
+  EXPECT_GE(engine.metrics().batches.value(), 1u);
+}
+
+TEST(ServeEngine, DeterministicAcrossWorkerCountsAndBatchSizes) {
+  Fixture f;
+  auto run = [&](std::size_t workers, std::size_t max_batch) {
+    ServeOptions so = f.options();
+    so.workers = workers;
+    so.max_batch = max_batch;
+    ServeEngine engine(f.pool, so, make_snapshot(1, f.base, f.graph));
+    std::vector<std::future<QueryResult>> futs;
+    for (std::size_t qi = 0; qi < f.queries.rows(); ++qi) {
+      futs.push_back(engine.submit(f.query_vec(qi), 0, qi));
+    }
+    std::vector<QueryResult> out;
+    out.reserve(futs.size());
+    for (auto& fut : futs) out.push_back(fut.get());
+    return out;
+  };
+
+  const std::vector<QueryResult> a = run(1, 32);
+  const std::vector<QueryResult> b = run(4, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].status, QueryStatus::kOk);
+    EXPECT_EQ(b[i].status, QueryStatus::kOk);
+    EXPECT_EQ(a[i].points_visited, b[i].points_visited) << "query " << i;
+    ASSERT_EQ(a[i].neighbors.size(), b[i].neighbors.size());
+    for (std::size_t j = 0; j < a[i].neighbors.size(); ++j) {
+      EXPECT_EQ(a[i].neighbors[j], b[i].neighbors[j]);
+    }
+  }
+}
+
+TEST(ServeEngine, ExpiredRequestsGetTypedTimeoutsAndAreNeverExecuted) {
+  Fixture f;
+  ServeOptions so = f.options();
+  so.workers = 1;
+  so.max_batch = 1024;          // never fills
+  so.max_delay_us = 200'000;    // 200 ms flush: far past the deadlines below
+  ServeEngine engine(f.pool, so, make_snapshot(1, f.base, f.graph));
+
+  std::vector<std::future<QueryResult>> futs;
+  for (std::size_t qi = 0; qi < 3; ++qi) {
+    futs.push_back(engine.submit(f.query_vec(qi), /*deadline_us=*/1, qi));
+  }
+  for (auto& fut : futs) {
+    const QueryResult qr = fut.get();
+    EXPECT_EQ(qr.status, QueryStatus::kTimeout);
+    EXPECT_NE(qr.error.find("DeadlineExceeded"), std::string::npos) << qr.error;
+    EXPECT_TRUE(qr.neighbors.empty());  // shed work, not just a late answer
+  }
+  EXPECT_EQ(engine.metrics().timed_out.value(), 3u);
+  EXPECT_EQ(engine.metrics().queries.value(), 0u);  // kernel never ran
+  EXPECT_EQ(engine.metrics().ok.value(), 0u);
+}
+
+TEST(ServeEngine, QueueFullShedsWithTypedResult) {
+  Fixture f;
+  ServeOptions so = f.options();
+  so.workers = 1;
+  so.max_batch = 1024;
+  so.max_delay_us = 200'000;  // executor holds off: queue stays occupied
+  so.queue_capacity = 2;
+  ServeEngine engine(f.pool, so, make_snapshot(1, f.base, f.graph));
+
+  std::vector<std::future<QueryResult>> futs;
+  for (std::size_t qi = 0; qi < 6; ++qi) {
+    futs.push_back(engine.submit(f.query_vec(qi % f.queries.rows()), 0, qi));
+  }
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (auto& fut : futs) {
+    const QueryResult qr = fut.get();
+    if (qr.status == QueryStatus::kShed) {
+      ++shed;
+      EXPECT_NE(qr.error.find("OverloadShed"), std::string::npos) << qr.error;
+      EXPECT_TRUE(qr.neighbors.empty());
+    } else {
+      EXPECT_EQ(qr.status, QueryStatus::kOk) << qr.error;
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok, 2u);    // capacity admitted exactly two
+  EXPECT_EQ(shed, 4u);
+  EXPECT_EQ(engine.metrics().shed.value(), 4u);
+  const std::string json = engine.metrics_json();
+  EXPECT_NE(json.find("\"shed\":4"), std::string::npos);
+}
+
+TEST(ServeEngine, SubmitAfterStopIsShed) {
+  Fixture f;
+  ServeEngine engine(f.pool, f.options(), make_snapshot(1, f.base, f.graph));
+  engine.stop();
+  const QueryResult qr = engine.submit(f.query_vec(0), 0, 0).get();
+  EXPECT_EQ(qr.status, QueryStatus::kShed);
+  EXPECT_NE(qr.error.find("engine stopped"), std::string::npos) << qr.error;
+}
+
+TEST(ServeEngine, InjectedBatchFailureAnswersTypedAndEngineStaysLive) {
+  Fixture f;
+  ServeOptions so = f.options();
+  so.workers = 1;
+  ServeEngine engine(f.pool, so, make_snapshot(1, f.base, f.graph));
+
+  simt::FaultSpec spec;
+  spec.enabled = true;
+  spec.site = simt::FaultSite::kLaunchAlloc;
+  spec.seed = 99;
+  spec.probability = 1.0;
+  spec.max_faults = 1;  // fail exactly the first launch, then recover
+  simt::FaultInjector injector(spec);
+  {
+    simt::ScopedFaultInjection scope(injector);
+    const QueryResult failed = engine.submit(f.query_vec(0), 0, 0).get();
+    EXPECT_EQ(failed.status, QueryStatus::kFailed);
+    EXPECT_NE(failed.error.find("launch-alloc"), std::string::npos)
+        << failed.error;
+    EXPECT_EQ(injector.injected(), 1u);
+
+    // Same engine, same injector scope: the budget is spent, so the next
+    // batch launches cleanly — the failure was answered, not fatal.
+    const QueryResult ok = engine.submit(f.query_vec(1), 0, 1).get();
+    EXPECT_EQ(ok.status, QueryStatus::kOk) << ok.error;
+  }
+  EXPECT_EQ(engine.metrics().failed.value(), 1u);
+  EXPECT_EQ(engine.metrics().ok.value(), 1u);
+}
+
+TEST(ServeEngine, PublishSwapsTheServedSnapshot) {
+  Fixture f;
+  ServeEngine engine(f.pool, f.options(), make_snapshot(1, f.base, f.graph));
+  EXPECT_EQ(engine.snapshot()->version, 1u);
+
+  engine.publish(make_snapshot(2, f.base, f.graph));
+  EXPECT_EQ(engine.snapshot()->version, 2u);
+  EXPECT_EQ(engine.metrics().snapshots_published.value(), 1u);
+
+  const QueryResult qr = engine.submit(f.query_vec(0), 0, 0).get();
+  ASSERT_EQ(qr.status, QueryStatus::kOk) << qr.error;
+  EXPECT_EQ(qr.snapshot_version, 2u);
+}
+
+TEST(ServeEngine, RejectsMismatchedQueryDimension) {
+  Fixture f;
+  ServeEngine engine(f.pool, f.options(), make_snapshot(1, f.base, f.graph));
+  std::vector<float> wrong(f.base.cols() + 1, 0.0f);
+  EXPECT_THROW(engine.submit(std::move(wrong), 0, 0), Error);
+}
+
+TEST(ServeEngine, DrainWaitsForAllAcceptedRequests) {
+  Fixture f;
+  ServeOptions so = f.options();
+  so.max_delay_us = 2000;
+  ServeEngine engine(f.pool, so, make_snapshot(1, f.base, f.graph));
+  std::vector<std::future<QueryResult>> futs;
+  for (std::size_t qi = 0; qi < f.queries.rows(); ++qi) {
+    futs.push_back(engine.submit(f.query_vec(qi), 0, qi));
+  }
+  engine.drain();
+  for (auto& fut : futs) {
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  EXPECT_EQ(engine.metrics().completed.value(), f.queries.rows());
+}
+
+}  // namespace
+}  // namespace wknng::serve
