@@ -15,7 +15,8 @@ constexpr std::size_t kDim = 32;
 
 void BM_ScalingN(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  const data::DatasetSpec spec = clustered(n, kDim);
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  const data::DatasetSpec spec = clustered(n, dim);
   const FloatMatrix& pts = dataset(spec);
   core::BuildParams params;
   params.k = kK;
@@ -29,6 +30,7 @@ void BM_ScalingN(benchmark::State& state) {
   }
   state.SetLabel("tiled");
   state.counters["n"] = static_cast<double>(n);
+  state.counters["dim"] = static_cast<double>(dim);
   state.counters["recall"] = sampled_recall(last.graph, spec, kK);
   state.counters["us_per_point"] = last.total_seconds * 1e6 / static_cast<double>(n);
   state.counters["dist_evals_per_point"] =
@@ -38,7 +40,14 @@ void BM_ScalingN(benchmark::State& state) {
 void register_all() {
   for (long n : {2048, 4096, 8192, 16384, 32768}) {
     benchmark::RegisterBenchmark("Fig4/ScalingN", BM_ScalingN)
-        ->Arg(n)->Unit(benchmark::kMillisecond)->Iterations(1);
+        ->Args({n, kDim})->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  // Same sweep in the distance-bound regime: at dim 256 the build spends most
+  // of its time inside the l2 kernels, so this series tracks the dispatch
+  // layer's end-to-end speedup (the >=2x scalar-vs-avx2 gate keys on it).
+  for (long n : {2048, 4096, 8192}) {
+    benchmark::RegisterBenchmark("Fig4/ScalingNHighDim", BM_ScalingN)
+        ->Args({n, 256})->Unit(benchmark::kMillisecond)->Iterations(1);
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/fault.hpp"
 #include "simt/launch.hpp"
 #include "simt/memory.hpp"
@@ -104,6 +105,109 @@ void BM_WarpL2Dims(benchmark::State& state) {
   state.counters["dim"] = static_cast<double>(dim);
 }
 BENCHMARK(BM_WarpL2Dims)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// --- Dispatched distance-kernel backends ----------------------------------
+// Raw throughput of the three l2 primitives per ISA backend (scalar / sse2 /
+// avx2), same dims as BM_WarpL2Dims. The scalar-vs-avx2 ratio here is the
+// vectorization speedup the dispatch layer buys; BENCH_*.json records it.
+
+void BM_KernelL2One(benchmark::State& state) {
+  const auto backend = static_cast<kernels::Backend>(state.range(0));
+  const kernels::KernelOps* ops = kernels::ops_for(backend);
+  if (ops == nullptr) {
+    state.SkipWithError("backend unavailable on this CPU/build");
+    return;
+  }
+  const std::size_t dim = static_cast<std::size_t>(state.range(1));
+  Rng rng(3);
+  std::vector<float> x(dim), y(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    x[d] = rng.next_float();
+    y[d] = rng.next_float();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops->l2_one(x.data(), y.data(), dim));
+  }
+  state.SetLabel(ops->name);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["dim"] = static_cast<double>(dim);
+}
+
+void BM_KernelL2Batch(benchmark::State& state) {
+  const auto backend = static_cast<kernels::Backend>(state.range(0));
+  const kernels::KernelOps* ops = kernels::ops_for(backend);
+  if (ops == nullptr) {
+    state.SkipWithError("backend unavailable on this CPU/build");
+    return;
+  }
+  const std::size_t dim = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kL = 32;
+  Rng rng(4);
+  std::vector<float> q(dim);
+  std::vector<std::vector<float>> rows(kL, std::vector<float>(dim));
+  for (std::size_t d = 0; d < dim; ++d) q[d] = rng.next_float();
+  std::vector<const float*> row_ptrs(kL);
+  std::vector<float> norms(kL);
+  for (std::size_t l = 0; l < kL; ++l) {
+    for (std::size_t d = 0; d < dim; ++d) rows[l][d] = rng.next_float();
+    row_ptrs[l] = rows[l].data();
+    norms[l] = ops->norm_sq(rows[l].data(), dim);
+  }
+  std::vector<float> out(kL);
+  for (auto _ : state) {
+    ops->l2_batch(q.data(), row_ptrs.data(), norms.data(), kL, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(ops->name);
+  state.SetItemsProcessed(state.iterations() * kL);
+  state.counters["dim"] = static_cast<double>(dim);
+}
+
+void BM_KernelL2Tile(benchmark::State& state) {
+  const auto backend = static_cast<kernels::Backend>(state.range(0));
+  const kernels::KernelOps* ops = kernels::ops_for(backend);
+  if (ops == nullptr) {
+    state.SkipWithError("backend unavailable on this CPU/build");
+    return;
+  }
+  const std::size_t dim = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kT = 32;  // one warp tile, as in the tiled strategy
+  Rng rng(5);
+  std::vector<std::vector<float>> rows(2 * kT, std::vector<float>(dim));
+  std::vector<const float*> ptrs(2 * kT);
+  std::vector<float> norms(2 * kT);
+  for (std::size_t r = 0; r < 2 * kT; ++r) {
+    for (std::size_t d = 0; d < dim; ++d) rows[r][d] = rng.next_float();
+    ptrs[r] = rows[r].data();
+    norms[r] = ops->norm_sq(rows[r].data(), dim);
+  }
+  std::vector<float> out(kT * kT);
+  for (auto _ : state) {
+    ops->l2_tile(ptrs.data(), norms.data(), kT, ptrs.data() + kT,
+                 norms.data() + kT, kT, dim, out.data(), kT);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(ops->name);
+  state.SetItemsProcessed(state.iterations() * kT * kT);
+  state.counters["dim"] = static_cast<double>(dim);
+}
+
+void register_kernel_benchmarks() {
+  for (int backend = 0; backend < 3; ++backend) {
+    if (kernels::ops_for(static_cast<kernels::Backend>(backend)) == nullptr) {
+      continue;
+    }
+    for (int dim : {16, 64, 256, 1024}) {
+      benchmark::RegisterBenchmark("BM_KernelL2One", BM_KernelL2One)
+          ->Args({backend, dim});
+      benchmark::RegisterBenchmark("BM_KernelL2Batch", BM_KernelL2Batch)
+          ->Args({backend, dim});
+      benchmark::RegisterBenchmark("BM_KernelL2Tile", BM_KernelL2Tile)
+          ->Args({backend, dim});
+    }
+  }
+}
+const int kernel_benchmarks_registered = (register_kernel_benchmarks(), 0);
 
 void BM_AtomicMinUncontended(benchmark::State& state) {
   Stats stats;

@@ -6,6 +6,9 @@
 // per system, all tuned to the same target recall. The paper's "who wins"
 // shape must hold in these columns (see DESIGN.md, Measurement honesty).
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "bench_common.hpp"
 #include "ivf/ivf_flat.hpp"
 #include "nndescent/nn_descent.hpp"
@@ -16,6 +19,33 @@ namespace {
 constexpr std::size_t kK = 10;
 constexpr double kTargetRecall = 0.88;
 const data::DatasetSpec kSpec = clustered(4096, 64);
+
+// Every distance evaluation reads at most two coordinate rows (pair kernel)
+// and, amortized, at least 1/32 of a row (a 32x32 tile charges 64 staged rows
+// for up to 1024 evaluations). Read traffic outside those bounds means the
+// byte accounting regressed — e.g. the old warp_l2_batch bug that charged the
+// query row even when every lane was inactive. Abort rather than publish a
+// table whose bytes column is fiction.
+void assert_work_accounted(const char* label, std::uint64_t dist_evals,
+                           std::uint64_t read_bytes, std::size_t dim) {
+  const double row_bytes = static_cast<double>(dim) * sizeof(float);
+  const double evals = static_cast<double>(dist_evals);
+  // Per eval: at most 2 coordinate rows, plus k-set maintenance traffic (the
+  // basic strategy re-reads the locked k-set per candidate — bounded by a few
+  // sweeps of k 8-byte entries), plus a flat term for tree/graph structure.
+  const double set_bytes = 32.0 * static_cast<double>(kK);
+  const double upper = evals * (2.0 * row_bytes + set_bytes) + 16.0 * 1024 * 1024;
+  const double lower = evals * row_bytes / 32.0;
+  const double bytes = static_cast<double>(read_bytes);
+  if (bytes > upper || (dist_evals > 0 && bytes < lower)) {
+    std::fprintf(stderr,
+                 "FATAL [%s]: gmem read accounting out of bounds: "
+                 "%.3e bytes for %.3e dist evals at dim %zu "
+                 "(allowed [%.3e, %.3e])\n",
+                 label, bytes, evals, dim, lower, upper);
+    std::abort();
+  }
+}
 
 void BM_WknngWork(benchmark::State& state) {
   const auto strategy = static_cast<core::Strategy>(state.range(0));
@@ -31,6 +61,9 @@ void BM_WknngWork(benchmark::State& state) {
   for (auto _ : state) {
     last = core::build_knng(pool(), pts, params);
   }
+  assert_work_accounted(core::strategy_name(strategy),
+                        last.stats.distance_evals, last.stats.global_reads,
+                        kSpec.dim);
   state.SetLabel(std::string("w-KNNG/") + core::strategy_name(strategy));
   state.counters["recall"] = sampled_recall(last.graph, kSpec, kK);
   state.counters["dist_evals_M"] =

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Emit and compare benchmark baselines for the kernel-dispatch work.
+
+Two modes:
+
+  emit     Run a set of bench binaries under a given WKNNG_KERNEL backend and
+           write one Google-Benchmark JSON per bench to --out-dir, named
+           BENCH_<bench>_<tag>.json. These are the checked-in baselines at the
+           repo root (pre = scalar backend, i.e. the pre-dispatch code path;
+           post = auto, i.e. the widest ISA the host supports).
+
+  compare  Load two emitted JSONs for the same bench and print a per-benchmark
+           speedup table (baseline_time / candidate_time). --require-speedup
+           PATTERN:FACTOR makes the script exit non-zero unless every
+           benchmark whose name matches PATTERN (substring) is at least
+           FACTOR x faster in the candidate — this is how CI enforces the
+           ">= 2x AVX2 vs scalar" acceptance bar on tab2 and fig4.
+
+Examples:
+  scripts/bench_compare.py emit --build build --tag scalar \
+      --backend scalar --bench tab2_warp_primitives --bench fig4_scaling_n
+  scripts/bench_compare.py emit --build build --tag avx2 --backend auto \
+      --bench tab2_warp_primitives
+  scripts/bench_compare.py compare BENCH_tab2_warp_primitives_scalar.json \
+      BENCH_tab2_warp_primitives_avx2.json --require-speedup BM_KernelL2:2.0
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def run_emit(args: argparse.Namespace) -> int:
+    os.makedirs(args.out_dir, exist_ok=True)
+    env = dict(os.environ)
+    env["WKNNG_KERNEL"] = args.backend
+    failures = 0
+    for bench in args.bench:
+        binary = os.path.join(args.build, "bench", bench)
+        if not os.access(binary, os.X_OK):
+            print(f"error: bench binary not found: {binary}", file=sys.stderr)
+            failures += 1
+            continue
+        out = os.path.join(args.out_dir, f"BENCH_{bench}_{args.tag}.json")
+        cmd = [
+            binary,
+            "--benchmark_min_warmup_time=0",
+            f"--benchmark_out={out}",
+            "--benchmark_out_format=json",
+        ]
+        if args.filter:
+            cmd.append(f"--benchmark_filter={args.filter}")
+        if args.min_time is not None:
+            cmd.append(f"--benchmark_min_time={args.min_time}")
+        print(f"=== {bench} [WKNNG_KERNEL={args.backend}] -> {out}")
+        proc = subprocess.run(cmd, env=env)
+        if proc.returncode != 0:
+            print(f"error: {bench} exited {proc.returncode}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def load_times(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate" or "error_occurred" in b:
+            continue
+        times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return times
+
+
+def run_compare(args: argparse.Namespace) -> int:
+    base = load_times(args.baseline)
+    cand = load_times(args.candidate)
+    common = [name for name in base if name in cand]
+    if not common:
+        print("error: no common benchmarks between the two files",
+              file=sys.stderr)
+        return 1
+
+    requirements = []
+    for spec in args.require_speedup or []:
+        pattern, _, factor = spec.rpartition(":")
+        if not pattern:
+            print(f"error: bad --require-speedup '{spec}' "
+                  "(expected PATTERN:FACTOR)", file=sys.stderr)
+            return 1
+        requirements.append((pattern, float(factor)))
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'candidate':>12}"
+          f"  {'speedup':>8}")
+    violations = []
+    for name in common:
+        b_time, unit = base[name]
+        c_time, _ = cand[name]
+        speedup = b_time / c_time if c_time > 0 else float("inf")
+        print(f"{name.ljust(width)}  {b_time:>10.1f}{unit:>2}"
+              f"  {c_time:>10.1f}{unit:>2}  {speedup:>7.2f}x")
+        for pattern, factor in requirements:
+            if pattern in name and speedup < factor:
+                violations.append((name, speedup, factor))
+
+    matched = {p: any(p in n for n in common) for p, _ in requirements}
+    for pattern, seen in matched.items():
+        if not seen:
+            print(f"error: --require-speedup pattern '{pattern}' matched "
+                  "no benchmark", file=sys.stderr)
+            return 1
+    if violations:
+        for name, speedup, factor in violations:
+            print(f"FAIL: {name}: {speedup:.2f}x < required {factor:.2f}x",
+                  file=sys.stderr)
+        return 1
+    print("all speedup requirements satisfied"
+          if requirements else "no requirements given (report only)")
+    return 0
+
+
+def run_check_backends(args: argparse.Namespace) -> int:
+    """Within one tab2 JSON, compare each BM_Kernel*/SCALAR/dim row against its
+    BM_Kernel*/AVX2/dim sibling (the bench enumerates backends as the first
+    arg: 0=scalar, 1=sse2, 2=avx2) and require the configured speedup."""
+    times = load_times(args.json)
+    scalar_rows = {}
+    for name, (t, unit) in times.items():
+        parts = name.split("/")
+        if len(parts) == 3 and parts[1] == "0" and parts[0].startswith("BM_Kernel"):
+            scalar_rows[(parts[0], parts[2])] = (t, unit)
+    if not scalar_rows:
+        print(f"error: no BM_Kernel*/0/<dim> rows in {args.json}",
+              file=sys.stderr)
+        return 1
+    violations = 0
+    for (bench, dim), (scalar_t, unit) in sorted(scalar_rows.items()):
+        fast_name = f"{bench}/{args.backend_index}/{dim}"
+        if fast_name not in times:
+            print(f"skip: {fast_name} not present (backend unavailable)")
+            continue
+        fast_t, _ = times[fast_name]
+        speedup = scalar_t / fast_t if fast_t > 0 else float("inf")
+        status = "ok" if speedup >= args.min_speedup else "FAIL"
+        print(f"{status}: {bench} dim={dim}: scalar {scalar_t:.1f}{unit} / "
+              f"fast {fast_t:.1f}{unit} = {speedup:.2f}x")
+        if speedup < args.min_speedup:
+            violations += 1
+    if violations:
+        print(f"{violations} kernel benchmark(s) below "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    print(f"all kernel benchmarks >= {args.min_speedup:.2f}x vs scalar")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    emit = sub.add_parser("emit", help="run benches, write BENCH_*.json")
+    emit.add_argument("--build", default="build", help="CMake build dir")
+    emit.add_argument("--tag", required=True,
+                      help="suffix for the output files (e.g. scalar, avx2)")
+    emit.add_argument("--backend", default="auto",
+                      help="WKNNG_KERNEL value to run under")
+    emit.add_argument("--bench", action="append", required=True,
+                      help="bench binary name (repeatable)")
+    emit.add_argument("--filter", default=None,
+                      help="--benchmark_filter regex passed through")
+    emit.add_argument("--min-time", default=None,
+                      help="--benchmark_min_time passed through")
+    emit.add_argument("--out-dir", default=".",
+                      help="where BENCH_*.json land (default: repo root)")
+    emit.set_defaults(func=run_emit)
+
+    cmp_ = sub.add_parser("compare", help="diff two BENCH_*.json files")
+    cmp_.add_argument("baseline")
+    cmp_.add_argument("candidate")
+    cmp_.add_argument("--require-speedup", action="append", default=[],
+                      metavar="PATTERN:FACTOR",
+                      help="fail unless every matching benchmark is at least "
+                           "FACTOR x faster in candidate (repeatable)")
+    cmp_.set_defaults(func=run_compare)
+
+    chk = sub.add_parser("check-backends",
+                         help="enforce scalar-vs-SIMD speedup inside one "
+                              "tab2 JSON")
+    chk.add_argument("json")
+    chk.add_argument("--backend-index", type=int, default=2,
+                     help="fast backend arg value (1=sse2, 2=avx2; default 2)")
+    chk.add_argument("--min-speedup", type=float, default=2.0)
+    chk.set_defaults(func=run_check_backends)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@
 #include "core/refine.hpp"
 #include "core/resilience.hpp"
 #include "core/rp_forest.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/fault.hpp"
 #include "simt/race.hpp"
 
@@ -107,12 +108,9 @@ std::vector<std::uint32_t> scan_nonfinite_rows(ThreadPool& pool,
   std::vector<std::uint8_t> bad(n, 0);
   std::atomic<std::size_t> any{0};
   pool.parallel_for(n, 256, [&](std::size_t p) {
-    for (const float v : points.row(p)) {
-      if (!std::isfinite(v)) {
-        bad[p] = 1;
-        any.fetch_add(1, std::memory_order_relaxed);
-        break;
-      }
+    if (kernels::has_nonfinite(points.row(p))) {
+      bad[p] = 1;
+      any.fetch_add(1, std::memory_order_relaxed);
     }
   });
   std::vector<std::uint32_t> ids;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/topk.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/launch.hpp"
 #include "simt/warp_distance.hpp"
 
@@ -30,6 +31,14 @@ SearchScratch::Slot& SearchScratch::local() {
   std::unique_ptr<Slot>& slot = slots_[tid];
   if (!slot) slot = std::make_unique<Slot>();
   return *slot;
+}
+
+std::span<const float> SearchScratch::base_norms(const FloatMatrix& base) {
+  std::call_once(norms_once_, [&] {
+    if (!kernels::strict_mode()) base_norms_ = kernels::row_norms(base);
+  });
+  if (base_norms_.size() != base.rows()) return {};
+  return base_norms_;
 }
 
 BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
@@ -62,6 +71,7 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
 
   SearchScratch local_scratch;
   SearchScratch& scr = scratch != nullptr ? *scratch : local_scratch;
+  const std::span<const float> base_norms = scr.base_norms(base);
 
   simt::launch_warps(pool, nq, acc, [&](Warp& w) {
     const std::size_t qi = w.id();
@@ -88,7 +98,7 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
         }
         const Lanes<float> d = simt::warp_l2_batch(
             w, query, lane_ids, active,
-            [&](std::uint32_t p) { return base.row(p); });
+            [&](std::uint32_t p) { return base.row(p); }, base_norms);
         for (std::size_t l = 0; l < cnt; ++l) sink.push(d[l], lane_ids[l]);
       }
       visits += ids.size();
@@ -131,7 +141,7 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
         }
         const Lanes<float> d = simt::warp_l2_batch(
             w, query, lane_ids, active,
-            [&](std::uint32_t p) { return base.row(p); });
+            [&](std::uint32_t p) { return base.row(p); }, base_norms);
         for (std::size_t l = 0; l < cnt; ++l) {
           if (d[l] < best.worst()) {
             frontier.push({d[l], lane_ids[l]});

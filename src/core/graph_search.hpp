@@ -73,9 +73,18 @@ class SearchScratch {
   /// The calling thread's slot (created on first use).
   Slot& local();
 
+  /// Squared-norm cache of the base rows, built lazily on the first batch
+  /// and reused by every later one (the serving engine searches one base for
+  /// its whole lifetime). Returns an empty span — "no cache" to the distance
+  /// kernels — in strict mode, or if the scratch is handed a base of a
+  /// different size than the one the cache was built for.
+  std::span<const float> base_norms(const FloatMatrix& base);
+
  private:
   std::mutex mutex_;
   std::unordered_map<std::thread::id, std::unique_ptr<Slot>> slots_;
+  std::once_flag norms_once_;
+  std::vector<float> base_norms_;
 };
 
 /// Result of a batched search: one KnnGraph row per query plus each query's

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "core/resilience.hpp"
 #include "core/tiled_block.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/fault.hpp"
 #include "simt/launch.hpp"
 #include "simt/packed.hpp"
@@ -50,7 +51,8 @@ void bucket_pairwise(Warp& w, const FloatMatrix& points,
 /// reuse-friendly pattern that makes this strategy win at high
 /// dimensionality.
 void bucket_tiled(Warp& w, const FloatMatrix& points,
-                  std::span<const std::uint32_t> ids, KnnSetArray& sets) {
+                  std::span<const std::uint32_t> ids, KnnSetArray& sets,
+                  std::span<const float> norms_by_id) {
   const std::size_t m = ids.size();
   if (m < 2) return;
   const detail::TileBuffers buf =
@@ -67,7 +69,7 @@ void bucket_tiled(Warp& w, const FloatMatrix& points,
       detail::process_tile_pair(
           w, points, [&](std::size_t i) { return ids[a0 + i]; }, na,
           [&](std::size_t j) { return ids[b0 + j]; }, nb,
-          /*diagonal=*/ta == tb, sets, buf);
+          /*diagonal=*/ta == tb, sets, buf, norms_by_id);
     }
   }
 }
@@ -139,11 +141,11 @@ void bucket_shared(Warp& w, const FloatMatrix& points,
 
 void process_bucket(simt::Warp& w, const FloatMatrix& points,
                     std::span<const std::uint32_t> ids, Strategy strategy,
-                    KnnSetArray& sets) {
+                    KnnSetArray& sets, std::span<const float> norms_by_id) {
   simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);
   switch (strategy) {
     case Strategy::kTiled:
-      bucket_tiled(w, points, ids, sets);
+      bucket_tiled(w, points, ids, sets, norms_by_id);
       return;
     case Strategy::kShared:
       bucket_shared(w, points, ids, sets);
@@ -159,11 +161,17 @@ void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
               const Buckets& buckets, Strategy strategy, KnnSetArray& sets,
               simt::StatsAccumulator* acc, std::size_t scratch_bytes,
               const simt::ScheduleSpec& schedule) {
+  // Per-dataset squared-norm cache for the tiled micro-kernel's norm-trick
+  // path. The strict backend ignores norm caches, so skip the O(n*dim) pass.
+  std::vector<float> norms;
+  if (strategy == Strategy::kTiled && !kernels::strict_mode()) {
+    norms = kernels::row_norms(points);
+  }
   simt::LaunchConfig config;
   config.scratch_bytes = scratch_bytes;
   config.schedule = schedule;
   simt::launch_warps(pool, buckets.num_buckets(), config, acc, [&](Warp& w) {
-    process_bucket(w, points, buckets.bucket(w.id()), strategy, sets);
+    process_bucket(w, points, buckets.bucket(w.id()), strategy, sets, norms);
   });
 }
 
@@ -191,6 +199,13 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
                         std::size_t max_retries,
                         std::span<const std::uint32_t> quarantined,
                         LeafReport& report) {
+  // Norm cache for the tiled micro-kernel; kShared needs it too because its
+  // scratch-overflow fallback rung re-runs buckets with the tiled kernel.
+  std::vector<float> norms;
+  if ((strategy == Strategy::kTiled || strategy == Strategy::kShared) &&
+      !kernels::strict_mode()) {
+    norms = kernels::row_norms(points);
+  }
   simt::LaunchConfig config;
   config.scratch_bytes = scratch_bytes;
   config.schedule = schedule;
@@ -222,7 +237,7 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
           ids = kept;
         }
         try {
-          process_bucket(w, points, ids, strat, sets);
+          process_bucket(w, points, ids, strat, sets, norms);
         } catch (const ScratchOverflowError&) {
           std::lock_guard<std::mutex> lock(failures_mutex);
           failures.push_back({b, /*scratch_overflow=*/true});

@@ -58,8 +58,10 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
 /// global k-NN sets: every unordered pair is evaluated once and submitted to
 /// both endpoints. This is the leaf pass's inner kernel; the local-join
 /// refinement mode reuses it on per-point candidate neighborhoods.
+/// `norms_by_id`, when non-empty, is a squared-norm cache indexed by point
+/// id (kernels::row_norms) used by the tiled kernel's norm-trick path.
 void process_bucket(simt::Warp& w, const FloatMatrix& points,
                     std::span<const std::uint32_t> ids, Strategy strategy,
-                    KnnSetArray& sets);
+                    KnnSetArray& sets, std::span<const float> norms_by_id = {});
 
 }  // namespace wknng::core

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/leaf_knn.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/fault.hpp"
 #include "simt/launch.hpp"
 #include "simt/packed.hpp"
@@ -121,7 +122,7 @@ void refine_point_pairwise(Warp& w, const FloatMatrix& points,
 
 void refine_point_tiled(Warp& w, const FloatMatrix& points,
                         std::span<const std::uint32_t> cands, std::uint32_t p,
-                        KnnSetArray& sets) {
+                        KnnSetArray& sets, std::span<const float> norms_by_id) {
   auto xp = points.row(p);
   for (std::size_t t0 = 0; t0 < cands.size(); t0 += kWarpSize) {
     const std::size_t cnt = std::min<std::size_t>(kWarpSize, cands.size() - t0);
@@ -132,8 +133,8 @@ void refine_point_tiled(Warp& w, const FloatMatrix& points,
       active[l] = true;
     }
     const Lanes<float> dists = simt::warp_l2_batch(
-        w, xp, ids, active,
-        [&](std::uint32_t id) { return points.row(id); });
+        w, xp, ids, active, [&](std::uint32_t id) { return points.row(id); },
+        norms_by_id);
     Lanes<std::uint64_t> run;
     run.fill(Packed::kEmpty);
     for (std::size_t l = 0; l < cnt; ++l) {
@@ -156,6 +157,16 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
   // this round; the caller decides whether a skipped point degrades the
   // build. Failures leave no lock held — the lock-timeout site fires before
   // acquisition and scratch is allocated before the critical sections.
+  // Whole-dataset squared-norm cache: one O(n*dim) pass funds the norm-trick
+  // fast path of every tiled/batched evaluation this round (the strict
+  // scalar backend ignores it, so skip the pass there).
+  std::vector<float> norms;
+  if (params.strategy == Strategy::kTiled ||
+      params.strategy == Strategy::kShared ||
+      params.refine_mode == RefineMode::kLocalJoin) {
+    if (!kernels::strict_mode()) norms = kernels::row_norms(points);
+  }
+
   std::atomic<std::size_t> skipped{0};
   const auto guarded = [&skipped](auto&& body) {
     try {
@@ -203,7 +214,7 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
         const std::size_t unique_count =
             std::min<std::size_t>(end - ids.begin(), params.refine_sample);
         process_bucket(w, points, ids.subspan(0, unique_count), params.strategy,
-                       sets);
+                       sets, norms);
       });
     });
     return skipped.load(std::memory_order_relaxed);
@@ -219,7 +230,7 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
           params.strategy == Strategy::kShared) {
         // kShared refines like kTiled: candidates scored in scratch, one
         // merge per tile — the natural scratch-first discipline.
-        refine_point_tiled(w, points, cands, p, sets);
+        refine_point_tiled(w, points, cands, p, sets, norms);
       } else {
         refine_point_pairwise(w, points, cands, p, params.strategy, sets);
       }

@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/matrix.hpp"
 #include "core/knn_set.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/fault.hpp"
 #include "simt/packed.hpp"
 #include "simt/sort.hpp"
@@ -55,61 +56,62 @@ inline TileBuffers alloc_tile_buffers(simt::Warp& w, std::size_t dim,
   return buf;
 }
 
-/// Processes one tile pair: accumulates the squared-distance block (staging
-/// coordinate chunks so each global coordinate is read once per tile pair),
-/// then submits each block row to the A-side point and each block column to
-/// the B-side point as sorted 32-candidate runs. Diagonal pairs (the same
-/// tile on both sides) use the upper triangle for rows and its mirror for
-/// columns, so every ordered pair is submitted exactly once.
+/// Processes one tile pair: computes the squared-distance block with the
+/// dispatched `l2_tile` micro-kernel (register-blocked norm trick on the
+/// SIMD backends, the original serial accumulation on the strict scalar
+/// backend), then submits each block row to the A-side point and each block
+/// column to the B-side point as sorted 32-candidate runs. Diagonal pairs
+/// (the same tile on both sides) use the upper triangle for rows and its
+/// mirror for columns, so every ordered pair is submitted exactly once.
 ///
 /// `a_id(i)` / `b_id(j)` map tile-local indices to point ids; `na`, `nb`
-/// are the tile occupancies (<= 32).
+/// are the tile occupancies (<= 32). `norms_by_id`, when non-empty, is a
+/// squared-norm cache indexed by point id (see kernels::row_norms); the
+/// strict backend ignores it.
 template <typename AIdFn, typename BIdFn>
 void process_tile_pair(simt::Warp& w, const FloatMatrix& points, AIdFn&& a_id,
                        std::size_t na, BIdFn&& b_id, std::size_t nb,
-                       bool diagonal, KnnSetArray& sets,
-                       const TileBuffers& buf) {
+                       bool diagonal, KnnSetArray& sets, const TileBuffers& buf,
+                       std::span<const float> norms_by_id = {}) {
   using simt::kWarpSize;
   using simt::Lanes;
   using simt::Packed;
 
   const std::size_t dim = points.cols();
-  const std::size_t dc = buf.chunk_dims;
-  std::fill(buf.block.begin(), buf.block.end(), 0.0f);
 
-  for (std::size_t d0 = 0; d0 < dim; d0 += dc) {
-    const std::size_t cd = std::min(dc, dim - d0);
-    for (std::size_t i = 0; i < na; ++i) {
-      auto src = points.row(a_id(i)).subspan(d0, cd);
-      std::memcpy(&buf.a_stage[i * dc], src.data(), cd * sizeof(float));
+  // Gather the tile's row pointers (and cached norms, when provided). The
+  // scratch staging buffers of `buf` still reserve the modeled per-warp
+  // footprint — the space constraint the chunking plan is sized against —
+  // but the arithmetic streams the rows through the micro-kernel directly.
+  const float* a_rows[kWarpSize];
+  const float* b_rows[kWarpSize];
+  float a_norms[kWarpSize];
+  float b_norms[kWarpSize];
+  for (std::size_t i = 0; i < na; ++i) {
+    a_rows[i] = points.row(a_id(i)).data();
+    if (!norms_by_id.empty()) a_norms[i] = norms_by_id[a_id(i)];
+  }
+  if (diagonal) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      b_rows[j] = a_rows[j];
+      if (!norms_by_id.empty()) b_norms[j] = a_norms[j];
     }
-    w.count_read(na * cd * sizeof(float));
-    std::span<const float> b_src = buf.a_stage;
-    if (!diagonal) {
-      for (std::size_t j = 0; j < nb; ++j) {
-        auto src = points.row(b_id(j)).subspan(d0, cd);
-        std::memcpy(&buf.b_stage[j * dc], src.data(), cd * sizeof(float));
-      }
-      w.count_read(nb * cd * sizeof(float));
-      b_src = buf.b_stage;
-    }
-    // Per-cell accumulation is serial in dimension order, so a pair's
-    // distance is bit-identical to any other serial evaluation of the same
-    // pair (tile dedup in the merge relies on this).
-    for (std::size_t i = 0; i < na; ++i) {
-      const float* xa = &buf.a_stage[i * dc];
-      const std::size_t j_begin = diagonal ? i + 1 : 0;
-      for (std::size_t j = j_begin; j < nb; ++j) {
-        const float* xb = &b_src[j * dc];
-        float acc = buf.block[i * kWarpSize + j];
-        for (std::size_t t = 0; t < cd; ++t) {
-          const float diff = xa[t] - xb[t];
-          acc += diff * diff;
-        }
-        buf.block[i * kWarpSize + j] = acc;
-      }
+  } else {
+    for (std::size_t j = 0; j < nb; ++j) {
+      b_rows[j] = points.row(b_id(j)).data();
+      if (!norms_by_id.empty()) b_norms[j] = norms_by_id[b_id(j)];
     }
   }
+
+  const bool have_norms = !norms_by_id.empty();
+  kernels::ops().l2_tile(a_rows, have_norms ? a_norms : nullptr, na, b_rows,
+                         have_norms ? b_norms : nullptr, nb, dim,
+                         buf.block.data(), kWarpSize);
+
+  // Same global traffic as the staged-chunk plan: each tile row is read
+  // once per tile pair (A and B tiles alias on the diagonal).
+  w.count_read(na * dim * sizeof(float));
+  if (!diagonal) w.count_read(nb * dim * sizeof(float));
 
   const std::size_t pairs = diagonal ? na * (na - 1) / 2 : na * nb;
   w.stats().distance_evals += pairs;

@@ -3,6 +3,7 @@
 #include "common/error.hpp"
 #include "core/knn_set.hpp"
 #include "core/tiled_block.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/launch.hpp"
 
 namespace wknng::core {
@@ -14,6 +15,10 @@ KnnGraph warp_brute_force_knng(ThreadPool& pool, const FloatMatrix& points,
   WKNNG_CHECK_MSG(k > 0 && k < n, "need 0 < k < n; k=" << k << " n=" << n);
 
   KnnSetArray sets(n, k);
+  // Whole-dataset squared-norm cache for the tile micro-kernel's norm-trick
+  // path (ignored by the strict scalar backend).
+  std::vector<float> norms;
+  if (!kernels::strict_mode()) norms = kernels::row_norms(points);
   const std::size_t num_tiles = (n + simt::kWarpSize - 1) / simt::kWarpSize;
   // Enumerate the upper-triangular tile-pair grid (including the diagonal):
   // warp w handles the pair with linear index w.
@@ -45,7 +50,7 @@ KnnGraph warp_brute_force_knng(ThreadPool& pool, const FloatMatrix& points,
     detail::process_tile_pair(
         w, points, [&](std::size_t i) { return a0 + i; }, na,
         [&](std::size_t j) { return b0 + j; }, nb,
-        /*diagonal=*/ta == tb, sets, buf);
+        /*diagonal=*/ta == tb, sets, buf, norms);
   });
 
   return sets.extract(pool);

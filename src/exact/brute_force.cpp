@@ -26,6 +26,15 @@ KnnGraph brute_force_knng(ThreadPool& pool, const FloatMatrix& points,
   block = std::max<std::size_t>(1, block);
 
   KnnGraph g(n, k);
+  // Row pointers and the squared-norm cache feeding the tile micro-kernel
+  // (the strict backend ignores the norms and runs the serial reference).
+  std::vector<const float*> rows(n);
+  for (std::size_t r = 0; r < n; ++r) rows[r] = points.row(r).data();
+  std::vector<float> norms;
+  if (!kernels::strict_mode()) norms = kernels::row_norms(points);
+  const float* norms_ptr = norms.empty() ? nullptr : norms.data();
+  const kernels::KernelOps& ops = kernels::ops();
+
   // Parallelise over query stripes; each stripe streams all j-blocks so a
   // block of candidate rows stays cache-hot across the stripe's queries.
   const std::size_t stripe = 64;
@@ -33,19 +42,28 @@ KnnGraph brute_force_knng(ThreadPool& pool, const FloatMatrix& points,
   pool.parallel_for(num_stripes, [&](std::size_t s) {
     const std::size_t i_begin = s * stripe;
     const std::size_t i_end = std::min(i_begin + stripe, n);
+    const std::size_t na = i_end - i_begin;
     std::vector<TopK> heaps;
-    heaps.reserve(i_end - i_begin);
+    heaps.reserve(na);
     for (std::size_t i = i_begin; i < i_end; ++i) heaps.emplace_back(k);
+    std::vector<float> dist(na * block);
 
     for (std::size_t j0 = 0; j0 < n; j0 += block) {
       const std::size_t j_end = std::min(j0 + block, n);
+      const std::size_t nb = j_end - j0;
+      ops.l2_tile(rows.data() + i_begin,
+                  norms_ptr != nullptr ? norms_ptr + i_begin : nullptr, na,
+                  rows.data() + j0,
+                  norms_ptr != nullptr ? norms_ptr + j0 : nullptr, nb,
+                  points.cols(), dist.data(), block);
+      // Heap pushes keep the historical (i-then-j) order, so tie-breaking is
+      // unchanged from the pre-dispatch loop.
       for (std::size_t i = i_begin; i < i_end; ++i) {
-        auto qi = points.row(i);
         TopK& heap = heaps[i - i_begin];
+        const float* drow = &dist[(i - i_begin) * block];
         for (std::size_t j = j0; j < j_end; ++j) {
           if (j == i) continue;
-          const float d = l2_sq(qi, points.row(j));
-          heap.push(d, static_cast<std::uint32_t>(j));
+          heap.push(drow[j - j0], static_cast<std::uint32_t>(j));
         }
       }
     }
@@ -66,14 +84,31 @@ KnnGraph brute_force_knn(ThreadPool& pool, const FloatMatrix& base,
   WKNNG_CHECK(exclude_id.empty() || exclude_id.size() == q);
 
   KnnGraph g(q, k);
+  // Base row pointers + norm cache shared by every query (strict backend
+  // ignores the norms and scores serially).
+  std::vector<const float*> rows(n);
+  for (std::size_t r = 0; r < n; ++r) rows[r] = base.row(r).data();
+  std::vector<float> norms;
+  if (!kernels::strict_mode()) norms = kernels::row_norms(base);
+  const float* norms_ptr = norms.empty() ? nullptr : norms.data();
+  const kernels::KernelOps& ops = kernels::ops();
+
+  constexpr std::size_t kChunk = 1024;
   pool.parallel_for(q, 8, [&](std::size_t qi) {
     const std::uint32_t skip =
         exclude_id.empty() ? kNoExclude : exclude_id[qi];
     TopK heap(k);
     auto query = queries.row(qi);
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j == skip) continue;
-      heap.push(l2_sq(query, base.row(j)), static_cast<std::uint32_t>(j));
+    float dist[kChunk];
+    for (std::size_t j0 = 0; j0 < n; j0 += kChunk) {
+      const std::size_t cnt = std::min(kChunk, n - j0);
+      ops.l2_batch(query.data(), rows.data() + j0,
+                   norms_ptr != nullptr ? norms_ptr + j0 : nullptr, cnt,
+                   base.cols(), dist);
+      for (std::size_t j = j0; j < j0 + cnt; ++j) {
+        if (j == skip) continue;
+        heap.push(dist[j - j0], static_cast<std::uint32_t>(j));
+      }
     }
     write_row(g, qi, std::move(heap));
   });

@@ -7,18 +7,17 @@
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/kernels.hpp"
 
 namespace wknng::exact {
 
-/// Scalar squared Euclidean distance (the host reference used by every
-/// baseline and by recall ground truth).
+/// Squared Euclidean distance via the dispatched kernel backend (the host
+/// reference used by every baseline and by recall ground truth). On the
+/// strict scalar backend this is exactly the historical serial accumulation;
+/// on the SIMD backends it shares the dot/norm core with every other
+/// primitive, so the same pair yields the same bits everywhere.
 inline float l2_sq(std::span<const float> x, std::span<const float> y) {
-  float acc = 0.0f;
-  for (std::size_t d = 0; d < x.size(); ++d) {
-    const float diff = x[d] - y[d];
-    acc += diff * diff;
-  }
-  return acc;
+  return kernels::l2_serial(x, y);
 }
 
 /// Exact all-points K-NN graph by cache-blocked brute force: O(n^2 d).

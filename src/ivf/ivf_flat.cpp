@@ -8,6 +8,7 @@
 #include "common/timer.hpp"
 #include "common/topk.hpp"
 #include "exact/brute_force.hpp"
+#include "kernels/kernels.hpp"
 
 namespace wknng::ivf {
 
@@ -44,6 +45,13 @@ IvfFlatIndex IvfFlatIndex::build(ThreadPool& pool, const FloatMatrix& points,
         static_cast<std::uint32_t>(i);
   }
 
+  // Norm caches for the norm-trick scan kernels (skipped in strict mode,
+  // where the scalar backend ignores them anyway).
+  if (!kernels::strict_mode()) {
+    index.centroid_norms_ = kernels::row_norms(index.centroids_);
+    index.point_norms_ = kernels::row_norms(points);
+  }
+
   if (cost != nullptr) {
     cost->distance_evals += trained.distance_evals;
     cost->train_seconds += timer.elapsed_s();
@@ -63,16 +71,34 @@ KnnGraph IvfFlatIndex::search(ThreadPool& pool, const FloatMatrix& points,
   Timer timer;
 
   KnnGraph g(nq, k);
+  const kernels::KernelOps& ops = kernels::ops();
+  const std::size_t dim = points.cols();
+  // Use the build-time norm caches when they match what we were handed;
+  // a mismatched base (or strict mode) simply scores uncached.
+  const float* cent_norms =
+      centroid_norms_.size() == nl ? centroid_norms_.data() : nullptr;
+  const float* pt_norms =
+      point_norms_.size() == points.rows() ? point_norms_.data() : nullptr;
+  std::vector<const float*> cent_rows(nl);
+  for (std::size_t c = 0; c < nl; ++c) cent_rows[c] = centroids_.row(c).data();
+
   std::atomic<std::uint64_t> evals{0};
   pool.parallel_for(nq, 16, [&](std::size_t qi) {
     auto q = queries.row(qi);
     std::uint64_t local_evals = 0;
+    constexpr std::size_t kChunk = 256;
+    float dist[kChunk];
 
-    // Rank the coarse centroids.
+    // Rank the coarse centroids with the batched kernel.
     TopK coarse(nprobe);
-    for (std::size_t c = 0; c < nl; ++c) {
-      coarse.push(exact::l2_sq(q, centroids_.row(c)),
-                  static_cast<std::uint32_t>(c));
+    for (std::size_t c0 = 0; c0 < nl; c0 += kChunk) {
+      const std::size_t cnt = std::min(kChunk, nl - c0);
+      ops.l2_batch(q.data(), cent_rows.data() + c0,
+                   cent_norms != nullptr ? cent_norms + c0 : nullptr, cnt, dim,
+                   dist);
+      for (std::size_t c = 0; c < cnt; ++c) {
+        coarse.push(dist[c], static_cast<std::uint32_t>(c0 + c));
+      }
     }
     local_evals += nl;
     const auto probes = coarse.take_sorted();
@@ -81,12 +107,31 @@ KnnGraph IvfFlatIndex::search(ThreadPool& pool, const FloatMatrix& points,
                                    ? exact::kNoExclude
                                    : exclude_self[qi];
     TopK heap(k);
+    const float* rows[kChunk];
+    float row_norms[kChunk];
+    std::uint32_t row_ids[kChunk];
     for (const Neighbor& probe : probes) {
-      for (std::uint32_t id : list(probe.id)) {
+      // Gather the probed list (minus the self id, which the pre-dispatch
+      // loop never scored) into chunks for the batched kernel; heap pushes
+      // keep list order.
+      const std::span<const std::uint32_t> ids = list(probe.id);
+      std::size_t filled = 0;
+      auto flush = [&] {
+        if (filled == 0) return;
+        ops.l2_batch(q.data(), rows, pt_norms != nullptr ? row_norms : nullptr,
+                     filled, dim, dist);
+        for (std::size_t t = 0; t < filled; ++t) heap.push(dist[t], row_ids[t]);
+        local_evals += filled;
+        filled = 0;
+      };
+      for (std::uint32_t id : ids) {
         if (id == skip) continue;
-        heap.push(exact::l2_sq(q, points.row(id)), id);
-        ++local_evals;
+        rows[filled] = points.row(id).data();
+        if (pt_norms != nullptr) row_norms[filled] = pt_norms[id];
+        row_ids[filled] = id;
+        if (++filled == kChunk) flush();
       }
+      flush();
     }
     const auto sorted = heap.take_sorted();
     std::copy(sorted.begin(), sorted.end(), g.row(qi).begin());

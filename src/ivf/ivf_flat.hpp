@@ -64,6 +64,11 @@ class IvfFlatIndex {
   FloatMatrix centroids_;
   std::vector<std::uint32_t> list_ids_;
   std::vector<std::uint32_t> list_offsets_;
+  // Squared-norm caches for the norm-trick kernels, filled at build (empty
+  // in strict mode). point_norms_ is indexed by base point id; search()
+  // falls back to uncached scoring if it is handed a different-sized base.
+  std::vector<float> centroid_norms_;
+  std::vector<float> point_norms_;
 };
 
 }  // namespace wknng::ivf

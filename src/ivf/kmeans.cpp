@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "exact/brute_force.hpp"
+#include "kernels/kernels.hpp"
 
 namespace wknng::ivf {
 
@@ -94,18 +95,41 @@ KMeansResult kmeans(ThreadPool& pool, const FloatMatrix& points,
   std::vector<double> sums(kc * dim);
   std::vector<std::uint32_t> counts(kc);
 
+  // Stable centroid row pointers for the batched kernel; the norm cache is
+  // rebuilt every iteration because the update step moves the centroids.
+  std::vector<const float*> cent_rows(kc);
+  for (std::size_t c = 0; c < kc; ++c) {
+    cent_rows[c] = result.centroids.row(c).data();
+  }
+  std::vector<float> cent_norms;
+  const kernels::KernelOps& ops = kernels::ops();
+
   for (std::size_t iter = 0; iter < params.iterations; ++iter) {
-    // Assign (parallel).
+    const float* norms_ptr = nullptr;
+    if (!kernels::strict_mode()) {
+      cent_norms = kernels::row_norms(result.centroids);
+      norms_ptr = cent_norms.data();
+    }
+    // Assign (parallel): each point is scored against all centroids with the
+    // batched kernel; the argmin scan keeps the original ascending-c
+    // tie-break (strict '<').
     std::atomic<std::uint64_t> evals{0};
     pool.parallel_for(n, 64, [&](std::size_t i) {
       auto x = points.row(i);
       float best = std::numeric_limits<float>::max();
       std::uint32_t best_c = 0;
-      for (std::size_t c = 0; c < kc; ++c) {
-        const float d = exact::l2_sq(x, result.centroids.row(c));
-        if (d < best) {
-          best = d;
-          best_c = static_cast<std::uint32_t>(c);
+      constexpr std::size_t kChunk = 256;
+      float dist[kChunk];
+      for (std::size_t c0 = 0; c0 < kc; c0 += kChunk) {
+        const std::size_t cnt = std::min(kChunk, kc - c0);
+        ops.l2_batch(x.data(), cent_rows.data() + c0,
+                     norms_ptr != nullptr ? norms_ptr + c0 : nullptr, cnt, dim,
+                     dist);
+        for (std::size_t c = 0; c < cnt; ++c) {
+          if (dist[c] < best) {
+            best = dist[c];
+            best_c = static_cast<std::uint32_t>(c0 + c);
+          }
         }
       }
       result.assignment[i] = best_c;

@@ -1,0 +1,24 @@
+#pragma once
+
+// Internal glue between the dispatch unit and the per-ISA translation units.
+// Each backend TU defines one `make_*_ops()` factory returning its dispatch
+// table, or nullptr when the ISA cannot be compiled/run. Not installed API.
+
+#include "kernels/kernels.hpp"
+
+namespace wknng::kernels::detail {
+
+const KernelOps* scalar_ops();
+
+/// nullptr when the build has no SSE2 support (non-x86 targets).
+const KernelOps* sse2_ops();
+
+/// nullptr when the compiler cannot target AVX2+FMA. Runtime cpuid gating
+/// happens in dispatch.cpp — this only reports compile-time availability.
+const KernelOps* avx2_ops();
+
+/// True iff the running CPU supports the ISA (compile-time availability is
+/// separate — see ops_for()).
+bool cpu_supports(Backend b);
+
+}  // namespace wknng::kernels::detail

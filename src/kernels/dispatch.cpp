@@ -1,0 +1,124 @@
+// Runtime backend selection. The table is resolved exactly once per process
+// (WKNNG_KERNEL override first, cpuid otherwise) and then served from a
+// relaxed atomic — the hot paths pay one load per call site, nothing more.
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "kernels/backend_detail.hpp"
+
+namespace wknng::kernels {
+
+namespace detail {
+
+bool cpu_supports(Backend b) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("fma") != 0;
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+}  // namespace detail
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Backend detect_backend() {
+  if (ops_for(Backend::kAvx2) != nullptr) return Backend::kAvx2;
+  if (ops_for(Backend::kSse2) != nullptr) return Backend::kSse2;
+  return Backend::kScalar;
+}
+
+Backend backend_from_string(const std::string& name) {
+  if (name == "scalar" || name == "strict") return Backend::kScalar;
+  if (name == "sse2") return Backend::kSse2;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "auto" || name.empty()) return detect_backend();
+  throw Error("unknown kernel backend '" + name +
+              "' (valid: scalar, strict, sse2, avx2, auto)");
+}
+
+const KernelOps* ops_for(Backend b) {
+  const KernelOps* table = nullptr;
+  switch (b) {
+    case Backend::kScalar:
+      table = detail::scalar_ops();
+      break;
+    case Backend::kSse2:
+      table = detail::sse2_ops();
+      break;
+    case Backend::kAvx2:
+      table = detail::avx2_ops();
+      break;
+  }
+  if (table == nullptr) return nullptr;  // compiled out
+  if (!detail::cpu_supports(b)) return nullptr;
+  return table;
+}
+
+namespace {
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+const KernelOps* resolve() {
+  Backend pick = detect_backend();
+  if (const char* env = std::getenv("WKNNG_KERNEL");
+      env != nullptr && *env != '\0') {
+    pick = backend_from_string(env);
+    const KernelOps* table = ops_for(pick);
+    if (table == nullptr) {
+      throw Error(std::string("WKNNG_KERNEL=") + env +
+                  " requests a backend this build/CPU cannot run");
+    }
+    return table;
+  }
+  return ops_for(pick);  // detect_backend() only returns runnable backends
+}
+
+}  // namespace
+
+const KernelOps& ops() {
+  const KernelOps* table = g_active.load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    table = resolve();
+    g_active.store(table, std::memory_order_relaxed);
+  }
+  return *table;
+}
+
+ScopedBackend::ScopedBackend(Backend b) {
+  const KernelOps* table = ops_for(b);
+  if (table == nullptr) {
+    throw Error(std::string("kernel backend '") + backend_name(b) +
+                "' is not available on this build/CPU");
+  }
+  prev_ = &ops();  // force first-use resolution before overriding
+  g_active.store(table, std::memory_order_relaxed);
+}
+
+ScopedBackend::~ScopedBackend() {
+  g_active.store(prev_, std::memory_order_relaxed);
+}
+
+}  // namespace wknng::kernels

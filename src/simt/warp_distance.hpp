@@ -3,10 +3,22 @@
 #include <cstdint>
 #include <span>
 
+#include "kernels/kernels.hpp"
 #include "simt/fault.hpp"
 #include "simt/warp.hpp"
 
 namespace wknng::simt {
+
+// The distance arithmetic itself is delegated to the runtime-dispatched CPU
+// kernels (src/kernels): the 32-lane dimension striding of the SIMT model
+// maps onto SIMD lanes, and the scalar/strict backend reproduces the original
+// lane-strided accumulation bit-exactly. The warp layer keeps owning the
+// *accounting*: distance_evals / flops / global_reads / warp_collectives are
+// charged exactly as the modeled hardware kernel would incur them, and the
+// fault-injection hook fires once per produced distance, as before.
+static_assert(kWarpSize == 32,
+              "kernels' strict scalar backend models a 32-lane warp; "
+              "update kernels_scalar.cpp if the warp width changes");
 
 /// Dimension-parallel squared Euclidean distance: the 32 lanes stride the
 /// `dim` coordinates of one point pair and the partial sums are combined by
@@ -16,16 +28,15 @@ namespace wknng::simt {
 inline float warp_l2_dims(Warp& w, std::span<const float> x,
                           std::span<const float> y) {
   const std::size_t dim = x.size();
-  Lanes<float> partial{};
-  for (std::size_t d = 0; d < dim; ++d) {
-    const float diff = x[d] - y[d];
-    partial[d & (kWarpSize - 1)] += diff * diff;
-  }
+  const float dist = kernels::ops().l2_one(x.data(), y.data(), dim);
   Stats& s = w.stats();
   ++s.distance_evals;
   s.flops += 3 * dim + kWarpSize;
+  // The modeled warp combines its lane partials with one 5-step shuffle
+  // reduction; charge it even though the SIMD kernel folded it into hsum.
+  s.warp_collectives += 5;
   w.count_read(2 * dim * sizeof(float));
-  return fault_corrupt_distance(w.reduce_sum(partial));
+  return fault_corrupt_distance(dist);
 }
 
 /// Candidate-parallel squared Euclidean distances: each active lane owns one
@@ -35,30 +46,46 @@ inline float warp_l2_dims(Warp& w, std::span<const float> x,
 /// scores a whole tile of candidates against one point.
 ///
 /// `row(id)` must return the coordinates of point `id`; `active[l]` masks
-/// lanes without a candidate.
+/// lanes without a candidate. `norms_by_id`, when non-empty, is a dataset-
+/// wide squared-norm cache indexed by point id that the SIMD backends use
+/// for the norm-trick decomposition (the strict backend ignores it).
 template <typename RowFn>
 inline Lanes<float> warp_l2_batch(Warp& w, std::span<const float> q,
                                   const Lanes<std::uint32_t>& ids,
-                                  const Lanes<bool>& active, RowFn&& row) {
+                                  const Lanes<bool>& active, RowFn&& row,
+                                  std::span<const float> norms_by_id = {}) {
   const std::size_t dim = q.size();
-  Lanes<float> out{};
+  const float* rows[kWarpSize];
+  float lane_norms[kWarpSize];
+  float dists[kWarpSize];
   std::uint64_t n_active = 0;
   for (int l = 0; l < kWarpSize; ++l) {
     if (!active[l]) continue;
-    ++n_active;
     std::span<const float> r = row(ids[l]);
-    float acc = 0.0f;
-    for (std::size_t d = 0; d < dim; ++d) {
-      const float diff = q[d] - r[d];
-      acc += diff * diff;
+    rows[n_active] = r.data();
+    if (!norms_by_id.empty()) lane_norms[n_active] = norms_by_id[ids[l]];
+    ++n_active;
+  }
+  Lanes<float> out{};
+  if (n_active > 0) {
+    kernels::ops().l2_batch(q.data(), rows,
+                            norms_by_id.empty() ? nullptr : lane_norms,
+                            n_active, dim, dists);
+    std::uint64_t k = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!active[l]) continue;
+      out[l] = fault_corrupt_distance(dists[k++]);
     }
-    out[l] = fault_corrupt_distance(acc);
   }
   Stats& s = w.stats();
   s.distance_evals += n_active;
   s.flops += 3 * dim * n_active;
-  // Query row is charged once (scratch-resident), candidate rows per lane.
-  w.count_read((n_active + 1) * dim * sizeof(float));
+  // Candidate rows are charged per active lane; the scratch-resident query
+  // row is charged once — and only when the warp actually read it (a fully
+  // inactive mask touches no memory at all).
+  if (n_active > 0) {
+    w.count_read((n_active + 1) * dim * sizeof(float));
+  }
   return out;
 }
 

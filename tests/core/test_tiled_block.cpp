@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "data/synthetic.hpp"
 #include "exact/brute_force.hpp"
+#include "kernels/kernels.hpp"
 #include "simt/launch.hpp"
 
 namespace wknng::core::detail {
@@ -79,9 +80,12 @@ TEST_F(TiledBlockTest, DiagonalPairCoversUpperTriangleBothWays) {
   EXPECT_EQ(stats_.distance_evals, m * (m - 1) / 2);
 }
 
-TEST_F(TiledBlockTest, ChunkedAccumulationMatchesUnchunked) {
-  // Force multi-chunk staging (dim > chunk) and compare against a single
-  // serial evaluation — the accumulation order contract.
+TEST_F(TiledBlockTest, StrictBackendMatchesSerialBitExactly) {
+  // On the strict scalar backend the tile kernel must reproduce a plain
+  // serial evaluation bit-for-bit — the accumulation order contract that
+  // makes WKNNG_KERNEL=scalar builds reproduce pre-dispatch graphs. A small
+  // scratch budget (chunked staging plan) must not change that.
+  kernels::ScopedBackend strict(kernels::Backend::kScalar);
   const std::size_t dim = 200;
   const FloatMatrix pts = data::make_uniform(4, dim, 11);
   KnnSetArray sets(4, 4);
@@ -90,7 +94,7 @@ TEST_F(TiledBlockTest, ChunkedAccumulationMatchesUnchunked) {
   simt::Stats stats;
   simt::Warp w(0, small_scratch, stats);
   const TileBuffers buf = alloc_tile_buffers(w, dim, sets.k());
-  EXPECT_LT(buf.chunk_dims, dim);  // staging really is chunked
+  EXPECT_LT(buf.chunk_dims, dim);  // the staging plan really is chunked
   process_tile_pair(
       w, pts, [&](std::size_t i) { return i; }, 2,
       [&](std::size_t j) { return 2 + j; }, 2, /*diagonal=*/false, sets, buf);
@@ -107,6 +111,36 @@ TEST_F(TiledBlockTest, ChunkedAccumulationMatchesUnchunked) {
         serial += diff * diff;
       }
       EXPECT_EQ(nb.dist, serial) << "bit-identical accumulation expected";
+    }
+  }
+}
+
+TEST_F(TiledBlockTest, DispatchedBackendMatchesSerialWithinTolerance) {
+  // The dispatched (possibly norm-trick) backend must agree with the serial
+  // reference to within the documented relative bound, and must agree with
+  // its own l2_serial primitive bit-exactly (shared-core contract).
+  const std::size_t dim = 200;
+  const FloatMatrix pts = data::make_uniform(4, dim, 11);
+  KnnSetArray sets(4, 4);
+  const TileBuffers buf = alloc_tile_buffers(warp_, dim, sets.k());
+  process_tile_pair(
+      warp_, pts, [&](std::size_t i) { return i; }, 2,
+      [&](std::size_t j) { return 2 + j; }, 2, /*diagonal=*/false, sets, buf);
+
+  ThreadPool pool(1);
+  const KnnGraph g = sets.extract(pool);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (const Neighbor& nb : g.row(i).subspan(0, 2)) {
+      auto x = pts.row(i);
+      auto y = pts.row(nb.id);
+      float serial = 0.0f;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const float diff = x[d] - y[d];
+        serial += diff * diff;
+      }
+      EXPECT_NEAR(nb.dist, serial, 1e-4f * serial);
+      EXPECT_EQ(nb.dist, kernels::l2_serial(x, y))
+          << "tile and l2_serial must share one accumulation core";
     }
   }
 }

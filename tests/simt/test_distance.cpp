@@ -86,6 +86,40 @@ TEST_F(DistanceTest, BatchRespectsActiveMask) {
   EXPECT_EQ(stats_.distance_evals - before.distance_evals, 1u);
 }
 
+TEST_F(DistanceTest, BatchChargesNoBytesWhenNoLaneIsActive) {
+  // A fully inactive mask means the warp never touched memory: neither the
+  // candidate rows nor the scratch-resident query row may be charged (the
+  // query-row byte charge used to leak here, inflating tab3's bytes/eval).
+  FloatMatrix pts = random_points(5, 16, 9);
+  Lanes<std::uint32_t> ids{};
+  Lanes<bool> active{};  // all lanes inactive
+  const Stats before = stats_;
+  const Lanes<float> d = warp_l2_batch(
+      warp_, pts.row(0), ids, active,
+      [&](std::uint32_t id) { return pts.row(id); });
+  for (int l = 0; l < kWarpSize; ++l) EXPECT_EQ(d[l], 0.0f);
+  EXPECT_EQ(stats_.distance_evals, before.distance_evals);
+  EXPECT_EQ(stats_.global_reads, before.global_reads);
+  EXPECT_EQ(stats_.flops, before.flops);
+}
+
+TEST_F(DistanceTest, BatchChargesQueryRowOncePerActiveCall) {
+  // With L active lanes the charge is (L + 1) rows: L candidate rows plus
+  // the query row, read once into scratch.
+  const std::size_t dim = 16;
+  FloatMatrix pts = random_points(5, dim, 9);
+  Lanes<std::uint32_t> ids{};
+  Lanes<bool> active{};
+  ids[0] = 1;
+  ids[1] = 2;
+  active[0] = active[1] = true;
+  const Stats before = stats_;
+  (void)warp_l2_batch(warp_, pts.row(0), ids, active,
+                      [&](std::uint32_t id) { return pts.row(id); });
+  EXPECT_EQ(stats_.global_reads - before.global_reads,
+            3u * dim * sizeof(float));
+}
+
 TEST_F(DistanceTest, BatchAndDimsParallelAgree) {
   // The two kernel shapes accumulate in different orders; their results must
   // agree to float tolerance (bit-equality is *not* promised between them —
