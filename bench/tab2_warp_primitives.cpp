@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/trace.hpp"
 #include "simt/fault.hpp"
 #include "simt/launch.hpp"
 #include "simt/memory.hpp"
@@ -308,6 +309,44 @@ void BM_FaultPointHooked(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FaultPointHooked);
+
+// --- Span-tracing overhead guard ------------------------------------------
+// Same contract as the race/fault pairs, for obs/trace.hpp: with NO tracer
+// installed, the launch path's tracer check must cost one acquire load and a
+// predicted branch. If SpanEnabled(off) ever diverges from SpanRaw here, the
+// "tracing disabled adds no hot-path cost" promise is broken.
+
+void BM_SpanRaw(benchmark::State& state) {
+  std::vector<float> dists(64, 1.5f);
+  std::size_t i = 0;
+  float acc = 0.0f;
+  for (auto _ : state) {
+    acc += dists[i & 63];
+    benchmark::DoNotOptimize(acc);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanRaw);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  std::vector<float> dists(64, 1.5f);
+  std::size_t i = 0;
+  float acc = 0.0f;
+  std::uint64_t launches = 0;
+  for (auto _ : state) {
+    // The exact disabled-path shape launch_warps executes per launch.
+    if (obs::Tracer* t = obs::active_tracer()) {
+      launches += t->next_launch();
+    }
+    acc += dists[i & 63];
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(launches);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
 
 void BM_SpinLockRoundTrip(benchmark::State& state) {
   Stats stats;

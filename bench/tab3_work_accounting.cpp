@@ -64,6 +64,10 @@ void BM_WknngWork(benchmark::State& state) {
   assert_work_accounted(core::strategy_name(strategy),
                         last.stats.distance_evals, last.stats.global_reads,
                         kSpec.dim);
+  // Full machine-readable accounting row; the counters below keep only the
+  // columns that appear in the published table.
+  std::printf("tab3_stats[%s] %s\n", core::strategy_name(strategy),
+              last.stats.to_json().c_str());
   state.SetLabel(std::string("w-KNNG/") + core::strategy_name(strategy));
   state.counters["recall"] = sampled_recall(last.graph, kSpec, kK);
   state.counters["dist_evals_M"] =

@@ -60,6 +60,18 @@
 //   --serve-deadline-us N per-request deadline, 0 = none (default 0)
 //   --serve-workers N    engine batch-executor threads (default 2)
 //   --serve-metrics PATH write the engine's metrics JSON here
+//   --trace-out PATH     record a span trace of the run (build phases,
+//                        kernel launches, serve batches) and write it as
+//                        Chrome trace-event JSON — load in Perfetto or
+//                        chrome://tracing (WKNNG_TRACE=<path> does the same
+//                        for the build only)
+//   --trace-warps        include per-warp-group spans in the trace (verbose)
+//   --metrics-out PATH   export the central metrics registry (build info +
+//                        timings + work counters + fault counts, and the
+//                        serve series when --serve ran) to this path
+//   --metrics-format F   json|prom (default prom): registry export format
+//   --version            print version, compiler, kernel backend, and
+//                        debugging knobs, then exit
 //
 // Exit codes: 0 = ok, 1 = input/build error, 2 = usage,
 //             3 = build completed degraded (see the health report).
@@ -119,6 +131,10 @@ struct Options {
   std::uint64_t serve_deadline_us = 0; // per-request deadline (0 = none)
   std::size_t serve_workers = 2;       // engine executor threads
   std::string serve_metrics;           // metrics JSON output path
+  std::string trace_out;               // Chrome trace-event JSON output path
+  bool trace_warps = false;            // per-warp-group spans in the trace
+  std::string metrics_out;             // central registry export path
+  std::string metrics_format = "prom"; // json|prom
 };
 
 int usage(const char* argv0) {
@@ -133,7 +149,9 @@ int usage(const char* argv0) {
                " [--serve] [--serve-requests N] [--serve-mode closed|open]"
                " [--serve-rate QPS] [--serve-concurrency N] [--serve-batch N]"
                " [--serve-delay-us N] [--serve-deadline-us N]"
-               " [--serve-workers N] [--serve-metrics PATH]\n"
+               " [--serve-workers N] [--serve-metrics PATH]"
+               " [--trace-out PATH] [--trace-warps] [--metrics-out PATH]"
+               " [--metrics-format json|prom] [--version]\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 degraded build\n",
                argv0);
   return 2;
@@ -185,6 +203,10 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (flag == "--serve-deadline-us") opt.serve_deadline_us = std::strtoull(value(), nullptr, 10);
     else if (flag == "--serve-workers") opt.serve_workers = std::strtoull(value(), nullptr, 10);
     else if (flag == "--serve-metrics") opt.serve_metrics = value();
+    else if (flag == "--trace-out") opt.trace_out = value();
+    else if (flag == "--trace-warps") opt.trace_warps = true;
+    else if (flag == "--metrics-out") opt.metrics_out = value();
+    else if (flag == "--metrics-format") opt.metrics_format = value();
     else return std::nullopt;
   }
   if (opt.input.empty() == opt.synthetic.empty()) return std::nullopt;
@@ -218,11 +240,47 @@ FloatMatrix load_points(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --version works without an input spec, so it is resolved before parse.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      try {
+        const obs::BuildInfo info = obs::build_info();
+        std::printf("wknng %s (%s)\n", info.version.c_str(),
+                    info.git_describe.c_str());
+        std::printf("  compiler:       %s\n", info.compiler.c_str());
+        std::printf("  kernel backend: %s\n", info.kernel_backend.c_str());
+        std::printf("  sanitize build: %s\n", info.sanitize ? "yes" : "no");
+        std::printf("  env knobs:      WKNNG_CHECK_RACES=%s"
+                    " WKNNG_INJECT_FAULTS=%s WKNNG_TRACE=%s\n",
+                    info.race_env.empty() ? "-" : info.race_env.c_str(),
+                    info.fault_env.empty() ? "-" : info.fault_env.c_str(),
+                    info.trace_env.empty() ? "-" : info.trace_env.c_str());
+        return 0;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    }
+  }
+
   std::optional<Options> opt = parse(argc, argv);
   if (!opt) return usage(argv[0]);
+  if (opt->metrics_format != "prom" && opt->metrics_format != "json") {
+    std::fprintf(stderr, "error: --metrics-format must be json or prom\n");
+    return 2;
+  }
 
   bool degraded = false;
   try {
+    // Span tracing for the whole run (build + search/serve). The builder
+    // would own a tracer for WKNNG_TRACE=<path>; an explicit --trace-out
+    // installs one here so serve batches and searches are captured too.
+    std::optional<obs::Tracer> tracer;
+    std::optional<obs::ScopedTracing> tracing;
+    if (!opt->trace_out.empty()) {
+      tracer.emplace(opt->trace_warps);
+      tracing.emplace(*tracer);
+    }
     FloatMatrix points = load_points(*opt);
     std::printf("loaded %zu points x %zu dims\n", points.rows(), points.cols());
 
@@ -338,6 +396,24 @@ int main(int argc, char** argv) {
       degraded = h.degraded;
     }
 
+    // Central registry export: build info + build metrics always; the serve
+    // series joins when the engine ran (rendered inside its lifetime).
+    const auto write_metrics = [&](const serve::ServeMetrics* sm) {
+      if (opt->metrics_out.empty()) return;
+      obs::MetricsRegistry reg;
+      obs::register_build_info(reg, obs::build_info());
+      core::register_build_metrics(reg, result);
+      if (sm != nullptr) serve::register_metrics(reg, *sm);
+      std::ofstream mout(opt->metrics_out);
+      WKNNG_CHECK_MSG(mout.good(), "cannot write " << opt->metrics_out);
+      if (opt->metrics_format == "json") {
+        mout << reg.to_json() << "\n";
+      } else {
+        mout << reg.to_prometheus();
+      }
+      std::printf("wrote %s\n", opt->metrics_out.c_str());
+    };
+
     // Evaluation.
     if (!opt->truth.empty()) {
       const auto gt = data::read_ivecs(opt->truth);
@@ -451,6 +527,9 @@ int main(int argc, char** argv) {
       } else {
         std::printf("metrics: %s\n", metrics_json.c_str());
       }
+      // Registry export must happen while the engine (and its linked live
+      // instruments) is still alive.
+      write_metrics(&engine.metrics());
     } else if (!opt->queries.empty()) {
       const FloatMatrix queries = data::read_fvecs(opt->queries);
       WKNNG_CHECK_MSG(queries.cols() == points.cols(),
@@ -497,6 +576,14 @@ int main(int argc, char** argv) {
       }
       data::write_ivecs(opt->out_ivecs, ids);
       std::printf("wrote %s\n", opt->out_ivecs.c_str());
+    }
+
+    if (!opt->serve) write_metrics(nullptr);
+    if (tracer) {
+      tracing.reset();  // uninstall before serialising
+      tracer->write_chrome_json(opt->trace_out);
+      std::printf("wrote %s (%zu trace events)\n", opt->trace_out.c_str(),
+                  tracer->event_count());
     }
     // A degraded build still produced a usable graph (and any requested
     // outputs above), but scripted callers should know it was not the ideal

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file emitted by --metrics-out.
+
+Checks (stdlib only):
+  * every sample line parses as `name[{labels}] value`
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every sample's base name has a preceding # TYPE line
+  * histogram buckets are cumulative (monotone non-decreasing in le order),
+    end with le="+Inf", and agree with the _count sample
+  * every histogram has a _sum sample
+  * --require REGEX...: at least one sample line matches each regex
+
+Exit code 0 on success, 1 with a message on the first violation.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+(?P<value>\S+)$")
+
+
+def fail(msg: str) -> None:
+    print(f"lint_prom: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_name(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("metrics", help="path to the Prometheus text file")
+    ap.add_argument("--require", nargs="*", default=[],
+                    help="regexes that must each match at least one sample")
+    args = ap.parse_args()
+
+    try:
+        with open(args.metrics, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(str(e))
+
+    types = {}       # metric name -> declared type
+    samples = []     # (name, labels, value, line_no)
+    for no, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"line {no}: malformed TYPE line: {line}")
+            name, mtype = parts[2], parts[3]
+            if not NAME_RE.match(name):
+                fail(f"line {no}: invalid metric name '{name}'")
+            if mtype not in ("counter", "gauge", "histogram", "summary",
+                             "untyped"):
+                fail(f"line {no}: unknown metric type '{mtype}'")
+            types[name] = mtype
+            continue
+        if line.startswith("#"):
+            fail(f"line {no}: unknown comment form: {line}")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {no}: unparseable sample: {line}")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail(f"line {no}: non-numeric value: {line}")
+        samples.append((m.group("name"), m.group("labels") or "", value, no))
+
+    if not samples:
+        fail("no samples found")
+
+    for name, _labels, _value, no in samples:
+        base = base_name(name)
+        if base not in types and name not in types:
+            fail(f"line {no}: sample '{name}' has no # TYPE declaration")
+
+    # Histogram self-consistency.
+    for name, mtype in types.items():
+        if mtype != "histogram":
+            continue
+        buckets = [(lbl, v) for (n, lbl, v, _no) in samples
+                   if n == name + "_bucket"]
+        if not buckets:
+            fail(f"histogram {name} has no _bucket samples")
+        last_le, prev = None, -1.0
+        for lbl, v in buckets:
+            le_m = re.search(r'le="([^"]+)"', lbl)
+            if not le_m:
+                fail(f"histogram {name} bucket lacks an le label: {lbl}")
+            if v < prev:
+                fail(f"histogram {name} buckets are not cumulative at "
+                     f"le={le_m.group(1)}: {v} < {prev}")
+            prev, last_le = v, le_m.group(1)
+        if last_le != "+Inf":
+            fail(f"histogram {name} does not end with le=\"+Inf\"")
+        counts = [v for (n, _lbl, v, _no) in samples if n == name + "_count"]
+        if len(counts) != 1:
+            fail(f"histogram {name} needs exactly one _count sample")
+        if counts[0] != prev:
+            fail(f"histogram {name}: _count {counts[0]} != +Inf bucket {prev}")
+        sums = [v for (n, _lbl, v, _no) in samples if n == name + "_sum"]
+        if len(sums) != 1:
+            fail(f"histogram {name} needs exactly one _sum sample")
+
+    sample_lines = [l for l in lines if l and not l.startswith("#")]
+    for pattern in args.require:
+        rx = re.compile(pattern)
+        if not any(rx.search(l) for l in sample_lines):
+            fail(f"no sample matches required pattern '{pattern}'")
+
+    print(f"lint_prom: OK: {len(samples)} samples, {len(types)} metrics "
+          f"({sum(1 for t in types.values() if t == 'histogram')} histograms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,15 @@ for b in "$BUILD"/bench/*; do
     --benchmark_out="$RESULTS/$name.json" --benchmark_out_format=json
 done
 # Serving metrics: a CLI serve run (fig11's engine, full request path) whose
-# engine metrics JSON lands next to the benchmark outputs.
+# engine metrics JSON lands next to the benchmark outputs. The same run emits
+# the observability artifacts — a Perfetto-loadable trace plus a Prometheus
+# scrape — and both are validated before they are published.
 "$BUILD"/examples/wknng_cli --synthetic clusters:20000:32 --k 10 --serve \
-  --serve-requests 2000 --serve-metrics "$RESULTS/serving_metrics.json"
+  --serve-requests 2000 --serve-metrics "$RESULTS/serving_metrics.json" \
+  --trace-out "$RESULTS/build_serve_trace.json" \
+  --metrics-out "$RESULTS/metrics.prom" --metrics-format prom
+python3 scripts/validate_trace.py "$RESULTS/build_serve_trace.json" \
+  --require-launches --require-serve
+python3 scripts/lint_prom.py "$RESULTS/metrics.prom" \
+  --require 'wknng_build_total_seconds' 'wknng_serve_enqueued_total' \
+  'wknng_kernel_backend_info'

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by --trace-out.
+
+Checks (stdlib only, no third-party deps):
+  * the file is strict JSON with the {"traceEvents": [...]} shape
+  * every event carries the fields Perfetto needs, with sane types
+  * complete ('X') events have non-negative ts/dur; span_id args are hex
+  * the top-level build phases (forest/restore, leaf, refine, extract) on the
+    build track sum to the "build" root span's duration within --tolerance
+  * optional: at least one launch span (--require-launches) and at least one
+    serve_batch span (--require-serve)
+
+Exit code 0 on success, 1 with a message on the first violation — CI treats
+any non-zero exit as a failed artifact.
+"""
+
+import argparse
+import json
+import sys
+
+PHASE_NAMES = {"forest", "restore", "leaf", "refine", "extract"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="path to the trace JSON file")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed relative gap between phase-span sum and the "
+                         "build root span duration (default 0.05)")
+    ap.add_argument("--require-launches", action="store_true",
+                    help="require at least one span on the launch track")
+    ap.add_argument("--require-serve", action="store_true",
+                    help="require at least one serve_batch span")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("missing top-level traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    for i, ev in enumerate(events):
+        for key in ("name", "cat", "ph", "pid", "tid", "ts"):
+            if key not in ev:
+                fail(f"event {i} missing '{key}': {ev}")
+        if ev["ph"] not in ("X", "i"):
+            fail(f"event {i} has unsupported ph '{ev['ph']}'")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            fail(f"event {i} has invalid ts {ev['ts']!r}")
+        if ev["ph"] == "X":
+            if "dur" not in ev or not isinstance(ev["dur"], (int, float)):
+                fail(f"complete event {i} missing numeric dur")
+            if ev["dur"] < 0:
+                fail(f"event {i} has negative dur {ev['dur']}")
+            span_id = ev.get("args", {}).get("span_id", "")
+            if not (isinstance(span_id, str) and span_id.startswith("0x")):
+                fail(f"event {i} missing hex span_id arg: {ev}")
+        if ev["ph"] == "i" and ev.get("s") != "t":
+            fail(f"instant event {i} missing thread scope 's':'t'")
+
+    roots = [e for e in events if e["name"] == "build" and e["ph"] == "X"]
+    if len(roots) != 1:
+        fail(f"expected exactly one 'build' root span, found {len(roots)}")
+    root = roots[0]
+
+    phases = [e for e in events
+              if e["name"] in PHASE_NAMES and e["ph"] == "X"
+              and e["tid"] == root["tid"]]
+    if not phases:
+        fail("no build phase spans (forest/leaf/refine/extract) found")
+    phase_sum = sum(e["dur"] for e in phases)
+    gap = abs(phase_sum - root["dur"]) / max(root["dur"], 1e-9)
+    if gap > args.tolerance:
+        fail(f"phase spans sum to {phase_sum:.1f}us but the build root span "
+             f"is {root['dur']:.1f}us (relative gap {gap:.3f} > "
+             f"{args.tolerance})")
+
+    # Span ids must be unique per (name, id): duplicated ids on different
+    # events of the same name mean the deterministic hash collided or a
+    # counter was reused.
+    seen = {}
+    for ev in events:
+        if ev["ph"] != "X":
+            continue
+        key = (ev["name"], ev["args"]["span_id"])
+        seen[key] = seen.get(key, 0) + 1
+    dups = {k: c for k, c in seen.items() if c > 1}
+    if dups:
+        fail(f"duplicated (name, span_id) pairs: {sorted(dups)[:5]}")
+
+    launches = [e for e in events if e.get("cat") == "launch"]
+    if args.require_launches and not launches:
+        fail("no launch spans found (--require-launches)")
+    serve = [e for e in events if e["name"] == "serve_batch"]
+    if args.require_serve and not serve:
+        fail("no serve_batch spans found (--require-serve)")
+
+    print(f"validate_trace: OK: {len(events)} events, {len(phases)} phases "
+          f"covering {phase_sum / 1e3:.1f} ms of {root['dur'] / 1e3:.1f} ms "
+          f"build ({len(launches)} launches, {len(serve)} serve batches)")
+
+
+if __name__ == "__main__":
+    main()

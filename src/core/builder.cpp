@@ -18,6 +18,8 @@
 #include "core/resilience.hpp"
 #include "core/rp_forest.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "simt/fault.hpp"
 #include "simt/race.hpp"
 
@@ -96,6 +98,7 @@ KnngBuilder::KnngBuilder(ThreadPool& pool, BuildParams params)
       env != nullptr && *env != '\0') {
     params_.faults = simt::fault_spec_from_string(env);
   }
+  params_.obs = obs::params_from_env(params_.obs);
 }
 
 namespace {
@@ -151,6 +154,43 @@ void fill_quarantined_rows(KnnGraph& g,
   }
 }
 
+/// One top-level phase on the build track of a trace: begins a tracer phase
+/// at construction (so kernel launches attribute to it) and records a span
+/// carrying the phase duration plus the Stats delta it covered. All methods
+/// are no-ops when the tracer is null.
+class PhaseSpan {
+ public:
+  PhaseSpan(obs::Tracer* tr, const char* name, simt::StatsAccumulator& acc)
+      : acc_(&acc) {
+    if (tr == nullptr) return;
+    const std::uint64_t phase_idx = tr->begin_phase(name);
+    span_.emplace(tr, name, "phase",
+                  obs::Tracer::span_id(phase_idx, 0, 0, obs::SpanSalt::kPhase),
+                  obs::kTrackBuild);
+    before_ = acc_->total();
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  ~PhaseSpan() { finish(); }
+
+  /// Record the span now; `seconds < 0` omits the seconds argument.
+  void finish(double seconds = -1.0) {
+    if (!span_) return;
+    if (seconds >= 0.0) span_->arg_num("seconds", seconds);
+    span_->arg("stats",
+               simt::stats_delta(acc_->total(), before_).to_json());
+    span_->finish();
+    span_.reset();
+  }
+
+ private:
+  simt::StatsAccumulator* acc_;
+  simt::Stats before_;
+  std::optional<obs::Span> span_;
+};
+
 }  // namespace
 
 BuildResult KnngBuilder::build(const FloatMatrix& points) const {
@@ -178,6 +218,35 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
   simt::StatsAccumulator acc;
   Timer total;
   Timer phase;
+
+  // Observability: with a trace_path and no tracer already installed, the
+  // builder owns one for the duration of the build and writes the Chrome
+  // trace JSON at the end. Otherwise it participates in whatever tracer the
+  // caller installed — unless obs.trace turned participation off.
+  std::optional<obs::Tracer> own_tracer;
+  std::optional<obs::ScopedTracing> own_scope;
+  if (params_.obs.trace && !params_.obs.trace_path.empty() &&
+      obs::active_tracer() == nullptr) {
+    own_tracer.emplace(params_.obs.trace_warps);
+    own_scope.emplace(*own_tracer);
+  }
+  obs::Tracer* tr = params_.obs.trace ? obs::active_tracer() : nullptr;
+
+  std::optional<obs::Span> root;
+  if (tr != nullptr) {
+    const std::uint64_t idx = tr->begin_phase("build");
+    root.emplace(tr, "build", "build",
+                 obs::Tracer::span_id(idx, 0, 0, obs::SpanSalt::kBuild),
+                 obs::kTrackBuild);
+    root->arg_num("n", static_cast<std::uint64_t>(n));
+    root->arg_num("dim", static_cast<std::uint64_t>(points.cols()));
+    root->arg_num("k", static_cast<std::uint64_t>(params_.k));
+    root->arg_str("strategy", strategy_name(params_.strategy));
+  }
+  // First phase: everything up to the forest lap (quarantine scan, resume
+  // verification, tree building) — mirroring what forest_seconds measures.
+  std::optional<PhaseSpan> cur_phase;
+  cur_phase.emplace(tr, ckpt == nullptr ? "forest" : "restore", acc);
 
   // Opt-in deterministic fault injection for the whole build (one injector
   // at a time process-wide, like the race detector below).
@@ -264,6 +333,14 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
 
   const auto write_ckpt = [&](std::uint32_t rounds_done) {
     if (params_.checkpoint_path.empty()) return;
+    std::optional<obs::Span> ck;
+    if (tr != nullptr) {
+      ck.emplace(tr, "checkpoint", "ckpt",
+                 obs::Tracer::span_id(tr->current_phase(), rounds_done, 0,
+                                      obs::SpanSalt::kCheckpoint),
+                 obs::kTrackBuild);
+      ck->arg_num("rounds_done", static_cast<std::uint64_t>(rounds_done));
+    }
     data::BuildCheckpoint c;
     c.signature = signature;
     c.n = n;
@@ -287,6 +364,8 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
                         params_.seed, &acc, params_.spill);
     result.num_buckets = forest.num_buckets();
     result.forest_seconds = phase.lap_s();
+    cur_phase->finish(result.forest_seconds);
+    cur_phase.emplace(tr, "leaf", acc);
 
     // kShared feasibility preflight: if the largest bucket cannot hold its
     // scratch-resident k-NN sets, degrade the whole pass to kTiled up front
@@ -317,9 +396,13 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     result.health.buckets_degraded = leaf.buckets_degraded;
     result.health.launches_retried = leaf.launches_retried;
     result.leaf_seconds = phase.lap_s();
+    cur_phase->finish(result.leaf_seconds);
+    cur_phase.emplace(tr, "refine", acc);
     write_ckpt(0);
   } else {
     phase.lap_s();  // resumed builds report zero forest/leaf time
+    cur_phase->finish();
+    cur_phase.emplace(tr, "refine", acc);
   }
 
   // Phase 3: neighbor-of-neighbor refinement rounds. The deadline is
@@ -333,6 +416,9 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
       result.health.deadline_hit = true;
       break;
     }
+    // Sub-phase per round: launches inside attribute to this round's phase
+    // index, and the round span nests inside the "refine" phase span.
+    PhaseSpan round_span(tr, "refine_round", acc);
     const Adjacency adj =
         snapshot_adjacency(*pool_, sets, params_.reverse_cap);
     std::size_t skipped = 0;
@@ -346,6 +432,8 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     write_ckpt(static_cast<std::uint32_t>(round + 1));
   }
   result.refine_seconds = phase.lap_s();
+  cur_phase->finish(result.refine_seconds);
+  cur_phase.emplace(tr, "extract", acc);
 
   // Phase 4: normalise into the output graph; quarantined rows get their
   // placeholder neighbors.
@@ -354,6 +442,8 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     fill_quarantined_rows(result.graph, quarantined);
   }
   result.extract_seconds = phase.lap_s();
+  cur_phase->finish(result.extract_seconds);
+  cur_phase.reset();
 
   if (detector) {
     detection.reset();
@@ -369,7 +459,100 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
       result.health.refine_points_skipped > 0 || result.health.deadline_hit;
   result.total_seconds = total.elapsed_s();
   result.stats = acc.total();
+
+  if (root) {
+    root->arg_num("total_seconds", result.total_seconds);
+    root->arg("stats", result.stats.to_json());
+    root->finish();
+  }
+  if (own_tracer) {
+    own_scope.reset();  // uninstall before the file write
+    own_tracer->write_chrome_json(params_.obs.trace_path);
+  }
   return result;
+}
+
+void register_build_metrics(obs::MetricsRegistry& reg, const BuildResult& r) {
+  const auto gauge = [&reg](const char* name, double v, const char* help) {
+    reg.gauge(name, help).set(v);
+  };
+  const auto counter = [&reg](const char* name, std::uint64_t v,
+                              const char* help) {
+    reg.counter(name, help).add(v);
+  };
+
+  gauge("wknng_build_forest_seconds", r.forest_seconds,
+        "RP-forest construction wall time");
+  gauge("wknng_build_leaf_seconds", r.leaf_seconds,
+        "Warp-centric leaf brute-force wall time");
+  gauge("wknng_build_refine_seconds", r.refine_seconds,
+        "Neighbor-of-neighbor refinement wall time");
+  gauge("wknng_build_extract_seconds", r.extract_seconds,
+        "Graph extraction wall time");
+  gauge("wknng_build_total_seconds", r.total_seconds,
+        "End-to-end build wall time");
+  gauge("wknng_build_num_buckets", static_cast<double>(r.num_buckets),
+        "Forest leaves processed");
+  gauge("wknng_build_races_detected", static_cast<double>(r.races_detected),
+        "Conflicts flagged by the race detector");
+
+  gauge("wknng_build_degraded", r.health.degraded ? 1.0 : 0.0,
+        "1 when the build output may differ from the ideal run");
+  gauge("wknng_build_deadline_hit", r.health.deadline_hit ? 1.0 : 0.0,
+        "1 when the soft deadline shed refinement rounds");
+  gauge("wknng_build_rounds_completed",
+        static_cast<double>(r.health.rounds_completed),
+        "Refinement rounds actually finished");
+  counter("wknng_build_buckets_retried_total", r.health.buckets_retried,
+          "Leaf bucket executions re-launched");
+  counter("wknng_build_buckets_failed_total", r.health.buckets_failed,
+          "Leaf buckets failed after all retries");
+  counter("wknng_build_buckets_degraded_total", r.health.buckets_degraded,
+          "kShared buckets re-run as kTiled");
+  counter("wknng_build_launches_retried_total", r.health.launches_retried,
+          "Whole launches retried after allocation failure");
+  counter("wknng_build_points_quarantined_total",
+          r.health.points_quarantined,
+          "Non-finite input rows excluded from the build");
+  counter("wknng_build_refine_points_skipped_total",
+          r.health.refine_points_skipped,
+          "Point-rounds skipped during refinement");
+  // The fault series is registered even when zero so scrapes always expose
+  // whether a campaign ran.
+  counter("wknng_build_faults_injected_total", r.health.faults_injected,
+          "Fault-injection decisions fired during the build");
+
+  counter("wknng_build_distance_evals_total", r.stats.distance_evals,
+          "Full point-to-point distance computations");
+  counter("wknng_build_flops_total", r.stats.flops,
+          "Floating-point ops in distance kernels");
+  counter("wknng_build_global_reads_total", r.stats.global_reads,
+          "Bytes read from global memory");
+  counter("wknng_build_global_writes_total", r.stats.global_writes,
+          "Bytes written to global memory");
+  counter("wknng_build_atomic_ops_total", r.stats.atomic_ops,
+          "Completed atomic RMW operations");
+  counter("wknng_build_cas_retries_total", r.stats.cas_retries,
+          "Failed CAS attempts (contention)");
+  counter("wknng_build_lock_acquires_total", r.stats.lock_acquires,
+          "Spin-lock acquisitions");
+  counter("wknng_build_lock_spins_total", r.stats.lock_spins,
+          "Failed lock attempts while spinning");
+  counter("wknng_build_warp_collectives_total", r.stats.warp_collectives,
+          "Warp shuffles/ballots/reductions executed");
+  counter("wknng_build_warps_executed_total", r.stats.warps_executed,
+          "Warp tasks executed");
+  counter("wknng_build_shadow_events_total", r.stats.shadow_events,
+          "Race-detector shadow accesses recorded");
+  counter("wknng_build_nonfinite_dropped_total", r.stats.nonfinite_dropped,
+          "Candidates rejected for non-finite distance");
+  gauge("wknng_build_scratch_bytes_peak",
+        static_cast<double>(r.stats.scratch_bytes_peak),
+        "Max per-warp scratch footprint observed");
+
+  // Full Stats object for JSON consumers (Tab. 3 tooling) — one source of
+  // truth, rendered by Stats::to_json.
+  reg.json_blob("build_stats", r.stats.to_json());
 }
 
 BuildResult build_knng(ThreadPool& pool, const FloatMatrix& points,

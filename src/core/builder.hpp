@@ -10,6 +10,10 @@
 #include "data/graph_io.hpp"
 #include "simt/stats.hpp"
 
+namespace wknng::obs {
+class MetricsRegistry;
+}  // namespace wknng::obs
+
 namespace wknng::core {
 
 /// What the build had to survive: the recovery ledger of one build. A build
@@ -103,5 +107,10 @@ class KnngBuilder {
 /// One-call convenience wrapper.
 BuildResult build_knng(ThreadPool& pool, const FloatMatrix& points,
                        const BuildParams& params);
+
+/// Register the build's timings, health ledger, fault counts, and aggregated
+/// Stats counters into the central metrics registry (`wknng_build_*` series),
+/// for export via the registry's Prometheus/JSON formats.
+void register_build_metrics(obs::MetricsRegistry& reg, const BuildResult& r);
 
 }  // namespace wknng::core

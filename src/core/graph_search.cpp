@@ -73,7 +73,9 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
   SearchScratch& scr = scratch != nullptr ? *scratch : local_scratch;
   const std::span<const float> base_norms = scr.base_norms(base);
 
-  simt::launch_warps(pool, nq, acc, [&](Warp& w) {
+  simt::LaunchConfig search_config;
+  search_config.trace_label = "graph_search";
+  simt::launch_warps(pool, nq, search_config, acc, [&](Warp& w) {
     const std::size_t qi = w.id();
     const std::uint64_t tag = tags.empty() ? qi : tags[qi];
     const auto query = queries.row(qi);

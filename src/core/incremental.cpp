@@ -77,6 +77,7 @@ void IncrementalKnng::add_batch(const FloatMatrix& batch) {
 
   simt::LaunchConfig config;
   config.scratch_bytes = params_.scratch_bytes;
+  config.trace_label = "incremental_insert";
   simt::launch_warps(*pool_, batch.rows(), config, &acc_, [&](Warp& w) {
     const auto id = static_cast<std::uint32_t>(old_n + w.id());
     const auto query = points_.row(id);

@@ -170,6 +170,7 @@ void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
   simt::LaunchConfig config;
   config.scratch_bytes = scratch_bytes;
   config.schedule = schedule;
+  config.trace_label = "leaf_knn";
   simt::launch_warps(pool, buckets.num_buckets(), config, acc, [&](Warp& w) {
     process_bucket(w, points, buckets.bucket(w.id()), strategy, sets, norms);
   });
@@ -209,6 +210,7 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
   simt::LaunchConfig config;
   config.scratch_bytes = scratch_bytes;
   config.schedule = schedule;
+  config.trace_label = "leaf_knn";
 
   std::mutex failures_mutex;
   std::vector<BucketFailure> failures;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/params.hpp"
 #include "simt/fault.hpp"
 #include "simt/schedule.hpp"
 
@@ -122,6 +123,13 @@ struct BuildParams {
   /// round (atomically, via a temp file + rename). KnngBuilder::resume picks
   /// the build up from it.
   std::string checkpoint_path;
+
+  /// Observability knobs (obs/params.hpp): span-tracing participation, the
+  /// optional builder-owned trace output path, and per-warp spans. Also
+  /// driven by the WKNNG_TRACE / WKNNG_TRACE_WARPS environment variables.
+  /// Tracing never changes the build's result — spans observe, they do not
+  /// steer.
+  obs::ObsParams obs;
 };
 
 /// Hash of every parameter (plus n and dim) that determines the k-NN set

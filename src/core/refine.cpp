@@ -198,6 +198,7 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
     // Local join: each warp brute-forces its point's combined neighborhood
     // as a bucket. Joined ids include p itself so the pairs (p, q) are also
     // refreshed.
+    config.trace_label = "refine_local_join";
     simt::launch_warps(pool, n, config, acc, [&](Warp& w) {
       guarded([&] {
         const auto p = static_cast<std::uint32_t>(w.id());
@@ -220,6 +221,7 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
     return skipped.load(std::memory_order_relaxed);
   }
 
+  config.trace_label = "refine_expand";
   simt::launch_warps(pool, n, config, acc, [&](Warp& w) {
     guarded([&] {
       simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);

@@ -83,7 +83,9 @@ Buckets build_rp_tree(ThreadPool& pool, const FloatMatrix& points,
       }
     }
 
-    simt::launch_warps(pool, chunks.size(), acc, [&](simt::Warp& w) {
+    simt::LaunchConfig config;
+    config.trace_label = "rp_forest_level";
+    simt::launch_warps(pool, chunks.size(), config, acc, [&](simt::Warp& w) {
       const Chunk& c = chunks[w.id()];
       auto dir = dirs.row(c.segment);
       // Direction is staged once per warp (shared-memory resident on HW).
@@ -146,7 +148,9 @@ std::vector<float> project_ids(ThreadPool& pool, const FloatMatrix& points,
   std::vector<float> proj(ids.size());
   const std::size_t num_chunks =
       (ids.size() + simt::kWarpSize - 1) / simt::kWarpSize;
-  simt::launch_warps(pool, num_chunks, acc, [&](simt::Warp& w) {
+  simt::LaunchConfig config;
+  config.trace_label = "rp_forest_project";
+  simt::launch_warps(pool, num_chunks, config, acc, [&](simt::Warp& w) {
     const std::size_t begin = static_cast<std::size_t>(w.id()) * simt::kWarpSize;
     const std::size_t cnt =
         std::min<std::size_t>(simt::kWarpSize, ids.size() - begin);

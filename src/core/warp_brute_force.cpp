@@ -27,6 +27,7 @@ KnnGraph warp_brute_force_knng(ThreadPool& pool, const FloatMatrix& points,
   simt::LaunchConfig config;
   config.scratch_bytes = scratch_bytes;
   config.grain = 4;
+  config.trace_label = "warp_brute_force";
   simt::launch_warps(pool, num_pairs, config, acc, [&](simt::Warp& w) {
     // Unrank the linear index into (ta, tb) with ta <= tb: row-major over
     // the upper triangle.

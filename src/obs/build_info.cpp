@@ -1,0 +1,83 @@
+#include "obs/build_info.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "kernels/kernels.hpp"
+#include "obs/json_util.hpp"
+#include "obs/registry.hpp"
+
+#ifndef WKNNG_VERSION_STRING
+#define WKNNG_VERSION_STRING "0.0.0"
+#endif
+#ifndef WKNNG_GIT_DESCRIBE
+#define WKNNG_GIT_DESCRIBE "unknown"
+#endif
+
+namespace wknng::obs {
+
+namespace {
+
+std::string env_or_empty(const char* name) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : std::string();
+}
+
+std::string compiler_string() {
+#if defined(__clang_version__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__VERSION__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.version = WKNNG_VERSION_STRING;
+  info.git_describe = WKNNG_GIT_DESCRIBE;
+  info.compiler = compiler_string();
+  info.kernel_backend = kernels::backend_name(kernels::active_backend());
+#ifdef WKNNG_SANITIZE_BUILD
+  info.sanitize = true;
+#else
+  info.sanitize = false;
+#endif
+  info.race_env = env_or_empty("WKNNG_CHECK_RACES");
+  info.fault_env = env_or_empty("WKNNG_INJECT_FAULTS");
+  info.trace_env = env_or_empty("WKNNG_TRACE");
+  return info;
+}
+
+std::string to_json(const BuildInfo& info) {
+  std::ostringstream os;
+  os << "{\"version\":\"" << json_escape(info.version) << "\""
+     << ",\"git_describe\":\"" << json_escape(info.git_describe) << "\""
+     << ",\"compiler\":\"" << json_escape(info.compiler) << "\""
+     << ",\"kernel_backend\":\"" << json_escape(info.kernel_backend) << "\""
+     << ",\"sanitize\":" << (info.sanitize ? "true" : "false")
+     << ",\"race_env\":\"" << json_escape(info.race_env) << "\""
+     << ",\"fault_env\":\"" << json_escape(info.fault_env) << "\""
+     << ",\"trace_env\":\"" << json_escape(info.trace_env) << "\"}";
+  return os.str();
+}
+
+void register_build_info(MetricsRegistry& reg, const BuildInfo& info) {
+  reg.info("wknng_build_info",
+           {{"version", info.version},
+            {"git_describe", info.git_describe},
+            {"compiler", info.compiler},
+            {"kernel_backend", info.kernel_backend},
+            {"sanitize", info.sanitize ? "1" : "0"},
+            {"race_env", info.race_env},
+            {"fault_env", info.fault_env},
+            {"trace_env", info.trace_env}},
+           "Static build/runtime configuration of this binary");
+  reg.info("wknng_kernel_backend_info", {{"backend", info.kernel_backend}},
+           "Kernel backend selected by runtime dispatch");
+}
+
+}  // namespace wknng::obs

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+namespace wknng::obs {
+
+class MetricsRegistry;
+
+/// Static facts about this binary and its runtime configuration: what was
+/// compiled, which kernel backend dispatch selected, and which debugging
+/// knobs (sanitizer build, race/fault/trace env) are live. Exported via both
+/// registry formats and `wknng_cli --version` so every artifact records the
+/// configuration that produced it.
+struct BuildInfo {
+  std::string version;
+  std::string git_describe;
+  std::string compiler;
+  std::string kernel_backend;  // resolved by kernels::dispatch at call time
+  bool sanitize = false;       // WKNNG_SANITIZE compile knob
+  std::string race_env;        // WKNNG_CHECK_RACES ("" when unset)
+  std::string fault_env;       // WKNNG_INJECT_FAULTS ("" when unset)
+  std::string trace_env;       // WKNNG_TRACE ("" when unset)
+};
+
+/// Collect the current build info (queries kernels::active_backend()).
+BuildInfo build_info();
+
+std::string to_json(const BuildInfo& info);
+
+/// Register two info-style metrics: `wknng_build_info{...}` with the full
+/// label set and `wknng_kernel_backend_info{backend="..."}` for dashboards
+/// that only care about the dispatch decision.
+void register_build_info(MetricsRegistry& reg, const BuildInfo& info);
+
+}  // namespace wknng::obs

@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+
+namespace wknng::obs {
+
+namespace {
+
+std::vector<double> one_two_five_series(double lo, double hi) {
+  std::vector<double> bounds;
+  double decade = lo;
+  while (decade <= hi) {
+    for (const double m : {1.0, 2.0, 5.0}) {
+      const double b = decade * m;
+      if (b > hi) break;
+      bounds.push_back(b);
+    }
+    decade *= 10.0;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+std::vector<double> latency_bounds_us() {
+  return one_two_five_series(1.0, 1e7);  // 1 µs .. 10 s
+}
+
+std::vector<double> size_bounds(double max_value) {
+  return one_two_five_series(1.0, max_value);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  WKNNG_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    WKNNG_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                    "histogram bounds must be strictly increasing");
+  }
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::uint64_t c = count();
+  return c == 0 ? 0.0 : sum() / static_cast<double>(c);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  // A single sample is known exactly: max_seen *is* the sample. Returning it
+  // avoids interpolating a bucket position out of one observation.
+  if (total == 1) return max_seen();
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == buckets_.size() - 1) return max_seen();  // overflow bucket
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      // Interpolated position, capped at the observed maximum so a nearly
+      // empty bucket never reports a value no sample ever reached.
+      return std::min(lo + (hi - lo) * std::clamp(within, 0.0, 1.0),
+                      max_seen());
+    }
+    cumulative += in_bucket;
+  }
+  return max_seen();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::string Histogram::to_json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count() << ",\"sum\":" << fmt_double(sum())
+     << ",\"mean\":" << fmt_double(mean())
+     << ",\"p50\":" << fmt_double(percentile(50))
+     << ",\"p95\":" << fmt_double(percentile(95))
+     << ",\"p99\":" << fmt_double(percentile(99))
+     << ",\"max\":" << fmt_double(max_seen()) << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;  // sparse dump: empty buckets carry no information
+    if (!first) os << ",";
+    first = false;
+    os << "{\"le\":";
+    if (i == bounds_.size()) {
+      os << "\"inf\"";
+    } else {
+      os << fmt_double(bounds_[i]);
+    }
+    os << ",\"count\":" << c << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace wknng::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wknng::obs {
+
+/// Monotonic event counter. Relaxed increments: hot paths only ever add,
+/// and reports tolerate a momentarily stale read.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (phase seconds, health flags, queue
+/// depths). Relaxed stores/loads — a gauge is a report-time snapshot.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing bucket upper
+/// bounds (inclusive), with an implicit +inf overflow bucket. Recording is
+/// lock-free (one relaxed bucket increment plus count/sum updates);
+/// percentiles are extracted at report time by linear interpolation inside
+/// the covering bucket — the Prometheus model, embedded. Bucket layouts are
+/// fixed at construction so two runs of the same config produce structurally
+/// identical output.
+///
+/// Percentile edge-case contract (shared by serve and the obs registry):
+///  * empty histogram        -> 0 for every percentile
+///  * single recorded sample -> that sample's value (max_seen is exact)
+///  * overflow-bucket mass   -> the observed maximum, never an invented bound
+///  * interpolation          -> clamped to [bucket lo, min(bucket hi, max)]
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double max_seen() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Value at percentile `p` in [0, 100]; 0 when the histogram is empty.
+  double percentile(double p) const;
+
+  /// The bucket upper bounds this histogram was constructed with (the
+  /// implicit +inf overflow bucket is not listed).
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Snapshot of per-bucket counts, bounds().size() + 1 entries (last is the
+  /// overflow bucket). The Prometheus exporter renders these cumulatively.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..,
+  ///  "buckets":[{"le":bound,"count":n},...]}  (overflow bucket has "le":"inf")
+  std::string to_json() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// 1-2-5 geometric series from 1 µs to 10 s — the latency bucket layout every
+/// serving histogram shares.
+std::vector<double> latency_bounds_us();
+
+/// 1-2-5 geometric series from 1 to `max_value` (sizes, visit counts).
+std::vector<double> size_bounds(double max_value);
+
+}  // namespace wknng::obs

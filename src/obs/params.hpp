@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace wknng::obs {
+
+/// Observability knobs carried on BuildParams / ServeOptions.
+///
+/// `trace` gates *participation*: when true (the default) and a tracer is
+/// installed via ScopedTracing, spans are emitted; when false the component
+/// ignores any active tracer. `trace_path` asks the builder to own a tracer
+/// itself — if no tracer is already active it installs one for the duration
+/// of the build and writes Chrome trace-event JSON to the path at the end.
+struct ObsParams {
+  bool trace = true;
+  bool trace_warps = false;   // per-warp-group spans (verbose; off by default)
+  std::string trace_path;     // non-empty => builder owns + writes a tracer
+};
+
+/// Apply WKNNG_TRACE / WKNNG_TRACE_WARPS on top of `base`:
+///   WKNNG_TRACE=0       -> trace = false
+///   WKNNG_TRACE=1       -> trace = true
+///   WKNNG_TRACE=<path>  -> trace = true, trace_path = <path> (if unset)
+///   WKNNG_TRACE_WARPS=1 -> trace_warps = true
+inline ObsParams params_from_env(ObsParams base) {
+  if (const char* env = std::getenv("WKNNG_TRACE")) {
+    const std::string v(env);
+    if (v == "0") {
+      base.trace = false;
+    } else {
+      base.trace = true;
+      if (v != "1" && base.trace_path.empty()) base.trace_path = v;
+    }
+  }
+  if (const char* env = std::getenv("WKNNG_TRACE_WARPS")) {
+    base.trace_warps = std::string(env) == "1";
+  }
+  return base;
+}
+
+}  // namespace wknng::obs

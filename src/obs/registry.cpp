@@ -1,0 +1,261 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+
+namespace wknng::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    case 2: return "histogram";
+    case 3: return "gauge";  // gauge_fn exports as a gauge
+    case 4: return "info";
+    case 5: return "json";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::add_locked(const std::string& name,
+                                                    const std::string& help,
+                                                    Kind kind) {
+  WKNNG_CHECK_MSG(valid_metric_name(name),
+                  "invalid metric name '" << name << "'");
+  Entry e;
+  e.name = name;
+  e.help = help;
+  e.kind = kind;
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_locked(name)) {
+    WKNNG_CHECK_MSG(e->kind == Kind::kCounter,
+                    "metric '" << name << "' already registered as "
+                               << kind_name(static_cast<int>(e->kind)));
+    return const_cast<Counter&>(*e->counter);
+  }
+  owned_counters_.emplace_back();
+  Counter& c = owned_counters_.back();
+  add_locked(name, help, Kind::kCounter).counter = &c;
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_locked(name)) {
+    WKNNG_CHECK_MSG(e->kind == Kind::kGauge,
+                    "metric '" << name << "' already registered as "
+                               << kind_name(static_cast<int>(e->kind)));
+    return const_cast<Gauge&>(*e->gauge);
+  }
+  owned_gauges_.emplace_back();
+  Gauge& g = owned_gauges_.back();
+  add_locked(name, help, Kind::kGauge).gauge = &g;
+  return g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find_locked(name)) {
+    WKNNG_CHECK_MSG(e->kind == Kind::kHistogram,
+                    "metric '" << name << "' already registered as "
+                               << kind_name(static_cast<int>(e->kind)));
+    return const_cast<Histogram&>(*e->histogram);
+  }
+  owned_histograms_.emplace_back(std::move(bounds));
+  Histogram& h = owned_histograms_.back();
+  add_locked(name, help, Kind::kHistogram).histogram = &h;
+  return h;
+}
+
+void MetricsRegistry::link_counter(const std::string& name, const Counter& c,
+                                   const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WKNNG_CHECK_MSG(find_locked(name) == nullptr,
+                  "metric '" << name << "' already registered");
+  add_locked(name, help, Kind::kCounter).counter = &c;
+}
+
+void MetricsRegistry::link_histogram(const std::string& name,
+                                     const Histogram& h,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WKNNG_CHECK_MSG(find_locked(name) == nullptr,
+                  "metric '" << name << "' already registered");
+  add_locked(name, help, Kind::kHistogram).histogram = &h;
+}
+
+void MetricsRegistry::gauge_fn(const std::string& name,
+                               std::function<double()> fn,
+                               const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WKNNG_CHECK_MSG(find_locked(name) == nullptr,
+                  "metric '" << name << "' already registered");
+  add_locked(name, help, Kind::kGaugeFn).fn = std::move(fn);
+}
+
+void MetricsRegistry::info(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>> labels,
+    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WKNNG_CHECK_MSG(find_locked(name) == nullptr,
+                  "metric '" << name << "' already registered");
+  add_locked(name, help, Kind::kInfo).labels = std::move(labels);
+}
+
+void MetricsRegistry::json_blob(const std::string& name,
+                                const std::string& raw_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WKNNG_CHECK_MSG(find_locked(name) == nullptr,
+                  "metric '" << name << "' already registered");
+  add_locked(name, "", Kind::kJsonBlob).raw_json = raw_json;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+        os << "# TYPE " << e.name << " counter\n";
+        os << e.name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+        os << "# TYPE " << e.name << " gauge\n";
+        os << e.name << " " << fmt_double(e.gauge->value()) << "\n";
+        break;
+      case Kind::kGaugeFn:
+        if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+        os << "# TYPE " << e.name << " gauge\n";
+        os << e.name << " " << fmt_double(e.fn()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+        os << "# TYPE " << e.name << " histogram\n";
+        // One coherent snapshot of the bucket array; count/sum are derived
+        // from it so the rendered histogram is always self-consistent even
+        // while the instrument is being written concurrently.
+        const std::vector<std::uint64_t> counts =
+            e.histogram->bucket_counts();
+        const std::vector<double>& bounds = e.histogram->bounds();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += counts[i];
+          os << e.name << "_bucket{le=\"" << fmt_double(bounds[i]) << "\"} "
+             << cumulative << "\n";
+        }
+        cumulative += counts.back();
+        os << e.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << e.name << "_sum " << fmt_double(e.histogram->sum()) << "\n";
+        os << e.name << "_count " << cumulative << "\n";
+        break;
+      }
+      case Kind::kInfo: {
+        if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+        os << "# TYPE " << e.name << " gauge\n";
+        os << e.name << "{";
+        bool first = true;
+        for (const auto& [k, v] : e.labels) {
+          if (!first) os << ",";
+          first = false;
+          os << k << "=\"" << prom_escape(v) << "\"";
+        }
+        os << "} 1\n";
+        break;
+      }
+      case Kind::kJsonBlob:
+        break;  // JSON export only
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"metrics\":{";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(e.name) << "\":";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "{\"kind\":\"counter\",\"value\":" << e.counter->value() << "}";
+        break;
+      case Kind::kGauge:
+        os << "{\"kind\":\"gauge\",\"value\":" << fmt_double(e.gauge->value())
+           << "}";
+        break;
+      case Kind::kGaugeFn:
+        os << "{\"kind\":\"gauge\",\"value\":" << fmt_double(e.fn()) << "}";
+        break;
+      case Kind::kHistogram:
+        os << "{\"kind\":\"histogram\",\"data\":" << e.histogram->to_json()
+           << "}";
+        break;
+      case Kind::kInfo: {
+        os << "{\"kind\":\"info\",\"labels\":{";
+        bool lfirst = true;
+        for (const auto& [k, v] : e.labels) {
+          if (!lfirst) os << ",";
+          lfirst = false;
+          os << "\"" << json_escape(k) << "\":\"" << json_escape(v) << "\"";
+        }
+        os << "}}";
+        break;
+      }
+      case Kind::kJsonBlob:
+        os << "{\"kind\":\"json\",\"data\":" << e.raw_json << "}";
+        break;
+    }
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace wknng::obs

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wknng::obs {
+
+/// Central metrics registry: the single place build results, serve metrics,
+/// fault-injection counts, and kernel-backend info register into, and the
+/// single place Prometheus/JSON scrapes read from.
+///
+/// Two registration styles coexist:
+///  * Owned metrics (`counter`/`gauge`/`histogram`): the registry allocates
+///    and owns the instrument; callers keep the returned reference. Storage
+///    is a deque so addresses stay stable across later registrations.
+///  * Linked metrics (`link_counter`/`link_histogram`/`gauge_fn`): an
+///    externally-owned live instrument (e.g. `serve::ServeMetrics` fields)
+///    is exported by reference — scrapes see its current value without any
+///    copying or double accounting. The linked object must outlive the
+///    registry or be exported before it dies.
+///
+/// Registration and export take one mutex; instrument *updates* never do —
+/// counters/gauges/histograms stay lock-free on the hot path. Concurrent
+/// flush (instrument updates) and scrape (`to_prometheus`/`to_json`) are
+/// therefore safe, which the sanitize-race job exercises.
+///
+/// Metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*` (the Prometheus rule);
+/// re-requesting an existing name with the same kind returns the same
+/// instrument, a kind mismatch throws.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Export a live, externally-owned counter/histogram under `name`.
+  void link_counter(const std::string& name, const Counter& c,
+                    const std::string& help = "");
+  void link_histogram(const std::string& name, const Histogram& h,
+                      const std::string& help = "");
+
+  /// Gauge whose value is computed at scrape time.
+  void gauge_fn(const std::string& name, std::function<double()> fn,
+                const std::string& help = "");
+
+  /// Info-style metric: constant gauge of 1 carrying its payload in labels
+  /// (`wknng_build_info{compiler="...",backend="..."} 1`).
+  void info(const std::string& name,
+            std::vector<std::pair<std::string, std::string>> labels,
+            const std::string& help = "");
+
+  /// Pre-rendered JSON attached to the JSON export only (the Prometheus
+  /// exporter skips it). `raw_json` must already be valid JSON.
+  void json_blob(const std::string& name, const std::string& raw_json);
+
+  /// Prometheus text exposition format: # HELP / # TYPE lines, cumulative
+  /// `_bucket{le=...}` + `_sum` + `_count` for histograms, one `name{labels} 1`
+  /// line per info metric.
+  std::string to_prometheus() const;
+
+  /// {"metrics":{name:{"kind":...,...}}} — histograms embed Histogram::to_json.
+  std::string to_json() const;
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kGaugeFn, kInfo, kJsonBlob };
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    // Owned instruments live in the deques below; these point either there
+    // or at a linked external instrument.
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+    std::function<double()> fn;
+    std::vector<std::pair<std::string, std::string>> labels;
+    std::string raw_json;
+  };
+
+  Entry* find_locked(const std::string& name);
+  Entry& add_locked(const std::string& name, const std::string& help,
+                    Kind kind);
+
+  mutable std::mutex mu_;
+  std::deque<Counter> owned_counters_;
+  std::deque<Gauge> owned_gauges_;
+  std::deque<Histogram> owned_histograms_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace wknng::obs

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace wknng::serve {
 
@@ -134,6 +136,20 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
   metrics_.batches.add();
   metrics_.batch_size.record(static_cast<double>(batch.size()));
 
+  // Serve-batch span: id is counter-hashed from a monotone batch index, so
+  // the id sequence is deterministic even though batch *composition* depends
+  // on arrival timing. The span covers triage + kernel + fan-out.
+  std::optional<obs::Span> span;
+  obs::Tracer* tr = options_.obs.trace ? obs::active_tracer() : nullptr;
+  if (tr != nullptr) {
+    const std::uint64_t idx =
+        batch_index_.fetch_add(1, std::memory_order_relaxed);
+    span.emplace(tr, "serve_batch", "serve",
+                 obs::Tracer::span_id(idx, 0, 0, obs::SpanSalt::kServeBatch),
+                 obs::kTrackServe);
+    span->arg_num("size", static_cast<std::uint64_t>(batch.size()));
+  }
+
   // Deadline triage: expired requests get typed timeout results and are
   // never executed — the engine sheds their work, not just their response.
   std::vector<Request> live;
@@ -155,9 +171,14 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
       live.push_back(std::move(r));
     }
   }
+  if (span) span->arg_num("live", static_cast<std::uint64_t>(live.size()));
   if (live.empty()) return;
 
   const std::shared_ptr<const GraphSnapshot> snap = slot_.current();
+  if (span) {
+    span->arg_num("snapshot_version",
+                  static_cast<std::uint64_t>(snap->version));
+  }
   FloatMatrix queries(live.size(), snap->base.cols());
   std::vector<std::uint64_t> tags(live.size());
   for (std::size_t i = 0; i < live.size(); ++i) {

@@ -13,6 +13,7 @@
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "core/graph_search.hpp"
+#include "obs/params.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/snapshot.hpp"
@@ -29,6 +30,7 @@ struct ServeOptions {
   std::size_t queue_capacity = 4096;   ///< pending requests before shedding
   std::uint64_t default_deadline_us = 0;  ///< per-request default; 0 = none
   core::SearchParams search;           ///< kernel parameters (k, beam, seed)
+  obs::ObsParams obs;                  ///< span-tracing participation knobs
 };
 
 /// Batched, deadline-aware query serving over a K-NN graph.
@@ -110,6 +112,7 @@ class ServeEngine {
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> batch_index_{0};  ///< deterministic span ids
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
 

@@ -1,67 +1,25 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
+namespace wknng::obs {
+class MetricsRegistry;
+}  // namespace wknng::obs
+
 namespace wknng::serve {
 
-/// Monotonic event counter. Relaxed increments: the serving hot path only
-/// ever adds, and reports tolerate a momentarily stale read.
-class Counter {
- public:
-  void add(std::uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
-  }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Fixed-bucket histogram: `bounds` are strictly increasing bucket upper
-/// bounds (inclusive), with an implicit +inf overflow bucket. Recording is
-/// lock-free (one relaxed bucket increment plus count/sum updates);
-/// percentiles are extracted at report time by linear interpolation inside
-/// the covering bucket — the Prometheus model, embedded. Bucket layouts are
-/// fixed at construction so two runs of the same config produce structurally
-/// identical JSON.
-class Histogram {
- public:
-  explicit Histogram(std::vector<double> bounds);
-
-  Histogram(const Histogram&) = delete;
-  Histogram& operator=(const Histogram&) = delete;
-
-  void record(double value);
-
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double sum() const { return sum_.load(std::memory_order_relaxed); }
-  double mean() const;
-  double max_seen() const { return max_.load(std::memory_order_relaxed); }
-
-  /// Value at percentile `p` in [0, 100]; 0 when the histogram is empty.
-  double percentile(double p) const;
-
-  /// {"count":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..,"max":..,
-  ///  "buckets":[{"le":bound,"count":n},...]}  (overflow bucket has "le":"inf")
-  std::string to_json() const;
-
- private:
-  std::vector<double> bounds_;
-  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0.0};
-  std::atomic<double> max_{0.0};
-};
-
-/// 1-2-5 geometric series from 1 µs to 10 s — the latency bucket layout every
-/// serving histogram shares.
-std::vector<double> latency_bounds_us();
-
-/// 1-2-5 geometric series from 1 to `max_value` (sizes, visit counts).
-std::vector<double> size_bounds(double max_value);
+// The serving metrics are built from the shared observability instruments
+// (obs/metrics.hpp) — one Counter/Histogram implementation, one percentile
+// contract, shared with the central registry. The aliases keep the historical
+// serve:: spellings working.
+using obs::Counter;
+using obs::Histogram;
+using obs::latency_bounds_us;
+using obs::size_bounds;
 
 /// The embedded metrics layer of one ServeEngine: monotonic counters plus
 /// fixed-bucket latency histograms, dumped as a single JSON object. All
@@ -87,5 +45,11 @@ struct ServeMetrics {
 
   std::string to_json() const;
 };
+
+/// Link every ServeMetrics instrument into the central registry as live
+/// `wknng_serve_*` series — a scrape reads the engine's current values with
+/// no copying. `m` must outlive the registry's exports (render the scrape
+/// before the engine is destroyed).
+void register_metrics(obs::MetricsRegistry& reg, const ServeMetrics& m);
 
 }  // namespace wknng::serve

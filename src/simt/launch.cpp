@@ -1,5 +1,8 @@
 #include "simt/launch.hpp"
 
+#include <optional>
+
+#include "obs/trace.hpp"
 #include "simt/fault.hpp"
 #include "simt/race.hpp"
 
@@ -62,10 +65,41 @@ void launch_warps(ThreadPool& pool, std::size_t num_warps,
     fault_maybe_throw(FaultSite::kLaunchAlloc);  // "device OOM" at grid setup
   }
 
+  // Same hook shape as the race/fault detectors: one acquire load, and a
+  // null tracer keeps the whole block dead.
+  obs::Tracer* tr = obs::active_tracer();
+  std::uint64_t phase_idx = 0;
+  std::uint64_t launch_idx = 0;
+  std::optional<obs::Span> launch_span;
+  if (tr != nullptr) {
+    phase_idx = tr->current_phase();
+    launch_idx = tr->next_launch();
+    launch_span.emplace(
+        tr, config.trace_label != nullptr ? config.trace_label : "launch",
+        "launch",
+        obs::Tracer::span_id(phase_idx, launch_idx, 0, obs::SpanSalt::kLaunch),
+        obs::kTrackLaunch);
+    launch_span->arg_num("num_warps", static_cast<std::uint64_t>(num_warps));
+  }
+
   const auto run_one = [&](std::size_t warp_id) {
     WarpScratch& scratch = thread_scratch(config.scratch_bytes);
     scratch.reset();
     scratch.reset_peak();
+
+    // Optional per-warp span: consecutive grains share a warp-group track so
+    // wide launches stay readable. The span opens before the body (so its
+    // duration covers the kernel) and closes with the warp's stats attached.
+    std::optional<obs::Span> ws;
+    if (tr != nullptr && tr->warp_spans()) {
+      const std::uint64_t group =
+          warp_id / (config.grain > 0 ? config.grain : 1);
+      ws.emplace(tr, "warp", "warp",
+                 obs::Tracer::span_id(phase_idx, launch_idx, warp_id,
+                                      obs::SpanSalt::kWarp),
+                 obs::kTrackWarpBase +
+                     static_cast<std::uint32_t>(group % obs::kNumWarpTracks));
+    }
 
     Stats local;
     Warp warp(static_cast<std::uint32_t>(warp_id), scratch, local);
@@ -78,6 +112,13 @@ void launch_warps(ThreadPool& pool, std::size_t num_warps,
 
     local.warps_executed = 1;
     local.scratch_bytes_peak = scratch.peak_used();
+
+    if (ws) {
+      ws->arg_num("warp_id", static_cast<std::uint64_t>(warp_id));
+      ws->arg("stats", local.to_json());
+      ws->finish();
+    }
+
     if (acc != nullptr) acc->flush(local);
   };
 

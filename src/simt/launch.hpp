@@ -21,6 +21,10 @@ struct LaunchConfig {
   std::size_t scratch_bytes = WarpScratch::kDefaultBytes;
   std::size_t grain = 1;  ///< consecutive warp ids claimed per scheduling step
   ScheduleSpec schedule;  ///< kDynamic (default) or a deterministic replay
+  /// Kernel name shown on launch spans when a tracer is active (obs/trace.hpp);
+  /// a null label traces as "launch". Must point at a string literal or
+  /// storage outliving the launch.
+  const char* trace_label = nullptr;
 };
 
 /// Executes `body(warp)` for warp ids [0, num_warps) on the thread pool.

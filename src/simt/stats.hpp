@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <mutex>
 #include <ostream>
+#include <sstream>
+#include <string>
 
 namespace wknng::simt {
 
@@ -49,6 +52,60 @@ struct Stats {
     return *this;
   }
 
+  /// JSON object with one key per counter. The conditional counters
+  /// (`shadow_events`, `nonfinite_dropped`) appear only when non-zero,
+  /// matching operator<< — a clean run's stats dump stays free of
+  /// debugging-machinery noise.
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "{\"distance_evals\":" << distance_evals << ",\"flops\":" << flops
+       << ",\"global_reads\":" << global_reads
+       << ",\"global_writes\":" << global_writes
+       << ",\"atomic_ops\":" << atomic_ops
+       << ",\"cas_retries\":" << cas_retries
+       << ",\"lock_acquires\":" << lock_acquires
+       << ",\"lock_spins\":" << lock_spins
+       << ",\"warp_collectives\":" << warp_collectives
+       << ",\"scratch_bytes_peak\":" << scratch_bytes_peak
+       << ",\"warps_executed\":" << warps_executed;
+    if (shadow_events != 0) os << ",\"shadow_events\":" << shadow_events;
+    if (nonfinite_dropped != 0) {
+      os << ",\"nonfinite_dropped\":" << nonfinite_dropped;
+    }
+    os << "}";
+    return os.str();
+  }
+
+  /// Inverse of to_json for flat Stats objects: scans for each known
+  /// `"key":value` pair; absent keys stay zero. Tolerates whitespace after
+  /// the colon but is not a general JSON parser — it exists for round-trip
+  /// tests and tool-side ingestion of our own output.
+  static Stats from_json(const std::string& json) {
+    Stats s;
+    const auto field = [&json](const char* key) -> std::uint64_t {
+      const std::string needle = std::string("\"") + key + "\":";
+      const std::size_t pos = json.find(needle);
+      if (pos == std::string::npos) return 0;
+      const char* p = json.c_str() + pos + needle.size();
+      while (*p == ' ') ++p;
+      return std::strtoull(p, nullptr, 10);
+    };
+    s.distance_evals = field("distance_evals");
+    s.flops = field("flops");
+    s.global_reads = field("global_reads");
+    s.global_writes = field("global_writes");
+    s.atomic_ops = field("atomic_ops");
+    s.cas_retries = field("cas_retries");
+    s.lock_acquires = field("lock_acquires");
+    s.lock_spins = field("lock_spins");
+    s.warp_collectives = field("warp_collectives");
+    s.scratch_bytes_peak = field("scratch_bytes_peak");
+    s.warps_executed = field("warps_executed");
+    s.shadow_events = field("shadow_events");
+    s.nonfinite_dropped = field("nonfinite_dropped");
+    return s;
+  }
+
   friend std::ostream& operator<<(std::ostream& os, const Stats& s) {
     os << "dist_evals=" << s.distance_evals << " flops=" << s.flops
        << " gmem_rd=" << s.global_reads << " gmem_wr=" << s.global_writes
@@ -61,6 +118,28 @@ struct Stats {
     return os;
   }
 };
+
+/// Work done between two cumulative snapshots: every additive counter is
+/// subtracted, while `scratch_bytes_peak` (a max-merge, not a sum) is taken
+/// from `after`. This is how trace spans attribute Stats to the interval
+/// they cover.
+inline Stats stats_delta(const Stats& after, const Stats& before) {
+  Stats d;
+  d.distance_evals = after.distance_evals - before.distance_evals;
+  d.flops = after.flops - before.flops;
+  d.global_reads = after.global_reads - before.global_reads;
+  d.global_writes = after.global_writes - before.global_writes;
+  d.atomic_ops = after.atomic_ops - before.atomic_ops;
+  d.cas_retries = after.cas_retries - before.cas_retries;
+  d.lock_acquires = after.lock_acquires - before.lock_acquires;
+  d.lock_spins = after.lock_spins - before.lock_spins;
+  d.warp_collectives = after.warp_collectives - before.warp_collectives;
+  d.scratch_bytes_peak = after.scratch_bytes_peak;
+  d.warps_executed = after.warps_executed - before.warps_executed;
+  d.shadow_events = after.shadow_events - before.shadow_events;
+  d.nonfinite_dropped = after.nonfinite_dropped - before.nonfinite_dropped;
+  return d;
+}
 
 /// Thread-safe sink that warp tasks flush their local Stats into at the end
 /// of their lifetime. One mutex-protected flush per warp task keeps the hot

@@ -17,6 +17,7 @@
 ///   core/       the w-KNNG builder, strategies, metrics, incremental mode
 ///   ivf/        IVF-Flat baseline (FAISS surrogate)
 ///   nndescent/  NN-Descent baseline
+///   obs/        span tracing, metrics registry, Prometheus/JSON exporters
 ///   serve/      batched, deadline-aware query serving over a built graph
 
 #include "common/knn_graph.hpp"
@@ -39,6 +40,11 @@
 #include "ivf/ivf_flat.hpp"
 #include "ivf/ivf_sq8.hpp"
 #include "nndescent/nn_descent.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/params.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/metrics.hpp"

@@ -1,0 +1,67 @@
+// Build-info block: every field populated, JSON rendering valid, and the two
+// info-style metrics (wknng_build_info, wknng_kernel_backend_info) present in
+// both registry exports — the configuration provenance every artifact carries.
+#include "obs/build_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/kernels.hpp"
+#include "obs/registry.hpp"
+
+namespace wknng::obs {
+namespace {
+
+TEST(BuildInfo, FieldsArePopulated) {
+  const BuildInfo info = build_info();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  // The backend string must be whatever dispatch actually resolved, so traces
+  // and metrics record the kernel that produced them.
+  EXPECT_EQ(info.kernel_backend,
+            kernels::backend_name(kernels::active_backend()));
+}
+
+TEST(BuildInfo, ToJsonContainsEveryField) {
+  BuildInfo info = build_info();
+  info.race_env = "1";
+  info.fault_env = "";
+  const std::string j = to_json(info);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"version\":"), std::string::npos);
+  EXPECT_NE(j.find("\"git_describe\":"), std::string::npos);
+  EXPECT_NE(j.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(j.find("\"kernel_backend\":"), std::string::npos);
+  EXPECT_NE(j.find("\"sanitize\":"), std::string::npos);
+  EXPECT_NE(j.find("\"race_env\":\"1\""), std::string::npos);
+}
+
+TEST(BuildInfo, RegistersInfoMetrics) {
+  MetricsRegistry reg;
+  register_build_info(reg, build_info());
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("wknng_build_info{"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("wknng_kernel_backend_info{backend=\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("version=\""), std::string::npos);
+  EXPECT_NE(prom.find("kernel_backend=\""), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"wknng_build_info\":{\"kind\":\"info\""),
+            std::string::npos);
+}
+
+TEST(BuildInfo, VersionStringsAreStable) {
+  // Two calls agree — build info is static facts, not sampled state.
+  const BuildInfo a = build_info();
+  const BuildInfo b = build_info();
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.git_describe, b.git_describe);
+  EXPECT_EQ(a.compiler, b.compiler);
+  EXPECT_EQ(a.kernel_backend, b.kernel_backend);
+}
+
+}  // namespace
+}  // namespace wknng::obs

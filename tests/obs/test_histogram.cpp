@@ -1,0 +1,136 @@
+// Percentile edge-case contract of the shared fixed-bucket histogram
+// (obs/metrics.hpp). These are regression tests for the hardened rules:
+// empty -> 0, single sample -> the sample, overflow mass -> observed max,
+// interpolation clamped to the observed max. ServeMetrics reports p50/p95/p99
+// through this exact code path, so a wrong answer here is a wrong SLO report.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wknng::obs {
+namespace {
+
+TEST(Histogram, EmptyReportsZeroEverywhere) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactAtEveryPercentile) {
+  Histogram h({10.0, 20.0});
+  h.record(7.0);
+  // One sample: every percentile is that sample, not an interpolated point
+  // inside the [0, 10] bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(95), 7.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 7.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 7.0);
+}
+
+TEST(Histogram, AllSamplesInOverflowReportObservedMax) {
+  Histogram h({1.0, 2.0});
+  h.record(50.0);
+  h.record(75.0);
+  h.record(60.0);
+  // The overflow bucket has no upper bound; the only honest answer is the
+  // maximum actually observed — never an invented bound.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 75.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 75.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 75.0);
+}
+
+TEST(Histogram, InterpolationClampedToObservedMax) {
+  Histogram h({10.0});
+  for (int i = 0; i < 100; ++i) h.record(5.0);
+  // All mass sits in [0, 10] but nothing above 5 was ever recorded: naive
+  // interpolation would report up to 10 for high percentiles.
+  EXPECT_LE(h.percentile(99), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAcrossBuckets) {
+  Histogram h(latency_bounds_us());
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  double prev = 0.0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.percentile(100), h.max_seen());
+  EXPECT_NEAR(h.percentile(50), 500.0, 260.0);  // within one 1-2-5 bucket
+}
+
+TEST(Histogram, BucketCountsSnapshotSumsToCount) {
+  Histogram h({1.0, 5.0, 25.0});
+  const double samples[] = {0.5, 3.0, 4.0, 10.0, 100.0};
+  for (double s : samples) h.record(s);
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), h.bounds().size() + 1);  // + overflow
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  EXPECT_EQ(total, h.count());
+  EXPECT_EQ(counts[0], 1u);  // 0.5
+  EXPECT_EQ(counts[1], 2u);  // 3, 4
+  EXPECT_EQ(counts[2], 1u);  // 10
+  EXPECT_EQ(counts[3], 1u);  // 100 -> overflow
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), Error);
+  EXPECT_THROW((Histogram({1.0, 1.0})), Error);
+  EXPECT_THROW((Histogram({5.0, 2.0})), Error);
+}
+
+TEST(Histogram, BoundaryValuesLandInInclusiveBucket) {
+  Histogram h({10.0, 20.0});
+  h.record(10.0);  // inclusive upper bound -> first bucket
+  const auto counts = h.bucket_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+}
+
+TEST(Histogram, ConcurrentRecordsLoseNothing) {
+  Histogram h(size_bounds(65536.0));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>((t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : h.bucket_counts()) total += c;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, ToJsonContainsSummaryFields) {
+  Histogram h({10.0});
+  h.record(3.0);
+  h.record(100.0);
+  const std::string j = h.to_json();
+  EXPECT_NE(j.find("\"count\":2"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"p50\""), std::string::npos);
+  EXPECT_NE(j.find("\"p99\""), std::string::npos);
+  EXPECT_NE(j.find("\"le\":\"inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wknng::obs

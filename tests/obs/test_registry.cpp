@@ -1,0 +1,220 @@
+// Central metrics registry: registration semantics, both export formats,
+// linked live instruments, and concurrent flush-vs-scrape safety (the
+// sanitize-race job runs this binary under TSan). Also covers the two
+// production registration entry points: core::register_build_metrics and
+// serve::register_metrics.
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/builder.hpp"
+#include "data/synthetic.hpp"
+#include "serve/metrics.hpp"
+
+namespace wknng::obs {
+namespace {
+
+TEST(Registry, OwnedInstrumentsRoundTrip) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("wknng_test_total", "help text");
+  Gauge& g = reg.gauge("wknng_test_gauge");
+  Histogram& h = reg.histogram("wknng_test_hist", {1.0, 10.0});
+  c.add(3);
+  g.set(2.5);
+  h.record(0.5);
+  h.record(100.0);
+
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("# HELP wknng_test_total help text"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE wknng_test_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_test_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE wknng_test_gauge gauge"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_test_gauge 2.5"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE wknng_test_hist histogram"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_test_hist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_test_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wknng_test_hist_count 2"), std::string::npos);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"wknng_test_total\":{\"kind\":\"counter\",\"value\":3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"wknng_test_hist\":{\"kind\":\"histogram\""),
+            std::string::npos);
+}
+
+TEST(Registry, ReRequestReturnsSameInstrumentKindMismatchThrows) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("wknng_dup_total");
+  Counter& b = reg.counter("wknng_dup_total");
+  EXPECT_EQ(&a, &b);
+  a.add(1);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_THROW(reg.gauge("wknng_dup_total"), Error);
+  EXPECT_THROW(reg.histogram("wknng_dup_total", {1.0}), Error);
+}
+
+TEST(Registry, RejectsInvalidNamesAndDuplicateLinks) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), Error);
+  EXPECT_THROW(reg.counter("9starts_with_digit"), Error);
+  EXPECT_THROW(reg.counter("has space"), Error);
+  EXPECT_THROW(reg.counter("has-dash"), Error);
+  reg.counter("ok_name_total");
+  Counter external;
+  EXPECT_THROW(reg.link_counter("ok_name_total", external), Error);
+}
+
+TEST(Registry, LinkedInstrumentsExportLiveValues) {
+  MetricsRegistry reg;
+  Counter live;
+  Histogram lat(latency_bounds_us());
+  reg.link_counter("wknng_linked_total", live, "live counter");
+  reg.link_histogram("wknng_linked_us", lat);
+
+  live.add(7);
+  lat.record(42.0);
+  std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("wknng_linked_total 7"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_linked_us_count 1"), std::string::npos);
+
+  // The registry holds a reference, not a copy: later updates show up in the
+  // next scrape without re-registering.
+  live.add(5);
+  prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("wknng_linked_total 12"), std::string::npos);
+}
+
+TEST(Registry, GaugeFnEvaluatedAtScrapeTime) {
+  MetricsRegistry reg;
+  std::atomic<int> v{1};
+  reg.gauge_fn("wknng_fn_gauge", [&v] { return static_cast<double>(v.load()); });
+  EXPECT_NE(reg.to_prometheus().find("wknng_fn_gauge 1"), std::string::npos);
+  v.store(9);
+  EXPECT_NE(reg.to_prometheus().find("wknng_fn_gauge 9"), std::string::npos);
+}
+
+TEST(Registry, InfoMetricRendersLabelsInBothFormats) {
+  MetricsRegistry reg;
+  reg.info("wknng_test_info", {{"backend", "scalar"}, {"version", "1.0"}});
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(
+      prom.find("wknng_test_info{backend=\"scalar\",version=\"1.0\"} 1"),
+      std::string::npos)
+      << prom;
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"backend\":\"scalar\""), std::string::npos);
+}
+
+TEST(Registry, JsonBlobSkippedByPrometheus) {
+  MetricsRegistry reg;
+  reg.json_blob("build_stats", "{\"distance_evals\":10}");
+  EXPECT_EQ(reg.to_prometheus(), "");
+  EXPECT_NE(reg.to_json().find("\"build_stats\":{\"kind\":\"json\",\"data\":"
+                               "{\"distance_evals\":10}}"),
+            std::string::npos);
+}
+
+// Prometheus self-consistency under concurrent writes: _count must equal the
+// +Inf bucket because both are derived from one bucket snapshot.
+TEST(Registry, HistogramScrapeSelfConsistentUnderConcurrentWrites) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("wknng_hot_us", latency_bounds_us());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(static_cast<double>((i++ * 37 + t) % 5000));
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 50; ++scrape) {
+    const std::string prom = reg.to_prometheus();
+    const auto inf_pos = prom.find("_bucket{le=\"+Inf\"} ");
+    ASSERT_NE(inf_pos, std::string::npos);
+    const std::string inf_count = prom.substr(
+        inf_pos + 19, prom.find('\n', inf_pos) - inf_pos - 19);
+    const auto count_pos = prom.find("wknng_hot_us_count ");
+    ASSERT_NE(count_pos, std::string::npos);
+    const std::string total = prom.substr(
+        count_pos + 19, prom.find('\n', count_pos) - count_pos - 19);
+    EXPECT_EQ(inf_count, total) << prom;
+    (void)reg.to_json();  // JSON scrape must also be safe concurrently
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+TEST(Registry, ConcurrentRegistrationIsSerialized) {
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < 50; ++i) {
+        reg.counter("wknng_shared_total").add(1);
+        reg.counter("wknng_t" + std::to_string(t) + "_total").add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("wknng_shared_total").value(), 200u);
+  EXPECT_EQ(reg.size(), 5u);
+}
+
+TEST(Registry, BuildMetricsRegisterAfterRealBuild) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(400, 8, 6, 0.1f, 7);
+  core::BuildParams params;
+  params.k = 6;
+  params.num_trees = 3;
+  params.refine_iters = 1;
+  const core::BuildResult r = core::build_knng(pool, pts, params);
+
+  MetricsRegistry reg;
+  core::register_build_metrics(reg, r);
+  const std::string prom = reg.to_prometheus();
+  for (const char* name :
+       {"wknng_build_total_seconds", "wknng_build_forest_seconds",
+        "wknng_build_leaf_seconds", "wknng_build_refine_seconds",
+        "wknng_build_num_buckets", "wknng_build_distance_evals_total",
+        "wknng_build_warps_executed_total",
+        "wknng_build_faults_injected_total", "wknng_build_rounds_completed"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << "missing " << name;
+  }
+  // The substrate did real work; the counters must be nonzero.
+  EXPECT_GT(r.stats.distance_evals, 0u);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"build_stats\":{\"kind\":\"json\""), std::string::npos);
+}
+
+TEST(Registry, ServeMetricsRegisterAndScrape) {
+  serve::ServeMetrics m;
+  m.enqueued.add(10);
+  m.ok.add(9);
+  m.latency_us.record(120.0);
+  m.batch_size.record(4.0);
+
+  MetricsRegistry reg;
+  serve::register_metrics(reg, m);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("wknng_serve_enqueued_total 10"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_serve_ok_total 9"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_serve_latency_us_count 1"), std::string::npos);
+  // Linked live: engine-side updates appear on the next scrape.
+  m.enqueued.add(1);
+  EXPECT_NE(reg.to_prometheus().find("wknng_serve_enqueued_total 11"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wknng::obs

@@ -53,9 +53,10 @@ TEST(Histogram, CountsSumAndMax) {
 TEST(Histogram, PercentileInterpolatesWithinBucket) {
   Histogram h({10.0});
   for (int i = 0; i < 100; ++i) h.record(5.0);
-  // All mass in [0, 10]: the median interpolates to the bucket midpoint.
+  // All mass in [0, 10]: interpolation is capped at the observed maximum —
+  // no sample ever reached beyond 5, so no percentile may report more.
   EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
-  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
 }
 
 TEST(Histogram, OverflowPercentileReportsObservedMax) {

@@ -1,0 +1,114 @@
+// Stats JSON round-trip, the delta semantics trace spans rely on, and the
+// accumulator's thread safety (this file also runs under the sanitize-race
+// job via the test_simt label).
+#include "simt/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wknng::simt {
+namespace {
+
+Stats filled() {
+  Stats s;
+  s.distance_evals = 101;
+  s.flops = 202;
+  s.global_reads = 303;
+  s.global_writes = 404;
+  s.atomic_ops = 55;
+  s.cas_retries = 6;
+  s.lock_acquires = 77;
+  s.lock_spins = 8;
+  s.warp_collectives = 99;
+  s.scratch_bytes_peak = 4096;
+  s.warps_executed = 12;
+  return s;
+}
+
+bool all_fields_equal(const Stats& a, const Stats& b) {
+  return a.distance_evals == b.distance_evals && a.flops == b.flops &&
+         a.global_reads == b.global_reads &&
+         a.global_writes == b.global_writes && a.atomic_ops == b.atomic_ops &&
+         a.cas_retries == b.cas_retries &&
+         a.lock_acquires == b.lock_acquires && a.lock_spins == b.lock_spins &&
+         a.warp_collectives == b.warp_collectives &&
+         a.scratch_bytes_peak == b.scratch_bytes_peak &&
+         a.warps_executed == b.warps_executed &&
+         a.shadow_events == b.shadow_events &&
+         a.nonfinite_dropped == b.nonfinite_dropped;
+}
+
+TEST(StatsJson, RoundTripsEveryField) {
+  Stats s = filled();
+  s.shadow_events = 13;
+  s.nonfinite_dropped = 2;
+  const Stats back = Stats::from_json(s.to_json());
+  EXPECT_TRUE(all_fields_equal(s, back)) << s.to_json();
+}
+
+TEST(StatsJson, ConditionalFieldsOmittedWhenZero) {
+  const Stats s = filled();  // shadow_events == nonfinite_dropped == 0
+  const std::string j = s.to_json();
+  EXPECT_EQ(j.find("shadow_events"), std::string::npos) << j;
+  EXPECT_EQ(j.find("nonfinite_dropped"), std::string::npos) << j;
+  // And absent keys parse back as zero — the round trip still holds.
+  EXPECT_TRUE(all_fields_equal(s, Stats::from_json(j)));
+}
+
+TEST(StatsJson, ConditionalFieldsPresentWhenNonZero) {
+  Stats s;
+  s.shadow_events = 7;
+  s.nonfinite_dropped = 3;
+  const std::string j = s.to_json();
+  EXPECT_NE(j.find("\"shadow_events\":7"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"nonfinite_dropped\":3"), std::string::npos);
+}
+
+TEST(StatsJson, FromJsonToleratesWhitespaceAndForeignKeys) {
+  const Stats s =
+      Stats::from_json("{\"other\":9,\"distance_evals\": 42,\"flops\":7}");
+  EXPECT_EQ(s.distance_evals, 42u);
+  EXPECT_EQ(s.flops, 7u);
+  EXPECT_EQ(s.atomic_ops, 0u);
+}
+
+TEST(StatsDelta, SubtractsAdditiveCountersTakesPeakFromAfter) {
+  Stats before = filled();
+  Stats after = filled();
+  after += filled();                  // additive fields doubled
+  after.scratch_bytes_peak = 8192;    // peak observed later in the run
+  const Stats d = stats_delta(after, before);
+  EXPECT_EQ(d.distance_evals, before.distance_evals);
+  EXPECT_EQ(d.flops, before.flops);
+  EXPECT_EQ(d.warps_executed, before.warps_executed);
+  // Peak is a max-merge, not a sum: the delta reports the running peak as of
+  // `after`, never a meaningless difference of two maxima.
+  EXPECT_EQ(d.scratch_bytes_peak, 8192u);
+}
+
+TEST(StatsAccumulatorTest, ConcurrentFlushesAllLand) {
+  StatsAccumulator acc;
+  constexpr int kThreads = 4;
+  constexpr int kFlushes = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acc] {
+      Stats s;
+      s.distance_evals = 1;
+      s.scratch_bytes_peak = 64;
+      for (int i = 0; i < kFlushes; ++i) acc.flush(s);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const Stats total = acc.total();
+  EXPECT_EQ(total.distance_evals,
+            static_cast<std::uint64_t>(kThreads) * kFlushes);
+  EXPECT_EQ(total.scratch_bytes_peak, 64u);
+  acc.reset();
+  EXPECT_EQ(acc.total().distance_evals, 0u);
+}
+
+}  // namespace
+}  // namespace wknng::simt
