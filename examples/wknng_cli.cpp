@@ -18,6 +18,11 @@
 //   --refine N           refinement rounds (default 1)
 //   --spill F            spill-tree overlap fraction in [0, 0.45) (default 0)
 //   --refine-mode M      expand|local-join (default expand)
+//   --compression C      none|sq8 (default none): sq8 trains a per-dimension
+//                        int8 codebook and routes candidate distances through
+//                        the compressed rows, with an exact fp32 rerank
+//   --rerank-depth N     sq8 only: candidates surviving to the exact rerank
+//                        (0 = auto, 2k; values below k are clamped up to k)
 //   --metric M           l2|cosine|ip (default l2; cosine normalises rows,
 //                        ip applies the MIPS->L2 augmentation)
 //   --project D          random-project input to D dims before building
@@ -102,6 +107,8 @@ struct Options {
   std::size_t refine = 1;
   float spill = 0.0f;
   std::string refine_mode = "expand";
+  std::string compression = "none";  // none|sq8 compressed storage tier
+  std::size_t rerank_depth = 0;      // sq8 exact-rerank depth (0 = auto)
   std::string metric = "l2";
   std::size_t project = 0;
   std::uint64_t seed = 1234;
@@ -141,7 +148,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--input base.fvecs | --synthetic kind:n:dim[:seed])"
                " [--k N] [--strategy basic|atomic|tiled|shared|auto] [--trees N]"
-               " [--leaf N] [--refine N] [--metric l2|cosine|ip]"
+               " [--leaf N] [--refine N] [--compression none|sq8]"
+               " [--rerank-depth N] [--metric l2|cosine|ip]"
                " [--project D] [--seed N] [--out g.knng]"
                " [--out-ivecs g.ivecs] [--truth gt.ivecs] [--sample N]"
                " [--report] [--threads N] [--deadline S] [--checkpoint PATH]"
@@ -174,6 +182,8 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (flag == "--refine") opt.refine = std::strtoull(value(), nullptr, 10);
     else if (flag == "--spill") opt.spill = std::strtof(value(), nullptr);
     else if (flag == "--refine-mode") opt.refine_mode = value();
+    else if (flag == "--compression") opt.compression = value();
+    else if (flag == "--rerank-depth") opt.rerank_depth = std::strtoull(value(), nullptr, 10);
     else if (flag == "--metric") opt.metric = value();
     else if (flag == "--project") opt.project = std::strtoull(value(), nullptr, 10);
     else if (flag == "--seed") opt.seed = std::strtoull(value(), nullptr, 10);
@@ -318,6 +328,8 @@ int main(int argc, char** argv) {
     } else {
       throw Error("unknown refine mode: " + opt->refine_mode);
     }
+    params.compression = core::compression_from_name(opt->compression);
+    params.rerank_depth = opt->rerank_depth;
     params.seed = opt->seed;
     params.deadline_seconds = opt->deadline;
     params.checkpoint_path = opt->checkpoint;
@@ -340,9 +352,11 @@ int main(int argc, char** argv) {
     }
 
     if (opt->load.empty()) {
-      std::printf("building: k=%zu strategy=%s trees=%zu leaf=%zu refine=%zu\n",
+      std::printf("building: k=%zu strategy=%s trees=%zu leaf=%zu refine=%zu"
+                  " compression=%s\n",
                   params.k, core::strategy_name(params.strategy),
-                  params.num_trees, params.leaf_size, params.refine_iters);
+                  params.num_trees, params.leaf_size, params.refine_iters,
+                  core::compression_name(params.compression));
     }
 
     core::BuildResult result;
@@ -368,6 +382,13 @@ int main(int argc, char** argv) {
                   result.leaf_seconds * 1e3, result.refine_seconds * 1e3,
                   result.extract_seconds * 1e3,
                   static_cast<unsigned long long>(result.stats.distance_evals));
+      if (result.sq8 != nullptr) {
+        std::printf("sq8: rerank %.1f ms, depth %zu, %llu candidates "
+                    "rescored exactly\n",
+                    result.rerank_seconds * 1e3, result.rerank_depth_used,
+                    static_cast<unsigned long long>(
+                        result.candidates_reranked));
+      }
       const char* races_env = std::getenv("WKNNG_CHECK_RACES");
       if (params.check_races || (races_env && *races_env && *races_env != '0')) {
         std::printf("race check: %zu conflicts flagged\n",
@@ -491,8 +512,10 @@ int main(int argc, char** argv) {
       so.search.k = opt->k;
       so.search.beam = opt->beam;
       so.search.seed = opt->seed;
-      serve::ServeEngine engine(pool, so,
-                                serve::make_snapshot(1, points, result.graph));
+      so.rerank_depth = opt->rerank_depth;
+      serve::ServeEngine engine(
+          pool, so,
+          serve::make_snapshot(1, points, result.graph, result.sq8));
 
       serve::LoadGenConfig cfg;
       if (opt->serve_mode == "closed") {
@@ -538,10 +561,21 @@ int main(int argc, char** argv) {
       core::SearchParams sp;
       sp.k = opt->k;
       sp.beam = opt->beam;
+      sp.rerank_depth = opt->rerank_depth;
+      // One-shot searches reuse the build's compressed tier when it exists.
+      std::vector<float> sq8_terms;
+      kernels::Sq8View sq8_view;
+      if (result.sq8 != nullptr) {
+        if (!kernels::strict_mode()) {
+          sq8_terms = kernels::sq8_code_terms(*result.sq8);
+        }
+        sq8_view = {result.sq8.get(), sq8_terms};
+      }
       core::SearchStats sstats;
       Timer stimer;
-      const KnnGraph found =
-          core::graph_search(pool, points, result.graph, queries, sp, &sstats);
+      const KnnGraph found = core::graph_search(
+          pool, points, result.graph, queries, sp, &sstats, nullptr,
+          sq8_view.valid() ? &sq8_view : nullptr);
       std::printf("answered %zu queries in %.2f ms (%.3f ms/query, "
                   "visited %.2f%% of base per query)\n",
                   queries.rows(), stimer.elapsed_ms(),

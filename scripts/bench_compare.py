@@ -122,37 +122,39 @@ def run_compare(args: argparse.Namespace) -> int:
 
 
 def run_check_backends(args: argparse.Namespace) -> int:
-    """Within one tab2 JSON, compare each BM_Kernel*/SCALAR/dim row against its
-    BM_Kernel*/AVX2/dim sibling (the bench enumerates backends as the first
-    arg: 0=scalar, 1=sse2, 2=avx2) and require the configured speedup."""
+    """Within one JSON, compare each <prefix>*/0/dim row against its
+    <prefix>*/INDEX/dim sibling and require the configured speedup. The
+    default prefix covers tab2's backend ladder (first arg: 0=scalar,
+    1=sse2, 2=avx2); --prefix BM_Sq8 reuses the machinery for tab7's
+    mode ladder (first arg: 0=fp32, 1=sq8)."""
     times = load_times(args.json)
-    scalar_rows = {}
+    base_rows = {}
     for name, (t, unit) in times.items():
         parts = name.split("/")
-        if len(parts) == 3 and parts[1] == "0" and parts[0].startswith("BM_Kernel"):
-            scalar_rows[(parts[0], parts[2])] = (t, unit)
-    if not scalar_rows:
-        print(f"error: no BM_Kernel*/0/<dim> rows in {args.json}",
+        if len(parts) == 3 and parts[1] == "0" and parts[0].startswith(args.prefix):
+            base_rows[(parts[0], parts[2])] = (t, unit)
+    if not base_rows:
+        print(f"error: no {args.prefix}*/0/<dim> rows in {args.json}",
               file=sys.stderr)
         return 1
     violations = 0
-    for (bench, dim), (scalar_t, unit) in sorted(scalar_rows.items()):
+    for (bench, dim), (base_t, unit) in sorted(base_rows.items()):
         fast_name = f"{bench}/{args.backend_index}/{dim}"
         if fast_name not in times:
             print(f"skip: {fast_name} not present (backend unavailable)")
             continue
         fast_t, _ = times[fast_name]
-        speedup = scalar_t / fast_t if fast_t > 0 else float("inf")
+        speedup = base_t / fast_t if fast_t > 0 else float("inf")
         status = "ok" if speedup >= args.min_speedup else "FAIL"
-        print(f"{status}: {bench} dim={dim}: scalar {scalar_t:.1f}{unit} / "
+        print(f"{status}: {bench} dim={dim}: baseline {base_t:.1f}{unit} / "
               f"fast {fast_t:.1f}{unit} = {speedup:.2f}x")
         if speedup < args.min_speedup:
             violations += 1
     if violations:
-        print(f"{violations} kernel benchmark(s) below "
+        print(f"{violations} benchmark(s) below "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
         return 1
-    print(f"all kernel benchmarks >= {args.min_speedup:.2f}x vs scalar")
+    print(f"all benchmarks >= {args.min_speedup:.2f}x vs the /0/ baseline")
     return 0
 
 
@@ -192,6 +194,9 @@ def main() -> int:
     chk.add_argument("--backend-index", type=int, default=2,
                      help="fast backend arg value (1=sse2, 2=avx2; default 2)")
     chk.add_argument("--min-speedup", type=float, default=2.0)
+    chk.add_argument("--prefix", default="BM_Kernel",
+                     help="benchmark-name prefix selecting the ladder "
+                          "(default BM_Kernel; use BM_Sq8 for tab7)")
     chk.set_defaults(func=run_check_backends)
 
     args = parser.parse_args()

@@ -52,6 +52,14 @@ class CheckpointMismatchError : public Error {
   using Error::Error;
 };
 
+/// The SQ8 codec cannot be trained on the given set: it is empty, contains
+/// non-finite values, or has zero variance in every dimension (all points
+/// identical), so no meaningful per-dimension range exists.
+class Sq8TrainError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A served query's deadline passed before its result could be delivered
 /// (src/serve): the request is answered with a typed timeout result instead
 /// of its neighbors.

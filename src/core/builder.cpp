@@ -6,9 +6,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -18,10 +20,13 @@
 #include "core/resilience.hpp"
 #include "core/rp_forest.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/sq8.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "simt/fault.hpp"
+#include "simt/launch.hpp"
 #include "simt/race.hpp"
+#include "simt/warp_distance.hpp"
 
 namespace wknng::core {
 
@@ -56,6 +61,20 @@ Strategy recommended_strategy(std::size_t dim) {
   return dim <= 16 ? Strategy::kAtomic : Strategy::kTiled;
 }
 
+const char* compression_name(Compression c) {
+  switch (c) {
+    case Compression::kNone: return "none";
+    case Compression::kSq8: return "sq8";
+  }
+  return "?";
+}
+
+Compression compression_from_name(const std::string& name) {
+  if (name == "none") return Compression::kNone;
+  if (name == "sq8") return Compression::kSq8;
+  throw Error("unknown compression: " + name + " (valid: none, sq8)");
+}
+
 std::uint64_t build_signature(const BuildParams& p, std::size_t n,
                               std::size_t dim) {
   std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis as a start
@@ -74,6 +93,13 @@ std::uint64_t build_signature(const BuildParams& p, std::size_t n,
   mix(p.scratch_bytes);
   mix(static_cast<std::uint64_t>(p.schedule.policy));
   mix(p.schedule.seed);
+  // The compressed tier changes every candidate distance, so it belongs in
+  // the signature — but only when enabled: compression=none must keep the
+  // exact pre-compression signature so existing checkpoints stay valid.
+  if (p.compression != Compression::kNone) {
+    mix(static_cast<std::uint64_t>(p.compression));
+    mix(p.rerank_depth);
+  }
   mix(n);
   mix(dim);
   return h;
@@ -242,6 +268,7 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     root->arg_num("dim", static_cast<std::uint64_t>(points.cols()));
     root->arg_num("k", static_cast<std::uint64_t>(params_.k));
     root->arg_str("strategy", strategy_name(params_.strategy));
+    root->arg_str("compression", compression_name(params_.compression));
   }
   // First phase: everything up to the forest lap (quarantine scan, resume
   // verification, tree building) — mirroring what forest_seconds measures.
@@ -293,18 +320,58 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
   const std::uint64_t signature =
       build_signature(params_, n, points.cols());
 
+  // Compressed tier (compression=sq8): train/encode the codes every
+  // candidate-generation distance is scored against. The k-NN sets are
+  // widened to the rerank depth so the exact rerank phase has a pool of
+  // compressed-tier survivors to re-order at full precision; the final
+  // graph is truncated back to k.
+  const bool use_sq8 = params_.compression == Compression::kSq8;
+  const std::size_t k_build =
+      use_sq8 ? effective_rerank_depth(params_.k, params_.rerank_depth)
+              : params_.k;
+  std::shared_ptr<const kernels::Sq8Matrix> sq8_matrix;
+  std::vector<float> sq8_terms;
+  kernels::Sq8View sq8_view;
+  const kernels::Sq8View* sq8 = nullptr;
+  if (use_sq8) {
+    if (ckpt != nullptr && ckpt->sq8 != nullptr) {
+      // Resume scores against the exact codes the checkpointed state was
+      // produced under — the codes travel with the state, so bit-identical
+      // continuation does not even rely on re-encoding determinism.
+      WKNNG_CHECK_MSG(
+          ckpt->sq8->rows() == n && ckpt->sq8->dim() == points.cols(),
+          "checkpoint sq8 codes are " << ckpt->sq8->rows() << "x"
+              << ckpt->sq8->dim() << ", expected " << n << "x"
+              << points.cols());
+      sq8_matrix = ckpt->sq8;
+    } else {
+      sq8_matrix =
+          std::make_shared<const kernels::Sq8Matrix>(kernels::sq8_encode(pts));
+    }
+    // Per-row term cache for the SIMD backends' expanded form; the strict
+    // scalar backend ignores terms, so skip the pass there.
+    if (!kernels::strict_mode()) {
+      sq8_terms = kernels::sq8_code_terms(*sq8_matrix);
+    }
+    sq8_view.matrix = sq8_matrix.get();
+    sq8_view.terms = sq8_terms;
+    sq8 = &sq8_view;
+    result.sq8 = sq8_matrix;
+    result.rerank_depth_used = k_build;
+  }
+
   // Resume path: verify the checkpoint belongs to this (params, points)
   // pair, then restore the k-NN set state and skip the phases it embodies.
   Strategy effective = params_.strategy;
   std::size_t start_round = 0;
-  KnnSetArray sets(n, params_.k);
+  KnnSetArray sets(n, k_build);
   if (ckpt != nullptr) {
     if (ckpt->signature != signature || ckpt->n != n ||
-        ckpt->k != params_.k) {
+        ckpt->k != k_build) {
       std::ostringstream os;
       os << "checkpoint does not match this build: signature "
          << ckpt->signature << " vs " << signature << ", n=" << ckpt->n
-         << " vs " << n << ", k=" << ckpt->k << " vs " << params_.k;
+         << " vs " << n << ", k=" << ckpt->k << " vs " << k_build;
       throw CheckpointMismatchError(os.str());
     }
     if (!std::equal(ckpt->quarantined.begin(), ckpt->quarantined.end(),
@@ -327,7 +394,7 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     }
   }
   if (detector) {
-    detector->label_region(sets.row(0), n * params_.k * sizeof(std::uint64_t),
+    detector->label_region(sets.row(0), n * k_build * sizeof(std::uint64_t),
                            "knn_sets");
   }
 
@@ -344,8 +411,9 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     data::BuildCheckpoint c;
     c.signature = signature;
     c.n = n;
-    c.k = params_.k;
+    c.k = k_build;
     c.rounds_done = rounds_done;
+    c.sq8 = sq8_matrix;
     c.effective_strategy = static_cast<std::uint32_t>(effective);
     c.quarantined = quarantined;
     c.sets.assign(sets.words().begin(), sets.words().end());
@@ -372,12 +440,12 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     // instead of throwing — the paper's space limitation handled as policy.
     if (effective == Strategy::kShared) {
       const std::size_t need =
-          forest.max_bucket_size() * params_.k * sizeof(std::uint64_t) + 1024;
+          forest.max_bucket_size() * k_build * sizeof(std::uint64_t) + 1024;
       if (need > params_.scratch_bytes) {
         effective = Strategy::kTiled;
         std::ostringstream os;
         os << "shared-memory strategy infeasible (largest bucket of "
-           << forest.max_bucket_size() << " points x k=" << params_.k
+           << forest.max_bucket_size() << " points x k=" << k_build
            << " needs " << need << " B of scratch, budget "
            << params_.scratch_bytes << " B); fell back to tiled";
         result.health.fallback_reason = os.str();
@@ -390,7 +458,7 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     LeafReport leaf;
     leaf_knn_resilient(*pool_, pts, forest, effective, sets, &acc,
                        params_.scratch_bytes, params_.schedule,
-                       params_.max_bucket_retries, quarantined, leaf);
+                       params_.max_bucket_retries, quarantined, leaf, sq8);
     result.health.buckets_retried = leaf.buckets_retried;
     result.health.buckets_failed = leaf.buckets_failed;
     result.health.buckets_degraded = leaf.buckets_degraded;
@@ -425,7 +493,7 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
     with_launch_retry(params_.max_bucket_retries,
                       result.health.launches_retried, [&] {
                         skipped = refine_round(*pool_, pts, adj, eff_params,
-                                               sets, &acc);
+                                               sets, &acc, sq8);
                       });
     result.health.refine_points_skipped += skipped;
     result.health.rounds_completed = round + 1;
@@ -433,11 +501,78 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
   }
   result.refine_seconds = phase.lap_s();
   cur_phase->finish(result.refine_seconds);
+
+  // Phase 3.5 (compression=sq8 only): exact fp32 rerank. The widened k-NN
+  // sets hold each point's best k_build candidates under the *approximate*
+  // (quantized) metric; one warp per point rescores that pool against the
+  // original fp32 rows and keeps the exact top k — restoring full-precision
+  // ordering before anything reaches the output graph.
+  std::optional<KnnGraph> reranked_graph;
+  if (use_sq8) {
+    cur_phase.emplace(tr, "rerank", acc);
+    const KnnGraph wide = sets.extract(*pool_);
+    reranked_graph.emplace(n, params_.k);
+    std::vector<float> norms;
+    if (!kernels::strict_mode()) norms = kernels::row_norms(pts);
+    std::atomic<std::uint64_t> rescored{0};
+    simt::LaunchConfig config;
+    config.scratch_bytes = params_.scratch_bytes;
+    config.schedule = params_.schedule;
+    config.trace_label = "sq8_rerank";
+    simt::launch_warps(*pool_, n, config, &acc, [&](simt::Warp& w) {
+      const auto p = static_cast<std::uint32_t>(w.id());
+      if (std::binary_search(quarantined.begin(), quarantined.end(), p)) {
+        return;
+      }
+      const auto pool_row = wide.row(p);
+      const std::size_t cnt = wide.row_size(p);
+      if (cnt == 0) return;
+      auto xp = pts.row(p);
+      w.count_read(cnt * sizeof(Neighbor));
+      std::vector<std::pair<float, std::uint32_t>> scored;
+      scored.reserve(cnt);
+      for (std::size_t t0 = 0; t0 < cnt; t0 += simt::kWarpSize) {
+        const std::size_t c =
+            std::min<std::size_t>(simt::kWarpSize, cnt - t0);
+        simt::Lanes<std::uint32_t> ids{};
+        simt::Lanes<bool> active{};
+        for (std::size_t l = 0; l < c; ++l) {
+          ids[l] = pool_row[t0 + l].id;
+          active[l] = true;
+        }
+        const simt::Lanes<float> d = simt::warp_l2_batch(
+            w, xp, ids, active,
+            [&](std::uint32_t id) { return pts.row(id); }, norms);
+        for (std::size_t l = 0; l < c; ++l) {
+          if (std::isfinite(d[l])) {
+            scored.emplace_back(d[l], ids[l]);
+          } else {
+            ++w.stats().nonfinite_dropped;
+          }
+        }
+      }
+      rescored.fetch_add(scored.size(), std::memory_order_relaxed);
+      // (dist, id) sort: deterministic ordering even under exact-distance
+      // ties, matching the graph invariant.
+      std::sort(scored.begin(), scored.end());
+      auto out = reranked_graph->row(p);
+      const std::size_t keep = std::min<std::size_t>(params_.k, scored.size());
+      for (std::size_t i = 0; i < keep; ++i) {
+        out[i] = Neighbor{scored[i].first, scored[i].second};
+      }
+      w.count_write(keep * sizeof(Neighbor));
+    });
+    result.candidates_reranked = rescored.load(std::memory_order_relaxed);
+    result.rerank_seconds = phase.lap_s();
+    cur_phase->finish(result.rerank_seconds);
+  }
+
   cur_phase.emplace(tr, "extract", acc);
 
   // Phase 4: normalise into the output graph; quarantined rows get their
   // placeholder neighbors.
-  result.graph = sets.extract(*pool_);
+  result.graph =
+      reranked_graph ? std::move(*reranked_graph) : sets.extract(*pool_);
   if (!quarantined.empty()) {
     fill_quarantined_rows(result.graph, quarantined);
   }
@@ -487,6 +622,8 @@ void register_build_metrics(obs::MetricsRegistry& reg, const BuildResult& r) {
         "Warp-centric leaf brute-force wall time");
   gauge("wknng_build_refine_seconds", r.refine_seconds,
         "Neighbor-of-neighbor refinement wall time");
+  gauge("wknng_build_rerank_seconds", r.rerank_seconds,
+        "Exact fp32 rerank wall time (compression=sq8 only)");
   gauge("wknng_build_extract_seconds", r.extract_seconds,
         "Graph extraction wall time");
   gauge("wknng_build_total_seconds", r.total_seconds,
@@ -549,6 +686,17 @@ void register_build_metrics(obs::MetricsRegistry& reg, const BuildResult& r) {
   gauge("wknng_build_scratch_bytes_peak",
         static_cast<double>(r.stats.scratch_bytes_peak),
         "Max per-warp scratch footprint observed");
+
+  // Compressed-tier series: registered even for compression=none builds
+  // (zeros) so scrapes always expose whether the tier ran.
+  gauge("wknng_sq8_rerank_depth", static_cast<double>(r.rerank_depth_used),
+        "Resolved per-point rerank depth (0 when compression=none)");
+  counter("wknng_sq8_candidates_reranked_total", r.candidates_reranked,
+          "Compressed-tier candidates rescored at full precision");
+  reg.info("wknng_build_info",
+           {{"compression", r.sq8 != nullptr ? "sq8" : "none"},
+            {"kernel_backend", kernels::ops().name}},
+           "Build configuration: storage tier and dispatched kernel backend");
 
   // Full Stats object for JSON consumers (Tab. 3 tooling) — one source of
   // truth, rendered by Stats::to_json.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "common/thread_pool.hpp"
 #include "core/params.hpp"
 #include "data/graph_io.hpp"
+#include "kernels/sq8.hpp"
 #include "simt/stats.hpp"
 
 namespace wknng::obs {
@@ -45,8 +47,16 @@ struct BuildResult {
   double forest_seconds = 0.0;   ///< RP-forest construction
   double leaf_seconds = 0.0;     ///< warp-centric brute force over buckets
   double refine_seconds = 0.0;   ///< all neighbor-of-neighbor rounds
+  double rerank_seconds = 0.0;   ///< exact fp32 rerank (compression=sq8 only)
   double extract_seconds = 0.0;  ///< k-set normalisation into KnnGraph
   double total_seconds = 0.0;
+
+  /// Compressed-tier artifacts (compression=sq8 only; null otherwise): the
+  /// trained code matrix — shared with checkpoints and handed to serving so
+  /// queries keep scoring compressed rows — plus the rerank ledger.
+  std::shared_ptr<const kernels::Sq8Matrix> sq8;
+  std::uint64_t candidates_reranked = 0;  ///< exact distances in rerank phase
+  std::size_t rerank_depth_used = 0;      ///< resolved per-point rerank depth
 
   simt::Stats stats;             ///< aggregated over every launch
   std::size_t num_buckets = 0;   ///< forest leaves processed

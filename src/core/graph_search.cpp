@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/topk.hpp"
+#include "core/params.hpp"
 #include "kernels/kernels.hpp"
 #include "simt/launch.hpp"
 #include "simt/warp_distance.hpp"
@@ -47,10 +48,19 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                                      std::span<const std::uint64_t> tags,
                                      const SearchParams& params,
                                      SearchScratch* scratch,
-                                     simt::StatsAccumulator* acc) {
+                                     simt::StatsAccumulator* acc,
+                                     const kernels::Sq8View* sq8) {
   WKNNG_CHECK(base.cols() == queries.cols());
   WKNNG_CHECK(graph.num_points() == base.rows());
   WKNNG_CHECK_MSG(params.k > 0, "k must be positive");
+  const bool use_sq8 = sq8 != nullptr && sq8->valid();
+  if (use_sq8) {
+    WKNNG_CHECK_MSG(sq8->matrix->rows() == base.rows() &&
+                        sq8->matrix->dim() == base.cols(),
+                    "sq8 codes are " << sq8->matrix->rows() << "x"
+                        << sq8->matrix->dim() << ", base is " << base.rows()
+                        << "x" << base.cols());
+  }
   WKNNG_CHECK_MSG(tags.empty() || tags.size() == queries.rows(),
                   "tags size " << tags.size() << " != queries "
                                << queries.rows());
@@ -68,6 +78,11 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
   const std::size_t entry_keep = std::max<std::size_t>(
       1, std::min(params.entry_keep, std::max<std::size_t>(
                                          1, params.entry_sample)));
+  // Compressed path: how many sq8-ranked survivors get the exact rescore.
+  // Zero on the uncompressed path, so the result-heap size is untouched.
+  const std::size_t rr_eff =
+      use_sq8 ? std::min(effective_rerank_depth(k_eff, params.rerank_depth), n)
+              : 0;
 
   SearchScratch local_scratch;
   SearchScratch& scr = scratch != nullptr ? *scratch : local_scratch;
@@ -85,7 +100,16 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
     slot.begin(n);
     std::uint64_t visits = 0;
     std::priority_queue<Neighbor, std::vector<Neighbor>, MinHeapCmp> frontier;
-    TopK best(std::max(k_eff, params.beam));
+    // The compressed path widens the result heap to the rerank depth so the
+    // exact rescore has a pool to re-order (rr_eff is 0 otherwise).
+    TopK best(std::max(std::max(k_eff, params.beam), rr_eff));
+
+    // Compressed path: prepare the query once per warp (one fp32 row read);
+    // every candidate after this streams 1 byte/dim of code data.
+    kernels::Sq8Query sq8_q;
+    if (use_sq8) {
+      sq8_q = simt::warp_sq8_prepare(w, query, sq8->codebook(), slot.qprep);
+    }
 
     // Entry scoring: warp evaluates the sample in candidate-parallel tiles.
     auto score_ids = [&](const std::vector<std::uint32_t>& ids,
@@ -98,9 +122,15 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
           lane_ids[l] = ids[t0 + l];
           active[l] = true;
         }
-        const Lanes<float> d = simt::warp_l2_batch(
-            w, query, lane_ids, active,
-            [&](std::uint32_t p) { return base.row(p); }, base_norms);
+        const Lanes<float> d =
+            use_sq8 ? simt::warp_sq8_l2_batch(
+                          w, sq8_q, lane_ids, active,
+                          [&](std::uint32_t p) { return sq8->row(p); },
+                          sq8->terms)
+                    : simt::warp_l2_batch(
+                          w, query, lane_ids, active,
+                          [&](std::uint32_t p) { return base.row(p); },
+                          base_norms);
         for (std::size_t l = 0; l < cnt; ++l) sink.push(d[l], lane_ids[l]);
       }
       visits += ids.size();
@@ -141,9 +171,15 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
           lane_ids[l] = expand[t0 + l];
           active[l] = true;
         }
-        const Lanes<float> d = simt::warp_l2_batch(
-            w, query, lane_ids, active,
-            [&](std::uint32_t p) { return base.row(p); }, base_norms);
+        const Lanes<float> d =
+            use_sq8 ? simt::warp_sq8_l2_batch(
+                          w, sq8_q, lane_ids, active,
+                          [&](std::uint32_t p) { return sq8->row(p); },
+                          sq8->terms)
+                    : simt::warp_l2_batch(
+                          w, query, lane_ids, active,
+                          [&](std::uint32_t p) { return base.row(p); },
+                          base_norms);
         for (std::size_t l = 0; l < cnt; ++l) {
           if (d[l] < best.worst()) {
             frontier.push({d[l], lane_ids[l]});
@@ -155,6 +191,29 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
     }
 
     auto found = best.take_sorted();
+    if (use_sq8) {
+      // Exact rerank: rescore the top rr_eff sq8-ranked survivors against the
+      // fp32 base rows so the emitted top-k carries exact distances in exact
+      // order. Approximation error only matters below the rerank horizon.
+      if (found.size() > rr_eff) found.resize(rr_eff);
+      TopK exact(k_eff);
+      for (std::size_t t0 = 0; t0 < found.size(); t0 += kWarpSize) {
+        const std::size_t cnt =
+            std::min<std::size_t>(kWarpSize, found.size() - t0);
+        Lanes<std::uint32_t> lane_ids{};
+        Lanes<bool> active{};
+        for (std::size_t l = 0; l < cnt; ++l) {
+          lane_ids[l] = found[t0 + l].id;
+          active[l] = true;
+        }
+        const Lanes<float> d = simt::warp_l2_batch(
+            w, query, lane_ids, active,
+            [&](std::uint32_t p) { return base.row(p); }, base_norms);
+        for (std::size_t l = 0; l < cnt; ++l) exact.push(d[l], lane_ids[l]);
+        visits += cnt;
+      }
+      found = exact.take_sorted();
+    }
     if (found.size() > k_eff) found.resize(k_eff);
     auto row = out.results.row(qi);
     std::copy(found.begin(), found.end(), row.begin());
@@ -167,9 +226,10 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
 KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
                       const KnnGraph& graph, const FloatMatrix& queries,
                       const SearchParams& params, SearchStats* stats,
-                      simt::StatsAccumulator* acc) {
-  BatchSearchResult batch =
-      graph_search_batch(pool, base, graph, queries, {}, params, nullptr, acc);
+                      simt::StatsAccumulator* acc,
+                      const kernels::Sq8View* sq8) {
+  BatchSearchResult batch = graph_search_batch(pool, base, graph, queries, {},
+                                               params, nullptr, acc, sq8);
   if (stats != nullptr) {
     // Sequential index-order merge: the total is identical for every pool
     // size and schedule, unlike a racing shared counter.

@@ -11,6 +11,7 @@
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
+#include "kernels/sq8.hpp"
 #include "simt/stats.hpp"
 
 namespace wknng::core {
@@ -29,6 +30,12 @@ struct SearchParams {
   std::size_t entry_keep = 8;     ///< best entries that seed the frontier
   std::size_t beam = 48;          ///< result/frontier width during descent
   std::uint64_t seed = 7;         ///< entry sampling seed
+
+  /// Compressed-tier rerank depth: how many sq8-scored candidates survive
+  /// to the exact fp32 rerank before the top-k is emitted. 0 = auto (2*k);
+  /// explicit values are clamped up to k. Ignored unless an Sq8View is
+  /// supplied to the search.
+  std::size_t rerank_depth = 0;
 };
 
 struct SearchStats {
@@ -48,6 +55,7 @@ class SearchScratch {
     std::uint32_t epoch = 0;
     std::vector<std::uint32_t> sample;
     std::vector<std::uint32_t> expand;
+    std::vector<float> qprep;  ///< prepared-query buffer (sq8 path only)
 
     /// Starts one query over a base of `n` points: grows `mark` if needed
     /// and invalidates every previous mark by bumping the epoch.
@@ -114,13 +122,21 @@ struct BatchSearchResult {
 ///  - `entry_sample` larger than the base → sampling stops at n points
 ///
 /// `scratch` may be null (a private arena is used for the call).
+///
+/// `sq8`, when valid, is the base's compressed tier (kernels::Sq8View over
+/// codes aligned with `base` rows): every candidate distance during entry
+/// scoring and descent streams the u8 code rows asymmetrically, and the top
+/// `params.rerank_depth` survivors are rescored against the fp32 base rows
+/// before the exact top-k is emitted. A null/invalid view leaves the search
+/// bit-identical to the uncompressed path.
 BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                                      const KnnGraph& graph,
                                      const FloatMatrix& queries,
                                      std::span<const std::uint64_t> tags,
                                      const SearchParams& params,
                                      SearchScratch* scratch = nullptr,
-                                     simt::StatsAccumulator* acc = nullptr);
+                                     simt::StatsAccumulator* acc = nullptr,
+                                     const kernels::Sq8View* sq8 = nullptr);
 
 /// Answers every query against `base` using `graph` for navigation; one
 /// warp per query on the SIMT substrate. Returns a KnnGraph with one row per
@@ -131,6 +147,7 @@ KnnGraph graph_search(ThreadPool& pool, const FloatMatrix& base,
                       const KnnGraph& graph, const FloatMatrix& queries,
                       const SearchParams& params,
                       SearchStats* stats = nullptr,
-                      simt::StatsAccumulator* acc = nullptr);
+                      simt::StatsAccumulator* acc = nullptr,
+                      const kernels::Sq8View* sq8 = nullptr);
 
 }  // namespace wknng::core

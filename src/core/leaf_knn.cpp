@@ -29,12 +29,28 @@ namespace {
 /// directions.
 void bucket_pairwise(Warp& w, const FloatMatrix& points,
                      std::span<const std::uint32_t> ids, Strategy strategy,
-                     KnnSetArray& sets) {
+                     KnnSetArray& sets, const kernels::Sq8View* sq8) {
   const std::size_t m = ids.size();
+  const bool use_sq8 = sq8 != nullptr && sq8->valid();
+  std::vector<float> wbuf;
   for (std::size_t a = 0; a + 1 < m; ++a) {
     simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);  // mid-bucket kill
     const std::uint32_t ia = ids[a];
     auto xa = points.row(ia);
+    if (use_sq8) {
+      // Compressed tier: point a is the asymmetric query (prepared once, one
+      // fp32 row read); every partner streams its 1-byte/dim code row. Both
+      // directions share the one asymmetric distance, like the fp32 kernel.
+      const kernels::Sq8Query q =
+          simt::warp_sq8_prepare(w, xa, sq8->codebook(), wbuf);
+      for (std::size_t b = a + 1; b < m; ++b) {
+        const std::uint32_t ib = ids[b];
+        const float dist = simt::warp_sq8_l2_dims(w, q, sq8->row(ib));
+        sets.insert(w, strategy, ia, Packed::make(dist, ib));
+        sets.insert(w, strategy, ib, Packed::make(dist, ia));
+      }
+      continue;
+    }
     for (std::size_t b = a + 1; b < m; ++b) {
       const std::uint32_t ib = ids[b];
       const float dist = simt::warp_l2_dims(w, xa, points.row(ib));
@@ -52,11 +68,15 @@ void bucket_pairwise(Warp& w, const FloatMatrix& points,
 /// dimensionality.
 void bucket_tiled(Warp& w, const FloatMatrix& points,
                   std::span<const std::uint32_t> ids, KnnSetArray& sets,
-                  std::span<const float> norms_by_id) {
+                  std::span<const float> norms_by_id,
+                  const kernels::Sq8View* sq8) {
   const std::size_t m = ids.size();
   if (m < 2) return;
   const detail::TileBuffers buf =
       detail::alloc_tile_buffers(w, points.cols(), sets.k());
+  detail::Sq8TileState sq8_state;
+  if (sq8 != nullptr && sq8->valid()) sq8_state.view = sq8;
+  detail::Sq8TileState* sq8_tile = sq8_state.active() ? &sq8_state : nullptr;
 
   const std::size_t num_tiles = (m + kWarpSize - 1) / kWarpSize;
   for (std::size_t ta = 0; ta < num_tiles; ++ta) {
@@ -69,7 +89,7 @@ void bucket_tiled(Warp& w, const FloatMatrix& points,
       detail::process_tile_pair(
           w, points, [&](std::size_t i) { return ids[a0 + i]; }, na,
           [&](std::size_t j) { return ids[b0 + j]; }, nb,
-          /*diagonal=*/ta == tb, sets, buf, norms_by_id);
+          /*diagonal=*/ta == tb, sets, buf, norms_by_id, sq8_tile);
     }
   }
 }
@@ -82,7 +102,8 @@ void bucket_tiled(Warp& w, const FloatMatrix& points,
 /// Throws when leaf_size * k exceeds the scratch budget — the limitation
 /// that motivates the three global-memory strategies.
 void bucket_shared(Warp& w, const FloatMatrix& points,
-                   std::span<const std::uint32_t> ids, KnnSetArray& sets) {
+                   std::span<const std::uint32_t> ids, KnnSetArray& sets,
+                   const kernels::Sq8View* sq8) {
   const std::size_t m = ids.size();
   if (m < 2) return;
   const std::size_t k = sets.k();
@@ -111,9 +132,21 @@ void bucket_shared(Warp& w, const FloatMatrix& points,
     if (cand < row[worst]) row[worst] = cand;
   };
 
+  const bool use_sq8 = sq8 != nullptr && sq8->valid();
+  std::vector<float> wbuf;
   for (std::size_t a = 0; a + 1 < m; ++a) {
     simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);  // mid-bucket kill
     auto xa = points.row(ids[a]);
+    if (use_sq8) {
+      const kernels::Sq8Query q =
+          simt::warp_sq8_prepare(w, xa, sq8->codebook(), wbuf);
+      for (std::size_t b = a + 1; b < m; ++b) {
+        const float dist = simt::warp_sq8_l2_dims(w, q, sq8->row(ids[b]));
+        insert_local(a, Packed::make(dist, ids[b]));
+        insert_local(b, Packed::make(dist, ids[a]));
+      }
+      continue;
+    }
     for (std::size_t b = a + 1; b < m; ++b) {
       const float dist = simt::warp_l2_dims(w, xa, points.row(ids[b]));
       insert_local(a, Packed::make(dist, ids[b]));
@@ -141,18 +174,19 @@ void bucket_shared(Warp& w, const FloatMatrix& points,
 
 void process_bucket(simt::Warp& w, const FloatMatrix& points,
                     std::span<const std::uint32_t> ids, Strategy strategy,
-                    KnnSetArray& sets, std::span<const float> norms_by_id) {
+                    KnnSetArray& sets, std::span<const float> norms_by_id,
+                    const kernels::Sq8View* sq8) {
   simt::fault_maybe_throw(simt::FaultSite::kWarpAbort);
   switch (strategy) {
     case Strategy::kTiled:
-      bucket_tiled(w, points, ids, sets, norms_by_id);
+      bucket_tiled(w, points, ids, sets, norms_by_id, sq8);
       return;
     case Strategy::kShared:
-      bucket_shared(w, points, ids, sets);
+      bucket_shared(w, points, ids, sets, sq8);
       return;
     case Strategy::kBasic:
     case Strategy::kAtomic:
-      bucket_pairwise(w, points, ids, strategy, sets);
+      bucket_pairwise(w, points, ids, strategy, sets, sq8);
       return;
   }
 }
@@ -160,11 +194,14 @@ void process_bucket(simt::Warp& w, const FloatMatrix& points,
 void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
               const Buckets& buckets, Strategy strategy, KnnSetArray& sets,
               simt::StatsAccumulator* acc, std::size_t scratch_bytes,
-              const simt::ScheduleSpec& schedule) {
+              const simt::ScheduleSpec& schedule,
+              const kernels::Sq8View* sq8) {
   // Per-dataset squared-norm cache for the tiled micro-kernel's norm-trick
-  // path. The strict backend ignores norm caches, so skip the O(n*dim) pass.
+  // path. The strict backend ignores norm caches, so skip the O(n*dim) pass;
+  // the compressed tier has its own per-row term cache (Sq8View::terms).
   std::vector<float> norms;
-  if (strategy == Strategy::kTiled && !kernels::strict_mode()) {
+  const bool use_sq8 = sq8 != nullptr && sq8->valid();
+  if (strategy == Strategy::kTiled && !use_sq8 && !kernels::strict_mode()) {
     norms = kernels::row_norms(points);
   }
   simt::LaunchConfig config;
@@ -172,7 +209,8 @@ void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
   config.schedule = schedule;
   config.trace_label = "leaf_knn";
   simt::launch_warps(pool, buckets.num_buckets(), config, acc, [&](Warp& w) {
-    process_bucket(w, points, buckets.bucket(w.id()), strategy, sets, norms);
+    process_bucket(w, points, buckets.bucket(w.id()), strategy, sets, norms,
+                   sq8);
   });
 }
 
@@ -199,12 +237,15 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
                         const simt::ScheduleSpec& schedule,
                         std::size_t max_retries,
                         std::span<const std::uint32_t> quarantined,
-                        LeafReport& report) {
+                        LeafReport& report,
+                        const kernels::Sq8View* sq8) {
   // Norm cache for the tiled micro-kernel; kShared needs it too because its
   // scratch-overflow fallback rung re-runs buckets with the tiled kernel.
+  // The compressed tier replaces it with the Sq8View's per-row term cache.
   std::vector<float> norms;
+  const bool use_sq8 = sq8 != nullptr && sq8->valid();
   if ((strategy == Strategy::kTiled || strategy == Strategy::kShared) &&
-      !kernels::strict_mode()) {
+      !use_sq8 && !kernels::strict_mode()) {
     norms = kernels::row_norms(points);
   }
   simt::LaunchConfig config;
@@ -239,7 +280,7 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
           ids = kept;
         }
         try {
-          process_bucket(w, points, ids, strat, sets, norms);
+          process_bucket(w, points, ids, strat, sets, norms, sq8);
         } catch (const ScratchOverflowError&) {
           std::lock_guard<std::mutex> lock(failures_mutex);
           failures.push_back({b, /*scratch_overflow=*/true});

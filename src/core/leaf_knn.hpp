@@ -5,6 +5,7 @@
 #include "core/knn_set.hpp"
 #include "core/params.hpp"
 #include "core/rp_forest.hpp"
+#include "kernels/sq8.hpp"
 #include "simt/stats.hpp"
 
 namespace wknng::core {
@@ -21,10 +22,16 @@ namespace wknng::core {
 ///    dimension-chunked coordinate staging in scratch (each coordinate is
 ///    read from global memory once per tile pair instead of once per pair),
 ///    then merges sorted 32-candidate runs into the k-sets.
+/// When `sq8` points at a valid kernels::Sq8View, every candidate distance
+/// is scored against the compressed (u8) rows asymmetrically instead of the
+/// fp32 rows — the compressed storage tier. The k-NN sets then hold
+/// approximate distances; the builder's exact rerank restores full-precision
+/// ordering before the final graph is emitted.
 void leaf_knn(ThreadPool& pool, const FloatMatrix& points,
               const Buckets& buckets, Strategy strategy, KnnSetArray& sets,
               simt::StatsAccumulator* acc, std::size_t scratch_bytes,
-              const simt::ScheduleSpec& schedule = {});
+              const simt::ScheduleSpec& schedule = {},
+              const kernels::Sq8View* sq8 = nullptr);
 
 /// What the resilient leaf pass had to do beyond the happy path.
 struct LeafReport {
@@ -52,7 +59,8 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
                         const simt::ScheduleSpec& schedule,
                         std::size_t max_retries,
                         std::span<const std::uint32_t> quarantined,
-                        LeafReport& report);
+                        LeafReport& report,
+                        const kernels::Sq8View* sq8 = nullptr);
 
 /// Brute-forces one id list as a bucket with the given strategy, feeding the
 /// global k-NN sets: every unordered pair is evaluated once and submitted to
@@ -60,8 +68,11 @@ void leaf_knn_resilient(ThreadPool& pool, const FloatMatrix& points,
 /// refinement mode reuses it on per-point candidate neighborhoods.
 /// `norms_by_id`, when non-empty, is a squared-norm cache indexed by point
 /// id (kernels::row_norms) used by the tiled kernel's norm-trick path.
+/// `sq8`, when valid, routes every pair distance through the compressed tier
+/// (asymmetric fp32-query-vs-u8-codes; see leaf_knn).
 void process_bucket(simt::Warp& w, const FloatMatrix& points,
                     std::span<const std::uint32_t> ids, Strategy strategy,
-                    KnnSetArray& sets, std::span<const float> norms_by_id = {});
+                    KnnSetArray& sets, std::span<const float> norms_by_id = {},
+                    const kernels::Sq8View* sq8 = nullptr);
 
 }  // namespace wknng::core

@@ -48,9 +48,28 @@ enum class RefineMode {
   kLocalJoin,
 };
 
+/// Compressed storage tier for candidate-generation distances.
+enum class Compression {
+  /// Full-precision fp32 rows everywhere (the pre-compression behavior,
+  /// bit for bit).
+  kNone,
+  /// 8-bit scalar quantization (kernels/sq8.hpp): the leaf pass, refinement,
+  /// and graph search score u8 code rows asymmetrically (1 byte/dim of
+  /// candidate traffic instead of 4), then an exact fp32 rerank of the top
+  /// `rerank_depth` candidates restores full-precision ordering before
+  /// admission to the final top-k.
+  kSq8,
+};
+
 const char* refine_mode_name(RefineMode m);
 
 const char* strategy_name(Strategy s);
+
+const char* compression_name(Compression c);
+
+/// Parse "none" / "sq8" (throws wknng::Error listing the valid names
+/// otherwise).
+Compression compression_from_name(const std::string& name);
 
 /// Parse "basic" / "atomic" / "tiled" / "shared" (throws wknng::Error listing
 /// the valid names otherwise).
@@ -124,6 +143,19 @@ struct BuildParams {
   /// the build up from it.
   std::string checkpoint_path;
 
+  /// Storage tier for candidate-generation distances. kSq8 trains an SQ8
+  /// codebook on the (sanitized) input at build time, scores candidates
+  /// against the compressed rows, and exact-reranks before emitting the
+  /// final graph. kNone leaves every code path bit-identical to the
+  /// pre-compression builder.
+  Compression compression = Compression::kNone;
+
+  /// How many compressed-tier candidates per point survive to the exact
+  /// fp32 rerank (compression != kNone only). 0 means auto: 2*k. Values
+  /// below k are rounded up to k. Larger depths recover more of the
+  /// full-precision recall at the cost of more fp32 distance evaluations.
+  std::size_t rerank_depth = 0;
+
   /// Observability knobs (obs/params.hpp): span-tracing participation, the
   /// optional builder-owned trace output path, and per-warp spans. Also
   /// driven by the WKNNG_TRACE / WKNNG_TRACE_WARPS environment variables.
@@ -139,5 +171,14 @@ struct BuildParams {
 /// checkpoint path itself.
 std::uint64_t build_signature(const BuildParams& p, std::size_t n,
                               std::size_t dim);
+
+/// Resolves the rerank-depth knob: 0 = auto (2*k); explicit values are
+/// clamped up to k so the rerank can never shrink the candidate pool below
+/// the output width. Shared by the builder and the serve-time search path.
+inline std::size_t effective_rerank_depth(std::size_t k,
+                                          std::size_t rerank_depth) {
+  if (rerank_depth == 0) return 2 * k;
+  return rerank_depth < k ? k : rerank_depth;
+}
 
 }  // namespace wknng::core

@@ -112,8 +112,18 @@ std::span<std::uint32_t> gather_candidates(Warp& w, const Adjacency& adj,
 void refine_point_pairwise(Warp& w, const FloatMatrix& points,
                            std::span<const std::uint32_t> cands,
                            std::uint32_t p, Strategy strategy,
-                           KnnSetArray& sets) {
+                           KnnSetArray& sets, const kernels::Sq8View* sq8) {
   auto xp = points.row(p);
+  if (sq8 != nullptr && sq8->valid()) {
+    std::vector<float> wbuf;
+    const kernels::Sq8Query q =
+        simt::warp_sq8_prepare(w, xp, sq8->codebook(), wbuf);
+    for (std::uint32_t r : cands) {
+      const float dist = simt::warp_sq8_l2_dims(w, q, sq8->row(r));
+      sets.insert(w, strategy, p, Packed::make(dist, r));
+    }
+    return;
+  }
   for (std::uint32_t r : cands) {
     const float dist = simt::warp_l2_dims(w, xp, points.row(r));
     sets.insert(w, strategy, p, Packed::make(dist, r));
@@ -122,8 +132,13 @@ void refine_point_pairwise(Warp& w, const FloatMatrix& points,
 
 void refine_point_tiled(Warp& w, const FloatMatrix& points,
                         std::span<const std::uint32_t> cands, std::uint32_t p,
-                        KnnSetArray& sets, std::span<const float> norms_by_id) {
+                        KnnSetArray& sets, std::span<const float> norms_by_id,
+                        const kernels::Sq8View* sq8) {
   auto xp = points.row(p);
+  const bool use_sq8 = sq8 != nullptr && sq8->valid();
+  std::vector<float> wbuf;
+  kernels::Sq8Query q;
+  if (use_sq8) q = simt::warp_sq8_prepare(w, xp, sq8->codebook(), wbuf);
   for (std::size_t t0 = 0; t0 < cands.size(); t0 += kWarpSize) {
     const std::size_t cnt = std::min<std::size_t>(kWarpSize, cands.size() - t0);
     Lanes<std::uint32_t> ids{};
@@ -132,9 +147,15 @@ void refine_point_tiled(Warp& w, const FloatMatrix& points,
       ids[l] = cands[t0 + l];
       active[l] = true;
     }
-    const Lanes<float> dists = simt::warp_l2_batch(
-        w, xp, ids, active, [&](std::uint32_t id) { return points.row(id); },
-        norms_by_id);
+    const Lanes<float> dists =
+        use_sq8 ? simt::warp_sq8_l2_batch(
+                      w, q, ids, active,
+                      [&](std::uint32_t id) { return sq8->row(id); },
+                      sq8->terms)
+                : simt::warp_l2_batch(
+                      w, xp, ids, active,
+                      [&](std::uint32_t id) { return points.row(id); },
+                      norms_by_id);
     Lanes<std::uint64_t> run;
     run.fill(Packed::kEmpty);
     for (std::size_t l = 0; l < cnt; ++l) {
@@ -149,9 +170,11 @@ void refine_point_tiled(Warp& w, const FloatMatrix& points,
 
 std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
                          const Adjacency& adj, const BuildParams& params,
-                         KnnSetArray& sets, simt::StatsAccumulator* acc) {
+                         KnnSetArray& sets, simt::StatsAccumulator* acc,
+                         const kernels::Sq8View* sq8) {
   const std::size_t n = sets.num_points();
   WKNNG_CHECK(adj.n == n);
+  const bool use_sq8 = sq8 != nullptr && sq8->valid();
 
   // Per-point recovery: a failed point keeps its current (valid) set for
   // this round; the caller decides whether a skipped point degrades the
@@ -161,9 +184,9 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
   // fast path of every tiled/batched evaluation this round (the strict
   // scalar backend ignores it, so skip the pass there).
   std::vector<float> norms;
-  if (params.strategy == Strategy::kTiled ||
-      params.strategy == Strategy::kShared ||
-      params.refine_mode == RefineMode::kLocalJoin) {
+  if (!use_sq8 && (params.strategy == Strategy::kTiled ||
+                   params.strategy == Strategy::kShared ||
+                   params.refine_mode == RefineMode::kLocalJoin)) {
     if (!kernels::strict_mode()) norms = kernels::row_norms(points);
   }
 
@@ -215,7 +238,7 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
         const std::size_t unique_count =
             std::min<std::size_t>(end - ids.begin(), params.refine_sample);
         process_bucket(w, points, ids.subspan(0, unique_count), params.strategy,
-                       sets, norms);
+                       sets, norms, sq8);
       });
     });
     return skipped.load(std::memory_order_relaxed);
@@ -232,9 +255,9 @@ std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
           params.strategy == Strategy::kShared) {
         // kShared refines like kTiled: candidates scored in scratch, one
         // merge per tile — the natural scratch-first discipline.
-        refine_point_tiled(w, points, cands, p, sets, norms);
+        refine_point_tiled(w, points, cands, p, sets, norms, sq8);
       } else {
-        refine_point_pairwise(w, points, cands, p, params.strategy, sets);
+        refine_point_pairwise(w, points, cands, p, params.strategy, sets, sq8);
       }
     });
   });

@@ -7,6 +7,7 @@
 #include "common/thread_pool.hpp"
 #include "core/knn_set.hpp"
 #include "core/params.hpp"
+#include "kernels/sq8.hpp"
 #include "simt/stats.hpp"
 
 namespace wknng::core {
@@ -51,8 +52,12 @@ Adjacency snapshot_adjacency(ThreadPool& pool, const KnnSetArray& sets,
 /// injected) are caught inside the warp body: the point keeps its current
 /// set for this round and is counted in the return value. Returns the
 /// number of points skipped that way (0 on a clean round).
+///
+/// `sq8`, when valid, scores every candidate against the compressed (u8)
+/// rows asymmetrically instead of the fp32 rows (see leaf_knn).
 std::size_t refine_round(ThreadPool& pool, const FloatMatrix& points,
                          const Adjacency& adj, const BuildParams& params,
-                         KnnSetArray& sets, simt::StatsAccumulator* acc);
+                         KnnSetArray& sets, simt::StatsAccumulator* acc,
+                         const kernels::Sq8View* sq8 = nullptr);
 
 }  // namespace wknng::core

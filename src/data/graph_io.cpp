@@ -15,6 +15,8 @@ namespace {
 
 constexpr char kMagic[8] = {'W', 'K', 'N', 'N', 'G', '1', '\0', '\0'};
 constexpr char kCkptMagic[8] = {'W', 'K', 'N', 'N', 'G', 'C', 'P', '1'};
+constexpr char kSq8Magic[8] = {'W', 'K', 'N', 'N', 'G', 'S', 'Q', '8'};
+constexpr std::uint32_t kSq8CodecVersion = 1;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -22,6 +24,74 @@ struct FileCloser {
   }
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Byte count of one serialized SQ8 payload (header + codebook + codes).
+long sq8_payload_bytes(std::uint64_t n, std::uint64_t dim) {
+  return static_cast<long>(sizeof(kSq8Magic) + sizeof(std::uint32_t) +
+                           2 * sizeof(std::uint64_t) +
+                           2 * dim * sizeof(float) + n * dim);
+}
+
+void write_sq8_payload(std::FILE* f, const std::string& path,
+                       const kernels::Sq8Matrix& m) {
+  const std::uint64_t n = m.rows();
+  const std::uint64_t dim = m.dim();
+  WKNNG_CHECK_MSG(m.codebook.dim() == dim,
+                  path << ": sq8 codebook dim " << m.codebook.dim()
+                       << " does not match code dim " << dim);
+  WKNNG_CHECK(std::fwrite(kSq8Magic, 1, sizeof(kSq8Magic), f) ==
+              sizeof(kSq8Magic));
+  WKNNG_CHECK(std::fwrite(&kSq8CodecVersion, sizeof(kSq8CodecVersion), 1, f) ==
+              1);
+  WKNNG_CHECK(std::fwrite(&n, sizeof(n), 1, f) == 1);
+  WKNNG_CHECK(std::fwrite(&dim, sizeof(dim), 1, f) == 1);
+  WKNNG_CHECK(std::fwrite(m.codebook.bias.data(), sizeof(float), dim, f) ==
+              dim);
+  WKNNG_CHECK(std::fwrite(m.codebook.scale.data(), sizeof(float), dim, f) ==
+              dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    WKNNG_CHECK(std::fwrite(m.row(i).data(), 1, dim, f) == dim);
+  }
+}
+
+/// Reads one SQ8 payload starting at the current file position. The caller
+/// has already validated that the file holds sq8_payload_bytes(n, dim) from
+/// here (n and dim read out of the payload header by peeking, or implied by
+/// an enclosing header).
+kernels::Sq8Matrix read_sq8_payload(std::FILE* f, const std::string& path) {
+  char magic[8] = {};
+  WKNNG_CHECK_MSG(std::fread(magic, 1, sizeof(magic), f) == sizeof(magic),
+                  path << ": truncated sq8 header");
+  WKNNG_CHECK_MSG(std::memcmp(magic, kSq8Magic, sizeof(kSq8Magic)) == 0,
+                  path << ": not a WKNNGSQ8 payload");
+  std::uint32_t version = 0;
+  WKNNG_CHECK_MSG(std::fread(&version, sizeof(version), 1, f) == 1,
+                  path << ": truncated sq8 header");
+  WKNNG_CHECK_MSG(version == kSq8CodecVersion,
+                  path << ": unsupported sq8 codec version " << version
+                       << " (this build reads version " << kSq8CodecVersion
+                       << ")");
+  std::uint64_t n = 0, dim = 0;
+  WKNNG_CHECK_MSG(std::fread(&n, sizeof(n), 1, f) == 1,
+                  path << ": truncated sq8 header");
+  WKNNG_CHECK_MSG(std::fread(&dim, sizeof(dim), 1, f) == 1,
+                  path << ": truncated sq8 header");
+  WKNNG_CHECK_MSG(n > 0 && dim > 0 && n < (1ULL << 32) && dim < (1ULL << 32),
+                  path << ": implausible sq8 header n=" << n
+                       << " dim=" << dim);
+  kernels::Sq8Matrix m;
+  m.codebook.bias.resize(dim);
+  m.codebook.scale.resize(dim);
+  WKNNG_CHECK(std::fread(m.codebook.bias.data(), sizeof(float), dim, f) ==
+              dim);
+  WKNNG_CHECK(std::fread(m.codebook.scale.data(), sizeof(float), dim, f) ==
+              dim);
+  m.codes.resize(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    WKNNG_CHECK(std::fread(m.codes.row(i).data(), 1, dim, f) == dim);
+  }
+  return m;
+}
 
 }  // namespace
 
@@ -102,6 +172,12 @@ void write_checkpoint(const std::string& path, const BuildCheckpoint& c) {
     }
     WKNNG_CHECK(std::fwrite(c.sets.data(), sizeof(std::uint64_t), c.sets.size(),
                             f.get()) == c.sets.size());
+    if (c.sq8 != nullptr) {
+      WKNNG_CHECK_MSG(c.sq8->rows() == c.n,
+                      "checkpoint sq8 codes have " << c.sq8->rows()
+                          << " rows for n=" << c.n);
+      write_sq8_payload(f.get(), tmp, *c.sq8);
+    }
   }
   // Publish atomically so an interrupted build never leaves a torn file at
   // the checkpoint path.
@@ -148,7 +224,12 @@ BuildCheckpoint read_checkpoint(const std::string& path) {
                                          c.n * c.k * sizeof(std::uint64_t));
   WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
   const long bytes = std::ftell(f.get());
-  WKNNG_CHECK_MSG(bytes == header + payload,
+  // Two valid sizes: the classic layout, or classic + the sq8 code trailer
+  // a compression=sq8 build appends. Anything else is corruption. The
+  // trailer's own (n, dim) header is validated after the fixed part (dim is
+  // not knowable from the checkpoint header alone).
+  const bool has_sq8 = bytes > header + payload;
+  WKNNG_CHECK_MSG(bytes == header + payload || has_sq8,
                   path << ": size " << bytes
                        << " does not match checkpoint header (n=" << c.n
                        << ", k=" << c.k << ", quarantined=" << nq << ")");
@@ -166,7 +247,42 @@ BuildCheckpoint read_checkpoint(const std::string& path) {
     WKNNG_CHECK_MSG(c.quarantined[i - 1] < c.quarantined[i],
                     path << ": quarantine list not sorted/unique");
   }
+  if (has_sq8) {
+    kernels::Sq8Matrix m = read_sq8_payload(f.get(), path);
+    WKNNG_CHECK_MSG(
+        bytes == header + payload + sq8_payload_bytes(m.rows(), m.dim()),
+        path << ": size " << bytes
+             << " does not match checkpoint + sq8 trailer (n=" << c.n
+             << ", k=" << c.k << ", dim=" << m.dim() << ")");
+    WKNNG_CHECK_MSG(m.rows() == c.n, path << ": sq8 trailer has " << m.rows()
+                                          << " rows for n=" << c.n);
+    c.sq8 = std::make_shared<kernels::Sq8Matrix>(std::move(m));
+  }
   return c;
+}
+
+void write_sq8(const std::string& path, const kernels::Sq8Matrix& m) {
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    WKNNG_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
+    write_sq8_payload(f.get(), tmp, m);
+  }
+  WKNNG_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot rename " << tmp << " to " << path);
+}
+
+kernels::Sq8Matrix read_sq8(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path);
+  kernels::Sq8Matrix m = read_sq8_payload(f.get(), path);
+  WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
+  const long bytes = std::ftell(f.get());
+  WKNNG_CHECK_MSG(bytes == sq8_payload_bytes(m.rows(), m.dim()),
+                  path << ": size " << bytes
+                       << " does not match sq8 header (n=" << m.rows()
+                       << ", dim=" << m.dim() << ")");
+  return m;
 }
 
 }  // namespace wknng::data

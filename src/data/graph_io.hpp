@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/knn_graph.hpp"
+#include "kernels/sq8.hpp"
 
 namespace wknng::data {
 
@@ -46,6 +48,11 @@ struct BuildCheckpoint {
   std::vector<std::uint32_t> quarantined;
   std::vector<std::uint64_t> sets;  ///< n*k packed (dist,id) words
 
+  /// Compressed-tier codes (compression=sq8 builds only). Persisted as an
+  /// optional trailer so the sq8 distances a resumed build computes come
+  /// from the exact codes the checkpointed state was produced under.
+  std::shared_ptr<const kernels::Sq8Matrix> sq8;
+
   bool shape_ok() const { return sets.size() == n * k; }
 };
 
@@ -58,6 +65,9 @@ struct BuildCheckpoint {
 ///   n_quarantined uint64
 ///   quarantined  n_quarantined x uint32
 ///   sets         n*k x uint64
+///   [sq8 payload]  optional trailer (see write_sq8) when the build ran with
+///                  compression=sq8; absent otherwise, so compression=none
+///                  checkpoints are byte-identical to the pre-sq8 format.
 ///
 /// The write is atomic: the file is written to `path + ".tmp"` and renamed,
 /// so an interrupted writer never leaves a half-written checkpoint at
@@ -66,5 +76,20 @@ struct BuildCheckpoint {
 void write_checkpoint(const std::string& path, const BuildCheckpoint& c);
 
 BuildCheckpoint read_checkpoint(const std::string& path);
+
+/// Standalone SQ8 code persistence, so serving can keep scoring compressed
+/// rows without the original fp32 data set. Payload (little-endian):
+///   magic   "WKNNGSQ8"  (8 bytes)
+///   version uint32      (codec version, currently 1 — bumped if the codec
+///                        ever changes meaning; readers reject unknown ones)
+///   n, dim  uint64 each
+///   bias    dim x float
+///   scale   dim x float
+///   codes   n*dim x uint8
+/// The same payload doubles as the optional checkpoint trailer. read_sq8
+/// validates the magic, version, and the header against the file size.
+void write_sq8(const std::string& path, const kernels::Sq8Matrix& m);
+
+kernels::Sq8Matrix read_sq8(const std::string& path);
 
 }  // namespace wknng::data

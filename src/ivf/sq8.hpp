@@ -1,43 +1,35 @@
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
+// Compatibility shim: the SQ8 codec moved to src/kernels/sq8.{hpp,cpp} when
+// it was promoted into the runtime-dispatched kernel table (see DESIGN.md,
+// "Compressed storage tier"). This header keeps the historical ivf:: names
+// alive for existing call sites and tests; new code should include
+// kernels/sq8.hpp directly.
 
-#include "common/matrix.hpp"
+#include "kernels/sq8.hpp"
 
 namespace wknng::ivf {
 
-/// 8-bit scalar quantization (FAISS's SQ8): each dimension is affinely
-/// mapped onto [0, 255] using its own min/max over the training set. Cuts
-/// vector memory 4x; distances are computed asymmetrically (float query vs
-/// dequantized code) so the query loses no precision.
-struct Sq8Codebook {
-  std::vector<float> bias;   ///< per-dimension minimum
-  std::vector<float> scale;  ///< per-dimension (max - min) / 255, >= epsilon
+using Sq8Codebook = kernels::Sq8Codebook;
+using Sq8Matrix = kernels::Sq8Matrix;
 
-  std::size_t dim() const { return bias.size(); }
-};
+/// Trains the per-dimension codebook on `points` and encodes every row
+/// (throws wknng::Sq8TrainError on empty, non-finite, or fully
+/// zero-variance training sets); sq8_decode dequantizes every code back to
+/// floats with per-dimension error <= scale/2. Using-declarations, not
+/// wrappers: Sq8Matrix is the kernels type, so ADL on unqualified calls
+/// already finds the kernels overloads — a distinct ivf:: wrapper would
+/// make those calls ambiguous.
+using kernels::sq8_encode;
+using kernels::sq8_decode;
 
-/// A quantized point set: n x dim uint8 codes plus the codebook.
-struct Sq8Matrix {
-  Matrix<std::uint8_t> codes;
-  Sq8Codebook codebook;
-
-  std::size_t rows() const { return codes.rows(); }
-  std::size_t dim() const { return codes.cols(); }
-  std::span<const std::uint8_t> row(std::size_t i) const { return codes.row(i); }
-};
-
-/// Trains the per-dimension codebook on `points` and encodes every row.
-Sq8Matrix sq8_encode(const FloatMatrix& points);
-
-/// Dequantizes every code back to floats (reconstruction, for tests and
-/// rescoring caches). Reconstruction error per dimension is <= scale/2.
-FloatMatrix sq8_decode(const Sq8Matrix& m);
-
-/// Asymmetric squared L2: float query against one dequantized code row.
-float sq8_l2_sq(std::span<const float> query, std::span<const std::uint8_t> code,
-                const Sq8Codebook& codebook);
+/// Asymmetric squared L2: float query against one dequantized code row
+/// (serial reference accumulation — the scalar backend's sq8 rows and the
+/// test layer's differential oracle).
+inline float sq8_l2_sq(std::span<const float> query,
+                       std::span<const std::uint8_t> code,
+                       const Sq8Codebook& codebook) {
+  return kernels::sq8_l2_sq_ref(query, code, codebook);
+}
 
 }  // namespace wknng::ivf

@@ -21,4 +21,39 @@ const KernelOps* avx2_ops();
 /// separate — see ops_for()).
 bool cpu_supports(Backend b);
 
+// --- SQ8 rows --------------------------------------------------------------
+// Each backend's sq8_* entries live in a sibling TU (sq8_<isa>.cpp) so the
+// ISA-specific flags stay per-file; the fp32 TU of the same backend places
+// them in its KernelOps table. The SSE2/AVX2 declarations are only
+// referenced from tables compiled under the matching ISA guard, and the sq8
+// TUs use the identical guard, so a compiled-out backend leaves no dangling
+// references.
+
+float sq8_scalar_one(const Sq8Query& q, const std::uint8_t* code);
+void sq8_scalar_batch(const Sq8Query& q, const std::uint8_t* const* rows,
+                      const float* code_terms, std::size_t count, float* out);
+void sq8_scalar_tile(const Sq8Query* a, std::size_t na,
+                     const std::uint8_t* const* b_rows, const float* b_terms,
+                     std::size_t nb, float* out, std::size_t ld);
+float sq8_scalar_term(const float* scale, const std::uint8_t* code,
+                      std::size_t dim);
+
+float sq8_sse2_one(const Sq8Query& q, const std::uint8_t* code);
+void sq8_sse2_batch(const Sq8Query& q, const std::uint8_t* const* rows,
+                    const float* code_terms, std::size_t count, float* out);
+void sq8_sse2_tile(const Sq8Query* a, std::size_t na,
+                   const std::uint8_t* const* b_rows, const float* b_terms,
+                   std::size_t nb, float* out, std::size_t ld);
+float sq8_sse2_term(const float* scale, const std::uint8_t* code,
+                    std::size_t dim);
+
+float sq8_avx2_one(const Sq8Query& q, const std::uint8_t* code);
+void sq8_avx2_batch(const Sq8Query& q, const std::uint8_t* const* rows,
+                    const float* code_terms, std::size_t count, float* out);
+void sq8_avx2_tile(const Sq8Query* a, std::size_t na,
+                   const std::uint8_t* const* b_rows, const float* b_terms,
+                   std::size_t nb, float* out, std::size_t ld);
+float sq8_avx2_term(const float* scale, const std::uint8_t* code,
+                    std::size_t dim);
+
 }  // namespace wknng::kernels::detail

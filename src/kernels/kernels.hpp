@@ -11,6 +11,12 @@
 //             using the ||x||^2 + ||y||^2 - 2 x.y decomposition with cached
 //             squared norms on the SIMD backends
 //
+// The table also carries the same three shapes for the SQ8 compressed tier
+// (sq8_l2_one / sq8_l2_batch / sq8_l2_tile, plus the sq8_term cache
+// accumulation) — asymmetric fp32-query x u8-code distances that cut the
+// candidate-row traffic 4x. See kernels/sq8.hpp for the codec and the
+// expanded-form decomposition the SIMD backends use.
+//
 // Determinism contract (see DESIGN.md, "CPU vectorization layer"):
 //  * Every backend uses a fixed accumulation order, so results are
 //    bit-reproducible across runs, thread counts and schedules for a given
@@ -36,6 +42,8 @@
 #include "common/matrix.hpp"
 
 namespace wknng::kernels {
+
+struct Sq8Query;  // kernels/sq8.hpp — prepared query for the sq8_* rows
 
 enum class Backend : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
 
@@ -88,6 +96,34 @@ struct KernelOps {
   /// True iff any of the `count` floats is NaN or +-inf (vectorized scan
   /// used by the builder's input quarantine).
   bool (*has_nonfinite)(const float* x, std::size_t count);
+
+  // --- SQ8 asymmetric rows (kernels/sq8.hpp) -------------------------------
+  // fp32 query (prepared once with sq8_prepare) against u8 code rows. The
+  // scalar backend evaluates the direct dequantize-subtract form serially
+  // (bit-identical to the pre-dispatch ivf::sq8_l2_sq) and ignores term
+  // caches; the SIMD backends use the expanded self - 2*dot(w,c) + term(c)
+  // decomposition from one shared u8-widening dot core, so — exactly like
+  // the fp32 rows — the same (query, code row) pair yields the same bits
+  // under every shape and whether or not a term cache was supplied.
+
+  /// One prepared query against one code row.
+  float (*sq8_l2_one)(const Sq8Query& q, const std::uint8_t* code);
+
+  /// One prepared query against `count` code rows; out[i] = d(q, rows[i]).
+  /// `code_terms` may be null (terms recomputed with sq8_term's order).
+  void (*sq8_l2_batch)(const Sq8Query& q, const std::uint8_t* const* rows,
+                       const float* code_terms, std::size_t count, float* out);
+
+  /// Q x L tile of prepared queries against code rows:
+  /// out[i * ld + j] = d(a[i], b_rows[j]). `b_terms` may be null.
+  void (*sq8_l2_tile)(const Sq8Query* a, std::size_t na,
+                      const std::uint8_t* const* b_rows, const float* b_terms,
+                      std::size_t nb, float* out, std::size_t ld);
+
+  /// sum_d (scale[d] * code[d])^2 — the accumulation every code-term cache
+  /// is built with (the sq8 analogue of norm_sq).
+  float (*sq8_term)(const float* scale, const std::uint8_t* code,
+                    std::size_t dim);
 };
 
 /// Dispatch table for `b`, or nullptr when the backend is compiled out or

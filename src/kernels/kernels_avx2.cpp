@@ -161,6 +161,8 @@ bool avx2_has_nonfinite(const float* x, std::size_t count) {
 constexpr KernelOps kAvx2Ops = {
     Backend::kAvx2, "avx2",        avx2_l2_pair, avx2_l2_pair,
     avx2_l2_batch,  avx2_l2_tile,  avx2_norm_sq, avx2_has_nonfinite,
+    detail::sq8_avx2_one,  detail::sq8_avx2_batch,
+    detail::sq8_avx2_tile, detail::sq8_avx2_term,
 };
 
 }  // namespace

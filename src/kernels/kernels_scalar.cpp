@@ -74,9 +74,11 @@ bool scalar_has_nonfinite(const float* x, std::size_t count) {
 }
 
 constexpr KernelOps kScalarOps = {
-    Backend::kScalar,     "scalar",       scalar_l2_one,
+    Backend::kScalar,     "scalar",        scalar_l2_one,
     scalar_l2_serial,     scalar_l2_batch, scalar_l2_tile,
     scalar_norm_sq,       scalar_has_nonfinite,
+    detail::sq8_scalar_one, detail::sq8_scalar_batch,
+    detail::sq8_scalar_tile, detail::sq8_scalar_term,
 };
 
 }  // namespace

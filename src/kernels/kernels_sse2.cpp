@@ -161,6 +161,8 @@ bool sse2_has_nonfinite(const float* x, std::size_t count) {
 constexpr KernelOps kSse2Ops = {
     Backend::kSse2, "sse2",        sse2_l2_pair, sse2_l2_pair,
     sse2_l2_batch,  sse2_l2_tile,  sse2_norm_sq, sse2_has_nonfinite,
+    detail::sq8_sse2_one,  detail::sq8_sse2_batch,
+    detail::sq8_sse2_tile, detail::sq8_sse2_term,
 };
 
 }  // namespace

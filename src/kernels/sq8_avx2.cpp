@@ -1,0 +1,215 @@
+// AVX2+FMA SQ8 rows: 8-wide asymmetric distances on u8 codes. This TU is
+// built with -mavx2 -mfma exactly like kernels_avx2.cpp (see CMakeLists) and
+// guarded identically, so the backend table and its sq8 rows are compiled in
+// or out together.
+//
+// The hot loop is the maddubs-style integer-widening FMA: load 8 codes
+// (one 8-byte load — a quarter of the fp32 row traffic), widen u8 -> i32 ->
+// fp32, and FMA against the pre-scaled query. Bit-consistency mirrors the
+// fp32 AVX2 TU: one shared widening-dot core (single FMA accumulator, whole
+// 8-code blocks, the fixed hsum tree, fmaf-pinned scalar tails) feeds every
+// shape, and the term core follows the same skeleton so cached and
+// on-the-fly code terms agree bit-exactly. The tile kernel adds a 1x4
+// register block whose four chains each follow the unblocked dot sequence,
+// so blocking never changes the bits.
+
+#include "kernels/backend_detail.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "kernels/sq8.hpp"
+
+namespace wknng::kernels::detail {
+namespace {
+
+constexpr std::size_t kVec = 8;
+
+/// Same fixed reduction tree as the fp32 AVX2 TU.
+inline float hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum4 = _mm_add_ps(lo, hi);
+  __m128 hi2 = _mm_movehl_ps(sum4, sum4);
+  __m128 sum2 = _mm_add_ps(sum4, hi2);
+  __m128 hi1 = _mm_shuffle_ps(sum2, sum2, 1);
+  return _mm_cvtss_f32(_mm_add_ss(sum2, hi1));
+}
+
+/// Widens 8 u8 codes to fp32 lanes with one 8-byte load.
+inline __m256 load_codes8(const std::uint8_t* c) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(c));
+  return _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+}
+
+/// w . widen(c) — the shared core every sq8 shape is assembled from.
+inline float dot_codes(const float* w, const std::uint8_t* c,
+                       std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  const std::size_t blocks = dim & ~(kVec - 1);
+  for (std::size_t d = 0; d < blocks; d += kVec) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(w + d), load_codes8(c + d), acc);
+  }
+  float res = hsum(acc);
+  for (std::size_t d = blocks; d < dim; ++d) {
+    res = std::fmaf(w[d], static_cast<float>(c[d]), res);
+  }
+  return res;
+}
+
+/// Expanded-form epilogue; 2*d is exact, so contraction cannot change the
+/// bits, and the clamp keeps cancellation from going (tiny) negative.
+inline float sq8_from(float self, float d, float term) {
+  const float r = self - 2.0f * d + term;
+  return r < 0.0f ? 0.0f : r;
+}
+
+}  // namespace
+
+float sq8_avx2_term(const float* scale, const std::uint8_t* code,
+                    std::size_t dim) {
+  __m256 acc = _mm256_setzero_ps();
+  const std::size_t blocks = dim & ~(kVec - 1);
+  for (std::size_t d = 0; d < blocks; d += kVec) {
+    const __m256 v =
+        _mm256_mul_ps(_mm256_loadu_ps(scale + d), load_codes8(code + d));
+    acc = _mm256_fmadd_ps(v, v, acc);
+  }
+  float res = hsum(acc);
+  for (std::size_t d = blocks; d < dim; ++d) {
+    const float t = scale[d] * static_cast<float>(code[d]);
+    res = std::fmaf(t, t, res);
+  }
+  return res;
+}
+
+float sq8_avx2_one(const Sq8Query& q, const std::uint8_t* code) {
+  return sq8_from(q.self, dot_codes(q.w, code, q.dim),
+                  sq8_avx2_term(q.scale, code, q.dim));
+}
+
+void sq8_avx2_batch(const Sq8Query& q, const std::uint8_t* const* rows,
+                    const float* code_terms, std::size_t count, float* out) {
+  const float* w = q.w;
+  const std::size_t dim = q.dim;
+  const std::size_t blocks = dim & ~(kVec - 1);
+  std::size_t i = 0;
+  // 4 candidate rows per step, four independent FMA chains: a single chain
+  // is latency-bound on the fmadd dependency, which caps the batch shape at
+  // a fraction of the load bandwidth the 1-byte codes leave free. Each
+  // chain follows exactly the dot_codes() sequence, so the bits match the
+  // one-at-a-time primitive row-for-row.
+  for (; i + 4 <= count; i += 4) {
+    const std::uint8_t* b0 = rows[i];
+    const std::uint8_t* b1 = rows[i + 1];
+    const std::uint8_t* b2 = rows[i + 2];
+    const std::uint8_t* b3 = rows[i + 3];
+    __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+    for (std::size_t d = 0; d < blocks; d += kVec) {
+      const __m256 wv = _mm256_loadu_ps(w + d);
+      acc0 = _mm256_fmadd_ps(wv, load_codes8(b0 + d), acc0);
+      acc1 = _mm256_fmadd_ps(wv, load_codes8(b1 + d), acc1);
+      acc2 = _mm256_fmadd_ps(wv, load_codes8(b2 + d), acc2);
+      acc3 = _mm256_fmadd_ps(wv, load_codes8(b3 + d), acc3);
+    }
+    float d0 = hsum(acc0), d1 = hsum(acc1), d2 = hsum(acc2), d3 = hsum(acc3);
+    for (std::size_t d = blocks; d < dim; ++d) {
+      d0 = std::fmaf(w[d], static_cast<float>(b0[d]), d0);
+      d1 = std::fmaf(w[d], static_cast<float>(b1[d]), d1);
+      d2 = std::fmaf(w[d], static_cast<float>(b2[d]), d2);
+      d3 = std::fmaf(w[d], static_cast<float>(b3[d]), d3);
+    }
+    const bool cached = code_terms != nullptr;
+    out[i] = sq8_from(q.self, d0,
+                      cached ? code_terms[i] : sq8_avx2_term(q.scale, b0, dim));
+    out[i + 1] = sq8_from(
+        q.self, d1, cached ? code_terms[i + 1] : sq8_avx2_term(q.scale, b1, dim));
+    out[i + 2] = sq8_from(
+        q.self, d2, cached ? code_terms[i + 2] : sq8_avx2_term(q.scale, b2, dim));
+    out[i + 3] = sq8_from(
+        q.self, d3, cached ? code_terms[i + 3] : sq8_avx2_term(q.scale, b3, dim));
+  }
+  for (; i < count; ++i) {
+    const float term = code_terms != nullptr
+                           ? code_terms[i]
+                           : sq8_avx2_term(q.scale, rows[i], q.dim);
+    out[i] = sq8_from(q.self, dot_codes(q.w, rows[i], q.dim), term);
+  }
+}
+
+void sq8_avx2_tile(const Sq8Query* a, std::size_t na,
+                   const std::uint8_t* const* b_rows, const float* b_terms,
+                   std::size_t nb, float* out, std::size_t ld) {
+  if (na == 0 || nb == 0) return;
+  float bt_stack[64];
+  std::vector<float> bt_heap;
+  const float* bt = b_terms;
+  if (bt == nullptr) {
+    // Code terms are query-independent: materialize once per tile with the
+    // canonical term accumulation (one codebook per dataset, so the scale
+    // pointer is shared across the tile's queries).
+    float* buf = bt_stack;
+    if (nb > 64) {
+      bt_heap.resize(nb);
+      buf = bt_heap.data();
+    }
+    const std::size_t dim = a[0].dim;
+    for (std::size_t j = 0; j < nb; ++j) {
+      buf[j] = sq8_avx2_term(a[0].scale, b_rows[j], dim);
+    }
+    bt = buf;
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    const Sq8Query& q = a[i];
+    const float* w = q.w;
+    const std::size_t dim = q.dim;
+    const std::size_t blocks = dim & ~(kVec - 1);
+    std::size_t j = 0;
+    // 1x4 register block: one pre-scaled query streamed against four code
+    // rows, four independent FMA chains. Each chain follows exactly the
+    // dot_codes() sequence, so the bits match the unblocked primitives
+    // pair-for-pair.
+    for (; j + 4 <= nb; j += 4) {
+      const std::uint8_t* b0 = b_rows[j];
+      const std::uint8_t* b1 = b_rows[j + 1];
+      const std::uint8_t* b2 = b_rows[j + 2];
+      const std::uint8_t* b3 = b_rows[j + 3];
+      __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+      for (std::size_t d = 0; d < blocks; d += kVec) {
+        const __m256 wv = _mm256_loadu_ps(w + d);
+        acc0 = _mm256_fmadd_ps(wv, load_codes8(b0 + d), acc0);
+        acc1 = _mm256_fmadd_ps(wv, load_codes8(b1 + d), acc1);
+        acc2 = _mm256_fmadd_ps(wv, load_codes8(b2 + d), acc2);
+        acc3 = _mm256_fmadd_ps(wv, load_codes8(b3 + d), acc3);
+      }
+      float d0 = hsum(acc0), d1 = hsum(acc1), d2 = hsum(acc2), d3 = hsum(acc3);
+      for (std::size_t d = blocks; d < dim; ++d) {
+        d0 = std::fmaf(w[d], static_cast<float>(b0[d]), d0);
+        d1 = std::fmaf(w[d], static_cast<float>(b1[d]), d1);
+        d2 = std::fmaf(w[d], static_cast<float>(b2[d]), d2);
+        d3 = std::fmaf(w[d], static_cast<float>(b3[d]), d3);
+      }
+      out[i * ld + j] = sq8_from(q.self, d0, bt[j]);
+      out[i * ld + j + 1] = sq8_from(q.self, d1, bt[j + 1]);
+      out[i * ld + j + 2] = sq8_from(q.self, d2, bt[j + 2]);
+      out[i * ld + j + 3] = sq8_from(q.self, d3, bt[j + 3]);
+    }
+    for (; j < nb; ++j) {
+      out[i * ld + j] = sq8_from(q.self, dot_codes(w, b_rows[j], dim), bt[j]);
+    }
+  }
+}
+
+}  // namespace wknng::kernels::detail
+
+#else  // compiler could not target AVX2+FMA: nothing to define — the AVX2
+       // table that would reference these rows is compiled out under the
+       // same guard.
+
+#endif

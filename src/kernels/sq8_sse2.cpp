@@ -1,0 +1,137 @@
+// SSE2 SQ8 rows: 4-wide asymmetric distances on u8 codes, compiled with the
+// x86-64 baseline flags (no extra -m options). Guarded identically to
+// kernels_sse2.cpp so the backend table and its sq8 rows are compiled in or
+// out together.
+//
+// Bit-consistency design (mirrors the fp32 SSE2 TU): one shared u8-widening
+// dot core — a single vector accumulator, whole 4-code blocks, the fixed
+// horizontal-sum tree, then a serial scalar tail — feeds every shape, and
+// the term core follows the same skeleton, so cached and on-the-fly code
+// terms agree bit-exactly. SSE2 has no cvtepu8 (that is SSE4.1): codes are
+// widened with two zero-unpacks before the int->float convert.
+
+#include "kernels/backend_detail.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+#include "kernels/sq8.hpp"
+
+namespace wknng::kernels::detail {
+namespace {
+
+constexpr std::size_t kVec = 4;
+
+/// Same fixed reduction tree as the fp32 SSE2 TU.
+inline float hsum(__m128 v) {
+  __m128 hi = _mm_movehl_ps(v, v);
+  __m128 sum2 = _mm_add_ps(v, hi);
+  __m128 hi1 = _mm_shuffle_ps(sum2, sum2, 1);
+  return _mm_cvtss_f32(_mm_add_ss(sum2, hi1));
+}
+
+/// Widens 4 u8 codes to fp32 lanes: unpack through u16/u32, then convert.
+inline __m128 load_codes4(const std::uint8_t* c) {
+  std::uint32_t packed;
+  std::memcpy(&packed, c, sizeof(packed));
+  __m128i v = _mm_cvtsi32_si128(static_cast<int>(packed));
+  v = _mm_unpacklo_epi8(v, _mm_setzero_si128());
+  v = _mm_unpacklo_epi16(v, _mm_setzero_si128());
+  return _mm_cvtepi32_ps(v);
+}
+
+/// w . widen(c) — the shared core every sq8 shape is assembled from.
+inline float dot_codes(const float* w, const std::uint8_t* c,
+                       std::size_t dim) {
+  __m128 acc = _mm_setzero_ps();
+  const std::size_t blocks = dim & ~(kVec - 1);
+  for (std::size_t d = 0; d < blocks; d += kVec) {
+    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_loadu_ps(w + d), load_codes4(c + d)));
+  }
+  float res = hsum(acc);
+  for (std::size_t d = blocks; d < dim; ++d) {
+    res += w[d] * static_cast<float>(c[d]);
+  }
+  return res;
+}
+
+/// Expanded-form epilogue; 2*d is exact, and the clamp absorbs the small
+/// negatives cancellation can produce.
+inline float sq8_from(float self, float d, float term) {
+  const float r = self - 2.0f * d + term;
+  return r < 0.0f ? 0.0f : r;
+}
+
+}  // namespace
+
+float sq8_sse2_term(const float* scale, const std::uint8_t* code,
+                    std::size_t dim) {
+  __m128 acc = _mm_setzero_ps();
+  const std::size_t blocks = dim & ~(kVec - 1);
+  for (std::size_t d = 0; d < blocks; d += kVec) {
+    const __m128 v = _mm_mul_ps(_mm_loadu_ps(scale + d), load_codes4(code + d));
+    acc = _mm_add_ps(acc, _mm_mul_ps(v, v));
+  }
+  float res = hsum(acc);
+  for (std::size_t d = blocks; d < dim; ++d) {
+    const float t = scale[d] * static_cast<float>(code[d]);
+    res += t * t;
+  }
+  return res;
+}
+
+float sq8_sse2_one(const Sq8Query& q, const std::uint8_t* code) {
+  return sq8_from(q.self, dot_codes(q.w, code, q.dim),
+                  sq8_sse2_term(q.scale, code, q.dim));
+}
+
+void sq8_sse2_batch(const Sq8Query& q, const std::uint8_t* const* rows,
+                    const float* code_terms, std::size_t count, float* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float term = code_terms != nullptr
+                           ? code_terms[i]
+                           : sq8_sse2_term(q.scale, rows[i], q.dim);
+    out[i] = sq8_from(q.self, dot_codes(q.w, rows[i], q.dim), term);
+  }
+}
+
+void sq8_sse2_tile(const Sq8Query* a, std::size_t na,
+                   const std::uint8_t* const* b_rows, const float* b_terms,
+                   std::size_t nb, float* out, std::size_t ld) {
+  if (na == 0 || nb == 0) return;
+  float bt_stack[64];
+  std::vector<float> bt_heap;
+  const float* bt = b_terms;
+  if (bt == nullptr) {
+    // Code terms are query-independent: materialize them once per tile with
+    // the canonical term accumulation (the scale pointer is shared across
+    // the tile's queries — one codebook per dataset).
+    float* buf = bt_stack;
+    if (nb > 64) {
+      bt_heap.resize(nb);
+      buf = bt_heap.data();
+    }
+    const std::size_t dim = a[0].dim;
+    for (std::size_t j = 0; j < nb; ++j) {
+      buf[j] = sq8_sse2_term(a[0].scale, b_rows[j], dim);
+    }
+    bt = buf;
+  }
+  for (std::size_t i = 0; i < na; ++i) {
+    const Sq8Query& q = a[i];
+    for (std::size_t j = 0; j < nb; ++j) {
+      out[i * ld + j] =
+          sq8_from(q.self, dot_codes(q.w, b_rows[j], q.dim), bt[j]);
+    }
+  }
+}
+
+}  // namespace wknng::kernels::detail
+
+#else  // !defined(__SSE2__): nothing to define — the SSE2 table that would
+       // reference these rows is compiled out under the same guard.
+
+#endif

@@ -31,6 +31,9 @@ ServeEngine::ServeEngine(ThreadPool& pool, ServeOptions options,
   WKNNG_CHECK_MSG(slot_.current() != nullptr,
                   "ServeEngine needs an initial snapshot");
   WKNNG_CHECK_MSG(options_.workers > 0, "ServeEngine needs >= 1 worker");
+  if (options_.rerank_depth != 0) {
+    options_.search.rerank_depth = options_.rerank_depth;
+  }
   workers_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -187,11 +190,16 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
     tags[i] = live[i].tag;
   }
 
+  // Compressed tier: score through the snapshot's codes when it carries
+  // them. The view aliases `snap`, which this batch keeps pinned.
+  const kernels::Sq8View sq8 = snap->sq8_view();
+
   core::BatchSearchResult result;
   try {
     result = core::graph_search_batch(*pool_, snap->base, snap->graph,
                                       queries, tags, options_.search,
-                                      &scratch_, nullptr);
+                                      &scratch_, nullptr,
+                                      sq8.valid() ? &sq8 : nullptr);
   } catch (const std::exception& e) {
     // A failed batch (e.g. an injected LaunchAllocError) answers every
     // request with a typed failure; the engine itself stays live.

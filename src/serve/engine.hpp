@@ -30,6 +30,12 @@ struct ServeOptions {
   std::size_t queue_capacity = 4096;   ///< pending requests before shedding
   std::uint64_t default_deadline_us = 0;  ///< per-request default; 0 = none
   core::SearchParams search;           ///< kernel parameters (k, beam, seed)
+
+  /// Compressed-tier rerank depth; nonzero overrides `search.rerank_depth`
+  /// at engine construction. Only meaningful when served snapshots carry an
+  /// SQ8 tier (GraphSnapshot::sq8); see core::SearchParams::rerank_depth
+  /// for the 0 = auto (2k) semantics.
+  std::size_t rerank_depth = 0;
   obs::ObsParams obs;                  ///< span-tracing participation knobs
 };
 

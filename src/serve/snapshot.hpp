@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
+#include "kernels/kernels.hpp"
+#include "kernels/sq8.hpp"
 
 namespace wknng::serve {
 
@@ -15,14 +18,38 @@ namespace wknng::serve {
 /// side and publish it whole; the serving path never sees a half-updated
 /// graph. `version` is the publisher's monotonic label — responses carry it
 /// so a client (or a test) can say exactly which graph answered them.
+///
+/// A snapshot may additionally carry the base's SQ8 compressed tier (the
+/// code matrix the builder trained under `compression=sq8`, plus the
+/// per-row term cache). When present, batch executors score candidates
+/// against the compressed rows and rerank exactly; when absent, serving is
+/// bit-identical to the uncompressed path.
 struct GraphSnapshot {
   std::uint64_t version = 0;
   FloatMatrix base;
   KnnGraph graph;
+  std::shared_ptr<const kernels::Sq8Matrix> sq8;  ///< optional compressed tier
+  std::vector<float> sq8_terms;  ///< per-row term cache (empty in strict mode)
 
   GraphSnapshot() = default;
   GraphSnapshot(std::uint64_t v, FloatMatrix b, KnnGraph g)
       : version(v), base(std::move(b)), graph(std::move(g)) {}
+  GraphSnapshot(std::uint64_t v, FloatMatrix b, KnnGraph g,
+                std::shared_ptr<const kernels::Sq8Matrix> codes)
+      : version(v), base(std::move(b)), graph(std::move(g)),
+        sq8(std::move(codes)) {
+    if (sq8 != nullptr && !kernels::strict_mode()) {
+      sq8_terms = kernels::sq8_code_terms(*sq8);
+    }
+  }
+
+  /// Borrowed view of the compressed tier; `!valid()` when the snapshot has
+  /// no codes. The view aliases this snapshot — readers keep the snapshot
+  /// pinned (shared_ptr) for as long as they score through the view.
+  kernels::Sq8View sq8_view() const {
+    if (sq8 == nullptr) return {};
+    return {sq8.get(), sq8_terms};
+  }
 };
 
 /// The single-slot atomic publication point between one writer (the build /
@@ -57,6 +84,15 @@ class SnapshotSlot {
 inline std::shared_ptr<const GraphSnapshot> make_snapshot(
     std::uint64_t version, const FloatMatrix& base, const KnnGraph& graph) {
   return std::make_shared<const GraphSnapshot>(version, base, graph);
+}
+
+/// Same, carrying the compressed tier (e.g. BuildResult::sq8). A null
+/// `codes` degrades to the uncompressed snapshot.
+inline std::shared_ptr<const GraphSnapshot> make_snapshot(
+    std::uint64_t version, const FloatMatrix& base, const KnnGraph& graph,
+    std::shared_ptr<const kernels::Sq8Matrix> codes) {
+  return std::make_shared<const GraphSnapshot>(version, base, graph,
+                                               std::move(codes));
 }
 
 }  // namespace wknng::serve

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "kernels/kernels.hpp"
+#include "kernels/sq8.hpp"
 #include "simt/fault.hpp"
 #include "simt/warp.hpp"
 
@@ -85,6 +87,84 @@ inline Lanes<float> warp_l2_batch(Warp& w, std::span<const float> q,
   // inactive mask touches no memory at all).
   if (n_active > 0) {
     w.count_read((n_active + 1) * dim * sizeof(float));
+  }
+  return out;
+}
+
+// --- SQ8 compressed-tier variants ------------------------------------------
+// Same shapes against u8 code rows (kernels/sq8.hpp): the fp32 query side is
+// prepared once per point (one full-precision row read, charged here), after
+// which every candidate distance streams 1 byte/dim instead of 4 — the
+// bandwidth lever of the compressed storage tier. The fault hook still fires
+// once per produced distance.
+
+/// Prepares `query` for asymmetric scoring and charges the one fp32 row read
+/// (plus the centering/pre-scale arithmetic) the modeled warp performs to
+/// stage the query in registers/scratch.
+inline kernels::Sq8Query warp_sq8_prepare(Warp& w, std::span<const float> query,
+                                          const kernels::Sq8Codebook& codebook,
+                                          std::vector<float>& w_buf) {
+  const std::size_t dim = query.size();
+  w.stats().flops += 3 * dim;
+  w.count_read(dim * sizeof(float));
+  return kernels::sq8_prepare(query, codebook, w_buf);
+}
+
+/// Pair shape: one prepared query against one code row (the sq8 analogue of
+/// warp_l2_dims). Only the code row is charged — the query was charged by
+/// warp_sq8_prepare.
+inline float warp_sq8_l2_dims(Warp& w, const kernels::Sq8Query& q,
+                              std::span<const std::uint8_t> code) {
+  const float dist = kernels::ops().sq8_l2_one(q, code.data());
+  Stats& s = w.stats();
+  ++s.distance_evals;
+  // Dequantize (mul+add) + diff + square-accumulate per dimension, then the
+  // same 5-step shuffle reduction as the fp32 pair kernel.
+  s.flops += 4 * q.dim + kWarpSize;
+  s.warp_collectives += 5;
+  w.count_read(q.dim * sizeof(std::uint8_t));
+  return fault_corrupt_distance(dist);
+}
+
+/// Candidate-parallel shape: each active lane owns one code row (the sq8
+/// analogue of warp_l2_batch). `code(id)` must return point id's code row;
+/// `terms_by_id`, when non-empty, is the dataset-wide code-term cache
+/// (kernels::sq8_code_terms) the SIMD backends use for the expanded form
+/// (the strict backend ignores it).
+template <typename CodeFn>
+inline Lanes<float> warp_sq8_l2_batch(Warp& w, const kernels::Sq8Query& q,
+                                      const Lanes<std::uint32_t>& ids,
+                                      const Lanes<bool>& active, CodeFn&& code,
+                                      std::span<const float> terms_by_id = {}) {
+  const std::uint8_t* rows[kWarpSize];
+  float lane_terms[kWarpSize];
+  float dists[kWarpSize];
+  std::uint64_t n_active = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    if (!active[l]) continue;
+    std::span<const std::uint8_t> r = code(ids[l]);
+    rows[n_active] = r.data();
+    if (!terms_by_id.empty()) lane_terms[n_active] = terms_by_id[ids[l]];
+    ++n_active;
+  }
+  Lanes<float> out{};
+  if (n_active > 0) {
+    kernels::ops().sq8_l2_batch(q, rows,
+                                terms_by_id.empty() ? nullptr : lane_terms,
+                                n_active, dists);
+    std::uint64_t k = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (!active[l]) continue;
+      out[l] = fault_corrupt_distance(dists[k++]);
+    }
+  }
+  Stats& s = w.stats();
+  s.distance_evals += n_active;
+  s.flops += 4 * q.dim * n_active;
+  // Code rows are 1 byte/dim; the prepared query is register/scratch
+  // resident and was charged at preparation time.
+  if (n_active > 0) {
+    w.count_read(n_active * q.dim * sizeof(std::uint8_t));
   }
   return out;
 }
