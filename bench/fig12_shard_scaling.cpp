@@ -1,0 +1,107 @@
+// Fig. 12 (extension) — sharded build orchestration: cost and quality of
+// splitting one build across a manager/worker campaign.
+//
+// TimeVsShardCount: the same dataset built as 1, 4, and 16 shards (merged +
+// stitched). More shards shrink each job (intra-shard build cost drops
+// superlinearly with points-per-shard) but push more neighbors across shard
+// boundaries, so the stitch round and the recall gap versus the monolithic
+// graph are the quantities to watch.
+//
+// TimeVsLossRate: a fixed 8-shard campaign under rising injected worker-loss
+// probability. The retry/salvage machinery must converge to the bit-identical
+// merged graph at every rate; what the sweep measures is the wall-clock and
+// attempt overhead the fault tolerance costs.
+
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "shard/manager.hpp"
+
+namespace wknng::bench {
+namespace {
+
+constexpr std::size_t kK = 10;
+const data::DatasetSpec kSpec = clustered(20000, 32);
+
+shard::ShardBuildParams campaign(std::size_t shards,
+                                 const std::string& prefix) {
+  shard::ShardBuildParams p;
+  p.build.k = kK;
+  p.build.strategy = core::Strategy::kTiled;
+  p.build.num_trees = 4;
+  p.build.leaf_size = 48;
+  p.build.refine_iters = 2;
+  p.build.seed = 99;
+  p.partition.shards = shards;
+  p.workers = 4;
+  p.artifact_prefix = prefix;
+  return p;
+}
+
+std::string scratch_prefix(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / "wknng_fig12";
+  std::filesystem::create_directories(dir);
+  return (dir / tag).string();
+}
+
+void report_campaign(benchmark::State& state,
+                     const shard::ShardBuildResult& r) {
+  state.counters["recall"] = sampled_recall(r.merged, kSpec, kK);
+  state.counters["build_s"] = r.report.build_seconds;
+  state.counters["stitch_s"] = r.report.stitch_seconds;
+  state.counters["boundary"] = static_cast<double>(r.report.boundary_points);
+  state.counters["stitched"] = static_cast<double>(r.report.stitched_edges);
+  state.counters["losses"] = static_cast<double>(r.report.losses_total);
+  state.counters["retries"] = static_cast<double>(r.report.retries_total);
+  state.counters["quarantined"] =
+      static_cast<double>(r.report.quarantined_shards);
+}
+
+void BM_TimeVsShardCount(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  const auto p =
+      campaign(shards, scratch_prefix("count" + std::to_string(shards)));
+  for (auto _ : state) {
+    const shard::ShardBuildResult r = shard::build_sharded_knng(pool(), pts, p);
+    report_campaign(state, r);
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.SetItemsProcessed(state.iterations() * pts.rows());
+}
+
+void BM_TimeVsLossRate(benchmark::State& state) {
+  const auto loss_pct = static_cast<std::size_t>(state.range(0));
+  const FloatMatrix& pts = dataset(kSpec);
+  auto p = campaign(8, scratch_prefix("loss" + std::to_string(loss_pct)));
+  p.worker_loss.enabled = loss_pct > 0;
+  p.worker_loss.site = simt::FaultSite::kWarpAbort;
+  p.worker_loss.seed = 3;
+  p.worker_loss.probability = static_cast<double>(loss_pct) / 100.0;
+  p.max_retries = 3;
+  for (auto _ : state) {
+    const shard::ShardBuildResult r = shard::build_sharded_knng(pool(), pts, p);
+    report_campaign(state, r);
+  }
+  state.counters["loss_pct"] = static_cast<double>(loss_pct);
+  state.SetItemsProcessed(state.iterations() * pts.rows());
+}
+
+void register_all() {
+  for (long shards : {1, 4, 16}) {
+    benchmark::RegisterBenchmark("Fig12/TimeVsShardCount", BM_TimeVsShardCount)
+        ->Arg(shards)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+  for (long pct : {0, 10, 20}) {
+    benchmark::RegisterBenchmark("Fig12/TimeVsLossRate", BM_TimeVsLossRate)
+        ->Arg(pct)->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace wknng::bench
+
+BENCHMARK_MAIN();

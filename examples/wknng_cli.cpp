@@ -47,6 +47,31 @@
 //   --resume PATH        resume a build from a checkpoint (same params + data)
 //   --retries N          bucket/launch retries before recording a failure
 //                        (default 3)
+//   --shards N           build through the fault-tolerant sharded
+//                        orchestrator with N shards (0 = monolithic build,
+//                        the default); the merged+stitched graph feeds every
+//                        downstream flag (--out, --truth, --serve, ...)
+//   --shard-workers N    concurrent shard-build workers (default 2)
+//   --shard-retries N    per-shard retry budget after worker losses
+//                        (default 2; a loss-immune salvage attempt still
+//                        runs before a shard is quarantined)
+//   --speculate          launch a speculative twin for straggler jobs
+//                        (first completion wins, deterministically)
+//   --shard-loss SPEC    deterministic worker-loss campaign,
+//                        site:seed[:probability] (same site names as
+//                        --inject); losses fire at slice boundaries only,
+//                        so retried builds stay bit-identical
+//   --shard-stall        injected losses stall silently (heartbeats stop)
+//                        instead of raising; requires --shard-heartbeat-ms
+//                        or --speculate to declare them
+//   --shard-heartbeat-ms N  missed-heartbeat watchdog timeout (0 = off)
+//   --shard-partitioner P   kmeans|random corpus split (default kmeans)
+//   --shard-artifacts PREFIX  per-shard checkpoint/manifest naming root
+//                        (default: <--out>.shards, or wknng_cli.shards)
+//   --shard-resume       resume a killed campaign from its manifest and
+//                        published per-shard checkpoints
+//   --shard-top-p N      shards probed per query when routing --queries
+//                        through the sharded index (default 2)
 //   --inject SPEC        deterministic fault injection campaign,
 //                        site:seed[:probability[:max_faults]] with site in
 //                        scratch-alloc|warp-abort|lock-timeout|
@@ -128,6 +153,17 @@ struct Options {
   std::string resume;        // resume a build from this checkpoint
   std::size_t retries = 3;   // bucket/launch retries before giving up
   std::string inject;        // fault-injection spec (site:seed[:p[:max]])
+  std::size_t shards = 0;            // sharded build when > 0
+  std::size_t shard_workers = 2;     // concurrent shard-build workers
+  std::size_t shard_retries = 2;     // per-shard retry budget
+  bool speculate = false;            // straggler twins
+  std::string shard_loss;            // worker-loss spec (site:seed[:p])
+  bool shard_stall = false;          // losses stall instead of raising
+  std::uint64_t shard_heartbeat_ms = 0;  // watchdog timeout (0 = off)
+  std::string shard_partitioner = "kmeans";  // kmeans|random
+  std::string shard_artifacts;       // checkpoint/manifest prefix
+  bool shard_resume = false;         // resume campaign from manifest
+  std::size_t shard_top_p = 2;       // router fan-out for --queries
   bool serve = false;                  // run the serving engine + loadgen
   std::size_t serve_requests = 1000;   // loadgen request count
   std::string serve_mode = "closed";   // closed|open
@@ -154,6 +190,10 @@ int usage(const char* argv0) {
                " [--out-ivecs g.ivecs] [--truth gt.ivecs] [--sample N]"
                " [--report] [--threads N] [--deadline S] [--checkpoint PATH]"
                " [--resume PATH] [--retries N] [--inject site:seed[:p[:max]]]"
+               " [--shards N] [--shard-workers N] [--shard-retries N]"
+               " [--speculate] [--shard-loss site:seed[:p]] [--shard-stall]"
+               " [--shard-heartbeat-ms N] [--shard-partitioner kmeans|random]"
+               " [--shard-artifacts PREFIX] [--shard-resume] [--shard-top-p N]"
                " [--serve] [--serve-requests N] [--serve-mode closed|open]"
                " [--serve-rate QPS] [--serve-concurrency N] [--serve-batch N]"
                " [--serve-delay-us N] [--serve-deadline-us N]"
@@ -203,6 +243,17 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (flag == "--resume") opt.resume = value();
     else if (flag == "--retries") opt.retries = std::strtoull(value(), nullptr, 10);
     else if (flag == "--inject") opt.inject = value();
+    else if (flag == "--shards") opt.shards = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--shard-workers") opt.shard_workers = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--shard-retries") opt.shard_retries = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--speculate") opt.speculate = true;
+    else if (flag == "--shard-loss") opt.shard_loss = value();
+    else if (flag == "--shard-stall") opt.shard_stall = true;
+    else if (flag == "--shard-heartbeat-ms") opt.shard_heartbeat_ms = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--shard-partitioner") opt.shard_partitioner = value();
+    else if (flag == "--shard-artifacts") opt.shard_artifacts = value();
+    else if (flag == "--shard-resume") opt.shard_resume = true;
+    else if (flag == "--shard-top-p") opt.shard_top_p = std::strtoull(value(), nullptr, 10);
     else if (flag == "--serve") opt.serve = true;
     else if (flag == "--serve-requests") opt.serve_requests = std::strtoull(value(), nullptr, 10);
     else if (flag == "--serve-mode") opt.serve_mode = value();
@@ -360,6 +411,7 @@ int main(int argc, char** argv) {
     }
 
     core::BuildResult result;
+    std::optional<shard::ShardBuildResult> sharded;
     if (!opt->load.empty()) {
       result.graph = data::read_knng(opt->load);
       WKNNG_CHECK_MSG(result.graph.num_points() == points.rows(),
@@ -368,6 +420,56 @@ int main(int argc, char** argv) {
                                           << points.rows());
       std::printf("loaded graph %s (k=%zu)\n", opt->load.c_str(),
                   result.graph.k());
+    } else if (opt->shards > 0) {
+      // Sharded mode: the fault-tolerant manager/worker orchestrator builds
+      // one job per shard, then merges and stitches; the merged graph flows
+      // into every downstream path exactly like a monolithic build.
+      shard::ShardBuildParams sp;
+      sp.build = params;
+      sp.partition.shards = opt->shards;
+      sp.partition.partitioner =
+          shard::partitioner_from_name(opt->shard_partitioner);
+      sp.partition.seed = opt->seed;
+      sp.workers = opt->shard_workers;
+      sp.max_retries = opt->shard_retries;
+      sp.speculate = opt->speculate;
+      sp.loss_stall = opt->shard_stall;
+      sp.heartbeat_timeout_ms = opt->shard_heartbeat_ms;
+      if (!opt->shard_loss.empty()) {
+        sp.worker_loss = simt::fault_spec_from_string(opt->shard_loss);
+        sp.worker_loss.enabled = true;
+      }
+      sp.artifact_prefix = !opt->shard_artifacts.empty()
+                               ? opt->shard_artifacts
+                               : (!opt->out.empty() ? opt->out + ".shards"
+                                                    : "wknng_cli.shards");
+      sp.resume = opt->shard_resume;
+      sharded = shard::build_sharded_knng(pool, points, sp);
+      result.graph = std::move(sharded->merged);
+      const shard::ShardBuildReport& srep = sharded->report;
+      std::printf(
+          "sharded build: %zu shards (%s%s), %zu workers, %.1f ms total "
+          "(partition %.1f | build %.1f | stitch %.1f)\n",
+          srep.shards,
+          shard::partitioner_name(sharded->partition.effective),
+          srep.partition_fallback ? ", degraded from kmeans" : "",
+          srep.workers, srep.total_seconds * 1e3,
+          srep.partition_seconds * 1e3, srep.build_seconds * 1e3,
+          srep.stitch_seconds * 1e3);
+      std::printf(
+          "  losses %llu, retries %llu, speculations %llu, watchdog kills "
+          "%llu, heartbeats %llu, quarantined %llu\n",
+          static_cast<unsigned long long>(srep.losses_total),
+          static_cast<unsigned long long>(srep.retries_total),
+          static_cast<unsigned long long>(srep.speculations_total),
+          static_cast<unsigned long long>(srep.watchdog_kills_total),
+          static_cast<unsigned long long>(srep.heartbeats_total),
+          static_cast<unsigned long long>(srep.quarantined_shards));
+      std::printf("  stitch: %llu boundary points, %llu edges added\n",
+                  static_cast<unsigned long long>(srep.boundary_points),
+                  static_cast<unsigned long long>(srep.stitched_edges));
+      if (srep.degraded) std::printf("health: DEGRADED\n");
+      degraded = srep.degraded;
     } else {
       const core::KnngBuilder builder(pool, params);
       if (!opt->resume.empty()) {
@@ -424,6 +526,7 @@ int main(int argc, char** argv) {
       obs::MetricsRegistry reg;
       obs::register_build_info(reg, obs::build_info());
       core::register_build_metrics(reg, result);
+      if (sharded) shard::register_shard_metrics(reg, sharded->report);
       if (sm != nullptr) serve::register_metrics(reg, *sm);
       std::ofstream mout(opt->metrics_out);
       WKNNG_CHECK_MSG(mout.good(), "cannot write " << opt->metrics_out);
@@ -553,6 +656,41 @@ int main(int argc, char** argv) {
       // Registry export must happen while the engine (and its linked live
       // instruments) is still alive.
       write_metrics(&engine.metrics());
+    } else if (!opt->queries.empty() && sharded) {
+      // Sharded index: route each query to its top-p shards by centroid
+      // distance and k-way-merge the per-shard answers.
+      const FloatMatrix queries = data::read_fvecs(opt->queries);
+      WKNNG_CHECK_MSG(queries.cols() == points.cols(),
+                      "query dim " << queries.cols() << " != base dim "
+                                   << points.cols());
+      shard::RouterParams rp;
+      rp.top_p = opt->shard_top_p;
+      rp.search.k = opt->k;
+      rp.search.beam = opt->beam;
+      rp.search.seed = opt->seed;
+      const shard::ShardRouter router(pool, *sharded, rp);
+      shard::RouteStats rstats;
+      Timer stimer;
+      const KnnGraph found = router.route_batch(queries, &rstats);
+      std::printf("routed %zu queries in %.2f ms (%.3f ms/query, "
+                  "top-%zu of %zu shards, %llu probes)\n",
+                  queries.rows(), stimer.elapsed_ms(),
+                  stimer.elapsed_ms() / static_cast<double>(queries.rows()),
+                  rp.top_p, router.routable().size(),
+                  static_cast<unsigned long long>(rstats.probes));
+      if (!opt->out_results.empty()) {
+        Matrix<std::int32_t> ids(queries.rows(), opt->k);
+        for (std::size_t qi = 0; qi < queries.rows(); ++qi) {
+          auto row = found.row(qi);
+          for (std::size_t s_i = 0; s_i < opt->k; ++s_i) {
+            ids(qi, s_i) = row[s_i].id == KnnGraph::kInvalid
+                               ? -1
+                               : static_cast<std::int32_t>(row[s_i].id);
+          }
+        }
+        data::write_ivecs(opt->out_results, ids);
+        std::printf("wrote %s\n", opt->out_results.c_str());
+      }
     } else if (!opt->queries.empty()) {
       const FloatMatrix queries = data::read_fvecs(opt->queries);
       WKNNG_CHECK_MSG(queries.cols() == points.cols(),

@@ -52,6 +52,23 @@ class CheckpointMismatchError : public Error {
   using Error::Error;
 };
 
+/// A persisted artifact (graph, checkpoint, sq8 codes, shard manifest) could
+/// not be read or written: missing file, short read, size/header mismatch,
+/// or trailing garbage. Every data/graph_io read path throws this instead of
+/// reading past a truncated buffer.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A shard build worker was lost mid-job: its heartbeat stopped and the
+/// manager declared it dead (src/shard). The job is retried from its last
+/// checkpoint by another worker.
+class WorkerLostError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// The SQ8 codec cannot be trained on the given set: it is empty, contains
 /// non-finite values, or has zero variance in every dimension (all points
 /// identical), so no meaningful per-dimension range exists.

@@ -276,10 +276,17 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
   cur_phase.emplace(tr, ckpt == nullptr ? "forest" : "restore", acc);
 
   // Opt-in deterministic fault injection for the whole build (one injector
-  // at a time process-wide, like the race detector below).
+  // at a time process-wide, like the race detector below). When a caller —
+  // e.g. a shard::ShardManager running many builds under one campaign — has
+  // already installed an injector, the build runs under the ambient one
+  // instead of nesting a second (ScopedFaultInjection rejects nesting), and
+  // faults_injected reports only this build's share of its count.
   std::optional<simt::FaultInjector> injector;
   std::optional<simt::ScopedFaultInjection> injection;
-  if (params_.faults.enabled) {
+  simt::FaultInjector* ambient = simt::active_fault_injector();
+  const std::uint64_t ambient_injected_before =
+      ambient != nullptr ? ambient->injected() : 0;
+  if (params_.faults.enabled && ambient == nullptr) {
     injector.emplace(params_.faults);
     injection.emplace(*injector);
   }
@@ -587,6 +594,9 @@ BuildResult KnngBuilder::run(const FloatMatrix& points,
   if (injector) {
     injection.reset();
     result.health.faults_injected = injector->injected();
+  } else if (ambient != nullptr) {
+    result.health.faults_injected =
+        ambient->injected() - ambient_injected_before;
   }
   result.health.degraded =
       result.health.degraded || !quarantined.empty() ||

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -16,6 +18,7 @@ namespace {
 constexpr char kMagic[8] = {'W', 'K', 'N', 'N', 'G', '1', '\0', '\0'};
 constexpr char kCkptMagic[8] = {'W', 'K', 'N', 'N', 'G', 'C', 'P', '1'};
 constexpr char kSq8Magic[8] = {'W', 'K', 'N', 'N', 'G', 'S', 'Q', '8'};
+constexpr char kManifestMagic[] = "WKNNGSHARDS1";
 constexpr std::uint32_t kSq8CodecVersion = 1;
 
 struct FileCloser {
@@ -25,11 +28,35 @@ struct FileCloser {
 };
 using File = std::unique_ptr<std::FILE, FileCloser>;
 
-/// Byte count of one serialized SQ8 payload (header + codebook + codes).
-long sq8_payload_bytes(std::uint64_t n, std::uint64_t dim) {
-  return static_cast<long>(sizeof(kSq8Magic) + sizeof(std::uint32_t) +
-                           2 * sizeof(std::uint64_t) +
-                           2 * dim * sizeof(float) + n * dim);
+[[noreturn]] void throw_io(const std::string& path, const std::string& what) {
+  throw IoError(path + ": " + what);
+}
+
+/// Reads exactly `count` items of `size` bytes or throws a typed IoError
+/// naming what was being read — the single short-read gate every reader in
+/// this file goes through.
+void read_exact(std::FILE* f, const std::string& path, void* dst,
+                std::size_t size, std::size_t count, const char* what) {
+  if (std::fread(dst, size, count, f) != count) {
+    throw_io(path, std::string("truncated ") + what);
+  }
+}
+
+/// Total file size in bytes (position is left at `restore_to`).
+long file_bytes(std::FILE* f, const std::string& path, long restore_to) {
+  if (std::fseek(f, 0, SEEK_END) != 0) throw_io(path, "seek failed");
+  const long bytes = std::ftell(f);
+  if (bytes < 0) throw_io(path, "tell failed");
+  if (std::fseek(f, restore_to, SEEK_SET) != 0) throw_io(path, "seek failed");
+  return bytes;
+}
+
+/// Byte count of one serialized SQ8 payload (header + codebook + codes),
+/// computed wide so a garbage header cannot overflow the expectation.
+__uint128_t sq8_payload_bytes(std::uint64_t n, std::uint64_t dim) {
+  return __uint128_t(sizeof(kSq8Magic)) + sizeof(std::uint32_t) +
+         2 * sizeof(std::uint64_t) +
+         __uint128_t(2) * dim * sizeof(float) + __uint128_t(n) * dim;
 }
 
 void write_sq8_payload(std::FILE* f, const std::string& path,
@@ -54,41 +81,54 @@ void write_sq8_payload(std::FILE* f, const std::string& path,
   }
 }
 
-/// Reads one SQ8 payload starting at the current file position. The caller
-/// has already validated that the file holds sq8_payload_bytes(n, dim) from
-/// here (n and dim read out of the payload header by peeking, or implied by
-/// an enclosing header).
-kernels::Sq8Matrix read_sq8_payload(std::FILE* f, const std::string& path) {
+/// Reads one SQ8 payload starting at the current file position. `remaining`
+/// is the byte count from the current position to EOF: the header's (n, dim)
+/// is validated against it *before* any code storage is allocated, so a
+/// garbage trailer can neither trigger a huge allocation nor a read past the
+/// buffer.
+kernels::Sq8Matrix read_sq8_payload(std::FILE* f, const std::string& path,
+                                    std::uint64_t remaining) {
+  if (remaining < sizeof(kSq8Magic) + sizeof(std::uint32_t) +
+                      2 * sizeof(std::uint64_t)) {
+    throw_io(path, "truncated sq8 header");
+  }
   char magic[8] = {};
-  WKNNG_CHECK_MSG(std::fread(magic, 1, sizeof(magic), f) == sizeof(magic),
-                  path << ": truncated sq8 header");
-  WKNNG_CHECK_MSG(std::memcmp(magic, kSq8Magic, sizeof(kSq8Magic)) == 0,
-                  path << ": not a WKNNGSQ8 payload");
+  read_exact(f, path, magic, 1, sizeof(magic), "sq8 header");
+  if (std::memcmp(magic, kSq8Magic, sizeof(kSq8Magic)) != 0) {
+    throw_io(path, "not a WKNNGSQ8 payload");
+  }
   std::uint32_t version = 0;
-  WKNNG_CHECK_MSG(std::fread(&version, sizeof(version), 1, f) == 1,
-                  path << ": truncated sq8 header");
-  WKNNG_CHECK_MSG(version == kSq8CodecVersion,
-                  path << ": unsupported sq8 codec version " << version
-                       << " (this build reads version " << kSq8CodecVersion
-                       << ")");
+  read_exact(f, path, &version, sizeof(version), 1, "sq8 header");
+  if (version != kSq8CodecVersion) {
+    std::ostringstream os;
+    os << "unsupported sq8 codec version " << version
+       << " (this build reads version " << kSq8CodecVersion << ")";
+    throw_io(path, os.str());
+  }
   std::uint64_t n = 0, dim = 0;
-  WKNNG_CHECK_MSG(std::fread(&n, sizeof(n), 1, f) == 1,
-                  path << ": truncated sq8 header");
-  WKNNG_CHECK_MSG(std::fread(&dim, sizeof(dim), 1, f) == 1,
-                  path << ": truncated sq8 header");
-  WKNNG_CHECK_MSG(n > 0 && dim > 0 && n < (1ULL << 32) && dim < (1ULL << 32),
-                  path << ": implausible sq8 header n=" << n
-                       << " dim=" << dim);
+  read_exact(f, path, &n, sizeof(n), 1, "sq8 header");
+  read_exact(f, path, &dim, sizeof(dim), 1, "sq8 header");
+  if (n == 0 || dim == 0 || n >= (1ULL << 32) || dim >= (1ULL << 32)) {
+    std::ostringstream os;
+    os << "implausible sq8 header n=" << n << " dim=" << dim;
+    throw_io(path, os.str());
+  }
+  if (sq8_payload_bytes(n, dim) > __uint128_t(remaining)) {
+    std::ostringstream os;
+    os << "sq8 payload truncated: header says n=" << n << " dim=" << dim
+       << " but only " << remaining << " bytes remain";
+    throw_io(path, os.str());
+  }
   kernels::Sq8Matrix m;
   m.codebook.bias.resize(dim);
   m.codebook.scale.resize(dim);
-  WKNNG_CHECK(std::fread(m.codebook.bias.data(), sizeof(float), dim, f) ==
-              dim);
-  WKNNG_CHECK(std::fread(m.codebook.scale.data(), sizeof(float), dim, f) ==
-              dim);
+  read_exact(f, path, m.codebook.bias.data(), sizeof(float), dim,
+             "sq8 codebook bias");
+  read_exact(f, path, m.codebook.scale.data(), sizeof(float), dim,
+             "sq8 codebook scale");
   m.codes.resize(n, dim);
   for (std::size_t i = 0; i < n; ++i) {
-    WKNNG_CHECK(std::fread(m.codes.row(i).data(), 1, dim, f) == dim);
+    read_exact(f, path, m.codes.row(i).data(), 1, dim, "sq8 code rows");
   }
   return m;
 }
@@ -97,7 +137,7 @@ kernels::Sq8Matrix read_sq8_payload(std::FILE* f, const std::string& path) {
 
 void write_knng(const std::string& path, const KnnGraph& g) {
   File f(std::fopen(path.c_str(), "wb"));
-  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path << " for writing");
+  if (f == nullptr) throw_io(path, "cannot open for writing");
 
   WKNNG_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) == sizeof(kMagic));
   const std::uint64_t n = g.num_points();
@@ -113,36 +153,43 @@ void write_knng(const std::string& path, const KnnGraph& g) {
 
 KnnGraph read_knng(const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
-  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path);
+  if (f == nullptr) throw_io(path, "cannot open");
 
   char magic[8] = {};
-  WKNNG_CHECK_MSG(std::fread(magic, 1, sizeof(magic), f.get()) == sizeof(magic),
-                  path << ": truncated header");
-  WKNNG_CHECK_MSG(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
-                  path << ": not a WKNNG1 file");
+  read_exact(f.get(), path, magic, 1, sizeof(magic), "header");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw_io(path, "not a WKNNG1 file");
+  }
 
   std::uint64_t n = 0, k = 0;
-  WKNNG_CHECK(std::fread(&n, sizeof(n), 1, f.get()) == 1);
-  WKNNG_CHECK(std::fread(&k, sizeof(k), 1, f.get()) == 1);
-  WKNNG_CHECK_MSG(k > 0 && n > 0 && k < (1ULL << 32) && n < (1ULL << 32),
-                  path << ": implausible header n=" << n << " k=" << k);
+  read_exact(f.get(), path, &n, sizeof(n), 1, "header");
+  read_exact(f.get(), path, &k, sizeof(k), 1, "header");
+  if (n == 0 || k == 0 || n >= (1ULL << 32) || k >= (1ULL << 32)) {
+    std::ostringstream os;
+    os << "implausible header n=" << n << " k=" << k;
+    throw_io(path, os.str());
+  }
 
-  // Validate payload size before reading.
+  // Validate payload size before allocating anything header-sized. The
+  // expectation is computed wide so a hostile header cannot overflow it into
+  // an accidental match.
   const long header = 8 + 2 * static_cast<long>(sizeof(std::uint64_t));
-  WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
-  const long bytes = std::ftell(f.get());
-  WKNNG_CHECK_MSG(
-      bytes == header + static_cast<long>(n * k * sizeof(Neighbor)),
-      path << ": size " << bytes << " does not match header (n=" << n
-           << ", k=" << k << ")");
-  WKNNG_CHECK(std::fseek(f.get(), header, SEEK_SET) == 0);
+  const long bytes = file_bytes(f.get(), path, header);
+  const __uint128_t expect =
+      __uint128_t(header) + __uint128_t(n) * k * sizeof(Neighbor);
+  if (__uint128_t(bytes) != expect) {
+    std::ostringstream os;
+    os << "size " << bytes << " does not match header (n=" << n
+       << ", k=" << k << ")";
+    throw_io(path, os.str());
+  }
 
   KnnGraph g(n, k);
   for (std::size_t i = 0; i < n; ++i) {
     auto row = g.row(i);
-    WKNNG_CHECK(std::fread(row.data(), sizeof(Neighbor), k, f.get()) == k);
+    read_exact(f.get(), path, row.data(), sizeof(Neighbor), k, "graph rows");
   }
-  WKNNG_CHECK_MSG(g.check_invariants(), path << ": graph invariants violated");
+  if (!g.check_invariants()) throw_io(path, "graph invariants violated");
   return g;
 }
 
@@ -153,7 +200,7 @@ void write_checkpoint(const std::string& path, const BuildCheckpoint& c) {
   const std::string tmp = path + ".tmp";
   {
     File f(std::fopen(tmp.c_str(), "wb"));
-    WKNNG_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
+    if (f == nullptr) throw_io(tmp, "cannot open for writing");
 
     WKNNG_CHECK(std::fwrite(kCkptMagic, 1, sizeof(kCkptMagic), f.get()) ==
                 sizeof(kCkptMagic));
@@ -181,81 +228,89 @@ void write_checkpoint(const std::string& path, const BuildCheckpoint& c) {
   }
   // Publish atomically so an interrupted build never leaves a torn file at
   // the checkpoint path.
-  WKNNG_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                  "cannot rename " << tmp << " to " << path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_io(tmp, "cannot rename to " + path);
+  }
 }
 
 BuildCheckpoint read_checkpoint(const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
-  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path);
+  if (f == nullptr) throw_io(path, "cannot open");
 
   char magic[8] = {};
-  WKNNG_CHECK_MSG(std::fread(magic, 1, sizeof(magic), f.get()) == sizeof(magic),
-                  path << ": truncated checkpoint header");
-  WKNNG_CHECK_MSG(std::memcmp(magic, kCkptMagic, sizeof(kCkptMagic)) == 0,
-                  path << ": not a WKNNGCP1 checkpoint");
+  read_exact(f.get(), path, magic, 1, sizeof(magic), "checkpoint header");
+  if (std::memcmp(magic, kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    throw_io(path, "not a WKNNGCP1 checkpoint");
+  }
 
   BuildCheckpoint c;
-  WKNNG_CHECK_MSG(std::fread(&c.signature, sizeof(c.signature), 1, f.get()) == 1,
-                  path << ": truncated checkpoint header");
-  WKNNG_CHECK_MSG(std::fread(&c.n, sizeof(c.n), 1, f.get()) == 1,
-                  path << ": truncated checkpoint header");
-  WKNNG_CHECK_MSG(std::fread(&c.k, sizeof(c.k), 1, f.get()) == 1,
-                  path << ": truncated checkpoint header");
-  WKNNG_CHECK_MSG(
-      std::fread(&c.rounds_done, sizeof(c.rounds_done), 1, f.get()) == 1,
-      path << ": truncated checkpoint header");
-  WKNNG_CHECK_MSG(std::fread(&c.effective_strategy,
-                             sizeof(c.effective_strategy), 1, f.get()) == 1,
-                  path << ": truncated checkpoint header");
+  read_exact(f.get(), path, &c.signature, sizeof(c.signature), 1,
+             "checkpoint header");
+  read_exact(f.get(), path, &c.n, sizeof(c.n), 1, "checkpoint header");
+  read_exact(f.get(), path, &c.k, sizeof(c.k), 1, "checkpoint header");
+  read_exact(f.get(), path, &c.rounds_done, sizeof(c.rounds_done), 1,
+             "checkpoint header");
+  read_exact(f.get(), path, &c.effective_strategy,
+             sizeof(c.effective_strategy), 1, "checkpoint header");
   std::uint64_t nq = 0;
-  WKNNG_CHECK_MSG(std::fread(&nq, sizeof(nq), 1, f.get()) == 1,
-                  path << ": truncated checkpoint header");
-  WKNNG_CHECK_MSG(c.n > 0 && c.k > 0 && c.n < (1ULL << 32) &&
-                      c.k < (1ULL << 32) && nq <= c.n,
-                  path << ": implausible checkpoint header n=" << c.n
-                       << " k=" << c.k << " quarantined=" << nq);
+  read_exact(f.get(), path, &nq, sizeof(nq), 1, "checkpoint header");
+  if (c.n == 0 || c.k == 0 || c.n >= (1ULL << 32) || c.k >= (1ULL << 32) ||
+      nq > c.n) {
+    std::ostringstream os;
+    os << "implausible checkpoint header n=" << c.n << " k=" << c.k
+       << " quarantined=" << nq;
+    throw_io(path, os.str());
+  }
 
-  // Validate payload size before allocating anything header-sized.
+  // Validate payload size before allocating anything header-sized; the
+  // expectation is computed wide so a hostile header cannot overflow it.
   const long header = static_cast<long>(
       sizeof(kCkptMagic) + 3 * sizeof(std::uint64_t) +
       2 * sizeof(std::uint32_t) + sizeof(std::uint64_t));
-  const long payload = static_cast<long>(nq * sizeof(std::uint32_t) +
-                                         c.n * c.k * sizeof(std::uint64_t));
-  WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
-  const long bytes = std::ftell(f.get());
-  // Two valid sizes: the classic layout, or classic + the sq8 code trailer
-  // a compression=sq8 build appends. Anything else is corruption. The
-  // trailer's own (n, dim) header is validated after the fixed part (dim is
-  // not knowable from the checkpoint header alone).
-  const bool has_sq8 = bytes > header + payload;
-  WKNNG_CHECK_MSG(bytes == header + payload || has_sq8,
-                  path << ": size " << bytes
-                       << " does not match checkpoint header (n=" << c.n
-                       << ", k=" << c.k << ", quarantined=" << nq << ")");
-  WKNNG_CHECK(std::fseek(f.get(), header, SEEK_SET) == 0);
+  const __uint128_t payload = __uint128_t(nq) * sizeof(std::uint32_t) +
+                              __uint128_t(c.n) * c.k * sizeof(std::uint64_t);
+  const long bytes = file_bytes(f.get(), path, header);
+  // Two valid sizes: the classic layout, or classic + the sq8 code trailer a
+  // compression=sq8 build appends. A *shorter* file is truncated; a longer
+  // one must parse as a complete, exactly-sized sq8 trailer — any other
+  // trailing bytes are corruption, rejected before they are interpreted.
+  if (__uint128_t(bytes) < __uint128_t(header) + payload) {
+    std::ostringstream os;
+    os << "size " << bytes << " does not match checkpoint header (n=" << c.n
+       << ", k=" << c.k << ", quarantined=" << nq << ")";
+    throw_io(path, os.str());
+  }
+  const std::uint64_t trailer_bytes = static_cast<std::uint64_t>(
+      __uint128_t(bytes) - __uint128_t(header) - payload);
 
   c.quarantined.resize(nq);
   if (nq != 0) {
-    WKNNG_CHECK(std::fread(c.quarantined.data(), sizeof(std::uint32_t), nq,
-                           f.get()) == nq);
+    read_exact(f.get(), path, c.quarantined.data(), sizeof(std::uint32_t), nq,
+               "checkpoint quarantine list");
   }
   c.sets.resize(c.n * c.k);
-  WKNNG_CHECK(std::fread(c.sets.data(), sizeof(std::uint64_t), c.sets.size(),
-                         f.get()) == c.sets.size());
+  read_exact(f.get(), path, c.sets.data(), sizeof(std::uint64_t),
+             c.sets.size(), "checkpoint k-NN sets");
   for (std::size_t i = 1; i < c.quarantined.size(); ++i) {
-    WKNNG_CHECK_MSG(c.quarantined[i - 1] < c.quarantined[i],
-                    path << ": quarantine list not sorted/unique");
+    if (!(c.quarantined[i - 1] < c.quarantined[i])) {
+      throw CheckpointMismatchError(path +
+                                    ": quarantine list not sorted/unique");
+    }
   }
-  if (has_sq8) {
-    kernels::Sq8Matrix m = read_sq8_payload(f.get(), path);
-    WKNNG_CHECK_MSG(
-        bytes == header + payload + sq8_payload_bytes(m.rows(), m.dim()),
-        path << ": size " << bytes
-             << " does not match checkpoint + sq8 trailer (n=" << c.n
-             << ", k=" << c.k << ", dim=" << m.dim() << ")");
-    WKNNG_CHECK_MSG(m.rows() == c.n, path << ": sq8 trailer has " << m.rows()
-                                          << " rows for n=" << c.n);
+  if (trailer_bytes != 0) {
+    kernels::Sq8Matrix m = read_sq8_payload(f.get(), path, trailer_bytes);
+    if (sq8_payload_bytes(m.rows(), m.dim()) != __uint128_t(trailer_bytes)) {
+      std::ostringstream os;
+      os << "trailing " << trailer_bytes
+         << " bytes do not match the sq8 trailer header (n=" << m.rows()
+         << ", dim=" << m.dim() << ")";
+      throw_io(path, os.str());
+    }
+    if (m.rows() != c.n) {
+      std::ostringstream os;
+      os << path << ": sq8 trailer has " << m.rows() << " rows for n=" << c.n;
+      throw CheckpointMismatchError(os.str());
+    }
     c.sq8 = std::make_shared<kernels::Sq8Matrix>(std::move(m));
   }
   return c;
@@ -265,23 +320,145 @@ void write_sq8(const std::string& path, const kernels::Sq8Matrix& m) {
   const std::string tmp = path + ".tmp";
   {
     File f(std::fopen(tmp.c_str(), "wb"));
-    WKNNG_CHECK_MSG(f != nullptr, "cannot open " << tmp << " for writing");
+    if (f == nullptr) throw_io(tmp, "cannot open for writing");
     write_sq8_payload(f.get(), tmp, m);
   }
-  WKNNG_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                  "cannot rename " << tmp << " to " << path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_io(tmp, "cannot rename to " + path);
+  }
 }
 
 kernels::Sq8Matrix read_sq8(const std::string& path) {
   File f(std::fopen(path.c_str(), "rb"));
-  WKNNG_CHECK_MSG(f != nullptr, "cannot open " << path);
-  kernels::Sq8Matrix m = read_sq8_payload(f.get(), path);
-  WKNNG_CHECK(std::fseek(f.get(), 0, SEEK_END) == 0);
-  const long bytes = std::ftell(f.get());
-  WKNNG_CHECK_MSG(bytes == sq8_payload_bytes(m.rows(), m.dim()),
-                  path << ": size " << bytes
-                       << " does not match sq8 header (n=" << m.rows()
-                       << ", dim=" << m.dim() << ")");
+  if (f == nullptr) throw_io(path, "cannot open");
+  const long bytes = file_bytes(f.get(), path, 0);
+  kernels::Sq8Matrix m =
+      read_sq8_payload(f.get(), path, static_cast<std::uint64_t>(bytes));
+  if (sq8_payload_bytes(m.rows(), m.dim()) != __uint128_t(bytes)) {
+    std::ostringstream os;
+    os << "size " << bytes << " does not match sq8 header (n=" << m.rows()
+       << ", dim=" << m.dim() << ")";
+    throw_io(path, os.str());
+  }
+  return m;
+}
+
+// --- Sharded-build artifacts ------------------------------------------------
+
+std::string shard_artifact_path(const std::string& prefix, std::size_t shard,
+                                const std::string& ext) {
+  std::ostringstream os;
+  os << prefix << ".shard" << shard << "." << ext;
+  return os.str();
+}
+
+void write_shard_manifest(const std::string& path, const ShardManifest& m) {
+  WKNNG_CHECK_MSG(m.artifacts.size() == m.num_shards,
+                  path << ": manifest lists " << m.artifacts.size()
+                       << " artifacts for " << m.num_shards << " shards");
+  WKNNG_CHECK_MSG(m.partitioner == "random" || m.partitioner == "kmeans",
+                  path << ": unknown partitioner '" << m.partitioner << "'");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw_io(tmp, "cannot open for writing");
+    out << kManifestMagic << "\n";
+    out << "n " << m.n << "\n";
+    out << "dim " << m.dim << "\n";
+    out << "k " << m.k << "\n";
+    out << "shards " << m.num_shards << "\n";
+    out << "partitioner " << m.partitioner << "\n";
+    out << "seed " << m.seed << "\n";
+    out << "hash " << m.partition_hash << "\n";
+    for (std::size_t s = 0; s < m.artifacts.size(); ++s) {
+      WKNNG_CHECK_MSG(!m.artifacts[s].empty() &&
+                          m.artifacts[s].find_first_of(" \n\r") ==
+                              std::string::npos,
+                      path << ": artifact name for shard " << s
+                           << " is empty or contains whitespace");
+      out << "artifact " << s << " " << m.artifacts[s] << "\n";
+    }
+    out.flush();
+    if (!out) throw_io(tmp, "write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_io(tmp, "cannot rename to " + path);
+  }
+}
+
+ShardManifest read_shard_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw_io(path, "cannot open");
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    throw_io(path, "not a WKNNGSHARDS1 manifest");
+  }
+
+  ShardManifest m;
+  const auto parse_u64 = [&](const std::string& text,
+                             const char* what) -> std::uint64_t {
+    std::uint64_t v = 0;
+    std::istringstream is(text);
+    if (!(is >> v) || !(is >> std::ws).eof()) {
+      throw_io(path, std::string("malformed ") + what + " value '" + text +
+                         "'");
+    }
+    return v;
+  };
+
+  // Fixed header fields, in order; a missing, reordered, or duplicated field
+  // is corruption.
+  const char* fields[] = {"n", "dim", "k", "shards", "partitioner", "seed",
+                          "hash"};
+  for (const char* field : fields) {
+    if (!std::getline(in, line)) {
+      throw_io(path, std::string("truncated manifest: missing ") + field);
+    }
+    std::istringstream is(line);
+    std::string key, value;
+    if (!(is >> key >> value) || key != field || !(is >> std::ws).eof()) {
+      throw_io(path, std::string("malformed manifest line '") + line +
+                         "' (expected '" + field + " <value>')");
+    }
+    if (std::string(field) == "n") m.n = parse_u64(value, field);
+    else if (std::string(field) == "dim") m.dim = parse_u64(value, field);
+    else if (std::string(field) == "k") m.k = parse_u64(value, field);
+    else if (std::string(field) == "shards")
+      m.num_shards = parse_u64(value, field);
+    else if (std::string(field) == "partitioner") m.partitioner = value;
+    else if (std::string(field) == "seed") m.seed = parse_u64(value, field);
+    else m.partition_hash = parse_u64(value, field);
+  }
+  if (m.partitioner != "random" && m.partitioner != "kmeans") {
+    throw_io(path, "unknown partitioner '" + m.partitioner + "'");
+  }
+  if (m.n == 0 || m.k == 0 || m.num_shards == 0 ||
+      m.num_shards >= (1ULL << 20) || m.num_shards > m.n) {
+    std::ostringstream os;
+    os << "implausible manifest header n=" << m.n << " k=" << m.k
+       << " shards=" << m.num_shards;
+    throw_io(path, os.str());
+  }
+
+  m.artifacts.resize(m.num_shards);
+  for (std::uint64_t s = 0; s < m.num_shards; ++s) {
+    if (!std::getline(in, line)) {
+      std::ostringstream os;
+      os << "truncated manifest: missing artifact line for shard " << s;
+      throw_io(path, os.str());
+    }
+    std::istringstream is(line);
+    std::string key, index, name;
+    if (!(is >> key >> index >> name) || key != "artifact" ||
+        !(is >> std::ws).eof() || parse_u64(index, "artifact index") != s) {
+      throw_io(path, "malformed artifact line '" + line + "'");
+    }
+    m.artifacts[s] = name;
+  }
+  // Anything after the last artifact line is trailing garbage.
+  while (std::getline(in, line)) {
+    if (!line.empty()) throw_io(path, "trailing garbage after manifest");
+  }
   return m;
 }
 

@@ -21,8 +21,16 @@ namespace wknng::data {
 ///
 /// read_knng validates the magic, the header against the file size, and the
 /// graph invariants (sorted rows, no self loops/duplicates), throwing
-/// wknng::Error on any mismatch — a corrupted cache must never flow silently
-/// into a pipeline.
+/// wknng::IoError on any mismatch — a corrupted cache must never flow
+/// silently into a pipeline.
+///
+/// Error contract (all readers in this file): a missing/unopenable file, a
+/// bad magic, an implausible header, a short read, a size mismatch, or
+/// trailing garbage throws the typed wknng::IoError *before* any
+/// header-sized allocation is trusted; checkpoint-specific inconsistencies
+/// (unsorted quarantine list, sq8 trailer shape not matching the header)
+/// throw wknng::CheckpointMismatchError. No reader ever asserts or reads
+/// past the end of a truncated buffer.
 void write_knng(const std::string& path, const KnnGraph& g);
 
 KnnGraph read_knng(const std::string& path);
@@ -91,5 +99,46 @@ BuildCheckpoint read_checkpoint(const std::string& path);
 void write_sq8(const std::string& path, const kernels::Sq8Matrix& m);
 
 kernels::Sq8Matrix read_sq8(const std::string& path);
+
+// --- Sharded-build artifacts (src/shard) -----------------------------------
+
+/// Canonical per-shard artifact path: "<prefix>.shard<index>.<ext>" — the
+/// naming every sharded-build job and its manifest agree on. `ext` is
+/// "ckpt" for the WKNNGCP1 job artifact and "knng" for a finished shard
+/// graph.
+std::string shard_artifact_path(const std::string& prefix, std::size_t shard,
+                                const std::string& ext);
+
+/// The manifest a sharded build writes next to its per-shard artifacts
+/// ("<prefix>.manifest"): enough to re-derive and *verify* the partition on
+/// resume, plus the artifact name of every shard job. Text format, one field
+/// per line:
+///
+///   WKNNGSHARDS1
+///   n <uint64>
+///   dim <uint64>
+///   k <uint64>
+///   shards <uint64>
+///   partitioner <random|kmeans>
+///   seed <uint64>
+///   hash <uint64>          (ShardPartition::hash() over the assignment)
+///   artifact <index> <filename>    (one line per shard, ascending index)
+///
+/// The write is atomic (tmp + rename). read_shard_manifest throws IoError on
+/// any malformed, truncated, or garbage-trailing input.
+struct ShardManifest {
+  std::uint64_t n = 0;
+  std::uint64_t dim = 0;
+  std::uint64_t k = 0;
+  std::uint64_t num_shards = 0;
+  std::string partitioner;        ///< "random" or "kmeans"
+  std::uint64_t seed = 0;
+  std::uint64_t partition_hash = 0;
+  std::vector<std::string> artifacts;  ///< per-shard checkpoint filenames
+};
+
+void write_shard_manifest(const std::string& path, const ShardManifest& m);
+
+ShardManifest read_shard_manifest(const std::string& path);
 
 }  // namespace wknng::data

@@ -18,6 +18,7 @@ namespace wknng::obs {
 inline constexpr std::uint32_t kTrackBuild = 0;
 inline constexpr std::uint32_t kTrackLaunch = 1;
 inline constexpr std::uint32_t kTrackServe = 2;
+inline constexpr std::uint32_t kTrackShard = 3;
 inline constexpr std::uint32_t kTrackWarpBase = 16;
 inline constexpr std::uint32_t kNumWarpTracks = 32;
 
@@ -31,6 +32,7 @@ enum class SpanSalt : std::uint64_t {
   kServeBatch = 5,
   kCheckpoint = 6,
   kInstant = 7,
+  kShardJob = 8,
 };
 
 /// One Chrome trace-event. `args` values are raw JSON fragments (already

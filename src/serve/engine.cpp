@@ -169,6 +169,7 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
       qr.queue_us = us_between(r.enqueued, dispatched);
       metrics_.queue_us.record(qr.queue_us);
       metrics_.timed_out.add();
+      metrics_.rejected_deadline.add();
       finish(r, std::move(qr), dispatched);
     } else {
       live.push_back(std::move(r));

@@ -12,6 +12,8 @@ std::string ServeMetrics::to_json() const {
      << "\"enqueued\":" << enqueued.value()
      << ",\"completed\":" << completed.value() << ",\"ok\":" << ok.value()
      << ",\"timed_out\":" << timed_out.value() << ",\"shed\":" << shed.value()
+     << ",\"rejected_overload\":" << shed.value()
+     << ",\"rejected_deadline\":" << rejected_deadline.value()
      << ",\"failed\":" << failed.value() << ",\"batches\":" << batches.value()
      << ",\"queries\":" << queries.value()
      << ",\"points_visited\":" << points_visited.value()
@@ -34,6 +36,10 @@ void register_metrics(obs::MetricsRegistry& reg, const ServeMetrics& m) {
                    "Typed timeout results (deadline passed)");
   reg.link_counter("wknng_serve_shed_total", m.shed,
                    "Requests rejected at admission");
+  reg.link_counter("wknng_serve_rejected_overload_total", m.shed,
+                   "OverloadShed rejections (admission: queue full/shutdown)");
+  reg.link_counter("wknng_serve_rejected_deadline_total", m.rejected_deadline,
+                   "DeadlineExceeded rejections (expired before dispatch)");
   reg.link_counter("wknng_serve_failed_total", m.failed,
                    "Batch executions failed with a typed error");
   reg.link_counter("wknng_serve_batches_total", m.batches,

@@ -31,6 +31,14 @@ struct ServeMetrics {
   Counter ok;               ///< completed with neighbors in time
   Counter timed_out;        ///< typed timeout results (deadline passed)
   Counter shed;             ///< rejected at admission (queue full / shutdown)
+
+  /// Requests whose deadline expired before dispatch — rejected un-executed
+  /// at batch triage. Disjoint from `shed` (admission-time OverloadShed) and
+  /// a strict subset of `timed_out` (which also counts requests that ran but
+  /// finished late). Exported as wknng_serve_rejected_deadline_total next to
+  /// wknng_serve_rejected_overload_total so a Prometheus reader never has to
+  /// infer which rejection path fired.
+  Counter rejected_deadline;
   Counter failed;           ///< batch execution failed with a typed error
   Counter batches;          ///< micro-batches dispatched
   Counter queries;          ///< queries actually executed by the kernel

@@ -1,0 +1,611 @@
+#include "shard/manager.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "data/graph_io.hpp"
+#include "obs/trace.hpp"
+#include "shard/worker_loss.hpp"
+
+namespace wknng::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Control-flow token, not an error: the attempt was superseded (commit
+/// race, watchdog kill, shutdown) and must vanish without bookkeeping.
+struct AttemptCancelled {};
+
+struct Attempt {
+  std::size_t shard = 0;
+  std::uint32_t index = 0;       ///< per-job monotone attempt ordinal
+  bool speculative = false;
+  bool loss_immune = false;      ///< the salvage attempt ignores the schedule
+  std::shared_ptr<std::atomic<bool>> cancelled;
+};
+
+struct LiveAttempt {
+  std::uint32_t index = 0;
+  std::shared_ptr<std::atomic<bool>> cancelled;
+  Clock::time_point last_beat;
+};
+
+struct Job {
+  std::size_t shard = 0;
+  JobState state = JobState::kQueued;
+  std::uint32_t next_attempt = 0;
+  std::uint32_t attempts_started = 0;
+  std::uint32_t failures = 0;     ///< charged against the retry budget
+  std::uint32_t retries = 0;
+  std::uint32_t speculations = 0;
+  std::uint32_t losses = 0;
+  std::uint32_t watchdog_kills = 0;
+  std::uint64_t heartbeats = 0;
+  bool speculated = false;
+  bool salvage_enqueued = false;
+  bool committed = false;         ///< terminal (kDone or kQuarantined)
+  bool salvaged = false;
+  std::uint32_t winning_attempt = 0;
+  double seconds = 0.0;
+  Clock::time_point enqueued_at;
+  std::vector<LiveAttempt> live;
+  core::BuildResult result;
+};
+
+/// The manager/worker queue of one campaign. Workers are plain threads; the
+/// heavy lifting inside each build still runs on the shared ThreadPool
+/// (which supports concurrent parallel_for callers), so `workers` controls
+/// job-level concurrency, not core usage.
+class Orchestrator {
+ public:
+  Orchestrator(ThreadPool& pool, const ShardBuildParams& params,
+               const std::vector<FloatMatrix>& bases)
+      : pool_(pool), params_(params), bases_(bases), jobs_(bases.size()) {
+    for (std::size_t s = 0; s < jobs_.size(); ++s) jobs_[s].shard = s;
+  }
+
+  void run() {
+    const auto now = Clock::now();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (Job& j : jobs_) {
+        j.enqueued_at = now;
+        enqueue_locked(j, /*speculative=*/false, /*immune=*/false);
+      }
+    }
+    const std::size_t nw = std::min(params_.workers, jobs_.size());
+    std::vector<std::thread> workers;
+    workers.reserve(nw);
+    for (std::size_t w = 0; w < nw; ++w) {
+      workers.emplace_back([this] { worker_main(); });
+    }
+    supervise();
+    for (std::thread& t : workers) t.join();
+  }
+
+  std::vector<Job>& jobs() { return jobs_; }
+
+ private:
+  std::string committed_path(std::size_t shard) const {
+    return data::shard_artifact_path(params_.artifact_prefix, shard, "ckpt");
+  }
+
+  void enqueue_locked(Job& j, bool speculative, bool immune) {
+    Attempt a;
+    a.shard = j.shard;
+    a.index = j.next_attempt++;
+    a.speculative = speculative;
+    a.loss_immune = immune;
+    a.cancelled = std::make_shared<std::atomic<bool>>(false);
+    queue_.push_back(std::move(a));
+    if (!j.committed && j.live.empty()) j.state = JobState::kQueued;
+    cv_.notify_one();
+  }
+
+  /// A non-committing attempt ended (thrown loss, real error, or watchdog
+  /// kill): charge the budget and pick retry / salvage / quarantine / wait.
+  void replace_locked(Job& j) {
+    if (j.committed) return;
+    ++j.failures;
+    if (j.failures <= params_.max_retries) {
+      ++j.retries;
+      enqueue_locked(j, false, false);
+    } else if (params_.salvage && !j.salvage_enqueued) {
+      j.salvage_enqueued = true;
+      enqueue_locked(j, false, /*immune=*/true);
+    } else if (j.live.empty()) {
+      quarantine_locked(j);
+    }
+    // else: a sibling attempt is still live — its outcome decides the job.
+  }
+
+  void quarantine_locked(Job& j) {
+    j.committed = true;
+    j.state = JobState::kQuarantined;
+    j.seconds = seconds_between(j.enqueued_at, Clock::now());
+    ++done_count_;
+    cv_.notify_all();
+  }
+
+  void remove_live_locked(Job& j,
+                          const std::shared_ptr<std::atomic<bool>>& flag) {
+    for (auto it = j.live.begin(); it != j.live.end(); ++it) {
+      if (it->cancelled == flag) {
+        j.live.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Worker-side heartbeat: the manager recomputes the counter-hashed token
+  /// and refreshes the attempt's liveness clock only on a match, so a stale
+  /// or confused beat can never keep a dead attempt alive.
+  void accept_heartbeat(const Attempt& a, std::uint64_t slice,
+                        std::uint64_t token) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Job& j = jobs_[a.shard];
+    if (token != heartbeat_token(params_.build.seed, a.shard, a.index, slice)) {
+      return;
+    }
+    for (LiveAttempt& la : j.live) {
+      if (la.cancelled == a.cancelled) {
+        la.last_beat = Clock::now();
+        ++j.heartbeats;
+        return;
+      }
+    }
+  }
+
+  void publish_checkpoint(std::size_t shard, std::uint32_t attempt,
+                          const std::string& priv) {
+    const std::string dst = committed_path(shard);
+    const std::string tmp = dst + ".pub" + std::to_string(attempt);
+    std::error_code ec;
+    std::filesystem::copy_file(
+        priv, tmp, std::filesystem::copy_options::overwrite_existing, ec);
+    if (ec) {
+      throw IoError("shard checkpoint publish failed copying '" + priv +
+                    "': " + ec.message());
+    }
+    std::filesystem::rename(tmp, dst, ec);
+    if (ec) {
+      throw IoError("shard checkpoint publish failed renaming onto '" + dst +
+                    "': " + ec.message());
+    }
+  }
+
+  /// The committed checkpoint to resume from, if one exists and matches the
+  /// build signature (a stale artifact from another config is ignored, not
+  /// trusted — the builder would reject it anyway).
+  std::optional<data::BuildCheckpoint> load_resume_point(
+      std::size_t shard, std::uint64_t expected_signature) const {
+    const std::string path = committed_path(shard);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return std::nullopt;
+    try {
+      data::BuildCheckpoint c = data::read_checkpoint(path);
+      if (c.signature != expected_signature) return std::nullopt;
+      return c;
+    } catch (const Error&) {
+      return std::nullopt;
+    }
+  }
+
+  /// The injected death of this worker: counted at fire time (the schedule
+  /// ledger), then either raised as the campaign's typed site error or — in
+  /// stall mode — a silent heartbeat stop until the watchdog or a winning
+  /// twin cancels the attempt.
+  void fire_loss(const Attempt& a) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++jobs_[a.shard].losses;
+    }
+    if (!params_.loss_stall) {
+      simt::throw_injected_fault(params_.worker_loss.site);
+    }
+    while (!a.cancelled->load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    throw AttemptCancelled{};
+  }
+
+  /// One attempt of one job: the sliced, checkpointed build. Slice s ends
+  /// with checkpoint rounds_done == s published at the committed artifact
+  /// path; refine_iters+1 slices complete the job. Resumes from whatever the
+  /// committed artifact already holds, so a replacement attempt repeats no
+  /// finished round — and since every slice is deterministic from its
+  /// checkpoint, all attempts of a job produce bit-identical state.
+  core::BuildResult run_attempt(const Attempt& a) {
+    const FloatMatrix& pts = bases_[a.shard];
+    const std::uint64_t rounds = params_.build.refine_iters;
+    core::BuildParams bp = params_.build;
+    const std::string priv =
+        committed_path(a.shard) + ".a" + std::to_string(a.index);
+    bp.checkpoint_path = priv;
+    const std::uint64_t sig =
+        core::build_signature(bp, pts.rows(), pts.cols());
+    std::optional<data::BuildCheckpoint> cur = load_resume_point(a.shard, sig);
+    core::BuildResult out;
+    for (;;) {
+      if (a.cancelled->load(std::memory_order_acquire)) {
+        throw AttemptCancelled{};
+      }
+      std::uint64_t slice = 0;
+      bool wrote = true;
+      if (!cur) {
+        slice = 0;
+        bp.refine_iters = 0;
+      } else if (cur->rounds_done < rounds) {
+        slice = cur->rounds_done + 1;
+        bp.refine_iters = slice;
+      } else {
+        slice = rounds;  // state complete on disk: extraction-only pass
+        bp.refine_iters = rounds;
+        wrote = false;
+      }
+      core::KnngBuilder b(pool_, bp);
+      out = cur ? b.resume(pts, *cur) : b.build(pts);
+      if (wrote) {
+        cur = data::read_checkpoint(priv);
+        publish_checkpoint(a.shard, a.index, priv);
+      }
+      accept_heartbeat(a, slice,
+                       heartbeat_token(params_.build.seed, a.shard, a.index,
+                                       slice));
+      if (!a.loss_immune &&
+          worker_loss_fires(params_.worker_loss, a.shard, a.index, slice)) {
+        fire_loss(a);
+      }
+      if (slice == rounds) break;
+    }
+    std::error_code ec;
+    std::filesystem::remove(priv, ec);  // attempt-private scratch
+    return out;
+  }
+
+  void commit(const Attempt& a, core::BuildResult r) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Job& j = jobs_[a.shard];
+    remove_live_locked(j, a.cancelled);
+    if (j.committed) return;  // a bit-identical sibling already won
+    j.committed = true;
+    j.state = JobState::kDone;
+    j.winning_attempt = a.index;
+    j.salvaged = a.loss_immune;
+    j.seconds = seconds_between(j.enqueued_at, Clock::now());
+    j.result = std::move(r);
+    for (LiveAttempt& la : j.live) {
+      la.cancelled->store(true, std::memory_order_release);
+    }
+    j.live.clear();
+    ++done_count_;
+    cv_.notify_all();
+  }
+
+  void on_attempt_failure(const Attempt& a) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Job& j = jobs_[a.shard];
+    remove_live_locked(j, a.cancelled);
+    if (a.cancelled->load(std::memory_order_acquire)) return;  // superseded
+    replace_locked(j);
+  }
+
+  void worker_main() {
+    obs::Tracer* tr =
+        params_.build.obs.trace ? obs::active_tracer() : nullptr;
+    for (;;) {
+      Attempt a;
+      bool stale = false;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        ++idle_workers_;
+        cv_.wait(lk, [&] { return shutdown_ || !queue_.empty(); });
+        --idle_workers_;
+        if (queue_.empty()) return;  // shutdown and drained
+        a = std::move(queue_.front());
+        queue_.pop_front();
+        Job& j = jobs_[a.shard];
+        stale = j.committed;
+        if (!stale) {
+          j.state = JobState::kRunning;
+          ++j.attempts_started;
+          j.live.push_back({a.index, a.cancelled, Clock::now()});
+        }
+      }
+      if (stale) continue;
+      std::optional<obs::Span> span;
+      if (tr != nullptr) {
+        span.emplace(tr, "shard_job", "shard",
+                     obs::Tracer::span_id(a.shard, a.index, 0,
+                                          obs::SpanSalt::kShardJob),
+                     obs::kTrackShard);
+        span->arg_num("shard", static_cast<std::uint64_t>(a.shard));
+        span->arg_num("attempt", static_cast<std::uint64_t>(a.index));
+        span->arg_num("speculative",
+                      static_cast<std::uint64_t>(a.speculative ? 1 : 0));
+      }
+      try {
+        commit(a, run_attempt(a));
+      } catch (const AttemptCancelled&) {
+        std::lock_guard<std::mutex> lk(mu_);
+        remove_live_locked(jobs_[a.shard], a.cancelled);
+      } catch (const std::exception&) {
+        on_attempt_failure(a);
+      }
+    }
+  }
+
+  /// The manager loop: waits for completions while running the
+  /// missed-heartbeat watchdog and the straggler-speculation policy.
+  void supervise() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (done_count_ < jobs_.size()) {
+      cv_.wait_for(lk, std::chrono::milliseconds(2));
+      const auto now = Clock::now();
+      if (params_.heartbeat_timeout_ms > 0) watchdog_locked(now);
+      if (params_.speculate) speculate_locked(now);
+    }
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+
+  void watchdog_locked(Clock::time_point now) {
+    for (Job& j : jobs_) {
+      if (j.committed) continue;
+      for (auto it = j.live.begin(); it != j.live.end();) {
+        if (ms_between(it->last_beat, now) >
+            static_cast<double>(params_.heartbeat_timeout_ms)) {
+          it->cancelled->store(true, std::memory_order_release);
+          it = j.live.erase(it);
+          ++j.watchdog_kills;
+          replace_locked(j);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  void speculate_locked(Clock::time_point now) {
+    if (!queue_.empty() || idle_workers_ == 0) return;
+    for (Job& j : jobs_) {
+      if (j.committed || j.speculated || j.live.size() != 1) continue;
+      if (ms_between(j.live[0].last_beat, now) >= params_.speculate_after_ms) {
+        j.speculated = true;
+        ++j.speculations;
+        enqueue_locked(j, /*speculative=*/true, /*immune=*/false);
+      }
+    }
+  }
+
+  ThreadPool& pool_;
+  const ShardBuildParams& params_;
+  const std::vector<FloatMatrix>& bases_;
+  std::vector<Job> jobs_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Attempt> queue_;
+  std::size_t idle_workers_ = 0;
+  std::size_t done_count_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+ShardManager::ShardManager(ThreadPool& pool, ShardBuildParams params)
+    : pool_(&pool), params_(std::move(params)) {
+  WKNNG_CHECK_MSG(params_.workers > 0, "need at least one shard worker");
+  WKNNG_CHECK_MSG(!params_.artifact_prefix.empty(),
+                  "sharded builds persist per-shard checkpoints: "
+                  "artifact_prefix must be set");
+  WKNNG_CHECK_MSG(params_.speculate_after_ms >= 0.0,
+                  "speculate_after_ms must be >= 0");
+  WKNNG_CHECK_MSG(
+      !params_.loss_stall || params_.heartbeat_timeout_ms > 0 ||
+          params_.speculate,
+      "loss_stall needs the watchdog or speculation to declare the loss");
+  // Mirror the builder's environment resolution so the campaign-wide
+  // injector below is built from the same spec every per-shard builder will
+  // re-derive (they then run under the ambient injector instead of nesting).
+  if (const char* env = std::getenv("WKNNG_INJECT_FAULTS");
+      env != nullptr && *env != '\0') {
+    params_.build.faults = simt::fault_spec_from_string(env);
+  }
+  params_.build.checkpoint_path.clear();  // the manager owns artifact naming
+}
+
+ShardBuildResult ShardManager::build(const FloatMatrix& points) const {
+  const auto t0 = Clock::now();
+  const std::size_t n = points.rows();
+  WKNNG_CHECK_MSG(n > params_.build.k,
+                  "need more points than k: n=" << n << " k=" << params_.build.k);
+
+  ShardBuildResult out;
+
+  // Phase 1: partition. The min-points floor guarantees every shard is
+  // buildable (the per-shard builder needs n_shard > k even after its own
+  // quarantine pass; 2*k+2 leaves headroom for non-finite rows).
+  ShardPartitionParams pp = params_.partition;
+  pp.min_points = std::max(pp.min_points, 2 * params_.build.k + 2);
+  out.partition = partition_points(*pool_, points, pp);
+  const std::size_t shards = out.partition.num_shards();
+  out.report.partition_seconds = seconds_between(t0, Clock::now());
+
+  out.shard_bases.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    out.shard_bases.push_back(gather_rows(points, out.partition.members[s]));
+  }
+
+  // Phase 2: manifest. Written up-front (atomically) so a killed process
+  // leaves a resumable ledger; on resume the freshly derived partition must
+  // match it exactly before any artifact is trusted.
+  const std::string manifest_path = params_.artifact_prefix + ".manifest";
+  data::ShardManifest manifest;
+  manifest.n = n;
+  manifest.dim = points.cols();
+  manifest.k = params_.build.k;
+  manifest.num_shards = shards;
+  manifest.partitioner = partitioner_name(out.partition.effective);
+  manifest.seed = pp.seed;
+  manifest.partition_hash = out.partition.hash();
+  for (std::size_t s = 0; s < shards; ++s) {
+    manifest.artifacts.push_back(
+        std::filesystem::path(
+            data::shard_artifact_path(params_.artifact_prefix, s, "ckpt"))
+            .filename()
+            .string());
+  }
+  bool resume_ok = false;
+  if (params_.resume) {
+    try {
+      const data::ShardManifest prev = data::read_shard_manifest(manifest_path);
+      resume_ok = prev.n == manifest.n && prev.dim == manifest.dim &&
+                  prev.k == manifest.k &&
+                  prev.num_shards == manifest.num_shards &&
+                  prev.partitioner == manifest.partitioner &&
+                  prev.seed == manifest.seed &&
+                  prev.partition_hash == manifest.partition_hash;
+    } catch (const Error&) {
+      resume_ok = false;
+    }
+  }
+  if (!resume_ok) {
+    // Fresh campaign: stale committed artifacts must not be resumed from.
+    for (std::size_t s = 0; s < shards; ++s) {
+      std::error_code ec;
+      std::filesystem::remove(
+          data::shard_artifact_path(params_.artifact_prefix, s, "ckpt"), ec);
+    }
+  }
+  data::write_shard_manifest(manifest_path, manifest);
+
+  // One campaign-wide fault injector: per-shard builders detect it as
+  // ambient and run under it instead of nesting their own (which
+  // ScopedFaultInjection rejects for concurrent jobs).
+  std::optional<simt::FaultInjector> injector;
+  std::optional<simt::ScopedFaultInjection> injection;
+  if (params_.build.faults.enabled &&
+      simt::active_fault_injector() == nullptr) {
+    injector.emplace(params_.build.faults);
+    injection.emplace(*injector);
+  }
+
+  std::optional<obs::Span> root;
+  obs::Tracer* tr = params_.build.obs.trace ? obs::active_tracer() : nullptr;
+  if (tr != nullptr) {
+    root.emplace(tr, "shard_build", "shard",
+                 obs::Tracer::span_id(shards, params_.workers, 0,
+                                      obs::SpanSalt::kShardJob),
+                 obs::kTrackShard);
+    root->arg_num("shards", static_cast<std::uint64_t>(shards));
+    root->arg_num("workers", static_cast<std::uint64_t>(params_.workers));
+  }
+
+  // Phase 3: the queue.
+  const auto tq = Clock::now();
+  Orchestrator orch(*pool_, params_, out.shard_bases);
+  orch.run();
+  out.report.build_seconds = seconds_between(tq, Clock::now());
+  injection.reset();
+
+  // Phase 4: merge. Local rows translate to global ids; ties at equal
+  // distance may change rank order under translation, so rows are re-sorted
+  // into the canonical (dist, id) order. Quarantined shards contribute empty
+  // rows (valid-prefix semantics) and mark the build degraded.
+  out.merged = KnnGraph(n, params_.build.k);
+  out.shard_graphs.resize(shards);
+  out.report.shards = shards;
+  out.report.workers = params_.workers;
+  out.report.partition_fallback = out.partition.fallback;
+  out.report.degraded = out.partition.fallback;
+  for (Job& j : orch.jobs()) {
+    const std::vector<std::uint32_t>& members =
+        out.partition.members[j.shard];
+    ShardJobReport jr;
+    jr.shard = j.shard;
+    jr.points = members.size();
+    jr.state = j.state;
+    jr.attempts = j.attempts_started;
+    jr.retries = j.retries;
+    jr.speculations = j.speculations;
+    jr.losses = j.losses;
+    jr.watchdog_kills = j.watchdog_kills;
+    jr.heartbeats = j.heartbeats;
+    jr.winning_attempt = j.winning_attempt;
+    jr.salvaged = j.salvaged;
+    jr.seconds = j.seconds;
+    jr.faults_injected = j.result.health.faults_injected;
+    out.report.retries_total += j.retries;
+    out.report.speculations_total += j.speculations;
+    out.report.losses_total += j.losses;
+    out.report.watchdog_kills_total += j.watchdog_kills;
+    out.report.heartbeats_total += j.heartbeats;
+    if (j.state == JobState::kDone) {
+      KnnGraph& local = j.result.graph;
+      for (std::size_t i = 0; i < local.num_points(); ++i) {
+        const auto src = local.row(i);
+        const auto dst = out.merged.row(members[i]);
+        std::size_t valid = 0;
+        for (const Neighbor& nb : src) {
+          if (nb.id == KnnGraph::kInvalid) break;
+          dst[valid++] = {nb.dist, members[nb.id]};
+        }
+        std::sort(dst.begin(), dst.begin() + valid);
+      }
+      out.shard_graphs[j.shard] = std::move(local);
+      out.report.degraded =
+          out.report.degraded || j.result.health.degraded;
+    } else {
+      ++out.report.quarantined_shards;
+      out.report.degraded = true;
+    }
+    out.report.jobs.push_back(jr);
+  }
+
+  // Phase 5: the cross-shard stitch round.
+  if (params_.stitch.enabled && shards > 1) {
+    const auto ts = Clock::now();
+    const StitchStats st =
+        stitch_graph(*pool_, points, out.partition, out.shard_bases,
+                     out.shard_graphs, out.merged, params_.stitch);
+    out.report.boundary_points = st.boundary_points;
+    out.report.stitched_edges = st.stitched_edges;
+    out.report.stitch_seconds = seconds_between(ts, Clock::now());
+  }
+
+  out.report.total_seconds = seconds_between(t0, Clock::now());
+  if (root) {
+    root->arg("report", out.report.to_json());
+    root->finish();
+  }
+  return out;
+}
+
+ShardBuildResult build_sharded_knng(ThreadPool& pool,
+                                    const FloatMatrix& points,
+                                    const ShardBuildParams& params) {
+  return ShardManager(pool, params).build(points);
+}
+
+}  // namespace wknng::shard

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "core/builder.hpp"
+#include "shard/partition.hpp"
+#include "shard/report.hpp"
+#include "shard/stitch.hpp"
+#include "simt/fault.hpp"
+
+namespace wknng::shard {
+
+/// Knobs of one fault-tolerant sharded build campaign.
+struct ShardBuildParams {
+  /// Per-shard build parameters. `checkpoint_path` is ignored (the manager
+  /// owns artifact naming); `refine_iters` also sets the slice count — each
+  /// job runs as refine_iters+1 checkpointed slices, and every slice
+  /// boundary is a heartbeat, a persisted WKNNGCP1 artifact, and a potential
+  /// worker-loss point.
+  core::BuildParams build;
+
+  ShardPartitionParams partition;
+
+  std::size_t workers = 2;      ///< concurrent shard-build workers
+  std::size_t max_retries = 2;  ///< replacement attempts per shard after losses
+
+  /// After the retry budget is spent, run one final loss-immune attempt
+  /// before quarantining the shard. It resumes from the last published
+  /// checkpoint, so the merged graph stays identical to the fault-free run
+  /// even under loss probability 1.
+  bool salvage = true;
+
+  /// Straggler speculation: when the queue is drained, a worker is idle, and
+  /// a job's only live attempt has not beaten for `speculate_after_ms`, a
+  /// twin attempt is launched from the last published checkpoint. First
+  /// completion wins; the loser is cancelled. At most one twin per job.
+  bool speculate = false;
+  double speculate_after_ms = 200.0;
+
+  /// Missed-heartbeat watchdog: a live attempt whose last verified heartbeat
+  /// is older than this is declared lost (cancelled, counted, replaced).
+  /// 0 disables the watchdog.
+  std::uint64_t heartbeat_timeout_ms = 0;
+
+  /// Deterministic worker-loss campaign (see shard/worker_loss.hpp): `site`
+  /// picks which typed error the dying worker raises, `seed`/`probability`
+  /// drive the pure (shard, attempt, slice) schedule. `max_faults` is not
+  /// consulted — the schedule stays a pure function so tests can precompute
+  /// the exact retry counts.
+  simt::FaultSpec worker_loss;
+
+  /// When true, a fired loss stalls the worker silently (its heartbeat just
+  /// stops) instead of raising — the scenario the watchdog and speculation
+  /// exist for. Requires the watchdog or speculation to be enabled,
+  /// otherwise the stalled job could never be declared lost.
+  bool loss_stall = false;
+
+  /// Artifact naming root (required): per-shard checkpoints land at
+  /// `<prefix>.shard<i>.ckpt` and the manifest at `<prefix>.manifest`.
+  std::string artifact_prefix;
+
+  /// Resume mode: verify the manifest on disk against the freshly derived
+  /// partition (n/dim/k/shards/partitioner/seed/assignment hash) and let
+  /// jobs pick up from their published checkpoints. A missing or mismatched
+  /// manifest falls back to a fresh build; stale checkpoints are rejected by
+  /// the builder's signature check.
+  bool resume = false;
+
+  StitchParams stitch;
+};
+
+/// Everything a sharded build produces: the merged (and stitched) global
+/// graph, the partition it was built under, the per-shard bases and local
+/// graphs (kept for routing), and the orchestration health ledger.
+struct ShardBuildResult {
+  KnnGraph merged;  ///< n x k, global ids
+  ShardPartition partition;
+  std::vector<FloatMatrix> shard_bases;  ///< gathered member rows per shard
+  std::vector<KnnGraph> shard_graphs;    ///< local ids; empty if quarantined
+  ShardBuildReport report;
+};
+
+/// The work-queue orchestrator: partitions the corpus, runs one resumable
+/// build job per shard on an in-process worker pool, and survives worker
+/// loss via heartbeats, checkpoint-resume retries, capped budgets with
+/// quarantine, and straggler speculation. The merged graph of a campaign
+/// with losses is bit-identical to the fault-free run of the same config —
+/// losses only ever kill workers at slice boundaries, never corrupt state,
+/// and every attempt of a job is deterministic from its resume point.
+class ShardManager {
+ public:
+  ShardManager(ThreadPool& pool, ShardBuildParams params);
+
+  const ShardBuildParams& params() const { return params_; }
+
+  ShardBuildResult build(const FloatMatrix& points) const;
+
+ private:
+  ThreadPool* pool_;
+  ShardBuildParams params_;
+};
+
+/// One-call convenience wrapper.
+ShardBuildResult build_sharded_knng(ThreadPool& pool,
+                                    const FloatMatrix& points,
+                                    const ShardBuildParams& params);
+
+}  // namespace wknng::shard

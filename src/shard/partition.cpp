@@ -1,0 +1,185 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ivf/kmeans.hpp"
+
+namespace wknng::shard {
+
+namespace {
+
+std::uint64_t mix_chain(std::uint64_t h, std::uint64_t v) {
+  return SplitMix64(h ^ (v * 0x9E3779B97F4A7C15ULL)).next();
+}
+
+bool row_finite(std::span<const float> row) {
+  for (const float v : row) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<std::uint32_t>> members_of(
+    const std::vector<std::uint32_t>& assignment, std::size_t shards) {
+  std::vector<std::vector<std::uint32_t>> members(shards);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    members[assignment[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  return members;  // ascending by construction (i is monotone)
+}
+
+std::size_t smallest(const std::vector<std::vector<std::uint32_t>>& members) {
+  std::size_t m = ~std::size_t{0};
+  for (const auto& list : members) m = std::min(m, list.size());
+  return m;
+}
+
+/// Seeded-shuffle round-robin: rank points by a per-point hash key and deal
+/// rank r to shard r % shards. Sizes differ by at most one.
+std::vector<std::uint32_t> random_assignment(std::size_t n, std::size_t shards,
+                                             std::uint64_t seed) {
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<std::uint64_t> key(n);
+  for (std::size_t i = 0; i < n; ++i) key[i] = mix_chain(seed, i + 1);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return key[a] != key[b] ? key[a] < key[b] : a < b;
+            });
+  std::vector<std::uint32_t> assignment(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    assignment[order[r]] = static_cast<std::uint32_t>(r % shards);
+  }
+  return assignment;
+}
+
+/// Mean of each shard's finite member rows (all-zero when a shard has none):
+/// the routing/boundary centroid for the random partitioner.
+FloatMatrix mean_centroids(const FloatMatrix& points,
+                           const std::vector<std::vector<std::uint32_t>>& members) {
+  const std::size_t dim = points.cols();
+  FloatMatrix centroids(members.size(), dim);
+  std::vector<double> acc(dim);
+  for (std::size_t s = 0; s < members.size(); ++s) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    std::size_t used = 0;
+    for (const std::uint32_t id : members[s]) {
+      const auto row = points.row(id);
+      if (!row_finite(row)) continue;
+      for (std::size_t d = 0; d < dim; ++d) acc[d] += row[d];
+      ++used;
+    }
+    auto out = centroids.row(s);
+    for (std::size_t d = 0; d < dim; ++d) {
+      out[d] = used > 0 ? static_cast<float>(acc[d] / static_cast<double>(used))
+                        : 0.0f;
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+const char* partitioner_name(Partitioner p) {
+  switch (p) {
+    case Partitioner::kKMeans: return "kmeans";
+    case Partitioner::kRandom: return "random";
+  }
+  return "?";
+}
+
+Partitioner partitioner_from_name(const std::string& name) {
+  if (name == "kmeans") return Partitioner::kKMeans;
+  if (name == "random") return Partitioner::kRandom;
+  throw Error("unknown partitioner '" + name + "' (expected kmeans|random)");
+}
+
+std::uint64_t ShardPartition::hash() const {
+  std::uint64_t h = mix_chain(0x5348415244u /* "SHARD" */, assignment.size());
+  h = mix_chain(h, members.size());
+  for (const std::uint32_t a : assignment) h = mix_chain(h, a + 1);
+  return h;
+}
+
+ShardPartition partition_points(ThreadPool& pool, const FloatMatrix& points,
+                                const ShardPartitionParams& params) {
+  const std::size_t n = points.rows();
+  WKNNG_CHECK_MSG(n > 0, "cannot partition an empty point set");
+  WKNNG_CHECK_MSG(params.shards > 0, "shards must be >= 1");
+
+  // The min-points floor bounds how many shards n points can sustain.
+  std::size_t shards = params.shards;
+  if (params.min_points > 0) {
+    shards = std::min(shards, std::max<std::size_t>(1, n / params.min_points));
+  }
+  shards = std::min(shards, n);
+
+  ShardPartition part;
+  part.seed = params.seed;
+
+  if (shards == 1) {
+    part.assignment.assign(n, 0);
+    part.members = members_of(part.assignment, 1);
+    part.centroids = mean_centroids(points, part.members);
+    part.effective = params.partitioner;
+    part.fallback = shards != params.shards;
+    return part;
+  }
+
+  if (params.partitioner == Partitioner::kKMeans) {
+    // Sanitize for the assignment decision only: a NaN row would make every
+    // centroid distance NaN. The zeroed copy is dropped after clustering.
+    FloatMatrix clean(n, points.cols());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto src = points.row(i);
+      auto dst = clean.row(i);
+      if (row_finite(src)) {
+        std::copy(src.begin(), src.end(), dst.begin());
+      } else {
+        std::fill(dst.begin(), dst.end(), 0.0f);
+      }
+    }
+    ivf::KMeansParams kp;
+    kp.clusters = shards;
+    kp.iterations = params.kmeans_iterations;
+    kp.seed = params.seed;
+    const ivf::KMeansResult km = ivf::kmeans(pool, clean, kp);
+    auto members = members_of(km.assignment, shards);
+    if (params.min_points == 0 || smallest(members) >= params.min_points) {
+      part.assignment = km.assignment;
+      part.members = std::move(members);
+      part.centroids = km.centroids;
+      part.effective = Partitioner::kKMeans;
+      part.fallback = shards != params.shards;
+      return part;
+    }
+    // An undersized k-means shard cannot be built; degrade to the balanced
+    // random split (quarantine-and-degrade, not failure).
+    part.fallback = true;
+  }
+
+  part.assignment = random_assignment(n, shards, params.seed);
+  part.members = members_of(part.assignment, shards);
+  part.centroids = mean_centroids(points, part.members);
+  part.effective = Partitioner::kRandom;
+  part.fallback = part.fallback || shards != params.shards ||
+                  params.partitioner != Partitioner::kRandom;
+  return part;
+}
+
+FloatMatrix gather_rows(const FloatMatrix& points,
+                        const std::vector<std::uint32_t>& ids) {
+  FloatMatrix out(ids.size(), points.cols());
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    const auto src = points.row(ids[r]);
+    std::copy(src.begin(), src.end(), out.row(r).begin());
+  }
+  return out;
+}
+
+}  // namespace wknng::shard

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+
+namespace wknng::shard {
+
+/// How the corpus is split into shards before the per-shard builds run.
+enum class Partitioner : std::uint8_t {
+  /// Coarse k-means over the points (src/ivf quantizer): shards follow the
+  /// data's cluster structure, so most true neighbors stay intra-shard and
+  /// the merged graph loses little recall.
+  kKMeans,
+  /// Seeded-shuffle round-robin: balanced shard sizes by construction, no
+  /// geometric locality. The degrade target when k-means yields shards too
+  /// small to build (and a baseline for the fig12 bench).
+  kRandom,
+};
+
+const char* partitioner_name(Partitioner p);
+
+/// Parses "kmeans" / "random" (throws wknng::Error listing the valid names
+/// otherwise).
+Partitioner partitioner_from_name(const std::string& name);
+
+struct ShardPartitionParams {
+  std::size_t shards = 4;
+  Partitioner partitioner = Partitioner::kKMeans;
+  std::uint64_t seed = 1234;          ///< k-means seeding / shuffle keys
+  std::size_t kmeans_iterations = 8;  ///< Lloyd rounds for the coarse split
+  /// Smallest shard the per-shard builder can digest (it needs more points
+  /// than k). Requested shard counts are reduced, and k-means splits are
+  /// degraded to random, until every shard meets the floor. 0 = no floor.
+  std::size_t min_points = 0;
+};
+
+/// A concrete split: per-point shard assignment plus the inverse (member
+/// lists, ascending point ids) and one centroid per shard for routing and
+/// boundary detection. Deterministic in (points, params).
+struct ShardPartition {
+  FloatMatrix centroids;                           ///< shards x dim
+  std::vector<std::uint32_t> assignment;           ///< per point, its shard
+  std::vector<std::vector<std::uint32_t>> members; ///< per shard, ascending
+  Partitioner effective = Partitioner::kKMeans;    ///< after any fallback
+  std::uint64_t seed = 0;
+  bool fallback = false;  ///< a k-means request degraded to random
+
+  std::size_t num_shards() const { return members.size(); }
+
+  /// Order-sensitive digest of (n, num_shards, assignment): the manifest
+  /// stores it so a resumed build can verify it re-derived the identical
+  /// partition before trusting per-shard artifacts.
+  std::uint64_t hash() const;
+};
+
+/// Splits `points` into at most `params.shards` shards (fewer when the
+/// min-points floor forces it; always at least 1). Non-finite rows are
+/// assigned by a sanitized copy (coordinates zeroed for the assignment
+/// decision only) so a NaN coordinate cannot poison the k-means step — the
+/// per-shard builder quarantines those rows itself.
+ShardPartition partition_points(ThreadPool& pool, const FloatMatrix& points,
+                                const ShardPartitionParams& params);
+
+/// Copies the given rows of `points` into a dense matrix (the per-shard base
+/// handed to the builder; row r of the result is points.row(ids[r])).
+FloatMatrix gather_rows(const FloatMatrix& points,
+                        const std::vector<std::uint32_t>& ids);
+
+}  // namespace wknng::shard

@@ -1,0 +1,100 @@
+#include "shard/report.hpp"
+
+#include <sstream>
+
+#include "obs/registry.hpp"
+
+namespace wknng::shard {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+std::string ShardBuildReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"shards\":" << shards << ",\"workers\":" << workers
+     << ",\"degraded\":" << (degraded ? "true" : "false")
+     << ",\"partition_fallback\":" << (partition_fallback ? "true" : "false")
+     << ",\"retries\":" << retries_total
+     << ",\"speculations\":" << speculations_total
+     << ",\"losses\":" << losses_total
+     << ",\"watchdog_kills\":" << watchdog_kills_total
+     << ",\"heartbeats\":" << heartbeats_total
+     << ",\"quarantined_shards\":" << quarantined_shards
+     << ",\"boundary_points\":" << boundary_points
+     << ",\"stitched_edges\":" << stitched_edges
+     << ",\"partition_seconds\":" << partition_seconds
+     << ",\"build_seconds\":" << build_seconds
+     << ",\"stitch_seconds\":" << stitch_seconds
+     << ",\"total_seconds\":" << total_seconds << ",\"jobs\":[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const ShardJobReport& j = jobs[i];
+    if (i > 0) os << ",";
+    os << "{\"shard\":" << j.shard << ",\"points\":" << j.points
+       << ",\"state\":\"" << job_state_name(j.state) << "\""
+       << ",\"attempts\":" << j.attempts << ",\"retries\":" << j.retries
+       << ",\"speculations\":" << j.speculations
+       << ",\"losses\":" << j.losses
+       << ",\"watchdog_kills\":" << j.watchdog_kills
+       << ",\"heartbeats\":" << j.heartbeats
+       << ",\"winning_attempt\":" << j.winning_attempt
+       << ",\"salvaged\":" << (j.salvaged ? "true" : "false")
+       << ",\"seconds\":" << j.seconds
+       << ",\"faults_injected\":" << j.faults_injected << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void register_shard_metrics(obs::MetricsRegistry& reg,
+                            const ShardBuildReport& r) {
+  const auto gauge = [&reg](const char* name, double v, const char* help) {
+    reg.gauge(name, help).set(v);
+  };
+  const auto counter = [&reg](const char* name, std::uint64_t v,
+                              const char* help) {
+    reg.counter(name, help).add(v);
+  };
+
+  gauge("wknng_shard_shards", static_cast<double>(r.shards),
+        "Shards in the build");
+  gauge("wknng_shard_workers", static_cast<double>(r.workers),
+        "Concurrent shard-build workers");
+  gauge("wknng_shard_degraded", r.degraded ? 1.0 : 0.0,
+        "1 when the merged graph may differ from the ideal run");
+  gauge("wknng_shard_partition_fallback", r.partition_fallback ? 1.0 : 0.0,
+        "1 when the requested partition degraded (e.g. kmeans -> random)");
+  counter("wknng_shard_retries_total", r.retries_total,
+          "Replacement attempts enqueued after worker losses");
+  counter("wknng_shard_speculations_total", r.speculations_total,
+          "Speculative straggler twins launched");
+  counter("wknng_shard_losses_total", r.losses_total,
+          "Worker-loss events (thrown and stalled)");
+  counter("wknng_shard_watchdog_kills_total", r.watchdog_kills_total,
+          "Losses declared by the missed-heartbeat watchdog");
+  counter("wknng_shard_heartbeats_total", r.heartbeats_total,
+          "Verified heartbeats received from workers");
+  counter("wknng_shard_quarantined_total", r.quarantined_shards,
+          "Shards quarantined after exhausting their retry budget");
+  counter("wknng_shard_boundary_points_total", r.boundary_points,
+          "Points offered to the cross-shard stitch round");
+  counter("wknng_shard_stitched_edges_total", r.stitched_edges,
+          "Cross-shard edges added by the stitch round");
+  gauge("wknng_shard_partition_seconds", r.partition_seconds,
+        "Partitioning wall time");
+  gauge("wknng_shard_build_seconds", r.build_seconds,
+        "Queue-open to last-commit wall time");
+  gauge("wknng_shard_stitch_seconds", r.stitch_seconds,
+        "Stitch-round wall time");
+  gauge("wknng_shard_total_seconds", r.total_seconds,
+        "End-to-end sharded build wall time");
+  reg.json_blob("wknng_shard_report", r.to_json());
+}
+
+}  // namespace wknng::shard

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wknng::obs {
+class MetricsRegistry;
+}  // namespace wknng::obs
+
+namespace wknng::shard {
+
+/// Lifecycle of one per-shard build job inside the manager:
+///
+///   kQueued -> kRunning -> kDone
+///                   \-> (loss) -> kQueued (retry, budget permitting)
+///                   \-> (budget exhausted, salvage failed) -> kQuarantined
+///
+/// A job is kDone once any of its attempts commits (first completion wins;
+/// all attempts are bit-identical, so which one is immaterial to the graph).
+/// kQuarantined jobs contribute empty rows to the merged graph and mark the
+/// whole build degraded.
+enum class JobState : std::uint8_t { kQueued, kRunning, kDone, kQuarantined };
+
+const char* job_state_name(JobState s);
+
+/// Per-job slice of the health ledger.
+struct ShardJobReport {
+  std::size_t shard = 0;
+  std::size_t points = 0;            ///< member points in this shard
+  JobState state = JobState::kQueued;
+  std::uint32_t attempts = 0;        ///< attempts actually started
+  std::uint32_t retries = 0;         ///< replacement attempts after a loss
+  std::uint32_t speculations = 0;    ///< straggler twins launched (0 or 1)
+  std::uint32_t losses = 0;          ///< worker-loss events (thrown + stalled)
+  std::uint32_t watchdog_kills = 0;  ///< losses declared via missed heartbeat
+  std::uint64_t heartbeats = 0;      ///< verified heartbeats received
+  std::uint32_t winning_attempt = 0; ///< attempt index that committed
+  bool salvaged = false;             ///< completed by the loss-immune attempt
+  double seconds = 0.0;              ///< first enqueue -> commit wall time
+  std::uint64_t faults_injected = 0; ///< in-build fault-campaign decisions
+};
+
+/// The `BuildResult`-style health surface of one sharded build: what the
+/// orchestration had to survive, per job and in aggregate. `degraded` is set
+/// when the *output* may differ from the ideal run — a quarantined shard or
+/// a partition fallback — never by successful retries or speculation alone
+/// (those reproduce the ideal graph bit for bit).
+struct ShardBuildReport {
+  std::size_t shards = 0;
+  std::size_t workers = 0;
+  bool degraded = false;
+  bool partition_fallback = false;
+
+  std::uint64_t retries_total = 0;
+  std::uint64_t speculations_total = 0;
+  std::uint64_t losses_total = 0;
+  std::uint64_t watchdog_kills_total = 0;
+  std::uint64_t heartbeats_total = 0;
+  std::uint64_t quarantined_shards = 0;
+  std::uint64_t boundary_points = 0;  ///< points offered to the stitch round
+  std::uint64_t stitched_edges = 0;   ///< cross-shard edges the stitch added
+
+  double partition_seconds = 0.0;
+  double build_seconds = 0.0;   ///< queue open -> last job committed
+  double stitch_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  std::vector<ShardJobReport> jobs;
+
+  std::string to_json() const;
+};
+
+/// Register the report's aggregate counters and timings into the central
+/// metrics registry (`wknng_shard_*` series) plus the full per-job ledger as
+/// a JSON blob, mirroring core::register_build_metrics.
+void register_shard_metrics(obs::MetricsRegistry& reg,
+                            const ShardBuildReport& r);
+
+}  // namespace wknng::shard

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "simt/fault.hpp"
+
+namespace wknng::shard {
+
+namespace loss_detail {
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return SplitMix64(h ^ (v * 0x9E3779B97F4A7C15ULL)).next();
+}
+}  // namespace loss_detail
+
+/// The deterministic worker-loss schedule of a shard-build campaign: whether
+/// the worker running `attempt` of shard `shard` dies at the boundary of
+/// `slice` (a slice ends when checkpoint rounds_done == slice is persisted).
+///
+/// A pure function of (spec.seed, spec.site, shard, attempt, slice) — no
+/// global counters, no `max_faults` budget — so a test can precompute the
+/// exact loss schedule (and therefore the exact retry counts) a campaign
+/// will produce, independent of worker count and thread timing. Losses fire
+/// *after* the slice's checkpoint is published, modeling a worker that died
+/// between finishing a round and picking up the next: the replacement
+/// attempt resumes from that checkpoint and the merged graph stays
+/// bit-identical to the fault-free run.
+inline bool worker_loss_fires(const simt::FaultSpec& spec, std::uint64_t shard,
+                              std::uint64_t attempt, std::uint64_t slice) {
+  if (!spec.enabled || spec.probability <= 0.0) return false;
+  std::uint64_t h = loss_detail::mix(
+      spec.seed, static_cast<std::uint64_t>(spec.site) + 1);
+  h = loss_detail::mix(h, shard + 1);
+  h = loss_detail::mix(h, attempt + 1);
+  h = loss_detail::mix(h, slice + 1);
+  if (spec.probability >= 1.0) return true;
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < spec.probability;
+}
+
+/// The heartbeat a live attempt emits at every slice boundary is not a bare
+/// timestamp: it carries this counter-hashed token, a pure function of
+/// (seed, shard, attempt, slice). The manager recomputes the expectation and
+/// refreshes the attempt's liveness clock only on a match — a zombie worker
+/// replaying a stale slice (or a confused one beating for the wrong job)
+/// cannot keep a dead attempt looking alive.
+inline std::uint64_t heartbeat_token(std::uint64_t seed, std::uint64_t shard,
+                                     std::uint64_t attempt,
+                                     std::uint64_t slice) {
+  std::uint64_t h = loss_detail::mix(seed ^ 0x48454152545342ULL, shard + 1);
+  h = loss_detail::mix(h, attempt + 1);
+  return loss_detail::mix(h, slice + 1);
+}
+
+}  // namespace wknng::shard

@@ -19,6 +19,7 @@
 ///   nndescent/  NN-Descent baseline
 ///   obs/        span tracing, metrics registry, Prometheus/JSON exporters
 ///   serve/      batched, deadline-aware query serving over a built graph
+///   shard/      fault-tolerant sharded build orchestration + query routing
 
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
@@ -49,4 +50,10 @@
 #include "serve/loadgen.hpp"
 #include "serve/metrics.hpp"
 #include "serve/snapshot.hpp"
+#include "shard/manager.hpp"
+#include "shard/partition.hpp"
+#include "shard/report.hpp"
+#include "shard/router.hpp"
+#include "shard/stitch.hpp"
+#include "shard/worker_loss.hpp"
 #include "tuner/tuner.hpp"

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -71,6 +73,219 @@ TEST_F(GraphIoTest, TruncatedPayloadThrows) {
   const auto size = std::filesystem::file_size(path("t.knng"));
   std::filesystem::resize_file(path("t.knng"), size - 8);
   EXPECT_THROW(read_knng(path("t.knng")), Error);
+}
+
+// --- Adversarial truncation / trailing-garbage matrix -----------------------
+// Every prefix of a valid artifact must throw a typed error; no reader may
+// assert, allocate from a garbage header, or read past the buffer.
+
+namespace {
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+kernels::Sq8Matrix tiny_sq8(std::size_t n, std::size_t dim) {
+  kernels::Sq8Matrix m;
+  m.codebook.bias.assign(dim, 0.25f);
+  m.codebook.scale.assign(dim, 0.5f);
+  m.codes.resize(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      m.codes(i, d) = static_cast<std::uint8_t>((i * 7 + d * 3) & 0xFF);
+    }
+  }
+  return m;
+}
+
+BuildCheckpoint tiny_checkpoint(bool with_sq8) {
+  BuildCheckpoint c;
+  c.signature = 0xDEADBEEFCAFEF00DULL;
+  c.n = 6;
+  c.k = 3;
+  c.rounds_done = 2;
+  c.effective_strategy = 2;
+  c.quarantined = {1, 4};
+  c.sets.assign(c.n * c.k, 0x3F80000000000005ULL);
+  if (with_sq8) {
+    c.sq8 = std::make_shared<kernels::Sq8Matrix>(tiny_sq8(c.n, 4));
+  }
+  return c;
+}
+
+}  // namespace
+
+TEST_F(GraphIoTest, EveryGraphTruncationThrowsTyped) {
+  const KnnGraph g = sample_graph();
+  write_knng(path("full.knng"), g);
+  const std::vector<char> full = read_bytes(path("full.knng"));
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    write_bytes(path("cut.knng"),
+                {full.begin(), full.begin() + static_cast<long>(len)});
+    EXPECT_THROW(read_knng(path("cut.knng")), IoError) << "length " << len;
+  }
+}
+
+TEST_F(GraphIoTest, GraphTrailingGarbageThrows) {
+  const KnnGraph g = sample_graph();
+  write_knng(path("g.knng"), g);
+  std::vector<char> bytes = read_bytes(path("g.knng"));
+  bytes.insert(bytes.end(), {'\x7F', '\x00', '\x42'});
+  write_bytes(path("g.knng"), bytes);
+  EXPECT_THROW(read_knng(path("g.knng")), IoError);
+}
+
+TEST_F(GraphIoTest, EveryCheckpointTruncationThrowsTyped) {
+  write_checkpoint(path("c.ckpt"), tiny_checkpoint(false));
+  const std::vector<char> full = read_bytes(path("c.ckpt"));
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    write_bytes(path("cut.ckpt"),
+                {full.begin(), full.begin() + static_cast<long>(len)});
+    EXPECT_THROW(read_checkpoint(path("cut.ckpt")), Error) << "length " << len;
+  }
+}
+
+TEST_F(GraphIoTest, EverySq8TrailerTruncationThrowsTyped) {
+  const BuildCheckpoint c = tiny_checkpoint(true);
+  write_checkpoint(path("s.ckpt"), c);
+  const std::vector<char> full = read_bytes(path("s.ckpt"));
+  // The one prefix that is still valid: the classic layout without the
+  // trailer (exactly what a pre-sq8 writer would have produced).
+  const std::size_t classic =
+      48 + c.quarantined.size() * 4 + c.sets.size() * 8;
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    write_bytes(path("cut.ckpt"),
+                {full.begin(), full.begin() + static_cast<long>(len)});
+    if (len == classic) {
+      const BuildCheckpoint r = read_checkpoint(path("cut.ckpt"));
+      EXPECT_EQ(r.sq8, nullptr);
+      EXPECT_EQ(r.n, c.n);
+      continue;
+    }
+    EXPECT_THROW(read_checkpoint(path("cut.ckpt")), Error) << "length " << len;
+  }
+}
+
+TEST_F(GraphIoTest, CheckpointTrailingGarbageThrows) {
+  write_checkpoint(path("c.ckpt"), tiny_checkpoint(false));
+  const std::vector<char> full = read_bytes(path("c.ckpt"));
+  // Short garbage (smaller than an sq8 header), header-sized garbage, and a
+  // corrupted-magic pseudo-trailer must all be rejected.
+  for (const std::size_t junk : {1u, 8u, 28u, 64u}) {
+    std::vector<char> bytes = full;
+    for (std::size_t i = 0; i < junk; ++i) {
+      bytes.push_back(static_cast<char>(0xA5 ^ i));
+    }
+    write_bytes(path("junk.ckpt"), bytes);
+    EXPECT_THROW(read_checkpoint(path("junk.ckpt")), IoError)
+        << junk << " garbage bytes";
+  }
+}
+
+TEST_F(GraphIoTest, CheckpointSq8TrailerRowMismatchThrowsTyped) {
+  // A well-formed sq8 payload whose row count disagrees with the checkpoint
+  // header is a shape mismatch, not an IO error.
+  write_checkpoint(path("c.ckpt"), tiny_checkpoint(false));
+  write_sq8(path("wrong.sq8"), tiny_sq8(/*n=*/9, /*dim=*/4));
+  std::vector<char> bytes = read_bytes(path("c.ckpt"));
+  const std::vector<char> trailer = read_bytes(path("wrong.sq8"));
+  bytes.insert(bytes.end(), trailer.begin(), trailer.end());
+  write_bytes(path("c.ckpt"), bytes);
+  EXPECT_THROW(read_checkpoint(path("c.ckpt")), CheckpointMismatchError);
+}
+
+TEST_F(GraphIoTest, EverySq8FileTruncationThrowsTyped) {
+  write_sq8(path("m.sq8"), tiny_sq8(5, 3));
+  const std::vector<char> full = read_bytes(path("m.sq8"));
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    write_bytes(path("cut.sq8"),
+                {full.begin(), full.begin() + static_cast<long>(len)});
+    EXPECT_THROW(read_sq8(path("cut.sq8")), IoError) << "length " << len;
+  }
+}
+
+TEST_F(GraphIoTest, ImplausibleHeadersRejectedBeforeAllocation) {
+  // A graph header claiming 2^31 x 2^31 entries must be rejected by the size
+  // cross-check (wide arithmetic), not by an allocation attempt.
+  std::vector<char> bytes(8 + 16 + 8, '\0');
+  std::memcpy(bytes.data(), "WKNNG1\0\0", 8);
+  const std::uint64_t huge = 1ULL << 31;
+  std::memcpy(bytes.data() + 8, &huge, 8);
+  std::memcpy(bytes.data() + 16, &huge, 8);
+  write_bytes(path("huge.knng"), bytes);
+  EXPECT_THROW(read_knng(path("huge.knng")), IoError);
+}
+
+TEST_F(GraphIoTest, ShardManifestRoundTrip) {
+  ShardManifest m;
+  m.n = 1000;
+  m.dim = 16;
+  m.k = 10;
+  m.num_shards = 3;
+  m.partitioner = "kmeans";
+  m.seed = 42;
+  m.partition_hash = 0x123456789ABCDEF0ULL;
+  for (std::size_t s = 0; s < 3; ++s) {
+    m.artifacts.push_back(shard_artifact_path("graph", s, "ckpt"));
+  }
+  EXPECT_EQ(m.artifacts[1], "graph.shard1.ckpt");
+  write_shard_manifest(path("g.manifest"), m);
+  const ShardManifest r = read_shard_manifest(path("g.manifest"));
+  EXPECT_EQ(r.n, m.n);
+  EXPECT_EQ(r.dim, m.dim);
+  EXPECT_EQ(r.k, m.k);
+  EXPECT_EQ(r.num_shards, m.num_shards);
+  EXPECT_EQ(r.partitioner, m.partitioner);
+  EXPECT_EQ(r.seed, m.seed);
+  EXPECT_EQ(r.partition_hash, m.partition_hash);
+  EXPECT_EQ(r.artifacts, m.artifacts);
+}
+
+TEST_F(GraphIoTest, ShardManifestCorruptionThrowsTyped) {
+  ShardManifest m;
+  m.n = 100;
+  m.dim = 8;
+  m.k = 5;
+  m.num_shards = 2;
+  m.partitioner = "random";
+  m.seed = 7;
+  m.partition_hash = 99;
+  m.artifacts = {"p.shard0.ckpt", "p.shard1.ckpt"};
+  write_shard_manifest(path("m.manifest"), m);
+  const std::vector<char> full = read_bytes(path("m.manifest"));
+
+  // Truncation at every line boundary throws.
+  for (std::size_t len = 0; len + 1 < full.size(); ++len) {
+    if (full[len] != '\n') continue;
+    write_bytes(path("cut.manifest"),
+                {full.begin(), full.begin() + static_cast<long>(len) + 1});
+    EXPECT_THROW(read_shard_manifest(path("cut.manifest")), IoError)
+        << "length " << len + 1;
+  }
+
+  // Trailing garbage throws.
+  std::vector<char> junk = full;
+  const std::string extra = "artifact 2 sneaky.ckpt\n";
+  junk.insert(junk.end(), extra.begin(), extra.end());
+  write_bytes(path("junk.manifest"), junk);
+  EXPECT_THROW(read_shard_manifest(path("junk.manifest")), IoError);
+
+  // Wrong magic and non-numeric fields throw.
+  write_bytes(path("bad.manifest"), {'n', 'o', 'p', 'e', '\n'});
+  EXPECT_THROW(read_shard_manifest(path("bad.manifest")), IoError);
+  std::string mangled(full.begin(), full.end());
+  const auto pos = mangled.find("n 100");
+  mangled.replace(pos, 5, "n 1x0");
+  write_bytes(path("bad2.manifest"),
+              std::vector<char>(mangled.begin(), mangled.end()));
+  EXPECT_THROW(read_shard_manifest(path("bad2.manifest")), IoError);
+  EXPECT_THROW(read_shard_manifest(path("absent.manifest")), IoError);
 }
 
 TEST_F(GraphIoTest, CorruptedInvariantsThrow) {

@@ -140,6 +140,8 @@ TEST(ServeEngine, ExpiredRequestsGetTypedTimeoutsAndAreNeverExecuted) {
     EXPECT_TRUE(qr.neighbors.empty());  // shed work, not just a late answer
   }
   EXPECT_EQ(engine.metrics().timed_out.value(), 3u);
+  EXPECT_EQ(engine.metrics().rejected_deadline.value(), 3u);
+  EXPECT_EQ(engine.metrics().shed.value(), 0u);  // deadline path, not overload
   EXPECT_EQ(engine.metrics().queries.value(), 0u);  // kernel never ran
   EXPECT_EQ(engine.metrics().ok.value(), 0u);
 }
@@ -173,8 +175,10 @@ TEST(ServeEngine, QueueFullShedsWithTypedResult) {
   EXPECT_EQ(ok, 2u);    // capacity admitted exactly two
   EXPECT_EQ(shed, 4u);
   EXPECT_EQ(engine.metrics().shed.value(), 4u);
+  EXPECT_EQ(engine.metrics().rejected_deadline.value(), 0u);  // overload path
   const std::string json = engine.metrics_json();
   EXPECT_NE(json.find("\"shed\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_overload\":4"), std::string::npos);
 }
 
 TEST(ServeEngine, SubmitAfterStopIsShed) {

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace wknng::serve {
 namespace {
 
@@ -97,6 +99,36 @@ TEST(ServeMetricsJson, HasEverySection) {
         "\"latency_us\"", "\"queue_us\"", "\"batch_size\"", "\"visited\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
+}
+
+TEST(ServeMetricsJson, RejectionKindsAreSeparateCounters) {
+  ServeMetrics m;
+  m.shed.add(2);
+  m.timed_out.add(5);
+  m.rejected_deadline.add(3);  // the pre-dispatch subset of timed_out
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"rejected_overload\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rejected_deadline\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"timed_out\":5"), std::string::npos) << json;
+}
+
+TEST(ServeMetricsPrometheus, ExportsBothRejectionSeries) {
+  ServeMetrics m;
+  m.shed.add(4);
+  m.rejected_deadline.add(7);
+  obs::MetricsRegistry reg;
+  register_metrics(reg, m);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("wknng_serve_rejected_overload_total 4"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("wknng_serve_rejected_deadline_total 7"),
+            std::string::npos)
+      << prom;
+  // Linked series are live: later increments show up in the next scrape.
+  m.rejected_deadline.add();
+  EXPECT_NE(reg.to_prometheus().find("wknng_serve_rejected_deadline_total 8"),
+            std::string::npos);
 }
 
 }  // namespace

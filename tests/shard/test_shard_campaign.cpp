@@ -1,0 +1,255 @@
+// The fault-campaign matrix: sharded builds under injected worker loss swept
+// over every PR-2 fault site and several seeds. Every cell must complete via
+// retry/salvage with a merged graph bit-identical to the fault-free run, and
+// the report's loss/retry counters must equal the schedule replayed offline
+// (worker_loss_fires is a pure function, so the test predicts every cell).
+// Also covers the two loss-declaration paths for silent stalls: the
+// missed-heartbeat watchdog and straggler speculation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "data/synthetic.hpp"
+#include "shard/manager.hpp"
+#include "shard/worker_loss.hpp"
+#include "support/temp_dir.hpp"
+
+namespace wknng::shard {
+namespace {
+
+core::BuildParams base_build() {
+  core::BuildParams p;
+  p.k = 8;
+  p.strategy = core::Strategy::kTiled;
+  p.num_trees = 4;
+  p.leaf_size = 48;
+  p.refine_iters = 2;
+  p.seed = 99;
+  p.schedule.policy = simt::SchedulePolicy::kSequential;
+  return p;
+}
+
+bool graphs_equal(const KnnGraph& a, const KnnGraph& b) {
+  if (a.num_points() != b.num_points() || a.k() != b.k()) return false;
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    for (std::size_t j = 0; j < a.k(); ++j) {
+      if (ra[j].id != rb[j].id) return false;
+      if (std::memcmp(&ra[j].dist, &rb[j].dist, sizeof(float)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Offline replay of one job's fate under a loss schedule: mirrors the
+/// manager's slice/retry/salvage ladder exactly (see manager.cpp). Attempt
+/// indices are the per-job enqueue ordinals, which with speculation off is
+/// simply 0,1,2,...
+struct JobSim {
+  std::uint32_t losses = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t attempts = 0;
+  bool salvaged = false;
+  bool quarantined = false;
+};
+
+JobSim simulate_job(const simt::FaultSpec& spec, std::size_t shard,
+                    std::uint64_t rounds, std::size_t max_retries,
+                    bool salvage) {
+  JobSim sim;
+  bool have = false;          // a committed checkpoint exists
+  std::uint64_t committed = 0;  // its rounds_done
+  std::uint32_t failures = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    ++sim.attempts;
+    const bool immune = failures > max_retries;  // the salvage attempt
+    bool died = false;
+    for (;;) {
+      std::uint64_t slice = 0;
+      if (have && committed < rounds) {
+        slice = committed + 1;
+      } else if (have) {
+        slice = rounds;  // extraction-only pass, nothing new published
+      }
+      if (!have || committed < slice) {
+        have = true;
+        committed = slice;  // published before any loss can fire
+      }
+      if (!immune && worker_loss_fires(spec, shard, attempt, slice)) {
+        ++sim.losses;
+        died = true;
+        break;
+      }
+      if (slice == rounds) break;
+    }
+    if (!died) {
+      sim.salvaged = immune;
+      return sim;
+    }
+    ++failures;
+    if (failures <= max_retries) {
+      ++sim.retries;
+      continue;
+    }
+    if (salvage && failures == max_retries + 1) continue;
+    sim.quarantined = true;
+    return sim;
+  }
+}
+
+class ShardCampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = testing::unique_test_dir("wknng_campaign"); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ShardCampaignTest, LossMatrixIsBitIdenticalAndFullyPredicted) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(400, 16, 8, 0.05f, 7);
+
+  ShardBuildParams clean;
+  clean.build = base_build();
+  clean.partition.shards = 4;
+  clean.workers = 2;
+  clean.artifact_prefix = (dir_ / "clean").string();
+  const ShardBuildResult baseline = build_sharded_knng(pool, pts, clean);
+  ASSERT_EQ(baseline.report.quarantined_shards, 0u);
+
+  std::size_t cell = 0;
+  for (const simt::FaultSite site : simt::all_fault_sites()) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      ShardBuildParams p = clean;
+      p.artifact_prefix = (dir_ / ("cell" + std::to_string(cell++))).string();
+      p.max_retries = 3;
+      p.worker_loss.enabled = true;
+      p.worker_loss.site = site;
+      p.worker_loss.seed = seed;
+      p.worker_loss.probability = 0.2;
+
+      const ShardBuildResult r = build_sharded_knng(pool, pts, p);
+      const std::string cell_name = std::string(simt::fault_site_name(site)) +
+                                    "/seed" + std::to_string(seed);
+
+      EXPECT_TRUE(graphs_equal(baseline.merged, r.merged))
+          << "merged graph diverged under loss: " << cell_name;
+      EXPECT_EQ(r.report.quarantined_shards, 0u) << cell_name;
+      ASSERT_EQ(r.report.jobs.size(), baseline.report.jobs.size());
+      for (const ShardJobReport& j : r.report.jobs) {
+        const JobSim sim =
+            simulate_job(p.worker_loss, j.shard, p.build.refine_iters,
+                         p.max_retries, p.salvage);
+        EXPECT_FALSE(sim.quarantined) << cell_name;
+        EXPECT_EQ(j.losses, sim.losses) << cell_name << " shard " << j.shard;
+        EXPECT_EQ(j.retries, sim.retries) << cell_name << " shard " << j.shard;
+        EXPECT_EQ(j.attempts, sim.attempts)
+            << cell_name << " shard " << j.shard;
+        EXPECT_EQ(j.salvaged, sim.salvaged)
+            << cell_name << " shard " << j.shard;
+        EXPECT_EQ(j.state, JobState::kDone) << cell_name;
+      }
+    }
+  }
+}
+
+TEST_F(ShardCampaignTest, WatchdogDeclaresSilentStallsAndRecovers) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(300, 16, 4, 0.05f, 7);
+
+  ShardBuildParams clean;
+  clean.build = base_build();
+  clean.build.refine_iters = 1;
+  clean.partition.shards = 2;
+  clean.workers = 2;
+  clean.artifact_prefix = (dir_ / "clean").string();
+  const ShardBuildResult baseline = build_sharded_knng(pool, pts, clean);
+
+  ShardBuildParams p = clean;
+  p.artifact_prefix = (dir_ / "stalls").string();
+  p.max_retries = 1;
+  p.worker_loss.enabled = true;
+  p.worker_loss.seed = 5;
+  p.worker_loss.probability = 1.0;  // every non-immune attempt stalls
+  p.loss_stall = true;              // silent: heartbeats just stop
+  p.heartbeat_timeout_ms = 500;
+  const ShardBuildResult r = build_sharded_knng(pool, pts, p);
+
+  EXPECT_TRUE(graphs_equal(baseline.merged, r.merged));
+  EXPECT_EQ(r.report.quarantined_shards, 0u);
+  for (const ShardJobReport& j : r.report.jobs) {
+    EXPECT_EQ(j.state, JobState::kDone);
+    EXPECT_TRUE(j.salvaged);
+    // Attempt 0 stalls after slice 0, the budgeted retry after slice 1;
+    // both are declared lost by the watchdog, then salvage finishes.
+    EXPECT_EQ(j.losses, 2u);
+    EXPECT_EQ(j.watchdog_kills, 2u);
+    EXPECT_EQ(j.retries, 1u);
+  }
+}
+
+TEST_F(ShardCampaignTest, SpeculationRescuesAStragglerFirstCompletionWins) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(300, 16, 4, 0.05f, 7);
+
+  ShardBuildParams p;
+  p.build = base_build();
+  p.build.refine_iters = 1;
+  p.partition.shards = 2;
+  p.workers = 2;
+  p.speculate = true;
+  p.speculate_after_ms = 100.0;
+  p.loss_stall = true;  // no watchdog: only the twin can finish the job
+  p.worker_loss.enabled = true;
+  p.worker_loss.probability = 0.4;
+  p.artifact_prefix = (dir_ / "spec").string();
+
+  // Pick a seed whose schedule stalls exactly one of the two initial
+  // attempts (so the other job finishes and frees the idle worker that the
+  // speculation policy requires) and leaves every later attempt clean (so
+  // the twin always completes; at most one twin per job is launched).
+  const std::uint64_t rounds = p.build.refine_iters;
+  std::uint64_t chosen = 0;
+  for (std::uint64_t seed = 1; seed < 4096 && chosen == 0; ++seed) {
+    p.worker_loss.seed = seed;
+    int stalled = 0;
+    bool later_clean = true;
+    for (std::uint64_t s = 0; s < 2; ++s) {
+      bool fires0 = false;
+      for (std::uint64_t sl = 0; sl <= rounds; ++sl) {
+        if (worker_loss_fires(p.worker_loss, s, 0, sl)) fires0 = true;
+        if (worker_loss_fires(p.worker_loss, s, 1, sl)) later_clean = false;
+      }
+      if (fires0) ++stalled;
+    }
+    if (stalled == 1 && later_clean) chosen = seed;
+  }
+  ASSERT_NE(chosen, 0u) << "no usable speculation seed in range";
+  p.worker_loss.seed = chosen;
+
+  ShardBuildParams clean = p;
+  clean.worker_loss.enabled = false;
+  clean.loss_stall = false;
+  clean.speculate = false;
+  clean.artifact_prefix = (dir_ / "clean").string();
+  const ShardBuildResult baseline = build_sharded_knng(pool, pts, clean);
+
+  const ShardBuildResult r = build_sharded_knng(pool, pts, p);
+  EXPECT_TRUE(graphs_equal(baseline.merged, r.merged));
+  EXPECT_GE(r.report.speculations_total, 1u);
+  EXPECT_GE(r.report.losses_total, 1u);
+  EXPECT_EQ(r.report.watchdog_kills_total, 0u);
+  EXPECT_EQ(r.report.quarantined_shards, 0u);
+  for (const ShardJobReport& j : r.report.jobs) {
+    EXPECT_EQ(j.state, JobState::kDone);
+  }
+}
+
+}  // namespace
+}  // namespace wknng::shard

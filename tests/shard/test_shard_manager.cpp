@@ -1,0 +1,258 @@
+// Orchestration tests of the sharded build manager: fault-free campaigns,
+// checkpoint-resume, the quarantine-and-degrade ladder, the loss-immune
+// salvage attempt, and the health surface (report JSON, metrics, spans).
+// Concurrency note: these tests run multi-worker campaigns and are part of
+// the race-sanitizer CI matrix.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "data/synthetic.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "shard/manager.hpp"
+#include "support/temp_dir.hpp"
+
+namespace wknng::shard {
+namespace {
+
+core::BuildParams base_build() {
+  core::BuildParams p;
+  p.k = 8;
+  p.strategy = core::Strategy::kTiled;
+  p.num_trees = 4;
+  p.leaf_size = 48;
+  p.refine_iters = 2;
+  p.seed = 99;
+  p.schedule.policy = simt::SchedulePolicy::kSequential;
+  return p;
+}
+
+ShardBuildParams base_params(const std::filesystem::path& dir) {
+  ShardBuildParams p;
+  p.build = base_build();
+  p.partition.shards = 4;
+  p.workers = 2;
+  p.artifact_prefix = (dir / "campaign").string();
+  return p;
+}
+
+bool graphs_equal(const KnnGraph& a, const KnnGraph& b) {
+  if (a.num_points() != b.num_points() || a.k() != b.k()) return false;
+  for (std::size_t i = 0; i < a.num_points(); ++i) {
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    for (std::size_t j = 0; j < a.k(); ++j) {
+      if (ra[j].id != rb[j].id) return false;
+      if (std::memcmp(&ra[j].dist, &rb[j].dist, sizeof(float)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+class ShardManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = testing::unique_test_dir("wknng_shard"); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ShardManagerTest, FaultFreeCampaignProducesAValidMergedGraph) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(600, 16, 8, 0.05f, 7);
+  const ShardBuildParams p = base_params(dir_);
+  const ShardBuildResult r = build_sharded_knng(pool, pts, p);
+
+  ASSERT_EQ(r.merged.num_points(), pts.rows());
+  ASSERT_EQ(r.merged.k(), p.build.k);
+  EXPECT_TRUE(r.merged.check_invariants());
+  EXPECT_EQ(r.partition.num_shards(), 4u);
+  EXPECT_EQ(r.report.shards, 4u);
+  EXPECT_EQ(r.report.jobs.size(), 4u);
+  EXPECT_EQ(r.report.quarantined_shards, 0u);
+  EXPECT_EQ(r.report.losses_total, 0u);
+  EXPECT_EQ(r.report.retries_total, 0u);
+  EXPECT_FALSE(r.report.degraded);
+  // Every point got a full row (shards are dense clusters, k=8 << shard n).
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    EXPECT_EQ(r.merged.row_size(i), p.build.k);
+  }
+  // refine_iters+1 slices, one verified heartbeat per slice per job.
+  for (const ShardJobReport& j : r.report.jobs) {
+    EXPECT_EQ(j.state, JobState::kDone);
+    EXPECT_EQ(j.attempts, 1u);
+    EXPECT_EQ(j.heartbeats, p.build.refine_iters + 1);
+    EXPECT_FALSE(j.salvaged);
+  }
+  EXPECT_GT(r.report.boundary_points, 0u);
+  // The per-shard artifacts and the manifest persist as the job ledger.
+  EXPECT_TRUE(std::filesystem::exists(p.artifact_prefix + ".manifest"));
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_TRUE(std::filesystem::exists(
+        data::shard_artifact_path(p.artifact_prefix, s, "ckpt")));
+  }
+}
+
+TEST_F(ShardManagerTest, CampaignIsDeterministicAcrossRuns) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(500, 16, 8, 0.05f, 7);
+  ShardBuildParams p = base_params(dir_);
+  const ShardBuildResult a = build_sharded_knng(pool, pts, p);
+  p.artifact_prefix = (dir_ / "other").string();
+  p.workers = 4;  // worker count must not change the result, only the pace
+  const ShardBuildResult b = build_sharded_knng(pool, pts, p);
+  EXPECT_TRUE(graphs_equal(a.merged, b.merged));
+  EXPECT_EQ(a.report.stitched_edges, b.report.stitched_edges);
+}
+
+TEST_F(ShardManagerTest, ResumeSkipsFinishedWork) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(500, 16, 8, 0.05f, 7);
+  ShardBuildParams p = base_params(dir_);
+  const ShardBuildResult fresh = build_sharded_knng(pool, pts, p);
+
+  // Same campaign with resume: every job finds its committed checkpoint at
+  // rounds_done == refine_iters and runs a single extraction-only slice.
+  p.resume = true;
+  const ShardBuildResult again = build_sharded_knng(pool, pts, p);
+  EXPECT_TRUE(graphs_equal(fresh.merged, again.merged));
+  for (const ShardJobReport& j : again.report.jobs) {
+    EXPECT_EQ(j.attempts, 1u);
+    EXPECT_EQ(j.heartbeats, 1u) << "resume re-ran finished rounds";
+  }
+
+  // A different build seed invalidates the artifacts via the signature: the
+  // campaign silently falls back to a full rebuild.
+  ShardBuildParams q = p;
+  q.build.seed = 1234;
+  const ShardBuildResult rebuilt = build_sharded_knng(pool, pts, q);
+  for (const ShardJobReport& j : rebuilt.report.jobs) {
+    EXPECT_EQ(j.heartbeats, q.build.refine_iters + 1);
+  }
+
+  // A corrupted manifest must not poison resume either.
+  {
+    std::ofstream f(p.artifact_prefix + ".manifest", std::ios::trunc);
+    f << "WKNNGSHARDS1\ngarbage";
+  }
+  const ShardBuildResult after = build_sharded_knng(pool, pts, p);
+  EXPECT_TRUE(graphs_equal(fresh.merged, after.merged));
+}
+
+TEST_F(ShardManagerTest, SalvageCompletesUnderCertainLoss) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(400, 16, 8, 0.05f, 7);
+  ShardBuildParams clean = base_params(dir_);
+  const ShardBuildResult baseline = build_sharded_knng(pool, pts, clean);
+
+  ShardBuildParams p = base_params(dir_);
+  p.artifact_prefix = (dir_ / "lossy").string();
+  p.max_retries = 1;
+  p.worker_loss.enabled = true;
+  p.worker_loss.site = simt::FaultSite::kWarpAbort;
+  p.worker_loss.seed = 5;
+  p.worker_loss.probability = 1.0;  // every non-immune attempt dies
+  const ShardBuildResult r = build_sharded_knng(pool, pts, p);
+
+  EXPECT_TRUE(graphs_equal(baseline.merged, r.merged));
+  EXPECT_EQ(r.report.quarantined_shards, 0u);
+  for (const ShardJobReport& j : r.report.jobs) {
+    EXPECT_EQ(j.state, JobState::kDone);
+    EXPECT_TRUE(j.salvaged);
+    // attempt 0 dies after publishing slice 0, the one budgeted retry dies
+    // after slice 1, then the loss-immune salvage attempt finishes.
+    EXPECT_EQ(j.losses, 2u);
+    EXPECT_EQ(j.retries, 1u);
+    EXPECT_EQ(j.attempts, 3u);
+  }
+}
+
+TEST_F(ShardManagerTest, ExhaustedBudgetQuarantinesAndDegrades) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(400, 16, 8, 0.05f, 7);
+  ShardBuildParams p = base_params(dir_);
+  p.max_retries = 1;
+  p.salvage = false;
+  p.worker_loss.enabled = true;
+  p.worker_loss.site = simt::FaultSite::kScratchAlloc;
+  p.worker_loss.seed = 5;
+  p.worker_loss.probability = 1.0;
+  const ShardBuildResult r = build_sharded_knng(pool, pts, p);
+
+  EXPECT_TRUE(r.report.degraded);
+  EXPECT_EQ(r.report.quarantined_shards, r.report.shards);
+  for (const ShardJobReport& j : r.report.jobs) {
+    EXPECT_EQ(j.state, JobState::kQuarantined);
+    EXPECT_EQ(j.losses, 2u);  // initial attempt + one retry, both killed
+  }
+  // Quarantined shards contribute empty (valid-prefix) rows, not garbage.
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    EXPECT_EQ(r.merged.row_size(i), 0u);
+  }
+  EXPECT_TRUE(r.merged.check_invariants());
+}
+
+TEST_F(ShardManagerTest, ReportSurfacesAreConsistent) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(400, 16, 8, 0.05f, 7);
+  ShardBuildParams p = base_params(dir_);
+
+  obs::Tracer tracer;
+  {
+    obs::ScopedTracing scope(tracer);
+    const ShardBuildResult r = build_sharded_knng(pool, pts, p);
+
+    const std::string json = r.report.to_json();
+    for (const char* key :
+         {"\"shards\":4", "\"workers\":2", "\"losses\":0", "\"jobs\":[",
+          "\"state\":\"done\"", "\"stitched_edges\":"}) {
+      EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+
+    obs::MetricsRegistry reg;
+    register_shard_metrics(reg, r.report);
+    const std::string prom = reg.to_prometheus();
+    for (const char* series :
+         {"wknng_shard_shards 4", "wknng_shard_retries_total 0",
+          "wknng_shard_heartbeats_total", "wknng_shard_quarantined_total 0",
+          "wknng_shard_stitched_edges_total"}) {
+      EXPECT_NE(prom.find(series), std::string::npos) << series;
+    }
+  }
+  // One campaign span plus one span per attempt, on the shard track.
+  std::size_t campaign = 0, attempts = 0;
+  for (const obs::TraceEvent& ev : tracer.events()) {
+    if (ev.name == "shard_build") {
+      ++campaign;
+      EXPECT_EQ(ev.tid, obs::kTrackShard);
+    }
+    if (ev.name == "shard_job") ++attempts;
+  }
+  EXPECT_EQ(campaign, 1u);
+  EXPECT_EQ(attempts, 4u);
+}
+
+TEST_F(ShardManagerTest, ParameterValidationThrowsTyped) {
+  ThreadPool pool;
+  ShardBuildParams p = base_params(dir_);
+  p.workers = 0;
+  EXPECT_THROW(ShardManager(pool, p), Error);
+  p = base_params(dir_);
+  p.artifact_prefix.clear();
+  EXPECT_THROW(ShardManager(pool, p), Error);
+  p = base_params(dir_);
+  p.loss_stall = true;  // a silent stall with nobody watching never resolves
+  EXPECT_THROW(ShardManager(pool, p), Error);
+  p.heartbeat_timeout_ms = 100;
+  EXPECT_NO_THROW(ShardManager(pool, p));
+}
+
+}  // namespace
+}  // namespace wknng::shard

@@ -1,0 +1,229 @@
+// Unit tests of the sharding primitives: the partitioner (k-means with the
+// random degrade path), the pure worker-loss schedule, the heartbeat token,
+// and the bounded sorted-row edge insert the stitch and router share.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "data/synthetic.hpp"
+#include "shard/partition.hpp"
+#include "shard/stitch.hpp"
+#include "shard/worker_loss.hpp"
+
+namespace wknng::shard {
+namespace {
+
+void check_partition_invariants(const ShardPartition& part, std::size_t n) {
+  ASSERT_EQ(part.assignment.size(), n);
+  std::size_t total = 0;
+  std::set<std::uint32_t> seen;
+  for (std::size_t s = 0; s < part.num_shards(); ++s) {
+    const auto& m = part.members[s];
+    EXPECT_TRUE(std::is_sorted(m.begin(), m.end()));
+    for (const std::uint32_t id : m) {
+      EXPECT_EQ(part.assignment[id], s);
+      EXPECT_TRUE(seen.insert(id).second) << "point in two shards";
+    }
+    total += m.size();
+  }
+  EXPECT_EQ(total, n);  // exhaustive: every point in exactly one shard
+  EXPECT_EQ(part.centroids.rows(), part.num_shards());
+}
+
+TEST(ShardPartition, KMeansIsDeterministicAndExhaustive) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(400, 16, 8, 0.05f, 7);
+  ShardPartitionParams p;
+  p.shards = 8;
+  const ShardPartition a = partition_points(pool, pts, p);
+  const ShardPartition b = partition_points(pool, pts, p);
+  check_partition_invariants(a, pts.rows());
+  EXPECT_EQ(a.effective, Partitioner::kKMeans);
+  EXPECT_FALSE(a.fallback);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ShardPartition, HashTracksAssignment) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_clusters(300, 8, 4, 0.05f, 7);
+  ShardPartitionParams p;
+  p.shards = 4;
+  const std::uint64_t h = partition_points(pool, pts, p).hash();
+  p.seed += 1;
+  const ShardPartition other = partition_points(pool, pts, p);
+  if (other.hash() == h) {
+    // Identical split under a different seed is possible (clusters are well
+    // separated); the digest must then agree with the assignment.
+    ShardPartition same = partition_points(pool, pts, p);
+    EXPECT_EQ(same.assignment, other.assignment);
+  }
+  ShardPartitionParams r = p;
+  r.partitioner = Partitioner::kRandom;
+  EXPECT_NE(partition_points(pool, pts, r).hash(), h);
+}
+
+TEST(ShardPartition, RandomIsBalancedAndSeeded) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_uniform(103, 8, 3);
+  ShardPartitionParams p;
+  p.shards = 4;
+  p.partitioner = Partitioner::kRandom;
+  const ShardPartition part = partition_points(pool, pts, p);
+  check_partition_invariants(part, pts.rows());
+  std::size_t lo = pts.rows(), hi = 0;
+  for (const auto& m : part.members) {
+    lo = std::min(lo, m.size());
+    hi = std::max(hi, m.size());
+  }
+  EXPECT_LE(hi - lo, 1u);  // sizes differ by at most one
+  p.seed += 1;
+  EXPECT_NE(partition_points(pool, pts, p).assignment, part.assignment);
+}
+
+TEST(ShardPartition, MinPointsFloorReducesShardCount) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_uniform(40, 8, 3);
+  ShardPartitionParams p;
+  p.shards = 16;
+  p.min_points = 10;
+  const ShardPartition part = partition_points(pool, pts, p);
+  EXPECT_EQ(part.num_shards(), 4u);  // 40 / 10
+  for (const auto& m : part.members) EXPECT_GE(m.size(), p.min_points);
+}
+
+TEST(ShardPartition, KMeansDegradesToRandomWhenShardsStarve) {
+  ThreadPool pool;
+  // One tight cluster plus two outliers: k-means at 3 shards leaves
+  // singleton shards, which the floor rejects -> random fallback.
+  FloatMatrix pts(60, 4);
+  for (std::size_t i = 0; i < 58; ++i) {
+    for (std::size_t d = 0; d < 4; ++d) pts(i, d) = 0.001f * float(i);
+  }
+  for (std::size_t d = 0; d < 4; ++d) {
+    pts(58, d) = 100.0f;
+    pts(59, d) = -100.0f;
+  }
+  ShardPartitionParams p;
+  p.shards = 3;
+  p.min_points = 10;
+  const ShardPartition part = partition_points(pool, pts, p);
+  check_partition_invariants(part, pts.rows());
+  EXPECT_TRUE(part.fallback);
+  EXPECT_EQ(part.effective, Partitioner::kRandom);
+  for (const auto& m : part.members) EXPECT_GE(m.size(), p.min_points);
+}
+
+TEST(ShardPartition, NonFiniteRowsDoNotPoisonTheSplit) {
+  ThreadPool pool;
+  FloatMatrix pts = data::make_clusters(200, 8, 4, 0.05f, 7);
+  pts(17, 3) = std::numeric_limits<float>::quiet_NaN();
+  pts(90, 0) = std::numeric_limits<float>::infinity();
+  ShardPartitionParams p;
+  p.shards = 4;
+  const ShardPartition part = partition_points(pool, pts, p);
+  check_partition_invariants(part, pts.rows());
+  for (std::size_t s = 0; s < part.num_shards(); ++s) {
+    for (const float v : part.centroids.row(s)) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ShardPartition, GatherRowsCopiesInOrder) {
+  ThreadPool pool;
+  const FloatMatrix pts = data::make_uniform(20, 4, 3);
+  const std::vector<std::uint32_t> ids = {5, 2, 19};
+  const FloatMatrix sub = gather_rows(pts, ids);
+  ASSERT_EQ(sub.rows(), 3u);
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    for (std::size_t d = 0; d < 4; ++d) EXPECT_EQ(sub(r, d), pts(ids[r], d));
+  }
+}
+
+TEST(ShardPartition, NameRoundTrip) {
+  EXPECT_EQ(partitioner_from_name("kmeans"), Partitioner::kKMeans);
+  EXPECT_EQ(partitioner_from_name("random"), Partitioner::kRandom);
+  EXPECT_STREQ(partitioner_name(Partitioner::kKMeans), "kmeans");
+  EXPECT_THROW(partitioner_from_name("voronoi"), Error);
+}
+
+TEST(WorkerLoss, ScheduleIsAPureFunction) {
+  simt::FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 42;
+  spec.probability = 0.3;
+  const bool a = worker_loss_fires(spec, 2, 1, 0);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(worker_loss_fires(spec, 2, 1, 0), a);
+  spec.probability = 0.0;
+  EXPECT_FALSE(worker_loss_fires(spec, 2, 1, 0));
+  spec.probability = 1.0;
+  EXPECT_TRUE(worker_loss_fires(spec, 2, 1, 0));
+  spec.enabled = false;
+  EXPECT_FALSE(worker_loss_fires(spec, 2, 1, 0));
+}
+
+TEST(WorkerLoss, RateTracksProbability) {
+  simt::FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 7;
+  spec.probability = 0.2;
+  std::size_t fires = 0, trials = 0;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    for (std::uint64_t a = 0; a < 10; ++a) {
+      for (std::uint64_t sl = 0; sl < 10; ++sl) {
+        fires += worker_loss_fires(spec, s, a, sl) ? 1 : 0;
+        ++trials;
+      }
+    }
+  }
+  const double rate = double(fires) / double(trials);
+  EXPECT_GT(rate, 0.1);
+  EXPECT_LT(rate, 0.3);
+}
+
+TEST(WorkerLoss, HeartbeatTokensAreDistinctPerCounter) {
+  const std::uint64_t t = heartbeat_token(9, 1, 2, 3);
+  EXPECT_EQ(heartbeat_token(9, 1, 2, 3), t);
+  EXPECT_NE(heartbeat_token(9, 1, 2, 4), t);
+  EXPECT_NE(heartbeat_token(9, 1, 3, 3), t);
+  EXPECT_NE(heartbeat_token(9, 2, 2, 3), t);
+  EXPECT_NE(heartbeat_token(8, 1, 2, 3), t);
+}
+
+TEST(OfferEdge, InsertsSortedAndBounded) {
+  std::vector<Neighbor> row(3, Neighbor{0.0f, KnnGraph::kInvalid});
+  EXPECT_TRUE(offer_edge(row, 9, {2.0f, 5}));
+  EXPECT_TRUE(offer_edge(row, 9, {1.0f, 4}));
+  EXPECT_TRUE(offer_edge(row, 9, {3.0f, 6}));
+  // Full row: a better candidate evicts the tail, a worse one is rejected.
+  EXPECT_TRUE(offer_edge(row, 9, {1.5f, 7}));
+  EXPECT_EQ(row[0].id, 4u);
+  EXPECT_EQ(row[1].id, 7u);
+  EXPECT_EQ(row[2].id, 5u);
+  EXPECT_FALSE(offer_edge(row, 9, {9.0f, 8}));
+  // Rejections: self, duplicate, invalid id, non-finite distance.
+  EXPECT_FALSE(offer_edge(row, 9, {0.1f, 9}));
+  EXPECT_FALSE(offer_edge(row, 9, {0.1f, 7}));
+  EXPECT_FALSE(offer_edge(row, 9, {0.1f, KnnGraph::kInvalid}));
+  EXPECT_FALSE(
+      offer_edge(row, 9, {std::numeric_limits<float>::quiet_NaN(), 3}));
+}
+
+TEST(OfferEdge, FillsPartialRowWithoutDisturbingPrefix) {
+  std::vector<Neighbor> row = {{1.0f, 2},
+                               {4.0f, 3},
+                               {0.0f, KnnGraph::kInvalid},
+                               {0.0f, KnnGraph::kInvalid}};
+  EXPECT_TRUE(offer_edge(row, 0, {2.0f, 8}));
+  EXPECT_EQ(row[0].id, 2u);
+  EXPECT_EQ(row[1].id, 8u);
+  EXPECT_EQ(row[2].id, 3u);
+  EXPECT_EQ(row[3].id, KnnGraph::kInvalid);
+}
+
+}  // namespace
+}  // namespace wknng::shard
