@@ -76,10 +76,31 @@
 //                        site:seed[:probability[:max_faults]] with site in
 //                        scratch-alloc|warp-abort|lock-timeout|
 //                        corrupt-distance|launch-alloc
+//   --dynamic-dir PATH   run the mutable index (src/dynamic) instead of a
+//                        one-shot build: the base graph + WKNNGCP1 checkpoint
+//                        + write-ahead delta log live in PATH. Combine with
+//                        --stop-at-version for deterministic churn, --serve
+//                        for live serving under writes, --out to dump the
+//                        final graph (what the CI crash-replay md5 compares)
+//   --dynamic-recover    recover the dynamic index from --dynamic-dir
+//                        (checkpoint + WAL replay; a SIGKILL-torn tail is
+//                        discarded) instead of building fresh
+//   --stop-at-version V  churn the dynamic index with counter-seeded
+//                        insert/delete/repair/compact steps — one version
+//                        bump per step, each a pure function of (seed,
+//                        version) — until the published version reaches V.
+//                        The same V lands on the same graph whether the run
+//                        was fresh, killed and recovered, or replayed
 //   --serve              serve queries through the micro-batching engine and
 //                        a deterministic load generator instead of a one-shot
 //                        search pass (query vectors: --queries file, or
 //                        perturbed base points when absent)
+//   --serve-mutate F     fraction of loadgen request slots that mutate the
+//                        dynamic index instead of reading (requires
+//                        --dynamic-dir; counter-hashed per-slot, so the mix
+//                        is a pure function of the config)
+//   --serve-delete-frac F  of the mutation slots, the delete share
+//                        (default 0.25; the rest are inserts)
 //   --serve-requests N   requests the load generator issues (default 1000)
 //   --serve-mode M       closed|open (default closed): closed-loop fixed
 //                        concurrency, or open-loop Poisson arrivals
@@ -106,13 +127,16 @@
 // Exit codes: 0 = ok, 1 = input/build error, 2 = usage,
 //             3 = build completed degraded (see the health report).
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -164,6 +188,11 @@ struct Options {
   std::string shard_artifacts;       // checkpoint/manifest prefix
   bool shard_resume = false;         // resume campaign from manifest
   std::size_t shard_top_p = 2;       // router fan-out for --queries
+  std::string dynamic_dir;             // mutable-index mode when non-empty
+  bool dynamic_recover = false;        // recover from checkpoint + WAL
+  std::uint64_t stop_at_version = 0;   // churn until this version (0 = none)
+  double serve_mutate = 0.0;           // loadgen write-mix fraction
+  double serve_delete_frac = 0.25;     // delete share of the write mix
   bool serve = false;                  // run the serving engine + loadgen
   std::size_t serve_requests = 1000;   // loadgen request count
   std::string serve_mode = "closed";   // closed|open
@@ -194,6 +223,8 @@ int usage(const char* argv0) {
                " [--speculate] [--shard-loss site:seed[:p]] [--shard-stall]"
                " [--shard-heartbeat-ms N] [--shard-partitioner kmeans|random]"
                " [--shard-artifacts PREFIX] [--shard-resume] [--shard-top-p N]"
+               " [--dynamic-dir PATH] [--dynamic-recover] [--stop-at-version V]"
+               " [--serve-mutate F] [--serve-delete-frac F]"
                " [--serve] [--serve-requests N] [--serve-mode closed|open]"
                " [--serve-rate QPS] [--serve-concurrency N] [--serve-batch N]"
                " [--serve-delay-us N] [--serve-deadline-us N]"
@@ -254,6 +285,11 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (flag == "--shard-artifacts") opt.shard_artifacts = value();
     else if (flag == "--shard-resume") opt.shard_resume = true;
     else if (flag == "--shard-top-p") opt.shard_top_p = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--dynamic-dir") opt.dynamic_dir = value();
+    else if (flag == "--dynamic-recover") opt.dynamic_recover = true;
+    else if (flag == "--stop-at-version") opt.stop_at_version = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--serve-mutate") opt.serve_mutate = std::strtod(value(), nullptr);
+    else if (flag == "--serve-delete-frac") opt.serve_delete_frac = std::strtod(value(), nullptr);
     else if (flag == "--serve") opt.serve = true;
     else if (flag == "--serve-requests") opt.serve_requests = std::strtoull(value(), nullptr, 10);
     else if (flag == "--serve-mode") opt.serve_mode = value();
@@ -296,6 +332,176 @@ FloatMatrix load_points(const Options& opt) {
   if (!s.empty()) spec.seed = std::strtoull(next_field().c_str(), nullptr, 10);
   std::printf("dataset: %s\n", data::describe(spec).c_str());
   return data::generate(spec);
+}
+
+/// One deterministic churn step: advances the dynamic index by exactly one
+/// version. The op (insert / delete / repair / compact) and its operands are
+/// drawn from an Rng stream keyed by (seed, current version), so steps depend
+/// only on the state they run on — a recovered index killed at any point
+/// continues the identical schedule and lands on the identical graph, which
+/// is what the CI crash-replay md5 check compares.
+void churn_step(dynamic::DynamicKnng& dyn, const FloatMatrix& base,
+                std::uint64_t seed) {
+  constexpr std::uint64_t kChurnStream = 0xC4021500000000ULL;
+  const std::uint64_t v = dyn.version();
+  Rng rng(seed, kChurnStream + v);
+
+  const auto insert_rows = [&] {
+    const std::size_t count = 1 + rng.next_below(3);
+    FloatMatrix batch(count, base.cols());
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto src = base.row(rng.next_below(base.rows()));
+      auto dst = batch.row(i);
+      for (std::size_t d = 0; d < base.cols(); ++d) {
+        dst[d] = src[d] + 0.02f * rng.next_gaussian();
+      }
+    }
+    dyn.insert(batch);
+  };
+
+  const std::uint64_t roll = rng.next_below(10);
+  if (roll < 6) {
+    insert_rows();
+    return;
+  }
+  if (roll < 8) {
+    const dynamic::DynamicState st = dyn.state();
+    std::vector<std::uint32_t> victims;
+    for (int j = 0; j < 3; ++j) {
+      victims.push_back(
+          static_cast<std::uint32_t>(rng.next_below(st.next_external)));
+    }
+    if (dyn.erase(victims) > 0) return;
+  } else if (roll == 8) {
+    if (dyn.repair() > 0) return;
+  } else {
+    if (dyn.state().tombstone_ratio >= 0.05 && dyn.compact()) return;
+  }
+  // The drawn op was a no-op (nothing deletable/dirty/compactable) and did
+  // not bump the version; fall back to an insert so every step advances by
+  // exactly one — the alignment the schedule's version keying relies on.
+  insert_rows();
+}
+
+/// Mutable-index mode: fresh build or checkpoint+WAL recovery, optional
+/// counter-seeded churn to --stop-at-version, optional serving (with a
+/// write mix) on top, and a final graph dump for replay comparison.
+int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
+                const core::BuildParams& params, const Options& opt) {
+  dynamic::DynamicParams dp;
+  // The CLI steps the lifecycle itself (churn_step calls repair/compact
+  // explicitly), so threshold-driven inline maintenance stays off and every
+  // mutation is exactly one version bump.
+  dp.auto_maintain = false;
+  std::atomic<serve::ServeEngine*> engine_ptr{nullptr};
+  dp.on_publish = [&engine_ptr](auto snap) {
+    if (auto* e = engine_ptr.load()) e->publish(std::move(snap));
+  };
+
+  std::unique_ptr<dynamic::DynamicKnng> dyn;
+  if (opt.dynamic_recover) {
+    dyn = std::make_unique<dynamic::DynamicKnng>(
+        dynamic::DynamicKnng::Recover{}, pool, params, points,
+        opt.dynamic_dir, dp);
+    std::printf("dynamic: recovered %s at version %llu%s\n",
+                opt.dynamic_dir.c_str(),
+                static_cast<unsigned long long>(dyn->version()),
+                dyn->replay_torn_tail() ? " (torn tail discarded)" : "");
+  } else {
+    dyn = std::make_unique<dynamic::DynamicKnng>(pool, params, points,
+                                                 opt.dynamic_dir, dp);
+    std::printf("dynamic: fresh base in %s (version 1, %zu rows)\n",
+                opt.dynamic_dir.c_str(), points.rows());
+  }
+
+  while (opt.stop_at_version > 0 && dyn->version() < opt.stop_at_version) {
+    churn_step(*dyn, points, opt.seed);
+  }
+
+  if (opt.serve) {
+    FloatMatrix squeries;
+    const std::size_t nq = std::min<std::size_t>(256, points.rows());
+    squeries.resize(nq, points.cols());
+    Rng qrng(opt.seed ^ 0x5E27EULL);
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      const auto src = points.row(qrng.next_below(points.rows()));
+      auto dst = squeries.row(qi);
+      for (std::size_t d = 0; d < points.cols(); ++d) {
+        dst[d] = src[d] + 0.02f * qrng.next_gaussian();
+      }
+    }
+
+    serve::ServeOptions so;
+    so.max_batch = opt.serve_batch;
+    so.max_delay_us = opt.serve_delay_us;
+    so.workers = opt.serve_workers;
+    so.default_deadline_us = opt.serve_deadline_us;
+    so.search.k = opt.k;
+    so.search.beam = opt.beam;
+    so.search.seed = opt.seed;
+    serve::ServeEngine engine(pool, so, dyn->snapshot());
+    engine_ptr.store(&engine);
+
+    serve::LoadGenConfig cfg;
+    cfg.mode = opt.serve_mode == "open" ? serve::LoadGenConfig::Mode::kOpen
+                                        : serve::LoadGenConfig::Mode::kClosed;
+    cfg.seed = opt.seed;
+    cfg.requests = opt.serve_requests;
+    cfg.rate_qps = opt.serve_rate;
+    cfg.concurrency = opt.serve_concurrency;
+    cfg.mutate_fraction = opt.serve_mutate;
+    cfg.delete_fraction = opt.serve_delete_frac;
+
+    serve::MutationHooks hooks;
+    hooks.insert = [&](std::size_t i) {
+      FloatMatrix one(1, points.cols());
+      const auto src = points.row(i % points.rows());
+      auto dst = one.row(0);
+      for (std::size_t d = 0; d < points.cols(); ++d) {
+        dst[d] = src[d] + 0.03f * static_cast<float>((i % 7) + 1);
+      }
+      dyn->insert(one);
+    };
+    hooks.erase = [&](std::size_t i) {
+      dyn->erase(std::vector<std::uint32_t>{
+          static_cast<std::uint32_t>(i % points.rows())});
+    };
+
+    std::printf("serving dynamic: requests=%zu mutate=%.2f (deletes %.2f)\n",
+                cfg.requests, cfg.mutate_fraction, cfg.delete_fraction);
+    const serve::LoadGenReport rep = run_load(engine, squeries, cfg, hooks);
+    engine.drain();
+    engine_ptr.store(nullptr);
+    engine.stop();
+    std::printf("loadgen: %s\n", rep.to_json().c_str());
+  }
+
+  const dynamic::DynamicState st = dyn->state();
+  std::printf("dynamic state: version=%llu total=%zu live=%zu tombstones=%zu "
+              "dirty=%zu next_external=%llu\n",
+              static_cast<unsigned long long>(st.version), st.total_rows,
+              st.live_rows, st.tombstones, st.dirty_rows,
+              static_cast<unsigned long long>(st.next_external));
+  std::printf("dynamic metrics: %s\n", dyn->metrics().to_json().c_str());
+
+  if (!opt.out.empty()) {
+    data::write_knng(opt.out, dyn->snapshot()->graph);
+    std::printf("wrote %s\n", opt.out.c_str());
+  }
+  if (!opt.metrics_out.empty()) {
+    obs::MetricsRegistry reg;
+    obs::register_build_info(reg, obs::build_info());
+    dynamic::register_metrics(reg, dyn->metrics());
+    std::ofstream mout(opt.metrics_out);
+    WKNNG_CHECK_MSG(mout.good(), "cannot write " << opt.metrics_out);
+    if (opt.metrics_format == "json") {
+      mout << reg.to_json() << "\n";
+    } else {
+      mout << reg.to_prometheus();
+    }
+    std::printf("wrote %s\n", opt.metrics_out.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -388,6 +594,14 @@ int main(int argc, char** argv) {
     if (!opt->inject.empty()) {
       params.faults = simt::fault_spec_from_string(opt->inject);
     }
+
+    // Mutable-index mode short-circuits the one-shot pipeline: the dynamic
+    // subsystem owns build/recover, churn, serving, and the graph dump.
+    if (!opt->dynamic_dir.empty()) {
+      return run_dynamic(pool, points, params, *opt);
+    }
+    WKNNG_CHECK_MSG(opt->serve_mutate == 0.0,
+                    "--serve-mutate needs --dynamic-dir (a mutable index)");
 
     if (opt->tune > 0.0) {
       tuner::TuneOptions topt;

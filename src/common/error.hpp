@@ -77,6 +77,15 @@ class Sq8TrainError : public Error {
   using Error::Error;
 };
 
+/// A mutation batch was rejected at admission by the mutable-index layer
+/// (core::IncrementalKnng, dynamic::DynamicKnng): empty batch, dimension
+/// mismatch, or an id that cannot be resolved. Rejected batches are never
+/// applied and never reach the write-ahead log.
+class MutationError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A served query's deadline passed before its result could be delivered
 /// (src/serve): the request is answered with a typed timeout result instead
 /// of its neighbors.

@@ -127,8 +127,6 @@ KnngBuilder::KnngBuilder(ThreadPool& pool, BuildParams params)
   params_.obs = obs::params_from_env(params_.obs);
 }
 
-namespace {
-
 /// Finds the input rows containing a non-finite coordinate. Returns their
 /// ids, sorted ascending (parallel scan with a deterministic gather).
 std::vector<std::uint32_t> scan_nonfinite_rows(ThreadPool& pool,
@@ -179,6 +177,8 @@ void fill_quarantined_rows(KnnGraph& g,
     }
   }
 }
+
+namespace {
 
 /// One top-level phase on the build track of a trace: begins a tracer phase
 /// at construction (so kernel launches attribute to it) and records a span

@@ -49,8 +49,12 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                                      const SearchParams& params,
                                      SearchScratch* scratch,
                                      simt::StatsAccumulator* acc,
-                                     const kernels::Sq8View* sq8) {
+                                     const kernels::Sq8View* sq8,
+                                     std::span<const std::uint8_t> exclude) {
   WKNNG_CHECK(base.cols() == queries.cols());
+  WKNNG_CHECK_MSG(exclude.empty() || exclude.size() == base.rows(),
+                  "exclusion mask size " << exclude.size() << " != base "
+                                         << base.rows());
   WKNNG_CHECK(graph.num_points() == base.rows());
   WKNNG_CHECK_MSG(params.k > 0, "k must be positive");
   const bool use_sq8 = sq8 != nullptr && sq8->valid();
@@ -98,6 +102,12 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
 
     SearchScratch::Slot& slot = scr.local();
     slot.begin(n);
+    // Tombstone check: one byte load on candidate admission; an empty mask
+    // compiles down to the constant-false branch.
+    const bool has_exclude = !exclude.empty();
+    auto is_excluded = [&](std::uint32_t id) {
+      return has_exclude && exclude[id] != 0;
+    };
     std::uint64_t visits = 0;
     std::priority_queue<Neighbor, std::vector<Neighbor>, MinHeapCmp> frontier;
     // The compressed path widens the result heap to the rerank depth so the
@@ -146,8 +156,8 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
     TopK entries(entry_keep);
     score_ids(sample, entries);
     for (const Neighbor& e : entries.take_sorted()) {
-      frontier.push(e);
-      best.push(e.dist, e.id);
+      frontier.push(e);  // excluded entries still navigate
+      if (!is_excluded(e.id)) best.push(e.dist, e.id);
     }
 
     // Best-first descent over the graph.
@@ -183,7 +193,7 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
         for (std::size_t l = 0; l < cnt; ++l) {
           if (d[l] < best.worst()) {
             frontier.push({d[l], lane_ids[l]});
-            best.push(d[l], lane_ids[l]);
+            if (!is_excluded(lane_ids[l])) best.push(d[l], lane_ids[l]);
           }
         }
         visits += cnt;

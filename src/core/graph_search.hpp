@@ -129,6 +129,13 @@ struct BatchSearchResult {
 /// `params.rerank_depth` survivors are rescored against the fp32 base rows
 /// before the exact top-k is emitted. A null/invalid view leaves the search
 /// bit-identical to the uncompressed path.
+///
+/// `exclude`, when non-empty, must have one byte per base point; points with
+/// a non-zero byte (tombstones in the dynamic index) are *never admitted to
+/// the result top-k* (nor to the sq8 exact rerank) but remain navigable:
+/// the descent still walks through them, so a graph whose edges have not yet
+/// been repaired after a delete keeps its connectivity. An empty span is
+/// "no exclusions" and leaves the search bit-identical to before.
 BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                                      const KnnGraph& graph,
                                      const FloatMatrix& queries,
@@ -136,7 +143,8 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                                      const SearchParams& params,
                                      SearchScratch* scratch = nullptr,
                                      simt::StatsAccumulator* acc = nullptr,
-                                     const kernels::Sq8View* sq8 = nullptr);
+                                     const kernels::Sq8View* sq8 = nullptr,
+                                     std::span<const std::uint8_t> exclude = {});
 
 /// Answers every query against `base` using `graph` for navigation; one
 /// warp per query on the SIMT substrate. Returns a KnnGraph with one row per

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <queue>
+#include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
@@ -64,11 +65,38 @@ IncrementalKnng::IncrementalKnng(ThreadPool& pool, BuildParams params,
 }
 
 void IncrementalKnng::add_batch(const FloatMatrix& batch) {
-  WKNNG_CHECK(batch.cols() == points_.cols());
-  if (batch.rows() == 0) return;
+  // Typed admission: a rejected batch never mutates the index.
+  if (batch.rows() == 0) {
+    throw MutationError("add_batch: empty batch");
+  }
+  if (batch.cols() != points_.cols()) {
+    std::ostringstream os;
+    os << "add_batch: batch dim " << batch.cols() << " != index dim "
+       << points_.cols();
+    throw MutationError(os.str());
+  }
 
   const std::size_t old_n = points_.rows();
-  points_ = append_rows(points_, batch);
+
+  // Quarantine non-finite rows (the PR-2 builder discipline): zero their
+  // coordinates in storage so every distance kernel stays finite, and skip
+  // their connect pass below — they get +inf placeholder rows in graph().
+  const std::vector<std::uint32_t> bad = scan_nonfinite_rows(*pool_, batch);
+  std::vector<std::uint8_t> row_bad(batch.rows(), 0);
+  const FloatMatrix* src = &batch;
+  FloatMatrix sanitized;
+  if (!bad.empty()) {
+    sanitized = batch;
+    for (const std::uint32_t r : bad) {
+      auto row = sanitized.row(r);
+      std::fill(row.begin(), row.end(), 0.0f);
+      row_bad[r] = 1;
+      quarantined_.push_back(static_cast<std::uint32_t>(old_n + r));
+    }
+    src = &sanitized;
+  }
+
+  points_ = append_rows(points_, *src);
   sets_.grow(points_.rows());
 
   const std::size_t k = params_.k;
@@ -79,6 +107,7 @@ void IncrementalKnng::add_batch(const FloatMatrix& batch) {
   config.scratch_bytes = params_.scratch_bytes;
   config.trace_label = "incremental_insert";
   simt::launch_warps(*pool_, batch.rows(), config, &acc_, [&](Warp& w) {
+    if (row_bad[w.id()] != 0) return;  // quarantined: stored but not connected
     const auto id = static_cast<std::uint32_t>(old_n + w.id());
     const auto query = points_.row(id);
     Rng rng(params_.seed, 0xABCD0000ULL + id);
@@ -146,11 +175,16 @@ void IncrementalKnng::add_batch(const FloatMatrix& batch) {
     // Adopt the k best as forward neighbors; push reverse edges.
     auto found = best.take_sorted();
     if (found.size() > k) found.resize(k);
-    for (const Neighbor& nb : found) {
-      sets_.insert(w, strategy, id, Packed::make(nb.dist, nb.id));
-      sets_.insert(w, strategy, nb.id, Packed::make(nb.dist, id));
-    }
+    connect_point(w, sets_, strategy, id, found);
   });
+}
+
+void connect_point(simt::Warp& w, KnnSetArray& sets, Strategy strategy,
+                   std::uint32_t id, std::span<const Neighbor> found) {
+  for (const Neighbor& nb : found) {
+    sets.insert(w, strategy, id, Packed::make(nb.dist, nb.id));
+    sets.insert(w, strategy, nb.id, Packed::make(nb.dist, id));
+  }
 }
 
 void IncrementalKnng::refine() {
@@ -158,6 +192,10 @@ void IncrementalKnng::refine() {
   refine_round(*pool_, points_, adj, params_, sets_, &acc_);
 }
 
-KnnGraph IncrementalKnng::graph() const { return sets_.extract(*pool_); }
+KnnGraph IncrementalKnng::graph() const {
+  KnnGraph g = sets_.extract(*pool_);
+  if (!quarantined_.empty()) fill_quarantined_rows(g, quarantined_);
+  return g;
+}
 
 }  // namespace wknng::core

@@ -1,14 +1,18 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
+#include "common/topk.hpp"
 #include "core/builder.hpp"
 #include "core/knn_set.hpp"
 #include "core/params.hpp"
 #include "simt/stats.hpp"
+#include "simt/warp.hpp"
 
 namespace wknng::core {
 
@@ -42,8 +46,17 @@ class IncrementalKnng {
   const FloatMatrix& points() const { return points_; }
 
   /// Inserts a batch; the new points receive ids [size(), size() + batch).
-  /// Dimensions must match the initial points.
+  ///
+  /// Admission contract (typed, common/error.hpp): an empty batch or a
+  /// dimension mismatch throws wknng::MutationError and leaves the index
+  /// untouched. Rows containing a non-finite coordinate are quarantined the
+  /// way the batch builder quarantines them (PR-2): their coordinates are
+  /// zeroed in storage so distance kernels stay finite, they are never
+  /// connected into the graph, and graph() gives them +inf placeholder rows.
   void add_batch(const FloatMatrix& batch);
+
+  /// Ids of quarantined (non-finite) inserted rows, sorted ascending.
+  const std::vector<std::uint32_t>& quarantined() const { return quarantined_; }
 
   /// Runs one neighbor-of-neighbor refinement round over the whole graph
   /// (recommended every few batches to repair reverse-edge quality).
@@ -61,7 +74,16 @@ class IncrementalKnng {
   InsertParams insert_;
   FloatMatrix points_;
   KnnSetArray sets_;
+  std::vector<std::uint32_t> quarantined_;
   mutable simt::StatsAccumulator acc_;
 };
+
+/// The connect half of search-then-connect insertion: adopts `found` (the
+/// descent's k best, sorted) as `id`'s forward neighbors and pushes the
+/// reverse edge into each neighbor's set through the strategy's concurrent
+/// machinery. Shared by IncrementalKnng::add_batch and the dynamic index
+/// (src/dynamic), so both sides keep the exact same edge discipline.
+void connect_point(simt::Warp& w, KnnSetArray& sets, Strategy strategy,
+                   std::uint32_t id, std::span<const Neighbor> found);
 
 }  // namespace wknng::core

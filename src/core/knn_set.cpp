@@ -180,6 +180,14 @@ void KnnSetArray::grow(std::size_t new_n) {
   n_ = new_n;
 }
 
+void KnnSetArray::shrink(std::size_t new_n) {
+  WKNNG_CHECK_MSG(new_n <= n_, "shrink cannot grow: " << new_n << " > " << n_);
+  if (new_n == n_) return;
+  sets_.resize_preserving(new_n * k_, Packed::kEmpty);
+  locks_.assign(new_n);  // all locks idle by precondition
+  n_ = new_n;
+}
+
 KnnGraph KnnSetArray::extract(ThreadPool& pool) const {
   KnnGraph g(n_, k_);
   pool.parallel_for(n_, 64, [&](std::size_t p) {

@@ -106,6 +106,10 @@ class KnnSetArray {
   /// the incremental builder when a batch of points arrives.
   void grow(std::size_t new_n);
 
+  /// Shrinks the array to `new_n` points, keeping rows [0, new_n). Host-side
+  /// only. Used by dynamic compaction after live rows were packed down.
+  void shrink(std::size_t new_n);
+
  private:
   /// Degenerate single-candidate path for kTiled (wraps the candidate into a
   /// one-element run).

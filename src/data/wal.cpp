@@ -1,0 +1,376 @@
+#include "data/wal.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace wknng::data {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'W', 'K', 'N', 'N', 'G', 'W', 'A', 'L'};
+constexpr std::uint32_t kWalFormat = 1;
+constexpr std::size_t kHeaderBytes =
+    sizeof(kWalMagic) + 2 * sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t);
+constexpr std::size_t kPayloadHeaderBytes =
+    2 * sizeof(std::uint16_t) + sizeof(std::uint64_t);
+/// Frame-length sanity bound: no single mutation batch approaches a GiB.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+[[noreturn]] void throw_io(const std::string& path, const std::string& what) {
+  throw IoError(path + ": " + what);
+}
+
+/// Little-endian scalar append into a byte buffer (the payload serializer).
+template <typename T>
+void put(std::vector<unsigned char>& buf, T v) {
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  buf.insert(buf.end(), bytes, bytes + sizeof(T));
+}
+
+/// Bounds-checked scalar read out of a payload buffer.
+template <typename T>
+T get(const std::vector<unsigned char>& buf, std::size_t& at,
+      const std::string& path) {
+  if (buf.size() - at < sizeof(T)) throw_io(path, "truncated record payload");
+  T v;
+  std::memcpy(&v, buf.data() + at, sizeof(T));
+  at += sizeof(T);
+  return v;
+}
+
+std::vector<unsigned char> serialize_payload(const WalRecord& r) {
+  std::vector<unsigned char> buf;
+  put(buf, static_cast<std::uint16_t>(r.type));
+  put(buf, std::uint16_t{0});
+  put(buf, r.version);
+  switch (r.type) {
+    case WalRecord::Type::kInsert: {
+      const auto count = static_cast<std::uint32_t>(r.rows.rows());
+      const auto dim = static_cast<std::uint32_t>(r.rows.cols());
+      WKNNG_CHECK_MSG(r.external_ids.size() == count,
+                      "insert record ids " << r.external_ids.size()
+                                           << " != rows " << count);
+      put(buf, count);
+      put(buf, dim);
+      for (const std::uint32_t id : r.external_ids) put(buf, id);
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto row = r.rows.row(i);
+        const auto* p = reinterpret_cast<const unsigned char*>(row.data());
+        buf.insert(buf.end(), p, p + dim * sizeof(float));
+      }
+      break;
+    }
+    case WalRecord::Type::kDelete: {
+      const auto count = static_cast<std::uint32_t>(r.external_ids.size());
+      put(buf, count);
+      put(buf, std::uint32_t{0});
+      for (const std::uint32_t id : r.external_ids) put(buf, id);
+      break;
+    }
+    case WalRecord::Type::kRepair:
+      put(buf, r.rounds);
+      put(buf, std::uint32_t{0});
+      break;
+    case WalRecord::Type::kCompact:
+      break;
+  }
+  return buf;
+}
+
+WalRecord parse_payload(const std::vector<unsigned char>& buf,
+                        const std::string& path) {
+  std::size_t at = 0;
+  WalRecord r;
+  const auto type = get<std::uint16_t>(buf, at, path);
+  get<std::uint16_t>(buf, at, path);  // flags
+  r.version = get<std::uint64_t>(buf, at, path);
+  switch (type) {
+    case 1: {
+      r.type = WalRecord::Type::kInsert;
+      const auto count = get<std::uint32_t>(buf, at, path);
+      const auto dim = get<std::uint32_t>(buf, at, path);
+      const std::uint64_t need =
+          std::uint64_t(count) * sizeof(std::uint32_t) +
+          std::uint64_t(count) * dim * sizeof(float);
+      if (buf.size() - at != need) {
+        throw_io(path, "insert record payload size mismatch");
+      }
+      r.external_ids.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        r.external_ids[i] = get<std::uint32_t>(buf, at, path);
+      }
+      r.rows = FloatMatrix(count, dim);
+      std::memcpy(r.rows.data(), buf.data() + at,
+                  std::size_t(count) * dim * sizeof(float));
+      break;
+    }
+    case 2: {
+      r.type = WalRecord::Type::kDelete;
+      const auto count = get<std::uint32_t>(buf, at, path);
+      get<std::uint32_t>(buf, at, path);  // reserved
+      if (buf.size() - at != std::uint64_t(count) * sizeof(std::uint32_t)) {
+        throw_io(path, "delete record payload size mismatch");
+      }
+      r.external_ids.resize(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        r.external_ids[i] = get<std::uint32_t>(buf, at, path);
+      }
+      break;
+    }
+    case 3:
+      r.type = WalRecord::Type::kRepair;
+      r.rounds = get<std::uint32_t>(buf, at, path);
+      get<std::uint32_t>(buf, at, path);  // reserved
+      break;
+    case 4:
+      r.type = WalRecord::Type::kCompact;
+      break;
+    default: {
+      std::ostringstream os;
+      os << "unknown WAL record type " << type;
+      throw_io(path, os.str());
+    }
+  }
+  return r;
+}
+
+struct SegmentHeader {
+  std::uint64_t signature = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t first_version = 0;
+};
+
+/// Reads and validates one segment header; returns false on a file too short
+/// to hold one (a segment that crashed before its atomic roll completed is
+/// impossible at the final path, so a short file at the final path is
+/// corruption — the caller decides).
+bool read_header(std::FILE* f, const std::string& path, SegmentHeader& h) {
+  char magic[8] = {};
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic)) return false;
+  if (std::memcmp(magic, kWalMagic, sizeof(kWalMagic)) != 0) {
+    throw_io(path, "not a WKNNGWAL segment");
+  }
+  std::uint32_t format = 0, reserved = 0;
+  if (std::fread(&format, sizeof(format), 1, f) != 1) return false;
+  if (format != kWalFormat) {
+    std::ostringstream os;
+    os << "unsupported WAL format " << format << " (this build reads "
+       << kWalFormat << ")";
+    throw_io(path, os.str());
+  }
+  if (std::fread(&reserved, sizeof(reserved), 1, f) != 1) return false;
+  if (std::fread(&h.signature, sizeof(h.signature), 1, f) != 1) return false;
+  if (std::fread(&h.seq, sizeof(h.seq), 1, f) != 1) return false;
+  if (std::fread(&h.first_version, sizeof(h.first_version), 1, f) != 1) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b) {
+        c = (c & 1u) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+std::string wal_segment_path(const std::string& dir, std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + name;
+}
+
+WalWriter::WalWriter(std::string dir, std::uint64_t signature,
+                     std::uint64_t start_seq, std::uint64_t start_version,
+                     std::size_t segment_bytes)
+    : dir_(std::move(dir)),
+      signature_(signature),
+      seq_(start_seq),
+      last_version_(start_version),
+      segment_bytes_(std::max<std::size_t>(segment_bytes, kHeaderBytes)) {
+  WKNNG_CHECK_MSG(seq_ > 0, "WAL segment sequence is 1-based");
+  std::filesystem::create_directories(dir_);
+  open_segment();
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void WalWriter::open_segment() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    ++seq_;
+  }
+  const std::string path = wal_segment_path(dir_, seq_);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) throw_io(tmp, "cannot open for writing");
+  bool ok = std::fwrite(kWalMagic, 1, sizeof(kWalMagic), f) ==
+            sizeof(kWalMagic);
+  const std::uint32_t format = kWalFormat, reserved = 0;
+  ok = ok && std::fwrite(&format, sizeof(format), 1, f) == 1;
+  ok = ok && std::fwrite(&reserved, sizeof(reserved), 1, f) == 1;
+  ok = ok && std::fwrite(&signature_, sizeof(signature_), 1, f) == 1;
+  ok = ok && std::fwrite(&seq_, sizeof(seq_), 1, f) == 1;
+  ok = ok && std::fwrite(&last_version_, sizeof(last_version_), 1, f) == 1;
+  ok = ok && std::fflush(f) == 0;
+  if (!ok) {
+    std::fclose(f);
+    throw_io(tmp, "segment header write failed");
+  }
+  // Atomic roll: the segment appears at its final path only with a complete
+  // header; appends continue through the same (renamed) inode.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fclose(f);
+    throw_io(path, "segment rename failed");
+  }
+  file_ = f;
+  active_bytes_ = kHeaderBytes;
+  ++segments_opened_;
+}
+
+void WalWriter::append(const WalRecord& record) {
+  WKNNG_CHECK_MSG(record.version > last_version_,
+                  "WAL versions must increase: " << record.version
+                                                 << " after " << last_version_);
+  const std::vector<unsigned char> payload = serialize_payload(record);
+  WKNNG_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+                  "WAL record too large: " << payload.size() << " bytes");
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  const std::string path = wal_segment_path(dir_, seq_);
+  bool ok = std::fwrite(&len, sizeof(len), 1, file_) == 1;
+  ok = ok && std::fwrite(&crc, sizeof(crc), 1, file_) == 1;
+  ok = ok && (payload.empty() ||
+              std::fwrite(payload.data(), 1, payload.size(), file_) ==
+                  payload.size());
+  // Flush per record: an acknowledged mutation reaches the kernel before the
+  // caller's apply step runs, so SIGKILL can only tear the *last* frame.
+  ok = ok && std::fflush(file_) == 0;
+  if (!ok) throw_io(path, "record append failed");
+  last_version_ = record.version;
+  const std::uint64_t frame = 2 * sizeof(std::uint32_t) + payload.size();
+  bytes_appended_ += frame;
+  active_bytes_ += frame;
+  ++records_appended_;
+  if (active_bytes_ >= segment_bytes_) open_segment();
+}
+
+WalReplay replay_wal(const std::string& dir, std::uint64_t signature,
+                     std::uint64_t start_version,
+                     const std::function<void(const WalRecord&)>& apply) {
+  WalReplay out;
+  out.last_version = start_version;
+
+  // Collect segments in sequence order from the directory listing.
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "wal-%06llu.log", &seq) == 1 &&
+        name == std::string(wal_segment_path("", seq), 1)) {
+      segments.emplace_back(seq, entry.path().string());
+    }
+  }
+  if (ec || segments.empty()) return out;  // absent/empty dir: nothing logged
+  std::sort(segments.begin(), segments.end());
+
+  bool tear_seen = false;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto& [seq, path] = segments[s];
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw_io(path, "cannot open for reading");
+    struct Closer {
+      std::FILE* f;
+      ~Closer() { std::fclose(f); }
+    } closer{f};
+
+    SegmentHeader h;
+    if (!read_header(f, path, h)) {
+      throw_io(path, "truncated segment header");
+    }
+    if (h.signature != signature) {
+      std::ostringstream os;
+      os << "WAL signature mismatch: segment has " << h.signature
+         << ", base checkpoint has " << signature;
+      throw_io(path, os.str());
+    }
+    if (h.seq != seq) throw_io(path, "segment sequence/name mismatch");
+    // Chain contract: a segment must continue exactly where the intact
+    // prefix left off. This is also what certifies a mid-log tear: the next
+    // segment was opened by a recovered writer at the torn position.
+    if (h.first_version != out.last_version) {
+      std::ostringstream os;
+      os << "WAL chain broken: segment opens at version " << h.first_version
+         << " but replay is at " << out.last_version;
+      throw_io(path, os.str());
+    }
+    tear_seen = false;
+    ++out.segments;
+    out.next_seq = seq + 1;
+
+    while (true) {
+      std::uint32_t len = 0, crc = 0;
+      const std::size_t got_len = std::fread(&len, 1, sizeof(len), f);
+      if (got_len == 0) break;  // clean end of segment
+      if (got_len < sizeof(len) ||
+          std::fread(&crc, sizeof(crc), 1, f) != 1) {
+        tear_seen = true;  // frame header torn
+        break;
+      }
+      if (len < kPayloadHeaderBytes || len > kMaxPayloadBytes) {
+        tear_seen = true;  // implausible length: torn/garbage frame
+        break;
+      }
+      std::vector<unsigned char> payload(len);
+      if (std::fread(payload.data(), 1, len, f) != len) {
+        tear_seen = true;  // payload torn
+        break;
+      }
+      if (crc32(payload.data(), payload.size()) != crc) {
+        tear_seen = true;  // bits flipped or partially written
+        break;
+      }
+      WalRecord r = parse_payload(payload, path);
+      if (r.version <= out.last_version) {
+        throw_io(path, "WAL record versions must increase strictly");
+      }
+      out.last_version = r.version;
+      ++out.records;
+      apply(r);
+    }
+    // A tear anywhere but the final segment is only legitimate if the next
+    // segment chains from the intact prefix — which the first_version check
+    // at the top of the loop enforces on the next iteration.
+  }
+  out.torn_tail = tear_seen;
+  return out;
+}
+
+}  // namespace wknng::data

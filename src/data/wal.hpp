@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace wknng::data {
+
+/// Write-ahead delta log of the dynamic index (src/dynamic) — WKNNGWAL1.
+///
+/// The log is a directory of append-only segment files, anchored to a
+/// WKNNGCP1 base checkpoint by core::build_signature: base + log replay
+/// reproduces the exact published graph version bit for bit, because every
+/// state transition the index performs (insert batch, delete batch, repair
+/// pass, compaction) is appended as one record *before* it is applied, and
+/// each transition is a deterministic function of the state it runs on.
+///
+/// Segment file `<dir>/wal-<seq:06>.log` (little-endian):
+///   magic         "WKNNGWAL"  (8 bytes)
+///   format        uint32      (1; readers reject unknown versions)
+///   reserved      uint32      (0)
+///   signature     uint64      (core::build_signature of the base build)
+///   seq           uint64      (1-based segment sequence number)
+///   first_version uint64      (index version when the segment was opened)
+///
+/// followed by CRC-framed records:
+///   len     uint32   payload byte count
+///   crc     uint32   crc32 (IEEE) of the payload
+///   payload len bytes:
+///     type    uint16   (1=insert, 2=delete, 3=repair, 4=compact)
+///     flags   uint16   (0)
+///     version uint64   (index version *after* applying; strictly increasing)
+///     insert: count u32, dim u32, count x u32 external ids,
+///             count*dim x float rows
+///     delete: count u32, reserved u32, count x u32 external ids
+///     repair: rounds u32, reserved u32
+///     compact: (empty)
+///
+/// Durability/atomicity contract:
+///  * A segment becomes visible to recovery only once its header is complete:
+///    the header is written to `<path>.tmp` and renamed (atomic segment
+///    roll), after which records are appended in place and flushed per
+///    append.
+///  * SIGKILL mid-append leaves at most one torn record at the tail of the
+///    newest segment; replay discards it and reports the last intact version.
+///  * A writer restarted after a crash opens a *new* segment (it never
+///    appends after a torn tail). Replay follows the segment chain across
+///    the tear: a mid-segment bad record is accepted as a tear exactly when
+///    the next segment's first_version continues from the last intact
+///    record; anything else throws wknng::IoError (real corruption).
+struct WalRecord {
+  enum class Type : std::uint16_t {
+    kInsert = 1,
+    kDelete = 2,
+    kRepair = 3,
+    kCompact = 4,
+  };
+
+  Type type = Type::kInsert;
+  std::uint64_t version = 0;  ///< index version after applying this record
+  std::vector<std::uint32_t> external_ids;  ///< insert/delete targets
+  FloatMatrix rows;                         ///< insert payload rows
+  std::uint32_t rounds = 0;                 ///< repair rounds
+};
+
+/// CRC-32 (IEEE 802.3) over `bytes` bytes — the record framing checksum.
+/// Exposed so tests can forge/verify frames.
+std::uint32_t crc32(const void* data, std::size_t bytes);
+
+/// Canonical segment path: "<dir>/wal-<seq:06>.log".
+std::string wal_segment_path(const std::string& dir, std::uint64_t seq);
+
+/// Appender. Opens segment `start_seq` on construction (atomic header roll)
+/// and rolls to the next segment whenever the active one crosses
+/// `segment_bytes`. Every append is flushed to the kernel before returning,
+/// so an acknowledged mutation survives process death.
+class WalWriter {
+ public:
+  WalWriter(std::string dir, std::uint64_t signature, std::uint64_t start_seq,
+            std::uint64_t start_version, std::size_t segment_bytes);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record (record.version must be > every prior version).
+  void append(const WalRecord& record);
+
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+  std::uint64_t records_appended() const { return records_appended_; }
+  std::uint64_t active_seq() const { return seq_; }
+  std::uint64_t segments_opened() const { return segments_opened_; }
+
+ private:
+  void open_segment();
+
+  std::string dir_;
+  std::uint64_t signature_;
+  std::uint64_t seq_;
+  std::uint64_t last_version_;
+  std::size_t segment_bytes_;
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t records_appended_ = 0;
+  std::uint64_t segments_opened_ = 0;
+  std::uint64_t active_bytes_ = 0;
+  std::FILE* file_ = nullptr;
+};
+
+/// Outcome of one log replay.
+struct WalReplay {
+  std::uint64_t last_version = 0;  ///< version after the last intact record
+  std::size_t records = 0;         ///< intact records applied
+  std::size_t segments = 0;        ///< segment files visited
+  bool torn_tail = false;          ///< a torn tail record was discarded
+  std::uint64_t next_seq = 1;      ///< segment a restarted writer should open
+};
+
+/// Replays every intact record under `dir` in (seq, offset) order, invoking
+/// `apply` per record. `signature` must match every segment header
+/// (build_signature anchoring — throws wknng::IoError otherwise), and record
+/// versions must increase strictly from `start_version`. An empty/absent
+/// directory replays zero records.
+WalReplay replay_wal(const std::string& dir, std::uint64_t signature,
+                     std::uint64_t start_version,
+                     const std::function<void(const WalRecord&)>& apply);
+
+}  // namespace wknng::data

@@ -1,0 +1,72 @@
+#include "dynamic/metrics.hpp"
+
+#include <sstream>
+
+#include "obs/registry.hpp"
+
+namespace wknng::dynamic {
+
+std::string DynamicMetrics::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{"
+     << "\"inserts\":" << inserts.value()
+     << ",\"insert_rows\":" << insert_rows.value()
+     << ",\"deletes\":" << deletes.value()
+     << ",\"delete_rows\":" << delete_rows.value()
+     << ",\"repairs\":" << repairs.value()
+     << ",\"repaired_rows\":" << repaired_rows.value()
+     << ",\"compactions\":" << compactions.value()
+     << ",\"reclaimed_rows\":" << reclaimed_rows.value()
+     << ",\"wal_records\":" << wal_records.value()
+     << ",\"wal_bytes\":" << wal_bytes.value()
+     << ",\"replayed_records\":" << replayed_records.value() << "}"
+     << ",\"version\":" << version.value()
+     << ",\"total_rows\":" << total_rows.value()
+     << ",\"live_rows\":" << live_rows.value()
+     << ",\"tombstones\":" << tombstones.value()
+     << ",\"tombstone_ratio\":" << tombstone_ratio.value()
+     << ",\"dirty_rows\":" << dirty_rows.value() << "}";
+  return os.str();
+}
+
+void register_metrics(obs::MetricsRegistry& reg, const DynamicMetrics& m) {
+  reg.link_counter("wknng_dynamic_inserts_total", m.inserts,
+                   "Insert batches accepted by the dynamic index");
+  reg.link_counter("wknng_dynamic_insert_rows_total", m.insert_rows,
+                   "Rows inserted into the dynamic index");
+  reg.link_counter("wknng_dynamic_deletes_total", m.deletes,
+                   "Delete batches accepted by the dynamic index");
+  reg.link_counter("wknng_dynamic_delete_rows_total", m.delete_rows,
+                   "Rows tombstoned in the dynamic index");
+  reg.link_counter("wknng_dynamic_repairs_total", m.repairs,
+                   "Dirty-region repair passes run");
+  reg.link_counter("wknng_dynamic_repaired_rows_total", m.repaired_rows,
+                   "Row-rounds repaired by dirty-region NN-Descent");
+  reg.link_counter("wknng_dynamic_compactions_total", m.compactions,
+                   "Compactions (tombstone reclamation) run");
+  reg.link_counter("wknng_dynamic_reclaimed_rows_total", m.reclaimed_rows,
+                   "Tombstoned slots reclaimed by compaction");
+  reg.link_counter("wknng_dynamic_wal_records_total", m.wal_records,
+                   "Records appended to the write-ahead delta log");
+  reg.link_counter("wknng_dynamic_wal_bytes_total", m.wal_bytes,
+                   "Bytes appended to the write-ahead delta log");
+  reg.link_counter("wknng_dynamic_replayed_records_total", m.replayed_records,
+                   "Delta-log records re-applied during recovery");
+  reg.gauge_fn("wknng_dynamic_version", [&m] { return m.version.value(); },
+               "Last published graph version");
+  reg.gauge_fn("wknng_dynamic_total_rows",
+               [&m] { return m.total_rows.value(); },
+               "Internal rows (live + tombstoned)");
+  reg.gauge_fn("wknng_dynamic_live_rows", [&m] { return m.live_rows.value(); },
+               "Rows visible to queries");
+  reg.gauge_fn("wknng_dynamic_tombstones",
+               [&m] { return m.tombstones.value(); },
+               "Tombstoned rows awaiting compaction");
+  reg.gauge_fn("wknng_dynamic_tombstone_ratio",
+               [&m] { return m.tombstone_ratio.value(); },
+               "Tombstoned fraction of internal rows");
+  reg.gauge_fn("wknng_dynamic_dirty_rows", [&m] { return m.dirty_rows.value(); },
+               "Rows awaiting dirty-region repair");
+}
+
+}  // namespace wknng::dynamic

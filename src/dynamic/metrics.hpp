@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wknng::obs {
+class MetricsRegistry;
+}  // namespace wknng::obs
+
+namespace wknng::dynamic {
+
+/// Instrumentation of the mutable index (`wknng_dynamic_*` series). Counters
+/// accumulate over the index lifetime; gauges are refreshed by the index
+/// after every version bump, so an exporter scrape sees the last published
+/// state without touching the writer lock.
+struct DynamicMetrics {
+  obs::Counter inserts;            ///< insert batches accepted
+  obs::Counter insert_rows;        ///< rows inserted
+  obs::Counter deletes;            ///< delete batches accepted
+  obs::Counter delete_rows;        ///< rows tombstoned
+  obs::Counter repairs;            ///< dirty-region repair passes run
+  obs::Counter repaired_rows;      ///< row-rounds repaired
+  obs::Counter compactions;        ///< compactions run
+  obs::Counter reclaimed_rows;     ///< tombstoned slots reclaimed
+  obs::Counter wal_records;        ///< records appended to the delta log
+  obs::Counter wal_bytes;          ///< bytes appended to the delta log
+  obs::Counter replayed_records;   ///< records re-applied during recovery
+
+  obs::Gauge version;              ///< last published graph version
+  obs::Gauge total_rows;           ///< internal rows (live + tombstoned)
+  obs::Gauge live_rows;            ///< rows visible to queries
+  obs::Gauge tombstones;           ///< tombstoned rows awaiting compaction
+  obs::Gauge tombstone_ratio;      ///< tombstones / total
+  obs::Gauge dirty_rows;           ///< rows awaiting repair
+
+  std::string to_json() const;
+};
+
+/// Registers the `wknng_dynamic_*` series into the central registry (linked
+/// instruments: `m` must outlive `reg`'s export calls).
+void register_metrics(obs::MetricsRegistry& reg, const DynamicMetrics& m);
+
+}  // namespace wknng::dynamic

@@ -19,6 +19,7 @@ inline constexpr std::uint32_t kTrackBuild = 0;
 inline constexpr std::uint32_t kTrackLaunch = 1;
 inline constexpr std::uint32_t kTrackServe = 2;
 inline constexpr std::uint32_t kTrackShard = 3;
+inline constexpr std::uint32_t kTrackDynamic = 4;
 inline constexpr std::uint32_t kTrackWarpBase = 16;
 inline constexpr std::uint32_t kNumWarpTracks = 32;
 
@@ -33,6 +34,7 @@ enum class SpanSalt : std::uint64_t {
   kCheckpoint = 6,
   kInstant = 7,
   kShardJob = 8,
+  kDynamicOp = 9,
 };
 
 /// One Chrome trace-event. `args` values are raw JSON fragments (already

@@ -200,7 +200,8 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
     result = core::graph_search_batch(*pool_, snap->base, snap->graph,
                                       queries, tags, options_.search,
                                       &scratch_, nullptr,
-                                      sq8.valid() ? &sq8 : nullptr);
+                                      sq8.valid() ? &sq8 : nullptr,
+                                      snap->exclusion_mask());
   } catch (const std::exception& e) {
     // A failed batch (e.g. an injected LaunchAllocError) answers every
     // request with a typed failure; the engine itself stays live.
@@ -232,6 +233,11 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
     const auto row = result.results.row(i);
     const std::size_t valid = result.results.row_size(i);
     qr.neighbors.assign(row.begin(), row.begin() + valid);
+    if (snap->external_ids != nullptr) {
+      // Dynamic snapshot: answers carry stable external ids, so a client's
+      // view of a point never changes when compaction rewrites rows.
+      for (Neighbor& nb : qr.neighbors) nb.id = snap->external_id(nb.id);
+    }
     if (done > r.deadline) {
       qr.status = QueryStatus::kTimeout;  // late result: neighbors included
       std::ostringstream os;

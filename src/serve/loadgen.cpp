@@ -1,6 +1,7 @@
 #include "serve/loadgen.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -20,6 +21,11 @@ using Clock = std::chrono::steady_clock;
 /// Stream-id base for arrival draws, disjoint from the kernel's query
 /// streams (0x5EA5C000 + tag) so the schedule never correlates with search.
 constexpr std::uint64_t kArrivalStream = 0x10AD6E4100000000ULL;
+
+/// Stream-id base for write-mix classification draws — its own disjoint
+/// block, so changing mutate_fraction never perturbs arrival times and
+/// vice versa.
+constexpr std::uint64_t kMutateStream = 0x3317A7E500000000ULL;
 
 /// One response folded to a 64-bit digest. Each request's digest is keyed by
 /// its tag, so the run-level commutative sum detects any per-request change
@@ -56,11 +62,26 @@ std::string LoadGenReport::to_json() const {
   std::ostringstream os;
   os << "{\"requests\":" << requests << ",\"ok\":" << ok
      << ",\"timed_out\":" << timed_out << ",\"shed\":" << shed
-     << ",\"failed\":" << failed << ",\"wall_seconds\":" << wall_seconds
+     << ",\"failed\":" << failed << ",\"reads\":" << reads
+     << ",\"inserts\":" << inserts << ",\"deletes\":" << deletes
+     << ",\"mutation_failures\":" << mutation_failures
+     << ",\"wall_seconds\":" << wall_seconds
      << ",\"achieved_qps\":" << achieved_qps
      << ",\"points_visited\":" << points_visited << ",\"result_hash\":\""
      << std::hex << result_hash << "\"}";
   return os.str();
+}
+
+RequestKind request_kind(const LoadGenConfig& config, std::size_t i) {
+  if (config.mutate_fraction <= 0.0) return RequestKind::kRead;
+  // Counter-hash: slot i's kind comes from its own (seed, i) stream — a pure
+  // function of the config, independent of every other slot.
+  Rng rng(config.seed, kMutateStream + i);
+  const double u = rng.next_double();
+  if (u >= config.mutate_fraction) return RequestKind::kRead;
+  return u < config.mutate_fraction * config.delete_fraction
+             ? RequestKind::kDelete
+             : RequestKind::kInsert;
 }
 
 std::vector<double> open_loop_schedule(std::uint64_t seed,
@@ -83,18 +104,45 @@ std::vector<double> open_loop_schedule(std::uint64_t seed,
 }
 
 LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
-                       const LoadGenConfig& config) {
+                       const LoadGenConfig& config,
+                       const MutationHooks& hooks) {
   WKNNG_CHECK_MSG(queries.rows() > 0, "loadgen needs at least one query row");
   const std::size_t n = config.requests;
   LoadGenReport rep;
   rep.requests = n;
   if (n == 0) return rep;
 
-  // Request i always carries tag i and query row i % rows: which requests
-  // exist, and what each one asks, is fixed before any clock is read.
+  // Which requests exist, what each one asks, and which are mutations is all
+  // fixed here — before any clock is read. A mutation kind with no matching
+  // hook degrades to a read so read-only callers never need hooks.
+  std::vector<RequestKind> kinds(n, RequestKind::kRead);
+  for (std::size_t i = 0; i < n; ++i) {
+    RequestKind kind = request_kind(config, i);
+    if (kind == RequestKind::kInsert && !hooks.insert) kind = RequestKind::kRead;
+    if (kind == RequestKind::kDelete && !hooks.erase) kind = RequestKind::kRead;
+    kinds[i] = kind;
+  }
+
+  // Request i always carries tag i and query row i % rows.
   auto query_row = [&](std::size_t i) {
     const auto row = queries.row(i % queries.rows());
     return std::vector<float>(row.begin(), row.end());
+  };
+
+  std::atomic<std::size_t> inserts{0}, deletes{0}, mutation_failures{0};
+  auto mutate = [&](std::size_t i) {
+    try {
+      if (kinds[i] == RequestKind::kInsert) {
+        hooks.insert(i);
+        inserts.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        hooks.erase(i);
+        deletes.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const Error&) {
+      // A rejected mutation (MutationError etc.) is an outcome, not a crash.
+      mutation_failures.fetch_add(1, std::memory_order_relaxed);
+    }
   };
 
   std::vector<QueryResult> results(n);
@@ -103,15 +151,22 @@ LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
   if (config.mode == LoadGenConfig::Mode::kOpen) {
     const std::vector<double> offsets =
         open_loop_schedule(config.seed, n, config.rate_qps);
-    std::vector<std::future<QueryResult>> futures;
-    futures.reserve(n);
+    std::vector<std::future<QueryResult>> futures(n);
+    std::vector<std::uint8_t> submitted(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
       std::this_thread::sleep_until(
           t0 + std::chrono::duration_cast<Clock::duration>(
                    std::chrono::duration<double, std::micro>(offsets[i])));
-      futures.push_back(engine.submit(query_row(i), config.deadline_us, i));
+      if (kinds[i] == RequestKind::kRead) {
+        futures[i] = engine.submit(query_row(i), config.deadline_us, i);
+        submitted[i] = 1;
+      } else {
+        mutate(i);  // inline on the arrival thread: admission is ordered
+      }
     }
-    for (std::size_t i = 0; i < n; ++i) results[i] = futures[i].get();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (submitted[i] != 0) results[i] = futures[i].get();
+    }
   } else {
     const std::size_t c =
         std::max<std::size_t>(1, std::min(config.concurrency, n));
@@ -121,8 +176,12 @@ LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
       threads.emplace_back([&, t] {
         // One request outstanding per thread; distinct indices, no locking.
         for (std::size_t i = t; i < n; i += c) {
-          results[i] =
-              engine.submit(query_row(i), config.deadline_us, i).get();
+          if (kinds[i] == RequestKind::kRead) {
+            results[i] =
+                engine.submit(query_row(i), config.deadline_us, i).get();
+          } else {
+            mutate(i);
+          }
         }
       });
     }
@@ -133,8 +192,20 @@ LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
   rep.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   rep.achieved_qps =
       rep.wall_seconds > 0.0 ? static_cast<double>(n) / rep.wall_seconds : 0.0;
-  for (const QueryResult& qr : results) fold(rep, qr);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kinds[i] != RequestKind::kRead) continue;
+    ++rep.reads;
+    fold(rep, results[i]);
+  }
+  rep.inserts = inserts.load();
+  rep.deletes = deletes.load();
+  rep.mutation_failures = mutation_failures.load();
   return rep;
+}
+
+LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
+                       const LoadGenConfig& config) {
+  return run_load(engine, queries, config, MutationHooks{});
 }
 
 }  // namespace wknng::serve

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -24,12 +25,22 @@ namespace wknng::serve {
 /// per-row term cache). When present, batch executors score candidates
 /// against the compressed rows and rerank exactly; when absent, serving is
 /// bit-identical to the uncompressed path.
+/// A snapshot published by the dynamic index (src/dynamic) additionally
+/// carries the mutable-lifecycle metadata frozen at publish time:
+/// `tombstones` (one byte per base row; non-zero = deleted, the executor
+/// hands it to graph_search_batch as the exclusion mask so deleted points are
+/// invisible to results the moment the snapshot lands) and `external_ids`
+/// (internal row -> stable client-facing id; the executor remaps every
+/// emitted neighbor, so ids survive compaction's row rewrites). Both are
+/// null on static snapshots, which serve exactly as before.
 struct GraphSnapshot {
   std::uint64_t version = 0;
   FloatMatrix base;
   KnnGraph graph;
   std::shared_ptr<const kernels::Sq8Matrix> sq8;  ///< optional compressed tier
   std::vector<float> sq8_terms;  ///< per-row term cache (empty in strict mode)
+  std::shared_ptr<const std::vector<std::uint8_t>> tombstones;
+  std::shared_ptr<const std::vector<std::uint32_t>> external_ids;
 
   GraphSnapshot() = default;
   GraphSnapshot(std::uint64_t v, FloatMatrix b, KnnGraph g)
@@ -49,6 +60,22 @@ struct GraphSnapshot {
   kernels::Sq8View sq8_view() const {
     if (sq8 == nullptr) return {};
     return {sq8.get(), sq8_terms};
+  }
+
+  /// The exclusion mask batch executors pass to the search kernel: empty for
+  /// static snapshots or when the mask's shape does not match the base.
+  std::span<const std::uint8_t> exclusion_mask() const {
+    if (tombstones == nullptr || tombstones->size() != base.rows()) return {};
+    return {tombstones->data(), tombstones->size()};
+  }
+
+  /// Maps an internal row id to its stable external id (identity when the
+  /// snapshot carries no mapping).
+  std::uint32_t external_id(std::uint32_t internal) const {
+    if (external_ids == nullptr || internal >= external_ids->size()) {
+      return internal;
+    }
+    return (*external_ids)[internal];
   }
 };
 

@@ -20,6 +20,7 @@
 ///   obs/        span tracing, metrics registry, Prometheus/JSON exporters
 ///   serve/      batched, deadline-aware query serving over a built graph
 ///   shard/      fault-tolerant sharded build orchestration + query routing
+///   dynamic/    mutable K-NNG: inserts, tombstone deletes, WAL, repair
 
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
@@ -36,6 +37,9 @@
 #include "data/io.hpp"
 #include "data/synthetic.hpp"
 #include "data/transforms.hpp"
+#include "data/wal.hpp"
+#include "dynamic/dynamic_knng.hpp"
+#include "dynamic/metrics.hpp"
 #include "exact/brute_force.hpp"
 #include "exact/recall.hpp"
 #include "ivf/ivf_flat.hpp"

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/graph_metrics.hpp"
 #include "data/synthetic.hpp"
 #include "exact/brute_force.hpp"
@@ -136,7 +139,7 @@ TEST_P(IncrementalTest, RefineImprovesInsertedRecall) {
   EXPECT_GE(after + 1e-9, before);
 }
 
-TEST_P(IncrementalTest, EmptyBatchIsANoop) {
+TEST_P(IncrementalTest, EmptyBatchThrowsTypedError) {
   ThreadPool pool(1);
   const FloatMatrix pts = data::make_uniform(100, 4, 19);
   BuildParams params;
@@ -144,8 +147,64 @@ TEST_P(IncrementalTest, EmptyBatchIsANoop) {
   params.strategy = GetParam();
   IncrementalKnng inc(pool, params, pts);
   const FloatMatrix empty(0, 4);
-  inc.add_batch(empty);
+  EXPECT_THROW(inc.add_batch(empty), MutationError);
+  EXPECT_EQ(inc.size(), 100u);  // rejected batches never mutate the index
+}
+
+TEST_P(IncrementalTest, DimensionMismatchThrowsTypedError) {
+  ThreadPool pool(1);
+  const FloatMatrix pts = data::make_uniform(100, 4, 19);
+  BuildParams params;
+  params.k = 4;
+  params.strategy = GetParam();
+  IncrementalKnng inc(pool, params, pts);
+  const FloatMatrix wrong_dim = data::make_uniform(10, 6, 21);
+  EXPECT_THROW(inc.add_batch(wrong_dim), MutationError);
   EXPECT_EQ(inc.size(), 100u);
+  EXPECT_TRUE(inc.graph().check_invariants());
+}
+
+TEST_P(IncrementalTest, NonFiniteRowsAreQuarantined) {
+  ThreadPool pool(2);
+  const FloatMatrix all = data::make_clusters(260, 8, 4, 0.1f, 29);
+  auto [initial, batch] = split(all, 250);
+
+  // Poison one batch row with NaN and one with +inf.
+  batch.row(2)[1] = std::numeric_limits<float>::quiet_NaN();
+  batch.row(5)[0] = std::numeric_limits<float>::infinity();
+
+  BuildParams params;
+  params.k = 5;
+  params.strategy = GetParam();
+  IncrementalKnng inc(pool, params, std::move(initial));
+  inc.add_batch(batch);
+  ASSERT_EQ(inc.size(), 260u);
+
+  // The poisoned rows are quarantined under their assigned ids ...
+  const std::vector<std::uint32_t> expected = {252, 255};
+  EXPECT_EQ(inc.quarantined(), expected);
+
+  // ... their graph rows are unambiguous placeholders (+inf distances to
+  // the lowest-id healthy points, the builder's quarantine contract), and
+  // no healthy row ever adopted a quarantined point as a neighbor.
+  const KnnGraph g = inc.graph();
+  for (const std::uint32_t q : expected) {
+    ASSERT_EQ(g.row_size(q), params.k);
+    for (const Neighbor& nb : g.row(q)) {
+      EXPECT_TRUE(std::isinf(nb.dist)) << "row " << q;
+      EXPECT_NE(nb.id, 252u);
+      EXPECT_NE(nb.id, 255u);
+    }
+  }
+  for (std::size_t p = 0; p < g.num_points(); ++p) {
+    if (p == 252 || p == 255) continue;
+    for (const Neighbor& nb : g.row(p)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      EXPECT_NE(nb.id, 252u);
+      EXPECT_NE(nb.id, 255u);
+    }
+  }
+  EXPECT_TRUE(g.check_invariants());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStrategies, IncrementalTest,

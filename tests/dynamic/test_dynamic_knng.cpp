@@ -1,0 +1,431 @@
+#include "dynamic/dynamic_knng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/graph_search.hpp"
+#include "data/synthetic.hpp"
+#include "data/wal.hpp"
+#include "exact/brute_force.hpp"
+#include "exact/recall.hpp"
+#include "support/temp_dir.hpp"
+
+namespace wknng::dynamic {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::BuildParams small_params() {
+  core::BuildParams bp;
+  bp.k = 6;
+  bp.num_trees = 4;
+  bp.refine_iters = 1;
+  return bp;
+}
+
+/// Manual-maintenance knobs: every mutation is exactly one version bump, so
+/// tests can reason about version arithmetic without threshold heuristics.
+DynamicParams manual() {
+  DynamicParams dp;
+  dp.auto_maintain = false;
+  return dp;
+}
+
+FloatMatrix base_300() { return data::make_clusters(300, 8, 6, 0.1f, 31); }
+
+/// A batch whose rows sit near existing base rows (realistic inserts).
+FloatMatrix batch_near(const FloatMatrix& base, std::size_t count,
+                       std::uint64_t seed) {
+  FloatMatrix out(count, base.cols());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = base.row(rng.next_below(base.rows()));
+    auto dst = out.row(i);
+    for (std::size_t d = 0; d < base.cols(); ++d) {
+      dst[d] = src[d] + 0.02f * rng.next_gaussian();
+    }
+  }
+  return out;
+}
+
+/// Word-for-word equality of two published snapshots: version, every base
+/// byte, every graph row (valid prefix), the external-id map, and tombstones.
+void expect_identical(const serve::GraphSnapshot& a,
+                      const serve::GraphSnapshot& b) {
+  EXPECT_EQ(a.version, b.version);
+  ASSERT_EQ(a.base.rows(), b.base.rows());
+  ASSERT_EQ(a.base.cols(), b.base.cols());
+  for (std::size_t i = 0; i < a.base.rows(); ++i) {
+    const auto ra = a.base.row(i);
+    const auto rb = b.base.row(i);
+    ASSERT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin())) << "row " << i;
+  }
+  ASSERT_EQ(a.graph.num_points(), b.graph.num_points());
+  for (std::size_t p = 0; p < a.graph.num_points(); ++p) {
+    ASSERT_EQ(a.graph.row_size(p), b.graph.row_size(p)) << "row " << p;
+    const auto ga = a.graph.row(p);
+    const auto gb = b.graph.row(p);
+    for (std::size_t j = 0; j < a.graph.row_size(p); ++j) {
+      ASSERT_EQ(ga[j].id, gb[j].id) << "row " << p << " slot " << j;
+      ASSERT_EQ(ga[j].dist, gb[j].dist) << "row " << p << " slot " << j;
+    }
+  }
+  ASSERT_NE(a.external_ids, nullptr);
+  ASSERT_NE(b.external_ids, nullptr);
+  EXPECT_EQ(*a.external_ids, *b.external_ids);
+  ASSERT_NE(a.tombstones, nullptr);
+  ASSERT_NE(b.tombstones, nullptr);
+  EXPECT_EQ(*a.tombstones, *b.tombstones);
+}
+
+TEST(DynamicKnng, FreshBuildPublishesVersionOneAndCheckpoint) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_fresh");
+  DynamicKnng dyn(pool, small_params(), base_300(), dir.string(), manual());
+
+  EXPECT_EQ(dyn.version(), 1u);
+  EXPECT_TRUE(fs::exists(DynamicKnng::base_checkpoint_path(dir.string())));
+  EXPECT_TRUE(fs::exists(data::wal_segment_path(dir.string(), 1)));
+
+  const auto snap = dyn.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 1u);
+  EXPECT_EQ(snap->base.rows(), 300u);
+  EXPECT_TRUE(snap->graph.check_invariants());
+  // External ids start as the identity map; everything is live.
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(snap->external_id(i), i);
+    EXPECT_TRUE(dyn.contains(i));
+  }
+  EXPECT_TRUE(snap->exclusion_mask().empty() ||
+              std::all_of(snap->exclusion_mask().begin(),
+                          snap->exclusion_mask().end(),
+                          [](std::uint8_t b) { return b == 0; }));
+
+  const DynamicState st = dyn.state();
+  EXPECT_EQ(st.total_rows, 300u);
+  EXPECT_EQ(st.live_rows, 300u);
+  EXPECT_EQ(st.tombstones, 0u);
+  EXPECT_EQ(st.next_external, 300u);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, InsertAssignsIdsAndConnectsWell) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_insert");
+  const FloatMatrix base = base_300();
+  DynamicKnng dyn(pool, small_params(), base, dir.string(), manual());
+
+  const FloatMatrix batch = batch_near(base, 40, 77);
+  const std::vector<std::uint32_t> ids = dyn.insert(batch);
+  ASSERT_EQ(ids.size(), 40u);
+  EXPECT_EQ(ids.front(), 300u);
+  EXPECT_EQ(ids.back(), 339u);
+  EXPECT_EQ(dyn.version(), 2u);
+  for (const std::uint32_t id : ids) EXPECT_TRUE(dyn.contains(id));
+
+  // Inserted rows must land near their true neighbors in the combined set.
+  FloatMatrix all(340, base.cols());
+  for (std::size_t i = 0; i < 300; ++i) {
+    std::copy(base.row(i).begin(), base.row(i).end(), all.row(i).begin());
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    std::copy(batch.row(i).begin(), batch.row(i).end(),
+              all.row(300 + i).begin());
+  }
+  const KnnGraph truth = exact::brute_force_knng(pool, all, 6);
+  const auto snap = dyn.snapshot();
+  ASSERT_EQ(snap->graph.num_points(), 340u);
+  double recall = 0.0;
+  for (std::size_t p = 300; p < 340; ++p) {
+    recall += exact::row_recall(snap->graph.row(p), truth.row(p));
+  }
+  EXPECT_GT(recall / 40.0, 0.6);
+  EXPECT_TRUE(snap->graph.check_invariants());
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, InsertAdmissionIsTypedAndAtomic) {
+  ThreadPool pool(2);
+  const auto dir = testing::unique_test_dir("dyn_admit");
+  DynamicKnng dyn(pool, small_params(), base_300(), dir.string(), manual());
+
+  const FloatMatrix empty(0, 8);
+  EXPECT_THROW(dyn.insert(empty), MutationError);
+
+  const FloatMatrix wrong_dim(4, 5);
+  EXPECT_THROW(dyn.insert(wrong_dim), MutationError);
+
+  FloatMatrix poisoned = batch_near(dyn.snapshot()->base, 4, 5);
+  poisoned.row(2)[1] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(dyn.insert(poisoned), MutationError);
+
+  // Rejected batches never reach the log or bump the version.
+  EXPECT_EQ(dyn.version(), 1u);
+  EXPECT_EQ(dyn.state().total_rows, 300u);
+  EXPECT_EQ(dyn.metrics().wal_records.value(), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, DeletesAreImmediatelyInvisibleToSearch) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_delete");
+  const FloatMatrix base = base_300();
+  DynamicKnng dyn(pool, small_params(), base, dir.string(), manual());
+
+  const std::vector<std::uint32_t> victims = {3, 17, 42, 250};
+  ASSERT_EQ(dyn.erase(victims), victims.size());
+  EXPECT_EQ(dyn.version(), 2u);
+  for (const std::uint32_t v : victims) EXPECT_FALSE(dyn.contains(v));
+
+  // The new snapshot carries the mask; querying AT a deleted point must not
+  // return it even though the graph rows still reference it (repair is lazy).
+  const auto snap = dyn.snapshot();
+  ASSERT_EQ(snap->exclusion_mask().size(), 300u);
+  FloatMatrix queries(victims.size(), base.cols());
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const auto src = base.row(victims[i]);
+    std::copy(src.begin(), src.end(), queries.row(i).begin());
+  }
+  core::SearchParams sp;
+  sp.k = 6;
+  const core::BatchSearchResult found = core::graph_search_batch(
+      pool, snap->base, snap->graph, queries, {}, sp, nullptr, nullptr,
+      nullptr, snap->exclusion_mask());
+  const std::unordered_set<std::uint32_t> dead(victims.begin(), victims.end());
+  for (std::size_t q = 0; q < victims.size(); ++q) {
+    ASSERT_GT(found.results.row_size(q), 0u);
+    for (const Neighbor& nb : found.results.row(q)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      EXPECT_EQ(dead.count(snap->external_id(nb.id)), 0u)
+          << "deleted point " << snap->external_id(nb.id)
+          << " surfaced for query " << q;
+    }
+  }
+
+  // Double-delete and unknown ids are no-ops: nothing logged, no bump.
+  EXPECT_EQ(dyn.erase(victims), 0u);
+  const std::vector<std::uint32_t> unknown = {9999};
+  EXPECT_EQ(dyn.erase(unknown), 0u);
+  EXPECT_EQ(dyn.version(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, RepairClearsDirtyRowsAndKeepsInvariants) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_repair");
+  const FloatMatrix base = base_300();
+  DynamicKnng dyn(pool, small_params(), base, dir.string(), manual());
+
+  dyn.insert(batch_near(base, 30, 11));
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t v = 0; v < 20; ++v) victims.push_back(v * 7);
+  dyn.erase(victims);
+  ASSERT_GT(dyn.state().dirty_rows, 0u);
+
+  const std::uint64_t before = dyn.version();
+  EXPECT_GT(dyn.repair(), 0u);
+  EXPECT_EQ(dyn.version(), before + 1);
+  EXPECT_EQ(dyn.state().dirty_rows, 0u);
+  EXPECT_TRUE(dyn.snapshot()->graph.check_invariants());
+
+  // Nothing dirty -> nothing to do, nothing logged.
+  EXPECT_EQ(dyn.repair(), 0u);
+  EXPECT_EQ(dyn.version(), before + 1);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, CompactionReclaimsSlotsWithStableExternalIds) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_compact");
+  const FloatMatrix base = base_300();
+  DynamicKnng dyn(pool, small_params(), base, dir.string(), manual());
+
+  const std::vector<std::uint32_t> fresh = dyn.insert(batch_near(base, 20, 3));
+
+  // Tombstone well past the 25% compaction threshold.
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t v = 0; v < 90; ++v) victims.push_back(v);
+  ASSERT_EQ(dyn.erase(victims), 90u);
+  ASSERT_GE(dyn.state().tombstone_ratio, 0.25);
+
+  const std::uint64_t before = dyn.version();
+  ASSERT_TRUE(dyn.compact());
+  EXPECT_EQ(dyn.version(), before + 1);
+
+  const DynamicState st = dyn.state();
+  EXPECT_EQ(st.total_rows, 230u);  // 300 + 20 - 90
+  EXPECT_EQ(st.live_rows, 230u);
+  EXPECT_EQ(st.tombstones, 0u);
+
+  // External ids survive the row rewrite: every survivor still resolves and
+  // every victim stays gone. The points behind the ids are unchanged.
+  const auto snap = dyn.snapshot();
+  ASSERT_EQ(snap->base.rows(), 230u);
+  for (const std::uint32_t v : victims) EXPECT_FALSE(dyn.contains(v));
+  for (std::uint32_t survivor = 90; survivor < 300; ++survivor) {
+    EXPECT_TRUE(dyn.contains(survivor));
+  }
+  for (const std::uint32_t id : fresh) EXPECT_TRUE(dyn.contains(id));
+  // Internal row i now maps to external id i + 90 for the original prefix
+  // (monotone remap), and the row data matches the original base row.
+  for (std::uint32_t i = 0; i < 210; ++i) {
+    ASSERT_EQ(snap->external_id(i), i + 90);
+    const auto got = snap->base.row(i);
+    const auto want = base.row(i + 90);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+  // No graph row may reference a dropped slot.
+  EXPECT_TRUE(snap->graph.check_invariants());
+  for (std::size_t p = 0; p < snap->graph.num_points(); ++p) {
+    for (const Neighbor& nb : snap->graph.row(p)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      ASSERT_LT(nb.id, 230u);
+    }
+  }
+  EXPECT_GT(dyn.metrics().reclaimed_rows.value(), 0u);
+
+  // With no tombstones there is nothing to compact.
+  EXPECT_FALSE(dyn.compact());
+  EXPECT_EQ(dyn.version(), before + 1);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, AutoMaintainCompactsPastTheThreshold) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_auto");
+  DynamicParams dp;  // defaults: auto_maintain on, compact at 25%
+  const FloatMatrix base = base_300();
+  DynamicKnng dyn(pool, small_params(), base, dir.string(), dp);
+
+  std::vector<std::uint32_t> victims;
+  for (std::uint32_t v = 0; v < 100; ++v) victims.push_back(v);
+  dyn.erase(victims);
+
+  // erase itself ran maintain(): the tombstones are gone already.
+  const DynamicState st = dyn.state();
+  EXPECT_EQ(st.tombstones, 0u);
+  EXPECT_EQ(st.total_rows, 200u);
+  EXPECT_EQ(dyn.metrics().compactions.value(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, ReplayReproducesTheLiveStateBitForBit) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_replay");
+  const FloatMatrix base = base_300();
+  const core::BuildParams bp = small_params();
+
+  std::shared_ptr<const serve::GraphSnapshot> live;
+  {
+    DynamicKnng dyn(pool, bp, base, dir.string(), manual());
+    dyn.insert(batch_near(base, 40, 101));
+    std::vector<std::uint32_t> victims;
+    for (std::uint32_t v = 0; v < 80; ++v) victims.push_back(v * 4);
+    dyn.erase(victims);
+    dyn.repair();
+    dyn.insert(batch_near(base, 10, 102));
+    ASSERT_TRUE(dyn.compact());
+    dyn.erase(std::vector<std::uint32_t>{340, 341});
+    ASSERT_EQ(dyn.version(), 7u);
+    live = dyn.snapshot();
+  }
+
+  DynamicKnng recovered(DynamicKnng::Recover{}, pool, bp, base, dir.string(),
+                        manual());
+  EXPECT_FALSE(recovered.replay_torn_tail());
+  EXPECT_EQ(recovered.version(), 7u);
+  EXPECT_GT(recovered.metrics().replayed_records.value(), 0u);
+  expect_identical(*live, *recovered.snapshot());
+
+  // The recovered index keeps accepting mutations on the same log.
+  recovered.insert(batch_near(base, 5, 103));
+  EXPECT_EQ(recovered.version(), 8u);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, RecoveryDiscardsATornTailAndContinues) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_torn");
+  const FloatMatrix base = base_300();
+  const core::BuildParams bp = small_params();
+
+  std::shared_ptr<const serve::GraphSnapshot> at_v3;
+  {
+    DynamicKnng dyn(pool, bp, base, dir.string(), manual());
+    dyn.insert(batch_near(base, 10, 7));                 // v2
+    dyn.erase(std::vector<std::uint32_t>{1, 2, 3});      // v3
+    at_v3 = dyn.snapshot();
+    dyn.insert(batch_near(base, 10, 8));                 // v4 -- to be torn
+    ASSERT_EQ(dyn.version(), 4u);
+  }
+
+  // SIGKILL simulation: the final record loses its tail bytes.
+  std::uint64_t last_seq = 1;
+  while (fs::exists(data::wal_segment_path(dir.string(), last_seq + 1))) {
+    ++last_seq;
+  }
+  const std::string seg = data::wal_segment_path(dir.string(), last_seq);
+  fs::resize_file(seg, fs::file_size(seg) - 7);
+
+  DynamicKnng recovered(DynamicKnng::Recover{}, pool, bp, base, dir.string(),
+                        manual());
+  EXPECT_TRUE(recovered.replay_torn_tail());
+  EXPECT_EQ(recovered.version(), 3u);
+  expect_identical(*at_v3, *recovered.snapshot());
+
+  // Life goes on from the surviving prefix.
+  recovered.insert(batch_near(base, 4, 9));
+  EXPECT_EQ(recovered.version(), 4u);
+  DynamicKnng again(DynamicKnng::Recover{}, pool, bp, base, dir.string(),
+                    manual());
+  EXPECT_EQ(again.version(), 4u);
+  EXPECT_FALSE(again.replay_torn_tail());
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, RecoverRejectsMismatchedParams) {
+  ThreadPool pool(2);
+  const auto dir = testing::unique_test_dir("dyn_mismatch");
+  const FloatMatrix base = base_300();
+  { DynamicKnng dyn(pool, small_params(), base, dir.string(), manual()); }
+
+  core::BuildParams other = small_params();
+  other.k = 8;  // different signature -> the checkpoint is not ours
+  EXPECT_THROW(DynamicKnng(DynamicKnng::Recover{}, pool, other, base,
+                           dir.string(), manual()),
+               CheckpointMismatchError);
+  fs::remove_all(dir);
+}
+
+TEST(DynamicKnng, MetricsTrackTheLifecycle) {
+  ThreadPool pool(4);
+  const auto dir = testing::unique_test_dir("dyn_metrics");
+  const FloatMatrix base = base_300();
+  DynamicKnng dyn(pool, small_params(), base, dir.string(), manual());
+
+  dyn.insert(batch_near(base, 12, 55));
+  dyn.erase(std::vector<std::uint32_t>{0, 1});
+  dyn.repair();
+
+  const DynamicMetrics& m = dyn.metrics();
+  EXPECT_EQ(m.inserts.value(), 1u);
+  EXPECT_EQ(m.insert_rows.value(), 12u);
+  EXPECT_EQ(m.deletes.value(), 1u);
+  EXPECT_EQ(m.delete_rows.value(), 2u);
+  EXPECT_EQ(m.repairs.value(), 1u);
+  EXPECT_EQ(m.wal_records.value(), 3u);
+  EXPECT_GT(m.wal_bytes.value(), 0u);
+  EXPECT_EQ(m.version.value(), 4);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wknng::dynamic

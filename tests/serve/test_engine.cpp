@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <vector>
 
@@ -11,7 +13,9 @@
 #include "core/builder.hpp"
 #include "core/graph_search.hpp"
 #include "data/synthetic.hpp"
+#include "dynamic/dynamic_knng.hpp"
 #include "simt/fault.hpp"
+#include "support/temp_dir.hpp"
 
 namespace wknng::serve {
 namespace {
@@ -256,6 +260,63 @@ TEST(ServeEngine, DrainWaitsForAllAcceptedRequests) {
               std::future_status::ready);
   }
   EXPECT_EQ(engine.metrics().completed.value(), f.queries.rows());
+}
+
+TEST(ServeEngine, InFlightRequestsFinishOnTheirPinnedSnapshotUnderChurn) {
+  // A dynamic writer republishing every mutation must never corrupt an
+  // in-flight batch: each batch pins the snapshot it dispatched on, so its
+  // responses are internally consistent — version, neighbor ids, and the
+  // external-id remap all come from ONE graph, whichever it was.
+  Fixture f;
+  const auto dir = wknng::testing::unique_test_dir("engine_churn");
+  dynamic::DynamicParams dp;
+  dp.auto_maintain = false;
+  std::atomic<ServeEngine*> engine_ptr{nullptr};
+  dp.on_publish = [&engine_ptr](auto snap) {
+    if (auto* e = engine_ptr.load()) e->publish(std::move(snap));
+  };
+  core::BuildParams bp;
+  bp.k = 10;
+  bp.num_trees = 4;
+  bp.refine_iters = 1;
+  dynamic::DynamicKnng dyn(f.pool, bp, f.base, dir.string(), dp);
+  ServeEngine engine(f.pool, f.options(), dyn.snapshot());
+  engine_ptr.store(&engine);
+
+  // Interleave: submit a few queries, mutate (which publishes), repeat. The
+  // engine answers each from whatever snapshot its batch pinned.
+  std::vector<std::future<QueryResult>> futs;
+  std::uint32_t victim = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t qi = 0; qi < 4; ++qi) {
+      futs.push_back(engine.submit(f.query_vec(qi), 0, futs.size()));
+    }
+    FloatMatrix one(1, f.base.cols());
+    const auto src = f.base.row(static_cast<std::size_t>(round));
+    std::copy(src.begin(), src.end(), one.row(0).begin());
+    dyn.insert(one);
+    dyn.erase(std::vector<std::uint32_t>{victim, victim + 1});
+    victim += 2;
+  }
+  engine.drain();
+
+  const std::uint64_t final_version = dyn.version();
+  ASSERT_EQ(engine.snapshot()->version, final_version);
+  for (auto& fut : futs) {
+    const QueryResult qr = fut.get();
+    ASSERT_EQ(qr.status, QueryStatus::kOk) << qr.error;
+    // Any published version may have answered, never a phantom one.
+    EXPECT_GE(qr.snapshot_version, 1u);
+    EXPECT_LE(qr.snapshot_version, final_version);
+    EXPECT_FALSE(qr.neighbors.empty());
+  }
+
+  // A query submitted after the churn sees the latest version only.
+  const QueryResult fresh = engine.submit(f.query_vec(0), 0, 9999).get();
+  ASSERT_EQ(fresh.status, QueryStatus::kOk) << fresh.error;
+  EXPECT_EQ(fresh.snapshot_version, final_version);
+  engine.stop();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
