@@ -111,6 +111,18 @@
 //   --serve-deadline-us N per-request deadline, 0 = none (default 0)
 //   --serve-workers N    engine batch-executor threads (default 2)
 //   --serve-metrics PATH write the engine's metrics JSON here
+//   --optimize-serve     run queries over the optimized serving layout
+//                        (occlusion-pruned, cache-blocked CSR relayout,
+//                        src/opt); with --dynamic-dir the layout follows the
+//                        published version (rebuilt or reused per the
+//                        staleness policy). --out then writes the layout as
+//                        a WKNNGOP1 trailer on the graph file
+//   --patience N         optimized path only: stop after N frontier hops
+//                        without a result improvement (0 = off)
+//   --visit-budget B     optimized path only: per-query visited-node cap —
+//                        a number for a fixed cap, or "auto" for the
+//                        learned ladder with capped-query escalation
+//                        (0 = unlimited, the default)
 //   --trace-out PATH     record a span trace of the run (build phases,
 //                        kernel launches, serve batches) and write it as
 //                        Chrome trace-event JSON — load in Perfetto or
@@ -203,6 +215,10 @@ struct Options {
   std::uint64_t serve_deadline_us = 0; // per-request deadline (0 = none)
   std::size_t serve_workers = 2;       // engine executor threads
   std::string serve_metrics;           // metrics JSON output path
+  bool optimize_serve = false;         // serve over the optimized layout
+  std::size_t patience = 0;            // early-termination hop patience
+  std::size_t visit_budget = 0;        // fixed per-query visit cap (0 = off)
+  bool budget_auto = false;            // --visit-budget auto: learned ladder
   std::string trace_out;               // Chrome trace-event JSON output path
   bool trace_warps = false;            // per-warp-group spans in the trace
   std::string metrics_out;             // central registry export path
@@ -229,6 +245,7 @@ int usage(const char* argv0) {
                " [--serve-rate QPS] [--serve-concurrency N] [--serve-batch N]"
                " [--serve-delay-us N] [--serve-deadline-us N]"
                " [--serve-workers N] [--serve-metrics PATH]"
+               " [--optimize-serve] [--patience N] [--visit-budget N|auto]"
                " [--trace-out PATH] [--trace-warps] [--metrics-out PATH]"
                " [--metrics-format json|prom] [--version]\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 degraded build\n",
@@ -300,6 +317,13 @@ std::optional<Options> parse(int argc, char** argv) {
     else if (flag == "--serve-deadline-us") opt.serve_deadline_us = std::strtoull(value(), nullptr, 10);
     else if (flag == "--serve-workers") opt.serve_workers = std::strtoull(value(), nullptr, 10);
     else if (flag == "--serve-metrics") opt.serve_metrics = value();
+    else if (flag == "--optimize-serve") opt.optimize_serve = true;
+    else if (flag == "--patience") opt.patience = std::strtoull(value(), nullptr, 10);
+    else if (flag == "--visit-budget") {
+      const std::string v = value();
+      if (v == "auto") opt.budget_auto = true;
+      else opt.visit_budget = std::strtoull(v.c_str(), nullptr, 10);
+    }
     else if (flag == "--trace-out") opt.trace_out = value();
     else if (flag == "--trace-warps") opt.trace_warps = true;
     else if (flag == "--metrics-out") opt.metrics_out = value();
@@ -393,6 +417,10 @@ int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
   // explicitly), so threshold-driven inline maintenance stays off and every
   // mutation is exactly one version bump.
   dp.auto_maintain = false;
+  // Under --optimize-serve the *index* attaches the layout to every published
+  // snapshot (rebuild-or-reuse per the staleness policy), so the engine never
+  // has to optimize inline on the publish path.
+  dp.optimize = opt.optimize_serve;
   std::atomic<serve::ServeEngine*> engine_ptr{nullptr};
   dp.on_publish = [&engine_ptr](auto snap) {
     if (auto* e = engine_ptr.load()) e->publish(std::move(snap));
@@ -439,6 +467,10 @@ int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
     so.search.k = opt.k;
     so.search.beam = opt.beam;
     so.search.seed = opt.seed;
+    so.optimize = opt.optimize_serve;
+    so.patience = opt.patience;
+    so.visit_budget = opt.visit_budget;
+    so.adaptive_budget = opt.budget_auto;
     serve::ServeEngine engine(pool, so, dyn->snapshot());
     engine_ptr.store(&engine);
 
@@ -485,7 +517,15 @@ int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
   std::printf("dynamic metrics: %s\n", dyn->metrics().to_json().c_str());
 
   if (!opt.out.empty()) {
-    data::write_knng(opt.out, dyn->snapshot()->graph);
+    const auto snap = dyn->snapshot();
+    // With --optimize-serve the published layout rides along as a WKNNGOP1
+    // trailer; plain read_knng still sees just the graph, so the CI replay
+    // md5 (which never passes --optimize-serve) is unaffected.
+    if (const opt::ServingGraph* sg = snap->serving_layout()) {
+      data::write_knng_serving(opt.out, snap->graph, *sg);
+    } else {
+      data::write_knng(opt.out, snap->graph);
+    }
     std::printf("wrote %s\n", opt.out.c_str());
   }
   if (!opt.metrics_out.empty()) {
@@ -830,9 +870,23 @@ int main(int argc, char** argv) {
       so.search.beam = opt->beam;
       so.search.seed = opt->seed;
       so.rerank_depth = opt->rerank_depth;
+      so.optimize = opt->optimize_serve;
+      so.patience = opt->patience;
+      so.visit_budget = opt->visit_budget;
+      so.adaptive_budget = opt->budget_auto;
       serve::ServeEngine engine(
           pool, so,
           serve::make_snapshot(1, points, result.graph, result.sq8));
+      if (opt->optimize_serve && !opt->out.empty()) {
+        // Re-write --out with the engine's layout as a WKNNGOP1 trailer so a
+        // later serving process can skip the optimization pass.
+        if (const opt::ServingGraph* sg =
+                engine.snapshot()->serving_layout()) {
+          data::write_knng_serving(opt->out, result.graph, *sg);
+          std::printf("rewrote %s with serving-layout trailer\n",
+                      opt->out.c_str());
+        }
+      }
 
       serve::LoadGenConfig cfg;
       if (opt->serve_mode == "closed") {

@@ -86,6 +86,17 @@ class MutationError : public Error {
   using Error::Error;
 };
 
+/// Search parameters rejected at admission (core::validate_search_params):
+/// a configuration that cannot produce meaningful results — e.g.
+/// `entry_sample == 0`, which would seed the descent with an empty frontier
+/// and silently answer every query with an empty row. Thrown before any
+/// kernel launch so a misconfigured serving path fails loudly at setup, not
+/// quietly at query time.
+class SearchParamError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A served query's deadline passed before its result could be delivered
 /// (src/serve): the request is answered with a typed timeout result instead
 /// of its neighbors.

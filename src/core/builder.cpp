@@ -703,7 +703,9 @@ void register_build_metrics(obs::MetricsRegistry& reg, const BuildResult& r) {
         "Resolved per-point rerank depth (0 when compression=none)");
   counter("wknng_sq8_candidates_reranked_total", r.candidates_reranked,
           "Compressed-tier candidates rescored at full precision");
-  reg.info("wknng_build_info",
+  // Named distinctly from obs's wknng_build_info so both can share one
+  // registry (the CLI's --metrics-out export registers both).
+  reg.info("wknng_build_config_info",
            {{"compression", r.sq8 != nullptr ? "sq8" : "none"},
             {"kernel_backend", kernels::ops().name}},
            "Build configuration: storage tier and dispatched kernel backend");

@@ -1,7 +1,6 @@
 #include "core/graph_search.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <vector>
 
 #include "common/error.hpp"
@@ -12,6 +11,14 @@
 #include "simt/launch.hpp"
 #include "simt/warp_distance.hpp"
 
+// Software prefetch for the serving path's frontier pipeline: a hint, never
+// a semantic — compilers without the builtin just skip it.
+#if defined(__GNUC__) || defined(__clang__)
+#define WKNNG_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define WKNNG_PREFETCH(addr) ((void)0)
+#endif
+
 namespace wknng::core {
 
 using simt::kWarpSize;
@@ -20,11 +27,26 @@ using simt::Warp;
 
 namespace {
 
-struct MinHeapCmp {
-  bool operator()(const Neighbor& a, const Neighbor& b) const { return b < a; }
-};
+/// Soft capacity of the frontier heap: generous enough that eviction is rare
+/// (evictable elements are the ones the descent could never expand anyway),
+/// small enough that a slot's storage stays cache-resident.
+std::size_t frontier_capacity(const SearchParams& params) {
+  return std::max<std::size_t>(2 * (params.beam + kWarpSize), 128);
+}
 
 }  // namespace
+
+void validate_search_params(const SearchParams& params) {
+  if (params.k == 0) {
+    throw SearchParamError("SearchParams: k must be positive");
+  }
+  if (params.entry_sample == 0) {
+    throw SearchParamError(
+        "SearchParams: entry_sample must be positive — with no scored entry "
+        "sample the descent has no seeds and every query would come back "
+        "empty");
+  }
+}
 
 SearchScratch::Slot& SearchScratch::local() {
   const std::thread::id tid = std::this_thread::get_id();
@@ -56,7 +78,7 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                   "exclusion mask size " << exclude.size() << " != base "
                                          << base.rows());
   WKNNG_CHECK(graph.num_points() == base.rows());
-  WKNNG_CHECK_MSG(params.k > 0, "k must be positive");
+  validate_search_params(params);
   const bool use_sq8 = sq8 != nullptr && sq8->valid();
   if (use_sq8) {
     WKNNG_CHECK_MSG(sq8->matrix->rows() == base.rows() &&
@@ -74,19 +96,21 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
   BatchSearchResult out;
   out.results = KnnGraph(nq, params.k);
   out.visits.assign(nq, 0);
+  out.capped.assign(nq, 0);
   if (nq == 0 || n == 0) return out;  // nothing to search; no launch
 
   // Degenerate-parameter clamps (see header): results never exceed the base,
-  // and the entry heap never outgrows the sample feeding it.
+  // and the entry heap never outgrows the sample feeding it. entry_sample is
+  // known positive — admission validation rejected zero.
   const std::size_t k_eff = std::min(params.k, n);
   const std::size_t entry_keep = std::max<std::size_t>(
-      1, std::min(params.entry_keep, std::max<std::size_t>(
-                                         1, params.entry_sample)));
+      1, std::min(params.entry_keep, params.entry_sample));
   // Compressed path: how many sq8-ranked survivors get the exact rescore.
   // Zero on the uncompressed path, so the result-heap size is untouched.
   const std::size_t rr_eff =
       use_sq8 ? std::min(effective_rerank_depth(k_eff, params.rerank_depth), n)
               : 0;
+  const std::size_t frontier_cap = frontier_capacity(params);
 
   SearchScratch local_scratch;
   SearchScratch& scr = scratch != nullptr ? *scratch : local_scratch;
@@ -109,7 +133,8 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
       return has_exclude && exclude[id] != 0;
     };
     std::uint64_t visits = 0;
-    std::priority_queue<Neighbor, std::vector<Neighbor>, MinHeapCmp> frontier;
+    bool capped = false;
+    FrontierHeap frontier(slot.frontier, frontier_cap);
     // The compressed path widens the result heap to the rerank depth so the
     // exact rescore has a pool to re-order (rr_eff is 0 otherwise).
     TopK best(std::max(std::max(k_eff, params.beam), rr_eff));
@@ -156,16 +181,20 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
     TopK entries(entry_keep);
     score_ids(sample, entries);
     for (const Neighbor& e : entries.take_sorted()) {
-      frontier.push(e);  // excluded entries still navigate
+      frontier.push(e, best.worst());  // excluded entries still navigate
       if (!is_excluded(e.id)) best.push(e.dist, e.id);
     }
 
     // Best-first descent over the graph.
     std::vector<std::uint32_t>& expand = slot.expand;
+    std::size_t stale_hops = 0;  // hops since the result heap last improved
     while (!frontier.empty()) {
-      const Neighbor cur = frontier.top();
-      frontier.pop();
+      const Neighbor cur = frontier.pop();
       if (cur.dist > best.worst()) break;
+      if (params.visit_budget != 0 && visits >= params.visit_budget) {
+        capped = true;  // the frontier still held a useful candidate
+        break;
+      }
       expand.clear();
       for (const Neighbor& nb : graph.row(cur.id)) {
         if (nb.id == KnnGraph::kInvalid) break;
@@ -173,6 +202,7 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
         expand.push_back(nb.id);
       }
       w.count_read(graph.k() * sizeof(Neighbor));
+      bool improved = false;
       for (std::size_t t0 = 0; t0 < expand.size(); t0 += kWarpSize) {
         const std::size_t cnt = std::min<std::size_t>(kWarpSize, expand.size() - t0);
         Lanes<std::uint32_t> lane_ids{};
@@ -192,11 +222,18 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                           base_norms);
         for (std::size_t l = 0; l < cnt; ++l) {
           if (d[l] < best.worst()) {
-            frontier.push({d[l], lane_ids[l]});
-            if (!is_excluded(lane_ids[l])) best.push(d[l], lane_ids[l]);
+            frontier.push({d[l], lane_ids[l]}, best.worst());
+            if (!is_excluded(lane_ids[l])) {
+              best.push(d[l], lane_ids[l]);
+              improved = true;
+            }
           }
         }
         visits += cnt;
+      }
+      if (params.patience != 0) {
+        stale_hops = improved ? 0 : stale_hops + 1;
+        if (stale_hops >= params.patience) break;
       }
     }
 
@@ -228,6 +265,187 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
     auto row = out.results.row(qi);
     std::copy(found.begin(), found.end(), row.begin());
     out.visits[qi] = visits;  // this warp's slot only: no shared accumulator
+    out.capped[qi] = capped ? 1 : 0;
+  });
+
+  return out;
+}
+
+BatchSearchResult serving_search_batch(ThreadPool& pool,
+                                       const opt::ServingGraph& sg,
+                                       const FloatMatrix& queries,
+                                       std::span<const std::uint64_t> tags,
+                                       const SearchParams& params,
+                                       std::span<const std::uint8_t> exclude,
+                                       SearchScratch* scratch,
+                                       simt::StatsAccumulator* acc) {
+  WKNNG_CHECK_MSG(sg.dim == queries.cols(),
+                  "serving layout dim " << sg.dim << " != query dim "
+                                        << queries.cols());
+  WKNNG_CHECK_MSG(sg.offsets.size() == sg.n() + 1,
+                  "serving layout CSR malformed");
+  WKNNG_CHECK_MSG(exclude.empty() || exclude.size() == sg.n(),
+                  "exclusion override size " << exclude.size()
+                                             << " != layout rows " << sg.n());
+  validate_search_params(params);
+  WKNNG_CHECK_MSG(tags.empty() || tags.size() == queries.rows(),
+                  "tags size " << tags.size() << " != queries "
+                               << queries.rows());
+  const std::size_t n = sg.n();
+  const std::size_t nq = queries.rows();
+  const std::size_t dim = sg.dim;
+
+  BatchSearchResult out;
+  out.results = KnnGraph(nq, params.k);
+  out.visits.assign(nq, 0);
+  out.capped.assign(nq, 0);
+  if (nq == 0 || n == 0) return out;
+
+  const std::size_t k_eff = std::min(params.k, n);
+  const std::size_t entry_keep = std::max<std::size_t>(
+      1, std::min(params.entry_keep, params.entry_sample));
+  const std::size_t frontier_cap = frontier_capacity(params);
+
+  SearchScratch local_scratch;
+  SearchScratch& scr = scratch != nullptr ? *scratch : local_scratch;
+  // The layout carries its own norm cache, gathered into the permuted order
+  // at build time (empty when built in strict mode — the scalar backend
+  // ignores caches either way, per the kernels contract).
+  const std::span<const float> base_norms(sg.norms);
+
+  simt::LaunchConfig search_config;
+  search_config.trace_label = "serving_search";
+  simt::launch_warps(pool, nq, search_config, acc, [&](Warp& w) {
+    const std::size_t qi = w.id();
+    const std::uint64_t tag = tags.empty() ? qi : tags[qi];
+    const auto query = queries.row(qi);
+    // Same stream derivation as the raw path, and entries are drawn in the
+    // *old* id space below — the permuted layout seeds from the same points.
+    Rng rng(params.seed, 0x5EA5C000ULL + tag);
+
+    SearchScratch::Slot& slot = scr.local();
+    slot.begin(n);
+    // Caller override first (fresh tombstones, already permuted), the
+    // layout's baked mask otherwise.
+    const std::span<const std::uint8_t> excl =
+        !exclude.empty() ? exclude
+                         : std::span<const std::uint8_t>(sg.exclude);
+    const bool has_exclude = !excl.empty();
+    auto is_excluded = [&](std::uint32_t id) {
+      return has_exclude && excl[id] != 0;
+    };
+    std::uint64_t visits = 0;
+    bool capped = false;
+    FrontierHeap frontier(slot.frontier, frontier_cap);
+    TopK best(std::max(k_eff, params.beam));
+
+    auto score_ids = [&](const std::vector<std::uint32_t>& ids, TopK& sink) {
+      for (std::size_t t0 = 0; t0 < ids.size(); t0 += kWarpSize) {
+        const std::size_t cnt =
+            std::min<std::size_t>(kWarpSize, ids.size() - t0);
+        Lanes<std::uint32_t> lane_ids{};
+        Lanes<bool> active{};
+        for (std::size_t l = 0; l < cnt; ++l) {
+          lane_ids[l] = ids[t0 + l];
+          active[l] = true;
+        }
+        const Lanes<float> d = simt::warp_l2_batch(
+            w, query, lane_ids, active,
+            [&](std::uint32_t p) { return sg.base.row(p); }, base_norms);
+        for (std::size_t l = 0; l < cnt; ++l) sink.push(d[l], lane_ids[l]);
+      }
+      visits += ids.size();
+    };
+
+    std::vector<std::uint32_t>& sample = slot.sample;
+    sample.clear();
+    for (std::size_t e = 0; e < params.entry_sample && sample.size() < n; ++e) {
+      const auto old_id = static_cast<std::uint32_t>(rng.next_below(n));
+      const std::uint32_t id = sg.old_to_new[old_id];
+      if (slot.test_and_set(id)) continue;
+      sample.push_back(id);
+    }
+    TopK entries(entry_keep);
+    score_ids(sample, entries);
+    for (const Neighbor& e : entries.take_sorted()) {
+      frontier.push(e, best.worst());
+      if (!is_excluded(e.id)) best.push(e.dist, e.id);
+    }
+
+    // Prefetch pipeline: while l2_batch scores one warp-tile of candidates,
+    // the next tile's base rows are already on their way — the BFS layout
+    // makes those rows near-adjacent, so the hints mostly hit the same pages.
+    std::vector<std::uint32_t>& expand = slot.expand;
+    auto prefetch_tile = [&](std::size_t t0) {
+      const std::size_t end = std::min(expand.size(), t0 + kWarpSize);
+      for (std::size_t i = t0; i < end; ++i) {
+        const float* r = sg.base.row(expand[i]).data();
+        for (std::size_t d = 0; d < dim; d += 16) WKNNG_PREFETCH(r + d);
+      }
+    };
+
+    std::size_t stale_hops = 0;
+    while (!frontier.empty()) {
+      const Neighbor cur = frontier.pop();
+      if (cur.dist > best.worst()) break;
+      if (params.visit_budget != 0 && visits >= params.visit_budget) {
+        capped = true;
+        break;
+      }
+      // The heap's new head is the likely next expansion: start its CSR row
+      // toward the cache while this hop streams.
+      if (!frontier.empty()) {
+        WKNNG_PREFETCH(sg.neighbors.data() + sg.offsets[frontier.top().id]);
+      }
+      expand.clear();
+      const auto row = sg.row(cur.id);
+      for (const std::uint32_t nb : row) {
+        if (slot.test_and_set(nb)) continue;
+        expand.push_back(nb);
+      }
+      w.count_read(row.size() * sizeof(std::uint32_t));
+      prefetch_tile(0);
+      bool improved = false;
+      for (std::size_t t0 = 0; t0 < expand.size(); t0 += kWarpSize) {
+        prefetch_tile(t0 + kWarpSize);
+        const std::size_t cnt =
+            std::min<std::size_t>(kWarpSize, expand.size() - t0);
+        Lanes<std::uint32_t> lane_ids{};
+        Lanes<bool> active{};
+        for (std::size_t l = 0; l < cnt; ++l) {
+          lane_ids[l] = expand[t0 + l];
+          active[l] = true;
+        }
+        const Lanes<float> d = simt::warp_l2_batch(
+            w, query, lane_ids, active,
+            [&](std::uint32_t p) { return sg.base.row(p); }, base_norms);
+        for (std::size_t l = 0; l < cnt; ++l) {
+          if (d[l] < best.worst()) {
+            frontier.push({d[l], lane_ids[l]}, best.worst());
+            if (!is_excluded(lane_ids[l])) {
+              best.push(d[l], lane_ids[l]);
+              improved = true;
+            }
+          }
+        }
+        visits += cnt;
+      }
+      if (params.patience != 0) {
+        stale_hops = improved ? 0 : stale_hops + 1;
+        if (stale_hops >= params.patience) break;
+      }
+    }
+
+    auto found = best.take_sorted();
+    if (found.size() > k_eff) found.resize(k_eff);
+    // Back to the caller's id space. The remap can reorder equal-distance
+    // ties, so re-establish the row invariant (sorted by (dist, id)).
+    for (Neighbor& nb : found) nb.id = sg.new_to_old[nb.id];
+    std::sort(found.begin(), found.end());
+    auto out_row = out.results.row(qi);
+    std::copy(found.begin(), found.end(), out_row.begin());
+    out.visits[qi] = visits;
+    out.capped[qi] = capped ? 1 : 0;
   });
 
   return out;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -11,10 +12,85 @@
 #include "common/knn_graph.hpp"
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
+#include "common/topk.hpp"
 #include "kernels/sq8.hpp"
+#include "opt/serving_graph.hpp"
 #include "simt/stats.hpp"
 
 namespace wknng::core {
+
+/// The descent's candidate frontier: a min-heap over borrowed storage, popped
+/// in ascending (dist, id) order — the exact pop sequence of the
+/// std::priority_queue it replaced (all elements are distinct, since the
+/// visited marks admit each id once, so the order is total and bit-identical
+/// regardless of internal heap layout). Two properties matter on the serving
+/// path:
+///
+///  - *No per-query allocation*: the storage vector lives in a
+///    SearchScratch::Slot and keeps its capacity across queries; `reset`
+///    only clears the length.
+///  - *Bounded*: when the heap reaches its capacity, `push` first evicts
+///    every element whose distance exceeds the caller's current pruning
+///    bound (the result heap's worst). Such elements can never be expanded:
+///    the descent breaks at the first popped candidate above the bound, and
+///    the bound only tightens — so evicting them is behavior-identical, it
+///    just reaches the "frontier exhausted" exit instead of the "bound
+///    crossed" exit. If nothing is evictable (bound still +inf), the storage
+///    grows — correctness over the cap, amortized by slot reuse.
+class FrontierHeap {
+ public:
+  /// Binds to `storage` (cleared) with a soft capacity of `capacity`.
+  FrontierHeap(std::vector<Neighbor>& storage, std::size_t capacity)
+      : heap_(&storage), cap_(capacity < 4 ? 4 : capacity) {
+    heap_->clear();
+  }
+
+  bool empty() const { return heap_->empty(); }
+  std::size_t size() const { return heap_->size(); }
+
+  /// The minimum element (undefined when empty).
+  const Neighbor& top() const { return heap_->front(); }
+
+  /// Inserts `nb`; `bound` is the caller's current pruning threshold
+  /// (elements strictly above it are evictable, see class comment).
+  void push(Neighbor nb, float bound) {
+    if (heap_->size() >= cap_) compact(bound);
+    heap_->push_back(nb);
+    std::push_heap(heap_->begin(), heap_->end(), Cmp{});
+  }
+
+  /// Removes and returns the minimum element.
+  Neighbor pop() {
+    std::pop_heap(heap_->begin(), heap_->end(), Cmp{});
+    const Neighbor nb = heap_->back();
+    heap_->pop_back();
+    return nb;
+  }
+
+ private:
+  // std::*_heap build a max-heap under the comparator; "greater" makes the
+  // front the minimum Neighbor — the same (dist, id) pop order as the old
+  // MinHeapCmp priority_queue.
+  struct Cmp {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return b < a;
+    }
+  };
+
+  /// Drops every element with dist > bound, then re-heapifies. Quadratic-free
+  /// single pass; a no-op when bound is +inf.
+  void compact(float bound) {
+    auto it = std::remove_if(
+        heap_->begin(), heap_->end(),
+        [bound](const Neighbor& nb) { return nb.dist > bound; });
+    if (it == heap_->end()) return;  // nothing evictable: grow instead
+    heap_->erase(it, heap_->end());
+    std::make_heap(heap_->begin(), heap_->end(), Cmp{});
+  }
+
+  std::vector<Neighbor>* heap_;
+  std::size_t cap_;
+};
 
 /// Out-of-sample query answering over a built K-NN graph (GNNS-style
 /// best-first descent; Hajebi et al., IJCAI 2011) — the "similarity search"
@@ -31,6 +107,21 @@ struct SearchParams {
   std::size_t beam = 48;          ///< result/frontier width during descent
   std::uint64_t seed = 7;         ///< entry sampling seed
 
+  /// Adaptive early termination: stop the descent once `patience` consecutive
+  /// hop expansions admit nothing into the result/beam heap (the top-k has
+  /// stopped improving). 0 disables the check — the descent runs until the
+  /// frontier's best candidate is worse than the heap's worst, exactly the
+  /// pre-existing stopping rule, so the default is bit-identical to before.
+  std::size_t patience = 0;
+
+  /// Per-query distance-evaluation budget: the descent stops expanding once
+  /// `visits` reaches this many scored candidates (checked at hop
+  /// granularity, so a query may overshoot by one row of expansions). A query
+  /// stopped by its budget while the frontier still held a useful candidate
+  /// is flagged in BatchSearchResult::capped — the signal the serving side's
+  /// bucket learner escalates on. 0 = unlimited (bit-identical to before).
+  std::size_t visit_budget = 0;
+
   /// Compressed-tier rerank depth: how many sq8-scored candidates survive
   /// to the exact fp32 rerank before the top-k is emitted. 0 = auto (2*k);
   /// explicit values are clamped up to k. Ignored unless an Sq8View is
@@ -42,6 +133,18 @@ struct SearchStats {
   std::uint64_t points_visited = 0;   ///< distance evaluations, total
   std::uint64_t queries = 0;
 };
+
+/// Admission validation shared by every search entry point (and by
+/// serve::ServeEngine at construction, so a misconfigured engine fails at
+/// setup instead of at the first query). Throws wknng::SearchParamError on a
+/// configuration that cannot produce meaningful results:
+///  - `k == 0` (no results requested)
+///  - `entry_sample == 0` (nothing would seed the descent; every query would
+///    silently come back empty — historically this was clamped into the
+///    entry_keep bound and slipped through)
+/// `entry_keep > entry_sample` remains a clamp, not an error: the keep heap
+/// simply cannot outgrow the sample feeding it.
+void validate_search_params(const SearchParams& params);
 
 /// Reusable per-worker search scratch — the arena a serving loop hands to
 /// every `graph_search_batch` call so the hot path stops paying an O(n)
@@ -56,6 +159,7 @@ class SearchScratch {
     std::vector<std::uint32_t> sample;
     std::vector<std::uint32_t> expand;
     std::vector<float> qprep;  ///< prepared-query buffer (sq8 path only)
+    std::vector<Neighbor> frontier;  ///< FrontierHeap storage (capacity reused)
 
     /// Starts one query over a base of `n` points: grows `mark` if needed
     /// and invalidates every previous mark by bumping the epoch.
@@ -102,6 +206,13 @@ class SearchScratch {
 struct BatchSearchResult {
   KnnGraph results;
   std::vector<std::uint64_t> visits;
+
+  /// capped[i] != 0 when query i was stopped by `SearchParams::visit_budget`
+  /// while the frontier still held a candidate inside the result heap's
+  /// bound — i.e. the budget, not convergence, ended the search. All zeros
+  /// when no budget is set. The serving engine's bucket controller escalates
+  /// exactly these queries to the next budget rung.
+  std::vector<std::uint8_t> capped;
 };
 
 /// Batched entry point used by the serving engine: answers every row of
@@ -145,6 +256,48 @@ BatchSearchResult graph_search_batch(ThreadPool& pool, const FloatMatrix& base,
                                      simt::StatsAccumulator* acc = nullptr,
                                      const kernels::Sq8View* sq8 = nullptr,
                                      std::span<const std::uint8_t> exclude = {});
+
+/// The optimized serve path: answers every query over a pruned,
+/// BFS-reordered CSR layout (opt::optimize_serving) instead of the raw
+/// builder graph. Same warp-per-query kernel shape and determinism contract
+/// as graph_search_batch, plus three serve-time levers:
+///
+///  - *Cache-blocked expansion with software prefetch*: neighbor lists are
+///    CSR rows in BFS order, and while `l2_batch` scores one warp-tile of
+///    candidates the next tile's base rows (and the frontier head's CSR row)
+///    are prefetched — the descent streams instead of pointer-chasing.
+///  - *Pruned degree*: occluded edges are gone, so each hop scores fewer
+///    candidates for the same navigability.
+///  - *Adaptive termination*: `params.patience` / `params.visit_budget`
+///    behave exactly as on the raw path.
+///
+/// External stability: entry sampling draws ids in the *pre-permutation* id
+/// space and maps them through `sg.old_to_new`, and every emitted neighbor is
+/// mapped back through `sg.new_to_old` — so with pruning disabled and no
+/// early termination, results are externally identical to
+/// graph_search_batch over the source graph (same entries, same distances,
+/// same ids; tie-breaks between equal-distance points are the only possible
+/// difference). Tombstones travel inside the layout (`sg.exclude`, permuted
+/// at build time), which is why a layout must never outlive the snapshot
+/// version it was built from — see opt::ServingGraph::source_version.
+///
+/// The sq8 compressed tier is not routed through the optimized layout
+/// (codes stay in source order); serving falls back to the raw path when a
+/// snapshot carries both.
+///
+/// `exclude`, when non-empty, must have one byte per layout row *in the
+/// permuted id space* and replaces the layout's baked `sg.exclude` — the
+/// dynamic index uses this to serve delete-only publications through a reused
+/// layout by re-permuting the fresh tombstone vector instead of rebuilding
+/// the whole layout. Empty = use `sg.exclude` as built.
+BatchSearchResult serving_search_batch(ThreadPool& pool,
+                                       const opt::ServingGraph& sg,
+                                       const FloatMatrix& queries,
+                                       std::span<const std::uint64_t> tags,
+                                       const SearchParams& params,
+                                       std::span<const std::uint8_t> exclude = {},
+                                       SearchScratch* scratch = nullptr,
+                                       simt::StatsAccumulator* acc = nullptr);
 
 /// Answers every query against `base` using `graph` for navigation; one
 /// warp per query on the SIMT substrate. Returns a KnnGraph with one row per

@@ -18,8 +18,16 @@ namespace {
 constexpr char kMagic[8] = {'W', 'K', 'N', 'N', 'G', '1', '\0', '\0'};
 constexpr char kCkptMagic[8] = {'W', 'K', 'N', 'N', 'G', 'C', 'P', '1'};
 constexpr char kSq8Magic[8] = {'W', 'K', 'N', 'N', 'G', 'S', 'Q', '8'};
+constexpr char kServingMagic[8] = {'W', 'K', 'N', 'N', 'G', 'O', 'P', '1'};
 constexpr char kManifestMagic[] = "WKNNGSHARDS1";
 constexpr std::uint32_t kSq8CodecVersion = 1;
+constexpr std::uint32_t kServingCodecVersion = 1;
+
+// WKNNGOP1 flag bits.
+constexpr std::uint32_t kServingPruned = 1u << 0;
+constexpr std::uint32_t kServingReordered = 1u << 1;
+constexpr std::uint32_t kServingHasExclude = 1u << 2;
+constexpr std::uint32_t kServingHasNorms = 1u << 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -133,25 +141,181 @@ kernels::Sq8Matrix read_sq8_payload(std::FILE* f, const std::string& path,
   return m;
 }
 
-}  // namespace
+/// Byte count of one serialized WKNNGOP1 payload, computed wide so a garbage
+/// header cannot overflow the expectation.
+__uint128_t serving_payload_bytes(std::uint64_t n, std::uint64_t dim,
+                                  std::uint64_t edges, bool has_norms,
+                                  bool has_exclude) {
+  __uint128_t bytes = __uint128_t(sizeof(kServingMagic)) +
+                      2 * sizeof(std::uint32_t) + 6 * sizeof(std::uint64_t) +
+                      __uint128_t(n + 1) * sizeof(std::uint32_t) +
+                      __uint128_t(edges) * sizeof(std::uint32_t) +
+                      __uint128_t(n) * sizeof(std::uint32_t) +
+                      __uint128_t(n) * dim * sizeof(float);
+  if (has_norms) bytes += __uint128_t(n) * sizeof(float);
+  if (has_exclude) bytes += __uint128_t(n);
+  return bytes;
+}
 
-void write_knng(const std::string& path, const KnnGraph& g) {
-  File f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) throw_io(path, "cannot open for writing");
-
-  WKNNG_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) == sizeof(kMagic));
-  const std::uint64_t n = g.num_points();
-  const std::uint64_t k = g.k();
-  WKNNG_CHECK(std::fwrite(&n, sizeof(n), 1, f.get()) == 1);
-  WKNNG_CHECK(std::fwrite(&k, sizeof(k), 1, f.get()) == 1);
+void write_serving_payload(std::FILE* f, const std::string& path,
+                           const opt::ServingGraph& sg) {
+  sg.check_valid();
+  WKNNG_CHECK_MSG(sg.n() > 0 && sg.dim > 0,
+                  path << ": refusing to serialize an empty serving layout");
+  const std::uint64_t n = sg.n();
+  const std::uint64_t dim = sg.dim;
+  WKNNG_CHECK(std::fwrite(kServingMagic, 1, sizeof(kServingMagic), f) ==
+              sizeof(kServingMagic));
+  WKNNG_CHECK(std::fwrite(&kServingCodecVersion, sizeof(kServingCodecVersion),
+                          1, f) == 1);
+  std::uint32_t flags = 0;
+  if (sg.pruned) flags |= kServingPruned;
+  if (sg.reordered) flags |= kServingReordered;
+  if (!sg.exclude.empty()) flags |= kServingHasExclude;
+  if (!sg.norms.empty()) flags |= kServingHasNorms;
+  WKNNG_CHECK(std::fwrite(&flags, sizeof(flags), 1, f) == 1);
+  const std::uint64_t source_k = sg.source_k;
+  const std::uint64_t min_degree = sg.min_degree;
+  WKNNG_CHECK(std::fwrite(&dim, sizeof(dim), 1, f) == 1);
+  WKNNG_CHECK(std::fwrite(&n, sizeof(n), 1, f) == 1);
+  WKNNG_CHECK(std::fwrite(&source_k, sizeof(source_k), 1, f) == 1);
+  WKNNG_CHECK(std::fwrite(&sg.source_version, sizeof(sg.source_version), 1,
+                          f) == 1);
+  WKNNG_CHECK(std::fwrite(&min_degree, sizeof(min_degree), 1, f) == 1);
+  WKNNG_CHECK(std::fwrite(&sg.edges_before, sizeof(sg.edges_before), 1, f) ==
+              1);
+  WKNNG_CHECK(std::fwrite(sg.offsets.data(), sizeof(std::uint32_t), n + 1,
+                          f) == n + 1);
+  if (!sg.neighbors.empty()) {
+    WKNNG_CHECK(std::fwrite(sg.neighbors.data(), sizeof(std::uint32_t),
+                            sg.neighbors.size(), f) == sg.neighbors.size());
+  }
+  WKNNG_CHECK(std::fwrite(sg.new_to_old.data(), sizeof(std::uint32_t), n, f) ==
+              n);
   for (std::size_t i = 0; i < n; ++i) {
-    auto row = g.row(i);
-    static_assert(sizeof(Neighbor) == 8);
-    WKNNG_CHECK(std::fwrite(row.data(), sizeof(Neighbor), k, f.get()) == k);
+    WKNNG_CHECK(std::fwrite(sg.base.row(i).data(), sizeof(float), dim, f) ==
+                dim);
+  }
+  if (!sg.norms.empty()) {
+    WKNNG_CHECK(std::fwrite(sg.norms.data(), sizeof(float), n, f) == n);
+  }
+  if (!sg.exclude.empty()) {
+    WKNNG_CHECK(std::fwrite(sg.exclude.data(), 1, n, f) == n);
   }
 }
 
-KnnGraph read_knng(const std::string& path) {
+/// Reads one WKNNGOP1 payload starting at the current position. `remaining`
+/// is the byte count to EOF; the header is validated against it before any
+/// header-sized allocation, and the payload must account for *exactly*
+/// `remaining` bytes — this doubles as the trailer-is-everything check for
+/// combined graph+layout files.
+opt::ServingGraph read_serving_payload(std::FILE* f, const std::string& path,
+                                       std::uint64_t remaining) {
+  if (remaining < sizeof(kServingMagic) + 2 * sizeof(std::uint32_t) +
+                      6 * sizeof(std::uint64_t)) {
+    throw_io(path, "truncated serving-layout header");
+  }
+  char magic[8] = {};
+  read_exact(f, path, magic, 1, sizeof(magic), "serving-layout header");
+  if (std::memcmp(magic, kServingMagic, sizeof(kServingMagic)) != 0) {
+    throw_io(path, "not a WKNNGOP1 payload");
+  }
+  std::uint32_t version = 0, flags = 0;
+  read_exact(f, path, &version, sizeof(version), 1, "serving-layout header");
+  if (version != kServingCodecVersion) {
+    std::ostringstream os;
+    os << "unsupported serving-layout codec version " << version
+       << " (this build reads version " << kServingCodecVersion << ")";
+    throw_io(path, os.str());
+  }
+  read_exact(f, path, &flags, sizeof(flags), 1, "serving-layout header");
+  std::uint64_t dim = 0, n = 0, source_k = 0, source_version = 0,
+                min_degree = 0, edges_before = 0;
+  read_exact(f, path, &dim, sizeof(dim), 1, "serving-layout header");
+  read_exact(f, path, &n, sizeof(n), 1, "serving-layout header");
+  read_exact(f, path, &source_k, sizeof(source_k), 1, "serving-layout header");
+  read_exact(f, path, &source_version, sizeof(source_version), 1,
+             "serving-layout header");
+  read_exact(f, path, &min_degree, sizeof(min_degree), 1,
+             "serving-layout header");
+  read_exact(f, path, &edges_before, sizeof(edges_before), 1,
+             "serving-layout header");
+  if (n == 0 || dim == 0 || n >= (1ULL << 32) || dim >= (1ULL << 32)) {
+    std::ostringstream os;
+    os << "implausible serving-layout header n=" << n << " dim=" << dim;
+    throw_io(path, os.str());
+  }
+
+  opt::ServingGraph sg;
+  sg.dim = dim;
+  sg.source_k = source_k;
+  sg.source_version = source_version;
+  sg.min_degree = min_degree;
+  sg.edges_before = edges_before;
+  sg.pruned = (flags & kServingPruned) != 0;
+  sg.reordered = (flags & kServingReordered) != 0;
+
+  sg.offsets.resize(n + 1);
+  read_exact(f, path, sg.offsets.data(), sizeof(std::uint32_t), n + 1,
+             "serving-layout offsets");
+  const std::uint64_t edges = sg.offsets.back();
+  // Only now is the edge count known; re-validate the full payload size
+  // before the edge-sized allocation.
+  if (serving_payload_bytes(n, dim, edges, (flags & kServingHasNorms) != 0,
+                            (flags & kServingHasExclude) != 0) !=
+      __uint128_t(remaining)) {
+    std::ostringstream os;
+    os << "serving-layout payload size does not match header (n=" << n
+       << ", dim=" << dim << ", edges=" << edges << ", " << remaining
+       << " bytes)";
+    throw_io(path, os.str());
+  }
+  sg.edges_after = edges;
+  sg.neighbors.resize(edges);
+  if (edges != 0) {
+    read_exact(f, path, sg.neighbors.data(), sizeof(std::uint32_t), edges,
+               "serving-layout edges");
+  }
+  sg.new_to_old.resize(n);
+  read_exact(f, path, sg.new_to_old.data(), sizeof(std::uint32_t), n,
+             "serving-layout permutation");
+  sg.base = FloatMatrix(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    read_exact(f, path, sg.base.row(i).data(), sizeof(float), dim,
+               "serving-layout base rows");
+  }
+  if ((flags & kServingHasNorms) != 0) {
+    sg.norms.resize(n);
+    read_exact(f, path, sg.norms.data(), sizeof(float), n,
+               "serving-layout norm cache");
+  }
+  if ((flags & kServingHasExclude) != 0) {
+    sg.exclude.resize(n);
+    read_exact(f, path, sg.exclude.data(), 1, n,
+               "serving-layout exclusion mask");
+  }
+
+  // Invert the permutation; check_valid proves it bijective (a duplicate in
+  // new_to_old leaves some old_to_new slot inconsistent and is caught there).
+  sg.old_to_new.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t old_id = sg.new_to_old[i];
+    if (old_id >= n) throw_io(path, "serving-layout permutation out of range");
+    sg.old_to_new[old_id] = static_cast<std::uint32_t>(i);
+  }
+  try {
+    sg.check_valid();
+  } catch (const Error& e) {
+    throw_io(path, std::string("serving layout invalid: ") + e.what());
+  }
+  return sg;
+}
+
+/// Shared body of read_knng / read_knng_serving: reads the WKNNG1 payload,
+/// then parses whatever follows as an exactly-sized WKNNGOP1 trailer.
+/// `serving` non-null ⇒ the trailer is required and returned through it;
+/// null ⇒ a trailer is tolerated (still fully validated) and discarded.
+KnnGraph read_knng_file(const std::string& path, opt::ServingGraph* serving) {
   File f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) throw_io(path, "cannot open");
 
@@ -172,17 +336,20 @@ KnnGraph read_knng(const std::string& path) {
 
   // Validate payload size before allocating anything header-sized. The
   // expectation is computed wide so a hostile header cannot overflow it into
-  // an accidental match.
+  // an accidental match. A longer file must carry an exactly-sized
+  // serving-layout trailer; any other trailing bytes are corruption.
   const long header = 8 + 2 * static_cast<long>(sizeof(std::uint64_t));
   const long bytes = file_bytes(f.get(), path, header);
   const __uint128_t expect =
       __uint128_t(header) + __uint128_t(n) * k * sizeof(Neighbor);
-  if (__uint128_t(bytes) != expect) {
+  if (__uint128_t(bytes) < expect) {
     std::ostringstream os;
     os << "size " << bytes << " does not match header (n=" << n
        << ", k=" << k << ")";
     throw_io(path, os.str());
   }
+  const std::uint64_t trailer_bytes =
+      static_cast<std::uint64_t>(__uint128_t(bytes) - expect);
 
   KnnGraph g(n, k);
   for (std::size_t i = 0; i < n; ++i) {
@@ -190,7 +357,89 @@ KnnGraph read_knng(const std::string& path) {
     read_exact(f.get(), path, row.data(), sizeof(Neighbor), k, "graph rows");
   }
   if (!g.check_invariants()) throw_io(path, "graph invariants violated");
+
+  if (trailer_bytes != 0) {
+    opt::ServingGraph sg = read_serving_payload(f.get(), path, trailer_bytes);
+    if (serving != nullptr) *serving = std::move(sg);
+  } else if (serving != nullptr) {
+    throw_io(path, "no serving-layout trailer (plain WKNNG1 file)");
+  }
   return g;
+}
+
+}  // namespace
+
+void write_knng(const std::string& path, const KnnGraph& g) {
+  File f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) throw_io(path, "cannot open for writing");
+
+  WKNNG_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) == sizeof(kMagic));
+  const std::uint64_t n = g.num_points();
+  const std::uint64_t k = g.k();
+  WKNNG_CHECK(std::fwrite(&n, sizeof(n), 1, f.get()) == 1);
+  WKNNG_CHECK(std::fwrite(&k, sizeof(k), 1, f.get()) == 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = g.row(i);
+    static_assert(sizeof(Neighbor) == 8);
+    WKNNG_CHECK(std::fwrite(row.data(), sizeof(Neighbor), k, f.get()) == k);
+  }
+}
+
+KnnGraph read_knng(const std::string& path) {
+  return read_knng_file(path, nullptr);
+}
+
+void write_serving(const std::string& path, const opt::ServingGraph& sg) {
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    if (f == nullptr) throw_io(tmp, "cannot open for writing");
+    write_serving_payload(f.get(), tmp, sg);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_io(tmp, "cannot rename to " + path);
+  }
+}
+
+opt::ServingGraph read_serving(const std::string& path) {
+  File f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) throw_io(path, "cannot open");
+  const long bytes = file_bytes(f.get(), path, 0);
+  return read_serving_payload(f.get(), path,
+                              static_cast<std::uint64_t>(bytes));
+}
+
+void write_knng_serving(const std::string& path, const KnnGraph& g,
+                        const opt::ServingGraph& sg) {
+  WKNNG_CHECK_MSG(sg.n() == g.num_points(),
+                  path << ": serving layout has " << sg.n() << " rows, graph "
+                       << g.num_points());
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    if (f == nullptr) throw_io(tmp, "cannot open for writing");
+    WKNNG_CHECK(std::fwrite(kMagic, 1, sizeof(kMagic), f.get()) ==
+                sizeof(kMagic));
+    const std::uint64_t n = g.num_points();
+    const std::uint64_t k = g.k();
+    WKNNG_CHECK(std::fwrite(&n, sizeof(n), 1, f.get()) == 1);
+    WKNNG_CHECK(std::fwrite(&k, sizeof(k), 1, f.get()) == 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      WKNNG_CHECK(std::fwrite(g.row(i).data(), sizeof(Neighbor), k, f.get()) ==
+                  k);
+    }
+    write_serving_payload(f.get(), tmp, sg);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw_io(tmp, "cannot rename to " + path);
+  }
+}
+
+std::pair<KnnGraph, opt::ServingGraph> read_knng_serving(
+    const std::string& path) {
+  opt::ServingGraph sg;
+  KnnGraph g = read_knng_file(path, &sg);
+  return {std::move(g), std::move(sg)};
 }
 
 void write_checkpoint(const std::string& path, const BuildCheckpoint& c) {

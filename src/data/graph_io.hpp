@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/knn_graph.hpp"
 #include "kernels/sq8.hpp"
+#include "opt/serving_graph.hpp"
 
 namespace wknng::data {
 
@@ -33,7 +35,42 @@ namespace wknng::data {
 /// past the end of a truncated buffer.
 void write_knng(const std::string& path, const KnnGraph& g);
 
+/// Tolerates (and fully validates) an optional WKNNGOP1 serving-layout
+/// trailer appended by write_knng_serving; any other trailing bytes are
+/// corruption and throw. Use read_knng_serving to get the trailer back.
 KnnGraph read_knng(const std::string& path);
+
+/// Optimized serving-layout persistence: the pruned, CSR-packed, BFS-permuted
+/// layout opt::optimize_serving builds, written standalone so a serving
+/// process can load it without re-running the pipeline. Payload
+/// (little-endian):
+///   magic    "WKNNGOP1"  (8 bytes)
+///   version  uint32      (layout codec version, currently 1)
+///   flags    uint32      (bit0 pruned, bit1 reordered, bit2 exclusion mask
+///                         present, bit3 norm cache present)
+///   dim, n, source_k, source_version, min_degree, edges_before  uint64 each
+///   offsets    (n+1) x uint32
+///   neighbors  offsets[n] x uint32   (edge targets, new-id space)
+///   new_to_old n x uint32
+///   base       n*dim x float         (rows gathered into new order)
+///   [norms     n x float]            (bit3)
+///   [exclude   n x uint8]            (bit2)
+/// `old_to_new` is re-derived by inversion and `edges_after` from the CSR;
+/// the reader runs ServingGraph::check_valid before returning, so a corrupt
+/// layout can never reach the search kernel. Writes are atomic (tmp+rename).
+void write_serving(const std::string& path, const opt::ServingGraph& sg);
+
+opt::ServingGraph read_serving(const std::string& path);
+
+/// Graph + layout in one artifact: the WKNNG1 payload followed by the
+/// WKNNGOP1 payload as a trailer (the checkpoint/sq8 trailer idiom). Plain
+/// read_knng on such a file returns just the graph; read_knng_serving
+/// returns both and throws IoError when the trailer is absent.
+void write_knng_serving(const std::string& path, const KnnGraph& g,
+                        const opt::ServingGraph& sg);
+
+std::pair<KnnGraph, opt::ServingGraph> read_knng_serving(
+    const std::string& path);
 
 /// A resumable snapshot of a build at a phase boundary: the packed k-NN set
 /// state after the leaf pass (rounds_done == 0) or after refinement round

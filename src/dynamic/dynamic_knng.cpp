@@ -16,6 +16,7 @@
 #include "core/rp_forest.hpp"
 #include "data/graph_io.hpp"
 #include "obs/trace.hpp"
+#include "opt/optimize.hpp"
 #include "simt/launch.hpp"
 #include "simt/packed.hpp"
 #include "simt/warp_distance.hpp"
@@ -368,6 +369,7 @@ void DynamicKnng::apply_insert(const FloatMatrix& rows,
 
   version_ += 1;
   graph_ = sets_.extract(*pool_);  // refresh: the next descent's frozen state
+  force_reopt_ = true;  // row count changed: any optimized layout is stale
   if (!replaying) {
     metrics_.inserts.add(1);
     metrics_.insert_rows.add(batch);
@@ -537,6 +539,9 @@ std::size_t DynamicKnng::apply_repair(std::size_t rounds, bool replaying) {
   dirty_.clear();
   version_ += 1;
   graph_ = sets_.extract(*pool_);
+  // Edge drift: the layout stays safe (same rows, same permutation) but
+  // serves pre-repair adjacency; tolerated up to optimize_staleness passes.
+  ++repairs_since_opt_;
   if (!replaying) {
     metrics_.repairs.add(1);
     metrics_.repaired_rows.add(repaired);
@@ -649,6 +654,7 @@ void DynamicKnng::apply_compact(bool replaying) {
   dirty_ = std::move(new_dirty);
   version_ += 1;
   graph_ = sets_.extract(*pool_);
+  force_reopt_ = true;  // internal ids rewritten: the permutation is void
   if (!replaying) {
     metrics_.compactions.add(1);
     metrics_.reclaimed_rows.add(reclaimed);
@@ -682,6 +688,35 @@ void DynamicKnng::publish_locked() {
       std::make_shared<const std::vector<std::uint8_t>>(tombstone_);
   snap->external_ids =
       std::make_shared<const std::vector<std::uint32_t>>(external_);
+  if (dyn_.optimize) {
+    const bool reusable = serving_ != nullptr && !force_reopt_ &&
+                          repairs_since_opt_ <= dyn_.optimize_staleness &&
+                          serving_->n() == points_.rows();
+    if (!reusable) {
+      // Structural staleness: the permutation, shape, or too much edge drift.
+      // Build fresh under the writer lock — readers keep the previous
+      // snapshot (previous layout included) until the swap below.
+      serving_ = std::make_shared<const opt::ServingGraph>(opt::optimize_serving(
+          *pool_, points_, graph_, dyn_.optimize_options, tombstone_, version_,
+          &acc_));
+      force_reopt_ = false;
+      repairs_since_opt_ = 0;
+      metrics_.layout_rebuilds.add(1);
+      snap->serving = serving_;  // baked exclude == this version's tombstones
+    } else {
+      // Delete-only drift: the permutation is still exact, so reuse the
+      // layout and re-permute the current tombstones into its id space —
+      // points deleted since the build stay invisible on the optimized path.
+      snap->serving = serving_;
+      auto mask =
+          std::make_shared<std::vector<std::uint8_t>>(points_.rows(), 0);
+      for (std::size_t p = 0; p < points_.rows(); ++p) {
+        (*mask)[serving_->old_to_new[p]] = tombstone_[p];
+      }
+      snap->serving_exclude = std::move(mask);
+      metrics_.layout_reuses.add(1);
+    }
+  }
   std::shared_ptr<const serve::GraphSnapshot> pub = std::move(snap);
   slot_.publish(pub);
   refresh_gauges_locked();

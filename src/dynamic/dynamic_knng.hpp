@@ -17,6 +17,7 @@
 #include "core/params.hpp"
 #include "data/wal.hpp"
 #include "dynamic/metrics.hpp"
+#include "opt/serving_graph.hpp"
 #include "serve/snapshot.hpp"
 #include "simt/stats.hpp"
 
@@ -39,6 +40,18 @@ struct DynamicParams {
   /// (the default). Off, the caller schedules `repair()` / `compact()` —
   /// what the CLI churn driver does to stop at exact versions.
   bool auto_maintain = true;
+
+  /// Attach an optimized serving layout (opt::optimize_serving) to every
+  /// published snapshot. The layout is rebuilt when its permutation or shape
+  /// goes stale — always after an insert (row count changed) or a compaction
+  /// (internal ids rewritten), and after more than `optimize_staleness`
+  /// repair passes accumulated edge drift. Between rebuilds a delete-only
+  /// publication reuses the layout with the current tombstone vector
+  /// re-permuted into its id space, so queries on the optimized path never
+  /// observe a stale permutation *or* a resurrected point.
+  bool optimize = false;
+  opt::OptimizeOptions optimize_options;
+  std::size_t optimize_staleness = 4;  ///< repair passes tolerated per layout
 
   /// Invoked with every published snapshot (after the internal slot is
   /// updated) — the hook a ServeEngine wires `publish` through so queries
@@ -203,6 +216,13 @@ class DynamicKnng {
   serve::SnapshotSlot slot_;
   DynamicMetrics metrics_;
   mutable simt::StatsAccumulator acc_;
+
+  // Optimized-layout lifecycle (only under dyn_.optimize). The layout is
+  // immutable once built; these fields decide, per publication, whether it
+  // is still safe to reuse or must be rebuilt (see DynamicParams::optimize).
+  std::shared_ptr<const opt::ServingGraph> serving_;
+  bool force_reopt_ = false;       ///< permutation/shape invalidated
+  std::size_t repairs_since_opt_ = 0;  ///< edge drift since the last build
 };
 
 }  // namespace wknng::dynamic

@@ -19,7 +19,9 @@ std::string DynamicMetrics::to_json() const {
      << ",\"reclaimed_rows\":" << reclaimed_rows.value()
      << ",\"wal_records\":" << wal_records.value()
      << ",\"wal_bytes\":" << wal_bytes.value()
-     << ",\"replayed_records\":" << replayed_records.value() << "}"
+     << ",\"replayed_records\":" << replayed_records.value()
+     << ",\"layout_rebuilds\":" << layout_rebuilds.value()
+     << ",\"layout_reuses\":" << layout_reuses.value() << "}"
      << ",\"version\":" << version.value()
      << ",\"total_rows\":" << total_rows.value()
      << ",\"live_rows\":" << live_rows.value()
@@ -52,6 +54,10 @@ void register_metrics(obs::MetricsRegistry& reg, const DynamicMetrics& m) {
                    "Bytes appended to the write-ahead delta log");
   reg.link_counter("wknng_dynamic_replayed_records_total", m.replayed_records,
                    "Delta-log records re-applied during recovery");
+  reg.link_counter("wknng_dynamic_layout_rebuilds_total", m.layout_rebuilds,
+                   "Optimized serving layouts rebuilt at publication");
+  reg.link_counter("wknng_dynamic_layout_reuses_total", m.layout_reuses,
+                   "Publications that reused a layout with a fresh mask");
   reg.gauge_fn("wknng_dynamic_version", [&m] { return m.version.value(); },
                "Last published graph version");
   reg.gauge_fn("wknng_dynamic_total_rows",

@@ -26,6 +26,8 @@ struct DynamicMetrics {
   obs::Counter wal_records;        ///< records appended to the delta log
   obs::Counter wal_bytes;          ///< bytes appended to the delta log
   obs::Counter replayed_records;   ///< records re-applied during recovery
+  obs::Counter layout_rebuilds;    ///< optimized serving layouts rebuilt
+  obs::Counter layout_reuses;      ///< publications reusing a layout (fresh mask)
 
   obs::Gauge version;              ///< last published graph version
   obs::Gauge total_rows;           ///< internal rows (live + tombstoned)

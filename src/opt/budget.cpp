@@ -1,0 +1,107 @@
+#include "opt/budget.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace wknng::opt {
+
+BudgetController::BudgetController(BudgetOptions options)
+    : options_(options) {
+  WKNNG_CHECK_MSG(options_.num_buckets >= 1, "budget ladder needs >= 1 rung");
+  WKNNG_CHECK_MSG(options_.update_epoch >= 1, "update_epoch must be positive");
+  WKNNG_CHECK_MSG(options_.headroom >= 1.0, "headroom must be >= 1");
+}
+
+std::uint64_t BudgetController::bin_bound(std::size_t b) {
+  // Half-octave boundaries: 1, 2, 3, 4, 6, 8, 11, 16, ... — bin b covers
+  // (bound(b-1), bound(b)]. Exact integers, no floating point.
+  const std::uint64_t octave = 1ULL << (b / 2);
+  return (b % 2 == 0) ? octave : octave + (octave >> 1);
+}
+
+std::size_t BudgetController::bin_of(std::uint64_t visits) {
+  for (std::size_t b = 0; b < kBins - 1; ++b) {
+    if (visits <= bin_bound(b)) return b;
+  }
+  return kBins - 1;
+}
+
+void BudgetController::observe(std::uint64_t visits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++hist_[bin_of(visits)];
+  ++count_;
+  // First ladder after the sampling phase, then once per epoch. The trigger
+  // is the observation counter alone — no clocks.
+  const bool sampled = count_ >= options_.sample_size;
+  if (sampled && (ladder_.empty() || count_ % options_.update_epoch == 0)) {
+    relearn_locked();
+  }
+}
+
+void BudgetController::relearn_locked() {
+  // Rung j sits at the cost quantile covering 1 - 2^-(j+1) of observed
+  // completions (1/2, 3/4, 7/8, ...); the top rung is the max observed cost
+  // with headroom. A query's expected rungs-tried is therefore < 2 while
+  // most of the fleet runs at the cheap rung — the bucketing trade.
+  std::array<std::uint64_t, kBins> cum{};
+  std::uint64_t running = 0;
+  std::size_t max_bin = 0;
+  for (std::size_t b = 0; b < kBins; ++b) {
+    running += hist_[b];
+    cum[b] = running;
+    if (hist_[b] != 0) max_bin = b;
+  }
+  std::vector<std::uint64_t> ladder;
+  ladder.reserve(options_.num_buckets);
+  for (std::size_t j = 0; j + 1 < options_.num_buckets; ++j) {
+    // Quantile 1 - 2^-(j+1), in integers: at least count - count/2^(j+1)
+    // observations at or below the rung.
+    const std::uint64_t target = count_ - (count_ >> (j + 1));
+    for (std::size_t b = 0; b <= max_bin; ++b) {
+      if (cum[b] >= target) {
+        ladder.push_back(bin_bound(b));
+        break;
+      }
+    }
+  }
+  const auto top = static_cast<std::uint64_t>(
+      static_cast<double>(bin_bound(max_bin)) * options_.headroom);
+  ladder.push_back(std::max<std::uint64_t>(top, 1));
+  // Strictly ascending: collapse duplicate quantiles landing in one bin.
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  ladder_ = std::move(ladder);
+  ++relearns_;
+}
+
+std::uint64_t BudgetController::predict() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ladder_.empty() ? 0 : ladder_.front();
+}
+
+std::uint64_t BudgetController::escalate(std::uint64_t current) const {
+  if (current == 0) return 0;  // already unlimited
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::uint64_t rung : ladder_) {
+    if (rung > current) return rung;
+  }
+  return 0;  // past the top rung: the unlimited escape hatch
+}
+
+std::vector<std::uint64_t> BudgetController::ladder() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ladder_;
+}
+
+std::uint64_t BudgetController::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::uint64_t BudgetController::relearns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return relearns_;
+}
+
+}  // namespace wknng::opt

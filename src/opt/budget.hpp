@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace wknng::opt {
+
+/// Knobs of the visit-budget bucket learner.
+struct BudgetOptions {
+  std::size_t sample_size = 64;   ///< completions observed before any ladder
+  std::size_t num_buckets = 4;    ///< rungs in the learned ladder
+  std::size_t update_epoch = 256; ///< re-learn every this many observations
+  double headroom = 1.5;          ///< multiplier on the top (max-cost) rung
+};
+
+/// Learns a small set of per-query visit budgets from completed queries —
+/// the cctools `bucketing` idea applied to search cost: most queries
+/// converge cheaply, a few need the full walk, and a fixed budget sized for
+/// the hardest query makes everyone pay the tail. The controller watches
+/// completed (un-capped) queries' visit counts, learns a short ladder of
+/// budget "buckets" at fixed quantiles of the observed cost distribution,
+/// allocates new queries the smallest rung, and escalates a query that hits
+/// its rung while still improving to the next one (the final escape rung is
+/// unlimited, so results are never silently truncated — a miss costs a
+/// re-run, exactly like a bucketing task retried with a bigger allocation).
+///
+/// Determinism: observations land in a log-scale histogram (commutative, so
+/// the learned ladder depends only on the *multiset* of completions seen at
+/// each epoch boundary, not their arrival order), the ladder is re-derived
+/// every `update_epoch` observations from counters alone, and nothing reads
+/// a clock. A serving run replayed with the same completion multiset per
+/// epoch yields the same ladder; per-query *results* stay exact regardless,
+/// since escalation ends at the unlimited rung.
+///
+/// Thread-safe; `observe` is one mutex-guarded histogram bump (the serving
+/// engine calls it per completed query).
+class BudgetController {
+ public:
+  explicit BudgetController(BudgetOptions options = {});
+
+  /// Records a completed query's distance-evaluation count.
+  void observe(std::uint64_t visits);
+
+  /// The budget to allocate a fresh query: the smallest learned rung, or 0
+  /// (unlimited) while still in the sampling phase.
+  std::uint64_t predict() const;
+
+  /// The next rung after `current` missed; 0 (unlimited) past the top rung.
+  std::uint64_t escalate(std::uint64_t current) const;
+
+  /// The current ladder, ascending (empty while sampling).
+  std::vector<std::uint64_t> ladder() const;
+
+  std::uint64_t observations() const;
+  std::uint64_t relearns() const;
+
+ private:
+  void relearn_locked();
+
+  static constexpr std::size_t kBins = 64;
+  /// Upper bound of histogram bin b (half-octave spacing: ~2^(b/2)).
+  static std::uint64_t bin_bound(std::size_t b);
+  static std::size_t bin_of(std::uint64_t visits);
+
+  BudgetOptions options_;
+  mutable std::mutex mu_;
+  std::array<std::uint64_t, kBins> hist_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t relearns_ = 0;
+  std::vector<std::uint64_t> ladder_;
+};
+
+}  // namespace wknng::opt

@@ -1,0 +1,41 @@
+#include "opt/metrics.hpp"
+
+#include "obs/registry.hpp"
+
+namespace wknng::opt {
+
+void register_serving_metrics(obs::MetricsRegistry& reg,
+                              const ServingGraph& sg) {
+  reg.gauge("wknng_opt_rows", "rows in the optimized serving layout")
+      .set(static_cast<double>(sg.n()));
+  reg.gauge("wknng_opt_edges_before", "source-graph edges before pruning")
+      .set(static_cast<double>(sg.edges_before));
+  reg.gauge("wknng_opt_edges_after", "edges surviving occlusion pruning")
+      .set(static_cast<double>(sg.edges_after));
+  reg.gauge("wknng_opt_edges_pruned", "edges dropped by occlusion pruning")
+      .set(static_cast<double>(sg.edges_before - sg.edges_after));
+  reg.gauge("wknng_opt_min_degree", "keep-floor applied during pruning")
+      .set(static_cast<double>(sg.min_degree));
+  reg.gauge("wknng_opt_reordered", "1 when rows are BFS-reordered")
+      .set(sg.reordered ? 1.0 : 0.0);
+}
+
+void register_budget_metrics(obs::MetricsRegistry& reg,
+                             const BudgetController& controller) {
+  reg.gauge_fn(
+      "wknng_opt_budget_observations",
+      [&controller] {
+        return static_cast<double>(controller.observations());
+      },
+      "completed queries the budget learner has observed");
+  reg.gauge_fn(
+      "wknng_opt_budget_relearns",
+      [&controller] { return static_cast<double>(controller.relearns()); },
+      "times the budget ladder was re-derived");
+  reg.gauge_fn(
+      "wknng_opt_budget_predict",
+      [&controller] { return static_cast<double>(controller.predict()); },
+      "visit budget currently allocated to a fresh query (0 = unlimited)");
+}
+
+}  // namespace wknng::opt

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "opt/budget.hpp"
+#include "opt/serving_graph.hpp"
+
+namespace wknng::obs {
+class MetricsRegistry;
+}  // namespace wknng::obs
+
+namespace wknng::opt {
+
+/// Exports one serving layout's pipeline stats as `wknng_opt_*` gauges
+/// (edges before/after pruning, pruned-edge count, row count, pipeline
+/// flags). Values are copied at registration — a layout is immutable once
+/// built, so there is nothing live to link.
+void register_serving_metrics(obs::MetricsRegistry& reg,
+                              const ServingGraph& sg);
+
+/// Exports a live budget controller as `wknng_opt_budget_*` scrape-time
+/// gauges (observations, relearns, current ladder rungs). `controller` must
+/// outlive the registry's exports.
+void register_budget_metrics(obs::MetricsRegistry& reg,
+                             const BudgetController& controller);
+
+}  // namespace wknng::opt

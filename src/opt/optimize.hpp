@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/knn_graph.hpp"
+#include "common/matrix.hpp"
+#include "common/thread_pool.hpp"
+#include "opt/serving_graph.hpp"
+#include "simt/stats.hpp"
+
+namespace wknng::opt {
+
+/// Turns a finished K-NNG into a ServingGraph: occlusion-prunes every row
+/// (warp-parallel on the SIMT substrate, one warp per row — rows are
+/// independent, so the result is bit-identical for any pool size or
+/// schedule), renumbers rows into BFS order from the highest in-degree hub,
+/// packs the surviving edges into CSR, and gathers `base` rows (plus their
+/// squared-norm cache, skipped in strict mode) and `tombstones` into the new
+/// order.
+///
+/// `tombstones`, when non-empty, must be one byte per base row (the dynamic
+/// index's deletion mask frozen at publish time); it is permuted into
+/// ServingGraph::exclude so the optimized search path excludes exactly the
+/// rows the raw path would. `source_version` labels the snapshot the layout
+/// was built from — the serving side's staleness guard.
+///
+/// Distance arithmetic routes through the dispatched kernels, so the pruning
+/// decisions (float comparisons) are bit-stable per backend; scalar and AVX2
+/// may legitimately prune differently, exactly as they build differently.
+ServingGraph optimize_serving(ThreadPool& pool, const FloatMatrix& base,
+                              const KnnGraph& graph,
+                              const OptimizeOptions& options = {},
+                              std::span<const std::uint8_t> tombstones = {},
+                              std::uint64_t source_version = 0,
+                              simt::StatsAccumulator* acc = nullptr);
+
+}  // namespace wknng::opt

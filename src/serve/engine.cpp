@@ -34,6 +34,20 @@ ServeEngine::ServeEngine(ThreadPool& pool, ServeOptions options,
   if (options_.rerank_depth != 0) {
     options_.search.rerank_depth = options_.rerank_depth;
   }
+  // Admission validation at construction: a misconfigured engine (k == 0,
+  // entry_sample == 0) throws SearchParamError here, before any thread
+  // starts, instead of failing every query.
+  core::validate_search_params(options_.search);
+  if (options_.adaptive_budget) {
+    budget_ = std::make_unique<opt::BudgetController>(options_.budget);
+  }
+  if (options_.optimize) {
+    const auto snap = slot_.current();
+    if (snap->serving_layout() == nullptr) {
+      slot_.publish(
+          with_serving_layout(*pool_, snap, options_.optimize_options));
+    }
+  }
   workers_.reserve(options_.workers);
   for (std::size_t w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -95,6 +109,11 @@ std::future<QueryResult> ServeEngine::submit_impl(std::vector<float> query,
 
 void ServeEngine::publish(std::shared_ptr<const GraphSnapshot> next) {
   WKNNG_CHECK_MSG(next != nullptr, "cannot publish a null snapshot");
+  if (options_.optimize && next->serving_layout() == nullptr) {
+    // The publisher pays for the layout build; query threads only ever see
+    // the finished snapshot land atomically.
+    next = with_serving_layout(*pool_, next, options_.optimize_options);
+  }
   slot_.publish(std::move(next));
   metrics_.snapshots_published.add();
 }
@@ -132,6 +151,63 @@ void ServeEngine::finish(Request& r, QueryResult qr, Clock::time_point now) {
     std::lock_guard<std::mutex> lock(drain_mutex_);
     drain_cv_.notify_all();
   }
+}
+
+core::BatchSearchResult ServeEngine::run_optimized(
+    const opt::ServingGraph& sg, std::span<const std::uint8_t> exclude,
+    const FloatMatrix& queries, std::span<const std::uint64_t> tags) {
+  core::SearchParams p = options_.search;
+  p.patience = options_.patience;
+  p.visit_budget =
+      budget_ != nullptr ? budget_->predict() : options_.visit_budget;
+
+  core::BatchSearchResult result = core::serving_search_batch(
+      *pool_, sg, queries, tags, p, exclude, &scratch_, nullptr);
+  metrics_.optimized_queries.add(queries.rows());
+
+  if (budget_ != nullptr) {
+    // Bucketing escalation: re-run only the queries the predicted rung
+    // capped, at successively higher rungs. Past the top rung the budget is
+    // 0 (unlimited), so a learned budget can delay a hard query but never
+    // truncate its answer.
+    while (p.visit_budget != 0) {
+      std::vector<std::size_t> retry;
+      for (std::size_t i = 0; i < result.capped.size(); ++i) {
+        if (result.capped[i] != 0) retry.push_back(i);
+      }
+      if (retry.empty()) break;
+      metrics_.budget_capped.add(retry.size());
+      p.visit_budget = budget_->escalate(p.visit_budget);
+      FloatMatrix sub(retry.size(), queries.cols());
+      std::vector<std::uint64_t> sub_tags(retry.size());
+      for (std::size_t j = 0; j < retry.size(); ++j) {
+        const auto qrow = queries.row(retry[j]);
+        std::copy(qrow.begin(), qrow.end(), sub.row(j).begin());
+        sub_tags[j] = tags.empty() ? retry[j] : tags[retry[j]];
+      }
+      core::BatchSearchResult esc = core::serving_search_batch(
+          *pool_, sg, sub, sub_tags, p, exclude, &scratch_, nullptr);
+      metrics_.escalations.add(retry.size());
+      for (std::size_t j = 0; j < retry.size(); ++j) {
+        const std::size_t i = retry[j];
+        const auto from = esc.results.row(j);
+        const auto to = result.results.row(i);
+        std::copy(from.begin(), from.end(), to.begin());
+        // Replace, don't sum: the learner buckets "what a completed search
+        // costs", and only the finishing run answers that.
+        result.visits[i] = esc.visits[j];
+        result.capped[i] = esc.capped[j];
+      }
+    }
+    for (std::size_t i = 0; i < result.visits.size(); ++i) {
+      if (result.capped[i] == 0) budget_->observe(result.visits[i]);
+    }
+  } else if (p.visit_budget != 0) {
+    std::uint64_t capped = 0;
+    for (const std::uint8_t c : result.capped) capped += c != 0 ? 1 : 0;
+    metrics_.budget_capped.add(capped);
+  }
+  return result;
 }
 
 void ServeEngine::run_batch(std::vector<Request> batch) {
@@ -194,14 +270,26 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
   // Compressed tier: score through the snapshot's codes when it carries
   // them. The view aliases `snap`, which this batch keeps pinned.
   const kernels::Sq8View sq8 = snap->sq8_view();
+  // Optimized layout: route through the pruned, cache-blocked CSR when the
+  // snapshot carries one. The sq8 tier keeps codes in source order, so a
+  // snapshot with both falls back to the raw path (see serving_search_batch).
+  const opt::ServingGraph* layout =
+      sq8.valid() ? nullptr : snap->serving_layout();
+  if (span && layout != nullptr) {
+    span->arg_num("optimized", std::uint64_t{1});
+  }
 
   core::BatchSearchResult result;
   try {
-    result = core::graph_search_batch(*pool_, snap->base, snap->graph,
-                                      queries, tags, options_.search,
-                                      &scratch_, nullptr,
-                                      sq8.valid() ? &sq8 : nullptr,
-                                      snap->exclusion_mask());
+    if (layout != nullptr) {
+      result = run_optimized(*layout, snap->serving_exclusion(), queries, tags);
+    } else {
+      result = core::graph_search_batch(*pool_, snap->base, snap->graph,
+                                        queries, tags, options_.search,
+                                        &scratch_, nullptr,
+                                        sq8.valid() ? &sq8 : nullptr,
+                                        snap->exclusion_mask());
+    }
   } catch (const std::exception& e) {
     // A failed batch (e.g. an injected LaunchAllocError) answers every
     // request with a typed failure; the engine itself stays live.

@@ -14,6 +14,7 @@
 #include "common/thread_pool.hpp"
 #include "core/graph_search.hpp"
 #include "obs/params.hpp"
+#include "opt/budget.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/snapshot.hpp"
@@ -37,6 +38,33 @@ struct ServeOptions {
   /// for the 0 = auto (2k) semantics.
   std::size_t rerank_depth = 0;
   obs::ObsParams obs;                  ///< span-tracing participation knobs
+
+  /// Serve-path optimization. With `optimize` on, the engine ensures every
+  /// served snapshot carries an optimized layout (opt::optimize_serving with
+  /// `optimize_options`): the initial snapshot and any published without one
+  /// are optimized synchronously on the publisher's thread before the swap.
+  /// Snapshots that already carry a layout (e.g. from the dynamic index) are
+  /// served as-is. With `optimize` off, snapshots still route through their
+  /// layout when they happen to carry one.
+  bool optimize = false;
+  opt::OptimizeOptions optimize_options;
+
+  /// Early-termination knobs for the optimized path (raw-path batches are
+  /// untouched — their results stay bit-identical to the engine's historical
+  /// behavior). `patience` / `visit_budget` map onto the same-named
+  /// core::SearchParams fields; 0 = off.
+  std::size_t patience = 0;
+  std::size_t visit_budget = 0;
+
+  /// Learned per-query budgets: predict a cheap rung for every fresh query,
+  /// re-run the (few) queries the rung capped at successively higher rungs,
+  /// feed completed costs back to the learner. Overrides `visit_budget`.
+  /// Escalation re-runs make per-query latency depend on the learned ladder
+  /// (and therefore on observation order), so results stay correct but the
+  /// visit *counts* are no longer a pure function of the request — keep this
+  /// off when bit-reproducible accounting matters.
+  bool adaptive_budget = false;
+  opt::BudgetOptions budget;
 };
 
 /// Batched, deadline-aware query serving over a K-NN graph.
@@ -100,12 +128,24 @@ class ServeEngine {
   std::string metrics_json() const { return metrics_.to_json(); }
   const ServeOptions& options() const { return options_; }
 
+  /// The adaptive budget learner; null unless `adaptive_budget` is on.
+  const opt::BudgetController* budget_controller() const {
+    return budget_.get();
+  }
+
  private:
   std::future<QueryResult> submit_impl(std::vector<float> query,
                                        std::uint64_t deadline_us,
                                        std::uint64_t id, std::uint64_t tag);
   void worker_loop();
   void run_batch(std::vector<Request> batch);
+
+  /// One batch through the optimized layout: predicted budget, then
+  /// escalation re-runs for the queries the rung capped (adaptive mode).
+  core::BatchSearchResult run_optimized(const opt::ServingGraph& sg,
+                                        std::span<const std::uint8_t> exclude,
+                                        const FloatMatrix& queries,
+                                        std::span<const std::uint64_t> tags);
   void finish(Request& r, QueryResult qr,
               std::chrono::steady_clock::time_point now);
 
@@ -115,6 +155,7 @@ class ServeEngine {
   MicroBatcher batcher_;
   ServeMetrics metrics_;
   core::SearchScratch scratch_;
+  std::unique_ptr<opt::BudgetController> budget_;
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> in_flight_{0};

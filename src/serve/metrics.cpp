@@ -17,7 +17,10 @@ std::string ServeMetrics::to_json() const {
      << ",\"failed\":" << failed.value() << ",\"batches\":" << batches.value()
      << ",\"queries\":" << queries.value()
      << ",\"points_visited\":" << points_visited.value()
-     << ",\"snapshots_published\":" << snapshots_published.value() << "}"
+     << ",\"snapshots_published\":" << snapshots_published.value()
+     << ",\"optimized_queries\":" << optimized_queries.value()
+     << ",\"budget_capped\":" << budget_capped.value()
+     << ",\"escalations\":" << escalations.value() << "}"
      << ",\"latency_us\":" << latency_us.to_json()
      << ",\"queue_us\":" << queue_us.to_json()
      << ",\"batch_size\":" << batch_size.to_json()
@@ -50,6 +53,12 @@ void register_metrics(obs::MetricsRegistry& reg, const ServeMetrics& m) {
                    "Distance evaluations across executed queries");
   reg.link_counter("wknng_serve_snapshots_published_total",
                    m.snapshots_published, "Graph snapshots published");
+  reg.link_counter("wknng_serve_optimized_queries_total", m.optimized_queries,
+                   "Queries answered through the optimized serving layout");
+  reg.link_counter("wknng_serve_budget_capped_total", m.budget_capped,
+                   "Search runs stopped by a visit budget before convergence");
+  reg.link_counter("wknng_serve_escalations_total", m.escalations,
+                   "Adaptive re-runs at a higher budget rung");
   reg.link_histogram("wknng_serve_latency_us", m.latency_us,
                      "Enqueue to future-fulfilled latency (us)");
   reg.link_histogram("wknng_serve_queue_us", m.queue_us,

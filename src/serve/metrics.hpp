@@ -45,6 +45,15 @@ struct ServeMetrics {
   Counter points_visited;   ///< distance evaluations across executed queries
   Counter snapshots_published;
 
+  /// Serve-path optimization (opt layer). `optimized_queries` counts queries
+  /// answered through the pruned/CSR layout (subset of `queries`);
+  /// `budget_capped` counts runs a visit budget stopped short of
+  /// convergence; `escalations` counts adaptive re-runs at a higher budget
+  /// rung (one query escalated twice counts twice).
+  Counter optimized_queries;
+  Counter budget_capped;
+  Counter escalations;
+
   // Histograms.
   Histogram latency_us{latency_bounds_us()};   ///< enqueue → future fulfilled
   Histogram queue_us{latency_bounds_us()};     ///< enqueue → batch dispatch

@@ -1,0 +1,25 @@
+#include "serve/snapshot.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "opt/optimize.hpp"
+
+namespace wknng::serve {
+
+std::shared_ptr<const GraphSnapshot> with_serving_layout(
+    ThreadPool& pool, const std::shared_ptr<const GraphSnapshot>& snap,
+    const opt::OptimizeOptions& options) {
+  WKNNG_CHECK_MSG(snap != nullptr, "cannot optimize a null snapshot");
+  auto next = std::make_shared<GraphSnapshot>(*snap);
+  next->serving = std::make_shared<const opt::ServingGraph>(
+      opt::optimize_serving(pool, snap->base, snap->graph, options,
+                            snap->exclusion_mask(), snap->version));
+  // The layout's baked exclude is this snapshot's tombstones; no separate
+  // publish-time mask needed for a freshly-built layout.
+  next->serving_exclude = nullptr;
+  return next;
+}
+
+}  // namespace wknng::serve

@@ -11,6 +11,11 @@
 #include "common/matrix.hpp"
 #include "kernels/kernels.hpp"
 #include "kernels/sq8.hpp"
+#include "opt/serving_graph.hpp"
+
+namespace wknng {
+class ThreadPool;
+}  // namespace wknng
 
 namespace wknng::serve {
 
@@ -41,6 +46,19 @@ struct GraphSnapshot {
   std::vector<float> sq8_terms;  ///< per-row term cache (empty in strict mode)
   std::shared_ptr<const std::vector<std::uint8_t>> tombstones;
   std::shared_ptr<const std::vector<std::uint32_t>> external_ids;
+
+  /// Optional optimized serving layout (opt::optimize_serving over this
+  /// snapshot's graph): pruned edges, BFS/CSR relayout, gathered base rows.
+  /// Batch executors route through core::serving_search_batch when present
+  /// (and no sq8 tier is carried); null serves exactly as before.
+  std::shared_ptr<const opt::ServingGraph> serving;
+
+  /// Tombstones re-permuted into `serving`'s id space, frozen at publish.
+  /// Lets the dynamic index reuse a structurally-valid layout across
+  /// delete-only publications: the mask is rebuilt (O(n) permute) every
+  /// publish while the layout itself is rebuilt only on structural change.
+  /// Null → the layout's own baked `exclude` applies.
+  std::shared_ptr<const std::vector<std::uint8_t>> serving_exclude;
 
   GraphSnapshot() = default;
   GraphSnapshot(std::uint64_t v, FloatMatrix b, KnnGraph g)
@@ -76,6 +94,30 @@ struct GraphSnapshot {
       return internal;
     }
     return (*external_ids)[internal];
+  }
+
+  /// The optimized layout to serve through, or null when the snapshot
+  /// carries none or the layout's shape does not match this snapshot's base
+  /// (a layout from another graph is never served). The sq8 fallback is the
+  /// executor's call, not this accessor's.
+  const opt::ServingGraph* serving_layout() const {
+    if (serving == nullptr) return nullptr;
+    if (serving->dim != base.cols() || serving->n() != base.rows()) {
+      return nullptr;
+    }
+    return serving.get();
+  }
+
+  /// The exclusion mask for the optimized path, in the layout's permuted id
+  /// space: the publish-time re-permuted tombstones when present, the
+  /// layout's baked mask otherwise.
+  std::span<const std::uint8_t> serving_exclusion() const {
+    if (serving == nullptr) return {};
+    if (serving_exclude != nullptr &&
+        serving_exclude->size() == serving->n()) {
+      return {serving_exclude->data(), serving_exclude->size()};
+    }
+    return {serving->exclude.data(), serving->exclude.size()};
   }
 };
 
@@ -121,5 +163,15 @@ inline std::shared_ptr<const GraphSnapshot> make_snapshot(
   return std::make_shared<const GraphSnapshot>(version, base, graph,
                                                std::move(codes));
 }
+
+/// Returns a copy of `snap` carrying an optimized serving layout built from
+/// its graph: occlusion pruning + BFS/CSR relayout (opt::optimize_serving),
+/// with the snapshot's tombstones baked in and source_version stamped to the
+/// snapshot's version. The original snapshot is untouched; publish the
+/// returned one to serve through the optimized path. Building is the
+/// publisher's cost — query threads never see a half-built layout.
+std::shared_ptr<const GraphSnapshot> with_serving_layout(
+    ThreadPool& pool, const std::shared_ptr<const GraphSnapshot>& snap,
+    const opt::OptimizeOptions& options = {});
 
 }  // namespace wknng::serve

@@ -18,6 +18,8 @@
 ///   ivf/        IVF-Flat baseline (FAISS surrogate)
 ///   nndescent/  NN-Descent baseline
 ///   obs/        span tracing, metrics registry, Prometheus/JSON exporters
+///   opt/        serve-graph optimization: occlusion pruning, cache-blocked
+///               CSR relayout, learned per-query visit budgets
 ///   serve/      batched, deadline-aware query serving over a built graph
 ///   shard/      fault-tolerant sharded build orchestration + query routing
 ///   dynamic/    mutable K-NNG: inserts, tombstone deletes, WAL, repair
@@ -50,6 +52,10 @@
 #include "obs/params.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "opt/budget.hpp"
+#include "opt/metrics.hpp"
+#include "opt/optimize.hpp"
+#include "opt/serving_graph.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/metrics.hpp"

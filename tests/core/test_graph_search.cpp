@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/builder.hpp"
 #include "data/synthetic.hpp"
@@ -229,6 +233,103 @@ TEST(GraphSearch, TagKeyedResultsIndependentOfBatching) {
       ASSERT_EQ(single.results.row(0)[s], full.results.row(qi)[s])
           << "query " << qi << " slot " << s;
     }
+  }
+}
+
+TEST(GraphSearch, ZeroEntrySampleIsRejectedAtAdmission) {
+  // entry_sample == 0 would seed no descent and silently return empty rows;
+  // historically it was clamped into the entry_keep bound and slipped
+  // through. It must now fail typed, at admission, before any kernel runs.
+  Fixture f(200, 6, 4);
+  SearchParams sp;
+  sp.k = 4;
+  sp.entry_sample = 0;
+  EXPECT_THROW(validate_search_params(sp), SearchParamError);
+  EXPECT_THROW(graph_search(f.pool, f.base, f.graph, f.queries, sp),
+               SearchParamError);
+  EXPECT_THROW(graph_search_batch(f.pool, f.base, f.graph, f.queries, {}, sp),
+               SearchParamError);
+  SearchParams zero_k;
+  zero_k.k = 0;
+  EXPECT_THROW(validate_search_params(zero_k), SearchParamError);
+}
+
+TEST(GraphSearch, EntrySampleOfOneIsTheSmallestValidConfig) {
+  // The boundary right above the rejection: one sampled entry still seeds a
+  // full descent and yields valid, non-empty rows.
+  Fixture f(200, 6, 4);
+  SearchParams sp;
+  sp.k = 4;
+  sp.entry_sample = 1;
+  sp.entry_keep = 1;
+  KnnGraph got;
+  ASSERT_NO_THROW(got = graph_search(f.pool, f.base, f.graph, f.queries, sp));
+  expect_valid_result_rows(got);
+  for (std::size_t qi = 0; qi < got.num_points(); ++qi) {
+    EXPECT_GT(got.row_size(qi), 0u);
+  }
+}
+
+TEST(FrontierHeap, PopOrderMatchesPriorityQueueDifferentially) {
+  // The bounded heap replaced a std::priority_queue on the serving path; for
+  // any push/pop interleaving of distinct elements the pop sequence must be
+  // identical. Randomized differential run, unbounded capacity (no eviction).
+  struct MinCmp {
+    bool operator()(const Neighbor& a, const Neighbor& b) const {
+      return b < a;
+    }
+  };
+  Rng rng(404);
+  std::vector<Neighbor> storage;
+  FrontierHeap ours(storage, 1u << 20);
+  std::priority_queue<Neighbor, std::vector<Neighbor>, MinCmp> ref;
+  for (int step = 0; step < 5000; ++step) {
+    if (ref.empty() || rng.next_below(3) != 0) {
+      const Neighbor nb{static_cast<float>(rng.next_below(1u << 16)) * 0.5f,
+                        static_cast<std::uint32_t>(step)};
+      ours.push(nb, std::numeric_limits<float>::infinity());
+      ref.push(nb);
+    } else {
+      const Neighbor got = ours.pop();
+      ASSERT_EQ(got, ref.top()) << "step " << step;
+      ref.pop();
+    }
+    ASSERT_EQ(ours.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(ours.pop(), ref.top());
+    ref.pop();
+  }
+  EXPECT_TRUE(ours.empty());
+}
+
+TEST(FrontierHeap, EvictionUnderBoundPreservesElementsAtOrBelowBound) {
+  // At capacity, push may drop only elements strictly above the caller's
+  // bound — those the descent could never expand anyway. Everything at or
+  // below the bound must still pop, in order.
+  std::vector<Neighbor> storage;
+  FrontierHeap heap(storage, 4);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    heap.push(Neighbor{10.0f + static_cast<float>(i), i}, 100.0f);
+  }
+  // Capacity hit; bound 11.5 evicts {12, 13} before admitting the new one.
+  heap.push(Neighbor{1.0f, 9}, 11.5f);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.pop(), (Neighbor{1.0f, 9}));
+  EXPECT_EQ(heap.pop(), (Neighbor{10.0f, 0}));
+  EXPECT_EQ(heap.pop(), (Neighbor{11.0f, 1}));
+  EXPECT_TRUE(heap.empty());
+
+  // With an infinite bound nothing is evictable: the heap grows instead of
+  // dropping work.
+  FrontierHeap grow(storage, 4);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    grow.push(Neighbor{static_cast<float>(i), i},
+              std::numeric_limits<float>::infinity());
+  }
+  EXPECT_EQ(grow.size(), 8u);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(grow.pop().id, i);
   }
 }
 

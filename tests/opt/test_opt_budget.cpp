@@ -1,0 +1,118 @@
+#include "opt/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace wknng::opt {
+namespace {
+
+TEST(BudgetController, UnlimitedWhileSampling) {
+  BudgetOptions opts;
+  opts.sample_size = 16;
+  BudgetController ctl(opts);
+  EXPECT_EQ(ctl.predict(), 0u);
+  EXPECT_TRUE(ctl.ladder().empty());
+  for (int i = 0; i < 15; ++i) {
+    ctl.observe(100);
+    EXPECT_EQ(ctl.predict(), 0u) << "ladder appeared mid-sampling at " << i;
+  }
+  ctl.observe(100);  // 16th completion: the first ladder is learned
+  EXPECT_GT(ctl.predict(), 0u);
+  EXPECT_EQ(ctl.relearns(), 1u);
+  EXPECT_EQ(ctl.observations(), 16u);
+}
+
+TEST(BudgetController, LaddersAscendAndCoverTheTailWithHeadroom) {
+  BudgetOptions opts;
+  opts.sample_size = 32;
+  opts.update_epoch = 50;  // relearn lands exactly on the 100th observation
+  opts.num_buckets = 4;
+  opts.headroom = 1.5;
+  BudgetController ctl(opts);
+  // Bimodal fleet: most queries converge around 100 visits, a tail needs
+  // ~2000. The cheap rung must sit near the mode, the top rung above the
+  // observed max (headroom), so no real cost is unreachable by escalation.
+  for (int i = 0; i < 90; ++i) ctl.observe(100);
+  for (int i = 0; i < 10; ++i) ctl.observe(2000);
+
+  const std::vector<std::uint64_t> ladder = ctl.ladder();
+  ASSERT_FALSE(ladder.empty());
+  EXPECT_TRUE(std::is_sorted(ladder.begin(), ladder.end()));
+  EXPECT_EQ(std::adjacent_find(ladder.begin(), ladder.end()), ladder.end());
+  EXPECT_GE(ctl.predict(), 100u);   // smallest rung covers the mode
+  EXPECT_LT(ctl.predict(), 2000u);  // ...without paying for the tail
+  EXPECT_GE(ladder.back(), 2000u);  // top rung reaches past the observed max
+
+  // The escalation chain walks strictly upward and ends at unlimited.
+  std::uint64_t rung = ctl.predict();
+  std::size_t steps = 0;
+  while (rung != 0) {
+    const std::uint64_t next = ctl.escalate(rung);
+    if (next != 0) EXPECT_GT(next, rung);
+    rung = next;
+    ASSERT_LT(++steps, 10u) << "escalation chain does not terminate";
+  }
+  EXPECT_EQ(ctl.escalate(0), 0u);  // unlimited stays unlimited
+}
+
+TEST(BudgetController, LearningIsCommutativeOverTheObservationMultiset) {
+  // The histogram is commutative, so two controllers fed the same multiset
+  // in different orders must land on the same ladder at the same epoch
+  // boundaries — the determinism the serving replay contract needs.
+  BudgetOptions opts;
+  opts.sample_size = 64;
+  opts.update_epoch = 64;
+  std::vector<std::uint64_t> costs;
+  Rng rng(808);
+  for (int i = 0; i < 256; ++i) {
+    costs.push_back(50 + rng.next_below(900));
+  }
+  BudgetController forward(opts);
+  for (const std::uint64_t c : costs) forward.observe(c);
+  std::reverse(costs.begin(), costs.end());
+  BudgetController backward(opts);
+  for (const std::uint64_t c : costs) backward.observe(c);
+  EXPECT_EQ(forward.ladder(), backward.ladder());
+  EXPECT_EQ(forward.relearns(), backward.relearns());
+}
+
+TEST(BudgetController, RelearnsOncePerEpochAfterSampling) {
+  BudgetOptions opts;
+  opts.sample_size = 8;
+  opts.update_epoch = 16;
+  BudgetController ctl(opts);
+  for (int i = 0; i < 8; ++i) ctl.observe(10);
+  EXPECT_EQ(ctl.relearns(), 1u);  // first ladder at the sampling boundary
+  for (int i = 0; i < 7; ++i) ctl.observe(10);
+  EXPECT_EQ(ctl.relearns(), 1u);  // mid-epoch: no churn
+  ctl.observe(10);  // observation 16 = epoch boundary
+  EXPECT_EQ(ctl.relearns(), 2u);
+  for (int i = 0; i < 16; ++i) ctl.observe(10);
+  EXPECT_EQ(ctl.relearns(), 3u);
+}
+
+TEST(BudgetController, EscalateOnEmptyLadderIsUnlimited) {
+  BudgetController ctl;
+  EXPECT_EQ(ctl.escalate(64), 0u);
+  EXPECT_EQ(ctl.escalate(0), 0u);
+}
+
+TEST(BudgetController, RejectsDegenerateOptions) {
+  BudgetOptions opts;
+  opts.num_buckets = 0;
+  EXPECT_THROW((BudgetController{opts}), Error);
+  opts.num_buckets = 4;
+  opts.update_epoch = 0;
+  EXPECT_THROW((BudgetController{opts}), Error);
+  opts.update_epoch = 16;
+  opts.headroom = 0.5;
+  EXPECT_THROW((BudgetController{opts}), Error);
+}
+
+}  // namespace
+}  // namespace wknng::opt

@@ -1,0 +1,178 @@
+#include "data/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "data/synthetic.hpp"
+#include "opt/optimize.hpp"
+#include "support/temp_dir.hpp"
+
+namespace wknng::data {
+namespace {
+
+struct Fixture {
+  ThreadPool pool{4};
+  FloatMatrix base;
+  KnnGraph graph;
+  opt::ServingGraph sg;
+  std::filesystem::path dir;
+
+  Fixture() : dir(testing::unique_test_dir("opt_persist")) {
+    base = data::make_clusters(500, 8, 8, 0.1f, 21);
+    core::BuildParams bp;
+    bp.k = 8;
+    bp.num_trees = 4;
+    bp.refine_iters = 1;
+    graph = core::build_knng(pool, base, bp).graph;
+    std::vector<std::uint8_t> mask(base.rows(), 0);
+    for (std::size_t i = 0; i < base.rows(); i += 17) mask[i] = 1;
+    sg = opt::optimize_serving(pool, base, graph, {}, mask,
+                               /*source_version=*/42);
+  }
+  ~Fixture() { std::filesystem::remove_all(dir); }
+
+  std::string path(const char* name) const { return (dir / name).string(); }
+};
+
+void expect_equal_layouts(const opt::ServingGraph& got,
+                          const opt::ServingGraph& want) {
+  EXPECT_EQ(got.dim, want.dim);
+  EXPECT_EQ(got.source_k, want.source_k);
+  EXPECT_EQ(got.source_version, want.source_version);
+  EXPECT_EQ(got.offsets, want.offsets);
+  EXPECT_EQ(got.neighbors, want.neighbors);
+  EXPECT_EQ(got.new_to_old, want.new_to_old);
+  EXPECT_EQ(got.old_to_new, want.old_to_new);
+  EXPECT_EQ(got.exclude, want.exclude);
+  EXPECT_EQ(got.norms, want.norms);
+  EXPECT_EQ(got.edges_before, want.edges_before);
+  EXPECT_EQ(got.edges_after, want.edges_after);
+  EXPECT_EQ(got.min_degree, want.min_degree);
+  EXPECT_EQ(got.pruned, want.pruned);
+  EXPECT_EQ(got.reordered, want.reordered);
+  ASSERT_EQ(got.base.rows(), want.base.rows());
+  for (std::size_t i = 0; i < got.base.rows(); ++i) {
+    const auto a = got.base.row(i);
+    const auto b = want.base.row(i);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "row " << i;
+  }
+}
+
+TEST(OptPersist, StandaloneRoundTripIsExact) {
+  Fixture f;
+  write_serving(f.path("layout.op1"), f.sg);
+  const opt::ServingGraph got = read_serving(f.path("layout.op1"));
+  ASSERT_NO_THROW(got.check_valid());
+  expect_equal_layouts(got, f.sg);
+}
+
+TEST(OptPersist, CombinedFileServesBothReaders) {
+  Fixture f;
+  write_knng_serving(f.path("combined.knng"), f.graph, f.sg);
+
+  // The plain reader tolerates (and validates) the trailer, returning just
+  // the graph — byte-identical to what went in.
+  const KnnGraph plain = read_knng(f.path("combined.knng"));
+  ASSERT_EQ(plain.num_points(), f.graph.num_points());
+  ASSERT_EQ(plain.k(), f.graph.k());
+  for (std::size_t i = 0; i < plain.num_points(); ++i) {
+    for (std::size_t s = 0; s < plain.k(); ++s) {
+      ASSERT_EQ(plain.row(i)[s], f.graph.row(i)[s]) << "row " << i;
+    }
+  }
+
+  const auto [g2, sg2] = read_knng_serving(f.path("combined.knng"));
+  ASSERT_EQ(g2.num_points(), f.graph.num_points());
+  expect_equal_layouts(sg2, f.sg);
+}
+
+TEST(OptPersist, PlainGraphFileHasNoTrailerForTheServingReader) {
+  Fixture f;
+  write_knng(f.path("plain.knng"), f.graph);
+  EXPECT_NO_THROW(read_knng(f.path("plain.knng")));
+  EXPECT_THROW(read_knng_serving(f.path("plain.knng")), IoError);
+}
+
+TEST(OptPersist, TruncationIsDetectedEverywhere) {
+  Fixture f;
+  write_serving(f.path("layout.op1"), f.sg);
+  const auto full_size = std::filesystem::file_size(f.path("layout.op1"));
+  for (const double frac : {0.05, 0.5, 0.95}) {
+    const auto cut = static_cast<std::uintmax_t>(
+        static_cast<double>(full_size) * frac);
+    std::filesystem::copy_file(
+        f.path("layout.op1"), f.path("cut.op1"),
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(f.path("cut.op1"), cut);
+    EXPECT_THROW(read_serving(f.path("cut.op1")), IoError) << "frac " << frac;
+  }
+
+  write_knng_serving(f.path("combined.knng"), f.graph, f.sg);
+  const auto combined_size =
+      std::filesystem::file_size(f.path("combined.knng"));
+  // Cut inside the trailer: the graph half is intact, but both readers must
+  // still refuse — a half-written trailer is corruption, not an absence.
+  std::filesystem::copy_file(
+      f.path("combined.knng"), f.path("cut.knng"),
+      std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::resize_file(f.path("cut.knng"), combined_size - 10);
+  EXPECT_THROW(read_knng(f.path("cut.knng")), IoError);
+  EXPECT_THROW(read_knng_serving(f.path("cut.knng")), IoError);
+}
+
+TEST(OptPersist, HeaderCorruptionIsDetected) {
+  Fixture f;
+  write_serving(f.path("layout.op1"), f.sg);
+  // Flip a magic byte.
+  {
+    std::fstream s(f.path("layout.op1"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    s.seekp(3);
+    s.put('X');
+  }
+  EXPECT_THROW(read_serving(f.path("layout.op1")), IoError);
+
+  // Corrupt the permutation (duplicate entry): the structural check_valid
+  // must catch what the size checks cannot.
+  write_serving(f.path("layout2.op1"), f.sg);
+  {
+    const std::size_t header = 8 + 4 + 4 + 6 * 8;
+    const std::size_t offsets_bytes = (f.sg.n() + 1) * 4;
+    const std::size_t neighbors_bytes = f.sg.neighbors.size() * 4;
+    const std::size_t perm_pos = header + offsets_bytes + neighbors_bytes;
+    std::fstream s(f.path("layout2.op1"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    // new_to_old[0] and new_to_old[1] both = 0: not a bijection.
+    std::uint32_t zero = 0;
+    s.seekp(static_cast<std::streamoff>(perm_pos));
+    s.write(reinterpret_cast<const char*>(&zero), 4);
+    s.write(reinterpret_cast<const char*>(&zero), 4);
+  }
+  EXPECT_THROW(read_serving(f.path("layout2.op1")), IoError);
+}
+
+TEST(OptPersist, WriteRejectsAnInvalidLayout) {
+  Fixture f;
+  opt::ServingGraph broken = f.sg;
+  broken.new_to_old[0] = broken.new_to_old[1];  // bijection violated
+  EXPECT_THROW(write_serving(f.path("broken.op1"), broken), Error);
+  EXPECT_FALSE(std::filesystem::exists(f.path("broken.op1")));
+
+  opt::ServingGraph empty;
+  EXPECT_THROW(write_serving(f.path("empty.op1"), empty), Error);
+}
+
+TEST(OptPersist, CombinedWriteRejectsMismatchedPair) {
+  Fixture f;
+  KnnGraph other(f.graph.num_points() + 1, f.graph.k());
+  EXPECT_THROW(write_knng_serving(f.path("bad.knng"), other, f.sg), Error);
+}
+
+}  // namespace
+}  // namespace wknng::data

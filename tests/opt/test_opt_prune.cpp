@@ -1,0 +1,158 @@
+#include "opt/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/builder.hpp"
+#include "data/synthetic.hpp"
+
+namespace wknng::opt {
+namespace {
+
+struct Fixture {
+  ThreadPool pool{4};
+  FloatMatrix base;
+  KnnGraph graph;
+
+  explicit Fixture(std::size_t n = 1200, std::size_t dim = 12) {
+    base = data::make_clusters(n, dim, 12, 0.08f, 7);
+    core::BuildParams bp;
+    bp.k = 12;
+    bp.num_trees = 6;
+    bp.refine_iters = 1;
+    graph = core::build_knng(pool, base, bp).graph;
+  }
+};
+
+/// Kept edges of source row p as an id set, from a layout built with
+/// reorder=false (identity permutation, so new ids == old ids).
+std::set<std::uint32_t> row_ids(const ServingGraph& sg, std::uint32_t p) {
+  const auto row = sg.row(p);
+  return {row.begin(), row.end()};
+}
+
+TEST(OptPrune, PrunedLayoutIsASubgraphWithTheMinDegreeFloor) {
+  Fixture f;
+  OptimizeOptions opts;
+  opts.prune = true;
+  opts.min_degree = 4;
+  opts.reorder = false;  // identity permutation: ids compare directly
+  const ServingGraph sg = optimize_serving(f.pool, f.base, f.graph, opts);
+  ASSERT_NO_THROW(sg.check_valid());
+  EXPECT_TRUE(sg.pruned);
+  EXPECT_FALSE(sg.reordered);
+  EXPECT_LE(sg.edges_after, sg.edges_before);
+  EXPECT_LT(sg.edges_after, sg.edges_before);  // clustered data must prune
+
+  for (std::uint32_t p = 0; p < f.graph.num_points(); ++p) {
+    const auto kept = row_ids(sg, p);
+    const std::size_t source_width = f.graph.row_size(p);
+    // Subgraph: every surviving edge existed in the source row.
+    std::set<std::uint32_t> source_ids;
+    for (const Neighbor& nb : f.graph.row(p)) {
+      if (nb.id == KnnGraph::kInvalid) break;
+      source_ids.insert(nb.id);
+    }
+    for (const std::uint32_t id : kept) {
+      EXPECT_TRUE(source_ids.count(id)) << "row " << p << " gained edge " << id;
+    }
+    // Keep-floor: never below min(min_degree, source width).
+    EXPECT_GE(kept.size(), std::min<std::size_t>(opts.min_degree, source_width))
+        << "row " << p;
+    EXPECT_LE(kept.size(), source_width);
+  }
+}
+
+TEST(OptPrune, HandcraftedCollinearOcclusion) {
+  // Three points on a line: 0 -- 1 -- 2. The direct edge 0->2 is occluded by
+  // 1 (d(0,1)=1 < d(0,2)=4 and d(2,1)=1 < 4), and symmetrically 2->0 by 1.
+  // Row 1 sees no occluder (d(0,2)=4 is not < 1), so it keeps both edges.
+  ThreadPool pool(2);
+  FloatMatrix base(3, 2);
+  base(0, 0) = 0.0f; base(0, 1) = 0.0f;
+  base(1, 0) = 1.0f; base(1, 1) = 0.0f;
+  base(2, 0) = 2.0f; base(2, 1) = 0.0f;
+  KnnGraph g(3, 2);
+  g.row(0)[0] = {1.0f, 1}; g.row(0)[1] = {4.0f, 2};
+  g.row(1)[0] = {1.0f, 0}; g.row(1)[1] = {1.0f, 2};
+  g.row(2)[0] = {1.0f, 1}; g.row(2)[1] = {4.0f, 0};
+
+  OptimizeOptions opts;
+  opts.prune = true;
+  opts.min_degree = 1;
+  opts.reorder = false;
+  const ServingGraph sg = optimize_serving(pool, base, g, opts);
+  ASSERT_NO_THROW(sg.check_valid());
+  EXPECT_EQ(row_ids(sg, 0), (std::set<std::uint32_t>{1}));
+  EXPECT_EQ(row_ids(sg, 1), (std::set<std::uint32_t>{0, 2}));
+  EXPECT_EQ(row_ids(sg, 2), (std::set<std::uint32_t>{1}));
+  EXPECT_EQ(sg.edges_before, 6u);
+  EXPECT_EQ(sg.edges_after, 4u);
+
+  // The keep-floor re-admits the occluded edges, closest dropped first.
+  opts.min_degree = 2;
+  const ServingGraph floored = optimize_serving(pool, base, g, opts);
+  EXPECT_EQ(row_ids(floored, 0), (std::set<std::uint32_t>{1, 2}));
+  EXPECT_EQ(row_ids(floored, 2), (std::set<std::uint32_t>{0, 1}));
+  EXPECT_EQ(floored.edges_after, 6u);
+}
+
+TEST(OptPrune, BitIdenticalAcrossPoolSizesAndRepeats) {
+  // Rows are pruned independently from read-only inputs: the layout must be
+  // byte-identical for any worker count and across repeated runs.
+  Fixture f(800, 10);
+  OptimizeOptions opts;
+  const ServingGraph ref = optimize_serving(f.pool, f.base, f.graph, opts);
+  for (const std::size_t threads : {1u, 3u, 8u}) {
+    ThreadPool other(threads);
+    for (int rep = 0; rep < 2; ++rep) {
+      const ServingGraph got = optimize_serving(other, f.base, f.graph, opts);
+      ASSERT_EQ(got.offsets, ref.offsets) << "threads=" << threads;
+      ASSERT_EQ(got.neighbors, ref.neighbors) << "threads=" << threads;
+      ASSERT_EQ(got.new_to_old, ref.new_to_old) << "threads=" << threads;
+      ASSERT_EQ(got.edges_after, ref.edges_after);
+    }
+  }
+}
+
+TEST(OptPrune, TombstonesArePermutedIntoTheExcludeMask) {
+  Fixture f(600, 8);
+  std::vector<std::uint8_t> mask(f.base.rows(), 0);
+  Rng rng(55);
+  for (int i = 0; i < 40; ++i) {
+    mask[rng.next_below(f.base.rows())] = 1;
+  }
+  const ServingGraph sg = optimize_serving(
+      f.pool, f.base, f.graph, OptimizeOptions{}, mask, /*source_version=*/7);
+  ASSERT_EQ(sg.exclude.size(), f.base.rows());
+  EXPECT_EQ(sg.source_version, 7u);
+  for (std::size_t old_id = 0; old_id < mask.size(); ++old_id) {
+    EXPECT_EQ(sg.exclude[sg.old_to_new[old_id]], mask[old_id])
+        << "old id " << old_id;
+  }
+}
+
+TEST(OptPrune, RejectsMismatchedShapes) {
+  Fixture f(200, 6);
+  FloatMatrix wrong(f.base.rows() + 1, 6);
+  EXPECT_THROW(optimize_serving(f.pool, wrong, f.graph, {}), Error);
+  std::vector<std::uint8_t> short_mask(f.base.rows() - 1, 0);
+  EXPECT_THROW(optimize_serving(f.pool, f.base, f.graph, {}, short_mask),
+               Error);
+}
+
+TEST(OptPrune, EmptyGraphYieldsEmptyValidLayout) {
+  ThreadPool pool(2);
+  FloatMatrix base(0, 4);
+  KnnGraph g(0, 4);
+  const ServingGraph sg = optimize_serving(pool, base, g, {});
+  ASSERT_NO_THROW(sg.check_valid());
+  EXPECT_EQ(sg.n(), 0u);
+  EXPECT_EQ(sg.offsets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wknng::opt
