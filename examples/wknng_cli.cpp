@@ -123,6 +123,23 @@
 //                        a number for a fixed cap, or "auto" for the
 //                        learned ladder with capped-query escalation
 //                        (0 = unlimited, the default)
+//   --slo D:R            serve with the online SLO tracker: p99 latency
+//                        objective D us (0 = off) and audited-recall
+//                        objective R (0 = off). Windowed aggregates, burn
+//                        rates, and the alert log land in --slo-report and
+//                        the wknng_slo_* registry gauges
+//   --audit-fraction F   sample this share of answered queries (by counter
+//                        hash of the request tag) for exact re-answering on
+//                        a background thread; the rolling recall estimate
+//                        feeds the SLO recall objective
+//   --flight-log PATH    install the flight recorder: every query leaves a
+//                        black-box record in a bounded ring, and breaching
+//                        queries (slow / shed / timeout / failed /
+//                        low-recall) are appended to PATH as JSON lines
+//                        cross-linked to serve-batch trace span ids
+//   --slo-report PATH    write the SLO plane's end-of-run JSON report
+//                        (tracker windows + burn state, audit estimate,
+//                        flight counters) to PATH
 //   --trace-out PATH     record a span trace of the run (build phases,
 //                        kernel launches, serve batches) and write it as
 //                        Chrome trace-event JSON — load in Perfetto or
@@ -147,6 +164,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -219,6 +237,10 @@ struct Options {
   std::size_t patience = 0;            // early-termination hop patience
   std::size_t visit_budget = 0;        // fixed per-query visit cap (0 = off)
   bool budget_auto = false;            // --visit-budget auto: learned ladder
+  std::string slo;                     // "D:R" latency/recall objectives
+  double audit_fraction = 0.0;         // sampled recall-audit share
+  std::string flight_log;              // slow-query JSON-lines sink
+  std::string slo_report;              // end-of-run SLO report path
   std::string trace_out;               // Chrome trace-event JSON output path
   bool trace_warps = false;            // per-warp-group spans in the trace
   std::string metrics_out;             // central registry export path
@@ -246,6 +268,8 @@ int usage(const char* argv0) {
                " [--serve-delay-us N] [--serve-deadline-us N]"
                " [--serve-workers N] [--serve-metrics PATH]"
                " [--optimize-serve] [--patience N] [--visit-budget N|auto]"
+               " [--slo D:R] [--audit-fraction F] [--flight-log PATH]"
+               " [--slo-report PATH]"
                " [--trace-out PATH] [--trace-warps] [--metrics-out PATH]"
                " [--metrics-format json|prom] [--version]\n"
                "exit codes: 0 ok, 1 error, 2 usage, 3 degraded build\n",
@@ -324,6 +348,10 @@ std::optional<Options> parse(int argc, char** argv) {
       if (v == "auto") opt.budget_auto = true;
       else opt.visit_budget = std::strtoull(v.c_str(), nullptr, 10);
     }
+    else if (flag == "--slo") opt.slo = value();
+    else if (flag == "--audit-fraction") opt.audit_fraction = std::strtod(value(), nullptr);
+    else if (flag == "--flight-log") opt.flight_log = value();
+    else if (flag == "--slo-report") opt.slo_report = value();
     else if (flag == "--trace-out") opt.trace_out = value();
     else if (flag == "--trace-warps") opt.trace_warps = true;
     else if (flag == "--metrics-out") opt.metrics_out = value();
@@ -407,6 +435,77 @@ void churn_step(dynamic::DynamicKnng& dyn, const FloatMatrix& base,
   insert_rows();
 }
 
+/// --slo D:R → tracker options. D = the p99 latency objective in us, R = the
+/// audited-recall objective; either may be 0 to leave that signal off.
+obs::SloTrackerOptions parse_slo_spec(const std::string& spec) {
+  const auto pos = spec.find(':');
+  WKNNG_CHECK_MSG(pos != std::string::npos,
+                  "--slo expects D:R (p99_us:min_recall), got " << spec);
+  obs::SloTrackerOptions so;
+  so.objective.p99_latency_us =
+      std::strtod(spec.substr(0, pos).c_str(), nullptr);
+  so.objective.min_recall = std::strtod(spec.substr(pos + 1).c_str(), nullptr);
+  return so;
+}
+
+/// Applies the quality-plane flags to a serve config. The audit sampler
+/// inherits the run's seed and k so its decisions and its exact re-answers
+/// line up with the workload being served.
+void configure_quality_plane(serve::ServeOptions& so, const Options& opt) {
+  if (!opt.slo.empty()) {
+    so.slo = true;
+    so.slo_options = parse_slo_spec(opt.slo);
+  }
+  if (opt.audit_fraction > 0.0) {
+    so.audit.fraction = opt.audit_fraction;
+    so.audit.seed = opt.seed;
+    so.audit.k = opt.k;
+  }
+}
+
+/// End-of-run SLO report — the artifact scripts/slo_report.py renders. Must
+/// run while the engine (and any ambient flight recorder) is still alive.
+void write_slo_report(const std::string& path,
+                      const serve::ServeEngine& engine) {
+  std::ostringstream os;
+  os << "{\"slo\":";
+  if (const obs::SloTracker* t = engine.slo_tracker()) {
+    os << t->to_json();
+  } else {
+    os << "null";
+  }
+  os << ",\"audit\":";
+  if (const obs::RecallAuditor* a = engine.auditor()) {
+    const obs::AuditEstimate est = a->estimate();
+    const obs::AuditEstimate life = a->lifetime_estimate();
+    os << "{\"fraction\":" << a->options().fraction
+       << ",\"submitted\":" << a->submitted()
+       << ",\"completed\":" << a->completed()
+       << ",\"dropped\":" << a->dropped()
+       << ",\"window_recall\":" << est.recall
+       << ",\"window_ci_halfwidth\":" << est.ci_halfwidth
+       << ",\"window_audited\":" << est.audited
+       << ",\"lifetime_recall\":" << life.recall
+       << ",\"lifetime_ci_halfwidth\":" << life.ci_halfwidth << "}";
+  } else {
+    os << "null";
+  }
+  os << ",\"flight\":";
+  if (const obs::FlightRecorder* f = obs::active_flight_recorder()) {
+    os << "{\"recorded\":" << f->recorded()
+       << ",\"promoted\":" << f->promoted() << ",\"capacity\":"
+       << f->options().capacity << ",\"log_path\":\""
+       << f->options().log_path << "\"}";
+  } else {
+    os << "null";
+  }
+  os << "}";
+  std::ofstream out(path);
+  WKNNG_CHECK_MSG(out.good(), "cannot write " << path);
+  out << os.str() << "\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 /// Mutable-index mode: fresh build or checkpoint+WAL recovery, optional
 /// counter-seeded churn to --stop-at-version, optional serving (with a
 /// write mix) on top, and a final graph dump for replay comparison.
@@ -446,6 +545,32 @@ int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
     churn_step(*dyn, points, opt.seed);
   }
 
+  // Central registry export; the serve path calls it inside the engine's
+  // lifetime so the wknng_serve_* / wknng_slo_* live gauges render.
+  const auto export_registry = [&](const serve::ServeEngine* e) {
+    if (opt.metrics_out.empty()) return;
+    obs::MetricsRegistry reg;
+    obs::register_build_info(reg, obs::build_info());
+    dynamic::register_metrics(reg, dyn->metrics());
+    if (e != nullptr) {
+      serve::register_metrics(reg, e->metrics());
+      if (e->slo_tracker() != nullptr) {
+        obs::register_slo_metrics(reg, *e->slo_tracker());
+      }
+      if (e->auditor() != nullptr) {
+        obs::register_audit_metrics(reg, *e->auditor());
+      }
+    }
+    std::ofstream mout(opt.metrics_out);
+    WKNNG_CHECK_MSG(mout.good(), "cannot write " << opt.metrics_out);
+    if (opt.metrics_format == "json") {
+      mout << reg.to_json() << "\n";
+    } else {
+      mout << reg.to_prometheus();
+    }
+    std::printf("wrote %s\n", opt.metrics_out.c_str());
+  };
+
   if (opt.serve) {
     FloatMatrix squeries;
     const std::size_t nq = std::min<std::size_t>(256, points.rows());
@@ -471,6 +596,7 @@ int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
     so.patience = opt.patience;
     so.visit_budget = opt.visit_budget;
     so.adaptive_budget = opt.budget_auto;
+    configure_quality_plane(so, opt);
     serve::ServeEngine engine(pool, so, dyn->snapshot());
     engine_ptr.store(&engine);
 
@@ -506,6 +632,8 @@ int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
     engine_ptr.store(nullptr);
     engine.stop();
     std::printf("loadgen: %s\n", rep.to_json().c_str());
+    if (!opt.slo_report.empty()) write_slo_report(opt.slo_report, engine);
+    export_registry(&engine);
   }
 
   const dynamic::DynamicState st = dyn->state();
@@ -528,19 +656,7 @@ int run_dynamic(ThreadPool& pool, const FloatMatrix& points,
     }
     std::printf("wrote %s\n", opt.out.c_str());
   }
-  if (!opt.metrics_out.empty()) {
-    obs::MetricsRegistry reg;
-    obs::register_build_info(reg, obs::build_info());
-    dynamic::register_metrics(reg, dyn->metrics());
-    std::ofstream mout(opt.metrics_out);
-    WKNNG_CHECK_MSG(mout.good(), "cannot write " << opt.metrics_out);
-    if (opt.metrics_format == "json") {
-      mout << reg.to_json() << "\n";
-    } else {
-      mout << reg.to_prometheus();
-    }
-    std::printf("wrote %s\n", opt.metrics_out.c_str());
-  }
+  if (!opt.serve) export_registry(nullptr);
   return 0;
 }
 
@@ -587,6 +703,22 @@ int main(int argc, char** argv) {
     if (!opt->trace_out.empty()) {
       tracer.emplace(opt->trace_warps);
       tracing.emplace(*tracer);
+    }
+    // Ambient flight recorder: installed for the whole run so every serve
+    // completion leaves a black-box record and breaching queries land in the
+    // JSON-lines log. Promotion thresholds inherit the --slo objectives.
+    std::optional<obs::FlightRecorder> flight;
+    std::optional<obs::ScopedFlightRecording> flight_scope;
+    if (!opt->flight_log.empty()) {
+      obs::FlightOptions fo;
+      fo.log_path = opt->flight_log;
+      if (!opt->slo.empty()) {
+        const obs::SloTrackerOptions st = parse_slo_spec(opt->slo);
+        fo.slow_latency_us = st.objective.p99_latency_us;
+        fo.low_recall = st.objective.min_recall;
+      }
+      flight.emplace(fo);
+      flight_scope.emplace(*flight);
     }
     FloatMatrix points = load_points(*opt);
     std::printf("loaded %zu points x %zu dims\n", points.rows(), points.cols());
@@ -775,13 +907,21 @@ int main(int argc, char** argv) {
 
     // Central registry export: build info + build metrics always; the serve
     // series joins when the engine ran (rendered inside its lifetime).
-    const auto write_metrics = [&](const serve::ServeMetrics* sm) {
+    const auto write_metrics = [&](const serve::ServeEngine* e) {
       if (opt->metrics_out.empty()) return;
       obs::MetricsRegistry reg;
       obs::register_build_info(reg, obs::build_info());
       core::register_build_metrics(reg, result);
       if (sharded) shard::register_shard_metrics(reg, sharded->report);
-      if (sm != nullptr) serve::register_metrics(reg, *sm);
+      if (e != nullptr) {
+        serve::register_metrics(reg, e->metrics());
+        if (e->slo_tracker() != nullptr) {
+          obs::register_slo_metrics(reg, *e->slo_tracker());
+        }
+        if (e->auditor() != nullptr) {
+          obs::register_audit_metrics(reg, *e->auditor());
+        }
+      }
       std::ofstream mout(opt->metrics_out);
       WKNNG_CHECK_MSG(mout.good(), "cannot write " << opt->metrics_out);
       if (opt->metrics_format == "json") {
@@ -874,6 +1014,7 @@ int main(int argc, char** argv) {
       so.patience = opt->patience;
       so.visit_budget = opt->visit_budget;
       so.adaptive_budget = opt->budget_auto;
+      configure_quality_plane(so, *opt);
       serve::ServeEngine engine(
           pool, so,
           serve::make_snapshot(1, points, result.graph, result.sq8));
@@ -911,6 +1052,7 @@ int main(int argc, char** argv) {
       const serve::LoadGenReport rep = serve::run_load(engine, squeries, cfg);
       engine.stop();
       std::printf("loadgen: %s\n", rep.to_json().c_str());
+      if (!opt->slo_report.empty()) write_slo_report(opt->slo_report, engine);
       const std::string metrics_json = engine.metrics_json();
       if (!opt->serve_metrics.empty()) {
         std::ofstream out(opt->serve_metrics);
@@ -923,7 +1065,7 @@ int main(int argc, char** argv) {
       }
       // Registry export must happen while the engine (and its linked live
       // instruments) is still alive.
-      write_metrics(&engine.metrics());
+      write_metrics(&engine);
     } else if (!opt->queries.empty() && sharded) {
       // Sharded index: route each query to its top-p shards by centroid
       // distance and k-way-merge the per-shard answers.
@@ -1019,6 +1161,13 @@ int main(int argc, char** argv) {
     }
 
     if (!opt->serve) write_metrics(nullptr);
+    if (flight) {
+      flight->flush();
+      std::printf("flight: %llu recorded, %llu promoted to %s\n",
+                  static_cast<unsigned long long>(flight->recorded()),
+                  static_cast<unsigned long long>(flight->promoted()),
+                  opt->flight_log.c_str());
+    }
     if (tracer) {
       tracing.reset();  // uninstall before serialising
       tracer->write_chrome_json(opt->trace_out);

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Render a --slo-report JSON file as a terminal dashboard (stdlib only).
+
+The CLI's --slo-report flag dumps the quality plane's end-of-run state:
+the SLO tracker (windowed latency/occupancy/shed aggregates, burn rates,
+alert log), the recall auditor (rolling + lifetime estimates with CIs), and
+the ambient flight recorder (ring/promotion counts, slow-query log path).
+This script pretty-prints that JSON and can gate on it:
+
+  slo_report.py report.json                    # dashboard
+  slo_report.py report.json --check            # exit 1 on active alerts
+  slo_report.py report.json --min-recall 0.95  # gate the audited estimate
+  slo_report.py report.json --max-p99-us 5000  # gate the windowed p99
+
+Exit code 0 when every requested gate holds, 1 otherwise — CI treats any
+non-zero exit as a failed artifact.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"slo_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fmt_window(w: dict) -> str:
+    return (f"n={w['count']:<6} mean={w['mean']:>10.1f} "
+            f"p50={w['p50']:>10.1f} p95={w['p95']:>10.1f} "
+            f"p99={w['p99']:>10.1f} max={w['max']:>10.1f}")
+
+
+def fmt_rate(r: dict) -> str:
+    return f"{r['hits']}/{r['events']} ({100.0 * r['rate']:.2f}%)"
+
+
+def fmt_burn(b: dict) -> str:
+    state = "FIRING" if b["active"] else "ok"
+    return f"fast={b['fast']:.3f} slow={b['slow']:.3f} [{state}]"
+
+
+def render(doc: dict) -> None:
+    slo = doc.get("slo")
+    if slo:
+        obj = slo["objective"]
+        targets = []
+        if obj["p99_latency_us"] > 0:
+            targets.append(f"p99 <= {obj['p99_latency_us']:.0f}us")
+        if obj["min_recall"] > 0:
+            targets.append(f"recall >= {obj['min_recall']:.3f}")
+        head = ", ".join(targets) if targets else "no objectives enabled"
+        print(f"SLO: {head} (error budget {obj['error_budget']:.3f})")
+        print(f"  requests seen     {slo['requests']}")
+        print(f"  latency window    {fmt_window(slo['latency_window'])}")
+        print(f"  batch occupancy   {fmt_window(slo['occupancy_window'])}")
+        print(f"  shed window       {fmt_rate(slo['shed_window'])}")
+        print(f"  escalation window {fmt_rate(slo['escalation_window'])}")
+        print(f"  latency burn      {fmt_burn(slo['latency_burn'])}")
+        print(f"  recall burn       {fmt_burn(slo['recall_burn'])}")
+        print(f"  publications      {slo['publications']} "
+              f"(serving v{slo['snapshot_version']})")
+        alerts = slo.get("alerts", [])
+        print(f"  alert edges       {slo['alerts_fired']}")
+        for a in alerts:
+            edge = "RISE " if a["firing"] else "clear"
+            print(f"    #{a['sequence']:<3} {edge} {a['signal']:<8} "
+                  f"tick={a['tick']} burn fast={a['burn_fast']:.3f} "
+                  f"slow={a['burn_slow']:.3f}")
+    else:
+        print("SLO: tracker off (--slo not set)")
+
+    audit = doc.get("audit")
+    if audit:
+        print(f"Audit: fraction={audit['fraction']} "
+              f"submitted={audit['submitted']} completed={audit['completed']} "
+              f"dropped={audit['dropped']}")
+        print(f"  window recall     {audit['window_recall']:.4f} "
+              f"+/- {audit['window_ci_halfwidth']:.4f} "
+              f"(n={audit['window_audited']})")
+        print(f"  lifetime recall   {audit['lifetime_recall']:.4f} "
+              f"+/- {audit['lifetime_ci_halfwidth']:.4f}")
+    else:
+        print("Audit: off (--audit-fraction 0)")
+
+    flight = doc.get("flight")
+    if flight:
+        print(f"Flight: recorded={flight['recorded']} "
+              f"promoted={flight['promoted']} capacity={flight['capacity']} "
+              f"log={flight['log_path'] or '(memory only)'}")
+    else:
+        print("Flight: no recorder installed")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="path to the --slo-report JSON file")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 if any burn-rate alert is active")
+    ap.add_argument("--min-recall", type=float, default=None,
+                    help="gate: lifetime audited recall must be >= this")
+    ap.add_argument("--max-p99-us", type=float, default=None,
+                    help="gate: windowed p99 latency must be <= this")
+    ap.add_argument("--require-alert", action="store_true",
+                    help="gate: at least one alert edge must have fired "
+                         "(overload-injection tests)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.report}: {e}")
+
+    render(doc)
+
+    slo = doc.get("slo")
+    audit = doc.get("audit")
+    if args.check:
+        if not slo:
+            fail("--check needs an SLO section (run with --slo)")
+        for signal in ("latency_burn", "recall_burn"):
+            if slo[signal]["active"]:
+                fail(f"{signal} alert is active")
+    if args.require_alert:
+        if not slo:
+            fail("--require-alert needs an SLO section (run with --slo)")
+        if slo["alerts_fired"] == 0:
+            fail("no alert edge fired (--require-alert)")
+    if args.min_recall is not None:
+        if not audit:
+            fail("--min-recall needs an audit section (--audit-fraction > 0)")
+        if audit["completed"] == 0:
+            fail("no audits completed; recall estimate is vacuous")
+        if audit["lifetime_recall"] < args.min_recall:
+            fail(f"audited recall {audit['lifetime_recall']:.4f} < "
+                 f"{args.min_recall}")
+    if args.max_p99_us is not None:
+        if not slo:
+            fail("--max-p99-us needs an SLO section (run with --slo)")
+        p99 = slo["latency_window"]["p99"]
+        if p99 > args.max_p99_us:
+            fail(f"windowed p99 {p99:.1f}us > {args.max_p99_us}us")
+
+    print("slo_report: OK")
+
+
+if __name__ == "__main__":
+    main()

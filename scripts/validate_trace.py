@@ -9,6 +9,9 @@ Checks (stdlib only, no third-party deps):
     build track sum to the "build" root span's duration within --tolerance
   * optional: at least one launch span (--require-launches) and at least one
     serve_batch span (--require-serve)
+  * optional: a slow-query flight log (--require-flight PATH) — non-empty
+    JSON-lines, every line schema-valid, and every record's span_id
+    cross-links to a serve_batch span in this trace
 
 Exit code 0 on success, 1 with a message on the first violation — CI treats
 any non-zero exit as a failed artifact.
@@ -36,6 +39,9 @@ def main() -> None:
                     help="require at least one span on the launch track")
     ap.add_argument("--require-serve", action="store_true",
                     help="require at least one serve_batch span")
+    ap.add_argument("--require-flight", metavar="PATH",
+                    help="validate a --flight-log JSON-lines file and "
+                         "cross-link its span ids against serve_batch spans")
     args = ap.parse_args()
 
     try:
@@ -106,9 +112,52 @@ def main() -> None:
     if args.require_serve and not serve:
         fail("no serve_batch spans found (--require-serve)")
 
+    flight_lines = 0
+    if args.require_flight:
+        flight_lines = check_flight_log(args.require_flight, serve)
+
     print(f"validate_trace: OK: {len(events)} events, {len(phases)} phases "
           f"covering {phase_sum / 1e3:.1f} ms of {root['dur'] / 1e3:.1f} ms "
-          f"build ({len(launches)} launches, {len(serve)} serve batches)")
+          f"build ({len(launches)} launches, {len(serve)} serve batches, "
+          f"{flight_lines} flight records)")
+
+
+FLIGHT_VERDICTS = {"ok", "slow", "timeout", "shed", "failed", "low_recall"}
+
+
+def check_flight_log(path: str, serve_spans: list) -> int:
+    """Validate a --flight-log JSON-lines file against this run's trace."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f if ln.strip()]
+    except OSError as e:
+        fail(f"cannot read flight log {path}: {e}")
+    if not lines:
+        fail(f"flight log {path} is empty (--require-flight)")
+    serve_ids = {e["args"]["span_id"] for e in serve_spans}
+    for i, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"flight log line {i} is not JSON: {e}")
+        if rec.get("type") != "flight":
+            fail(f"flight log line {i} missing type=flight: {rec}")
+        for key in ("tag", "snapshot_version", "span_id", "verdict",
+                    "total_us"):
+            if key not in rec:
+                fail(f"flight log line {i} missing '{key}': {rec}")
+        if rec["verdict"] not in FLIGHT_VERDICTS:
+            fail(f"flight log line {i} has unknown verdict "
+                 f"'{rec['verdict']}'")
+        span_id = rec["span_id"]
+        if not (isinstance(span_id, str) and span_id.startswith("0x")):
+            fail(f"flight log line {i} span_id not hex: {span_id!r}")
+        # The join key the flight recorder exists for: a promoted query's
+        # span must be findable in the Perfetto trace of the same run.
+        if serve_ids and span_id not in serve_ids:
+            fail(f"flight log line {i} span_id {span_id} matches no "
+                 f"serve_batch span in the trace")
+    return len(lines)
 
 
 if __name__ == "__main__":

@@ -720,6 +720,7 @@ void DynamicKnng::publish_locked() {
   std::shared_ptr<const serve::GraphSnapshot> pub = std::move(snap);
   slot_.publish(pub);
   refresh_gauges_locked();
+  if (dyn_.slo != nullptr) dyn_.slo->note_publication(version_);
   if (dyn_.on_publish) dyn_.on_publish(std::move(pub));
 }
 

@@ -17,6 +17,7 @@
 #include "core/params.hpp"
 #include "data/wal.hpp"
 #include "dynamic/metrics.hpp"
+#include "obs/slo.hpp"
 #include "opt/serving_graph.hpp"
 #include "serve/snapshot.hpp"
 #include "simt/stats.hpp"
@@ -58,6 +59,12 @@ struct DynamicParams {
   /// move to the new version while in-flight batches finish on their pinned
   /// one.
   std::function<void(std::shared_ptr<const serve::GraphSnapshot>)> on_publish;
+
+  /// SLO tracker fed a publication tick per published version (must outlive
+  /// the index). For engineless use — when publications route through a
+  /// ServeEngine that owns its own tracker, leave this null or the engine
+  /// double-counts them.
+  obs::SloTracker* slo = nullptr;
 };
 
 /// Point-in-time state summary (all counters under one lock acquisition).

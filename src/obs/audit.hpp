@@ -1,0 +1,166 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "obs/slo.hpp"
+
+namespace wknng::obs {
+
+class FlightRecorder;
+
+/// Online recall-audit knobs. `fraction == 0` disables everything.
+struct AuditOptions {
+  double fraction = 0.0;         ///< sampled share of answered read queries
+  std::uint64_t seed = 42;       ///< sampling hash seed
+  std::size_t k = 10;            ///< exact re-answer depth
+  std::size_t queue_capacity = 1024;  ///< pending audits before dropping
+  WindowConfig window{8, 256};   ///< rolling estimate horizon, in request ticks
+  std::size_t sample_log_capacity = 65536;  ///< per-sample log kept for joins
+};
+
+/// Pure counter-hash sample decision — the same splitmix shape as the fault
+/// injector's should_fire: a query is audited iff
+/// splitmix(seed ^ index-stream) < fraction * 2^64. A pure function of
+/// (seed, fraction, index), so identical runs audit bit-identical sets and
+/// the decision never reads generator state or a clock.
+bool audit_should_sample(std::uint64_t seed, double fraction,
+                         std::uint64_t index);
+
+/// What the audited query actually saw, pinned. `pin` keeps the snapshot
+/// alive; `base`, `exclude`, and `external_ids` alias it. Under DynamicKnng
+/// churn this is how the ground truth matches the graph the query ran on:
+/// the engine captures the *pinned* snapshot, not the current one.
+struct AuditTarget {
+  std::shared_ptr<const void> pin;
+  const FloatMatrix* base = nullptr;
+  std::span<const std::uint8_t> exclude;        ///< non-zero = invisible row
+  std::span<const std::uint32_t> external_ids;  ///< row -> stable id; empty = identity
+  std::uint64_t version = 0;
+};
+
+/// One completed audit, joinable on (index, version) with flight records and
+/// serve responses.
+struct AuditSample {
+  std::uint64_t index = 0;    ///< the query's request counter / tag
+  std::uint64_t version = 0;  ///< snapshot version the query (and truth) saw
+  double recall = 0.0;
+};
+
+/// Rolling recall estimate with a 95% confidence interval (normal
+/// approximation over the per-query recalls in the window).
+struct AuditEstimate {
+  std::uint64_t audited = 0;
+  double recall = 0.0;
+  double ci_halfwidth = 0.0;
+};
+
+/// Online recall auditor: deterministically samples answered queries by
+/// counter-hash, re-answers each with an exact l2_batch scan over the pinned
+/// snapshot's live rows on a background thread, and publishes a rolling
+/// recall estimate.
+///
+/// The sample *set* is a pure function of (seed, fraction, request indices);
+/// each sample's recall is a pure function of (snapshot, query, served ids);
+/// and the rolling window advances on request-counter ticks — so the
+/// estimate, like everything else in the quality plane, replays
+/// bit-identically. Only queue-full drops (`dropped`) are timing-dependent,
+/// and they are counted, never silent.
+///
+/// Completed samples feed an attached SloTracker (`record_recall`, ticked by
+/// request counter) and annotate the active FlightRecorder, promoting
+/// low-recall queries into the slow-query log.
+class RecallAuditor {
+ public:
+  explicit RecallAuditor(AuditOptions options);
+  ~RecallAuditor();
+
+  RecallAuditor(const RecallAuditor&) = delete;
+  RecallAuditor& operator=(const RecallAuditor&) = delete;
+
+  const AuditOptions& options() const { return options_; }
+  bool enabled() const { return options_.fraction > 0.0; }
+
+  /// The pure sampling decision for request counter `index`.
+  bool should_sample(std::uint64_t index) const;
+
+  /// Queues one audit job. `served_ids` are the externally-visible neighbor
+  /// ids the client received. Returns false (counting a drop) when the
+  /// audit queue is full.
+  bool submit(std::uint64_t index, std::vector<float> query,
+              std::vector<std::uint32_t> served_ids, AuditTarget target);
+
+  /// Blocks until every queued audit has completed.
+  void drain();
+
+  /// Rolling-window estimate (the published number).
+  AuditEstimate estimate() const;
+  /// Cumulative since construction.
+  AuditEstimate lifetime_estimate() const;
+
+  /// Completed samples, submission-completion order, capped at
+  /// sample_log_capacity (tests and offline agreement checks join on this).
+  std::vector<AuditSample> samples() const;
+
+  std::uint64_t submitted() const;
+  std::uint64_t completed() const;
+  std::uint64_t dropped() const;
+
+  /// Wires completed samples into the SLO tracker; pass nullptr to unwire.
+  /// The active flight recorder is looked up per completion, like tracing.
+  void attach_slo(SloTracker* slo);
+
+  /// The exact ground-truth comparison one audit performs, exposed so tests
+  /// can run the identical offline evaluation: exact top-k over the
+  /// target's live rows (l2_batch scan, tombstones excluded, ids mapped
+  /// through external_ids), then |served ∩ exact| / k.
+  static double exact_recall(const AuditTarget& target,
+                             std::span<const float> query,
+                             std::span<const std::uint32_t> served_ids,
+                             std::size_t k);
+
+ private:
+  struct Job {
+    std::uint64_t index = 0;
+    std::vector<float> query;
+    std::vector<std::uint32_t> served_ids;
+    AuditTarget target;
+  };
+
+  void worker_loop();
+  void complete(const Job& job, double recall);
+
+  const AuditOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< worker wakeup
+  std::condition_variable drain_cv_;  ///< drain() wakeup
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  bool busy_ = false;
+
+  WindowedHistogram window_;  ///< per-sample recalls, ticked by request index
+  std::vector<AuditSample> sample_log_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  double lifetime_sum_ = 0.0;
+  double lifetime_sum_sq_ = 0.0;
+  SloTracker* slo_ = nullptr;
+
+  std::thread worker_;
+};
+
+/// Export the auditor as live `wknng_slo_recall_*` / `wknng_slo_audit*`
+/// gauges. `a` must outlive the registry's exports.
+void register_audit_metrics(MetricsRegistry& reg, const RecallAuditor& a);
+
+}  // namespace wknng::obs

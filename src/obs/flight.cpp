@@ -1,0 +1,141 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+
+namespace wknng::obs {
+
+const char* flight_verdict_name(FlightVerdict v) {
+  switch (v) {
+    case FlightVerdict::kOk: return "ok";
+    case FlightVerdict::kSlow: return "slow";
+    case FlightVerdict::kTimeout: return "timeout";
+    case FlightVerdict::kShed: return "shed";
+    case FlightVerdict::kFailed: return "failed";
+    case FlightVerdict::kLowRecall: return "low_recall";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(FlightOptions options)
+    : options_(std::move(options)) {
+  WKNNG_CHECK_MSG(options_.capacity > 0, "flight ring needs capacity >= 1");
+  ring_.resize(options_.capacity);
+  if (!options_.log_path.empty()) {
+    sink_.open(options_.log_path, std::ios::out | std::ios::trunc);
+    WKNNG_CHECK_MSG(sink_.is_open(),
+                    "cannot open flight log " << options_.log_path);
+  }
+}
+
+FlightRecorder::~FlightRecorder() { flush(); }
+
+void FlightRecorder::promote_locked(const FlightRecord& rec) {
+  ++promoted_;
+  slow_log_.push_back(rec);
+  if (sink_.is_open()) sink_ << to_json_line(rec) << '\n';
+}
+
+void FlightRecorder::record(FlightRecord rec) {
+  if (rec.verdict == FlightVerdict::kOk) {
+    // Status verdicts outrank the latency threshold: a timed-out query is
+    // "timeout" even when it was also slow.
+    switch (rec.status) {
+      case 1: rec.verdict = FlightVerdict::kTimeout; break;
+      case 2: rec.verdict = FlightVerdict::kShed; break;
+      case 3: rec.verdict = FlightVerdict::kFailed; break;
+      default:
+        if (options_.slow_latency_us > 0.0 &&
+            rec.total_us > options_.slow_latency_us) {
+          rec.verdict = FlightVerdict::kSlow;
+        }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[cursor_ % ring_.size()] = rec;
+  ++cursor_;
+  if (rec.verdict != FlightVerdict::kOk) promote_locked(rec);
+}
+
+bool FlightRecorder::annotate_recall(std::uint64_t tag, double recall) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t live = std::min<std::uint64_t>(cursor_, ring_.size());
+  for (std::uint64_t back = 0; back < live; ++back) {
+    FlightRecord& rec = ring_[(cursor_ - 1 - back) % ring_.size()];
+    if (rec.tag != tag) continue;
+    rec.recall = recall;
+    if (options_.low_recall > 0.0 && recall < options_.low_recall) {
+      FlightRecord promoted = rec;
+      promoted.verdict = FlightVerdict::kLowRecall;
+      promote_locked(promoted);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::vector<FlightRecord> FlightRecorder::ring() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightRecord> out;
+  const std::uint64_t live = std::min<std::uint64_t>(cursor_, ring_.size());
+  out.reserve(live);
+  for (std::uint64_t i = 0; i < live; ++i) {
+    out.push_back(ring_[(cursor_ - live + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<FlightRecord> FlightRecorder::slow_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_log_;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cursor_;
+}
+
+std::uint64_t FlightRecorder::promoted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promoted_;
+}
+
+void FlightRecorder::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_.is_open()) sink_.flush();
+}
+
+std::string FlightRecorder::to_json_line(const FlightRecord& rec) {
+  std::ostringstream os;
+  os << "{\"type\":\"flight\",\"request_id\":" << rec.request_id
+     << ",\"tag\":" << rec.tag
+     << ",\"snapshot_version\":" << rec.snapshot_version << ",\"span_id\":\"0x"
+     << std::hex << rec.span_id << std::dec << "\",\"visits\":" << rec.visits
+     << ",\"budget_rung\":" << rec.budget_rung
+     << ",\"escalations\":" << rec.escalations
+     << ",\"batch_size\":" << rec.batch_size
+     << ",\"entry_keep\":" << rec.entry_keep << ",\"hops\":" << rec.hops
+     << ",\"status\":" << static_cast<unsigned>(rec.status)
+     << ",\"verdict\":\"" << flight_verdict_name(rec.verdict)
+     << "\",\"queue_us\":" << fmt_double(rec.queue_us)
+     << ",\"total_us\":" << fmt_double(rec.total_us)
+     << ",\"recall\":" << fmt_double(rec.recall) << "}";
+  return os.str();
+}
+
+ScopedFlightRecording::ScopedFlightRecording(FlightRecorder& recorder) {
+  FlightRecorder* expected = nullptr;
+  WKNNG_CHECK_MSG(flight_detail::g_active.compare_exchange_strong(
+                      expected, &recorder, std::memory_order_acq_rel),
+                  "a flight recorder is already active");
+}
+
+ScopedFlightRecording::~ScopedFlightRecording() {
+  flight_detail::g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace wknng::obs

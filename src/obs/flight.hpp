@@ -1,0 +1,134 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wknng::obs {
+
+/// Flight-recorder policy. All thresholds classify *after* the fact — they
+/// never change how a query executes.
+struct FlightOptions {
+  std::size_t capacity = 1024;   ///< ring size (most recent queries kept)
+  double slow_latency_us = 0.0;  ///< promote over this total latency; 0 = off
+  double low_recall = 0.0;       ///< promote audited samples under this; 0 = off
+  std::string log_path;          ///< slow-query JSON-lines sink; "" = memory only
+};
+
+/// Why a record was promoted to the slow-query log. kOk records stay in the
+/// ring only.
+enum class FlightVerdict : std::uint8_t {
+  kOk,
+  kSlow,       ///< answered fine but over slow_latency_us
+  kTimeout,    ///< deadline verdict (pre-dispatch or late completion)
+  kShed,       ///< rejected at admission
+  kFailed,     ///< batch execution failed
+  kLowRecall,  ///< audited recall under low_recall
+};
+const char* flight_verdict_name(FlightVerdict v);
+
+/// One query's black-box record: everything needed to reconstruct what the
+/// request saw without re-running it. `span_id` is the Perfetto span id of
+/// the serve batch that executed it (Tracer::span_id over the batch index),
+/// so a slow-log line joins 1:1 with the trace. `recall` is -1 until the
+/// auditor annotates the record.
+struct FlightRecord {
+  std::uint64_t request_id = 0;
+  std::uint64_t tag = 0;
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t visits = 0;          ///< distance evaluations
+  std::uint64_t budget_rung = 0;     ///< ladder rung served under; 0 = unlimited
+  std::uint32_t escalations = 0;     ///< budget re-runs this query took
+  std::uint32_t batch_size = 0;      ///< live size of its micro-batch
+  std::uint32_t entry_keep = 0;      ///< entry points the descent started from
+  std::uint32_t hops = 0;            ///< frontier expansions (0 if not tracked)
+  std::uint8_t status = 0;           ///< serve::QueryStatus numeric value
+  FlightVerdict verdict = FlightVerdict::kOk;
+  double queue_us = 0.0;
+  double total_us = 0.0;
+  double recall = -1.0;
+};
+
+/// Bounded ring of per-query FlightRecords with slow-query promotion.
+///
+/// `record` classifies the query (status verdicts first, then the latency
+/// threshold), stores it in the ring, and appends promoted records to the
+/// JSON-lines log. `annotate_recall` back-fills an audited query's recall
+/// (joined on tag) and promotes it when it falls under `low_recall` — the
+/// recall half of "breaching a latency/recall threshold".
+///
+/// Enabled-path cost: one mutex acquisition and a struct copy per query —
+/// guarded by the tab2 BM_FlightOn bench. The disabled path is the caller's
+/// `active_flight_recorder()` check: one atomic load (BM_FlightOff).
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightOptions options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  const FlightOptions& options() const { return options_; }
+
+  /// Stores `rec` (classifying its verdict when still kOk) and promotes it
+  /// when the verdict warrants.
+  void record(FlightRecord rec);
+
+  /// Back-fills the newest ring record with `tag`; promotes it as kLowRecall
+  /// when under the threshold. Returns false when the tag already rotated
+  /// out of the ring.
+  bool annotate_recall(std::uint64_t tag, double recall);
+
+  /// Ring contents, oldest to newest.
+  std::vector<FlightRecord> ring() const;
+
+  /// Promoted records (the slow-query log), in promotion order. Kept
+  /// in-memory alongside the file sink so tests and reports need no re-parse.
+  std::vector<FlightRecord> slow_log() const;
+
+  std::uint64_t recorded() const;
+  std::uint64_t promoted() const;
+
+  /// Flushes the JSON-lines sink (also done on destruction).
+  void flush();
+
+  static std::string to_json_line(const FlightRecord& rec);
+
+ private:
+  void promote_locked(const FlightRecord& rec);
+
+  const FlightOptions options_;
+  mutable std::mutex mu_;
+  std::vector<FlightRecord> ring_;
+  std::uint64_t cursor_ = 0;     ///< total records ever written
+  std::uint64_t promoted_ = 0;
+  std::vector<FlightRecord> slow_log_;
+  std::ofstream sink_;
+};
+
+namespace flight_detail {
+// Process-global active recorder — the same shape as trace_detail::g_active /
+// the fault hook: disabled cost is one acquire load plus a predicted branch.
+inline std::atomic<FlightRecorder*> g_active{nullptr};
+}  // namespace flight_detail
+
+/// The currently-installed flight recorder, or nullptr when off.
+inline FlightRecorder* active_flight_recorder() {
+  return flight_detail::g_active.load(std::memory_order_acquire);
+}
+
+/// RAII installer. Only one recorder may be active at a time; nesting throws.
+class ScopedFlightRecording {
+ public:
+  explicit ScopedFlightRecording(FlightRecorder& recorder);
+  ~ScopedFlightRecording();
+
+  ScopedFlightRecording(const ScopedFlightRecording&) = delete;
+  ScopedFlightRecording& operator=(const ScopedFlightRecording&) = delete;
+};
+
+}  // namespace wknng::obs

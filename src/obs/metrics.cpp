@@ -61,32 +61,37 @@ double Histogram::mean() const {
   return c == 0 ? 0.0 : sum() / static_cast<double>(c);
 }
 
-double Histogram::percentile(double p) const {
-  const std::uint64_t total = count();
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::uint64_t>& buckets,
+                               std::uint64_t total, double max_seen, double p) {
   if (total == 0) return 0.0;
   // A single sample is known exactly: max_seen *is* the sample. Returning it
   // avoids interpolating a bucket position out of one observation.
-  if (total == 1) return max_seen();
+  if (total == 1) return max_seen;
   p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(total);
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= rank) {
-      if (i == buckets_.size() - 1) return max_seen();  // overflow bucket
-      const double hi = bounds_[i];
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i == buckets.size() - 1) return max_seen;  // overflow bucket
+      const double hi = bounds[i];
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
       const double within =
           (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
       // Interpolated position, capped at the observed maximum so a nearly
       // empty bucket never reports a value no sample ever reached.
-      return std::min(lo + (hi - lo) * std::clamp(within, 0.0, 1.0),
-                      max_seen());
+      return std::min(lo + (hi - lo) * std::clamp(within, 0.0, 1.0), max_seen);
     }
     cumulative += in_bucket;
   }
-  return max_seen();
+  return max_seen;
+}
+
+double Histogram::percentile(double p) const {
+  return percentile_from_buckets(bounds_, bucket_counts(), count(), max_seen(),
+                                 p);
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {

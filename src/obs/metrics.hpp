@@ -84,6 +84,16 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Interpolated percentile over an explicit bucket-count snapshot — the exact
+/// computation (and edge-case contract) of Histogram::percentile, exposed so
+/// windowed aggregators (obs/slo.hpp) merging bucket counts across sub-window
+/// shards report percentiles identical to a single histogram fed the same
+/// samples. `buckets` has bounds.size() + 1 entries (last = overflow),
+/// `total` their sum, `max_seen` the largest recorded value.
+double percentile_from_buckets(const std::vector<double>& bounds,
+                               const std::vector<std::uint64_t>& buckets,
+                               std::uint64_t total, double max_seen, double p);
+
 /// 1-2-5 geometric series from 1 µs to 10 s — the latency bucket layout every
 /// serving histogram shares.
 std::vector<double> latency_bounds_us();

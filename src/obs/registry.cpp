@@ -62,8 +62,9 @@ Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = find_locked(name)) {
-    WKNNG_CHECK_MSG(e->kind == Kind::kCounter,
+    WKNNG_CHECK_MSG(e->kind == Kind::kCounter && !e->linked,
                     "metric '" << name << "' already registered as "
+                               << (e->linked ? "linked " : "")
                                << kind_name(static_cast<int>(e->kind)));
     return const_cast<Counter&>(*e->counter);
   }
@@ -77,8 +78,9 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = find_locked(name)) {
-    WKNNG_CHECK_MSG(e->kind == Kind::kGauge,
+    WKNNG_CHECK_MSG(e->kind == Kind::kGauge && !e->linked,
                     "metric '" << name << "' already registered as "
+                               << (e->linked ? "linked " : "")
                                << kind_name(static_cast<int>(e->kind)));
     return const_cast<Gauge&>(*e->gauge);
   }
@@ -93,8 +95,9 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Entry* e = find_locked(name)) {
-    WKNNG_CHECK_MSG(e->kind == Kind::kHistogram,
+    WKNNG_CHECK_MSG(e->kind == Kind::kHistogram && !e->linked,
                     "metric '" << name << "' already registered as "
+                               << (e->linked ? "linked " : "")
                                << kind_name(static_cast<int>(e->kind)));
     return const_cast<Histogram&>(*e->histogram);
   }
@@ -109,7 +112,9 @@ void MetricsRegistry::link_counter(const std::string& name, const Counter& c,
   std::lock_guard<std::mutex> lock(mu_);
   WKNNG_CHECK_MSG(find_locked(name) == nullptr,
                   "metric '" << name << "' already registered");
-  add_locked(name, help, Kind::kCounter).counter = &c;
+  Entry& e = add_locked(name, help, Kind::kCounter);
+  e.counter = &c;
+  e.linked = true;
 }
 
 void MetricsRegistry::link_histogram(const std::string& name,
@@ -118,7 +123,9 @@ void MetricsRegistry::link_histogram(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   WKNNG_CHECK_MSG(find_locked(name) == nullptr,
                   "metric '" << name << "' already registered");
-  add_locked(name, help, Kind::kHistogram).histogram = &h;
+  Entry& e = add_locked(name, help, Kind::kHistogram);
+  e.histogram = &h;
+  e.linked = true;
 }
 
 void MetricsRegistry::gauge_fn(const std::string& name,

@@ -32,8 +32,9 @@ namespace wknng::obs {
 /// therefore safe, which the sanitize-race job exercises.
 ///
 /// Metric names must match `[a-zA-Z_:][a-zA-Z0-9_:]*` (the Prometheus rule);
-/// re-requesting an existing name with the same kind returns the same
-/// instrument, a kind mismatch throws.
+/// re-requesting an existing *owned* name with the same kind returns the same
+/// instrument. Any other duplicate — kind mismatch, re-linking a taken name,
+/// or requesting an owned instrument over a linked entry — throws.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -82,6 +83,10 @@ class MetricsRegistry {
     std::string name;
     std::string help;
     Kind kind;
+    // Linked entries export an externally-owned instrument; the owned getters
+    // must never alias them (that would hand out a mutable reference to an
+    // object the registry does not own).
+    bool linked = false;
     // Owned instruments live in the deques below; these point either there
     // or at a linked external instrument.
     const Counter* counter = nullptr;

@@ -1,0 +1,438 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+#include "obs/registry.hpp"
+
+namespace wknng::obs {
+
+namespace {
+
+void check_window(const WindowConfig& cfg, const char* what) {
+  WKNNG_CHECK_MSG(cfg.shards > 0, what << ": window needs >= 1 shard");
+  WKNNG_CHECK_MSG(cfg.shard_span > 0, what << ": shard span must be positive");
+}
+
+std::string window_stats_json(const WindowStats& s) {
+  std::ostringstream os;
+  os << "{\"count\":" << s.count << ",\"mean\":" << fmt_double(s.mean)
+     << ",\"p50\":" << fmt_double(s.p50) << ",\"p95\":" << fmt_double(s.p95)
+     << ",\"p99\":" << fmt_double(s.p99) << ",\"max\":" << fmt_double(s.max)
+     << "}";
+  return os.str();
+}
+
+std::string rate_stats_json(const WindowedRate::Stats& s) {
+  std::ostringstream os;
+  os << "{\"events\":" << s.events << ",\"hits\":" << s.hits
+     << ",\"rate\":" << fmt_double(s.rate) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WindowedHistogram
+
+WindowedHistogram::WindowedHistogram(WindowConfig config,
+                                     std::vector<double> bounds)
+    : config_(config), bounds_(std::move(bounds)), shards_(config.shards) {
+  check_window(config_, "WindowedHistogram");
+  WKNNG_CHECK_MSG(!bounds_.empty(), "WindowedHistogram needs bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    WKNNG_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                    "WindowedHistogram bounds must be strictly increasing");
+  }
+  for (Shard& s : shards_) s.buckets.assign(bounds_.size() + 1, 0);
+}
+
+void WindowedHistogram::record(std::uint64_t tick, double value) {
+  const std::uint64_t era = tick / config_.shard_span;
+  const std::size_t slot = static_cast<std::size_t>(era % config_.shards);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& s = shards_[slot];
+  if (s.era != era) {
+    if (s.era != kEmptyEra && era < s.era) {
+      // The slot already rotated to a newer era: this record fell out of the
+      // window before it arrived. Dropping it (counted) keeps aggregates a
+      // function of the surviving multiset.
+      ++late_drops_;
+      return;
+    }
+    s.era = era;
+    s.count = 0;
+    s.sum = 0.0;
+    s.sum_sq = 0.0;
+    s.max = 0.0;
+    std::fill(s.buckets.begin(), s.buckets.end(), std::uint64_t{0});
+  }
+  ++s.count;
+  s.sum += value;
+  s.sum_sq += value * value;
+  s.max = std::max(s.max, value);
+  ++s.buckets[bucket];
+  if (max_era_ == kEmptyEra || era > max_era_) max_era_ = era;
+}
+
+WindowStats WindowedHistogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowStats out;
+  if (max_era_ == kEmptyEra) return out;
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  const std::uint64_t oldest_live =
+      max_era_ >= config_.shards - 1 ? max_era_ - (config_.shards - 1) : 0;
+  for (const Shard& s : shards_) {
+    if (s.era == kEmptyEra || s.era < oldest_live) continue;  // rotated out
+    out.count += s.count;
+    out.sum += s.sum;
+    out.sum_sq += s.sum_sq;
+    out.max = std::max(out.max, s.max);
+    for (std::size_t b = 0; b < merged.size(); ++b) merged[b] += s.buckets[b];
+  }
+  if (out.count == 0) return out;
+  out.mean = out.sum / static_cast<double>(out.count);
+  out.p50 = percentile_from_buckets(bounds_, merged, out.count, out.max, 50);
+  out.p95 = percentile_from_buckets(bounds_, merged, out.count, out.max, 95);
+  out.p99 = percentile_from_buckets(bounds_, merged, out.count, out.max, 99);
+  return out;
+}
+
+std::uint64_t WindowedHistogram::late_drops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return late_drops_;
+}
+
+// ---------------------------------------------------------------------------
+// WindowedRate
+
+WindowedRate::WindowedRate(WindowConfig config)
+    : config_(config), shards_(config.shards) {
+  check_window(config_, "WindowedRate");
+}
+
+void WindowedRate::record(std::uint64_t tick, bool hit) {
+  const std::uint64_t era = tick / config_.shard_span;
+  const std::size_t slot = static_cast<std::size_t>(era % config_.shards);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& s = shards_[slot];
+  if (s.era != era) {
+    if (s.era != kEmptyEra && era < s.era) return;  // out of window: drop
+    s.era = era;
+    s.events = 0;
+    s.hits = 0;
+  }
+  ++s.events;
+  if (hit) ++s.hits;
+  if (max_era_ == kEmptyEra || era > max_era_) max_era_ = era;
+}
+
+WindowedRate::Stats WindowedRate::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  if (max_era_ == kEmptyEra) return out;
+  const std::uint64_t oldest_live =
+      max_era_ >= config_.shards - 1 ? max_era_ - (config_.shards - 1) : 0;
+  for (const Shard& s : shards_) {
+    if (s.era == kEmptyEra || s.era < oldest_live) continue;
+    out.events += s.events;
+    out.hits += s.hits;
+  }
+  if (out.events != 0) {
+    out.rate = static_cast<double>(out.hits) / static_cast<double>(out.events);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+
+const char* slo_signal_name(SloSignal s) {
+  switch (s) {
+    case SloSignal::kLatency: return "latency";
+    case SloSignal::kRecall: return "recall";
+  }
+  return "unknown";
+}
+
+SloTracker::SloTracker(SloTrackerOptions options)
+    : options_(std::move(options)),
+      latency_(options_.stats_window, latency_bounds_us()),
+      occupancy_(options_.stats_window,
+                 // occupancy lives in [0, 1]: fine fixed linear-ish bounds so
+                 // percentiles resolve small batches from full ones
+                 {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}),
+      shed_(options_.stats_window),
+      escalation_(options_.stats_window),
+      latency_signal_(options_.latency_rule),
+      recall_signal_(options_.recall_rule) {
+  WKNNG_CHECK_MSG(options_.objective.error_budget > 0.0,
+                  "SLO error budget must be positive");
+}
+
+void SloTracker::set_alert_callback(AlertCallback cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_ = std::move(cb);
+}
+
+double SloTracker::burn_of(const WindowedRate::Stats& s, double error_budget) {
+  return s.events == 0 ? 0.0 : s.rate / error_budget;
+}
+
+void SloTracker::feed_signal_locked(SloSignal signal, SignalState& state,
+                                    const BurnRule& rule, std::uint64_t tick,
+                                    bool bad, std::vector<SloAlert>& pending) {
+  state.fast.record(tick, bad);
+  state.slow.record(tick, bad);
+  const WindowedRate::Stats fast = state.fast.stats();
+  const WindowedRate::Stats slow = state.slow.stats();
+  if (fast.events < rule.min_events || slow.events < rule.min_events) return;
+  const double burn_fast = burn_of(fast, options_.objective.error_budget);
+  const double burn_slow = burn_of(slow, options_.objective.error_budget);
+  const bool firing = burn_fast >= rule.threshold && burn_slow >= rule.threshold;
+  if (firing == state.active) return;
+  state.active = firing;
+  SloAlert alert;
+  alert.signal = signal;
+  alert.firing = firing;
+  alert.tick = tick;
+  alert.sequence = alert_sequence_++;
+  alert.burn_fast = burn_fast;
+  alert.burn_slow = burn_slow;
+  if (alert_log_.size() >= options_.alert_log_capacity &&
+      !alert_log_.empty()) {
+    alert_log_.erase(alert_log_.begin());
+  }
+  alert_log_.push_back(alert);
+  pending.push_back(alert);
+}
+
+void SloTracker::dispatch(std::vector<SloAlert>&& pending) {
+  if (pending.empty()) return;
+  AlertCallback cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = callback_;
+  }
+  if (!cb) return;
+  // Serialized so a multi-threaded engine delivers edges in sequence order.
+  std::lock_guard<std::mutex> lock(callback_mu_);
+  for (const SloAlert& a : pending) cb(a);
+}
+
+void SloTracker::record_request(std::uint64_t tick, double latency_us,
+                                RequestOutcome outcome,
+                                std::uint32_t escalations) {
+  std::vector<SloAlert> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_seen_;
+    latency_.record(tick, latency_us);
+    shed_.record(tick, outcome == RequestOutcome::kShed);
+    escalation_.record(tick, escalations > 0);
+    if (options_.objective.p99_latency_us > 0.0) {
+      // A request that was not answered with usable neighbors in time burns
+      // budget exactly like a slow one: shed / failed / timed-out requests
+      // are latency-SLO violations, not a separate books.
+      const bool bad = outcome != RequestOutcome::kOk ||
+                       latency_us > options_.objective.p99_latency_us;
+      feed_signal_locked(SloSignal::kLatency, latency_signal_,
+                         options_.latency_rule, tick, bad, pending);
+    }
+  }
+  dispatch(std::move(pending));
+}
+
+void SloTracker::record_batch(std::uint64_t batch_tick, std::size_t batch_size,
+                              std::size_t max_batch) {
+  const double occupancy =
+      max_batch == 0 ? 0.0
+                     : static_cast<double>(batch_size) /
+                           static_cast<double>(max_batch);
+  std::lock_guard<std::mutex> lock(mu_);
+  occupancy_.record(batch_tick, occupancy);
+}
+
+void SloTracker::record_recall(std::uint64_t tick, double recall) {
+  std::vector<SloAlert> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.objective.min_recall > 0.0) {
+      feed_signal_locked(SloSignal::kRecall, recall_signal_,
+                         options_.recall_rule, tick,
+                         recall < options_.objective.min_recall, pending);
+    }
+  }
+  dispatch(std::move(pending));
+}
+
+void SloTracker::note_publication(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++publications_;
+  last_version_ = version;
+}
+
+WindowStats SloTracker::latency_window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latency_.stats();
+}
+
+WindowStats SloTracker::occupancy_window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return occupancy_.stats();
+}
+
+WindowedRate::Stats SloTracker::shed_window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_.stats();
+}
+
+WindowedRate::Stats SloTracker::escalation_window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return escalation_.stats();
+}
+
+double SloTracker::latency_burn(bool fast) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.objective.p99_latency_us <= 0.0) return 0.0;
+  return burn_of(fast ? latency_signal_.fast.stats()
+                      : latency_signal_.slow.stats(),
+                 options_.objective.error_budget);
+}
+
+double SloTracker::recall_burn(bool fast) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.objective.min_recall <= 0.0) return 0.0;
+  return burn_of(fast ? recall_signal_.fast.stats()
+                      : recall_signal_.slow.stats(),
+                 options_.objective.error_budget);
+}
+
+bool SloTracker::alert_active(SloSignal s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return s == SloSignal::kLatency ? latency_signal_.active
+                                  : recall_signal_.active;
+}
+
+std::uint64_t SloTracker::alerts_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alert_sequence_;
+}
+
+std::vector<SloAlert> SloTracker::alert_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alert_log_;
+}
+
+std::uint64_t SloTracker::requests_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_seen_;
+}
+
+std::uint64_t SloTracker::publications() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publications_;
+}
+
+std::uint64_t SloTracker::last_published_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_version_;
+}
+
+std::string SloTracker::to_json() const {
+  // Taken outside the member lock via the accessors, each of which locks.
+  const WindowStats lat = latency_window();
+  const WindowStats occ = occupancy_window();
+  const WindowedRate::Stats shed = shed_window();
+  const WindowedRate::Stats esc = escalation_window();
+  const std::vector<SloAlert> log = alert_log();
+
+  std::ostringstream os;
+  os << "{\"objective\":{\"p99_latency_us\":"
+     << fmt_double(options_.objective.p99_latency_us)
+     << ",\"min_recall\":" << fmt_double(options_.objective.min_recall)
+     << ",\"error_budget\":" << fmt_double(options_.objective.error_budget)
+     << "},\"requests\":" << requests_seen()
+     << ",\"latency_window\":" << window_stats_json(lat)
+     << ",\"occupancy_window\":" << window_stats_json(occ)
+     << ",\"shed_window\":" << rate_stats_json(shed)
+     << ",\"escalation_window\":" << rate_stats_json(esc)
+     << ",\"latency_burn\":{\"fast\":" << fmt_double(latency_burn(true))
+     << ",\"slow\":" << fmt_double(latency_burn(false))
+     << ",\"active\":" << (alert_active(SloSignal::kLatency) ? 1 : 0)
+     << "},\"recall_burn\":{\"fast\":" << fmt_double(recall_burn(true))
+     << ",\"slow\":" << fmt_double(recall_burn(false))
+     << ",\"active\":" << (alert_active(SloSignal::kRecall) ? 1 : 0)
+     << "},\"publications\":" << publications()
+     << ",\"snapshot_version\":" << last_published_version()
+     << ",\"alerts_fired\":" << alerts_fired() << ",\"alerts\":[";
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const SloAlert& a = log[i];
+    if (i != 0) os << ",";
+    os << "{\"signal\":\"" << slo_signal_name(a.signal)
+       << "\",\"firing\":" << (a.firing ? 1 : 0) << ",\"tick\":" << a.tick
+       << ",\"sequence\":" << a.sequence
+       << ",\"burn_fast\":" << fmt_double(a.burn_fast)
+       << ",\"burn_slow\":" << fmt_double(a.burn_slow) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void register_slo_metrics(MetricsRegistry& reg, const SloTracker& t) {
+  const SloTracker* p = &t;
+  reg.gauge_fn("wknng_slo_latency_p50_us",
+               [p] { return p->latency_window().p50; },
+               "Rolling-window p50 request latency (us)");
+  reg.gauge_fn("wknng_slo_latency_p95_us",
+               [p] { return p->latency_window().p95; },
+               "Rolling-window p95 request latency (us)");
+  reg.gauge_fn("wknng_slo_latency_p99_us",
+               [p] { return p->latency_window().p99; },
+               "Rolling-window p99 request latency (us)");
+  reg.gauge_fn("wknng_slo_shed_ratio", [p] { return p->shed_window().rate; },
+               "Rolling-window shed fraction of completed requests");
+  reg.gauge_fn("wknng_slo_escalation_ratio",
+               [p] { return p->escalation_window().rate; },
+               "Rolling-window fraction of requests that escalated budget rungs");
+  reg.gauge_fn("wknng_slo_batch_occupancy",
+               [p] { return p->occupancy_window().mean; },
+               "Rolling-window mean batch occupancy (size / max_batch)");
+  reg.gauge_fn("wknng_slo_latency_burn_fast",
+               [p] { return p->latency_burn(true); },
+               "Latency-objective burn rate over the fast window");
+  reg.gauge_fn("wknng_slo_latency_burn_slow",
+               [p] { return p->latency_burn(false); },
+               "Latency-objective burn rate over the slow window");
+  reg.gauge_fn("wknng_slo_recall_burn_fast",
+               [p] { return p->recall_burn(true); },
+               "Recall-objective burn rate over the fast window");
+  reg.gauge_fn("wknng_slo_recall_burn_slow",
+               [p] { return p->recall_burn(false); },
+               "Recall-objective burn rate over the slow window");
+  reg.gauge_fn("wknng_slo_latency_alert_active",
+               [p] { return p->alert_active(SloSignal::kLatency) ? 1.0 : 0.0; },
+               "1 while the latency burn-rate alert is firing");
+  reg.gauge_fn("wknng_slo_recall_alert_active",
+               [p] { return p->alert_active(SloSignal::kRecall) ? 1.0 : 0.0; },
+               "1 while the recall burn-rate alert is firing");
+  reg.gauge_fn("wknng_slo_alerts_total",
+               [p] { return static_cast<double>(p->alerts_fired()); },
+               "Alert edges fired (rising + clearing)");
+  reg.gauge_fn("wknng_slo_snapshot_version",
+               [p] { return static_cast<double>(p->last_published_version()); },
+               "Version of the last snapshot publication the tracker saw");
+  reg.gauge_fn("wknng_slo_publications_total",
+               [p] { return static_cast<double>(p->publications()); },
+               "Snapshot publications the tracker saw");
+}
+
+}  // namespace wknng::obs

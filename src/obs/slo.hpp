@@ -1,0 +1,272 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wknng::obs {
+
+class MetricsRegistry;
+
+/// Shape of one sliding window: a ring of `shards` fixed sub-windows, each
+/// covering `shard_span` ticks of a caller-supplied monotone event counter
+/// (request index, batch index, audit index). The window spans the last
+/// `shards * shard_span` ticks. Counter-advanced on purpose: window
+/// boundaries are a pure function of the tick, never of a clock, so two runs
+/// feeding the same (tick, value) multiset aggregate bit-identically.
+struct WindowConfig {
+  std::size_t shards = 8;
+  std::uint64_t shard_span = 128;
+
+  std::uint64_t span() const {
+    return static_cast<std::uint64_t>(shards) * shard_span;
+  }
+};
+
+/// Aggregate over one window's live shards. Percentiles use the shared
+/// bucket-interpolation contract (percentile_from_buckets), so a window and
+/// a cumulative Histogram fed the same samples report the same values.
+struct WindowStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;  ///< for variance / confidence intervals
+  double mean = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Rolling fixed-bucket histogram over the last `config.span()` ticks.
+///
+/// Each record lands in the shard owning era = tick / shard_span (ring slot
+/// era % shards); a record whose era supersedes the slot's resets it. The
+/// aggregate therefore depends only on the *multiset* of (tick, value)
+/// records — per-slot, exactly the records of that slot's newest era
+/// survive, and stats() skips slots whose era has rotated out of the window
+/// — never on arrival order. A record older than the window when its slot
+/// has already moved on is dropped and counted (`late_drops`), the one
+/// order-sensitive residue, which touches counts only at the rotation edge.
+///
+/// A steady-clock timestamp of the last shard rotation is kept for display
+/// (`last_advance_unix_us` analogue in exports) but never read in any
+/// decision path.
+class WindowedHistogram {
+ public:
+  WindowedHistogram(WindowConfig config, std::vector<double> bounds);
+
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void record(std::uint64_t tick, double value);
+
+  WindowStats stats() const;
+  std::uint64_t late_drops() const;
+  const WindowConfig& config() const { return config_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  static constexpr std::uint64_t kEmptyEra = ~std::uint64_t{0};
+
+  struct Shard {
+    std::uint64_t era = kEmptyEra;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1, last = overflow
+  };
+
+  mutable std::mutex mu_;
+  WindowConfig config_;
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+  std::uint64_t max_era_ = kEmptyEra;
+  std::uint64_t late_drops_ = 0;
+};
+
+/// Rolling (events, hits) pair over the last `config.span()` ticks — shed
+/// rate, escalation rate, SLO bad-event rate. Same shard/era semantics as
+/// WindowedHistogram.
+class WindowedRate {
+ public:
+  struct Stats {
+    std::uint64_t events = 0;
+    std::uint64_t hits = 0;
+    double rate = 0.0;  ///< hits / events; 0 when no events
+  };
+
+  explicit WindowedRate(WindowConfig config);
+
+  WindowedRate(const WindowedRate&) = delete;
+  WindowedRate& operator=(const WindowedRate&) = delete;
+
+  void record(std::uint64_t tick, bool hit);
+  Stats stats() const;
+  const WindowConfig& config() const { return config_; }
+
+ private:
+  static constexpr std::uint64_t kEmptyEra = ~std::uint64_t{0};
+
+  struct Shard {
+    std::uint64_t era = kEmptyEra;
+    std::uint64_t events = 0;
+    std::uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  WindowConfig config_;
+  std::vector<Shard> shards_;
+  std::uint64_t max_era_ = kEmptyEra;
+};
+
+/// The two objective signals the tracker evaluates.
+enum class SloSignal : std::uint8_t { kLatency, kRecall };
+const char* slo_signal_name(SloSignal s);
+
+/// How one served request ended, from the SLO tracker's point of view.
+/// Mirrors serve::QueryStatus without depending on the serve layer.
+enum class RequestOutcome : std::uint8_t { kOk, kTimeout, kShed, kFailed };
+
+/// "recall >= R, p99 <= D" service objective. A signal with a zero target is
+/// disabled. `error_budget` is the tolerated bad-event fraction — e.g. 0.01
+/// means "99% of requests within the latency bound" — shared by both
+/// signals; burn rate = observed bad fraction / error_budget.
+struct SloObjective {
+  double p99_latency_us = 0.0;  ///< bad: latency over this, or not served
+  double min_recall = 0.0;      ///< bad: audited sample under this
+  double error_budget = 0.01;
+};
+
+/// One multi-window burn-rate rule (the SRE fast+slow pair): alert when the
+/// burn rate over *both* windows reaches `threshold`. The fast window makes
+/// the alert responsive; the slow window keeps a brief spike from paging.
+/// `min_events` gates each window until it has seen enough events to mean
+/// anything — a counter, so warmup is replay-deterministic too.
+struct BurnRule {
+  WindowConfig fast{4, 64};
+  WindowConfig slow{16, 256};
+  double threshold = 2.0;
+  std::uint64_t min_events = 64;
+};
+
+/// One alert edge. `firing` distinguishes the rising edge (burn crossed the
+/// rule) from the clearing edge; `sequence` is the tracker-wide monotone
+/// alert ordinal, so an alert log is totally ordered without timestamps.
+struct SloAlert {
+  SloSignal signal = SloSignal::kLatency;
+  bool firing = true;
+  std::uint64_t tick = 0;      ///< event counter at the edge
+  std::uint64_t sequence = 0;
+  double burn_fast = 0.0;
+  double burn_slow = 0.0;
+};
+
+struct SloTrackerOptions {
+  SloObjective objective;
+  BurnRule latency_rule;
+  BurnRule recall_rule;
+  WindowConfig stats_window{8, 128};  ///< latency/occupancy/rate windows
+  std::size_t alert_log_capacity = 256;
+};
+
+/// Windowed SLO evaluation over a serving run.
+///
+/// Feeds: `record_request` per completed request (any outcome; tick =
+/// request id), `record_batch` per dispatched micro-batch (tick = batch
+/// index), `record_recall` per audited sample (tick = the sample's request
+/// counter, from the auditor), `note_publication` per snapshot swap.
+///
+/// Every decision — window membership, warmup, burn thresholds, alert edges
+/// — is keyed on caller-supplied counters and recorded values only; no
+/// method reads a clock. Two runs feeding identical event streams produce
+/// bit-identical window aggregates, burn rates, and alert sequences
+/// (tests/obs/test_slo.cpp pins this).
+///
+/// Thread-safe: one mutex over all state; the alert callback is invoked
+/// *after* the mutex is released (callbacks may re-enter read accessors).
+class SloTracker {
+ public:
+  using AlertCallback = std::function<void(const SloAlert&)>;
+
+  explicit SloTracker(SloTrackerOptions options = {});
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  void set_alert_callback(AlertCallback cb);
+
+  void record_request(std::uint64_t tick, double latency_us,
+                      RequestOutcome outcome, std::uint32_t escalations = 0);
+  void record_batch(std::uint64_t batch_tick, std::size_t batch_size,
+                    std::size_t max_batch);
+  void record_recall(std::uint64_t tick, double recall);
+  void note_publication(std::uint64_t version);
+
+  const SloTrackerOptions& options() const { return options_; }
+
+  WindowStats latency_window() const;
+  WindowStats occupancy_window() const;   ///< batch size / max_batch, in [0,1]
+  WindowedRate::Stats shed_window() const;
+  WindowedRate::Stats escalation_window() const;
+
+  /// Burn rate (bad fraction / error budget) over the rule's fast or slow
+  /// window; 0 while the signal is disabled.
+  double latency_burn(bool fast) const;
+  double recall_burn(bool fast) const;
+
+  bool alert_active(SloSignal s) const;
+  std::uint64_t alerts_fired() const;      ///< edges, rising + clearing
+  std::vector<SloAlert> alert_log() const; ///< oldest dropped past capacity
+
+  std::uint64_t requests_seen() const;
+  std::uint64_t publications() const;
+  std::uint64_t last_published_version() const;
+
+  /// Everything above as one JSON object (the --slo-report payload).
+  std::string to_json() const;
+
+ private:
+  struct SignalState {
+    WindowedRate fast;
+    WindowedRate slow;
+    bool active = false;
+    SignalState(const BurnRule& rule)
+        : fast(rule.fast), slow(rule.slow) {}
+  };
+
+  /// Feeds one bad/good event into `state`, evaluates the rule, and appends
+  /// any edge to `pending`. Caller holds mu_.
+  void feed_signal_locked(SloSignal signal, SignalState& state,
+                          const BurnRule& rule, std::uint64_t tick, bool bad,
+                          std::vector<SloAlert>& pending);
+  static double burn_of(const WindowedRate::Stats& s, double error_budget);
+  void dispatch(std::vector<SloAlert>&& pending);
+
+  const SloTrackerOptions options_;
+
+  mutable std::mutex mu_;
+  WindowedHistogram latency_;
+  WindowedHistogram occupancy_;
+  WindowedRate shed_;
+  WindowedRate escalation_;
+  SignalState latency_signal_;
+  SignalState recall_signal_;
+  std::vector<SloAlert> alert_log_;
+  std::uint64_t alert_sequence_ = 0;
+  std::uint64_t requests_seen_ = 0;
+  std::uint64_t publications_ = 0;
+  std::uint64_t last_version_ = 0;
+  AlertCallback callback_;
+  std::mutex callback_mu_;  ///< serializes callback invocations
+};
+
+/// Export the tracker as live `wknng_slo_*` gauges (scrape-time reads).
+/// `t` must outlive the registry's exports.
+void register_slo_metrics(MetricsRegistry& reg, const SloTracker& t);
+
+}  // namespace wknng::obs

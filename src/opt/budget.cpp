@@ -89,6 +89,15 @@ std::uint64_t BudgetController::escalate(std::uint64_t current) const {
   return 0;  // past the top rung: the unlimited escape hatch
 }
 
+std::uint64_t BudgetController::rung_of(std::uint64_t budget) const {
+  if (budget == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < ladder_.size(); ++i) {
+    if (ladder_[i] == budget) return i + 1;
+  }
+  return 0;
+}
+
 std::vector<std::uint64_t> BudgetController::ladder() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ladder_;

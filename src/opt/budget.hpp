@@ -50,6 +50,11 @@ class BudgetController {
   /// The next rung after `current` missed; 0 (unlimited) past the top rung.
   std::uint64_t escalate(std::uint64_t current) const;
 
+  /// The 1-based position of `budget` in the current ladder; 0 for an
+  /// unlimited (or not-in-ladder) budget. Flight records carry this so a
+  /// slow query's log line names the rung that answered it.
+  std::uint64_t rung_of(std::uint64_t budget) const;
+
   /// The current ladder, ascending (empty while sampling).
   std::vector<std::uint64_t> ladder() const;
 

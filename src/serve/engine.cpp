@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace wknng::serve {
@@ -17,6 +18,16 @@ namespace {
 
 double us_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+obs::RequestOutcome outcome_of(QueryStatus s) {
+  switch (s) {
+    case QueryStatus::kOk: return obs::RequestOutcome::kOk;
+    case QueryStatus::kTimeout: return obs::RequestOutcome::kTimeout;
+    case QueryStatus::kShed: return obs::RequestOutcome::kShed;
+    case QueryStatus::kFailed: return obs::RequestOutcome::kFailed;
+  }
+  return obs::RequestOutcome::kFailed;
 }
 
 }  // namespace
@@ -40,6 +51,13 @@ ServeEngine::ServeEngine(ThreadPool& pool, ServeOptions options,
   core::validate_search_params(options_.search);
   if (options_.adaptive_budget) {
     budget_ = std::make_unique<opt::BudgetController>(options_.budget);
+  }
+  if (options_.slo) {
+    slo_ = std::make_unique<obs::SloTracker>(options_.slo_options);
+  }
+  if (options_.audit.fraction > 0.0) {
+    auditor_ = std::make_unique<obs::RecallAuditor>(options_.audit);
+    auditor_->attach_slo(slo_.get());
   }
   if (options_.optimize) {
     const auto snap = slot_.current();
@@ -95,6 +113,9 @@ std::future<QueryResult> ServeEngine::submit_impl(std::vector<float> query,
   if (stopped_.load(std::memory_order_acquire) || !batcher_.push(std::move(r))) {
     QueryResult qr;
     qr.status = QueryStatus::kShed;
+    // A shed response still names the graph that would have answered it, so
+    // flight records and audits join on snapshot_version for every outcome.
+    qr.snapshot_version = snap->version;
     std::ostringstream os;
     os << "OverloadShed: request " << r.id << " rejected at admission ("
        << (stopped_.load(std::memory_order_acquire) ? "engine stopped"
@@ -114,15 +135,20 @@ void ServeEngine::publish(std::shared_ptr<const GraphSnapshot> next) {
     // the finished snapshot land atomically.
     next = with_serving_layout(*pool_, next, options_.optimize_options);
   }
+  const std::uint64_t version = next->version;
   slot_.publish(std::move(next));
   metrics_.snapshots_published.add();
+  if (slo_) slo_->note_publication(version);
 }
 
 void ServeEngine::drain() {
-  std::unique_lock<std::mutex> lock(drain_mutex_);
-  drain_cv_.wait(lock, [&] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [&] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (auditor_) auditor_->drain();
 }
 
 void ServeEngine::stop() {
@@ -130,6 +156,7 @@ void ServeEngine::stop() {
   batcher_.close();  // executors drain the backlog, then exit
   for (auto& t : workers_) t.join();
   workers_.clear();
+  if (auditor_) auditor_->drain();
 }
 
 void ServeEngine::worker_loop() {
@@ -140,12 +167,36 @@ void ServeEngine::worker_loop() {
   }
 }
 
-void ServeEngine::finish(Request& r, QueryResult qr, Clock::time_point now) {
+void ServeEngine::finish(Request& r, QueryResult qr, Clock::time_point now,
+                         const BatchContext* ctx) {
   qr.request_id = r.id;
   qr.tag = r.tag;
   qr.total_us = us_between(r.enqueued, now);
   metrics_.latency_us.record(qr.total_us);
   metrics_.completed.add();
+  if (slo_) {
+    // Windows tick on the request *tag* (the loadgen's request counter), not
+    // the submission id: tags are a pure function of the workload, so window
+    // membership replays bit-identically under any thread interleaving.
+    slo_->record_request(r.tag, qr.total_us, outcome_of(qr.status),
+                         ctx != nullptr ? ctx->escalations : 0);
+  }
+  if (obs::FlightRecorder* fr = obs::active_flight_recorder()) {
+    obs::FlightRecord rec;
+    rec.request_id = r.id;
+    rec.tag = r.tag;
+    rec.snapshot_version = qr.snapshot_version;
+    rec.span_id = ctx != nullptr ? ctx->span_id : 0;
+    rec.visits = qr.points_visited;
+    rec.budget_rung = ctx != nullptr ? ctx->budget_rung : 0;
+    rec.escalations = ctx != nullptr ? ctx->escalations : 0;
+    rec.batch_size = ctx != nullptr ? ctx->batch_size : 0;
+    rec.entry_keep = static_cast<std::uint32_t>(options_.search.entry_keep);
+    rec.status = static_cast<std::uint8_t>(qr.status);
+    rec.queue_us = qr.queue_us;
+    rec.total_us = qr.total_us;
+    fr->record(rec);
+  }
   r.promise.set_value(std::move(qr));
   if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(drain_mutex_);
@@ -153,13 +204,37 @@ void ServeEngine::finish(Request& r, QueryResult qr, Clock::time_point now) {
   }
 }
 
+void ServeEngine::maybe_audit(const Request& r, const QueryResult& qr,
+                              const std::shared_ptr<const GraphSnapshot>& snap) {
+  if (!auditor_ || qr.neighbors.empty() || !auditor_->should_sample(r.tag)) {
+    return;
+  }
+  std::vector<std::uint32_t> served;
+  served.reserve(qr.neighbors.size());
+  for (const Neighbor& nb : qr.neighbors) served.push_back(nb.id);
+  obs::AuditTarget target;
+  target.pin = snap;  // ground truth sees exactly the graph the query saw
+  target.base = &snap->base;
+  target.exclude = snap->exclusion_mask();
+  if (snap->external_ids != nullptr) {
+    target.external_ids = {snap->external_ids->data(),
+                           snap->external_ids->size()};
+  }
+  target.version = snap->version;
+  auditor_->submit(r.tag, r.query, std::move(served), std::move(target));
+}
+
 core::BatchSearchResult ServeEngine::run_optimized(
     const opt::ServingGraph& sg, std::span<const std::uint8_t> exclude,
-    const FloatMatrix& queries, std::span<const std::uint64_t> tags) {
+    const FloatMatrix& queries, std::span<const std::uint64_t> tags,
+    std::vector<std::uint32_t>* escalations,
+    std::vector<std::uint64_t>* budgets) {
   core::SearchParams p = options_.search;
   p.patience = options_.patience;
   p.visit_budget =
       budget_ != nullptr ? budget_->predict() : options_.visit_budget;
+  if (escalations != nullptr) escalations->assign(queries.rows(), 0);
+  if (budgets != nullptr) budgets->assign(queries.rows(), p.visit_budget);
 
   core::BatchSearchResult result = core::serving_search_batch(
       *pool_, sg, queries, tags, p, exclude, &scratch_, nullptr);
@@ -184,6 +259,8 @@ core::BatchSearchResult ServeEngine::run_optimized(
         const auto qrow = queries.row(retry[j]);
         std::copy(qrow.begin(), qrow.end(), sub.row(j).begin());
         sub_tags[j] = tags.empty() ? retry[j] : tags[retry[j]];
+        if (escalations != nullptr) ++(*escalations)[retry[j]];
+        if (budgets != nullptr) (*budgets)[retry[j]] = p.visit_budget;
       }
       core::BatchSearchResult esc = core::serving_search_batch(
           *pool_, sg, sub, sub_tags, p, exclude, &scratch_, nullptr);
@@ -215,17 +292,30 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
   metrics_.batches.add();
   metrics_.batch_size.record(static_cast<double>(batch.size()));
 
+  // Batch ordinal and the span id hashed from it are computed for every
+  // batch (two cheap pure operations): the flight recorder cross-links its
+  // records to this id whether or not a tracer is installed, so a slow-log
+  // line captured today joins a trace captured tomorrow.
+  const std::uint64_t batch_idx =
+      batch_index_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t span_id =
+      obs::Tracer::span_id(batch_idx, 0, 0, obs::SpanSalt::kServeBatch);
+
+  // The snapshot is pinned before triage so even requests rejected at the
+  // deadline gate carry the version that would have answered them.
+  const std::shared_ptr<const GraphSnapshot> snap = slot_.current();
+
+  BatchContext ctx;
+  ctx.span_id = span_id;
+  ctx.batch_size = static_cast<std::uint32_t>(batch.size());
+
   // Serve-batch span: id is counter-hashed from a monotone batch index, so
   // the id sequence is deterministic even though batch *composition* depends
   // on arrival timing. The span covers triage + kernel + fan-out.
   std::optional<obs::Span> span;
   obs::Tracer* tr = options_.obs.trace ? obs::active_tracer() : nullptr;
   if (tr != nullptr) {
-    const std::uint64_t idx =
-        batch_index_.fetch_add(1, std::memory_order_relaxed);
-    span.emplace(tr, "serve_batch", "serve",
-                 obs::Tracer::span_id(idx, 0, 0, obs::SpanSalt::kServeBatch),
-                 obs::kTrackServe);
+    span.emplace(tr, "serve_batch", "serve", span_id, obs::kTrackServe);
     span->arg_num("size", static_cast<std::uint64_t>(batch.size()));
   }
 
@@ -237,6 +327,7 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
     if (dispatched > r.deadline) {
       QueryResult qr;
       qr.status = QueryStatus::kTimeout;
+      qr.snapshot_version = snap->version;
       std::ostringstream os;
       os << "DeadlineExceeded: request " << r.id
          << " expired before dispatch (waited "
@@ -246,15 +337,15 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
       metrics_.queue_us.record(qr.queue_us);
       metrics_.timed_out.add();
       metrics_.rejected_deadline.add();
-      finish(r, std::move(qr), dispatched);
+      finish(r, std::move(qr), dispatched, &ctx);
     } else {
       live.push_back(std::move(r));
     }
   }
   if (span) span->arg_num("live", static_cast<std::uint64_t>(live.size()));
+  if (slo_) slo_->record_batch(batch_idx, live.size(), options_.max_batch);
   if (live.empty()) return;
 
-  const std::shared_ptr<const GraphSnapshot> snap = slot_.current();
   if (span) {
     span->arg_num("snapshot_version",
                   static_cast<std::uint64_t>(snap->version));
@@ -279,10 +370,14 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
     span->arg_num("optimized", std::uint64_t{1});
   }
 
+  ctx.batch_size = static_cast<std::uint32_t>(live.size());
   core::BatchSearchResult result;
+  std::vector<std::uint32_t> escalations;
+  std::vector<std::uint64_t> budgets;
   try {
     if (layout != nullptr) {
-      result = run_optimized(*layout, snap->serving_exclusion(), queries, tags);
+      result = run_optimized(*layout, snap->serving_exclusion(), queries, tags,
+                             &escalations, &budgets);
     } else {
       result = core::graph_search_batch(*pool_, snap->base, snap->graph,
                                         queries, tags, options_.search,
@@ -302,7 +397,7 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
       metrics_.queue_us.record(qr.queue_us);
       qr.error = e.what();
       metrics_.failed.add();
-      finish(r, std::move(qr), now);
+      finish(r, std::move(qr), now, &ctx);
     }
     return;
   }
@@ -336,7 +431,13 @@ void ServeEngine::run_batch(std::vector<Request> batch) {
     } else {
       metrics_.ok.add();
     }
-    finish(r, std::move(qr), done);
+    BatchContext qctx = ctx;
+    if (i < escalations.size()) qctx.escalations = escalations[i];
+    if (budget_ != nullptr && i < budgets.size()) {
+      qctx.budget_rung = budget_->rung_of(budgets[i]);
+    }
+    maybe_audit(r, qr, snap);
+    finish(r, std::move(qr), done, &qctx);
   }
 }
 

@@ -13,7 +13,9 @@
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "core/graph_search.hpp"
+#include "obs/audit.hpp"
 #include "obs/params.hpp"
+#include "obs/slo.hpp"
 #include "opt/budget.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
@@ -65,6 +67,20 @@ struct ServeOptions {
   /// off when bit-reproducible accounting matters.
   bool adaptive_budget = false;
   opt::BudgetOptions budget;
+
+  /// Online SLO & quality plane (obs/slo.hpp, obs/audit.hpp). With `slo` on
+  /// the engine owns an SloTracker fed from every completion (windows ticked
+  /// by request *tag*, batches by batch index — counters, so replays are
+  /// bit-identical) and every snapshot publication. `audit.fraction > 0`
+  /// additionally runs the sampled recall auditor: answered queries chosen
+  /// by counter-hash of their tag are re-answered exactly against the
+  /// snapshot they were served from, and the rolling estimate feeds the
+  /// tracker's recall objective. The flight recorder is ambient, not an
+  /// engine option: install one with obs::ScopedFlightRecording and every
+  /// completion is recorded, at the cost of one atomic load when none is.
+  bool slo = false;
+  obs::SloTrackerOptions slo_options;
+  obs::AuditOptions audit;
 };
 
 /// Batched, deadline-aware query serving over a K-NN graph.
@@ -133,7 +149,22 @@ class ServeEngine {
     return budget_.get();
   }
 
+  /// The SLO tracker; null unless `options.slo` is on.
+  obs::SloTracker* slo_tracker() const { return slo_.get(); }
+  /// The recall auditor; null unless `options.audit.fraction > 0`.
+  obs::RecallAuditor* auditor() const { return auditor_.get(); }
+
  private:
+  /// Per-batch context threaded into finish() so flight records and SLO
+  /// events carry what only the batch knew (span id, live size, per-query
+  /// budget escalations).
+  struct BatchContext {
+    std::uint64_t span_id = 0;
+    std::uint32_t batch_size = 0;
+    std::uint32_t escalations = 0;
+    std::uint64_t budget_rung = 0;
+  };
+
   std::future<QueryResult> submit_impl(std::vector<float> query,
                                        std::uint64_t deadline_us,
                                        std::uint64_t id, std::uint64_t tag);
@@ -145,9 +176,14 @@ class ServeEngine {
   core::BatchSearchResult run_optimized(const opt::ServingGraph& sg,
                                         std::span<const std::uint8_t> exclude,
                                         const FloatMatrix& queries,
-                                        std::span<const std::uint64_t> tags);
+                                        std::span<const std::uint64_t> tags,
+                                        std::vector<std::uint32_t>* escalations,
+                                        std::vector<std::uint64_t>* budgets);
   void finish(Request& r, QueryResult qr,
-              std::chrono::steady_clock::time_point now);
+              std::chrono::steady_clock::time_point now,
+              const BatchContext* ctx = nullptr);
+  void maybe_audit(const Request& r, const QueryResult& qr,
+                   const std::shared_ptr<const GraphSnapshot>& snap);
 
   ThreadPool* pool_;
   ServeOptions options_;
@@ -156,6 +192,8 @@ class ServeEngine {
   ServeMetrics metrics_;
   core::SearchScratch scratch_;
   std::unique_ptr<opt::BudgetController> budget_;
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::unique_ptr<obs::RecallAuditor> auditor_;
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> in_flight_{0};

@@ -67,9 +67,21 @@ std::string LoadGenReport::to_json() const {
      << ",\"mutation_failures\":" << mutation_failures
      << ",\"wall_seconds\":" << wall_seconds
      << ",\"achieved_qps\":" << achieved_qps
-     << ",\"points_visited\":" << points_visited << ",\"result_hash\":\""
+     << ",\"points_visited\":" << points_visited
+     << ",\"latency_p50_us\":" << latency_p50_us
+     << ",\"latency_p95_us\":" << latency_p95_us
+     << ",\"latency_p99_us\":" << latency_p99_us
+     << ",\"latency_max_us\":" << latency_max_us << ",\"result_hash\":\""
      << std::hex << result_hash << "\"}";
   return os.str();
+}
+
+double exact_quantile(const std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, p));
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted_us.size())));
+  return sorted_us[rank == 0 ? 0 : rank - 1];
 }
 
 RequestKind request_kind(const LoadGenConfig& config, std::size_t i) {
@@ -192,11 +204,22 @@ LoadGenReport run_load(ServeEngine& engine, const FloatMatrix& queries,
   rep.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   rep.achieved_qps =
       rep.wall_seconds > 0.0 ? static_cast<double>(n) / rep.wall_seconds : 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (kinds[i] != RequestKind::kRead) continue;
     ++rep.reads;
     fold(rep, results[i]);
+    latencies.push_back(results[i].total_us);
   }
+  // Exact sample quantiles over the full latency sample — the loadgen holds
+  // every response anyway, so unlike the engine's streaming histogram there
+  // is no reason to pay the bucket estimator's interpolation error here.
+  std::sort(latencies.begin(), latencies.end());
+  rep.latency_p50_us = exact_quantile(latencies, 0.50);
+  rep.latency_p95_us = exact_quantile(latencies, 0.95);
+  rep.latency_p99_us = exact_quantile(latencies, 0.99);
+  rep.latency_max_us = latencies.empty() ? 0.0 : latencies.back();
   rep.inserts = inserts.load();
   rep.deletes = deletes.load();
   rep.mutation_failures = mutation_failures.load();

@@ -88,8 +88,23 @@ struct LoadGenReport {
   std::uint64_t points_visited = 0;  ///< summed over executed requests
   std::uint64_t result_hash = 0;     ///< order-independent response digest
                                      ///< (read slots only)
+
+  /// Exact sample quantiles (nearest-rank over the sorted per-request
+  /// total_us of every read slot) — no bucket interpolation, unlike the
+  /// engine histogram's 1-2-5-bucket percentiles (see DESIGN.md for that
+  /// estimator's error bound). 0 when no read slot completed.
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;
+
   std::string to_json() const;
 };
+
+/// Nearest-rank sample quantile: the smallest element with at least ⌈p·n⌉
+/// of the sample at or below it. `sorted_us` must be ascending; returns 0 on
+/// an empty sample. Exposed for tests and for report post-processing.
+double exact_quantile(const std::vector<double>& sorted_us, double p);
 
 /// The open-loop arrival schedule: requests[i] arrives at offset_us[i] after
 /// the run starts. Exponential gaps with mean 1/rate_qps, each drawn from an

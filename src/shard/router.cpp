@@ -72,7 +72,13 @@ KnnGraph ShardRouter::route_batch(const FloatMatrix& queries,
   // Fan-out plan: per routable shard, which query rows probe it.
   std::vector<std::vector<std::uint32_t>> plan(routable_.size());
   for (std::size_t q = 0; q < nq; ++q) {
-    for (const std::uint32_t s : top_shards(queries.row(q))) {
+    const std::vector<std::uint32_t> shards = top_shards(queries.row(q));
+    if (params_.fanout_window != nullptr) {
+      params_.fanout_window->record(
+          fanout_tick_.fetch_add(1, std::memory_order_relaxed),
+          static_cast<double>(shards.size()));
+    }
+    for (const std::uint32_t s : shards) {
       // top_shards returns global shard ids; map back to the routable slot.
       const auto it = std::lower_bound(routable_.begin(), routable_.end(), s);
       plan[static_cast<std::size_t>(it - routable_.begin())].push_back(

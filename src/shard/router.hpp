@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -9,6 +10,7 @@
 #include "common/matrix.hpp"
 #include "common/thread_pool.hpp"
 #include "core/graph_search.hpp"
+#include "obs/slo.hpp"
 #include "shard/manager.hpp"
 
 namespace wknng::shard {
@@ -22,6 +24,11 @@ struct RouterParams {
   /// Per-shard descent knobs. `k` is the per-query result count; each probed
   /// shard returns its own top-k and the router k-way-merges them.
   core::SearchParams search;
+
+  /// Rolling per-query fan-out window (shards actually probed), ticked by a
+  /// router-owned monotone query counter — the SLO plane's view of routing
+  /// spread. Must outlive the router; null = off.
+  obs::WindowedHistogram* fanout_window = nullptr;
 };
 
 struct RouteStats {
@@ -65,6 +72,9 @@ class ShardRouter {
   RouterParams params_;
   std::vector<std::uint32_t> routable_;
   std::vector<const float*> centroid_rows_;  ///< routable shards only
+  /// Monotone tick for the fan-out window: one per routed query, so window
+  /// membership depends on route order, never on a clock.
+  mutable std::atomic<std::uint64_t> fanout_tick_{0};
   /// Per-shard scratch (SearchScratch is non-movable, hence unique_ptr).
   mutable std::vector<std::unique_ptr<core::SearchScratch>> scratch_;
 };

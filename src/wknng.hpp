@@ -47,10 +47,13 @@
 #include "ivf/ivf_flat.hpp"
 #include "ivf/ivf_sq8.hpp"
 #include "nndescent/nn_descent.hpp"
+#include "obs/audit.hpp"
 #include "obs/build_info.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/params.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "opt/budget.hpp"
 #include "opt/metrics.hpp"

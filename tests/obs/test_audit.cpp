@@ -1,0 +1,219 @@
+// Online recall auditor: counter-hashed sampling determinism, the exact
+// ground-truth comparison (tombstones, external ids), the rolling estimate's
+// confidence interval, and the SLO/flight wiring on completion.
+#include "obs/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "obs/flight.hpp"
+#include "obs/registry.hpp"
+#include "obs/slo.hpp"
+
+namespace wknng::obs {
+namespace {
+
+/// Rows on a line: row i = (i, 0, 0, ...), so exact neighbors of the origin
+/// query are rows 0, 1, 2, ... in order.
+std::shared_ptr<FloatMatrix> line_base(std::size_t n, std::size_t dim = 4) {
+  auto m = std::make_shared<FloatMatrix>(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = m->row(i);
+    std::fill(row.begin(), row.end(), 0.0f);
+    row[0] = static_cast<float>(i);
+  }
+  return m;
+}
+
+AuditTarget target_of(const std::shared_ptr<FloatMatrix>& base,
+                      std::uint64_t version = 1) {
+  AuditTarget t;
+  t.pin = base;
+  t.base = base.get();
+  t.version = version;
+  return t;
+}
+
+TEST(AuditSampling, PureFunctionOfSeedFractionIndex) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(audit_should_sample(42, 0.3, i), audit_should_sample(42, 0.3, i));
+  }
+  EXPECT_FALSE(audit_should_sample(42, 0.0, 7));
+  EXPECT_TRUE(audit_should_sample(42, 1.0, 7));
+}
+
+TEST(AuditSampling, FractionControlsRate) {
+  std::size_t hits = 0;
+  const std::size_t n = 20000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (audit_should_sample(1234, 0.25, i)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.25, 0.02);
+  // A different seed draws a different (but equally sized) set.
+  std::size_t same = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (audit_should_sample(1234, 0.25, i) &&
+        audit_should_sample(99, 0.25, i)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, hits);  // the sets are not identical
+}
+
+TEST(AuditExactRecall, PerfectServedSetScoresOne) {
+  const auto base = line_base(20);
+  const std::vector<float> query(4, 0.0f);
+  const std::vector<std::uint32_t> served = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(
+      RecallAuditor::exact_recall(target_of(base), query, served, 5), 1.0);
+}
+
+TEST(AuditExactRecall, MissesLowerTheScore) {
+  const auto base = line_base(20);
+  const std::vector<float> query(4, 0.0f);
+  // Rows 10 and 11 are not in the exact top-5 {0..4}.
+  const std::vector<std::uint32_t> served = {0, 1, 2, 10, 11};
+  EXPECT_DOUBLE_EQ(
+      RecallAuditor::exact_recall(target_of(base), query, served, 5), 0.6);
+}
+
+TEST(AuditExactRecall, TombstonedRowsExcludedFromTruth) {
+  const auto base = line_base(20);
+  const std::vector<float> query(4, 0.0f);
+  // Tombstone rows 0 and 1: exact top-5 becomes {2,3,4,5,6}. The spans only
+  // need to outlive the synchronous exact_recall call.
+  std::vector<std::uint8_t> dead(20, 0);
+  dead[0] = dead[1] = 1;
+  AuditTarget t = target_of(base);
+  t.exclude = dead;
+  const std::vector<std::uint32_t> served = {2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(RecallAuditor::exact_recall(t, query, served, 5), 1.0);
+  const std::vector<std::uint32_t> stale = {0, 1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(RecallAuditor::exact_recall(t, query, stale, 5), 0.6);
+}
+
+TEST(AuditExactRecall, ExternalIdsMapTruthIntoClientSpace) {
+  const auto base = line_base(10);
+  const std::vector<float> query(4, 0.0f);
+  // Row r is externally known as r + 100.
+  std::vector<std::uint32_t> ext;
+  for (std::uint32_t r = 0; r < 10; ++r) ext.push_back(r + 100);
+  AuditTarget t = target_of(base);
+  t.external_ids = ext;
+  const std::vector<std::uint32_t> served = {100, 101, 102};
+  EXPECT_DOUBLE_EQ(RecallAuditor::exact_recall(t, query, served, 3), 1.0);
+  // Raw internal ids no longer match.
+  const std::vector<std::uint32_t> internal = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(RecallAuditor::exact_recall(t, query, internal, 3), 0.0);
+}
+
+TEST(RecallAuditor, AuditsSubmittedQueriesAndEstimates) {
+  const auto base = line_base(50);
+  AuditOptions ao;
+  ao.fraction = 1.0;
+  ao.k = 5;
+  RecallAuditor auditor(ao);
+  // 8 perfect samples, 2 with recall 0.6.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    std::vector<std::uint32_t> served =
+        i < 8 ? std::vector<std::uint32_t>{0, 1, 2, 3, 4}
+              : std::vector<std::uint32_t>{0, 1, 2, 30, 31};
+    ASSERT_TRUE(auditor.submit(i, std::vector<float>(4, 0.0f),
+                               std::move(served), target_of(base)));
+  }
+  auditor.drain();
+  EXPECT_EQ(auditor.submitted(), 10u);
+  EXPECT_EQ(auditor.completed(), 10u);
+  EXPECT_EQ(auditor.dropped(), 0u);
+
+  const AuditEstimate est = auditor.estimate();
+  EXPECT_EQ(est.audited, 10u);
+  EXPECT_NEAR(est.recall, (8.0 * 1.0 + 2.0 * 0.6) / 10.0, 1e-12);
+  // 95% normal CI over the per-sample recalls.
+  const double mean = est.recall;
+  const double var =
+      (8.0 * (1.0 - mean) * (1.0 - mean) + 2.0 * (0.6 - mean) * (0.6 - mean)) /
+      10.0;
+  EXPECT_NEAR(est.ci_halfwidth, 1.96 * std::sqrt(var / 10.0), 1e-12);
+
+  // The per-sample log carries (index, version, recall) for offline joins.
+  const std::vector<AuditSample> samples = auditor.samples();
+  ASSERT_EQ(samples.size(), 10u);
+  EXPECT_EQ(samples[0].version, 1u);
+}
+
+TEST(RecallAuditor, FeedsSloTrackerAndFlightRecorder) {
+  const auto base = line_base(30);
+  SloTrackerOptions so;
+  so.objective.min_recall = 0.9;
+  SloTracker slo(so);
+  FlightOptions fo;
+  fo.low_recall = 0.9;
+  FlightRecorder flight(fo);
+  ScopedFlightRecording scope(flight);
+
+  AuditOptions ao;
+  ao.fraction = 1.0;
+  ao.k = 5;
+  RecallAuditor auditor(ao);
+  auditor.attach_slo(&slo);
+
+  FlightRecord rec;
+  rec.tag = 3;
+  flight.record(rec);
+
+  ASSERT_TRUE(auditor.submit(3, std::vector<float>(4, 0.0f), {0, 1, 20, 21, 22},
+                             target_of(base)));
+  auditor.drain();
+  // recall 0.4 reached the tracker's recall window...
+  EXPECT_GT(slo.recall_burn(true), 0.0);
+  // ...and the flight record was back-filled + promoted as low_recall.
+  ASSERT_EQ(flight.slow_log().size(), 1u);
+  EXPECT_EQ(flight.slow_log()[0].verdict, FlightVerdict::kLowRecall);
+  EXPECT_DOUBLE_EQ(flight.ring().back().recall, 0.4);
+}
+
+TEST(RecallAuditor, QueueFullDropsAreCounted) {
+  const auto base = line_base(2000, 16);
+  AuditOptions ao;
+  ao.fraction = 1.0;
+  ao.k = 10;
+  ao.queue_capacity = 2;
+  RecallAuditor auditor(ao);
+  std::size_t accepted = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    if (auditor.submit(i, std::vector<float>(16, 0.5f), {0, 1, 2},
+                       target_of(base))) {
+      ++accepted;
+    }
+  }
+  auditor.drain();
+  EXPECT_EQ(accepted + auditor.dropped(), 200u);
+  EXPECT_EQ(auditor.completed(), accepted);
+  // Capacity 2 against a slow exact scan cannot absorb 200 fast submits.
+  EXPECT_GT(auditor.dropped(), 0u);
+}
+
+TEST(RecallAuditor, RegisterAuditMetricsExportsGauges) {
+  AuditOptions ao;
+  ao.fraction = 0.5;
+  RecallAuditor auditor(ao);
+  MetricsRegistry reg;
+  register_audit_metrics(reg, auditor);
+  const std::string prom = reg.to_prometheus();
+  for (const char* name :
+       {"wknng_slo_recall_estimate", "wknng_slo_recall_ci_halfwidth",
+        "wknng_slo_audited_total", "wknng_slo_audit_dropped_total",
+        "wknng_slo_audit_fraction"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << "missing " << name;
+  }
+  EXPECT_NE(prom.find("wknng_slo_audit_fraction 0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wknng::obs

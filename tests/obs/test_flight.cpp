@@ -1,0 +1,151 @@
+// Flight recorder: ring semantics, verdict classification, slow-query
+// promotion (memory + JSON-lines sink), recall back-fill, and the ambient
+// install hook's zero/one-recorder contract.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace wknng::obs {
+namespace {
+
+FlightRecord make_record(std::uint64_t tag, double total_us,
+                         std::uint8_t status = 0) {
+  FlightRecord r;
+  r.request_id = tag;
+  r.tag = tag;
+  r.snapshot_version = 7;
+  r.span_id = 0xABCDEF;
+  r.total_us = total_us;
+  r.status = status;
+  return r;
+}
+
+TEST(FlightRecorder, RingKeepsNewestCapacityRecords) {
+  FlightOptions fo;
+  fo.capacity = 4;
+  FlightRecorder fr(fo);
+  for (std::uint64_t i = 0; i < 10; ++i) fr.record(make_record(i, 100.0));
+  EXPECT_EQ(fr.recorded(), 10u);
+  const std::vector<FlightRecord> ring = fr.ring();
+  ASSERT_EQ(ring.size(), 4u);
+  // Oldest to newest: tags 6, 7, 8, 9.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(ring[i].tag, 6 + i);
+}
+
+TEST(FlightRecorder, StatusVerdictsPromote) {
+  FlightRecorder fr(FlightOptions{});
+  fr.record(make_record(0, 10.0, 0));  // ok
+  fr.record(make_record(1, 10.0, 1));  // timeout
+  fr.record(make_record(2, 10.0, 2));  // shed
+  fr.record(make_record(3, 10.0, 3));  // failed
+  EXPECT_EQ(fr.promoted(), 3u);
+  const std::vector<FlightRecord> slow = fr.slow_log();
+  ASSERT_EQ(slow.size(), 3u);
+  EXPECT_EQ(slow[0].verdict, FlightVerdict::kTimeout);
+  EXPECT_EQ(slow[1].verdict, FlightVerdict::kShed);
+  EXPECT_EQ(slow[2].verdict, FlightVerdict::kFailed);
+}
+
+TEST(FlightRecorder, SlowLatencyThresholdPromotes) {
+  FlightOptions fo;
+  fo.slow_latency_us = 1000.0;
+  FlightRecorder fr(fo);
+  fr.record(make_record(0, 500.0));
+  fr.record(make_record(1, 1500.0));
+  EXPECT_EQ(fr.promoted(), 1u);
+  ASSERT_EQ(fr.slow_log().size(), 1u);
+  EXPECT_EQ(fr.slow_log()[0].tag, 1u);
+  EXPECT_EQ(fr.slow_log()[0].verdict, FlightVerdict::kSlow);
+  // Threshold off (0): nothing latency-promotes.
+  FlightRecorder off(FlightOptions{});
+  off.record(make_record(0, 1e9));
+  EXPECT_EQ(off.promoted(), 0u);
+}
+
+TEST(FlightRecorder, AnnotateRecallBackfillsAndPromotesLowRecall) {
+  FlightOptions fo;
+  fo.low_recall = 0.9;
+  FlightRecorder fr(fo);
+  fr.record(make_record(5, 100.0));
+  fr.record(make_record(6, 100.0));
+  EXPECT_TRUE(fr.annotate_recall(5, 0.95));  // fine: annotated, not promoted
+  EXPECT_TRUE(fr.annotate_recall(6, 0.5));   // breach: promoted
+  EXPECT_FALSE(fr.annotate_recall(99, 0.5)); // never recorded
+  const std::vector<FlightRecord> ring = fr.ring();
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_DOUBLE_EQ(ring[0].recall, 0.95);
+  EXPECT_DOUBLE_EQ(ring[1].recall, 0.5);
+  ASSERT_EQ(fr.slow_log().size(), 1u);
+  EXPECT_EQ(fr.slow_log()[0].tag, 6u);
+  EXPECT_EQ(fr.slow_log()[0].verdict, FlightVerdict::kLowRecall);
+}
+
+TEST(FlightRecorder, JsonLineCarriesJoinKeys) {
+  FlightRecord r = make_record(42, 1234.5, 1);
+  r.visits = 100;
+  r.budget_rung = 2;
+  r.escalations = 1;
+  r.batch_size = 8;
+  r.entry_keep = 4;
+  r.verdict = FlightVerdict::kTimeout;
+  r.queue_us = 10.5;
+  const std::string line = FlightRecorder::to_json_line(r);
+  EXPECT_NE(line.find("\"type\":\"flight\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"tag\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"snapshot_version\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"span_id\":\"0xabcdef\""), std::string::npos);
+  EXPECT_NE(line.find("\"verdict\":\"timeout\""), std::string::npos);
+  EXPECT_NE(line.find("\"visits\":100"), std::string::npos);
+  EXPECT_NE(line.find("\"budget_rung\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"batch_size\":8"), std::string::npos);
+}
+
+TEST(FlightRecorder, PromotedRecordsLandInLogFile) {
+  const std::string path = ::testing::TempDir() + "flight_sink.jsonl";
+  {
+    FlightOptions fo;
+    fo.slow_latency_us = 100.0;
+    fo.log_path = path;
+    FlightRecorder fr(fo);
+    fr.record(make_record(1, 50.0));   // not promoted
+    fr.record(make_record(2, 500.0));  // promoted
+    fr.flush();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_NE(line.find("\"type\":\"flight\""), std::string::npos);
+    EXPECT_NE(line.find("\"tag\":2"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ScopedFlightRecording, InstallsAndUninstalls) {
+  EXPECT_EQ(active_flight_recorder(), nullptr);
+  FlightRecorder fr(FlightOptions{});
+  {
+    ScopedFlightRecording scope(fr);
+    EXPECT_EQ(active_flight_recorder(), &fr);
+    FlightRecorder other(FlightOptions{});
+    EXPECT_THROW(ScopedFlightRecording nested(other), Error);
+    // The failed nest must not have clobbered the active recorder.
+    EXPECT_EQ(active_flight_recorder(), &fr);
+  }
+  EXPECT_EQ(active_flight_recorder(), nullptr);
+}
+
+}  // namespace
+}  // namespace wknng::obs

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -169,6 +170,106 @@ TEST(Registry, ConcurrentRegistrationIsSerialized) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(reg.counter("wknng_shared_total").value(), 200u);
   EXPECT_EQ(reg.size(), 5u);
+}
+
+// Registration racing a scrape: exports walk the entry list under the same
+// mutex registration takes, so a scrape mid-registration must see a
+// consistent prefix, never a torn entry (sanitize-race runs this).
+TEST(Registry, ConcurrentRegisterWhileExporting) {
+  MetricsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> registrars;
+  for (int t = 0; t < 3; ++t) {
+    registrars.emplace_back([&reg, t, &stop] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string base =
+            "wknng_race_t" + std::to_string(t) + "_" + std::to_string(i % 64);
+        reg.counter(base + "_total").add(1);
+        reg.gauge(base + "_gauge").set(static_cast<double>(i));
+        reg.histogram(base + "_hist", {1.0, 10.0})
+            .record(static_cast<double>(i % 20));
+        try {
+          reg.gauge_fn(base + "_fn", [] { return 1.0; });
+        } catch (const Error&) {
+          // Second lap over the rotating names: gauge_fn never aliases, so
+          // the duplicate rejection itself races the scrape here.
+        }
+        ++i;
+      }
+    });
+  }
+  for (int scrape = 0; scrape < 100; ++scrape) {
+    const std::string prom = reg.to_prometheus();
+    EXPECT_EQ(std::count(prom.begin(), prom.end(), '\0'), 0);
+    (void)reg.to_json();
+    (void)reg.size();
+  }
+  stop.store(true);
+  for (auto& th : registrars) th.join();
+}
+
+// Duplicate-name rejection must hold across every instrument kind, not just
+// the owned counter/gauge/histogram trio.
+TEST(Registry, DuplicateNameRejectedAcrossAllKinds) {
+  Counter external_counter;
+  Histogram external_hist(latency_bounds_us());
+  const auto fresh_register = [&](MetricsRegistry& reg, int kind,
+                                  const std::string& name) {
+    switch (kind) {
+      case 0: reg.counter(name); break;
+      case 1: reg.gauge(name); break;
+      case 2: reg.histogram(name, {1.0}); break;
+      case 3: reg.link_counter(name, external_counter); break;
+      case 4: reg.link_histogram(name, external_hist); break;
+      case 5: reg.gauge_fn(name, [] { return 0.0; }); break;
+      case 6: reg.info(name, {{"a", "b"}}); break;
+      default: reg.json_blob(name, "{}"); break;
+    }
+  };
+  for (int first = 0; first < 8; ++first) {
+    for (int second = 0; second < 8; ++second) {
+      // Re-requesting an owned instrument with its own kind aliases; every
+      // other (kind, kind) pair on one name must throw.
+      const bool aliasable = first == second && first <= 2;
+      MetricsRegistry reg;
+      fresh_register(reg, first, "wknng_kind_clash");
+      if (aliasable) {
+        fresh_register(reg, second, "wknng_kind_clash");
+        EXPECT_EQ(reg.size(), 1u) << first << "/" << second;
+      } else {
+        EXPECT_THROW(fresh_register(reg, second, "wknng_kind_clash"), Error)
+            << "kinds " << first << "/" << second << " did not throw";
+      }
+    }
+  }
+}
+
+// Regression: the CLI registers build metrics and serve metrics into ONE
+// registry. Both sides once tried to own `wknng_build_config_info`, and the
+// second registration threw on the info-kind name clash — the combined
+// export must stay legal.
+TEST(Registry, BuildAndServeRegisterIntoOneRegistry) {
+  ThreadPool pool(2);
+  const FloatMatrix pts = data::make_clusters(300, 8, 4, 0.1f, 11);
+  core::BuildParams params;
+  params.k = 4;
+  params.num_trees = 2;
+  params.refine_iters = 1;
+  const core::BuildResult r = core::build_knng(pool, pts, params);
+
+  serve::ServeMetrics m;
+  m.enqueued.add(5);
+
+  MetricsRegistry reg;
+  core::register_build_metrics(reg, r);
+  EXPECT_NO_THROW(serve::register_metrics(reg, m));
+  // Registering the same serve metrics into the same registry twice is the
+  // real double-registration shape; it must throw cleanly, not corrupt.
+  EXPECT_THROW(serve::register_metrics(reg, m), Error);
+  const std::string prom = reg.to_prometheus();
+  EXPECT_NE(prom.find("wknng_build_config_info"), std::string::npos);
+  EXPECT_NE(prom.find("wknng_serve_enqueued_total 5"), std::string::npos);
 }
 
 TEST(Registry, BuildMetricsRegisterAfterRealBuild) {

@@ -1,0 +1,318 @@
+// Sliding-window aggregation and SLO burn-rate evaluation: era rotation,
+// order-independence, late-record accounting, multi-window alert edges, and
+// the bit-identical-replay contract the quality plane is built on.
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace wknng::obs {
+namespace {
+
+TEST(WindowedHistogram, AggregatesWithinWindow) {
+  WindowedHistogram w({4, 10}, {10.0, 100.0});
+  for (std::uint64_t t = 0; t < 20; ++t) {
+    w.record(t, static_cast<double>(t));
+  }
+  const WindowStats s = w.stats();
+  EXPECT_EQ(s.count, 20u);
+  EXPECT_DOUBLE_EQ(s.sum, 190.0);
+  EXPECT_DOUBLE_EQ(s.mean, 9.5);
+  EXPECT_DOUBLE_EQ(s.max, 19.0);
+  EXPECT_EQ(w.late_drops(), 0u);
+}
+
+TEST(WindowedHistogram, RotationEvictsOldEras) {
+  WindowedHistogram w({2, 10}, {10.0});  // window spans 20 ticks
+  w.record(0, 1000.0);
+  w.record(10, 5.0);
+  EXPECT_EQ(w.stats().count, 2u);
+  // Tick 20 reuses era-0's slot: the era-0 records must vanish.
+  w.record(20, 7.0);
+  const WindowStats s = w.stats();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+  EXPECT_DOUBLE_EQ(s.sum, 12.0);
+}
+
+TEST(WindowedHistogram, StatsExcludeErasOutsideWindow) {
+  WindowedHistogram w({2, 10}, {10.0});
+  w.record(0, 3.0);
+  // Era 5 is far past era 0 + shards: the old shard still holds era-0 data
+  // but stats() must not count it.
+  w.record(50, 4.0);
+  const WindowStats s = w.stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 4.0);
+}
+
+TEST(WindowedHistogram, LateRecordToRotatedSlotIsDroppedAndCounted) {
+  WindowedHistogram w({2, 10}, {10.0});
+  w.record(25, 1.0);  // era 2 in slot 0
+  w.record(5, 99.0);  // era 0 targets slot 0, already superseded: dropped
+  EXPECT_EQ(w.stats().count, 1u);
+  EXPECT_EQ(w.late_drops(), 1u);
+  EXPECT_DOUBLE_EQ(w.stats().max, 1.0);
+}
+
+// The aggregate is a pure function of the (tick, value) multiset: any
+// permutation of in-window records yields bit-identical stats.
+TEST(WindowedHistogram, OrderIndependentWithinWindow) {
+  std::vector<std::pair<std::uint64_t, double>> events;
+  for (std::uint64_t t = 100; t < 180; ++t) {
+    events.push_back({t, static_cast<double>((t * 37) % 50)});
+  }
+  const auto run = [&](const auto& ordered) {
+    WindowedHistogram w({8, 10}, {5.0, 20.0, 40.0});
+    for (const auto& [t, v] : ordered) w.record(t, v);
+    return w.stats();
+  };
+  const WindowStats base = run(events);
+  std::mt19937 gen(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(events.begin(), events.end(), gen);
+    const WindowStats s = run(events);
+    EXPECT_EQ(s.count, base.count);
+    EXPECT_EQ(s.sum, base.sum);        // bit-identical, not just close
+    EXPECT_EQ(s.sum_sq, base.sum_sq);  // (same additions per shard)
+    EXPECT_EQ(s.max, base.max);
+    EXPECT_EQ(s.p50, base.p50);
+    EXPECT_EQ(s.p99, base.p99);
+  }
+}
+
+// Window percentiles share the cumulative Histogram's estimator, so the same
+// samples produce the same values through either path.
+TEST(WindowedHistogram, PercentilesMatchCumulativeHistogram) {
+  const std::vector<double> bounds = latency_bounds_us();
+  WindowedHistogram w({4, 64}, bounds);
+  Histogram h(bounds);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    const double v = static_cast<double>((t * 13) % 900);
+    w.record(t, v);
+    h.record(v);
+  }
+  const WindowStats s = w.stats();
+  EXPECT_EQ(s.p50, h.percentile(50));
+  EXPECT_EQ(s.p95, h.percentile(95));
+  EXPECT_EQ(s.p99, h.percentile(99));
+}
+
+TEST(WindowedRate, TracksHitFractionAndRotates) {
+  WindowedRate r({2, 4});  // 8-tick window
+  for (std::uint64_t t = 0; t < 8; ++t) r.record(t, t % 2 == 0);
+  WindowedRate::Stats s = r.stats();
+  EXPECT_EQ(s.events, 8u);
+  EXPECT_EQ(s.hits, 4u);
+  EXPECT_DOUBLE_EQ(s.rate, 0.5);
+  // Rotating both shards with all-miss eras leaves a zero rate.
+  for (std::uint64_t t = 8; t < 16; ++t) r.record(t, false);
+  s = r.stats();
+  EXPECT_EQ(s.events, 8u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_DOUBLE_EQ(s.rate, 0.0);
+}
+
+SloTrackerOptions latency_slo(double p99_us) {
+  SloTrackerOptions o;
+  o.objective.p99_latency_us = p99_us;
+  o.objective.error_budget = 0.1;
+  o.latency_rule.fast = {2, 8};
+  o.latency_rule.slow = {4, 16};
+  o.latency_rule.threshold = 2.0;
+  o.latency_rule.min_events = 8;
+  return o;
+}
+
+TEST(SloTracker, NoAlertWhileHealthy) {
+  SloTracker t(latency_slo(1000.0));
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    t.record_request(i, 100.0, RequestOutcome::kOk);
+  }
+  EXPECT_FALSE(t.alert_active(SloSignal::kLatency));
+  EXPECT_EQ(t.alerts_fired(), 0u);
+  EXPECT_EQ(t.requests_seen(), 200u);
+  EXPECT_GT(t.latency_window().count, 0u);
+}
+
+TEST(SloTracker, BurnAlertRisesAndClears) {
+  SloTracker t(latency_slo(1000.0));
+  std::vector<SloAlert> seen;
+  t.set_alert_callback([&](const SloAlert& a) { seen.push_back(a); });
+
+  // Sustained breach: every request over the bound. Burn = 1.0/0.1 = 10x in
+  // both windows once min_events is met.
+  std::uint64_t tick = 0;
+  for (; tick < 64; ++tick) {
+    t.record_request(tick, 5000.0, RequestOutcome::kOk);
+  }
+  EXPECT_TRUE(t.alert_active(SloSignal::kLatency));
+  ASSERT_FALSE(seen.empty());
+  EXPECT_TRUE(seen.front().firing);
+  EXPECT_EQ(seen.front().signal, SloSignal::kLatency);
+  EXPECT_GE(seen.front().burn_fast, 2.0);
+  EXPECT_GE(seen.front().burn_slow, 2.0);
+
+  // Recovery: enough healthy eras to rotate the bad ones out of both windows.
+  for (; tick < 200; ++tick) {
+    t.record_request(tick, 100.0, RequestOutcome::kOk);
+  }
+  EXPECT_FALSE(t.alert_active(SloSignal::kLatency));
+  EXPECT_FALSE(seen.back().firing);  // the clearing edge arrived
+  EXPECT_EQ(t.alerts_fired(), seen.size());
+}
+
+TEST(SloTracker, ShedAndFailedCountAsBadEvents) {
+  SloTracker t(latency_slo(1000.0));
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    // Fast (under-bound) latency but shed: still a bad event.
+    t.record_request(i, 10.0, RequestOutcome::kShed);
+  }
+  EXPECT_TRUE(t.alert_active(SloSignal::kLatency));
+  EXPECT_DOUBLE_EQ(t.shed_window().rate, 1.0);
+}
+
+TEST(SloTracker, RecallSignalIndependentOfLatency) {
+  SloTrackerOptions o;
+  o.objective.min_recall = 0.9;
+  o.objective.error_budget = 0.1;
+  o.recall_rule.fast = {2, 8};
+  o.recall_rule.slow = {4, 16};
+  o.recall_rule.min_events = 8;
+  SloTracker t(o);
+  for (std::uint64_t i = 0; i < 64; ++i) t.record_recall(i, 0.5);
+  EXPECT_TRUE(t.alert_active(SloSignal::kRecall));
+  EXPECT_FALSE(t.alert_active(SloSignal::kLatency));
+  // Latency objective is 0 = disabled: no latency burn no matter the values.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    t.record_request(i, 1e9, RequestOutcome::kOk);
+  }
+  EXPECT_DOUBLE_EQ(t.latency_burn(true), 0.0);
+}
+
+TEST(SloTracker, MinEventsGatesWarmup) {
+  SloTrackerOptions o = latency_slo(1000.0);
+  o.latency_rule.min_events = 1000;  // never enough events in this test
+  SloTracker t(o);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    t.record_request(i, 5000.0, RequestOutcome::kOk);
+  }
+  EXPECT_FALSE(t.alert_active(SloSignal::kLatency));
+  EXPECT_EQ(t.alerts_fired(), 0u);
+}
+
+// The replay contract: identical event streams produce bit-identical
+// aggregates, burn rates, alert sequences, and JSON.
+TEST(SloTracker, ReplayIsBitIdentical) {
+  const auto run = [] {
+    SloTracker t(latency_slo(500.0));
+    std::vector<SloAlert> alerts;
+    t.set_alert_callback([&](const SloAlert& a) { alerts.push_back(a); });
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      const bool bad_phase = (i / 50) % 2 == 1;
+      const double lat = bad_phase ? 2000.0 : 50.0;
+      const RequestOutcome out =
+          i % 97 == 0 ? RequestOutcome::kShed : RequestOutcome::kOk;
+      t.record_request(i, lat, out, i % 13 == 0 ? 1 : 0);
+      if (i % 4 == 0) t.record_batch(i / 4, 3 + (i % 5), 8);
+      if (i % 7 == 0) t.record_recall(i, 0.8 + 0.01 * static_cast<double>(i % 20));
+    }
+    t.note_publication(3);
+    return std::make_pair(t.to_json(), alerts);
+  };
+  const auto [json_a, alerts_a] = run();
+  const auto [json_b, alerts_b] = run();
+  EXPECT_EQ(json_a, json_b);
+  ASSERT_EQ(alerts_a.size(), alerts_b.size());
+  for (std::size_t i = 0; i < alerts_a.size(); ++i) {
+    EXPECT_EQ(alerts_a[i].sequence, alerts_b[i].sequence);
+    EXPECT_EQ(alerts_a[i].tick, alerts_b[i].tick);
+    EXPECT_EQ(alerts_a[i].firing, alerts_b[i].firing);
+    EXPECT_EQ(alerts_a[i].burn_fast, alerts_b[i].burn_fast);
+    EXPECT_EQ(alerts_a[i].burn_slow, alerts_b[i].burn_slow);
+  }
+}
+
+TEST(SloTracker, AlertLogCapacityDropsOldest) {
+  SloTrackerOptions o = latency_slo(500.0);
+  o.alert_log_capacity = 4;
+  SloTracker t(o);
+  // Alternate bad/good phases long enough to generate > 4 edges.
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const bool bad = (i / 40) % 2 == 0;
+    t.record_request(i, bad ? 2000.0 : 10.0, RequestOutcome::kOk);
+  }
+  const std::vector<SloAlert> log = t.alert_log();
+  EXPECT_LE(log.size(), 4u);
+  EXPECT_GT(t.alerts_fired(), log.size());
+  // The retained entries are the newest, still in sequence order.
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_GT(log[i].sequence, log[i - 1].sequence);
+  }
+}
+
+TEST(SloTracker, PublicationsTracked) {
+  SloTracker t;
+  t.note_publication(5);
+  t.note_publication(6);
+  EXPECT_EQ(t.publications(), 2u);
+  EXPECT_EQ(t.last_published_version(), 6u);
+}
+
+TEST(SloTracker, RegisterSloMetricsExportsGauges) {
+  SloTracker t(latency_slo(1000.0));
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    t.record_request(i, 100.0, RequestOutcome::kOk);
+  }
+  MetricsRegistry reg;
+  register_slo_metrics(reg, t);
+  const std::string prom = reg.to_prometheus();
+  for (const char* name :
+       {"wknng_slo_latency_p50_us", "wknng_slo_latency_p95_us",
+        "wknng_slo_latency_p99_us", "wknng_slo_shed_ratio",
+        "wknng_slo_escalation_ratio", "wknng_slo_batch_occupancy",
+        "wknng_slo_latency_burn_fast", "wknng_slo_latency_burn_slow",
+        "wknng_slo_recall_burn_fast", "wknng_slo_recall_burn_slow",
+        "wknng_slo_latency_alert_active", "wknng_slo_recall_alert_active",
+        "wknng_slo_alerts_total", "wknng_slo_snapshot_version",
+        "wknng_slo_publications_total"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << "missing " << name;
+  }
+}
+
+// Concurrent feeding + scraping must be race-free (sanitize-race runs this).
+TEST(SloTracker, ConcurrentRecordAndScrape) {
+  SloTracker t(latency_slo(500.0));
+  std::vector<std::thread> feeders;
+  std::atomic<bool> stop{false};
+  for (int f = 0; f < 3; ++f) {
+    feeders.emplace_back([&t, f, &stop] {
+      std::uint64_t i = static_cast<std::uint64_t>(f) * 100000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        t.record_request(i, static_cast<double>(i % 1000),
+                         RequestOutcome::kOk);
+        if (i % 5 == 0) t.record_recall(i, 0.9);
+        ++i;
+      }
+    });
+  }
+  for (int s = 0; s < 50; ++s) {
+    (void)t.to_json();
+    (void)t.latency_window();
+    (void)t.latency_burn(true);
+    (void)t.alert_log();
+  }
+  stop.store(true);
+  for (auto& th : feeders) th.join();
+}
+
+}  // namespace
+}  // namespace wknng::obs

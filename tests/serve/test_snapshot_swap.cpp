@@ -63,8 +63,14 @@ TEST(SnapshotSwap, ConcurrentQueriesAreConsistentWithSomePublishedSnapshot) {
 
   // Publisher: five insert rounds, each appending 50 points and publishing
   // the grown graph. Archiving happens before publishing, so by the time a
-  // response can carry a version, the reference copy already exists.
+  // response can carry a version, the reference copy already exists. After
+  // each publish the publisher waits for four fresh query completions: with
+  // three closed-loop queriers (one request in flight each), at least one of
+  // those four was *submitted* after the publish and therefore served on the
+  // new version — so the assertions below hold even when the scheduler
+  // starves the queriers (e.g. parallel ctest on a single core).
   std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> completed{0};
   std::thread publisher([&] {
     Rng prng(91);
     for (std::uint64_t round = 0; round < 5; ++round) {
@@ -78,6 +84,8 @@ TEST(SnapshotSwap, ConcurrentQueriesAreConsistentWithSomePublishedSnapshot) {
       }
       inc.add_batch(batch);
       engine.publish(archive_and_get(2 + round));
+      const std::uint64_t target = completed.load() + 4;
+      while (completed.load() < target) std::this_thread::yield();
     }
     done.store(true, std::memory_order_release);
   });
@@ -99,8 +107,11 @@ TEST(SnapshotSwap, ConcurrentQueriesAreConsistentWithSomePublishedSnapshot) {
         const auto row = queries.row(tag % nq);
         QueryResult qr =
             engine.submit({row.begin(), row.end()}, 0, tag).get();
-        std::lock_guard<std::mutex> lock(observed_mutex);
-        observed.push_back({tag, std::move(qr)});
+        {
+          std::lock_guard<std::mutex> lock(observed_mutex);
+          observed.push_back({tag, std::move(qr)});
+        }
+        completed.fetch_add(1, std::memory_order_release);
       }
     });
   }
